@@ -1,0 +1,214 @@
+//! Escrow reservation (O'Neil [8]): a `reserved` counter accompanies the
+//! quantity on hand; a reservation succeeds iff `qty - reserved >= amount`
+//! and bumps `reserved` in a short transaction.
+//!
+//! This is the specialised technique §5 points at for anonymous resources
+//! ("guaranteeing that there will be enough money in an account ... could
+//! best be implemented using techniques such as escrow locking"). It
+//! admits exactly the schedules an anonymous-view promise admits — which
+//! experiment E6 verifies — but it works only for numeric quantities,
+//! whereas the Promise pattern covers named and property views too.
+
+use std::sync::Arc;
+
+use promises_rm::{ResourceManager, RmError};
+
+use crate::traits::{QtyReserver, ReserveFailure};
+use crate::{QTY_FIELD, QTY_TABLE, RESERVED_FIELD};
+
+/// Escrow-counter reservation.
+pub struct EscrowReserver {
+    rm: Arc<ResourceManager>,
+    retries: usize,
+}
+
+/// Escrowed amounts, one entry per pool.
+#[derive(Debug)]
+pub struct EscrowToken {
+    holds: Vec<(String, u64)>,
+}
+
+impl EscrowReserver {
+    /// Creates an escrow reserver over `rm`.
+    pub fn new(rm: Arc<ResourceManager>) -> Self {
+        Self { rm, retries: 16 }
+    }
+
+    fn escrow(&self, pool: &str, amount: u64) -> Result<(), ReserveFailure> {
+        let result = self.rm.transact(self.retries, |txn| {
+            // X lock from the start (an S-then-X upgrade would deadlock
+            // against symmetric reservers); validate headroom inside.
+            let mut enough = false;
+            self.rm.update(txn, QTY_TABLE, pool, |rec| {
+                let qty = rec.int(QTY_FIELD).unwrap_or(0);
+                let reserved = rec.int(RESERVED_FIELD).unwrap_or(0);
+                if qty - reserved >= amount as i64 {
+                    enough = true;
+                    rec.set(RESERVED_FIELD, reserved + amount as i64);
+                }
+            })?;
+            if !enough {
+                return Err(RmError::Aborted("insufficient escrow headroom".into()));
+            }
+            Ok(())
+        });
+        match result {
+            Ok(()) => Ok(()),
+            Err(RmError::Aborted(_)) => Err(ReserveFailure::Insufficient),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn unescrow(&self, pool: &str, amount: u64) {
+        let _ = self.rm.transact(self.retries, |txn| {
+            self.rm.update(txn, QTY_TABLE, pool, |rec| {
+                let reserved = rec.int(RESERVED_FIELD).unwrap_or(0);
+                rec.set(RESERVED_FIELD, (reserved - amount as i64).max(0));
+            })
+        });
+    }
+}
+
+impl QtyReserver for EscrowReserver {
+    type Token = EscrowToken;
+
+    fn reserve(&self, pool: &str, amount: u64) -> Result<Self::Token, ReserveFailure> {
+        self.escrow(pool, amount)?;
+        Ok(EscrowToken {
+            holds: vec![(pool.to_owned(), amount)],
+        })
+    }
+
+    fn extend(
+        &self,
+        token: &mut Self::Token,
+        pool: &str,
+        amount: u64,
+    ) -> Result<(), ReserveFailure> {
+        self.escrow(pool, amount)?;
+        token.holds.push((pool.to_owned(), amount));
+        Ok(())
+    }
+
+    fn consume(&self, token: Self::Token) -> Result<(), ReserveFailure> {
+        self.rm
+            .transact(self.retries, |txn| {
+                for (pool, amount) in &token.holds {
+                    self.rm.update(txn, QTY_TABLE, pool, |rec| {
+                        let qty = rec.int(QTY_FIELD).unwrap_or(0);
+                        let reserved = rec.int(RESERVED_FIELD).unwrap_or(0);
+                        rec.set(QTY_FIELD, qty - *amount as i64);
+                        rec.set(RESERVED_FIELD, (reserved - *amount as i64).max(0));
+                    })?;
+                }
+                Ok(())
+            })
+            .map_err(Into::into)
+    }
+
+    fn cancel(&self, token: Self::Token) {
+        for (pool, amount) in &token.holds {
+            self.unescrow(pool, *amount);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promises_rm::Record;
+
+    fn setup(qty: i64) -> Arc<ResourceManager> {
+        let rm = Arc::new(ResourceManager::new());
+        rm.create_table(QTY_TABLE);
+        let tx = rm.begin();
+        rm.insert(&tx, QTY_TABLE, "widgets", Record::new().with(QTY_FIELD, qty))
+            .unwrap();
+        rm.commit(tx).unwrap();
+        rm
+    }
+
+    #[test]
+    fn reservations_respect_headroom_without_blocking() {
+        let rm = setup(10);
+        let r = EscrowReserver::new(Arc::clone(&rm));
+        let t1 = r.reserve("widgets", 6).unwrap();
+        // 4 remain unreserved: a 5-unit request fails fast, a 4-unit works.
+        assert_eq!(
+            r.reserve("widgets", 5).unwrap_err(),
+            ReserveFailure::Insufficient
+        );
+        let t2 = r.reserve("widgets", 4).unwrap();
+        r.consume(t1).unwrap();
+        r.consume(t2).unwrap();
+        let tx = rm.begin();
+        let rec = rm.get(&tx, QTY_TABLE, "widgets").unwrap().unwrap();
+        assert_eq!(rec.int(QTY_FIELD), Some(0));
+        assert_eq!(rec.int(RESERVED_FIELD), Some(0));
+        rm.commit(tx).unwrap();
+    }
+
+    #[test]
+    fn cancel_returns_headroom() {
+        let rm = setup(10);
+        let r = EscrowReserver::new(rm);
+        let t = r.reserve("widgets", 10).unwrap();
+        assert!(r.reserve("widgets", 1).is_err());
+        r.cancel(t);
+        let t2 = r.reserve("widgets", 10).unwrap();
+        r.consume(t2).unwrap();
+    }
+
+    #[test]
+    fn extend_and_cancel_multi_pool() {
+        let rm = setup(10);
+        rm.transact(1, |txn| {
+            rm.insert(txn, QTY_TABLE, "bolts", Record::new().with(QTY_FIELD, 2i64))
+        })
+        .unwrap();
+        let r = EscrowReserver::new(Arc::clone(&rm));
+        let mut t = r.reserve("widgets", 3).unwrap();
+        r.extend(&mut t, "bolts", 2).unwrap();
+        assert!(r.reserve("bolts", 1).is_err());
+        r.cancel(t);
+        assert!(r.reserve("bolts", 2).is_ok());
+    }
+
+    #[test]
+    fn missing_pool_is_an_rm_error() {
+        let rm = Arc::new(ResourceManager::new());
+        rm.create_table(QTY_TABLE);
+        let r = EscrowReserver::new(rm);
+        assert!(matches!(
+            r.reserve("ghost", 1).unwrap_err(),
+            ReserveFailure::Rm(_)
+        ));
+    }
+
+    #[test]
+    fn concurrent_escrow_never_oversubscribes() {
+        use std::thread;
+        let rm = setup(100);
+        let r = Arc::new(EscrowReserver::new(Arc::clone(&rm)));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let r = Arc::clone(&r);
+            handles.push(thread::spawn(move || {
+                let mut consumed = 0u64;
+                for _ in 0..25 {
+                    if let Ok(t) = r.reserve("widgets", 1) {
+                        r.consume(t).unwrap();
+                        consumed += 1;
+                    }
+                }
+                consumed
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let tx = rm.begin();
+        let rec = rm.get(&tx, QTY_TABLE, "widgets").unwrap().unwrap();
+        assert_eq!(rec.int(QTY_FIELD), Some(100 - total as i64));
+        assert!(rec.int(QTY_FIELD).unwrap() >= 0, "never oversubscribed");
+        rm.commit(tx).unwrap();
+    }
+}

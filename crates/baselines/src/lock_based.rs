@@ -1,0 +1,225 @@
+//! Traditional lock-based reservation: the pool record stays exclusively
+//! locked for the entire business operation.
+//!
+//! This is the comparator the paper dismisses for the services world: "the
+//! locking mechanism assumes an environment where activities run very
+//! quickly and all participants can be trusted to hold locks. These
+//! assumptions are inflexible and not suited for data under high
+//! contention" (§9). Concurrent clients of the same pool *block*; clients
+//! locking multiple pools in different orders *deadlock*.
+
+use std::sync::Arc;
+
+use promises_rm::{ResourceManager, Txn};
+
+use crate::traits::{QtyReserver, ReserveFailure};
+use crate::{QTY_FIELD, QTY_TABLE};
+
+/// Reservation by long-held exclusive lock.
+pub struct LockReserver {
+    rm: Arc<ResourceManager>,
+}
+
+/// An open transaction holding X locks on every reserved pool across the
+/// whole think time.
+#[derive(Debug)]
+pub struct LockToken {
+    txn: Txn,
+    holds: Vec<(String, u64)>,
+}
+
+impl LockReserver {
+    /// Creates a lock-based reserver over `rm`.
+    pub fn new(rm: Arc<ResourceManager>) -> Self {
+        Self { rm }
+    }
+
+    /// Locks `pool` in `txn` and checks availability.
+    fn lock_and_check(&self, txn: &Txn, pool: &str, amount: u64) -> Result<(), ReserveFailure> {
+        let mut seen = 0i64;
+        self.rm.update(txn, QTY_TABLE, pool, |rec| {
+            seen = rec.int(QTY_FIELD).unwrap_or(0);
+        })?;
+        if seen < amount as i64 {
+            return Err(ReserveFailure::Insufficient);
+        }
+        Ok(())
+    }
+}
+
+impl QtyReserver for LockReserver {
+    type Token = LockToken;
+
+    fn reserve(&self, pool: &str, amount: u64) -> Result<Self::Token, ReserveFailure> {
+        let txn = self.rm.begin();
+        match self.lock_and_check(&txn, pool, amount) {
+            Ok(()) => Ok(LockToken {
+                txn,
+                holds: vec![(pool.to_owned(), amount)],
+            }),
+            Err(e) => {
+                self.rm.abort(txn);
+                Err(e)
+            }
+        }
+    }
+
+    fn extend(
+        &self,
+        token: &mut Self::Token,
+        pool: &str,
+        amount: u64,
+    ) -> Result<(), ReserveFailure> {
+        // The second lock is taken inside the SAME transaction while the
+        // first is held: opposite-order clients form a wait-for cycle and
+        // one is victimised — the deadlock behaviour experiment E5 counts.
+        self.lock_and_check(&token.txn, pool, amount)?;
+        token.holds.push((pool.to_owned(), amount));
+        Ok(())
+    }
+
+    fn consume(&self, token: Self::Token) -> Result<(), ReserveFailure> {
+        let LockToken { txn, holds } = token;
+        for (pool, amount) in &holds {
+            let r = self.rm.update(&txn, QTY_TABLE, pool, |rec| {
+                let q = rec.int(QTY_FIELD).unwrap_or(0);
+                rec.set(QTY_FIELD, q - *amount as i64);
+            });
+            if let Err(e) = r {
+                self.rm.abort(txn);
+                return Err(e.into());
+            }
+        }
+        self.rm.commit(txn)?;
+        Ok(())
+    }
+
+    fn cancel(&self, token: Self::Token) {
+        self.rm.abort(token.txn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promises_rm::Record;
+    use std::thread;
+    use std::time::Duration;
+
+    fn setup(pools: &[(&str, i64)]) -> Arc<ResourceManager> {
+        let rm = Arc::new(ResourceManager::new());
+        rm.create_table(QTY_TABLE);
+        let tx = rm.begin();
+        for (p, qty) in pools {
+            rm.insert(&tx, QTY_TABLE, p, Record::new().with(QTY_FIELD, *qty))
+                .unwrap();
+        }
+        rm.commit(tx).unwrap();
+        rm
+    }
+
+    #[test]
+    fn reserve_consume_decrements() {
+        let rm = setup(&[("widgets", 10)]);
+        let r = LockReserver::new(Arc::clone(&rm));
+        let t = r.reserve("widgets", 4).unwrap();
+        r.consume(t).unwrap();
+        let tx = rm.begin();
+        assert_eq!(
+            rm.get(&tx, QTY_TABLE, "widgets").unwrap().unwrap().int(QTY_FIELD),
+            Some(6)
+        );
+        rm.commit(tx).unwrap();
+    }
+
+    #[test]
+    fn extend_reserves_second_pool_in_same_txn() {
+        let rm = setup(&[("a", 5), ("b", 5)]);
+        let r = LockReserver::new(Arc::clone(&rm));
+        let mut t = r.reserve("a", 2).unwrap();
+        r.extend(&mut t, "b", 3).unwrap();
+        r.consume(t).unwrap();
+        let tx = rm.begin();
+        assert_eq!(rm.get(&tx, QTY_TABLE, "a").unwrap().unwrap().int(QTY_FIELD), Some(3));
+        assert_eq!(rm.get(&tx, QTY_TABLE, "b").unwrap().unwrap().int(QTY_FIELD), Some(2));
+        rm.commit(tx).unwrap();
+    }
+
+    #[test]
+    fn cancel_releases_without_change() {
+        let rm = setup(&[("widgets", 10)]);
+        let r = LockReserver::new(Arc::clone(&rm));
+        let t = r.reserve("widgets", 4).unwrap();
+        r.cancel(t);
+        let t2 = r.reserve("widgets", 10).unwrap();
+        r.consume(t2).unwrap();
+    }
+
+    #[test]
+    fn insufficient_fails_fast() {
+        let rm = setup(&[("widgets", 3)]);
+        let r = LockReserver::new(rm);
+        assert_eq!(
+            r.reserve("widgets", 4).unwrap_err(),
+            ReserveFailure::Insufficient
+        );
+    }
+
+    #[test]
+    fn second_reserver_blocks_until_first_finishes() {
+        let rm = setup(&[("widgets", 10)]);
+        let r = Arc::new(LockReserver::new(Arc::clone(&rm)));
+        let t = r.reserve("widgets", 2).unwrap();
+        let r2 = Arc::clone(&r);
+        let h = thread::spawn(move || {
+            // This blocks on the held X lock even though 8 units remain —
+            // the lost concurrency promises recover.
+            let t = r2.reserve("widgets", 2).unwrap();
+            r2.consume(t).unwrap();
+        });
+        thread::sleep(Duration::from_millis(40));
+        assert!(!h.is_finished(), "second client must be blocked");
+        r.consume(t).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn opposite_order_extends_deadlock_and_one_is_victimised() {
+        let rm = setup(&[("a", 10), ("b", 10)]);
+        let r = Arc::new(LockReserver::new(Arc::clone(&rm)));
+        let r2 = Arc::clone(&r);
+        let h = thread::spawn(move || -> Result<(), ReserveFailure> {
+            let mut ta = r2.reserve("a", 1)?;
+            thread::sleep(Duration::from_millis(30));
+            match r2.extend(&mut ta, "b", 1) {
+                Ok(()) => {
+                    r2.consume(ta).unwrap();
+                    Ok(())
+                }
+                Err(e) => {
+                    r2.cancel(ta);
+                    Err(e)
+                }
+            }
+        });
+        let mut tb = r.reserve("b", 1).unwrap();
+        thread::sleep(Duration::from_millis(30));
+        let mine = r.extend(&mut tb, "a", 1);
+        let mine_failed = match mine {
+            Ok(()) => {
+                r.consume(tb).unwrap();
+                false
+            }
+            Err(e) => {
+                assert_eq!(e, ReserveFailure::Deadlock);
+                r.cancel(tb);
+                true
+            }
+        };
+        let theirs = h.join().unwrap();
+        assert!(
+            mine_failed || theirs.is_err(),
+            "one of the two opposite-order clients must be a deadlock victim"
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Unprotected check-then-act: read availability, do the long-running
+//! work with no isolation, and re-validate when finally consuming.
+//!
+//! This is the world the paper's introduction describes without promises:
+//! "we still required the programmer to provide code to handle each
+//! possible message under every possible state", e.g. "payment arrives
+//! for an accepted order when there is insufficient stock on hand". The
+//! late [`ReserveFailure::LateConflict`] is exactly that situation.
+
+use std::sync::Arc;
+
+use promises_rm::{ResourceManager, RmError};
+
+use crate::traits::{QtyReserver, ReserveFailure};
+use crate::{QTY_FIELD, QTY_TABLE};
+
+/// Check-then-act with no protection in between.
+pub struct OptimisticReserver {
+    rm: Arc<ResourceManager>,
+    retries: usize,
+}
+
+/// Remembers only what was asked for; nothing is held.
+#[derive(Debug)]
+pub struct OptimisticToken {
+    holds: Vec<(String, u64)>,
+}
+
+impl OptimisticReserver {
+    /// Creates an optimistic reserver over `rm`.
+    pub fn new(rm: Arc<ResourceManager>) -> Self {
+        Self { rm, retries: 16 }
+    }
+
+    fn check(&self, pool: &str, amount: u64) -> Result<(), ReserveFailure> {
+        // Short transaction: read and immediately release.
+        let available = self.rm.transact(self.retries, |txn| {
+            Ok(self
+                .rm
+                .get(txn, QTY_TABLE, pool)?
+                .and_then(|r| r.int(QTY_FIELD))
+                .unwrap_or(0))
+        })?;
+        if available < amount as i64 {
+            return Err(ReserveFailure::Insufficient);
+        }
+        Ok(())
+    }
+}
+
+impl QtyReserver for OptimisticReserver {
+    type Token = OptimisticToken;
+
+    fn reserve(&self, pool: &str, amount: u64) -> Result<Self::Token, ReserveFailure> {
+        self.check(pool, amount)?;
+        Ok(OptimisticToken {
+            holds: vec![(pool.to_owned(), amount)],
+        })
+    }
+
+    fn extend(
+        &self,
+        token: &mut Self::Token,
+        pool: &str,
+        amount: u64,
+    ) -> Result<(), ReserveFailure> {
+        self.check(pool, amount)?;
+        token.holds.push((pool.to_owned(), amount));
+        Ok(())
+    }
+
+    fn consume(&self, token: Self::Token) -> Result<(), ReserveFailure> {
+        // Re-validate everything at the last moment in one transaction; a
+        // concurrent winner surfaces as the late conflict the normal
+        // processing path must now handle.
+        let result = self.rm.transact(self.retries, |txn| {
+            for (pool, amount) in &token.holds {
+                // Take the X lock directly (an S-then-X upgrade here would
+                // deadlock against symmetric consumers) and validate inside.
+                let mut enough = false;
+                self.rm.update(txn, QTY_TABLE, pool, |rec| {
+                    let current = rec.int(QTY_FIELD).unwrap_or(0);
+                    if current >= *amount as i64 {
+                        enough = true;
+                        rec.set(QTY_FIELD, current - *amount as i64);
+                    }
+                })?;
+                if !enough {
+                    return Err(RmError::Aborted("late conflict".into()));
+                }
+            }
+            Ok(())
+        });
+        match result {
+            Ok(()) => Ok(()),
+            Err(RmError::Aborted(_)) => Err(ReserveFailure::LateConflict),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn cancel(&self, _token: Self::Token) {
+        // Nothing was held.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promises_rm::Record;
+
+    fn setup(pools: &[(&str, i64)]) -> Arc<ResourceManager> {
+        let rm = Arc::new(ResourceManager::new());
+        rm.create_table(QTY_TABLE);
+        let tx = rm.begin();
+        for (p, qty) in pools {
+            rm.insert(&tx, QTY_TABLE, p, Record::new().with(QTY_FIELD, *qty))
+                .unwrap();
+        }
+        rm.commit(tx).unwrap();
+        rm
+    }
+
+    #[test]
+    fn happy_path() {
+        let rm = setup(&[("widgets", 10)]);
+        let r = OptimisticReserver::new(Arc::clone(&rm));
+        let t = r.reserve("widgets", 4).unwrap();
+        r.consume(t).unwrap();
+        let tx = rm.begin();
+        assert_eq!(
+            rm.get(&tx, QTY_TABLE, "widgets").unwrap().unwrap().int(QTY_FIELD),
+            Some(6)
+        );
+        rm.commit(tx).unwrap();
+    }
+
+    #[test]
+    fn check_passes_but_consume_fails_late() {
+        // The defining failure mode: both clients see 10 ≥ 8, both proceed,
+        // the slower one discovers the conflict only at consume time.
+        let rm = setup(&[("widgets", 10)]);
+        let r = OptimisticReserver::new(Arc::clone(&rm));
+        let t1 = r.reserve("widgets", 8).unwrap();
+        let t2 = r.reserve("widgets", 8).unwrap(); // no isolation: also passes
+        r.consume(t1).unwrap();
+        assert_eq!(r.consume(t2).unwrap_err(), ReserveFailure::LateConflict);
+    }
+
+    #[test]
+    fn multi_pool_consume_is_atomic() {
+        let rm = setup(&[("a", 5), ("b", 5)]);
+        let r = OptimisticReserver::new(Arc::clone(&rm));
+        let mut t = r.reserve("a", 5).unwrap();
+        r.extend(&mut t, "b", 5).unwrap();
+        // Concurrently drain pool b behind its back.
+        let t2 = r.reserve("b", 1).unwrap();
+        r.consume(t2).unwrap();
+        // The combined consume must fail late AND leave pool a untouched.
+        assert_eq!(r.consume(t).unwrap_err(), ReserveFailure::LateConflict);
+        let tx = rm.begin();
+        assert_eq!(rm.get(&tx, QTY_TABLE, "a").unwrap().unwrap().int(QTY_FIELD), Some(5));
+        rm.commit(tx).unwrap();
+    }
+
+    #[test]
+    fn insufficient_fails_fast_too() {
+        let rm = setup(&[("widgets", 3)]);
+        let r = OptimisticReserver::new(rm);
+        assert_eq!(
+            r.reserve("widgets", 4).unwrap_err(),
+            ReserveFailure::Insufficient
+        );
+    }
+
+    #[test]
+    fn cancel_is_free() {
+        let rm = setup(&[("widgets", 5)]);
+        let r = OptimisticReserver::new(Arc::clone(&rm));
+        let t = r.reserve("widgets", 5).unwrap();
+        r.cancel(t);
+        let t2 = r.reserve("widgets", 5).unwrap();
+        r.consume(t2).unwrap();
+    }
+}

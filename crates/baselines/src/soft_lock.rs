@@ -1,0 +1,175 @@
+//! Soft locks: "a field in the database record to show whether an item
+//! has been allocated or reserved for a client. The record is not locked
+//! against access once the allocation has been made; instead applications
+//! read this field when looking for available resources and ignore any
+//! record that has been already allocated" (§2).
+//!
+//! This is the paper's "allocated tags" technique stripped of a promise
+//! manager: no expiry, no predicate checking, no violation detection —
+//! each application must honour the convention voluntarily.
+
+use std::sync::Arc;
+
+use promises_rm::{ResourceManager, RmError};
+
+use crate::traits::{InstanceReserver, ReserveFailure};
+
+/// Status field used by the soft-lock convention (matches the promise
+/// catalog's layout so the same seeded data serves both).
+pub const STATUS_FIELD: &str = "_status";
+
+fn table(pool: &str) -> String {
+    format!("inst:{pool}")
+}
+
+/// Field-flag reservation of named instances.
+pub struct SoftLockReserver {
+    rm: Arc<ResourceManager>,
+    retries: usize,
+}
+
+/// A soft-locked instance.
+#[derive(Debug)]
+pub struct SoftLockToken {
+    pool: String,
+    instance: String,
+}
+
+impl SoftLockReserver {
+    /// Creates a soft-lock reserver over `rm`.
+    pub fn new(rm: Arc<ResourceManager>) -> Self {
+        Self { rm, retries: 16 }
+    }
+}
+
+impl InstanceReserver for SoftLockReserver {
+    type Token = SoftLockToken;
+
+    fn reserve_instance(
+        &self,
+        pool: &str,
+        instance: &str,
+    ) -> Result<Self::Token, ReserveFailure> {
+        let result = self.rm.transact(self.retries, |txn| {
+            let rec = self
+                .rm
+                .get(txn, &table(pool), instance)?
+                .ok_or_else(|| RmError::NoSuchKey {
+                    table: table(pool),
+                    key: instance.into(),
+                })?;
+            if rec.str(STATUS_FIELD) != Some("available") {
+                return Err(RmError::Aborted("already allocated".into()));
+            }
+            self.rm.update(txn, &table(pool), instance, |rec| {
+                rec.set(STATUS_FIELD, "promised");
+            })
+        });
+        match result {
+            Ok(()) => Ok(SoftLockToken {
+                pool: pool.to_owned(),
+                instance: instance.to_owned(),
+            }),
+            Err(RmError::Aborted(_)) => Err(ReserveFailure::Insufficient),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn consume(&self, token: Self::Token) -> Result<(), ReserveFailure> {
+        self.rm
+            .transact(self.retries, |txn| {
+                self.rm
+                    .update(txn, &table(&token.pool), &token.instance, |rec| {
+                        rec.set(STATUS_FIELD, "taken");
+                    })
+            })
+            .map_err(Into::into)
+    }
+
+    fn cancel(&self, token: Self::Token) {
+        let _ = self.rm.transact(self.retries, |txn| {
+            self.rm
+                .update(txn, &table(&token.pool), &token.instance, |rec| {
+                    rec.set(STATUS_FIELD, "available");
+                })
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promises_rm::Record;
+
+    fn setup() -> Arc<ResourceManager> {
+        let rm = Arc::new(ResourceManager::new());
+        rm.create_table(&table("rooms"));
+        let tx = rm.begin();
+        for id in ["512", "610"] {
+            rm.insert(
+                &tx,
+                &table("rooms"),
+                id,
+                Record::new().with(STATUS_FIELD, "available"),
+            )
+            .unwrap();
+        }
+        rm.commit(tx).unwrap();
+        rm
+    }
+
+    #[test]
+    fn reserve_take_lifecycle() {
+        let rm = setup();
+        let r = SoftLockReserver::new(Arc::clone(&rm));
+        let t = r.reserve_instance("rooms", "512").unwrap();
+        assert_eq!(
+            r.reserve_instance("rooms", "512").unwrap_err(),
+            ReserveFailure::Insufficient
+        );
+        r.consume(t).unwrap();
+        let tx = rm.begin();
+        assert_eq!(
+            rm.get(&tx, &table("rooms"), "512").unwrap().unwrap().str(STATUS_FIELD),
+            Some("taken")
+        );
+        rm.commit(tx).unwrap();
+    }
+
+    #[test]
+    fn cancel_restores_availability() {
+        let rm = setup();
+        let r = SoftLockReserver::new(rm);
+        let t = r.reserve_instance("rooms", "610").unwrap();
+        r.cancel(t);
+        assert!(r.reserve_instance("rooms", "610").is_ok());
+    }
+
+    #[test]
+    fn missing_instance_is_rm_error() {
+        let rm = setup();
+        let r = SoftLockReserver::new(rm);
+        assert!(matches!(
+            r.reserve_instance("rooms", "999").unwrap_err(),
+            ReserveFailure::Rm(_)
+        ));
+    }
+
+    #[test]
+    fn no_manager_means_no_violation_detection() {
+        // The convention is voluntary: a rogue write straight to the RM
+        // steals the reserved room and nothing stops it — this is what the
+        // promise manager's post-action check adds (cf. the core tests).
+        let rm = setup();
+        let r = SoftLockReserver::new(Arc::clone(&rm));
+        let t = r.reserve_instance("rooms", "512").unwrap();
+        let tx = rm.begin();
+        rm.update(&tx, &table("rooms"), "512", |rec| {
+            rec.set(STATUS_FIELD, "taken");
+        })
+        .unwrap();
+        rm.commit(tx).unwrap(); // commits fine: nobody checks
+        // The holder's consume now silently overwrites.
+        r.consume(t).unwrap();
+    }
+}

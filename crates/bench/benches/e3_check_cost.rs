@@ -1,0 +1,42 @@
+//! E3 — promise-check cost per grant+release cycle, as a function of the
+//! number of live promises in the table and the resource view used
+//! (anonymous quantity sum / named uniqueness / property matching).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use promises_bench::exp::{e3_check_cost, View};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_check_cost");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    // The large-table sweep lives in `bin/experiments e3`; the bench
+    // keeps sizes small so `cargo bench --workspace` stays fast.
+    for live in [10usize, 100] {
+        for (name, view, inner) in [
+            ("anonymous", View::Anonymous, 50usize),
+            ("named", View::Named, 20),
+            ("property", View::Property, 5),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, live), &live, |b, &live| {
+                // e3_check_cost builds the table then times `inner` cycles;
+                // Criterion wraps the whole preparation+measurement, so use
+                // iter_custom to report only the measured mean.
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let us = e3_check_cost(view, live, inner);
+                        total += Duration::from_nanos((us * 1_000.0) as u64);
+                    }
+                    total
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E4 — hotspot contention: wall time of the same workload under each
+//! isolation mechanism. Lock-based reservations serialise the hotspot
+//! (flat throughput); promises/escrow/optimistic overlap think time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use promises_bench::exp::{e4_config, run_system, System};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_contention");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(200));
+    let cfg = e4_config(8, 10);
+    for sys in System::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("workload", sys.name()),
+            &sys,
+            |b, &sys| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        total += run_system(sys, &cfg, 1_000_000).wall;
+                    }
+                    total
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E5 — multi-resource operations with opposite acquisition orders:
+//! wall time of the deadlock-prone lock workload vs the non-blocking
+//! promise workload (deadlock *counts* are in `bin/experiments e5`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use promises_bench::exp::{e5_config, run_system, System};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_deadlock");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(200));
+    let cfg = e5_config(8, 10);
+    for sys in [System::Locks, System::Promises] {
+        g.bench_with_input(
+            BenchmarkId::new("multi-pool", sys.name()),
+            &sys,
+            |b, &sys| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        total += run_system(sys, &cfg, 1_000_000).wall;
+                    }
+                    total
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

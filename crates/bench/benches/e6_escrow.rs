@@ -1,0 +1,36 @@
+//! E6 — escrow vs promises on anonymous quantities: per-operation cost of
+//! the reserve+consume cycle for the specialised escrow counter and the
+//! general promise manager (admission equivalence is shown by
+//! `bin/experiments e6`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use promises_baselines::{EscrowReserver, QtyReserver};
+use promises_rm::ResourceManager;
+use promises_sim::{promise_reserver, seed_pools};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_escrow");
+    g.sample_size(30);
+    g.bench_function("escrow reserve+consume", |b| {
+        let rm = Arc::new(ResourceManager::new());
+        seed_pools(&rm, 1, u64::MAX / 4);
+        let r = EscrowReserver::new(rm);
+        b.iter(|| {
+            let t = r.reserve("pool-0", 3).expect("ample");
+            r.consume(t).expect("consume");
+        });
+    });
+    g.bench_function("promise reserve+consume", |b| {
+        let r = promise_reserver(1, u64::MAX / 4);
+        b.iter(|| {
+            let t = r.reserve("pool-0", 3).expect("ample");
+            r.consume(t).expect("consume");
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

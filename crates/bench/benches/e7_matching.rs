@@ -1,0 +1,47 @@
+//! E7 — property-view strategies: cost of the adversarial grant sequence
+//! per strategy and pool size (grant/reject *counts* are in
+//! `bin/experiments e7`), plus the raw Hopcroft–Karp matching kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use promises_bench::exp::e7_strategy;
+use promises_core::CheckStrategy;
+use promises_matching::{hopcroft_karp, BipartiteGraph};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_matching");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(200));
+    for rooms in [100usize, 400] {
+        for (name, strategy) in [
+            ("allocated-tags", CheckStrategy::AllocatedTags),
+            ("tentative", CheckStrategy::TentativeAllocation),
+            ("satisfiability", CheckStrategy::Satisfiability),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, rooms), &rooms, |b, &rooms| {
+                b.iter(|| e7_strategy(rooms, strategy));
+            });
+        }
+    }
+    for n in [100usize, 1_000] {
+        g.bench_with_input(BenchmarkId::new("hopcroft-karp", n), &n, |b, &n| {
+            // Band graph: each left accepts 8 nearby rights.
+            let mut graph = BipartiteGraph::new(n, n);
+            for l in 0..n {
+                for d in 0..8 {
+                    graph.add_edge(l, (l + d) % n);
+                }
+            }
+            b.iter(|| {
+                let m = hopcroft_karp(&graph);
+                assert_eq!(m.size, n);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E8 — cost of the atomic release+action unit vs the naive two-step
+//! (release, then act) on an uncontended manager. The *correctness* race
+//! (what the naive form loses under contention) is shown by
+//! `bin/experiments e8`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use promises_bench::setup::pm_with_qty_pool;
+use promises_core::{
+    ActionError, Catalog, Environment, Predicate, PromiseRequestSpec,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_atomicity");
+    g.sample_size(30);
+    let take = |pm: &promises_core::PromiseManager, env: &Environment| {
+        pm.execute(env, |rm, txn| {
+            rm.update(txn, Catalog::QTY_TABLE, "unit", |r| {
+                let q = r.int("qty").unwrap_or(0);
+                r.set("qty", q - 1);
+            })
+            .map_err(ActionError::from)
+        })
+        .expect("uncontended");
+    };
+    g.bench_function("atomic release+action", |b| {
+        let pm = pm_with_qty_pool("unit", u64::MAX / 4);
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            let p = pm
+                .request(
+                    PromiseRequestSpec::new(
+                        promises_core::RequestId(format!("a-{n}")),
+                        promises_core::ClientId("bench".into()),
+                    )
+                    .predicate(Predicate::qty_at_least("unit", 1)),
+                )
+                .expect("rm ok")
+                .decision
+                .granted_id()
+                .expect("ample");
+            take(&pm, &Environment::none().releasing(p));
+        });
+    });
+    g.bench_function("naive release then action", |b| {
+        let pm = pm_with_qty_pool("unit", u64::MAX / 4);
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            let p = pm
+                .request(
+                    PromiseRequestSpec::new(
+                        promises_core::RequestId(format!("n-{n}")),
+                        promises_core::ClientId("bench".into()),
+                    )
+                    .predicate(Predicate::qty_at_least("unit", 1)),
+                )
+                .expect("rm ok")
+                .decision
+                .granted_id()
+                .expect("ample");
+            pm.release(p).expect("release");
+            take(&pm, &Environment::none());
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E9 — expiry machinery cost: pruning a table with many expired
+//! promises, and the per-operation overhead of the lazy expiry check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+use promises_core::{ManualClock, PoolSchema, Predicate, PromiseManager, PromiseRequestSpec};
+use promises_rm::ResourceManager;
+
+fn pm_with_expired(n: usize) -> (PromiseManager, Arc<ManualClock>) {
+    let clock = Arc::new(ManualClock::new());
+    let pm = PromiseManager::new(
+        Arc::new(ResourceManager::new()),
+        Arc::clone(&clock) as Arc<dyn promises_core::Clock>,
+    );
+    pm.register_pool(PoolSchema::quantity("p"));
+    pm.seed_quantity("p", n as u64 + 1).expect("seed");
+    for i in 0..n {
+        pm.request(
+            PromiseRequestSpec::new(
+                promises_core::RequestId(format!("e-{i}")),
+                promises_core::ClientId("bench".into()),
+            )
+            .predicate(Predicate::qty_at_least("p", 1))
+            .duration_ms(10),
+        )
+        .expect("rm ok");
+    }
+    clock.advance(1_000); // all expired
+    (pm, clock)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_expiry");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(200));
+    for n in [100usize, 1_000] {
+        g.bench_with_input(BenchmarkId::new("prune_expired", n), &n, |b, &n| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let (pm, _clock) = pm_with_expired(n);
+                    let start = std::time::Instant::now();
+                    let reaped = pm.prune_expired().expect("prune");
+                    total += start.elapsed();
+                    assert_eq!(reaped, n);
+                }
+                total
+            });
+        });
+    }
+    g.bench_function("lazy check with nothing expired", |b| {
+        let (pm, _clock) = pm_with_expired(0);
+        b.iter(|| pm.prune_expired().expect("prune"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E1 / Figure 1 — latency of the promise-protected ordering process:
+//! promise 5 widgets, purchase under the promise, release atomically.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use promises_bench::exp::figure1_once;
+use promises_bench::setup::merchant_with_stock;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure1_ordering");
+    g.sample_size(30);
+    g.bench_function("promise+purchase+release", |b| {
+        let merchant = merchant_with_stock("widgets", u64::MAX / 2);
+        b.iter(|| figure1_once(black_box(&merchant)));
+    });
+    // Baseline for comparison: the same flow without any promise.
+    g.bench_function("unprotected purchase only", |b| {
+        let merchant = merchant_with_stock("widgets", u64::MAX / 2);
+        let pm = merchant.manager();
+        b.iter(|| {
+            pm.execute(&promises_core::Environment::none(), |rm, txn| {
+                rm.update(txn, promises_core::Catalog::QTY_TABLE, "widgets", |r| {
+                    let q = r.int("qty").unwrap();
+                    r.set("qty", q - 5);
+                })
+                .map_err(promises_core::ActionError::from)
+            })
+            .unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E2 / Figure 2 — one full wire round trip through the prototype
+//! pipeline: XML envelope → bus → gateway → promise manager →
+//! application → RM → reply envelope. The §6 combined form (promise
+//! request + action under it + release) is exercised per iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use promises_bench::exp::{build_pipeline, pipeline_roundtrip};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure2_pipeline");
+    g.sample_size(30);
+    g.bench_function("combined envelope roundtrip", |b| {
+        let (bus, _pm) = build_pipeline(u64::MAX / 2);
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            assert!(pipeline_roundtrip(&bus, id));
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,211 @@
+//! Regenerates every experiment table in EXPERIMENTS.md.
+//!
+//! Run with: `cargo run --release -p promises-bench --bin experiments`
+//! (optionally pass experiment ids, e.g. `e4 e5`, to run a subset).
+
+use std::env;
+
+use promises_bench::exp::{self, System, View};
+use promises_bench::table::{f, print_table, us};
+use promises_core::CheckStrategy;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
+
+    println!("# Promises experiment suite");
+    println!("# (one table per experiment in DESIGN.md section 4)");
+
+    if want("e1") {
+        let mean = exp::e1_figure1(2_000);
+        print_table(
+            "E1 (Figure 1) — ordering-process walkthrough latency",
+            &["metric", "value"],
+            &[
+                vec!["promise+purchase+release cycle".into(), us(mean)],
+                vec!["iterations".into(), "2000".into()],
+            ],
+        );
+    }
+
+    if want("e2") {
+        let mut rows = Vec::new();
+        for clients in [1usize, 2, 4, 8, 16] {
+            let (tput, ok) = exp::e2_pipeline(clients, 200);
+            rows.push(vec![
+                clients.to_string(),
+                f(tput, 0),
+                f(ok * 100.0, 1),
+            ]);
+        }
+        print_table(
+            "E2 (Figure 2) — wire pipeline throughput vs concurrent clients",
+            &["clients", "ops/s", "ok %"],
+            &rows,
+        );
+    }
+
+    if want("e3") {
+        let mut rows = Vec::new();
+        for live in [10usize, 100, 500, 1000] {
+            let a = exp::e3_check_cost(View::Anonymous, live, 200);
+            let n = exp::e3_check_cost(View::Named, live, 50);
+            let p = exp::e3_check_cost(View::Property, live.min(500), 20);
+            rows.push(vec![live.to_string(), us(a), us(n), us(p)]);
+        }
+        print_table(
+            "E3 — grant+release cost vs live promises, by resource view",
+            &["live promises", "anonymous", "named", "property"],
+            &rows,
+        );
+    }
+
+    if want("e4") {
+        let mut rows = Vec::new();
+        for clients in [4usize, 16, 48] {
+            let cfg = exp::e4_config(clients, 25);
+            for sys in System::ALL {
+                let r = exp::run_system(sys, &cfg, 1_000_000);
+                rows.push(vec![
+                    clients.to_string(),
+                    sys.name().into(),
+                    f(r.throughput, 0),
+                    r.completed.to_string(),
+                    r.failed_fast.to_string(),
+                    r.failed_late.to_string(),
+                    r.deadlocks.to_string(),
+                    us(r.avg_latency.as_micros() as f64),
+                ]);
+            }
+        }
+        print_table(
+            "E4 — contention: throughput under hotspot skew (ample stock)",
+            &["clients", "system", "ops/s", "done", "fail-fast", "fail-late", "deadlock", "latency"],
+            &rows,
+        );
+    }
+
+    if want("e5") {
+        let mut rows = Vec::new();
+        for clients in [4usize, 8, 16] {
+            let cfg = exp::e5_config(clients, 20);
+            for sys in [System::Locks, System::Promises] {
+                let r = exp::run_system(sys, &cfg, 1_000_000);
+                rows.push(vec![
+                    clients.to_string(),
+                    sys.name().into(),
+                    r.completed.to_string(),
+                    r.deadlocks.to_string(),
+                    f(r.wall.as_secs_f64(), 2),
+                ]);
+            }
+        }
+        print_table(
+            "E5 — multi-resource ops: 2PL deadlocks vs promise rejection",
+            &["clients", "system", "completed", "deadlocks", "wall s"],
+            &rows,
+        );
+    }
+
+    if want("e6") {
+        let mut rows = Vec::new();
+        let cfg = exp::e6_config(16, 25);
+        for sys in System::ALL {
+            let r = exp::run_system(sys, &cfg, 400); // scarce: demand ~ 2.5x stock
+            rows.push(vec![
+                sys.name().into(),
+                r.completed.to_string(),
+                r.failed_fast.to_string(),
+                r.failed_late.to_string(),
+                r.deadlocks.to_string(),
+                f(r.goodput_ratio() * 100.0, 1),
+            ]);
+        }
+        print_table(
+            "E6 — scarce anonymous stock: admission behaviour (escrow vs promises identical; optimistic fails late)",
+            &["system", "completed", "fail-fast", "fail-late", "deadlock", "goodput %"],
+            &rows,
+        );
+    }
+
+    if want("e7") {
+        let mut rows = Vec::new();
+        for rooms in [100usize, 400, 1000] {
+            for (name, strategy) in [
+                ("allocated-tags", CheckStrategy::AllocatedTags),
+                ("tentative", CheckStrategy::TentativeAllocation),
+                ("satisfiability", CheckStrategy::Satisfiability),
+            ] {
+                let o = exp::e7_strategy(rooms, strategy);
+                rows.push(vec![
+                    rooms.to_string(),
+                    name.into(),
+                    o.granted.to_string(),
+                    o.rejected.to_string(),
+                    us(o.mean_us),
+                ]);
+            }
+        }
+        print_table(
+            "E7 — property-view strategies on an adversarial feasible sequence",
+            &["rooms", "strategy", "granted", "rejected", "mean/request"],
+            &rows,
+        );
+    }
+
+    if want("e8") {
+        let atomic = exp::e8_race(60, true);
+        let naive = exp::e8_race(60, false);
+        print_table(
+            "E8 — action+release atomicity vs naive release-then-act (60 races)",
+            &["variant", "protected ok", "protected lost", "competitor grabs"],
+            &[
+                vec![
+                    "atomic (§4)".into(),
+                    atomic.protected_ok.to_string(),
+                    atomic.protected_lost.to_string(),
+                    atomic.competitor_got.to_string(),
+                ],
+                vec![
+                    "naive two-step".into(),
+                    naive.protected_ok.to_string(),
+                    naive.protected_lost.to_string(),
+                    naive.competitor_got.to_string(),
+                ],
+            ],
+        );
+    }
+
+    if want("e9") {
+        let mut rows = Vec::new();
+        for ttl in [5u64, 20, 100, 1_000, 1_000_000] {
+            let o = exp::e9_ttl(ttl, 200, 50, 4);
+            rows.push(vec![
+                format!("{ttl}"),
+                o.completed.to_string(),
+                o.expired.to_string(),
+                o.latecomer_rejections.to_string(),
+            ]);
+        }
+        print_table(
+            "E9 — promise TTL vs completion and latecomer starvation (think=50ms-on-manual-clock, 25% abandon)",
+            &["ttl ms", "completed", "promise-expired", "latecomer rejections"],
+            &rows,
+        );
+    }
+
+    if want("e10") {
+        let mut rows = Vec::new();
+        for depth in [0usize, 1, 2, 4, 8] {
+            let mean = exp::e10_delegation(depth, 300);
+            rows.push(vec![depth.to_string(), us(mean)]);
+        }
+        print_table(
+            "E10 — delegation chain depth vs grant+release latency",
+            &["chain depth", "mean grant+release"],
+            &rows,
+        );
+    }
+
+    println!("\n(done)");
+}

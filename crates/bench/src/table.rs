@@ -1,0 +1,67 @@
+//! Minimal fixed-width table printer for experiment output.
+
+/// Prints a titled table: header row plus data rows, columns padded to
+/// the widest cell.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}\n");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| (*s).to_owned()).collect();
+    println!("{}", fmt_row(&head));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a float with the given precision.
+pub fn f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// Formats microseconds as a human-readable duration.
+pub fn us(v: f64) -> String {
+    if v >= 1_000_000.0 {
+        format!("{:.2}s", v / 1e6)
+    } else if v >= 1_000.0 {
+        format!("{:.2}ms", v / 1e3)
+    } else {
+        format!("{v:.1}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(us(12.3), "12.3us");
+        assert_eq!(us(12_300.0), "12.30ms");
+        assert_eq!(us(2_500_000.0), "2.50s");
+    }
+
+    #[test]
+    fn table_prints_without_panicking() {
+        print_table(
+            "demo",
+            &["a", "long-header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

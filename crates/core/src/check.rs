@@ -1,0 +1,621 @@
+//! Promise checking: "the most critical part of the promise manager is the
+//! code that guarantees the validity of non-expired promises by ensuring
+//! that sufficient resources are available to satisfy every active
+//! predicate" (§8).
+//!
+//! Three checkers are implemented, one per resource view:
+//!
+//! * **anonymous** (quantity pools): the sum of quantities required by all
+//!   unexpired promises must not exceed the quantity on hand;
+//! * **named**: at most one unexpired promise per instance, and the
+//!   instance must not be taken;
+//! * **property**: a perfect bipartite matching must exist between promise
+//!   slots and untaken instances (the check §8 says the original prototype
+//!   left unimplemented).
+//!
+//! The named check is folded into the matching machinery (a named slot is
+//! a slot whose only acceptable instance is the named one), which makes
+//! the paper's cross-view exclusion automatic: a seat promised by name is
+//! never double-counted toward an anonymous/economy-class promise on the
+//! same flight.
+//!
+//! Under the tag strategies ([`CheckStrategy::AllocatedTags`] and
+//! [`CheckStrategy::TentativeAllocation`]) the checker also reads/writes
+//! the `_status` field on instance records inside the caller's transaction,
+//! implementing §5's "allocated tags" / "tentative allocation" techniques.
+
+use std::collections::{HashMap, HashSet};
+
+use promises_matching::DynamicMatching;
+use promises_rm::{Record, ResourceManager, RmError, Txn};
+
+use crate::catalog::{status, Catalog};
+use crate::error::RejectReason;
+use crate::ids::{InstanceId, PoolId, PromiseId};
+use crate::predicate::Predicate;
+use crate::promise::{Allocation, PromiseRecord};
+use crate::schema::{CheckStrategy, PoolKind};
+
+/// Failure modes of a check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// A new request cannot be granted.
+    Reject(RejectReason),
+    /// An existing promise can no longer be honoured (post-action check).
+    Violation {
+        /// The promise that would be broken.
+        promise: PromiseId,
+        /// Explanation.
+        detail: String,
+    },
+    /// Underlying storage error (deadlock victims etc.).
+    Rm(RmError),
+}
+
+impl From<RmError> for CheckError {
+    fn from(e: RmError) -> Self {
+        CheckError::Rm(e)
+    }
+}
+
+/// A checking context bound to one transaction.
+pub struct Checker<'a> {
+    /// The resource manager.
+    pub rm: &'a ResourceManager,
+    /// The transaction every read/write goes through.
+    pub txn: &'a Txn,
+    /// Pool schemas.
+    pub catalog: &'a Catalog,
+}
+
+/// One slot to be matched to a distinct instance.
+struct Slot {
+    owner: PromiseId,
+    pred_idx: usize,
+    /// Instances (by position in the scanned instance list) this slot accepts.
+    allowed: Vec<usize>,
+}
+
+type SlotKey = (PromiseId, usize, u32);
+
+impl<'a> Checker<'a> {
+    /// Creates a checker.
+    pub fn new(rm: &'a ResourceManager, txn: &'a Txn, catalog: &'a Catalog) -> Self {
+        Self { rm, txn, catalog }
+    }
+
+    /// Grant-time check of `candidate` against the other live promises in
+    /// `existing`. On success, fills `candidate.allocations` (tag
+    /// strategies), possibly re-arranges existing allocations (tentative
+    /// strategy), writes instance statuses, and returns the ids of
+    /// existing promises whose allocations changed.
+    pub fn grant(
+        &self,
+        existing: &mut [PromiseRecord],
+        candidate: &mut PromiseRecord,
+    ) -> Result<Vec<PromiseId>, CheckError> {
+        let mut changed = Vec::new();
+        for pool in candidate.pools().into_iter().cloned().collect::<Vec<_>>() {
+            let schema = self
+                .catalog
+                .get(&pool)
+                .map_err(|_| CheckError::Reject(RejectReason::UnknownPool(pool.clone())))?;
+            match schema.kind {
+                PoolKind::Quantity => self.check_quantity(&pool, existing, Some(candidate))?,
+                PoolKind::Instances => match schema.strategy {
+                    CheckStrategy::Satisfiability => {
+                        self.match_or_err(&pool, existing, Some(&*candidate), true)
+                            .map_err(|e| self.as_reject(e, &pool, candidate))?;
+                    }
+                    CheckStrategy::AllocatedTags => {
+                        self.grant_tags_strict(&pool, candidate)?;
+                    }
+                    CheckStrategy::TentativeAllocation => {
+                        let assignment = self
+                            .match_or_err(&pool, existing, Some(&*candidate), true)
+                            .map_err(|e| self.as_reject(e, &pool, candidate))?;
+                        changed.extend(self.apply_assignment(
+                            &pool,
+                            existing,
+                            Some(&mut *candidate),
+                            &assignment,
+                        )?);
+                    }
+                },
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Post-action check of all live promises (§8 "Executing Actions").
+    /// Under the tentative strategy, may re-arrange allocations to absorb
+    /// the action's effects; returns ids of promises whose allocations
+    /// changed. Errors with [`CheckError::Violation`] if some promise can
+    /// no longer be honoured.
+    pub fn post_check(&self, live: &mut [PromiseRecord]) -> Result<Vec<PromiseId>, CheckError> {
+        let mut changed = Vec::new();
+        let mut pools: Vec<PoolId> = live
+            .iter()
+            .flat_map(|p| p.pools().into_iter().cloned())
+            .collect();
+        pools.sort();
+        pools.dedup();
+        for pool in pools {
+            let schema = match self.catalog.get(&pool) {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            match schema.kind {
+                PoolKind::Quantity => {
+                    self.check_quantity(&pool, live, None).map_err(|e| {
+                        self.as_violation(e, &pool, live)
+                    })?;
+                }
+                PoolKind::Instances => match schema.strategy {
+                    CheckStrategy::Satisfiability => {
+                        self.match_or_err(&pool, live, None, true)
+                            .map_err(|e| self.as_violation(e, &pool, live))?;
+                    }
+                    CheckStrategy::AllocatedTags => {
+                        self.validate_tags(&pool, live)?;
+                    }
+                    CheckStrategy::TentativeAllocation => {
+                        let assignment = self
+                            .match_or_err(&pool, live, None, true)
+                            .map_err(|e| self.as_violation(e, &pool, live))?;
+                        changed.extend(self.apply_assignment(&pool, live, None, &assignment)?);
+                    }
+                },
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Releases the tag allocations of a promise being released or
+    /// expired: every instance it held that is still `promised` goes back
+    /// to `available`. Instances the releasing action just `took` stay
+    /// taken.
+    pub fn release_tags(&self, rec: &PromiseRecord) -> Result<(), RmError> {
+        for alloc in &rec.allocations {
+            let Some(pred) = rec.predicates.get(alloc.pred_idx) else {
+                continue;
+            };
+            let pool = pred.pool();
+            let table = Catalog::instance_table(pool);
+            let current = self.rm.get(self.txn, &table, &alloc.instance.0)?;
+            if let Some(r) = current {
+                if r.str(Catalog::STATUS) == Some(status::PROMISED) {
+                    self.rm.update(self.txn, &table, &alloc.instance.0, |r| {
+                        r.set(Catalog::STATUS, status::AVAILABLE);
+                    })?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Anonymous view
+    // ------------------------------------------------------------------
+
+    fn check_quantity(
+        &self,
+        pool: &PoolId,
+        existing: &[PromiseRecord],
+        candidate: Option<&PromiseRecord>,
+    ) -> Result<(), CheckError> {
+        let on_hand = self
+            .catalog
+            .quantity(self.rm, self.txn, pool)
+            .map_err(|e| match e {
+                crate::error::PromiseError::Rm(rm) => CheckError::Rm(rm),
+                _ => CheckError::Reject(RejectReason::UnknownPool(pool.clone())),
+            })?;
+        let demand: u64 = existing
+            .iter()
+            .chain(candidate)
+            .flat_map(|p| p.predicates.iter())
+            .filter_map(|pred| match pred {
+                Predicate::QtyAtLeast { pool: p, amount } if p == pool => Some(*amount),
+                _ => None,
+            })
+            .sum();
+        if demand <= on_hand {
+            Ok(())
+        } else {
+            Err(CheckError::Reject(RejectReason::InsufficientQuantity {
+                pool: pool.clone(),
+                on_hand,
+                demanded: demand,
+            }))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Instance pools: matching machinery
+    // ------------------------------------------------------------------
+
+    /// Scans the pool and computes a full slot assignment for every
+    /// promise in `existing` (plus `candidate`), or an error naming the
+    /// failure. `include_promised` controls whether `promised`-status
+    /// instances count as matchable (true for strategies that re-arrange).
+    fn match_or_err(
+        &self,
+        pool: &PoolId,
+        existing: &[PromiseRecord],
+        candidate: Option<&PromiseRecord>,
+        include_promised: bool,
+    ) -> Result<HashMap<SlotKey, InstanceId>, CheckError> {
+        let instances = self.scan_pool(pool)?;
+        let matchable: Vec<bool> = instances
+            .iter()
+            .map(|(_, rec)| match rec.str(Catalog::STATUS) {
+                Some(status::AVAILABLE) => true,
+                Some(status::PROMISED) => include_promised,
+                _ => false,
+            })
+            .collect();
+        let slots = self.build_slots(pool, existing, candidate, &instances, &matchable)?;
+
+        // Order: most-constrained first is a useful heuristic; feasibility
+        // is order-independent thanks to augmenting-path re-arrangement.
+        let mut order: Vec<usize> = (0..slots.len()).collect();
+        order.sort_by_key(|&i| slots[i].allowed.len());
+
+        let mut matching: DynamicMatching<usize, usize> = DynamicMatching::new();
+        for (idx, ok) in matchable.iter().enumerate() {
+            if *ok {
+                matching.add_right(idx);
+            }
+        }
+        for &i in &order {
+            if !matching.try_add_left(i, slots[i].allowed.clone()) {
+                return Err(CheckError::Reject(RejectReason::Unsatisfiable {
+                    pool: pool.clone(),
+                }));
+            }
+        }
+
+        // Expand slots back into per-slot instance assignments.
+        let mut out = HashMap::new();
+        let mut slot_counter: HashMap<(PromiseId, usize), u32> = HashMap::new();
+        for (i, slot) in slots.iter().enumerate() {
+            let inst_idx = *matching.assignment(&i).expect("matched above");
+            let k = slot_counter
+                .entry((slot.owner, slot.pred_idx))
+                .or_insert(0);
+            out.insert(
+                (slot.owner, slot.pred_idx, *k),
+                instances[inst_idx].0.clone(),
+            );
+            *k += 1;
+        }
+        Ok(out)
+    }
+
+    fn scan_pool(&self, pool: &PoolId) -> Result<Vec<(InstanceId, Record)>, CheckError> {
+        self.catalog
+            .instances(self.rm, self.txn, pool)
+            .map_err(|e| match e {
+                crate::error::PromiseError::Rm(rm) => CheckError::Rm(rm),
+                _ => CheckError::Reject(RejectReason::UnknownPool(pool.clone())),
+            })
+    }
+
+    /// Expands the predicates of all promises into matchable slots.
+    fn build_slots(
+        &self,
+        pool: &PoolId,
+        existing: &[PromiseRecord],
+        candidate: Option<&PromiseRecord>,
+        instances: &[(InstanceId, Record)],
+        matchable: &[bool],
+    ) -> Result<Vec<Slot>, CheckError> {
+        let schema = self
+            .catalog
+            .get(pool)
+            .map_err(|_| CheckError::Reject(RejectReason::UnknownPool(pool.clone())))?;
+        let index_of: HashMap<&InstanceId, usize> = instances
+            .iter()
+            .enumerate()
+            .map(|(i, (id, _))| (id, i))
+            .collect();
+        let mut slots = Vec::new();
+        for p in existing.iter().chain(candidate) {
+            for (pred_idx, pred) in p.predicates.iter().enumerate() {
+                match pred {
+                    Predicate::Named { pool: pp, instance } if pp == pool => {
+                        let allowed = match index_of.get(instance) {
+                            Some(&i) if matchable[i] => vec![i],
+                            _ => Vec::new(),
+                        };
+                        slots.push(Slot {
+                            owner: p.id,
+                            pred_idx,
+                            allowed,
+                        });
+                    }
+                    Predicate::Property {
+                        pool: pp,
+                        expr,
+                        count,
+                    } if pp == pool => {
+                        let allowed: Vec<usize> = instances
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, (_, rec))| matchable[*i] && expr.eval(rec, schema))
+                            .map(|(i, _)| i)
+                            .collect();
+                        for _ in 0..*count {
+                            slots.push(Slot {
+                                owner: p.id,
+                                pred_idx,
+                                allowed: allowed.clone(),
+                            });
+                        }
+                    }
+                    // An anonymous quantity bound over an *instance* pool
+                    // desugars to `count` unconstrained slots.
+                    Predicate::QtyAtLeast { pool: pp, amount } if pp == pool => {
+                        let allowed: Vec<usize> = (0..instances.len())
+                            .filter(|i| matchable[*i])
+                            .collect();
+                        for _ in 0..*amount {
+                            slots.push(Slot {
+                                owner: p.id,
+                                pred_idx,
+                                allowed: allowed.clone(),
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(slots)
+    }
+
+    /// Writes statuses and allocation lists so they agree with
+    /// `assignment`. Returns ids of *existing* promises whose allocations
+    /// changed (the candidate's allocations are always filled in place).
+    fn apply_assignment(
+        &self,
+        pool: &PoolId,
+        existing: &mut [PromiseRecord],
+        candidate: Option<&mut PromiseRecord>,
+        assignment: &HashMap<SlotKey, InstanceId>,
+    ) -> Result<Vec<PromiseId>, CheckError> {
+        let table = Catalog::instance_table(pool);
+        // Previous PROMISED set for this pool.
+        let before: HashSet<InstanceId> = self
+            .scan_pool(pool)?
+            .into_iter()
+            .filter(|(_, r)| r.str(Catalog::STATUS) == Some(status::PROMISED))
+            .map(|(id, _)| id)
+            .collect();
+        let after: HashSet<InstanceId> = assignment.values().cloned().collect();
+
+        for id in after.difference(&before) {
+            self.rm.update(self.txn, &table, &id.0, |r| {
+                r.set(Catalog::STATUS, status::PROMISED);
+            })?;
+        }
+        for id in before.difference(&after) {
+            self.rm.update(self.txn, &table, &id.0, |r| {
+                r.set(Catalog::STATUS, status::AVAILABLE);
+            })?;
+        }
+
+        let mut changed = Vec::new();
+        let rebuild = |p: &mut PromiseRecord| {
+            let mut new_allocs: Vec<Allocation> = p
+                .allocations
+                .iter()
+                .filter(|a| p.predicates.get(a.pred_idx).map(Predicate::pool) != Some(pool))
+                .cloned()
+                .collect();
+            for ((owner, pred_idx, _k), inst) in assignment {
+                if *owner == p.id {
+                    new_allocs.push(Allocation {
+                        pred_idx: *pred_idx,
+                        instance: inst.clone(),
+                    });
+                }
+            }
+            new_allocs.sort_by(|a, b| {
+                (a.pred_idx, &a.instance).cmp(&(b.pred_idx, &b.instance))
+            });
+            if new_allocs != p.allocations {
+                p.allocations = new_allocs;
+                true
+            } else {
+                false
+            }
+        };
+        for p in existing.iter_mut() {
+            if rebuild(p) {
+                changed.push(p.id);
+            }
+        }
+        if let Some(c) = candidate {
+            rebuild(c);
+        }
+        Ok(changed)
+    }
+
+    /// Strict allocated-tags grant: pick free instances for the candidate
+    /// without disturbing existing allocations.
+    fn grant_tags_strict(
+        &self,
+        pool: &PoolId,
+        candidate: &mut PromiseRecord,
+    ) -> Result<(), CheckError> {
+        let schema = self
+            .catalog
+            .get(pool)
+            .map_err(|_| CheckError::Reject(RejectReason::UnknownPool(pool.clone())))?;
+        let instances = self.scan_pool(pool)?;
+        let mut free: Vec<(InstanceId, Record)> = instances
+            .into_iter()
+            .filter(|(_, r)| r.str(Catalog::STATUS) == Some(status::AVAILABLE))
+            .collect();
+        let table = Catalog::instance_table(pool);
+        let mut picks: Vec<Allocation> = Vec::new();
+
+        for (pred_idx, pred) in candidate.predicates.iter().enumerate() {
+            match pred {
+                Predicate::Named { pool: pp, instance } if pp == pool => {
+                    let pos = free.iter().position(|(id, _)| id == instance);
+                    match pos {
+                        Some(i) => {
+                            let (id, _) = free.remove(i);
+                            picks.push(Allocation {
+                                pred_idx,
+                                instance: id,
+                            });
+                        }
+                        None => {
+                            return Err(CheckError::Reject(
+                                RejectReason::InstanceUnavailable {
+                                    pool: pool.clone(),
+                                    instance: instance.clone(),
+                                },
+                            ))
+                        }
+                    }
+                }
+                Predicate::Property {
+                    pool: pp,
+                    expr,
+                    count,
+                } if pp == pool => {
+                    for _ in 0..*count {
+                        let pos = free.iter().position(|(_, r)| expr.eval(r, schema));
+                        match pos {
+                            Some(i) => {
+                                let (id, _) = free.remove(i);
+                                picks.push(Allocation {
+                                    pred_idx,
+                                    instance: id,
+                                });
+                            }
+                            None => {
+                                return Err(CheckError::Reject(RejectReason::Unsatisfiable {
+                                    pool: pool.clone(),
+                                }))
+                            }
+                        }
+                    }
+                }
+                Predicate::QtyAtLeast { pool: pp, amount } if pp == pool => {
+                    for _ in 0..*amount {
+                        if free.is_empty() {
+                            return Err(CheckError::Reject(RejectReason::Unsatisfiable {
+                                pool: pool.clone(),
+                            }));
+                        }
+                        let (id, _) = free.remove(0);
+                        picks.push(Allocation {
+                            pred_idx,
+                            instance: id,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        for a in &picks {
+            self.rm.update(self.txn, &table, &a.instance.0, |r| {
+                r.set(Catalog::STATUS, status::PROMISED);
+            })?;
+        }
+        candidate.allocations.extend(picks);
+        Ok(())
+    }
+
+    /// Strict allocated-tags post-check: every stored allocation must
+    /// still exist, be tagged `promised`, and satisfy its predicate.
+    fn validate_tags(&self, pool: &PoolId, live: &[PromiseRecord]) -> Result<(), CheckError> {
+        let schema = self
+            .catalog
+            .get(pool)
+            .map_err(|_| CheckError::Reject(RejectReason::UnknownPool(pool.clone())))?;
+        let table = Catalog::instance_table(pool);
+        for p in live {
+            for a in &p.allocations {
+                let Some(pred) = p.predicates.get(a.pred_idx) else {
+                    continue;
+                };
+                if pred.pool() != pool {
+                    continue;
+                }
+                let rec = self.rm.get(self.txn, &table, &a.instance.0)?;
+                let ok = match &rec {
+                    None => false,
+                    Some(r) => {
+                        r.str(Catalog::STATUS) == Some(status::PROMISED)
+                            && match pred {
+                                Predicate::Property { expr, .. } => expr.eval(r, schema),
+                                _ => true,
+                            }
+                    }
+                };
+                if !ok {
+                    return Err(CheckError::Violation {
+                        promise: p.id,
+                        detail: format!(
+                            "allocated instance {} in pool {pool} no longer satisfies {pred}",
+                            a.instance
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Error shaping
+    // ------------------------------------------------------------------
+
+    /// At grant time failures blame the candidate; refine named conflicts.
+    fn as_reject(
+        &self,
+        e: CheckError,
+        pool: &PoolId,
+        candidate: &PromiseRecord,
+    ) -> CheckError {
+        if let CheckError::Reject(RejectReason::Unsatisfiable { .. }) = &e {
+            // If the candidate names a specific instance, report that.
+            for pred in &candidate.predicates {
+                if let Predicate::Named { pool: pp, instance } = pred {
+                    if pp == pool {
+                        return CheckError::Reject(RejectReason::InstanceUnavailable {
+                            pool: pool.clone(),
+                            instance: instance.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        e
+    }
+
+    /// After an action, failures are violations of some live promise.
+    fn as_violation(&self, e: CheckError, pool: &PoolId, live: &[PromiseRecord]) -> CheckError {
+        match e {
+            CheckError::Reject(reason) => {
+                let victim = live
+                    .iter()
+                    .find(|p| p.pools().contains(&pool))
+                    .map(|p| p.id)
+                    .unwrap_or(PromiseId(0));
+                CheckError::Violation {
+                    promise: victim,
+                    detail: reason.to_string(),
+                }
+            }
+            other => other,
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Time sources for promise durations and expiry.
+//!
+//! Promises "do not last forever" (paper §2): every promise carries an
+//! expiry instant agreed at grant time. The manager is parameterised over a
+//! [`Clock`] so tests and the simulation harness can drive expiry
+//! deterministically with [`ManualClock`], while production code uses
+//! [`SystemClock`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic millisecond clock.
+pub trait Clock: Send + Sync {
+    /// Milliseconds since an arbitrary (per-clock) epoch.
+    fn now_ms(&self) -> u64;
+}
+
+/// Wall-clock time relative to clock creation.
+#[derive(Debug)]
+pub struct SystemClock {
+    base: Instant,
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SystemClock {
+    /// Creates a clock whose epoch is "now".
+    pub fn new() -> Self {
+        Self {
+            base: Instant::now(),
+        }
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        self.base.elapsed().as_millis() as u64
+    }
+}
+
+/// A manually advanced clock for tests and simulations.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts at the given time.
+    pub fn at(ms: u64) -> Self {
+        Self {
+            now: AtomicU64::new(ms),
+        }
+    }
+
+    /// Advances the clock by `ms` milliseconds.
+    pub fn advance(&self, ms: u64) {
+        self.now.fetch_add(ms, Ordering::SeqCst);
+    }
+
+    /// Sets the absolute time. Panics if this would move time backwards.
+    pub fn set(&self, ms: u64) {
+        let prev = self.now.swap(ms, Ordering::SeqCst);
+        assert!(prev <= ms, "ManualClock must not move backwards");
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_advances() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ms(), 0);
+        c.advance(100);
+        assert_eq!(c.now_ms(), 100);
+        c.set(250);
+        assert_eq!(c.now_ms(), 250);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn manual_clock_rejects_time_travel() {
+        let c = ManualClock::at(100);
+        c.set(50);
+    }
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now_ms();
+        let b = c.now_ms();
+        assert!(b >= a);
+    }
+}

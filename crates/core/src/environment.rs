@@ -1,0 +1,88 @@
+//! Promise environments: which promises protect an action (paper §6).
+//!
+//! "Application requests can specify that they must be executed within a
+//! specific promise environment ... by including an `<environment>`
+//! element in the associated message header", listing promise identifiers
+//! and per-promise *release options* that say whether each promise should
+//! be released after the request completes — atomically with it (§4).
+
+use crate::ids::PromiseId;
+
+/// Whether a promise is released together with the action it protects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseOption {
+    /// Keep the promise after the action succeeds.
+    Keep,
+    /// Release the promise if — and only if — the action succeeds. If the
+    /// action fails (or is rolled back for violating other promises), the
+    /// promise remains in force (§4: "if the purchase fails ... then the
+    /// promise should remain in force").
+    ReleaseAfter,
+}
+
+/// The promise environment an action executes under.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Environment {
+    entries: Vec<(PromiseId, ReleaseOption)>,
+}
+
+impl Environment {
+    /// An empty environment: the action runs with no promise protection
+    /// (allowed by the paper — such actions are still violation-checked).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builder: run under `id`, keeping it afterwards.
+    pub fn under(mut self, id: PromiseId) -> Self {
+        self.entries.push((id, ReleaseOption::Keep));
+        self
+    }
+
+    /// Builder: run under `id` and release it atomically with success.
+    pub fn releasing(mut self, id: PromiseId) -> Self {
+        self.entries.push((id, ReleaseOption::ReleaseAfter));
+        self
+    }
+
+    /// All `(promise, option)` entries.
+    pub fn entries(&self) -> &[(PromiseId, ReleaseOption)] {
+        &self.entries
+    }
+
+    /// Promise ids scheduled for release on success.
+    pub fn releases(&self) -> Vec<PromiseId> {
+        self.entries
+            .iter()
+            .filter(|(_, opt)| *opt == ReleaseOption::ReleaseAfter)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// All referenced promise ids.
+    pub fn promise_ids(&self) -> Vec<PromiseId> {
+        self.entries.iter().map(|(id, _)| *id).collect()
+    }
+
+    /// True if no promises are referenced.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let env = Environment::none()
+            .under(PromiseId(1))
+            .releasing(PromiseId(2))
+            .under(PromiseId(3));
+        assert_eq!(env.promise_ids(), vec![PromiseId(1), PromiseId(2), PromiseId(3)]);
+        assert_eq!(env.releases(), vec![PromiseId(2)]);
+        assert!(!env.is_empty());
+        assert!(Environment::none().is_empty());
+    }
+}

@@ -1,0 +1,897 @@
+//! The Promise Manager (paper §2, §8).
+//!
+//! "A promise manager sits between clients and application services and
+//! implements Promise functionality on behalf of a number of services and
+//! resource managers. The job of a promise manager is to work with
+//! application services and resource managers to grant or deny promise
+//! requests, check on resource availability and ensure that promises are
+//! not violated."
+//!
+//! # Concurrency design (following §8)
+//!
+//! Every promise operation — grant, release, modify, expiry pruning, and
+//! the post-action check of [`PromiseManager::execute`] — runs inside one
+//! short local RM transaction and acquires an exclusive transactional lock
+//! on a single synchronisation point (`promise-ops`). This reproduces the
+//! prototype's design: "The solution we adopted here was to wrap each
+//! promise operation in a transaction... This transaction covers all of
+//! the action code executed inside the application as well as the
+//! subsequent promise checking code (including modifications to the
+//! promise table)."
+//!
+//! Because the synchronisation point is an RM lock, a cycle between a
+//! promise check and an in-flight application action is visible to the
+//! RM's wait-for graph and broken by victimising one transaction; the
+//! manager transparently retries deadlock victims a bounded number of
+//! times. The promise layer itself **never blocks a client on promise
+//! availability**: unfulfillable requests are rejected immediately (§9),
+//! which is why the promise layer introduces no deadlocks of its own.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use promises_rm::{Record, ResourceManager, RmError, Txn};
+
+use crate::catalog::Catalog;
+use crate::check::{CheckError, Checker};
+use crate::clock::Clock;
+use crate::environment::Environment;
+use crate::error::{ActionError, PromiseError, RejectReason};
+use crate::ids::{ClientId, InstanceId, PoolId, PromiseId, RequestId};
+use crate::predicate::Predicate;
+use crate::promise::{PromiseRecord, PromiseTable};
+use crate::schema::PoolSchema;
+
+/// RM synchronisation point serialising promise operations.
+const PM_OPS: &str = "promise-ops";
+
+/// Upstream promise references held by a delegated promise.
+type UpstreamRefs = Vec<(Arc<PromiseManager>, PromiseId)>;
+
+/// A promise request as specified in §6: identifier, predicates,
+/// duration, and optionally existing promises handed back in exchange.
+#[derive(Debug, Clone)]
+pub struct PromiseRequestSpec {
+    /// Client-chosen correlation identifier.
+    pub request: RequestId,
+    /// The requesting client.
+    pub client: ClientId,
+    /// Predicates to be maintained — granted atomically or not at all (§4).
+    pub predicates: Vec<Predicate>,
+    /// Requested duration; the manager "might offer a guarantee that
+    /// expires sooner than the client wished" (§6).
+    pub duration_ms: u64,
+    /// Existing promises released atomically iff this request is granted
+    /// (§4 "Modify the predicate whose preservation is promised").
+    pub exchange: Vec<PromiseId>,
+}
+
+impl PromiseRequestSpec {
+    /// Starts a spec with defaults (1 hour duration, no exchange).
+    pub fn new(request: impl Into<RequestId>, client: impl Into<ClientId>) -> Self {
+        Self {
+            request: request.into(),
+            client: client.into(),
+            predicates: Vec::new(),
+            duration_ms: 3_600_000,
+            exchange: Vec::new(),
+        }
+    }
+
+    /// Adds a predicate.
+    pub fn predicate(mut self, p: Predicate) -> Self {
+        self.predicates.push(p);
+        self
+    }
+
+    /// Sets the requested duration.
+    pub fn duration_ms(mut self, ms: u64) -> Self {
+        self.duration_ms = ms;
+        self
+    }
+
+    /// Hands back an existing promise in exchange.
+    pub fn exchanging(mut self, id: PromiseId) -> Self {
+        self.exchange.push(id);
+        self
+    }
+}
+
+/// Outcome of a promise request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PromiseDecision {
+    /// Granted: the predicates will hold until release or expiry.
+    Granted {
+        /// The new promise's identifier.
+        promise: PromiseId,
+        /// Expiry on the manager's clock (may be sooner than requested).
+        expires_at: u64,
+    },
+    /// Rejected immediately (never blocks).
+    Rejected {
+        /// Why.
+        reason: RejectReason,
+    },
+}
+
+impl PromiseDecision {
+    /// The granted promise id, if granted.
+    pub fn granted_id(&self) -> Option<PromiseId> {
+        match self {
+            PromiseDecision::Granted { promise, .. } => Some(*promise),
+            PromiseDecision::Rejected { .. } => None,
+        }
+    }
+
+    /// True if granted.
+    pub fn is_granted(&self) -> bool {
+        matches!(self, PromiseDecision::Granted { .. })
+    }
+}
+
+/// The §6 promise response: decision plus correlation identifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromiseResponse {
+    /// Echo of the request identifier.
+    pub correlation: RequestId,
+    /// Grant or rejection.
+    pub decision: PromiseDecision,
+}
+
+#[derive(Debug, Default)]
+struct PmMetrics {
+    granted: AtomicU64,
+    rejected: AtomicU64,
+    released: AtomicU64,
+    expired_reaped: AtomicU64,
+    executions: AtomicU64,
+    action_failures: AtomicU64,
+    violations_rolled_back: AtomicU64,
+    expired_errors: AtomicU64,
+    deadlock_retries: AtomicU64,
+}
+
+/// Snapshot of manager counters for experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PmMetricsSnapshot {
+    /// Promise requests granted.
+    pub granted: u64,
+    /// Promise requests rejected.
+    pub rejected: u64,
+    /// Promises explicitly released.
+    pub released: u64,
+    /// Promises reaped by expiry.
+    pub expired_reaped: u64,
+    /// Actions executed and committed.
+    pub executions: u64,
+    /// Actions that failed at the application level.
+    pub action_failures: u64,
+    /// Actions rolled back for violating an unreleased promise.
+    pub violations_rolled_back: u64,
+    /// Operations refused because a promise had expired.
+    pub expired_errors: u64,
+    /// Internal deadlock-victim retries.
+    pub deadlock_retries: u64,
+}
+
+/// The promise manager.
+pub struct PromiseManager {
+    rm: Arc<ResourceManager>,
+    catalog: RwLock<Catalog>,
+    table: Mutex<PromiseTable>,
+    clock: Arc<dyn Clock>,
+    max_duration_ms: u64,
+    retry_limit: usize,
+    upstreams: RwLock<HashMap<PoolId, Arc<PromiseManager>>>,
+    delegations: Mutex<HashMap<PromiseId, UpstreamRefs>>,
+    /// Ids of promises reaped by expiry, kept so operations under them can
+    /// be answered with the paper's distinct "promise-expired" error (§2)
+    /// instead of "unknown promise".
+    expired_tombstones: Mutex<HashSet<PromiseId>>,
+    metrics: PmMetrics,
+}
+
+impl PromiseManager {
+    /// Creates a manager over `rm` with the given clock.
+    pub fn new(rm: Arc<ResourceManager>, clock: Arc<dyn Clock>) -> Self {
+        Self {
+            rm,
+            catalog: RwLock::new(Catalog::new()),
+            table: Mutex::new(PromiseTable::new()),
+            clock,
+            max_duration_ms: u64::MAX,
+            retry_limit: 64,
+            upstreams: RwLock::new(HashMap::new()),
+            delegations: Mutex::new(HashMap::new()),
+            expired_tombstones: Mutex::new(HashSet::new()),
+            metrics: PmMetrics::default(),
+        }
+    }
+
+    /// Caps every granted duration at `ms` (§6: the manager may "offer a
+    /// guarantee that expires sooner than the client wished").
+    pub fn with_max_duration_ms(mut self, ms: u64) -> Self {
+        self.max_duration_ms = ms;
+        self
+    }
+
+    /// The underlying resource manager.
+    pub fn rm(&self) -> &Arc<ResourceManager> {
+        &self.rm
+    }
+
+    /// The manager's clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Registers a pool schema (creates its backing tables).
+    pub fn register_pool(&self, schema: PoolSchema) {
+        self.catalog.write().register(&self.rm, schema);
+    }
+
+    /// Routes promise requests for `pool` to an upstream manager — the
+    /// §5 *delegation* technique ("promises are made that rely on the
+    /// promises of third parties").
+    pub fn delegate_pool(&self, pool: impl Into<PoolId>, upstream: Arc<PromiseManager>) {
+        self.upstreams.write().insert(pool.into(), upstream);
+    }
+
+    /// Sets the quantity on hand of a quantity pool (setup/admin).
+    pub fn seed_quantity(&self, pool: impl Into<PoolId>, qty: u64) -> Result<(), PromiseError> {
+        let pool = pool.into();
+        let catalog = self.catalog.read();
+        let txn = self.rm.begin();
+        match catalog.set_quantity(&self.rm, &txn, &pool, qty) {
+            Ok(()) => {
+                self.rm.commit(txn)?;
+                Ok(())
+            }
+            Err(e) => {
+                self.rm.abort(txn);
+                Err(e)
+            }
+        }
+    }
+
+    /// Adds an available instance to an instance pool (setup/admin).
+    pub fn seed_instance(
+        &self,
+        pool: impl Into<PoolId>,
+        id: impl Into<InstanceId>,
+        properties: Record,
+    ) -> Result<(), PromiseError> {
+        let pool = pool.into();
+        let id = id.into();
+        let catalog = self.catalog.read();
+        let txn = self.rm.begin();
+        match catalog.add_instance(&self.rm, &txn, &pool, &id, properties) {
+            Ok(()) => {
+                self.rm.commit(txn)?;
+                Ok(())
+            }
+            Err(e) => {
+                self.rm.abort(txn);
+                Err(e)
+            }
+        }
+    }
+
+    // ==================================================================
+    // Promise operations
+    // ==================================================================
+
+    /// Requests a promise (§6 `<promise-request>`). All predicates are
+    /// granted atomically or the whole request is rejected; promises in
+    /// `spec.exchange` are released atomically iff the grant succeeds.
+    /// Predicates on pools registered with
+    /// [`PromiseManager::delegate_pool`] are backed by promises obtained
+    /// from the upstream manager, released again if the overall request
+    /// cannot be granted.
+    pub fn request(&self, spec: PromiseRequestSpec) -> Result<PromiseResponse, PromiseError> {
+        self.prune_expired()?;
+
+        // Split predicates between local pools and delegated pools.
+        let upstream_map = self.upstreams.read().clone();
+        let mut local = Vec::new();
+        let mut remote: HashMap<PoolId, Vec<Predicate>> = HashMap::new();
+        for p in &spec.predicates {
+            match upstream_map.get(p.pool()) {
+                Some(_) => remote.entry(p.pool().clone()).or_default().push(p.clone()),
+                None => local.push(p.clone()),
+            }
+        }
+
+        // Acquire upstream promises first (delegation); compensate on any
+        // later failure so the whole request stays atomic to the caller.
+        let mut upstream_refs: UpstreamRefs = Vec::new();
+        let mut upstream_duration = u64::MAX;
+        let mut remote_pools: Vec<_> = remote.into_iter().collect();
+        remote_pools.sort_by(|a, b| a.0.cmp(&b.0));
+        for (pool, preds) in remote_pools {
+            let upstream = upstream_map.get(&pool).expect("partitioned above");
+            let mut up_spec = PromiseRequestSpec::new(
+                RequestId(format!("{}::delegated::{pool}", spec.request)),
+                spec.client.clone(),
+            )
+            .duration_ms(spec.duration_ms);
+            up_spec.predicates = preds;
+            match upstream.request(up_spec) {
+                Ok(resp) => match resp.decision {
+                    PromiseDecision::Granted { promise, expires_at } => {
+                        // Upstream clocks are independent; bound our own
+                        // expiry by the *duration* the upstream granted.
+                        let up_dur = expires_at.saturating_sub(upstream.clock.now_ms());
+                        upstream_duration = upstream_duration.min(up_dur);
+                        upstream_refs.push((Arc::clone(upstream), promise));
+                    }
+                    PromiseDecision::Rejected { .. } => {
+                        self.release_refs(&upstream_refs);
+                        self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                        return Ok(PromiseResponse {
+                            correlation: spec.request,
+                            decision: PromiseDecision::Rejected {
+                                reason: RejectReason::UpstreamRejected { pool },
+                            },
+                        });
+                    }
+                },
+                Err(e) => {
+                    self.release_refs(&upstream_refs);
+                    return Err(e);
+                }
+            }
+        }
+
+        let effective_duration = spec.duration_ms.min(upstream_duration);
+        let result = self.with_retries(|| {
+            self.try_grant_local(&spec, local.clone(), effective_duration)
+        });
+        match &result {
+            Ok(resp) => match &resp.decision {
+                PromiseDecision::Granted { promise, .. } => {
+                    self.metrics.granted.fetch_add(1, Ordering::Relaxed);
+                    if !upstream_refs.is_empty() {
+                        self.delegations
+                            .lock()
+                            .insert(*promise, std::mem::take(&mut upstream_refs));
+                    }
+                }
+                PromiseDecision::Rejected { .. } => {
+                    self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                    self.release_refs(&upstream_refs);
+                }
+            },
+            Err(_) => self.release_refs(&upstream_refs),
+        }
+        result
+    }
+
+    /// Releases a promise (§6 promise release). Cascades to delegated
+    /// upstream promises.
+    pub fn release(&self, id: PromiseId) -> Result<(), PromiseError> {
+        self.with_retries(|| self.try_release(id))?;
+        self.cascade_release(id);
+        self.metrics.released.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Atomically upgrades or weakens existing promises: grants `spec`'s
+    /// predicates and releases `old` iff the grant succeeds; otherwise the
+    /// old promises are retained unchanged (§4). Sugar over
+    /// [`PromiseManager::request`] with `exchange`.
+    pub fn modify(
+        &self,
+        old: &[PromiseId],
+        mut spec: PromiseRequestSpec,
+    ) -> Result<PromiseResponse, PromiseError> {
+        spec.exchange.extend_from_slice(old);
+        self.request(spec)
+    }
+
+    /// Executes an application action inside one ACID transaction, then
+    /// re-checks every live promise; if the action's state changes would
+    /// violate a promise it is not releasing, the whole action is rolled
+    /// back (§8 "Executing Actions"). Promises listed in `env` with
+    /// [`crate::ReleaseOption::ReleaseAfter`] are released atomically with
+    /// a successful action (§4's release+action atomic unit).
+    ///
+    /// The closure may be re-run if its transaction is chosen as a
+    /// deadlock victim; all its effects are transactional, so retries are
+    /// invisible to the application.
+    pub fn execute<R>(
+        &self,
+        env: &Environment,
+        mut action: impl FnMut(&ResourceManager, &Txn) -> Result<R, ActionError>,
+    ) -> Result<R, PromiseError> {
+        self.prune_expired()?;
+        let out = self.with_retries(|| self.try_execute(env, &mut action, false))?;
+        for id in env.releases() {
+            self.cascade_release(id);
+        }
+        self.metrics.executions.fetch_add(1, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// Like [`PromiseManager::execute`], but additionally *enforces*
+    /// promise scoping (§2): the action may only modify promise-protected
+    /// pools that its environment's promises actually cover. Writes to
+    /// tables that are not pool-backed (order logs etc.) are always
+    /// allowed. A write outside the scope rolls the action back with
+    /// [`PromiseError::ScopeViolation`].
+    pub fn execute_scoped<R>(
+        &self,
+        env: &Environment,
+        mut action: impl FnMut(&ResourceManager, &Txn) -> Result<R, crate::error::ActionError>,
+    ) -> Result<R, PromiseError> {
+        self.prune_expired()?;
+        let out = self.with_retries(|| self.try_execute(env, &mut action, true))?;
+        for id in env.releases() {
+            self.cascade_release(id);
+        }
+        self.metrics.executions.fetch_add(1, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// Reaps expired promises, freeing their tag allocations. Called
+    /// lazily by every operation; callable explicitly (e.g. on a timer).
+    /// Returns the number reaped.
+    pub fn prune_expired(&self) -> Result<usize, PromiseError> {
+        let reaped = self.with_retries(|| self.try_prune())?;
+        {
+            let mut tombs = self.expired_tombstones.lock();
+            for rec in &reaped {
+                tombs.insert(rec.id);
+            }
+        }
+        for rec in &reaped {
+            self.cascade_release(rec.id);
+        }
+        self.metrics
+            .expired_reaped
+            .fetch_add(reaped.len() as u64, Ordering::Relaxed);
+        Ok(reaped.len())
+    }
+
+    // ==================================================================
+    // Introspection
+    // ==================================================================
+
+    /// Number of promises currently in the table.
+    pub fn live_count(&self) -> usize {
+        self.table.lock().len()
+    }
+
+    /// A copy of a promise's record, if present.
+    pub fn promise(&self, id: PromiseId) -> Option<PromiseRecord> {
+        self.table.lock().get(id).cloned()
+    }
+
+    /// Counter snapshot.
+    pub fn metrics(&self) -> PmMetricsSnapshot {
+        let m = &self.metrics;
+        PmMetricsSnapshot {
+            granted: m.granted.load(Ordering::Relaxed),
+            rejected: m.rejected.load(Ordering::Relaxed),
+            released: m.released.load(Ordering::Relaxed),
+            expired_reaped: m.expired_reaped.load(Ordering::Relaxed),
+            executions: m.executions.load(Ordering::Relaxed),
+            action_failures: m.action_failures.load(Ordering::Relaxed),
+            violations_rolled_back: m.violations_rolled_back.load(Ordering::Relaxed),
+            expired_errors: m.expired_errors.load(Ordering::Relaxed),
+            deadlock_retries: m.deadlock_retries.load(Ordering::Relaxed),
+        }
+    }
+
+    // ==================================================================
+    // Internals
+    // ==================================================================
+
+    fn with_retries<R>(
+        &self,
+        mut body: impl FnMut() -> Result<R, PromiseError>,
+    ) -> Result<R, PromiseError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match body() {
+                Err(PromiseError::Rm(RmError::Deadlock { .. }))
+                    if (attempt as usize) < self.retry_limit =>
+                {
+                    attempt += 1;
+                    self.metrics.deadlock_retries.fetch_add(1, Ordering::Relaxed);
+                    // Short bounded backoff breaks retry lockstep between
+                    // symmetric victims (exponential, capped at ~3ms).
+                    let exp = attempt.min(5);
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        100u64 << exp,
+                    ));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn try_grant_local(
+        &self,
+        spec: &PromiseRequestSpec,
+        local_predicates: Vec<Predicate>,
+        duration_ms: u64,
+    ) -> Result<PromiseResponse, PromiseError> {
+        let txn = self.rm.begin();
+        if let Err(e) = self.rm.lock_exclusive(&txn, PM_OPS) {
+            self.rm.abort(txn);
+            return Err(e.into());
+        }
+        let now = self.clock.now_ms();
+
+        // Validate and capture exchanged promises.
+        let mut exchanged: Vec<PromiseRecord> = Vec::new();
+        {
+            let tbl = self.table.lock();
+            for ex in &spec.exchange {
+                match tbl.get(*ex) {
+                    Some(r) if r.is_live(now) => exchanged.push(r.clone()),
+                    _ => {
+                        drop(tbl);
+                        self.rm.abort(txn);
+                        return Ok(PromiseResponse {
+                            correlation: spec.request.clone(),
+                            decision: PromiseDecision::Rejected {
+                                reason: RejectReason::UnknownExchange(*ex),
+                            },
+                        });
+                    }
+                }
+            }
+        }
+
+        let (id, mut existing) = {
+            let mut tbl = self.table.lock();
+            (tbl.next_id(), tbl.snapshot(now, &spec.exchange))
+        };
+        let mut candidate = PromiseRecord {
+            id,
+            client: spec.client.clone(),
+            request: spec.request.clone(),
+            predicates: local_predicates,
+            granted_at: now,
+            expires_at: now.saturating_add(duration_ms.min(self.max_duration_ms)),
+            allocations: Vec::new(),
+        };
+
+        // Free exchanged tag allocations inside the txn: if the grant
+        // fails the txn aborts and the old promises keep their resources
+        // (§4: "the previous one should be retained").
+        let catalog = self.catalog.read();
+        let grant_result = {
+            let checker = Checker::new(&self.rm, &txn, &catalog);
+            let mut r = Ok(Vec::new());
+            for rec in &exchanged {
+                if let Err(e) = checker.release_tags(rec) {
+                    r = Err(CheckError::Rm(e));
+                    break;
+                }
+            }
+            if r.is_ok() {
+                r = checker.grant(&mut existing, &mut candidate);
+            }
+            r
+        };
+        drop(catalog);
+
+        match grant_result {
+            Ok(changed) => {
+                let expires_at = candidate.expires_at;
+                {
+                    let mut tbl = self.table.lock();
+                    for ex in &spec.exchange {
+                        tbl.remove(*ex);
+                    }
+                    for cid in changed {
+                        if let Some(new_rec) = existing.iter().find(|p| p.id == cid) {
+                            if let Some(slot) = tbl.get_mut(cid) {
+                                slot.allocations = new_rec.allocations.clone();
+                            }
+                        }
+                    }
+                    tbl.insert(candidate);
+                }
+                self.rm
+                    .commit(txn)
+                    .expect("grant commit cannot fail after lock acquisition");
+                for ex in &spec.exchange {
+                    self.cascade_release(*ex);
+                }
+                Ok(PromiseResponse {
+                    correlation: spec.request.clone(),
+                    decision: PromiseDecision::Granted {
+                        promise: id,
+                        expires_at,
+                    },
+                })
+            }
+            Err(CheckError::Reject(reason)) => {
+                self.rm.abort(txn);
+                Ok(PromiseResponse {
+                    correlation: spec.request.clone(),
+                    decision: PromiseDecision::Rejected { reason },
+                })
+            }
+            Err(CheckError::Rm(e)) => {
+                self.rm.abort(txn);
+                Err(e.into())
+            }
+            Err(CheckError::Violation { promise, detail }) => {
+                self.rm.abort(txn);
+                Err(PromiseError::ViolationRolledBack {
+                    violated: promise,
+                    detail,
+                })
+            }
+        }
+    }
+
+    fn try_release(&self, id: PromiseId) -> Result<(), PromiseError> {
+        let txn = self.rm.begin();
+        if let Err(e) = self.rm.lock_exclusive(&txn, PM_OPS) {
+            self.rm.abort(txn);
+            return Err(e.into());
+        }
+        let rec = match self.table.lock().get(id) {
+            Some(r) => r.clone(),
+            None => {
+                self.rm.abort(txn);
+                return Err(PromiseError::UnknownPromise(id));
+            }
+        };
+        let catalog = self.catalog.read();
+        let release_result = Checker::new(&self.rm, &txn, &catalog).release_tags(&rec);
+        drop(catalog);
+        if let Err(e) = release_result {
+            self.rm.abort(txn);
+            return Err(e.into());
+        }
+        self.table.lock().remove(id);
+        self.rm
+            .commit(txn)
+            .expect("release commit cannot fail after lock acquisition");
+        Ok(())
+    }
+
+    fn try_prune(&self) -> Result<Vec<PromiseRecord>, PromiseError> {
+        let now = self.clock.now_ms();
+        // Fast path: nothing expired.
+        {
+            let tbl = self.table.lock();
+            if tbl.live_at(now, &[]).count() == tbl.len() {
+                return Ok(Vec::new());
+            }
+        }
+        let txn = self.rm.begin();
+        if let Err(e) = self.rm.lock_exclusive(&txn, PM_OPS) {
+            self.rm.abort(txn);
+            return Err(e.into());
+        }
+        let expired: Vec<PromiseRecord> = self
+            .table
+            .lock()
+            .all()
+            .into_iter()
+            .filter(|p| !p.is_live(now))
+            .collect();
+        if expired.is_empty() {
+            self.rm.abort(txn);
+            return Ok(Vec::new());
+        }
+        let catalog = self.catalog.read();
+        let release_result = {
+            let checker = Checker::new(&self.rm, &txn, &catalog);
+            expired
+                .iter()
+                .try_for_each(|rec| checker.release_tags(rec))
+        };
+        drop(catalog);
+        if let Err(e) = release_result {
+            self.rm.abort(txn);
+            return Err(e.into());
+        }
+        {
+            let mut tbl = self.table.lock();
+            for rec in &expired {
+                tbl.remove(rec.id);
+            }
+        }
+        self.rm
+            .commit(txn)
+            .expect("prune commit cannot fail after lock acquisition");
+        Ok(expired)
+    }
+
+    fn try_execute<R>(
+        &self,
+        env: &Environment,
+        action: &mut impl FnMut(&ResourceManager, &Txn) -> Result<R, ActionError>,
+        enforce_scope: bool,
+    ) -> Result<R, PromiseError> {
+        let txn = self.rm.begin();
+        // Pre-validate the environment (cheap fail-fast; re-checked after
+        // the action because time passes while it runs).
+        if let Err(e) = self.validate_env(env, self.clock.now_ms()) {
+            self.rm.abort(txn);
+            return Err(e);
+        }
+
+        // The application action itself.
+        let out = match action(&self.rm, &txn) {
+            Ok(v) => v,
+            Err(ActionError::App(msg)) => {
+                self.rm.abort(txn);
+                self.metrics.action_failures.fetch_add(1, Ordering::Relaxed);
+                return Err(PromiseError::ActionFailed(msg));
+            }
+            Err(ActionError::Rm(e)) => {
+                // Storage failures (deadlock victims in particular) are not
+                // business failures; bubble them so with_retries re-runs the
+                // whole transactional attempt.
+                self.rm.abort(txn);
+                return Err(PromiseError::Rm(e));
+            }
+        };
+
+        // Promise phase: serialise, re-validate, release tags, post-check.
+        if let Err(e) = self.rm.lock_exclusive(&txn, PM_OPS) {
+            self.rm.abort(txn);
+            return Err(e.into());
+        }
+        let now = self.clock.now_ms();
+        if let Err(e) = self.validate_env(env, now) {
+            self.rm.abort(txn);
+            return Err(e);
+        }
+        if enforce_scope {
+            if let Err(e) = self.check_scope(env, &txn) {
+                self.rm.abort(txn);
+                self.metrics
+                    .violations_rolled_back
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        }
+        let releases = env.releases();
+        let (release_recs, mut live) = {
+            let tbl = self.table.lock();
+            let recs: Vec<PromiseRecord> = releases
+                .iter()
+                .filter_map(|id| tbl.get(*id).cloned())
+                .collect();
+            (recs, tbl.snapshot(now, &releases))
+        };
+        let catalog = self.catalog.read();
+        let check_result = {
+            let checker = Checker::new(&self.rm, &txn, &catalog);
+            let mut r = Ok(Vec::new());
+            for rec in &release_recs {
+                if let Err(e) = checker.release_tags(rec) {
+                    r = Err(CheckError::Rm(e));
+                    break;
+                }
+            }
+            if r.is_ok() {
+                r = checker.post_check(&mut live);
+            }
+            r
+        };
+        drop(catalog);
+
+        match check_result {
+            Ok(changed) => {
+                {
+                    let mut tbl = self.table.lock();
+                    for id in &releases {
+                        tbl.remove(*id);
+                    }
+                    for cid in changed {
+                        if let Some(new_rec) = live.iter().find(|p| p.id == cid) {
+                            if let Some(slot) = tbl.get_mut(cid) {
+                                slot.allocations = new_rec.allocations.clone();
+                            }
+                        }
+                    }
+                }
+                self.rm
+                    .commit(txn)
+                    .expect("execute commit cannot fail after post-check");
+                Ok(out)
+            }
+            Err(CheckError::Violation { promise, detail }) => {
+                self.rm.abort(txn);
+                self.metrics
+                    .violations_rolled_back
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(PromiseError::ViolationRolledBack {
+                    violated: promise,
+                    detail,
+                })
+            }
+            Err(CheckError::Rm(e)) => {
+                self.rm.abort(txn);
+                Err(e.into())
+            }
+            Err(CheckError::Reject(reason)) => {
+                // Post-checks normally surface as violations; a reject here
+                // means a pool vanished mid-flight — treat as violation.
+                self.rm.abort(txn);
+                self.metrics
+                    .violations_rolled_back
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(PromiseError::ViolationRolledBack {
+                    violated: PromiseId(0),
+                    detail: reason.to_string(),
+                })
+            }
+        }
+    }
+
+    /// Scope enforcement: every pool-backed write must be covered by one
+    /// of the environment's promises.
+    fn check_scope(&self, env: &Environment, txn: &Txn) -> Result<(), PromiseError> {
+        let covered: std::collections::HashSet<PoolId> = {
+            let tbl = self.table.lock();
+            env.promise_ids()
+                .into_iter()
+                .filter_map(|id| tbl.get(id).cloned())
+                .flat_map(|rec| rec.pools().into_iter().cloned().collect::<Vec<_>>())
+                .collect()
+        };
+        let catalog = self.catalog.read();
+        for (table, key) in self.rm.write_set(txn)? {
+            let touched: Option<PoolId> = if table == Catalog::QTY_TABLE {
+                Some(PoolId(key))
+            } else {
+                table.strip_prefix("inst:").map(|p| PoolId(p.to_owned()))
+            };
+            if let Some(pool) = touched {
+                // Only enforce pools this manager actually protects.
+                if catalog.contains(&pool) && !covered.contains(&pool) {
+                    return Err(PromiseError::ScopeViolation { pool });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_env(&self, env: &Environment, now: u64) -> Result<(), PromiseError> {
+        let tbl = self.table.lock();
+        for id in env.promise_ids() {
+            match tbl.get(id) {
+                None if self.expired_tombstones.lock().contains(&id) => {
+                    self.metrics.expired_errors.fetch_add(1, Ordering::Relaxed);
+                    return Err(PromiseError::PromiseExpired(id));
+                }
+                None => return Err(PromiseError::UnknownPromise(id)),
+                Some(r) if !r.is_live(now) => {
+                    self.metrics.expired_errors.fetch_add(1, Ordering::Relaxed);
+                    return Err(PromiseError::PromiseExpired(id));
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn release_refs(&self, refs: &[(Arc<PromiseManager>, PromiseId)]) {
+        for (pm, id) in refs {
+            let _ = pm.release(*id);
+        }
+    }
+
+    fn cascade_release(&self, id: PromiseId) {
+        let refs = self.delegations.lock().remove(&id);
+        if let Some(refs) = refs {
+            self.release_refs(&refs);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Promise negotiation over desirable properties (paper §3.3).
+//!
+//! "Users may regard some properties as essential and others as desirable
+//! but not required ... The interplay between essential and desirable
+//! properties when obtaining a promise may be complicated and could lead
+//! to systems where the promise requestor and the promise maker negotiate
+//! to find a promise that is both satisfiable and maximally desirable."
+//!
+//! The negotiation implemented here is the paper's example ladder: start
+//! from the full request; while rejected, weaken it by dropping the least
+//! important [`PropExpr::Desirable`] clause (last in DFS order) and retry;
+//! stop at the first grant or when only essential clauses remain and those
+//! are still rejected.
+
+use crate::error::PromiseError;
+use crate::manager::{PromiseDecision, PromiseManager, PromiseRequestSpec, PromiseResponse};
+use crate::predicate::Predicate;
+
+/// Outcome of a negotiated request.
+#[derive(Debug, Clone)]
+pub struct NegotiatedResponse {
+    /// The final response (granted or the essential-only rejection).
+    pub response: PromiseResponse,
+    /// How many desirable clauses were dropped, per predicate, to reach
+    /// the granted form (all zeros if granted as asked).
+    pub dropped_per_predicate: Vec<usize>,
+    /// The predicates as actually granted (weakened forms).
+    pub granted_predicates: Vec<Predicate>,
+}
+
+impl NegotiatedResponse {
+    /// Total desirable clauses dropped across all predicates.
+    pub fn total_dropped(&self) -> usize {
+        self.dropped_per_predicate.iter().sum()
+    }
+}
+
+impl PromiseManager {
+    /// Requests a promise, negotiating away desirable clauses if the full
+    /// request cannot be granted. Each retry drops one more desirable
+    /// clause (globally, last-first across the predicate list).
+    pub fn request_negotiated(
+        &self,
+        spec: PromiseRequestSpec,
+    ) -> Result<NegotiatedResponse, PromiseError> {
+        let max_drops: usize = spec
+            .predicates
+            .iter()
+            .map(|p| match p {
+                Predicate::Property { expr, .. } => expr.desirable_count(),
+                _ => 0,
+            })
+            .sum();
+
+        for total_drop in 0..=max_drops {
+            let (preds, dropped) = weaken_predicates(&spec.predicates, total_drop);
+            let mut attempt = spec.clone();
+            attempt.predicates = preds.clone();
+            let response = self.request(attempt)?;
+            let is_last = total_drop == max_drops;
+            if matches!(response.decision, PromiseDecision::Granted { .. }) || is_last {
+                return Ok(NegotiatedResponse {
+                    response,
+                    dropped_per_predicate: dropped,
+                    granted_predicates: preds,
+                });
+            }
+        }
+        unreachable!("loop always returns on the final iteration")
+    }
+}
+
+/// Weakens the predicate list by dropping `total_drop` desirable clauses,
+/// taking from the *last* predicate's desirables first. Returns the new
+/// predicates and the per-predicate drop counts.
+fn weaken_predicates(preds: &[Predicate], mut total_drop: usize) -> (Vec<Predicate>, Vec<usize>) {
+    let mut out: Vec<Predicate> = preds.to_vec();
+    let mut dropped = vec![0usize; preds.len()];
+    for i in (0..out.len()).rev() {
+        if total_drop == 0 {
+            break;
+        }
+        if let Predicate::Property { pool, expr, count } = &out[i] {
+            let avail = expr.desirable_count();
+            let take = avail.min(total_drop);
+            if take > 0 {
+                out[i] = Predicate::Property {
+                    pool: pool.clone(),
+                    expr: expr.weakened(take),
+                    count: *count,
+                };
+                dropped[i] = take;
+                total_drop -= take;
+            }
+        }
+    }
+    (out, dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::PropExpr;
+
+    #[test]
+    fn weaken_takes_from_last_predicate_first() {
+        let preds = vec![
+            Predicate::property(
+                "a",
+                PropExpr::all([PropExpr::eq("x", 1i64).desirable()]),
+                1,
+            ),
+            Predicate::property(
+                "b",
+                PropExpr::all([
+                    PropExpr::eq("y", 1i64).desirable(),
+                    PropExpr::eq("z", 1i64).desirable(),
+                ]),
+                1,
+            ),
+        ];
+        let (_, dropped) = weaken_predicates(&preds, 1);
+        assert_eq!(dropped, vec![0, 1]);
+        let (_, dropped) = weaken_predicates(&preds, 2);
+        assert_eq!(dropped, vec![0, 2]);
+        let (_, dropped) = weaken_predicates(&preds, 3);
+        assert_eq!(dropped, vec![1, 2]);
+        let (out, dropped) = weaken_predicates(&preds, 99);
+        assert_eq!(dropped, vec![1, 2]);
+        // Fully weakened predicates have no desirables left.
+        for p in &out {
+            if let Predicate::Property { expr, .. } = p {
+                assert_eq!(expr.desirable_count(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn non_property_predicates_are_untouched() {
+        let preds = vec![Predicate::qty_at_least("w", 5)];
+        let (out, dropped) = weaken_predicates(&preds, 3);
+        assert_eq!(out, preds);
+        assert_eq!(dropped, vec![0]);
+    }
+}

@@ -1,0 +1,255 @@
+//! The promise table: the manager's record of every live promise.
+//!
+//! "The promise manager keeps a record of all non-expired promises and
+//! their predicates in a 'promise table'. Promises are placed in this
+//! table when they are granted and removed when they are released" (§8).
+
+use std::collections::HashMap;
+
+use crate::ids::{ClientId, InstanceId, PoolId, PromiseId, RequestId};
+use crate::predicate::Predicate;
+
+/// One instance tentatively allocated to one predicate slot of a promise
+/// (allocated-tag and tentative-allocation strategies, §5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allocation {
+    /// Index into [`PromiseRecord::predicates`].
+    pub pred_idx: usize,
+    /// The allocated instance.
+    pub instance: InstanceId,
+}
+
+/// One granted, unreleased promise.
+#[derive(Debug, Clone)]
+pub struct PromiseRecord {
+    /// Manager-assigned identifier (§6 "promise identifier").
+    pub id: PromiseId,
+    /// The requesting client.
+    pub client: ClientId,
+    /// Correlates with the original request (§6 "promise correlation").
+    pub request: RequestId,
+    /// The predicates this promise maintains (granted atomically, §4).
+    pub predicates: Vec<Predicate>,
+    /// Grant time (manager clock, ms).
+    pub granted_at: u64,
+    /// Expiry time (manager clock, ms). The manager may grant a shorter
+    /// duration than requested (§6).
+    pub expires_at: u64,
+    /// Instances tentatively allocated to this promise's predicate slots
+    /// (tag strategies only; empty under pure satisfiability checking).
+    pub allocations: Vec<Allocation>,
+}
+
+impl PromiseRecord {
+    /// True if the promise is live (not expired) at `now`.
+    pub fn is_live(&self, now: u64) -> bool {
+        now < self.expires_at
+    }
+
+    /// Instances allocated to this promise in `pool`.
+    pub fn allocated_in(&self, pool: &PoolId) -> Vec<&InstanceId> {
+        self.allocations
+            .iter()
+            .filter(|a| self.predicates.get(a.pred_idx).map(Predicate::pool) == Some(pool))
+            .map(|a| &a.instance)
+            .collect()
+    }
+
+    /// All pools constrained by this promise, deduplicated.
+    pub fn pools(&self) -> Vec<&PoolId> {
+        let mut out: Vec<&PoolId> = self.predicates.iter().map(Predicate::pool).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// In-memory index of live promises. Thread-safety is provided by the
+/// manager (this structure is always accessed under its table mutex).
+#[derive(Debug, Default)]
+pub struct PromiseTable {
+    live: HashMap<PromiseId, PromiseRecord>,
+    next: u64,
+}
+
+impl PromiseTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates the next promise id.
+    pub fn next_id(&mut self) -> PromiseId {
+        self.next += 1;
+        PromiseId(self.next)
+    }
+
+    /// Inserts a granted promise.
+    pub fn insert(&mut self, rec: PromiseRecord) {
+        self.live.insert(rec.id, rec);
+    }
+
+    /// Removes (releases) a promise, returning its record.
+    pub fn remove(&mut self, id: PromiseId) -> Option<PromiseRecord> {
+        self.live.remove(&id)
+    }
+
+    /// Looks up a live-or-expired promise still in the table.
+    pub fn get(&self, id: PromiseId) -> Option<&PromiseRecord> {
+        self.live.get(&id)
+    }
+
+    /// Mutable lookup (used to update allocations after re-arrangement).
+    pub fn get_mut(&mut self, id: PromiseId) -> Option<&mut PromiseRecord> {
+        self.live.get_mut(&id)
+    }
+
+    /// All promises live at `now`, excluding ids in `except`.
+    pub fn live_at<'a>(
+        &'a self,
+        now: u64,
+        except: &'a [PromiseId],
+    ) -> impl Iterator<Item = &'a PromiseRecord> {
+        self.live
+            .values()
+            .filter(move |p| p.is_live(now) && !except.contains(&p.id))
+    }
+
+    /// Removes and returns every promise expired at `now`.
+    pub fn take_expired(&mut self, now: u64) -> Vec<PromiseRecord> {
+        let ids: Vec<PromiseId> = self
+            .live
+            .values()
+            .filter(|p| !p.is_live(now))
+            .map(|p| p.id)
+            .collect();
+        ids.into_iter()
+            .filter_map(|id| self.live.remove(&id))
+            .collect()
+    }
+
+    /// Sum of quantities demanded from `pool` by promises live at `now`,
+    /// excluding ids in `except` (§8's anonymous-resource check input).
+    pub fn qty_demand(&self, pool: &PoolId, now: u64, except: &[PromiseId]) -> u64 {
+        self.live_at(now, except)
+            .flat_map(|p| p.predicates.iter())
+            .filter_map(|pred| match pred {
+                Predicate::QtyAtLeast { pool: p, amount } if p == pool => Some(*amount),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Number of promises currently in the table (live or awaiting prune).
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Snapshot of promises live at `now`, excluding `except`, for
+    /// checking outside the table lock.
+    pub fn snapshot(&self, now: u64, except: &[PromiseId]) -> Vec<PromiseRecord> {
+        self.live_at(now, except).cloned().collect()
+    }
+
+    /// Copies of every promise in the table, live or expired.
+    pub fn all(&self) -> Vec<PromiseRecord> {
+        self.live.values().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::PropExpr;
+
+    fn rec(table: &mut PromiseTable, pool: &str, amount: u64, expires_at: u64) -> PromiseId {
+        let id = table.next_id();
+        table.insert(PromiseRecord {
+            id,
+            client: ClientId::from("c"),
+            request: RequestId::from("r"),
+            predicates: vec![Predicate::qty_at_least(pool, amount)],
+            granted_at: 0,
+            expires_at,
+            allocations: Vec::new(),
+        });
+        id
+    }
+
+    #[test]
+    fn ids_are_monotonic() {
+        let mut t = PromiseTable::new();
+        let a = t.next_id();
+        let b = t.next_id();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn qty_demand_sums_live_only() {
+        let mut t = PromiseTable::new();
+        let p1 = rec(&mut t, "w", 5, 100);
+        let _p2 = rec(&mut t, "w", 3, 100);
+        let _expired = rec(&mut t, "w", 100, 10);
+        let _other_pool = rec(&mut t, "x", 7, 100);
+        assert_eq!(t.qty_demand(&PoolId::from("w"), 50, &[]), 8);
+        assert_eq!(t.qty_demand(&PoolId::from("w"), 50, &[p1]), 3);
+        assert_eq!(t.qty_demand(&PoolId::from("w"), 5, &[]), 108, "not yet expired at t=5");
+    }
+
+    #[test]
+    fn take_expired_removes_only_expired() {
+        let mut t = PromiseTable::new();
+        let live = rec(&mut t, "w", 1, 100);
+        let dead = rec(&mut t, "w", 1, 10);
+        let expired = t.take_expired(50);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].id, dead);
+        assert!(t.get(live).is_some());
+        assert!(t.get(dead).is_none());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_excludes_requested_ids() {
+        let mut t = PromiseTable::new();
+        let a = rec(&mut t, "w", 1, 100);
+        let _b = rec(&mut t, "w", 1, 100);
+        let snap = t.snapshot(0, &[a]);
+        assert_eq!(snap.len(), 1);
+        assert_ne!(snap[0].id, a);
+    }
+
+    #[test]
+    fn pools_dedup() {
+        let mut t = PromiseTable::new();
+        let id = t.next_id();
+        t.insert(PromiseRecord {
+            id,
+            client: ClientId::from("c"),
+            request: RequestId::from("r"),
+            predicates: vec![
+                Predicate::qty_at_least("w", 1),
+                Predicate::property("w", PropExpr::True, 1),
+                Predicate::qty_at_least("x", 1),
+            ],
+            granted_at: 0,
+            expires_at: 10,
+            allocations: Vec::new(),
+        });
+        let pools = t.get(id).unwrap().pools();
+        assert_eq!(pools.len(), 2);
+    }
+
+    #[test]
+    fn expiry_boundary_is_exclusive() {
+        let mut t = PromiseTable::new();
+        let id = rec(&mut t, "w", 1, 100);
+        assert!(t.get(id).unwrap().is_live(99));
+        assert!(!t.get(id).unwrap().is_live(100), "expires exactly at expires_at");
+    }
+}

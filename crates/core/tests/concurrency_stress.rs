@@ -1,0 +1,263 @@
+//! Concurrency stress tests: many threads hammering one promise manager,
+//! verifying the §8 safety guarantees hold under real interleavings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use promises_core::{
+    status, ActionError, Catalog, CheckStrategy, Environment, PoolId, PoolSchema, Predicate,
+    PromiseManager, PromiseRequestSpec, PropExpr, PropertyDef, SystemClock,
+};
+use promises_rm::{Record, ResourceManager};
+
+fn new_pm() -> Arc<PromiseManager> {
+    Arc::new(PromiseManager::new(
+        Arc::new(ResourceManager::new()),
+        Arc::new(SystemClock::new()),
+    ))
+}
+
+/// Every granted named-room promise must end in exactly one successful
+/// booking; no room is ever booked twice.
+#[test]
+fn named_rooms_booked_exactly_once_under_contention() {
+    let pm = new_pm();
+    pm.register_pool(
+        PoolSchema::instances("rooms", vec![PropertyDef::plain("floor")])
+            .with_strategy(CheckStrategy::TentativeAllocation),
+    );
+    const ROOMS: usize = 24;
+    for i in 0..ROOMS {
+        pm.seed_instance("rooms", format!("r{i}").as_str(), Record::new().with("floor", 1i64))
+            .unwrap();
+    }
+
+    let bookings = Arc::new(AtomicU64::new(0));
+    let threads = 8;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let pm = Arc::clone(&pm);
+            let bookings = Arc::clone(&bookings);
+            scope.spawn(move || {
+                for i in 0..ROOMS {
+                    let room = format!("r{}", (t * 7 + i) % ROOMS);
+                    let resp = pm
+                        .request(
+                            PromiseRequestSpec::new(
+                                promises_core::RequestId(format!("t{t}-{i}")),
+                                promises_core::ClientId(format!("t{t}")),
+                            )
+                            .predicate(Predicate::named("rooms", room.as_str())),
+                        )
+                        .unwrap();
+                    if let Some(p) = resp.decision.granted_id() {
+                        // Book it: take the room, release the promise.
+                        let table = Catalog::instance_table(&PoolId::from("rooms"));
+                        let r = room.clone();
+                        pm.execute(&Environment::none().releasing(p), move |rm, txn| {
+                            rm.update(txn, &table, &r, |rec| {
+                                rec.set(Catalog::STATUS, status::TAKEN);
+                            })
+                            .map_err(ActionError::from)
+                        })
+                        .unwrap();
+                        bookings.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    // Each of the 24 rooms was promised to exactly one client and taken.
+    assert_eq!(bookings.load(Ordering::Relaxed), ROOMS as u64);
+    assert_eq!(pm.live_count(), 0);
+    let rm = pm.rm();
+    let txn = rm.begin();
+    let taken = rm
+        .scan(&txn, &Catalog::instance_table(&PoolId::from("rooms")))
+        .unwrap()
+        .into_iter()
+        .filter(|(_, r)| r.str(Catalog::STATUS) == Some(status::TAKEN))
+        .count();
+    rm.commit(txn).unwrap();
+    assert_eq!(taken, ROOMS);
+}
+
+/// Property-view promises under concurrency: total booked never exceeds
+/// the number of matching instances, and no protected booking ever fails.
+#[test]
+fn property_promises_never_oversell_under_contention() {
+    let pm = new_pm();
+    pm.register_pool(
+        PoolSchema::instances("rooms", vec![PropertyDef::plain("view")])
+            .with_strategy(CheckStrategy::TentativeAllocation),
+    );
+    const VIEW_ROOMS: usize = 10;
+    for i in 0..VIEW_ROOMS * 2 {
+        pm.seed_instance(
+            "rooms",
+            format!("r{i}").as_str(),
+            Record::new().with("view", i < VIEW_ROOMS),
+        )
+        .unwrap();
+    }
+
+    let booked = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for t in 0..6 {
+            let pm = Arc::clone(&pm);
+            let booked = Arc::clone(&booked);
+            scope.spawn(move || {
+                for i in 0..10 {
+                    let resp = pm
+                        .request(
+                            PromiseRequestSpec::new(
+                                promises_core::RequestId(format!("v{t}-{i}")),
+                                promises_core::ClientId(format!("t{t}")),
+                            )
+                            .predicate(Predicate::property(
+                                "rooms",
+                                PropExpr::eq("view", true),
+                                1,
+                            )),
+                        )
+                        .unwrap();
+                    if let Some(p) = resp.decision.granted_id() {
+                        // Take whichever room the manager allocated to us.
+                        let rec = pm.promise(p).expect("just granted");
+                        let room = rec.allocated_in(&PoolId::from("rooms"))[0].0.clone();
+                        let table = Catalog::instance_table(&PoolId::from("rooms"));
+                        pm.execute(&Environment::none().releasing(p), move |rm, txn| {
+                            rm.update(txn, &table, &room, |r| {
+                                r.set(Catalog::STATUS, status::TAKEN);
+                            })
+                            .map_err(ActionError::from)
+                        })
+                        .expect("protected booking must never fail");
+                        booked.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        booked.load(Ordering::Relaxed),
+        VIEW_ROOMS as u64,
+        "exactly the view rooms get booked, never more"
+    );
+    assert_eq!(pm.metrics().violations_rolled_back, 0);
+}
+
+/// Mixed grants, releases, violating rogue writes and expiries running
+/// together: the manager must end consistent (no stuck PROMISED tags, no
+/// negative stock, no live promises).
+#[test]
+fn mixed_chaos_ends_consistent() {
+    let pm = new_pm();
+    pm.register_pool(PoolSchema::quantity("stock"));
+    pm.seed_quantity("stock", 1_000).unwrap();
+    pm.register_pool(
+        PoolSchema::instances("items", vec![PropertyDef::plain("grade")])
+            .with_strategy(CheckStrategy::TentativeAllocation),
+    );
+    for i in 0..12 {
+        pm.seed_instance("items", format!("i{i}").as_str(), Record::new().with("grade", 1i64))
+            .unwrap();
+    }
+
+    std::thread::scope(|scope| {
+        for t in 0..6 {
+            let pm = Arc::clone(&pm);
+            scope.spawn(move || {
+                for i in 0..25 {
+                    match (t + i) % 4 {
+                        0 => {
+                            // Quantity promise, consume under it.
+                            let resp = pm
+                                .request(
+                                    PromiseRequestSpec::new(
+                                        promises_core::RequestId(format!("q{t}-{i}")),
+                                        promises_core::ClientId("chaos".into()),
+                                    )
+                                    .predicate(Predicate::qty_at_least("stock", 3)),
+                                )
+                                .unwrap();
+                            if let Some(p) = resp.decision.granted_id() {
+                                pm.execute(&Environment::none().releasing(p), |rm, txn| {
+                                    rm.update(txn, Catalog::QTY_TABLE, "stock", |r| {
+                                        let q = r.int("qty").unwrap();
+                                        r.set("qty", q - 3);
+                                    })
+                                    .map_err(ActionError::from)
+                                })
+                                .unwrap();
+                            }
+                        }
+                        1 => {
+                            // Item promise then release.
+                            let resp = pm
+                                .request(
+                                    PromiseRequestSpec::new(
+                                        promises_core::RequestId(format!("p{t}-{i}")),
+                                        promises_core::ClientId("chaos".into()),
+                                    )
+                                    .predicate(Predicate::property(
+                                        "items",
+                                        PropExpr::True,
+                                        2,
+                                    )),
+                                )
+                                .unwrap();
+                            if let Some(p) = resp.decision.granted_id() {
+                                pm.release(p).unwrap();
+                            }
+                        }
+                        2 => {
+                            // Rogue unprotected write: may be rolled back.
+                            let _ = pm.execute(&Environment::none(), |rm, txn| {
+                                rm.update(txn, Catalog::QTY_TABLE, "stock", |r| {
+                                    let q = r.int("qty").unwrap();
+                                    r.set("qty", q - 10);
+                                })
+                                .map_err(ActionError::from)
+                            });
+                        }
+                        _ => {
+                            // Benign write (restock) never violates.
+                            pm.execute(&Environment::none(), |rm, txn| {
+                                rm.update(txn, Catalog::QTY_TABLE, "stock", |r| {
+                                    let q = r.int("qty").unwrap();
+                                    r.set("qty", q + 1);
+                                })
+                                .map_err(ActionError::from)
+                            })
+                            .unwrap();
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(pm.live_count(), 0, "all promises settled");
+    let rm = pm.rm();
+    let txn = rm.begin();
+    let stock = rm
+        .get(&txn, Catalog::QTY_TABLE, "stock")
+        .unwrap()
+        .unwrap()
+        .int("qty")
+        .unwrap();
+    assert!(stock >= 0, "stock never negative (got {stock})");
+    // No orphaned PROMISED tags after all promises were settled.
+    let stuck = rm
+        .scan(&txn, &Catalog::instance_table(&PoolId::from("items")))
+        .unwrap()
+        .into_iter()
+        .filter(|(_, r)| r.str(Catalog::STATUS) == Some(status::PROMISED))
+        .count();
+    rm.commit(txn).unwrap();
+    assert_eq!(stuck, 0, "no orphaned tentative allocations");
+    assert_eq!(rm.locked_granules(), 0, "no leaked locks");
+}

@@ -1,0 +1,307 @@
+//! Incremental matching: one augmenting-path search per new promise slot.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+/// Outcome of removing a matched right vertex (a resource that was taken
+/// or destroyed out from under the matching).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RightRemoval {
+    /// The vertex was unmatched (or unknown); nothing else changed.
+    Unmatched,
+    /// Its left partner was re-matched to another acceptable resource
+    /// (the paper's "tentative allocation" re-arrangement).
+    Rematched,
+    /// No alternative exists: the left partner is now unmatched, i.e. some
+    /// promise can no longer be honoured. The caller must treat this as a
+    /// (potential) promise violation.
+    Infeasible,
+}
+
+/// An incrementally maintained bipartite matching between left vertices
+/// ("promise slots") and right vertices ("available resource instances").
+///
+/// The core operation is [`DynamicMatching::try_add_left`]: it succeeds iff
+/// an augmenting path exists from the new slot, re-arranging existing
+/// tentative assignments along the way; on failure the structure is
+/// unchanged, which is exactly the paper's grant-or-reject-immediately
+/// semantics.
+#[derive(Debug, Clone)]
+pub struct DynamicMatching<L, R> {
+    adjacency: HashMap<L, Vec<R>>,
+    match_l: HashMap<L, R>,
+    match_r: HashMap<R, L>,
+    rights: HashSet<R>,
+}
+
+impl<L, R> Default for DynamicMatching<L, R> {
+    fn default() -> Self {
+        Self {
+            adjacency: HashMap::new(),
+            match_l: HashMap::new(),
+            match_r: HashMap::new(),
+            rights: HashSet::new(),
+        }
+    }
+}
+
+impl<L, R> DynamicMatching<L, R>
+where
+    L: Eq + Hash + Clone,
+    R: Eq + Hash + Clone,
+{
+    /// Creates an empty matching.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a right vertex (an available resource instance).
+    pub fn add_right(&mut self, r: R) {
+        self.rights.insert(r);
+    }
+
+    /// True if `r` is registered.
+    pub fn has_right(&self, r: &R) -> bool {
+        self.rights.contains(r)
+    }
+
+    /// Attempts to add left vertex `l` whose acceptable resources are
+    /// `neighbours`. Returns `true` (and commits the augmentation) iff the
+    /// enlarged matching still matches every left vertex; otherwise leaves
+    /// the structure exactly as it was and returns `false`.
+    pub fn try_add_left(&mut self, l: L, neighbours: Vec<R>) -> bool {
+        if self.adjacency.contains_key(&l) {
+            return false;
+        }
+        let usable: Vec<R> = neighbours
+            .into_iter()
+            .filter(|r| self.rights.contains(r))
+            .collect();
+        self.adjacency.insert(l.clone(), usable);
+        let mut visited = HashSet::new();
+        if self.augment(&l, &mut visited) {
+            true
+        } else {
+            self.adjacency.remove(&l);
+            false
+        }
+    }
+
+    /// Removes a left vertex (promise slot released or expired), freeing
+    /// its matched resource if any.
+    pub fn remove_left(&mut self, l: &L) {
+        self.adjacency.remove(l);
+        if let Some(r) = self.match_l.remove(l) {
+            self.match_r.remove(&r);
+        }
+    }
+
+    /// Removes a right vertex (resource taken/destroyed). If it was
+    /// matched, tries to re-match its left partner elsewhere.
+    pub fn remove_right(&mut self, r: &R) -> RightRemoval {
+        if !self.rights.remove(r) {
+            return RightRemoval::Unmatched;
+        }
+        // Drop r from every adjacency list so augmentation can't re-use it
+        // — required even when r is currently unmatched, or a later
+        // augmenting path could assign a slot to a removed resource.
+        for adj in self.adjacency.values_mut() {
+            adj.retain(|x| x != r);
+        }
+        let Some(l) = self.match_r.remove(r) else {
+            return RightRemoval::Unmatched;
+        };
+        self.match_l.remove(&l);
+        let mut visited = HashSet::new();
+        if self.augment(&l, &mut visited) {
+            RightRemoval::Rematched
+        } else {
+            self.adjacency.remove(&l);
+            RightRemoval::Infeasible
+        }
+    }
+
+    /// Current tentative assignment of a slot.
+    pub fn assignment(&self, l: &L) -> Option<&R> {
+        self.match_l.get(l)
+    }
+
+    /// The left slot tentatively holding resource `r`, if any.
+    pub fn holder(&self, r: &R) -> Option<&L> {
+        self.match_r.get(r)
+    }
+
+    /// Number of matched slots (equals number of live slots by invariant).
+    pub fn len(&self) -> usize {
+        self.match_l.len()
+    }
+
+    /// True if no slots are matched.
+    pub fn is_empty(&self) -> bool {
+        self.match_l.is_empty()
+    }
+
+    /// Number of registered right vertices.
+    pub fn right_len(&self) -> usize {
+        self.rights.len()
+    }
+
+    /// Verifies internal invariants; used by property tests.
+    pub fn check_invariants(&self) -> bool {
+        // Every left in adjacency is matched (we never keep unmatched lefts).
+        if self.adjacency.len() != self.match_l.len() {
+            return false;
+        }
+        for (l, r) in &self.match_l {
+            if self.match_r.get(r) != Some(l) {
+                return false;
+            }
+            if !self.rights.contains(r) {
+                return false;
+            }
+            match self.adjacency.get(l) {
+                Some(adj) if adj.contains(r) => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    fn augment(&mut self, l: &L, visited: &mut HashSet<R>) -> bool {
+        let neighbours = match self.adjacency.get(l) {
+            Some(n) => n.clone(),
+            None => return false,
+        };
+        for r in neighbours {
+            if !visited.insert(r.clone()) {
+                continue;
+            }
+            match self.match_r.get(&r).cloned() {
+                None => {
+                    self.match_l.insert(l.clone(), r.clone());
+                    self.match_r.insert(r, l.clone());
+                    return true;
+                }
+                Some(other) => {
+                    if self.augment(&other, visited) {
+                        self.match_l.insert(l.clone(), r.clone());
+                        self.match_r.insert(r, l.clone());
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dm(rights: &[&str]) -> DynamicMatching<String, String> {
+        let mut m = DynamicMatching::new();
+        for r in rights {
+            m.add_right((*r).to_owned());
+        }
+        m
+    }
+
+    fn v(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn hotel_rearrangement_from_the_paper() {
+        // Section 5: "view" request tentatively takes room 512; a later
+        // "5th floor" request can still be granted because 512 is handed to
+        // it and the view request is re-assigned to another view room.
+        let mut m = dm(&["512", "610"]); // 512: 5th floor + view; 610: view only
+        assert!(m.try_add_left("want-view".into(), v(&["512", "610"])));
+        // Tentative allocation may have picked 512 for the view request.
+        assert!(m.try_add_left("want-5th".into(), v(&["512"])));
+        assert_eq!(m.assignment(&"want-5th".into()), Some(&"512".to_owned()));
+        assert_eq!(m.assignment(&"want-view".into()), Some(&"610".to_owned()));
+        assert!(m.check_invariants());
+    }
+
+    #[test]
+    fn infeasible_add_leaves_state_unchanged() {
+        let mut m = dm(&["r1"]);
+        assert!(m.try_add_left("a".into(), v(&["r1"])));
+        let before_len = m.len();
+        assert!(!m.try_add_left("b".into(), v(&["r1"])));
+        assert_eq!(m.len(), before_len);
+        assert_eq!(m.assignment(&"a".into()), Some(&"r1".to_owned()));
+        assert!(m.check_invariants());
+    }
+
+    #[test]
+    fn add_left_with_unknown_rights_filters_them() {
+        let mut m = dm(&["r1"]);
+        assert!(m.try_add_left("a".into(), v(&["ghost", "r1"])));
+        assert_eq!(m.assignment(&"a".into()), Some(&"r1".to_owned()));
+    }
+
+    #[test]
+    fn duplicate_left_rejected() {
+        let mut m = dm(&["r1", "r2"]);
+        assert!(m.try_add_left("a".into(), v(&["r1", "r2"])));
+        assert!(!m.try_add_left("a".into(), v(&["r2"])));
+    }
+
+    #[test]
+    fn remove_left_frees_resource() {
+        let mut m = dm(&["r1"]);
+        assert!(m.try_add_left("a".into(), v(&["r1"])));
+        m.remove_left(&"a".into());
+        assert!(m.is_empty());
+        assert!(m.try_add_left("b".into(), v(&["r1"])));
+        assert!(m.check_invariants());
+    }
+
+    #[test]
+    fn remove_right_rematches_when_possible() {
+        let mut m = dm(&["r1", "r2"]);
+        assert!(m.try_add_left("a".into(), v(&["r1", "r2"])));
+        let taken = m.assignment(&"a".into()).unwrap().clone();
+        assert_eq!(m.remove_right(&taken), RightRemoval::Rematched);
+        assert!(m.assignment(&"a".into()).is_some());
+        assert!(m.check_invariants());
+    }
+
+    #[test]
+    fn remove_right_reports_infeasible() {
+        let mut m = dm(&["r1"]);
+        assert!(m.try_add_left("a".into(), v(&["r1"])));
+        assert_eq!(m.remove_right(&"r1".into()), RightRemoval::Infeasible);
+        assert!(m.assignment(&"a".into()).is_none());
+    }
+
+    #[test]
+    fn remove_unmatched_right_is_noop() {
+        let mut m = dm(&["r1", "r2"]);
+        assert!(m.try_add_left("a".into(), v(&["r1"])));
+        // r2 may be unmatched (a only accepts r1).
+        let free = if m.assignment(&"a".into()) == Some(&"r1".to_owned()) {
+            "r2"
+        } else {
+            "r1"
+        };
+        assert_eq!(m.remove_right(&free.to_owned()), RightRemoval::Unmatched);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn chain_rearrangement() {
+        // a: {r1}, b: {r1, r2}, c: {r2, r3} — adding in a,b,c order forces
+        // cascading re-assignments.
+        let mut m = dm(&["r1", "r2", "r3"]);
+        assert!(m.try_add_left("b".into(), v(&["r1", "r2"])));
+        assert!(m.try_add_left("c".into(), v(&["r2", "r3"])));
+        assert!(m.try_add_left("a".into(), v(&["r1"])));
+        assert_eq!(m.len(), 3);
+        assert!(m.check_invariants());
+        assert_eq!(m.assignment(&"a".into()), Some(&"r1".to_owned()));
+    }
+}

@@ -1,0 +1,187 @@
+//! Batch maximum bipartite matching (Hopcroft–Karp).
+
+use crate::BipartiteGraph;
+
+const NIL: usize = usize::MAX;
+const INF: u32 = u32::MAX;
+
+/// Result of a maximum-matching computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchingResult {
+    /// Size of the maximum matching.
+    pub size: usize,
+    /// `pair_left[l]` = right partner of left vertex `l`, or `usize::MAX`.
+    pub pair_left: Vec<usize>,
+    /// `pair_right[r]` = left partner of right vertex `r`, or `usize::MAX`.
+    pub pair_right: Vec<usize>,
+}
+
+impl MatchingResult {
+    /// True if every left vertex is matched (promise-set satisfiability:
+    /// each promised slot gets a distinct resource instance).
+    pub fn is_left_perfect(&self) -> bool {
+        self.size == self.pair_left.len()
+    }
+
+    /// Right partner of left vertex `l`, if matched.
+    pub fn partner_of_left(&self, l: usize) -> Option<usize> {
+        match self.pair_left.get(l) {
+            Some(&r) if r != NIL => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Computes a maximum matching in `O(E sqrt(V))`.
+pub fn hopcroft_karp(g: &BipartiteGraph) -> MatchingResult {
+    let nl = g.left_len();
+    let nr = g.right_len();
+    let mut pair_left = vec![NIL; nl];
+    let mut pair_right = vec![NIL; nr];
+    let mut dist = vec![INF; nl];
+    let mut size = 0usize;
+    let mut queue = std::collections::VecDeque::new();
+
+    loop {
+        // BFS layering from free left vertices.
+        queue.clear();
+        let mut found_augmenting_layer = false;
+        for l in 0..nl {
+            if pair_left[l] == NIL {
+                dist[l] = 0;
+                queue.push_back(l);
+            } else {
+                dist[l] = INF;
+            }
+        }
+        while let Some(l) = queue.pop_front() {
+            for &r in g.neighbours(l) {
+                let next = pair_right[r];
+                if next == NIL {
+                    found_augmenting_layer = true;
+                } else if dist[next] == INF {
+                    dist[next] = dist[l] + 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+        if !found_augmenting_layer {
+            break;
+        }
+        // DFS along layered graph, augmenting vertex-disjoint paths.
+        for l in 0..nl {
+            if pair_left[l] == NIL && dfs(g, l, &mut pair_left, &mut pair_right, &mut dist) {
+                size += 1;
+            }
+        }
+    }
+
+    MatchingResult {
+        size,
+        pair_left,
+        pair_right,
+    }
+}
+
+fn dfs(
+    g: &BipartiteGraph,
+    l: usize,
+    pair_left: &mut [usize],
+    pair_right: &mut [usize],
+    dist: &mut [u32],
+) -> bool {
+    for &r in g.neighbours(l) {
+        let next = pair_right[r];
+        if next == NIL || (dist[next] == dist[l] + 1 && dfs(g, next, pair_left, pair_right, dist))
+        {
+            pair_left[l] = r;
+            pair_right[r] = l;
+            return true;
+        }
+    }
+    dist[l] = INF;
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(left: usize, right: usize, edges: &[(usize, usize)]) -> BipartiteGraph {
+        let mut g = BipartiteGraph::new(left, right);
+        for &(l, r) in edges {
+            g.add_edge(l, r);
+        }
+        g
+    }
+
+    #[test]
+    fn perfect_matching_found() {
+        // Hotel example: promise 0 wants "view" rooms {512}, promise 1
+        // wants 5th-floor rooms {510, 512}. Room 512 must go to promise 0.
+        let g = graph(2, 2, &[(0, 1), (1, 0), (1, 1)]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size, 2);
+        assert!(m.is_left_perfect());
+        assert_eq!(m.partner_of_left(0), Some(1));
+        assert_eq!(m.partner_of_left(1), Some(0));
+    }
+
+    #[test]
+    fn overconstrained_set_is_not_perfect() {
+        // Two promises both only satisfiable by the same single room.
+        let g = graph(2, 1, &[(0, 0), (1, 0)]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size, 1);
+        assert!(!m.is_left_perfect());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let m = hopcroft_karp(&BipartiteGraph::new(0, 0));
+        assert_eq!(m.size, 0);
+        assert!(m.is_left_perfect());
+    }
+
+    #[test]
+    fn isolated_left_vertex_unmatched() {
+        let g = graph(2, 2, &[(0, 0)]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size, 1);
+        assert_eq!(m.partner_of_left(1), None);
+    }
+
+    #[test]
+    fn complete_bipartite_matches_min_side() {
+        let mut g = BipartiteGraph::new(4, 7);
+        for l in 0..4 {
+            for r in 0..7 {
+                g.add_edge(l, r);
+            }
+        }
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size, 4);
+        // Matched pairs must be mutually consistent and distinct.
+        let mut used = std::collections::HashSet::new();
+        for l in 0..4 {
+            let r = m.partner_of_left(l).unwrap();
+            assert!(used.insert(r), "right vertex used twice");
+            assert_eq!(m.pair_right[r], l);
+        }
+    }
+
+    #[test]
+    fn long_alternating_chain() {
+        // l_i -> {r_i, r_{i+1}} forces augmenting along a chain.
+        let n = 50;
+        let mut g = BipartiteGraph::new(n, n);
+        for i in 0..n {
+            g.add_edge(i, i);
+            if i + 1 < n {
+                g.add_edge(i, i + 1);
+            }
+        }
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size, n);
+    }
+}

@@ -1,0 +1,98 @@
+//! `promises-matching` — bipartite matching for promise satisfiability.
+//!
+//! Section 5 of the CIDR'07 Promises paper observes that when promises use
+//! *property-based* resource views, deciding whether a set of promises can
+//! all be honoured "might be done by finding a matching in a bipartite
+//! graph where edges link the untaken resources to the promise predicates
+//! that they can satisfy". Section 8 notes the authors' prototype did not
+//! implement this; this crate does.
+//!
+//! Two entry points:
+//!
+//! * [`hopcroft_karp`] — batch maximum matching in `O(E sqrt(V))`, used to
+//!   check a whole promise table from scratch;
+//! * [`DynamicMatching`] — an incremental structure that adds one left
+//!   vertex (one promised "slot") via a single augmenting-path search.
+//!   Successfully finding an augmenting path *is* the paper's "tentative
+//!   allocation with re-arrangement": already-promised resources are
+//!   shuffled to other promises that also accept them so the new promise
+//!   can be granted.
+
+mod dynamic;
+mod hopcroft_karp;
+
+pub use dynamic::{DynamicMatching, RightRemoval};
+pub use hopcroft_karp::{hopcroft_karp, MatchingResult};
+
+/// A bipartite graph in adjacency-list form: `adj[l]` lists the right
+/// vertices that left vertex `l` may be matched to.
+#[derive(Debug, Clone, Default)]
+pub struct BipartiteGraph {
+    adj: Vec<Vec<usize>>,
+    right_count: usize,
+}
+
+impl BipartiteGraph {
+    /// Creates a graph with `left` left vertices and `right` right vertices
+    /// and no edges.
+    pub fn new(left: usize, right: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); left],
+            right_count: right,
+        }
+    }
+
+    /// Adds an edge from left vertex `l` to right vertex `r`.
+    ///
+    /// # Panics
+    /// Panics if either index is out of range.
+    pub fn add_edge(&mut self, l: usize, r: usize) {
+        assert!(l < self.adj.len(), "left index {l} out of range");
+        assert!(r < self.right_count, "right index {r} out of range");
+        self.adj[l].push(r);
+    }
+
+    /// Number of left vertices.
+    pub fn left_len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of right vertices.
+    pub fn right_len(&self) -> usize {
+        self.right_count
+    }
+
+    /// Neighbours of left vertex `l`.
+    pub fn neighbours(&self, l: usize) -> &[usize] {
+        &self.adj[l]
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_construction() {
+        let mut g = BipartiteGraph::new(2, 3);
+        g.add_edge(0, 0);
+        g.add_edge(0, 2);
+        g.add_edge(1, 1);
+        assert_eq!(g.left_len(), 2);
+        assert_eq!(g.right_len(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.neighbours(0), &[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "right index")]
+    fn out_of_range_edge_panics() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(0, 5);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests: the dynamic matching stays maximal and internally
+//! consistent under arbitrary add/remove sequences.
+
+// `contains_key` guards an assertion here, not an insert.
+#![allow(clippy::map_entry)]
+
+use proptest::prelude::*;
+
+use promises_matching::{hopcroft_karp, BipartiteGraph, DynamicMatching, RightRemoval};
+
+#[derive(Debug, Clone)]
+enum Op {
+    AddLeft(u8, Vec<u8>),
+    RemoveLeft(u8),
+    RemoveRight(u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        (any::<u8>(), proptest::collection::vec(0u8..12, 0..6))
+            .prop_map(|(l, rs)| Op::AddLeft(l % 16, rs)),
+        (0u8..16).prop_map(Op::RemoveLeft),
+        (0u8..12).prop_map(Op::RemoveRight),
+    ];
+    proptest::collection::vec(op, 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// After any operation sequence, the dynamic matching (a) keeps its
+    /// internal invariants, (b) matches every accepted-and-not-removed
+    /// left vertex, and (c) is exactly as large as the maximum matching of
+    /// the surviving graph (maximality is preserved by augmentation).
+    #[test]
+    fn dynamic_matching_stays_maximal(ops in arb_ops()) {
+        let mut m: DynamicMatching<u8, u8> = DynamicMatching::new();
+        for r in 0u8..12 {
+            m.add_right(r);
+        }
+        // Shadow state: adjacency of accepted lefts, surviving rights.
+        let mut accepted: std::collections::BTreeMap<u8, Vec<u8>> = Default::default();
+        let mut rights: std::collections::BTreeSet<u8> = (0u8..12).collect();
+
+        for op in ops {
+            match op {
+                Op::AddLeft(l, neighbours) => {
+                    if accepted.contains_key(&l) {
+                        prop_assert!(!m.try_add_left(l, neighbours));
+                    } else if m.try_add_left(l, neighbours.clone()) {
+                        let usable: Vec<u8> = neighbours
+                            .iter()
+                            .copied()
+                            .filter(|r| rights.contains(r))
+                            .collect();
+                        accepted.insert(l, usable);
+                    }
+                }
+                Op::RemoveLeft(l) => {
+                    m.remove_left(&l);
+                    accepted.remove(&l);
+                }
+                Op::RemoveRight(r) => {
+                    let outcome = m.remove_right(&r);
+                    if rights.remove(&r) {
+                        for adj in accepted.values_mut() {
+                            adj.retain(|x| *x != r);
+                        }
+                        if outcome == RightRemoval::Infeasible {
+                            // The holder could not be re-matched: it is no
+                            // longer tracked by the structure.
+                            let holder: Vec<u8> = accepted
+                                .iter()
+                                .filter(|(l, _)| m.assignment(l).is_none())
+                                .map(|(l, _)| *l)
+                                .collect();
+                            prop_assert_eq!(holder.len(), 1, "exactly one orphan");
+                            accepted.remove(&holder[0]);
+                        }
+                    } else {
+                        prop_assert_eq!(outcome, RightRemoval::Unmatched);
+                    }
+                }
+            }
+            prop_assert!(m.check_invariants());
+            prop_assert_eq!(m.len(), accepted.len());
+        }
+
+        // Cross-check maximality against Hopcroft–Karp on the survivors.
+        let lefts: Vec<u8> = accepted.keys().copied().collect();
+        let right_index: std::collections::BTreeMap<u8, usize> =
+            rights.iter().copied().enumerate().map(|(i, r)| (r, i)).collect();
+        let mut graph = BipartiteGraph::new(lefts.len(), rights.len());
+        for (i, l) in lefts.iter().enumerate() {
+            for r in &accepted[l] {
+                graph.add_edge(i, right_index[r]);
+            }
+        }
+        let batch = hopcroft_karp(&graph);
+        prop_assert!(
+            batch.is_left_perfect(),
+            "every accepted-and-surviving left must still be matchable"
+        );
+    }
+}

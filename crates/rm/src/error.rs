@@ -1,0 +1,64 @@
+//! Error type for resource-manager operations.
+
+use std::fmt;
+
+use crate::txn::TxnId;
+
+/// Errors returned by the resource manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RmError {
+    /// The transaction was chosen as a deadlock victim while waiting for a
+    /// lock. The caller should abort and may retry.
+    ///
+    /// Note the distinction the paper draws in Section 9: the *promise*
+    /// layer never blocks (unfulfillable requests are rejected immediately),
+    /// so deadlocks can only arise from the short local transactions that
+    /// implement a single promise operation — and those are detected and
+    /// broken here.
+    Deadlock { txn: TxnId },
+    /// The named table does not exist.
+    NoSuchTable(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// Insert of a key that is already present.
+    DuplicateKey { table: String, key: String },
+    /// Update/delete of a key that is not present.
+    NoSuchKey { table: String, key: String },
+    /// Operation used a transaction that is no longer active.
+    TxnNotActive(TxnId),
+    /// The application aborted the transaction explicitly with a message.
+    Aborted(String),
+}
+
+impl fmt::Display for RmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmError::Deadlock { txn } => write!(f, "transaction {txn} aborted: deadlock victim"),
+            RmError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            RmError::TableExists(t) => write!(f, "table already exists: {t}"),
+            RmError::DuplicateKey { table, key } => {
+                write!(f, "duplicate key {key:?} in table {table}")
+            }
+            RmError::NoSuchKey { table, key } => write!(f, "no key {key:?} in table {table}"),
+            RmError::TxnNotActive(id) => write!(f, "transaction {id} is not active"),
+            RmError::Aborted(msg) => write!(f, "transaction aborted: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RmError::Deadlock { txn: TxnId(7) };
+        assert!(e.to_string().contains("deadlock"));
+        assert!(RmError::NoSuchTable("t".into()).to_string().contains("t"));
+        assert!(RmError::DuplicateKey { table: "a".into(), key: "b".into() }
+            .to_string()
+            .contains("\"b\""));
+    }
+}

@@ -1,0 +1,418 @@
+//! Hierarchical strict two-phase locking with deadlock detection.
+//!
+//! The lock manager grants logical locks on table and record granules using
+//! the classic `IS`/`IX`/`S`/`X` mode lattice:
+//!
+//! * readers take `IS` on the table then `S` on the record,
+//! * writers take `IX` on the table then `X` on the record,
+//! * scanners take `S` on the whole table, which conflicts with any
+//!   writer's `IX` and therefore prevents phantoms.
+//!
+//! Lock waits are tracked in a wait-for graph; when adding a wait would
+//! close a cycle the requesting transaction is chosen as the victim and the
+//! request fails with [`RmError::Deadlock`]. Locks are held until
+//! [`LockManager::release_all`] (strict 2PL: the resource manager releases
+//! only at commit/abort).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::RmError;
+use crate::txn::TxnId;
+
+/// Lock modes in increasing strength for a single granule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// Intention shared: the holder reads individual records below.
+    IntentionShared,
+    /// Intention exclusive: the holder writes individual records below.
+    IntentionExclusive,
+    /// Shared: the holder reads the whole granule.
+    Shared,
+    /// Exclusive: the holder writes the whole granule.
+    Exclusive,
+}
+
+impl LockMode {
+    /// Standard hierarchical-locking compatibility matrix.
+    pub fn compatible(self, other: LockMode) -> bool {
+        use LockMode::*;
+        matches!(
+            (self, other),
+            (IntentionShared, IntentionShared)
+                | (IntentionShared, IntentionExclusive)
+                | (IntentionExclusive, IntentionShared)
+                | (IntentionExclusive, IntentionExclusive)
+                | (IntentionShared, Shared)
+                | (Shared, IntentionShared)
+                | (Shared, Shared)
+        )
+    }
+
+    /// True if holding `self` is at least as strong as holding `want`
+    /// (i.e. no new lock is needed).
+    pub fn covers(self, want: LockMode) -> bool {
+        use LockMode::*;
+        match (self, want) {
+            (x, y) if x == y => true,
+            (Exclusive, _) => true,
+            (Shared, IntentionShared) => true,
+            (IntentionExclusive, IntentionShared) => true,
+            _ => false,
+        }
+    }
+
+    /// The weakest mode covering both `self` and `want` (lock upgrade).
+    pub fn combine(self, want: LockMode) -> LockMode {
+        use LockMode::*;
+        if self.covers(want) {
+            return self;
+        }
+        if want.covers(self) {
+            return want;
+        }
+        match (self, want) {
+            // S + IX = SIX in textbooks; we conservatively use X, which is
+            // correct (strictly stronger) and keeps the mode set small.
+            (Shared, IntentionExclusive) | (IntentionExclusive, Shared) => Exclusive,
+            (Shared, Exclusive) | (Exclusive, Shared) => Exclusive,
+            (IntentionShared, IntentionExclusive) | (IntentionExclusive, IntentionShared) => {
+                IntentionExclusive
+            }
+            (IntentionShared, Shared) | (Shared, IntentionShared) => Shared,
+            (IntentionShared, Exclusive)
+            | (Exclusive, IntentionShared)
+            | (IntentionExclusive, Exclusive)
+            | (Exclusive, IntentionExclusive) => Exclusive,
+            _ => Exclusive,
+        }
+    }
+}
+
+/// A lockable granule: a whole table or one record within it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Granule {
+    /// The table itself (used for scans and intention locks).
+    Table(String),
+    /// A single record.
+    Record(String, String),
+}
+
+#[derive(Debug, Default)]
+struct GranuleState {
+    holders: HashMap<TxnId, LockMode>,
+    /// FIFO of waiting (txn, wanted mode); kept so wakeups re-check in order.
+    waiters: VecDeque<(TxnId, LockMode)>,
+}
+
+#[derive(Default)]
+struct LmInner {
+    locks: HashMap<Granule, GranuleState>,
+    /// Edges `waiter -> holders it waits for`.
+    wait_for: HashMap<TxnId, HashSet<TxnId>>,
+    /// Reverse index: which granules a transaction holds (for release_all).
+    held: HashMap<TxnId, HashSet<Granule>>,
+}
+
+impl LmInner {
+    /// Would granting `(txn, mode)` on `state` conflict with current holders?
+    fn conflicts(&self, state: &GranuleState, txn: TxnId, mode: LockMode) -> Vec<TxnId> {
+        state
+            .holders
+            .iter()
+            .filter(|(holder, held)| **holder != txn && !held.compatible(mode))
+            .map(|(holder, _)| *holder)
+            .collect()
+    }
+
+    /// Depth-first search for a path from `from` back to `target` in the
+    /// wait-for graph; a hit means granting the wait would close a cycle.
+    fn reaches(&self, from: TxnId, target: TxnId) -> bool {
+        let mut stack = vec![from];
+        let mut seen = HashSet::new();
+        while let Some(t) = stack.pop() {
+            if t == target {
+                return true;
+            }
+            if !seen.insert(t) {
+                continue;
+            }
+            if let Some(next) = self.wait_for.get(&t) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    }
+}
+
+/// The lock manager. One instance is shared by all transactions of a
+/// [`crate::ResourceManager`].
+pub struct LockManager {
+    inner: Mutex<LmInner>,
+    cv: Condvar,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LockManager {
+    /// Creates an empty lock manager.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(LmInner::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Acquires (or upgrades to) `mode` on `granule` for `txn`, blocking
+    /// until compatible. Returns [`RmError::Deadlock`] if waiting would
+    /// close a wait-for cycle; the caller must then abort `txn`.
+    pub fn lock(&self, txn: TxnId, granule: &Granule, mode: LockMode) -> Result<(), RmError> {
+        let mut inner = self.inner.lock();
+        loop {
+            let state = inner.locks.entry(granule.clone()).or_default();
+            let effective = match state.holders.get(&txn) {
+                Some(held) if held.covers(mode) => return Ok(()),
+                Some(held) => held.combine(mode),
+                None => mode,
+            };
+            let conflicting = inner
+                .locks
+                .get(granule)
+                .map(|s| inner.conflicts(s, txn, effective))
+                .unwrap_or_default();
+            if conflicting.is_empty() {
+                let state = inner.locks.entry(granule.clone()).or_default();
+                state.holders.insert(txn, effective);
+                inner.held.entry(txn).or_default().insert(granule.clone());
+                inner.wait_for.remove(&txn);
+                return Ok(());
+            }
+            // Would waiting on any conflicting holder close a cycle back to us?
+            for holder in &conflicting {
+                if inner.reaches(*holder, txn) {
+                    inner.wait_for.remove(&txn);
+                    if let Some(state) = inner.locks.get_mut(granule) {
+                        state.waiters.retain(|(t, _)| *t != txn);
+                    }
+                    return Err(RmError::Deadlock { txn });
+                }
+            }
+            inner
+                .wait_for
+                .entry(txn)
+                .or_default()
+                .extend(conflicting.iter().copied());
+            let state = inner.locks.entry(granule.clone()).or_default();
+            if !state.waiters.iter().any(|(t, m)| *t == txn && *m == mode) {
+                state.waiters.push_back((txn, mode));
+            }
+            self.cv.wait(&mut inner);
+            // Re-derive the wait edges on the next pass; stale edges are
+            // cleared here so the graph only reflects current blockers.
+            inner.wait_for.remove(&txn);
+            if let Some(state) = inner.locks.get_mut(granule) {
+                state.waiters.retain(|(t, _)| *t != txn);
+            }
+        }
+    }
+
+    /// Releases every lock held by `txn` and wakes all waiters.
+    pub fn release_all(&self, txn: TxnId) {
+        let mut inner = self.inner.lock();
+        if let Some(granules) = inner.held.remove(&txn) {
+            for g in granules {
+                let empty = if let Some(state) = inner.locks.get_mut(&g) {
+                    state.holders.remove(&txn);
+                    state.holders.is_empty() && state.waiters.is_empty()
+                } else {
+                    false
+                };
+                if empty {
+                    inner.locks.remove(&g);
+                }
+            }
+        }
+        inner.wait_for.remove(&txn);
+        self.cv.notify_all();
+    }
+
+    /// Number of granules currently locked (diagnostics/tests).
+    pub fn locked_granules(&self) -> usize {
+        self.inner
+            .lock()
+            .locks
+            .values()
+            .filter(|s| !s.holders.is_empty())
+            .count()
+    }
+
+    /// True if `txn` currently holds `mode`-covering access on `granule`.
+    pub fn holds(&self, txn: TxnId, granule: &Granule, mode: LockMode) -> bool {
+        self.inner
+            .lock()
+            .locks
+            .get(granule)
+            .and_then(|s| s.holders.get(&txn))
+            .map(|held| held.covers(mode))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    fn rec(k: &str) -> Granule {
+        Granule::Record("t".into(), k.into())
+    }
+
+    #[test]
+    fn compatibility_matrix() {
+        use LockMode::*;
+        assert!(IntentionShared.compatible(IntentionExclusive));
+        assert!(IntentionExclusive.compatible(IntentionExclusive));
+        assert!(Shared.compatible(Shared));
+        assert!(Shared.compatible(IntentionShared));
+        assert!(!Shared.compatible(IntentionExclusive));
+        assert!(!Exclusive.compatible(IntentionShared));
+        assert!(!Exclusive.compatible(Exclusive));
+        assert!(!IntentionExclusive.compatible(Shared));
+    }
+
+    #[test]
+    fn covers_and_combine() {
+        use LockMode::*;
+        assert!(Exclusive.covers(Shared));
+        assert!(Shared.covers(IntentionShared));
+        assert!(!Shared.covers(Exclusive));
+        assert_eq!(Shared.combine(Exclusive), Exclusive);
+        assert_eq!(IntentionShared.combine(IntentionExclusive), IntentionExclusive);
+        assert_eq!(Shared.combine(IntentionExclusive), Exclusive);
+        assert_eq!(IntentionShared.combine(Shared), Shared);
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lm = LockManager::new();
+        lm.lock(TxnId(1), &rec("a"), LockMode::Shared).unwrap();
+        lm.lock(TxnId(2), &rec("a"), LockMode::Shared).unwrap();
+        assert!(lm.holds(TxnId(1), &rec("a"), LockMode::Shared));
+        assert!(lm.holds(TxnId(2), &rec("a"), LockMode::Shared));
+    }
+
+    #[test]
+    fn exclusive_blocks_until_release() {
+        let lm = Arc::new(LockManager::new());
+        lm.lock(TxnId(1), &rec("a"), LockMode::Exclusive).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let h = thread::spawn(move || {
+            lm2.lock(TxnId(2), &rec("a"), LockMode::Exclusive).unwrap();
+            lm2.release_all(TxnId(2));
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert!(!h.is_finished(), "txn 2 should be blocked");
+        lm.release_all(TxnId(1));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_victim_chosen() {
+        let lm = Arc::new(LockManager::new());
+        lm.lock(TxnId(1), &rec("a"), LockMode::Exclusive).unwrap();
+        lm.lock(TxnId(2), &rec("b"), LockMode::Exclusive).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let h = thread::spawn(move || {
+            // txn 2 waits for a (held by 1).
+            let r = lm2.lock(TxnId(2), &rec("a"), LockMode::Exclusive);
+            if r.is_ok() {
+                lm2.release_all(TxnId(2));
+            }
+            r
+        });
+        thread::sleep(Duration::from_millis(30));
+        // txn 1 asks for b (held by 2): cycle 1->2->1, someone must die.
+        let r1 = lm.lock(TxnId(1), &rec("b"), LockMode::Exclusive);
+        // Victim or not, txn 1 releases everything so txn 2 can finish.
+        lm.release_all(TxnId(1));
+        let r2 = h.join().unwrap();
+        assert!(
+            r1.is_err() || r2.is_err(),
+            "at least one transaction must be a deadlock victim"
+        );
+    }
+
+    #[test]
+    fn lock_upgrade_shared_to_exclusive_when_sole_holder() {
+        let lm = LockManager::new();
+        lm.lock(TxnId(1), &rec("a"), LockMode::Shared).unwrap();
+        lm.lock(TxnId(1), &rec("a"), LockMode::Exclusive).unwrap();
+        assert!(lm.holds(TxnId(1), &rec("a"), LockMode::Exclusive));
+    }
+
+    #[test]
+    fn upgrade_deadlock_between_two_readers_is_detected() {
+        let lm = Arc::new(LockManager::new());
+        lm.lock(TxnId(1), &rec("a"), LockMode::Shared).unwrap();
+        lm.lock(TxnId(2), &rec("a"), LockMode::Shared).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let h = thread::spawn(move || {
+            let r = lm2.lock(TxnId(2), &rec("a"), LockMode::Exclusive);
+            lm2.release_all(TxnId(2));
+            r
+        });
+        thread::sleep(Duration::from_millis(30));
+        let r1 = lm.lock(TxnId(1), &rec("a"), LockMode::Exclusive);
+        lm.release_all(TxnId(1));
+        let r2 = h.join().unwrap();
+        assert!(r1.is_err() || r2.is_err());
+        // Whichever survived must have obtained the lock; both ended released.
+        assert_eq!(lm.locked_granules(), 0);
+    }
+
+    #[test]
+    fn table_scan_lock_blocks_record_writer() {
+        let lm = Arc::new(LockManager::new());
+        let table = Granule::Table("t".into());
+        lm.lock(TxnId(1), &table, LockMode::Shared).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let h = thread::spawn(move || {
+            lm2.lock(TxnId(2), &Granule::Table("t".into()), LockMode::IntentionExclusive)
+                .unwrap();
+            lm2.release_all(TxnId(2));
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert!(!h.is_finished(), "IX must wait for table S");
+        lm.release_all(TxnId(1));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn release_all_cleans_state() {
+        let lm = LockManager::new();
+        lm.lock(TxnId(1), &rec("a"), LockMode::Exclusive).unwrap();
+        lm.lock(TxnId(1), &Granule::Table("t".into()), LockMode::IntentionExclusive)
+            .unwrap();
+        assert_eq!(lm.locked_granules(), 2);
+        lm.release_all(TxnId(1));
+        assert_eq!(lm.locked_granules(), 0);
+    }
+
+    #[test]
+    fn relocking_held_mode_is_idempotent() {
+        let lm = LockManager::new();
+        for _ in 0..3 {
+            lm.lock(TxnId(1), &rec("a"), LockMode::Shared).unwrap();
+        }
+        assert_eq!(lm.locked_granules(), 1);
+        lm.release_all(TxnId(1));
+        assert_eq!(lm.locked_granules(), 0);
+    }
+}

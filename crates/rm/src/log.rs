@@ -1,0 +1,103 @@
+//! Per-transaction undo logging.
+//!
+//! The resource manager records a *before image* the first time a
+//! transaction touches a record; [`UndoLog::entries_reversed`] replays them
+//! newest-first at abort to restore the pre-transaction state. This is what
+//! lets the promise manager (paper §8) roll back an application action that
+//! turned out to violate an unreleased promise.
+
+use std::collections::HashSet;
+
+use crate::value::Record;
+
+/// One undoable change: the state of `(table, key)` before the first write.
+#[derive(Debug, Clone)]
+pub struct UndoEntry {
+    /// Table the change happened in.
+    pub table: String,
+    /// Record key.
+    pub key: String,
+    /// Pre-image; `None` means the record did not exist (undo = delete).
+    pub before: Option<Record>,
+}
+
+/// Undo log for a single transaction.
+#[derive(Debug, Default)]
+pub struct UndoLog {
+    entries: Vec<UndoEntry>,
+    touched: HashSet<(String, String)>,
+}
+
+impl UndoLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the before-image for `(table, key)` unless one was already
+    /// captured by this transaction (first-touch wins: the oldest image is
+    /// the correct restore target).
+    pub fn record(&mut self, table: &str, key: &str, before: Option<Record>) {
+        let slot = (table.to_owned(), key.to_owned());
+        if self.touched.insert(slot) {
+            self.entries.push(UndoEntry {
+                table: table.to_owned(),
+                key: key.to_owned(),
+                before,
+            });
+        }
+    }
+
+    /// Entries newest-first, ready to replay on abort.
+    pub fn entries_reversed(&self) -> impl Iterator<Item = &UndoEntry> {
+        self.entries.iter().rev()
+    }
+
+    /// Number of distinct records this transaction has modified.
+    #[allow(dead_code)] // exercised by tests; kept for diagnostics
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the transaction made no changes.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_wins() {
+        let mut log = UndoLog::new();
+        log.record("t", "k", Some(Record::new().with("v", 1i64)));
+        log.record("t", "k", Some(Record::new().with("v", 2i64)));
+        assert_eq!(log.len(), 1);
+        let entry = log.entries_reversed().next().unwrap();
+        assert_eq!(entry.before.as_ref().unwrap().int("v"), Some(1));
+    }
+
+    #[test]
+    fn distinct_keys_all_recorded_in_reverse_order() {
+        let mut log = UndoLog::new();
+        log.record("t", "a", None);
+        log.record("t", "b", None);
+        log.record("u", "a", None);
+        assert_eq!(log.len(), 3);
+        let keys: Vec<_> = log
+            .entries_reversed()
+            .map(|e| format!("{}/{}", e.table, e.key))
+            .collect();
+        assert_eq!(keys, vec!["u/a", "t/b", "t/a"]);
+    }
+
+    #[test]
+    fn missing_record_pre_image_is_none() {
+        let mut log = UndoLog::new();
+        log.record("t", "new", None);
+        assert!(log.entries_reversed().next().unwrap().before.is_none());
+        assert!(!log.is_empty());
+    }
+}

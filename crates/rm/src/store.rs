@@ -1,0 +1,162 @@
+//! The physical record store: named tables of `key -> Record`.
+//!
+//! Access control (locking) and atomicity (undo) live in the transaction
+//! layer; the store itself is a plain map guarded by a mutex and only ever
+//! touched while the caller holds the appropriate logical locks.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use crate::error::RmError;
+use crate::value::Record;
+
+/// Summary statistics for a table (diagnostics and workload sizing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableStats {
+    /// Table name.
+    pub name: String,
+    /// Number of records.
+    pub records: usize,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Store {
+    tables: HashMap<String, BTreeMap<String, Record>>,
+}
+
+impl Store {
+    pub fn create_table(&mut self, name: &str) -> Result<(), RmError> {
+        if self.tables.contains_key(name) {
+            return Err(RmError::TableExists(name.to_owned()));
+        }
+        self.tables.insert(name.to_owned(), BTreeMap::new());
+        Ok(())
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    pub fn get(&self, table: &str, key: &str) -> Result<Option<Record>, RmError> {
+        Ok(self.table(table)?.get(key).cloned())
+    }
+
+    pub fn put(&mut self, table: &str, key: &str, rec: Record) -> Result<Option<Record>, RmError> {
+        Ok(self.table_mut(table)?.insert(key.to_owned(), rec))
+    }
+
+    pub fn insert(&mut self, table: &str, key: &str, rec: Record) -> Result<(), RmError> {
+        let t = self.table_mut(table)?;
+        if t.contains_key(key) {
+            return Err(RmError::DuplicateKey {
+                table: table.to_owned(),
+                key: key.to_owned(),
+            });
+        }
+        t.insert(key.to_owned(), rec);
+        Ok(())
+    }
+
+    pub fn delete(&mut self, table: &str, key: &str) -> Result<Option<Record>, RmError> {
+        Ok(self.table_mut(table)?.remove(key))
+    }
+
+    pub fn scan(&self, table: &str) -> Result<Vec<(String, Record)>, RmError> {
+        Ok(self
+            .table(table)?
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect())
+    }
+
+    pub fn stats(&self) -> Vec<TableStats> {
+        let mut out: Vec<_> = self
+            .tables
+            .iter()
+            .map(|(name, t)| TableStats {
+                name: name.clone(),
+                records: t.len(),
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    fn table(&self, name: &str) -> Result<&BTreeMap<String, Record>, RmError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| RmError::NoSuchTable(name.to_owned()))
+    }
+
+    fn table_mut(&mut self, name: &str) -> Result<&mut BTreeMap<String, Record>, RmError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| RmError::NoSuchTable(name.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_duplicate_table() {
+        let mut s = Store::default();
+        s.create_table("t").unwrap();
+        assert!(s.has_table("t"));
+        assert_eq!(s.create_table("t"), Err(RmError::TableExists("t".into())));
+    }
+
+    #[test]
+    fn crud_roundtrip() {
+        let mut s = Store::default();
+        s.create_table("t").unwrap();
+        s.insert("t", "k", Record::new().with("v", 1i64)).unwrap();
+        assert_eq!(s.get("t", "k").unwrap().unwrap().int("v"), Some(1));
+        let old = s.put("t", "k", Record::new().with("v", 2i64)).unwrap();
+        assert_eq!(old.unwrap().int("v"), Some(1));
+        let removed = s.delete("t", "k").unwrap();
+        assert_eq!(removed.unwrap().int("v"), Some(2));
+        assert!(s.get("t", "k").unwrap().is_none());
+    }
+
+    #[test]
+    fn insert_duplicate_key_fails() {
+        let mut s = Store::default();
+        s.create_table("t").unwrap();
+        s.insert("t", "k", Record::new()).unwrap();
+        assert!(matches!(
+            s.insert("t", "k", Record::new()),
+            Err(RmError::DuplicateKey { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let s = Store::default();
+        assert_eq!(s.get("nope", "k"), Err(RmError::NoSuchTable("nope".into())));
+    }
+
+    #[test]
+    fn scan_is_key_ordered() {
+        let mut s = Store::default();
+        s.create_table("t").unwrap();
+        s.insert("t", "b", Record::new()).unwrap();
+        s.insert("t", "a", Record::new()).unwrap();
+        let keys: Vec<_> = s.scan("t").unwrap().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn stats_reports_sizes() {
+        let mut s = Store::default();
+        s.create_table("b").unwrap();
+        s.create_table("a").unwrap();
+        s.insert("a", "1", Record::new()).unwrap();
+        let st = s.stats();
+        assert_eq!(st.len(), 2);
+        assert_eq!(st[0].name, "a");
+        assert_eq!(st[0].records, 1);
+        assert_eq!(st[1].records, 0);
+    }
+}

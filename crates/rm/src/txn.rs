@@ -1,0 +1,574 @@
+//! Transactions and the [`ResourceManager`] facade.
+//!
+//! Every data operation names an explicit transaction. Locks are acquired
+//! as a side effect of access (strict 2PL) and held until commit or abort;
+//! aborts replay the undo log. Statement-level failures (missing key,
+//! duplicate key) leave the transaction active — the caller decides whether
+//! to continue or abort — while a [`RmError::Deadlock`] means the
+//! transaction has been victimised and *must* be aborted by the caller.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::error::RmError;
+use crate::lock::{Granule, LockManager, LockMode};
+use crate::log::UndoLog;
+use crate::store::{Store, TableStats};
+use crate::value::Record;
+
+/// Opaque transaction identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn#{}", self.0)
+    }
+}
+
+/// Handle to an active transaction. Consumed by commit/abort.
+#[derive(Debug)]
+pub struct Txn {
+    id: TxnId,
+}
+
+impl Txn {
+    /// The transaction's identifier.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+}
+
+/// Monotonic counters exposed for experiments.
+#[derive(Debug, Default)]
+struct Counters {
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    deadlocks: AtomicU64,
+}
+
+/// Snapshot of the manager's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RmStatsSnapshot {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted transactions (including deadlock victims).
+    pub aborts: u64,
+    /// Aborts caused by deadlock victimisation.
+    pub deadlocks: u64,
+}
+
+/// The embedded ACID resource manager (paper §8's "RM").
+pub struct ResourceManager {
+    store: Mutex<Store>,
+    locks: LockManager,
+    undo: Mutex<HashMap<TxnId, UndoLog>>,
+    next_txn: AtomicU64,
+    counters: Counters,
+}
+
+impl Default for ResourceManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ResourceManager {
+    /// Creates an empty resource manager with no tables.
+    pub fn new() -> Self {
+        Self {
+            store: Mutex::new(Store::default()),
+            locks: LockManager::new(),
+            undo: Mutex::new(HashMap::new()),
+            next_txn: AtomicU64::new(1),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Creates a table. DDL is not transactional (as in most engines,
+    /// tables are created during system setup, not inside promise ops).
+    pub fn create_table(&self, name: &str) {
+        // Ignore "already exists": setup code is allowed to be idempotent.
+        let _ = self.store.lock().create_table(name);
+    }
+
+    /// True if the table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.store.lock().has_table(name)
+    }
+
+    /// Starts a new transaction.
+    pub fn begin(&self) -> Txn {
+        let id = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed));
+        self.undo.lock().insert(id, UndoLog::new());
+        Txn { id }
+    }
+
+    /// Commits: discards the undo log and releases all locks.
+    pub fn commit(&self, txn: Txn) -> Result<(), RmError> {
+        let removed = self.undo.lock().remove(&txn.id);
+        if removed.is_none() {
+            return Err(RmError::TxnNotActive(txn.id));
+        }
+        self.locks.release_all(txn.id);
+        self.counters.commits.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Aborts: replays the undo log newest-first, then releases all locks.
+    pub fn abort(&self, txn: Txn) {
+        self.abort_id(txn.id);
+    }
+
+    /// Aborts by id (used internally by retry helpers).
+    fn abort_id(&self, id: TxnId) {
+        let log = self.undo.lock().remove(&id);
+        if let Some(log) = log.filter(|l| !l.is_empty()) {
+            let mut store = self.store.lock();
+            for entry in log.entries_reversed() {
+                match &entry.before {
+                    Some(rec) => {
+                        let _ = store.put(&entry.table, &entry.key, rec.clone());
+                    }
+                    None => {
+                        let _ = store.delete(&entry.table, &entry.key);
+                    }
+                }
+            }
+        }
+        self.locks.release_all(id);
+        self.counters.aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads a record (`IS` on the table, `S` on the record).
+    pub fn get(&self, txn: &Txn, table: &str, key: &str) -> Result<Option<Record>, RmError> {
+        self.ensure_active(txn)?;
+        self.lock(txn, &Granule::Table(table.to_owned()), LockMode::IntentionShared)?;
+        self.lock(
+            txn,
+            &Granule::Record(table.to_owned(), key.to_owned()),
+            LockMode::Shared,
+        )?;
+        self.store.lock().get(table, key)
+    }
+
+    /// Writes a record unconditionally (`IX` table, `X` record); creates it
+    /// if absent. Returns the previous record, if any.
+    pub fn put(
+        &self,
+        txn: &Txn,
+        table: &str,
+        key: &str,
+        rec: Record,
+    ) -> Result<Option<Record>, RmError> {
+        self.write_locks(txn, table, key)?;
+        let mut store = self.store.lock();
+        let before = store.get(table, key)?;
+        self.record_undo(txn, table, key, before.clone())?;
+        store.put(table, key, rec)
+    }
+
+    /// Inserts a record; fails with [`RmError::DuplicateKey`] if present.
+    pub fn insert(&self, txn: &Txn, table: &str, key: &str, rec: Record) -> Result<(), RmError> {
+        self.write_locks(txn, table, key)?;
+        let mut store = self.store.lock();
+        let before = store.get(table, key)?;
+        if before.is_some() {
+            return Err(RmError::DuplicateKey {
+                table: table.to_owned(),
+                key: key.to_owned(),
+            });
+        }
+        self.record_undo(txn, table, key, None)?;
+        store.insert(table, key, rec)
+    }
+
+    /// Deletes a record; fails with [`RmError::NoSuchKey`] if absent.
+    pub fn delete(&self, txn: &Txn, table: &str, key: &str) -> Result<(), RmError> {
+        self.write_locks(txn, table, key)?;
+        let mut store = self.store.lock();
+        let before = store.get(table, key)?;
+        if before.is_none() {
+            return Err(RmError::NoSuchKey {
+                table: table.to_owned(),
+                key: key.to_owned(),
+            });
+        }
+        self.record_undo(txn, table, key, before)?;
+        store.delete(table, key).map(|_| ())
+    }
+
+    /// Read-modify-write of one record under an `X` lock.
+    pub fn update(
+        &self,
+        txn: &Txn,
+        table: &str,
+        key: &str,
+        f: impl FnOnce(&mut Record),
+    ) -> Result<(), RmError> {
+        self.write_locks(txn, table, key)?;
+        let mut store = self.store.lock();
+        let before = store.get(table, key)?.ok_or_else(|| RmError::NoSuchKey {
+            table: table.to_owned(),
+            key: key.to_owned(),
+        })?;
+        self.record_undo(txn, table, key, Some(before.clone()))?;
+        let mut rec = before;
+        f(&mut rec);
+        store.put(table, key, rec).map(|_| ())
+    }
+
+    /// Returns the `(table, key)` pairs this transaction has modified so
+    /// far (its write set), in first-touch order.
+    ///
+    /// The promise manager uses this to *enforce* promise scoping (paper
+    /// §2: a client "should not use the promise for pink widgets to ask
+    /// the order service to deliver some un-promised blue widgets ... the
+    /// restrictions could be enforced to some degree by promise and
+    /// resource managers").
+    pub fn write_set(&self, txn: &Txn) -> Result<Vec<(String, String)>, RmError> {
+        let undo = self.undo.lock();
+        let log = undo.get(&txn.id).ok_or(RmError::TxnNotActive(txn.id))?;
+        let mut out: Vec<(String, String)> = log
+            .entries_reversed()
+            .map(|e| (e.table.clone(), e.key.clone()))
+            .collect();
+        out.reverse();
+        Ok(out)
+    }
+
+    /// Acquires an exclusive transactional lock on a named synchronisation
+    /// point (not a table). Held until commit/abort like any other lock and
+    /// participates in deadlock detection.
+    ///
+    /// The promise manager uses this to serialise promise operations the
+    /// way the paper's prototype does (§8: "wrap each promise operation in
+    /// a transaction ... this gives us the required level of isolation
+    /// between concurrent activities") while still letting the wait-for
+    /// graph break cycles between a promise check and an in-flight action.
+    pub fn lock_exclusive(&self, txn: &Txn, name: &str) -> Result<(), RmError> {
+        self.ensure_active(txn)?;
+        self.lock(
+            txn,
+            &Granule::Table(format!("\u{0}sync:{name}")),
+            LockMode::Exclusive,
+        )
+    }
+
+    /// Scans a whole table under a table-level `S` lock (phantom-safe).
+    pub fn scan(&self, txn: &Txn, table: &str) -> Result<Vec<(String, Record)>, RmError> {
+        self.ensure_active(txn)?;
+        self.lock(txn, &Granule::Table(table.to_owned()), LockMode::Shared)?;
+        self.store.lock().scan(table)
+    }
+
+    /// Runs `f` in a transaction, committing on `Ok` and aborting on `Err`;
+    /// deadlock victims are retried up to `max_retries` times.
+    pub fn transact<R>(
+        &self,
+        max_retries: usize,
+        mut f: impl FnMut(&Txn) -> Result<R, RmError>,
+    ) -> Result<R, RmError> {
+        let mut attempt = 0;
+        loop {
+            let txn = self.begin();
+            match f(&txn) {
+                Ok(v) => match self.commit(txn) {
+                    Ok(()) => return Ok(v),
+                    Err(e) => return Err(e),
+                },
+                Err(RmError::Deadlock { .. }) if attempt < max_retries => {
+                    self.abort(txn);
+                    attempt += 1;
+                    // Bounded exponential backoff breaks retry lockstep
+                    // between symmetric victims (caps at ~3ms).
+                    let exp = (attempt as u32).min(5);
+                    std::thread::sleep(std::time::Duration::from_micros(100u64 << exp));
+                }
+                Err(e) => {
+                    self.abort(txn);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Per-table record counts.
+    pub fn table_stats(&self) -> Vec<TableStats> {
+        self.store.lock().stats()
+    }
+
+    /// Counter snapshot (commits / aborts / deadlocks so far).
+    pub fn stats(&self) -> RmStatsSnapshot {
+        RmStatsSnapshot {
+            commits: self.counters.commits.load(Ordering::Relaxed),
+            aborts: self.counters.aborts.load(Ordering::Relaxed),
+            deadlocks: self.counters.deadlocks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of currently locked granules (diagnostics).
+    pub fn locked_granules(&self) -> usize {
+        self.locks.locked_granules()
+    }
+
+    fn ensure_active(&self, txn: &Txn) -> Result<(), RmError> {
+        if self.undo.lock().contains_key(&txn.id) {
+            Ok(())
+        } else {
+            Err(RmError::TxnNotActive(txn.id))
+        }
+    }
+
+    fn write_locks(&self, txn: &Txn, table: &str, key: &str) -> Result<(), RmError> {
+        self.ensure_active(txn)?;
+        self.lock(
+            txn,
+            &Granule::Table(table.to_owned()),
+            LockMode::IntentionExclusive,
+        )?;
+        self.lock(
+            txn,
+            &Granule::Record(table.to_owned(), key.to_owned()),
+            LockMode::Exclusive,
+        )
+    }
+
+    fn lock(&self, txn: &Txn, granule: &Granule, mode: LockMode) -> Result<(), RmError> {
+        match self.locks.lock(txn.id, granule, mode) {
+            Err(e @ RmError::Deadlock { .. }) => {
+                self.counters.deadlocks.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+            other => other,
+        }
+    }
+
+    fn record_undo(
+        &self,
+        txn: &Txn,
+        table: &str,
+        key: &str,
+        before: Option<Record>,
+    ) -> Result<(), RmError> {
+        let mut undo = self.undo.lock();
+        let log = undo
+            .get_mut(&txn.id)
+            .ok_or(RmError::TxnNotActive(txn.id))?;
+        log.record(table, key, before);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn rm_with_table() -> ResourceManager {
+        let rm = ResourceManager::new();
+        rm.create_table("t");
+        rm
+    }
+
+    #[test]
+    fn commit_makes_writes_visible() {
+        let rm = rm_with_table();
+        let tx = rm.begin();
+        rm.insert(&tx, "t", "k", Record::new().with("v", 1i64)).unwrap();
+        rm.commit(tx).unwrap();
+        let tx = rm.begin();
+        assert_eq!(rm.get(&tx, "t", "k").unwrap().unwrap().int("v"), Some(1));
+        rm.commit(tx).unwrap();
+    }
+
+    #[test]
+    fn abort_undoes_insert_update_delete() {
+        let rm = rm_with_table();
+        let tx = rm.begin();
+        rm.insert(&tx, "t", "stay", Record::new().with("v", 1i64)).unwrap();
+        rm.commit(tx).unwrap();
+
+        let tx = rm.begin();
+        rm.insert(&tx, "t", "new", Record::new()).unwrap();
+        rm.update(&tx, "t", "stay", |r| r.set("v", 99i64)).unwrap();
+        rm.delete(&tx, "t", "stay").unwrap();
+        rm.abort(tx);
+
+        let tx = rm.begin();
+        assert!(rm.get(&tx, "t", "new").unwrap().is_none(), "insert undone");
+        assert_eq!(
+            rm.get(&tx, "t", "stay").unwrap().unwrap().int("v"),
+            Some(1),
+            "update+delete undone back to original"
+        );
+        rm.commit(tx).unwrap();
+    }
+
+    #[test]
+    fn locks_released_after_commit_and_abort() {
+        let rm = rm_with_table();
+        let tx = rm.begin();
+        rm.insert(&tx, "t", "k", Record::new()).unwrap();
+        assert!(rm.locked_granules() > 0);
+        rm.commit(tx).unwrap();
+        assert_eq!(rm.locked_granules(), 0);
+
+        let tx = rm.begin();
+        rm.put(&tx, "t", "k", Record::new().with("x", 1i64)).unwrap();
+        rm.abort(tx);
+        assert_eq!(rm.locked_granules(), 0);
+    }
+
+    #[test]
+    fn using_finished_txn_fails() {
+        let rm = rm_with_table();
+        let tx = rm.begin();
+        let id = tx.id();
+        rm.commit(tx).unwrap();
+        let fake = Txn { id };
+        assert_eq!(
+            rm.get(&fake, "t", "k"),
+            Err(RmError::TxnNotActive(id))
+        );
+    }
+
+    #[test]
+    fn writers_block_readers_until_commit() {
+        let rm = Arc::new(rm_with_table());
+        let tx = rm.begin();
+        rm.insert(&tx, "t", "k", Record::new().with("v", 1i64)).unwrap();
+        rm.commit(tx).unwrap();
+
+        let tx = rm.begin();
+        rm.update(&tx, "t", "k", |r| r.set("v", 2i64)).unwrap();
+
+        let rm2 = Arc::clone(&rm);
+        let h = thread::spawn(move || {
+            let tr = rm2.begin();
+            let v = rm2.get(&tr, "t", "k").unwrap().unwrap().int("v");
+            rm2.commit(tr).unwrap();
+            v
+        });
+        thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!h.is_finished(), "reader must block on writer's X lock");
+        rm.commit(tx).unwrap();
+        assert_eq!(h.join().unwrap(), Some(2), "reader sees committed value");
+    }
+
+    #[test]
+    fn transact_retries_deadlocks_and_commits() {
+        let rm = Arc::new(rm_with_table());
+        let tx = rm.begin();
+        rm.insert(&tx, "t", "a", Record::new().with("v", 0i64)).unwrap();
+        rm.insert(&tx, "t", "b", Record::new().with("v", 0i64)).unwrap();
+        rm.commit(tx).unwrap();
+
+        // Two transactions updating a,b in opposite orders: without retry
+        // one would fail; with transact both eventually succeed.
+        let mut handles = Vec::new();
+        for order in [["a", "b"], ["b", "a"]] {
+            let rm = Arc::clone(&rm);
+            handles.push(thread::spawn(move || {
+                rm.transact(50, |tx| {
+                    rm.update(tx, "t", order[0], |r| {
+                        let v = r.int("v").unwrap();
+                        r.set("v", v + 1);
+                    })?;
+                    thread::sleep(std::time::Duration::from_millis(5));
+                    rm.update(tx, "t", order[1], |r| {
+                        let v = r.int("v").unwrap();
+                        r.set("v", v + 1);
+                    })
+                })
+            }));
+        }
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+        let tx = rm.begin();
+        assert_eq!(rm.get(&tx, "t", "a").unwrap().unwrap().int("v"), Some(2));
+        assert_eq!(rm.get(&tx, "t", "b").unwrap().unwrap().int("v"), Some(2));
+        rm.commit(tx).unwrap();
+    }
+
+    #[test]
+    fn scan_sees_consistent_snapshot_under_table_lock() {
+        let rm = rm_with_table();
+        let tx = rm.begin();
+        for i in 0..5 {
+            rm.insert(&tx, "t", &format!("k{i}"), Record::new().with("v", i as i64))
+                .unwrap();
+        }
+        rm.commit(tx).unwrap();
+        let tx = rm.begin();
+        let rows = rm.scan(&tx, "t").unwrap();
+        assert_eq!(rows.len(), 5);
+        rm.commit(tx).unwrap();
+    }
+
+    #[test]
+    fn duplicate_insert_leaves_txn_usable() {
+        let rm = rm_with_table();
+        let tx = rm.begin();
+        rm.insert(&tx, "t", "k", Record::new()).unwrap();
+        assert!(matches!(
+            rm.insert(&tx, "t", "k", Record::new()),
+            Err(RmError::DuplicateKey { .. })
+        ));
+        // The transaction is still usable after a statement failure.
+        rm.insert(&tx, "t", "k2", Record::new()).unwrap();
+        rm.commit(tx).unwrap();
+    }
+
+    #[test]
+    fn stats_count_commits_and_aborts() {
+        let rm = rm_with_table();
+        let tx = rm.begin();
+        rm.commit(tx).unwrap();
+        let tx = rm.begin();
+        rm.abort(tx);
+        let s = rm.stats();
+        assert_eq!(s.commits, 1);
+        assert_eq!(s.aborts, 1);
+    }
+
+    #[test]
+    fn concurrent_increments_are_serialised() {
+        let rm = Arc::new(rm_with_table());
+        let tx = rm.begin();
+        rm.insert(&tx, "t", "ctr", Record::new().with("v", 0i64)).unwrap();
+        rm.commit(tx).unwrap();
+
+        let threads = 8;
+        let per = 25;
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let rm = Arc::clone(&rm);
+            handles.push(thread::spawn(move || {
+                for _ in 0..per {
+                    rm.transact(100, |tx| {
+                        rm.update(tx, "t", "ctr", |r| {
+                            let v = r.int("v").unwrap();
+                            r.set("v", v + 1);
+                        })
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let tx = rm.begin();
+        assert_eq!(
+            rm.get(&tx, "t", "ctr").unwrap().unwrap().int("v"),
+            Some((threads * per) as i64)
+        );
+        rm.commit(tx).unwrap();
+    }
+}

@@ -1,0 +1,237 @@
+//! Banking over anonymous balance promises (§3.1).
+//!
+//! "If a promise is made that a client application will be able to
+//! withdraw $500 from an account, the bank is not obliged to set aside
+//! five specific $100 bills ... our bank can grant many promises against
+//! Alice's account, just as long as the account will not be overdrawn if
+//! all of these promises are followed by withdrawal requests."
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use promises_core::{
+    Catalog, Environment, PoolSchema, Predicate, PromiseDecision, PromiseError, PromiseId,
+    PromiseManager, PromiseRequestSpec, RejectReason,
+};
+
+fn account_pool(name: &str) -> String {
+    format!("acct:{name}")
+}
+
+/// A bank whose account balances are promise-protected quantity pools.
+pub struct Bank {
+    pm: Arc<PromiseManager>,
+    next_req: AtomicU64,
+}
+
+impl Bank {
+    /// Creates a bank over a promise manager.
+    pub fn new(pm: Arc<PromiseManager>) -> Self {
+        Self {
+            pm,
+            next_req: AtomicU64::new(1),
+        }
+    }
+
+    /// The promise manager this bank uses.
+    pub fn manager(&self) -> &Arc<PromiseManager> {
+        &self.pm
+    }
+
+    /// Opens an account with an initial balance (in cents).
+    pub fn open_account(&self, name: &str, balance: u64) -> Result<(), PromiseError> {
+        self.pm
+            .register_pool(PoolSchema::quantity(account_pool(name).as_str()));
+        self.pm.seed_quantity(account_pool(name).as_str(), balance)
+    }
+
+    /// Current balance.
+    pub fn balance(&self, name: &str) -> Result<u64, PromiseError> {
+        let rm = self.pm.rm();
+        let txn = rm.begin();
+        let v = rm
+            .get(&txn, Catalog::QTY_TABLE, &account_pool(name))?
+            .and_then(|r| r.int("qty"))
+            .map(|v| v.max(0) as u64)
+            .unwrap_or(0);
+        rm.commit(txn)?;
+        Ok(v)
+    }
+
+    /// Promises that `amount` will be withdrawable from `account` for
+    /// `duration_ms` (the §4 "balance of at least $100" guarantee).
+    pub fn promise_funds(
+        &self,
+        client: &str,
+        account: &str,
+        amount: u64,
+        duration_ms: u64,
+    ) -> Result<Result<PromiseId, RejectReason>, PromiseError> {
+        let n = self.next_req.fetch_add(1, Ordering::Relaxed);
+        let resp = self.pm.request(
+            PromiseRequestSpec::new(
+                promises_core::RequestId(format!("funds-{n}")),
+                promises_core::ClientId(client.to_owned()),
+            )
+            .predicate(Predicate::qty_at_least(account_pool(account).as_str(), amount))
+            .duration_ms(duration_ms),
+        )?;
+        Ok(match resp.decision {
+            PromiseDecision::Granted { promise, .. } => Ok(promise),
+            PromiseDecision::Rejected { reason } => Err(reason),
+        })
+    }
+
+    /// Upgrades or weakens an existing funds promise atomically (§4:
+    /// "their anticipated later withdrawal has changed to $200 ... or to
+    /// $50"). Returns the replacement promise, or the reason the old one
+    /// was kept.
+    pub fn change_promise(
+        &self,
+        client: &str,
+        account: &str,
+        old: PromiseId,
+        new_amount: u64,
+        duration_ms: u64,
+    ) -> Result<Result<PromiseId, RejectReason>, PromiseError> {
+        let n = self.next_req.fetch_add(1, Ordering::Relaxed);
+        let resp = self.pm.modify(
+            &[old],
+            PromiseRequestSpec::new(
+                promises_core::RequestId(format!("funds-mod-{n}")),
+                promises_core::ClientId(client.to_owned()),
+            )
+            .predicate(Predicate::qty_at_least(
+                account_pool(account).as_str(),
+                new_amount,
+            ))
+            .duration_ms(duration_ms),
+        )?;
+        Ok(match resp.decision {
+            PromiseDecision::Granted { promise, .. } => Ok(promise),
+            PromiseDecision::Rejected { reason } => Err(reason),
+        })
+    }
+
+    /// Withdraws under a funds promise, releasing it atomically.
+    pub fn withdraw(
+        &self,
+        promise: PromiseId,
+        account: &str,
+        amount: u64,
+    ) -> Result<(), PromiseError> {
+        let pool = account_pool(account);
+        self.pm
+            .execute(&Environment::none().releasing(promise), move |rm, txn| {
+                let bal = rm
+                    .get(txn, Catalog::QTY_TABLE, &pool)
+                    .map_err(promises_core::ActionError::from)?
+                    .and_then(|r| r.int("qty"))
+                    .unwrap_or(0);
+                if bal < amount as i64 {
+                    return Err(format!("overdraft: {bal} < {amount}").into());
+                }
+                rm.update(txn, Catalog::QTY_TABLE, &pool, |r| {
+                    r.set("qty", bal - amount as i64);
+                })
+                .map_err(promises_core::ActionError::from)
+            })
+    }
+
+    /// Deposits (an unprotected action; can never violate balance
+    /// promises since it only increases headroom).
+    pub fn deposit(&self, account: &str, amount: u64) -> Result<(), PromiseError> {
+        let pool = account_pool(account);
+        self.pm.execute(&Environment::none(), move |rm, txn| {
+            rm.update(txn, Catalog::QTY_TABLE, &pool, |r| {
+                let bal = r.int("qty").unwrap_or(0);
+                r.set("qty", bal + amount as i64);
+            })
+            .map_err(promises_core::ActionError::from)
+        })
+    }
+
+    /// Releases a funds promise without withdrawing.
+    pub fn release(&self, promise: PromiseId) -> Result<(), PromiseError> {
+        self.pm.release(promise)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promises_core::SystemClock;
+    use promises_rm::ResourceManager;
+
+    fn bank() -> Bank {
+        let rm = Arc::new(ResourceManager::new());
+        let pm = Arc::new(PromiseManager::new(rm, Arc::new(SystemClock::new())));
+        let b = Bank::new(pm);
+        b.open_account("alice", 10_000).unwrap();
+        b
+    }
+
+    #[test]
+    fn promise_then_withdraw() {
+        let b = bank();
+        let p = b
+            .promise_funds("shop", "alice", 5_000, 60_000)
+            .unwrap()
+            .unwrap();
+        b.withdraw(p, "alice", 5_000).unwrap();
+        assert_eq!(b.balance("alice").unwrap(), 5_000);
+    }
+
+    #[test]
+    fn many_promises_bounded_by_balance() {
+        // §3.1: many promises as long as the sum cannot overdraw.
+        let b = bank();
+        let _p1 = b.promise_funds("s1", "alice", 4_000, 60_000).unwrap().unwrap();
+        let _p2 = b.promise_funds("s2", "alice", 4_000, 60_000).unwrap().unwrap();
+        assert!(b
+            .promise_funds("s3", "alice", 4_000, 60_000)
+            .unwrap()
+            .is_err());
+        let _p3 = b.promise_funds("s3", "alice", 2_000, 60_000).unwrap().unwrap();
+    }
+
+    #[test]
+    fn deposits_never_violate() {
+        let b = bank();
+        let _p = b.promise_funds("s", "alice", 10_000, 60_000).unwrap().unwrap();
+        b.deposit("alice", 1).unwrap();
+        assert_eq!(b.balance("alice").unwrap(), 10_001);
+    }
+
+    #[test]
+    fn paper_upgrade_and_weaken_examples() {
+        // §4: promise for >=100 changed to >=200 needs only 200 on hand;
+        // weakening to >=50 must also be atomic.
+        let b = bank();
+        let p100 = b.promise_funds("s", "alice", 100, 60_000).unwrap().unwrap();
+        // Upgrade: total demand during the exchange is 200, not 300.
+        let _other = b
+            .promise_funds("t", "alice", 9_800, 60_000)
+            .unwrap()
+            .unwrap();
+        let p200 = b
+            .change_promise("s", "alice", p100, 200, 60_000)
+            .unwrap()
+            .unwrap();
+        // Weaken.
+        let p50 = b
+            .change_promise("s", "alice", p200, 50, 60_000)
+            .unwrap()
+            .unwrap();
+        b.withdraw(p50, "alice", 50).unwrap();
+    }
+
+    #[test]
+    fn overdraft_protected_by_promise_of_other_client() {
+        let b = bank();
+        let _hold = b.promise_funds("s", "alice", 10_000, 60_000).unwrap().unwrap();
+        // An unprotected withdrawal would break the hold: rolled back.
+        let p = b.promise_funds("t", "alice", 1, 60_000).unwrap();
+        assert!(p.is_err(), "no headroom for further promises");
+    }
+}

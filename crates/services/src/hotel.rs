@@ -1,0 +1,491 @@
+//! Hotel booking over property-view promises (§3.3).
+//!
+//! Rooms expose floor / view / smoking / beds / class properties; clients
+//! promise "a 5th-floor room" or "a non-smoking room with a view and twin
+//! beds, ideally deluxe" and book whichever instance the manager's
+//! tentative allocation settles on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use promises_core::{
+    status, Catalog, Environment, InstanceId, PoolId, PoolSchema, Predicate, PromiseDecision,
+    PromiseError, PromiseId, PromiseManager, PromiseRequestSpec, PropExpr, PropertyDef,
+    RejectReason,
+};
+use promises_rm::Record;
+
+/// The room pool id.
+pub const ROOM_POOL: &str = "rooms";
+
+/// Declarative room description for seeding.
+#[derive(Debug, Clone)]
+pub struct RoomSpec {
+    /// Room number, e.g. "512".
+    pub number: String,
+    /// Floor.
+    pub floor: i64,
+    /// Has a view?
+    pub view: bool,
+    /// Smoking allowed?
+    pub smoking: bool,
+    /// Number of beds.
+    pub beds: i64,
+    /// `standard`, `deluxe`, or `suite`.
+    pub class: String,
+}
+
+impl RoomSpec {
+    /// Convenience constructor.
+    pub fn new(number: &str, floor: i64, view: bool, smoking: bool, beds: i64, class: &str) -> Self {
+        Self {
+            number: number.to_owned(),
+            floor,
+            view,
+            smoking,
+            beds,
+            class: class.to_owned(),
+        }
+    }
+}
+
+/// A hotel booking service.
+pub struct Hotel {
+    pm: Arc<PromiseManager>,
+    next_req: AtomicU64,
+}
+
+impl Hotel {
+    /// Creates the hotel and registers its room pool (tentative
+    /// allocation, the §5 technique that matches the paper's room-512
+    /// example).
+    pub fn new(pm: Arc<PromiseManager>) -> Self {
+        pm.register_pool(PoolSchema::instances(
+            ROOM_POOL,
+            vec![
+                PropertyDef::plain("floor"),
+                PropertyDef::plain("view"),
+                PropertyDef::plain("smoking"),
+                PropertyDef::plain("beds"),
+                PropertyDef::ordered("class", &["standard", "deluxe", "suite"]),
+            ],
+        ));
+        Self {
+            pm,
+            next_req: AtomicU64::new(1),
+        }
+    }
+
+    /// The promise manager this hotel uses.
+    pub fn manager(&self) -> &Arc<PromiseManager> {
+        &self.pm
+    }
+
+    /// Adds a room.
+    pub fn add_room(&self, spec: RoomSpec) -> Result<(), PromiseError> {
+        self.pm.seed_instance(
+            ROOM_POOL,
+            spec.number.as_str(),
+            Record::new()
+                .with("floor", spec.floor)
+                .with("view", spec.view)
+                .with("smoking", spec.smoking)
+                .with("beds", spec.beds)
+                .with("class", spec.class.as_str()),
+        )
+    }
+
+    /// Promises a room matching `requirements` (see
+    /// [`promises_core::PropExpr`]) for `duration_ms`.
+    pub fn promise_room(
+        &self,
+        client: &str,
+        requirements: PropExpr,
+        duration_ms: u64,
+    ) -> Result<Result<PromiseId, RejectReason>, PromiseError> {
+        let n = self.next_req.fetch_add(1, Ordering::Relaxed);
+        let resp = self.pm.request(
+            PromiseRequestSpec::new(
+                promises_core::RequestId(format!("room-{n}")),
+                promises_core::ClientId(client.to_owned()),
+            )
+            .predicate(Predicate::property(ROOM_POOL, requirements, 1))
+            .duration_ms(duration_ms),
+        )?;
+        Ok(match resp.decision {
+            PromiseDecision::Granted { promise, .. } => Ok(promise),
+            PromiseDecision::Rejected { reason } => Err(reason),
+        })
+    }
+
+    /// Promises one specific room by number (named view).
+    pub fn promise_specific_room(
+        &self,
+        client: &str,
+        number: &str,
+        duration_ms: u64,
+    ) -> Result<Result<PromiseId, RejectReason>, PromiseError> {
+        let n = self.next_req.fetch_add(1, Ordering::Relaxed);
+        let resp = self.pm.request(
+            PromiseRequestSpec::new(
+                promises_core::RequestId(format!("room-named-{n}")),
+                promises_core::ClientId(client.to_owned()),
+            )
+            .predicate(Predicate::named(ROOM_POOL, number))
+            .duration_ms(duration_ms),
+        )?;
+        Ok(match resp.decision {
+            PromiseDecision::Granted { promise, .. } => Ok(promise),
+            PromiseDecision::Rejected { reason } => Err(reason),
+        })
+    }
+
+    /// Books the room currently allocated to the promise, marking it
+    /// taken and releasing the promise atomically. Returns the room
+    /// number booked — which instance fulfils the promise is decided by
+    /// the manager, as the paper requires ("a room matching the
+    /// requirements will be available, not that the client has been
+    /// assigned room 512").
+    pub fn book(&self, promise: PromiseId) -> Result<String, PromiseError> {
+        let rec = self
+            .pm
+            .promise(promise)
+            .ok_or(PromiseError::UnknownPromise(promise))?;
+        let room = rec
+            .allocated_in(&PoolId::from(ROOM_POOL))
+            .first()
+            .map(|i| i.0.clone())
+            .ok_or_else(|| {
+                PromiseError::ActionFailed("promise holds no room allocation".into())
+            })?;
+        let table = Catalog::instance_table(&PoolId::from(ROOM_POOL));
+        let booked = room.clone();
+        self.pm
+            .execute(&Environment::none().releasing(promise), move |rm, txn| {
+                rm.update(txn, &table, &room, |r| {
+                    r.set(Catalog::STATUS, status::TAKEN);
+                })
+                .map_err(promises_core::ActionError::from)
+            })?;
+        Ok(booked)
+    }
+
+    /// Cancels a room promise.
+    pub fn cancel(&self, promise: PromiseId) -> Result<(), PromiseError> {
+        self.pm.release(promise)
+    }
+
+    /// Opens a booking calendar date: §3.2's *virtual resources*, where
+    /// "'Room 212, Sydney Hilton, 12/3/2007' names a specific room
+    /// instance, and the date is the necessary part of the unique
+    /// identifier". Each date gets its own instance pool holding one
+    /// virtual instance per room night.
+    pub fn open_date(&self, date: &str) {
+        self.pm.register_pool(PoolSchema::instances(
+            Self::date_pool(date).as_str(),
+            vec![
+                PropertyDef::plain("floor"),
+                PropertyDef::plain("view"),
+                PropertyDef::plain("smoking"),
+                PropertyDef::plain("beds"),
+                PropertyDef::ordered("class", &["standard", "deluxe", "suite"]),
+            ],
+        ));
+    }
+
+    fn date_pool(date: &str) -> String {
+        format!("{ROOM_POOL}@{date}")
+    }
+
+    /// Adds one room-night: the room's availability on an opened date.
+    pub fn add_room_night(&self, date: &str, spec: &RoomSpec) -> Result<(), PromiseError> {
+        self.pm.seed_instance(
+            Self::date_pool(date).as_str(),
+            spec.number.as_str(),
+            Record::new()
+                .with("floor", spec.floor)
+                .with("view", spec.view)
+                .with("smoking", spec.smoking)
+                .with("beds", spec.beds)
+                .with("class", spec.class.as_str()),
+        )
+    }
+
+    /// Promises a specific room on a specific date — one named virtual
+    /// resource. The same room on a different date is a different
+    /// resource, so bookings on distinct dates never conflict.
+    pub fn promise_room_night(
+        &self,
+        client: &str,
+        number: &str,
+        date: &str,
+        duration_ms: u64,
+    ) -> Result<Result<PromiseId, RejectReason>, PromiseError> {
+        let n = self.next_req.fetch_add(1, Ordering::Relaxed);
+        let resp = self.pm.request(
+            PromiseRequestSpec::new(
+                promises_core::RequestId(format!("night-{n}")),
+                promises_core::ClientId(client.to_owned()),
+            )
+            .predicate(Predicate::named(Self::date_pool(date).as_str(), number))
+            .duration_ms(duration_ms),
+        )?;
+        Ok(match resp.decision {
+            PromiseDecision::Granted { promise, .. } => Ok(promise),
+            PromiseDecision::Rejected { reason } => Err(reason),
+        })
+    }
+
+    /// Atomically promises the same room for every night of a stay (§4's
+    /// all-or-nothing multi-predicate request across several pools).
+    pub fn promise_stay(
+        &self,
+        client: &str,
+        number: &str,
+        dates: &[&str],
+        duration_ms: u64,
+    ) -> Result<Result<PromiseId, RejectReason>, PromiseError> {
+        let n = self.next_req.fetch_add(1, Ordering::Relaxed);
+        let mut spec = PromiseRequestSpec::new(
+            promises_core::RequestId(format!("stay-{n}")),
+            promises_core::ClientId(client.to_owned()),
+        )
+        .duration_ms(duration_ms);
+        for date in dates {
+            spec = spec.predicate(Predicate::named(Self::date_pool(date).as_str(), number));
+        }
+        let resp = self.pm.request(spec)?;
+        Ok(match resp.decision {
+            PromiseDecision::Granted { promise, .. } => Ok(promise),
+            PromiseDecision::Rejected { reason } => Err(reason),
+        })
+    }
+
+    /// Confirms a stay: takes every promised room-night, releasing the
+    /// promise atomically with success.
+    pub fn book_stay(&self, promise: PromiseId) -> Result<usize, PromiseError> {
+        let rec = self
+            .pm
+            .promise(promise)
+            .ok_or(PromiseError::UnknownPromise(promise))?;
+        let nights: Vec<(String, String)> = rec
+            .allocations
+            .iter()
+            .filter_map(|a| {
+                rec.predicates.get(a.pred_idx).map(|p| {
+                    (
+                        Catalog::instance_table(p.pool()),
+                        a.instance.0.clone(),
+                    )
+                })
+            })
+            .collect();
+        if nights.is_empty() {
+            return Err(PromiseError::ActionFailed("promise holds no nights".into()));
+        }
+        let count = nights.len();
+        self.pm
+            .execute(&Environment::none().releasing(promise), move |rm, txn| {
+                for (table, instance) in &nights {
+                    rm.update(txn, table, instance, |r| {
+                        r.set(Catalog::STATUS, status::TAKEN);
+                    })
+                    .map_err(promises_core::ActionError::from)?;
+                }
+                Ok(())
+            })?;
+        Ok(count)
+    }
+
+    /// Rooms currently available (not promised, not taken).
+    pub fn available_rooms(&self) -> Result<Vec<String>, PromiseError> {
+        let rm = self.pm.rm();
+        let txn = rm.begin();
+        let rooms = rm
+            .scan(&txn, &Catalog::instance_table(&PoolId::from(ROOM_POOL)))?
+            .into_iter()
+            .filter(|(_, r)| r.str(Catalog::STATUS) == Some(status::AVAILABLE))
+            .map(|(k, _)| k)
+            .collect();
+        rm.commit(txn)?;
+        Ok(rooms)
+    }
+}
+
+/// The room instance a promise is currently (tentatively) assigned.
+pub fn allocated_room(pm: &PromiseManager, promise: PromiseId) -> Option<InstanceId> {
+    pm.promise(promise)?
+        .allocated_in(&PoolId::from(ROOM_POOL))
+        .first()
+        .map(|i| (*i).clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promises_core::SystemClock;
+    use promises_rm::ResourceManager;
+
+    fn hotel() -> Hotel {
+        let rm = Arc::new(ResourceManager::new());
+        let pm = Arc::new(PromiseManager::new(rm, Arc::new(SystemClock::new())));
+        let h = Hotel::new(pm);
+        h.add_room(RoomSpec::new("101", 1, false, false, 1, "standard")).unwrap();
+        h.add_room(RoomSpec::new("512", 5, true, false, 2, "standard")).unwrap();
+        h.add_room(RoomSpec::new("610", 6, true, false, 2, "deluxe")).unwrap();
+        h
+    }
+
+    #[test]
+    fn paper_room_512_rearrangement() {
+        let h = hotel();
+        let view = h
+            .promise_room("alice", PropExpr::eq("view", true), 60_000)
+            .unwrap()
+            .unwrap();
+        let fifth = h
+            .promise_room("bob", PropExpr::eq("floor", 5i64), 60_000)
+            .unwrap()
+            .unwrap();
+        // Bob must end with 512 (only 5th-floor room); Alice with 610.
+        let alice_room = h.book(view).unwrap();
+        let bob_room = h.book(fifth).unwrap();
+        assert_eq!(bob_room, "512");
+        assert_eq!(alice_room, "610");
+    }
+
+    #[test]
+    fn booking_marks_taken_and_releases() {
+        let h = hotel();
+        let p = h.promise_specific_room("alice", "101", 60_000).unwrap().unwrap();
+        let room = h.book(p).unwrap();
+        assert_eq!(room, "101");
+        assert!(!h.available_rooms().unwrap().contains(&"101".to_owned()));
+        assert_eq!(h.manager().live_count(), 0);
+    }
+
+    #[test]
+    fn negotiation_style_requirements() {
+        let h = hotel();
+        let p = h
+            .promise_room(
+                "alice",
+                PropExpr::all([
+                    PropExpr::eq("smoking", false),
+                    PropExpr::eq("beds", 2i64),
+                    PropExpr::at_least("class", "deluxe"),
+                ]),
+                60_000,
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(h.book(p).unwrap(), "610");
+    }
+
+    #[test]
+    fn cancel_returns_room_to_pool() {
+        let h = hotel();
+        let p = h.promise_specific_room("a", "512", 60_000).unwrap().unwrap();
+        assert!(!h.available_rooms().unwrap().contains(&"512".to_owned()));
+        h.cancel(p).unwrap();
+        assert!(h.available_rooms().unwrap().contains(&"512".to_owned()));
+    }
+
+    #[test]
+    fn sold_out_rejects() {
+        let h = hotel();
+        for _ in 0..3 {
+            h.promise_room("x", PropExpr::True, 60_000).unwrap().unwrap();
+        }
+        assert!(h.promise_room("y", PropExpr::True, 60_000).unwrap().is_err());
+    }
+}
+
+#[cfg(test)]
+mod calendar_tests {
+    use super::*;
+    use promises_core::SystemClock;
+    use promises_rm::ResourceManager;
+
+    fn calendar_hotel() -> Hotel {
+        let rm = Arc::new(ResourceManager::new());
+        let pm = Arc::new(PromiseManager::new(rm, Arc::new(SystemClock::new())));
+        let h = Hotel::new(pm);
+        let room212 = RoomSpec::new("212", 2, false, false, 2, "standard");
+        let room512 = RoomSpec::new("512", 5, true, false, 2, "deluxe");
+        for date in ["2007-03-12", "2007-03-13", "2007-03-14"] {
+            h.open_date(date);
+            h.add_room_night(date, &room212).unwrap();
+            h.add_room_night(date, &room512).unwrap();
+        }
+        h
+    }
+
+    #[test]
+    fn same_room_different_dates_do_not_conflict() {
+        // §3.2: the date is part of the identifier, so these are distinct
+        // virtual resources.
+        let h = calendar_hotel();
+        let a = h
+            .promise_room_night("alice", "212", "2007-03-12", 60_000)
+            .unwrap()
+            .unwrap();
+        let _b = h
+            .promise_room_night("bob", "212", "2007-03-13", 60_000)
+            .unwrap()
+            .unwrap();
+        // But the same room-night conflicts.
+        assert!(h
+            .promise_room_night("carol", "212", "2007-03-12", 60_000)
+            .unwrap()
+            .is_err());
+        h.cancel(a).unwrap();
+        assert!(h
+            .promise_room_night("carol", "212", "2007-03-12", 60_000)
+            .unwrap()
+            .is_ok());
+    }
+
+    #[test]
+    fn multi_night_stay_is_all_or_nothing() {
+        let h = calendar_hotel();
+        // Block the middle night for room 212.
+        let _mid = h
+            .promise_room_night("x", "212", "2007-03-13", 60_000)
+            .unwrap()
+            .unwrap();
+        // A three-night stay in 212 must be rejected wholesale...
+        assert!(h
+            .promise_stay("alice", "212", &["2007-03-12", "2007-03-13", "2007-03-14"], 60_000)
+            .unwrap()
+            .is_err());
+        // ...leaving all of room 512's nights available for the same stay.
+        let stay = h
+            .promise_stay("alice", "512", &["2007-03-12", "2007-03-13", "2007-03-14"], 60_000)
+            .unwrap()
+            .unwrap();
+        assert_eq!(h.book_stay(stay).unwrap(), 3);
+        assert_eq!(h.manager().live_count(), 1, "only x's night remains");
+    }
+
+    #[test]
+    fn booked_stay_consumes_every_night() {
+        let h = calendar_hotel();
+        let stay = h
+            .promise_stay("alice", "212", &["2007-03-12", "2007-03-13"], 60_000)
+            .unwrap()
+            .unwrap();
+        h.book_stay(stay).unwrap();
+        for date in ["2007-03-12", "2007-03-13"] {
+            assert!(h
+                .promise_room_night("bob", "212", date, 60_000)
+                .unwrap()
+                .is_err());
+        }
+        // The unbooked third night is still free.
+        assert!(h
+            .promise_room_night("bob", "212", "2007-03-14", 60_000)
+            .unwrap()
+            .is_ok());
+    }
+}

@@ -1,0 +1,202 @@
+//! The merchant order-handling process of §7 / Figure 1.
+//!
+//! "The merchant order-handling process ... can now ask the manager of
+//! the stock resource for an initial promise that the goods required to
+//! meet an order will not be sold to anyone else for the duration of the
+//! order handling process."
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use promises_core::{
+    Catalog, Environment, PoolSchema, Predicate, PromiseDecision, PromiseError, PromiseId,
+    PromiseManager, PromiseRequestSpec, RejectReason,
+};
+use promises_rm::Record;
+
+/// Table recording completed orders.
+pub const ORDERS_TABLE: &str = "orders";
+
+/// A merchant selling anonymous stock-keeping units.
+pub struct Merchant {
+    pm: Arc<PromiseManager>,
+    next_order: AtomicU64,
+}
+
+impl Merchant {
+    /// Creates a merchant over a promise manager; the order table is
+    /// created eagerly.
+    pub fn new(pm: Arc<PromiseManager>) -> Self {
+        pm.rm().create_table(ORDERS_TABLE);
+        Self {
+            pm,
+            next_order: AtomicU64::new(1),
+        }
+    }
+
+    /// The promise manager this merchant uses.
+    pub fn manager(&self) -> &Arc<PromiseManager> {
+        &self.pm
+    }
+
+    /// Registers a stock-keeping unit with an initial quantity on hand.
+    pub fn stock_sku(&self, sku: &str, qty: u64) -> Result<(), PromiseError> {
+        self.pm.register_pool(PoolSchema::quantity(sku));
+        self.pm.seed_quantity(sku, qty)
+    }
+
+    /// Current quantity on hand for a SKU.
+    pub fn on_hand(&self, sku: &str) -> Result<u64, PromiseError> {
+        let rm = self.pm.rm();
+        let txn = rm.begin();
+        let qty = rm
+            .get(&txn, Catalog::QTY_TABLE, sku)?
+            .and_then(|r| r.int("qty"))
+            .map(|v| v.max(0) as u64)
+            .unwrap_or(0);
+        rm.commit(txn)?;
+        Ok(qty)
+    }
+
+    /// Figure 1 step 1: request a promise that `qty` units of `sku` stay
+    /// available for `duration_ms`. Returns the promise or the rejection
+    /// reason (goods unavailable → "terminate order process").
+    pub fn reserve_stock(
+        &self,
+        client: &str,
+        sku: &str,
+        qty: u64,
+        duration_ms: u64,
+    ) -> Result<Result<PromiseId, RejectReason>, PromiseError> {
+        let order_no = self.next_order.fetch_add(1, Ordering::Relaxed);
+        let resp = self.pm.request(
+            PromiseRequestSpec::new(
+                promises_core::RequestId(format!("order-{order_no}")),
+                promises_core::ClientId(client.to_owned()),
+            )
+            .predicate(Predicate::qty_at_least(sku, qty))
+            .duration_ms(duration_ms),
+        )?;
+        Ok(match resp.decision {
+            PromiseDecision::Granted { promise, .. } => Ok(promise),
+            PromiseDecision::Rejected { reason } => Err(reason),
+        })
+    }
+
+    /// Figure 1 final step: "send 'purchase stock' request ... and release
+    /// promise to keep stock level". Decrements stock and records the
+    /// order, releasing the promise atomically with success.
+    pub fn purchase(
+        &self,
+        promise: PromiseId,
+        client: &str,
+        sku: &str,
+        qty: u64,
+    ) -> Result<String, PromiseError> {
+        let order_id = format!("o-{}", self.next_order.fetch_add(1, Ordering::Relaxed));
+        let env = Environment::none().releasing(promise);
+        let sku = sku.to_owned();
+        let client = client.to_owned();
+        let oid = order_id.clone();
+        self.pm.execute(&env, move |rm, txn| {
+            let current = rm
+                .get(txn, Catalog::QTY_TABLE, &sku)
+                .map_err(promises_core::ActionError::from)?
+                .and_then(|r| r.int("qty"))
+                .unwrap_or(0);
+            if current < qty as i64 {
+                return Err(format!("insufficient stock: {current} < {qty}").into());
+            }
+            rm.update(txn, Catalog::QTY_TABLE, &sku, |r| {
+                r.set("qty", current - qty as i64);
+            })
+            .map_err(promises_core::ActionError::from)?;
+            rm.insert(
+                txn,
+                ORDERS_TABLE,
+                &oid,
+                Record::new()
+                    .with("client", client.as_str())
+                    .with("sku", sku.as_str())
+                    .with("qty", qty as i64),
+            )
+            .map_err(promises_core::ActionError::from)
+        })?;
+        Ok(order_id)
+    }
+
+    /// Abandons an order, releasing its stock promise.
+    pub fn abandon(&self, promise: PromiseId) -> Result<(), PromiseError> {
+        self.pm.release(promise)
+    }
+
+    /// Number of completed orders.
+    pub fn order_count(&self) -> Result<usize, PromiseError> {
+        let rm = self.pm.rm();
+        let txn = rm.begin();
+        let n = rm.scan(&txn, ORDERS_TABLE)?.len();
+        rm.commit(txn)?;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promises_core::SystemClock;
+    use promises_rm::ResourceManager;
+
+    fn merchant() -> Merchant {
+        let rm = Arc::new(ResourceManager::new());
+        let pm = Arc::new(PromiseManager::new(rm, Arc::new(SystemClock::new())));
+        let m = Merchant::new(pm);
+        m.stock_sku("pink-widgets", 20).unwrap();
+        m
+    }
+
+    #[test]
+    fn figure1_full_flow() {
+        let m = merchant();
+        let p = m
+            .reserve_stock("alice", "pink-widgets", 5, 60_000)
+            .unwrap()
+            .expect("stock available");
+        let order = m.purchase(p, "alice", "pink-widgets", 5).unwrap();
+        assert!(order.starts_with("o-"));
+        assert_eq!(m.on_hand("pink-widgets").unwrap(), 15);
+        assert_eq!(m.order_count().unwrap(), 1);
+        assert_eq!(m.manager().live_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_orders_share_stock_without_blocking() {
+        let m = merchant();
+        let a = m.reserve_stock("a", "pink-widgets", 10, 60_000).unwrap().unwrap();
+        let b = m.reserve_stock("b", "pink-widgets", 10, 60_000).unwrap().unwrap();
+        assert!(m
+            .reserve_stock("c", "pink-widgets", 1, 60_000)
+            .unwrap()
+            .is_err());
+        m.purchase(a, "a", "pink-widgets", 10).unwrap();
+        m.purchase(b, "b", "pink-widgets", 10).unwrap();
+        assert_eq!(m.on_hand("pink-widgets").unwrap(), 0);
+    }
+
+    #[test]
+    fn abandon_frees_stock() {
+        let m = merchant();
+        let p = m.reserve_stock("a", "pink-widgets", 20, 60_000).unwrap().unwrap();
+        m.abandon(p).unwrap();
+        assert!(m
+            .reserve_stock("b", "pink-widgets", 20, 60_000)
+            .unwrap()
+            .is_ok());
+    }
+
+    #[test]
+    fn unknown_sku_rejects() {
+        let m = merchant();
+        let r = m.reserve_stock("a", "no-such-sku", 1, 60_000).unwrap();
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! The travel-planning example of §4: "a client may want a promise that a
+//! flight and a rental car and a hotel room will all be available. By
+//! treating the evaluation and granting of all the predicates carried in
+//! a single promise request as an atomic unit, the client can ensure that
+//! they will either get all the resources they need or none of them."
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use promises_core::{
+    Catalog, Environment, PoolSchema, Predicate, PromiseDecision, PromiseError, PromiseId,
+    PromiseManager, PromiseRequestSpec, PropExpr, PropertyDef, RejectReason,
+};
+use promises_rm::Record;
+
+/// Pool names used by the agent.
+const FLIGHTS: &str = "flight-seats";
+const CARS: &str = "rental-cars";
+const ROOMS: &str = "travel-rooms";
+
+/// A confirmed, all-or-nothing travel booking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TravelBooking {
+    /// The room instance booked.
+    pub room: String,
+}
+
+/// A travel agent placing atomic flight+car+hotel promise requests.
+pub struct TravelAgent {
+    pm: Arc<PromiseManager>,
+    next_req: AtomicU64,
+}
+
+impl TravelAgent {
+    /// Creates the agent and its three resource pools: `flight_seats`
+    /// anonymous seats, `cars` anonymous rental cars, and `rooms` hotel
+    /// room instances (a view each).
+    pub fn new(
+        pm: Arc<PromiseManager>,
+        flight_seats: u64,
+        cars: u64,
+        rooms: &[(&str, bool)],
+    ) -> Result<Self, PromiseError> {
+        pm.register_pool(PoolSchema::quantity(FLIGHTS));
+        pm.seed_quantity(FLIGHTS, flight_seats)?;
+        pm.register_pool(PoolSchema::quantity(CARS));
+        pm.seed_quantity(CARS, cars)?;
+        pm.register_pool(PoolSchema::instances(
+            ROOMS,
+            vec![PropertyDef::plain("view")],
+        ));
+        for (number, view) in rooms {
+            pm.seed_instance(ROOMS, *number, Record::new().with("view", *view))?;
+        }
+        Ok(Self {
+            pm,
+            next_req: AtomicU64::new(1),
+        })
+    }
+
+    /// The promise manager this agent uses.
+    pub fn manager(&self) -> &Arc<PromiseManager> {
+        &self.pm
+    }
+
+    /// Atomically promises one flight seat, one car, and one room
+    /// (optionally with a view). All three or none (§4).
+    pub fn promise_trip(
+        &self,
+        client: &str,
+        want_view: bool,
+        duration_ms: u64,
+    ) -> Result<Result<PromiseId, RejectReason>, PromiseError> {
+        let n = self.next_req.fetch_add(1, Ordering::Relaxed);
+        let room_expr = if want_view {
+            PropExpr::eq("view", true)
+        } else {
+            PropExpr::True
+        };
+        let resp = self.pm.request(
+            PromiseRequestSpec::new(
+                promises_core::RequestId(format!("trip-{n}")),
+                promises_core::ClientId(client.to_owned()),
+            )
+            .predicate(Predicate::qty_at_least(FLIGHTS, 1))
+            .predicate(Predicate::qty_at_least(CARS, 1))
+            .predicate(Predicate::property(ROOMS, room_expr, 1))
+            .duration_ms(duration_ms),
+        )?;
+        Ok(match resp.decision {
+            PromiseDecision::Granted { promise, .. } => Ok(promise),
+            PromiseDecision::Rejected { reason } => Err(reason),
+        })
+    }
+
+    /// Confirms the whole trip: consumes a seat, a car, and the allocated
+    /// room; releases the promise atomically with success.
+    pub fn confirm(&self, promise: PromiseId) -> Result<TravelBooking, PromiseError> {
+        let rec = self
+            .pm
+            .promise(promise)
+            .ok_or(PromiseError::UnknownPromise(promise))?;
+        let room = rec
+            .allocated_in(&promises_core::PoolId::from(ROOMS))
+            .first()
+            .map(|i| i.0.clone())
+            .ok_or_else(|| PromiseError::ActionFailed("no room allocation".into()))?;
+        let booked = room.clone();
+        let room_table = Catalog::instance_table(&promises_core::PoolId::from(ROOMS));
+        self.pm
+            .execute(&Environment::none().releasing(promise), move |rm, txn| {
+                for pool in [FLIGHTS, CARS] {
+                    rm.update(txn, Catalog::QTY_TABLE, pool, |r| {
+                        let q = r.int("qty").unwrap_or(0);
+                        r.set("qty", q - 1);
+                    })
+                    .map_err(promises_core::ActionError::from)?;
+                }
+                rm.update(txn, &room_table, &room, |r| {
+                    r.set(Catalog::STATUS, promises_core::status::TAKEN);
+                })
+                .map_err(promises_core::ActionError::from)
+            })?;
+        Ok(TravelBooking { room: booked })
+    }
+
+    /// Abandons the trip.
+    pub fn cancel(&self, promise: PromiseId) -> Result<(), PromiseError> {
+        self.pm.release(promise)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promises_core::SystemClock;
+    use promises_rm::ResourceManager;
+
+    fn agent(flights: u64, cars: u64) -> TravelAgent {
+        let pm = Arc::new(PromiseManager::new(
+            Arc::new(ResourceManager::new()),
+            Arc::new(SystemClock::new()),
+        ));
+        TravelAgent::new(pm, flights, cars, &[("201", false), ("512", true)]).unwrap()
+    }
+
+    #[test]
+    fn atomic_trip_grant_and_confirm() {
+        let a = agent(2, 2);
+        let p = a.promise_trip("alice", true, 60_000).unwrap().unwrap();
+        let booking = a.confirm(p).unwrap();
+        assert_eq!(booking.room, "512", "the view room");
+        assert_eq!(a.manager().live_count(), 0);
+    }
+
+    #[test]
+    fn missing_car_rejects_whole_trip() {
+        let a = agent(5, 0);
+        let reason = a.promise_trip("alice", false, 60_000).unwrap().unwrap_err();
+        assert!(matches!(reason, RejectReason::InsufficientQuantity { .. }));
+        // Nothing was partially held: a carless competitor can't exist, but
+        // flights remain fully promisable via a second agent path.
+        assert_eq!(a.manager().live_count(), 0);
+    }
+
+    #[test]
+    fn two_view_trips_cannot_both_hold() {
+        let a = agent(5, 5);
+        let _p1 = a.promise_trip("alice", true, 60_000).unwrap().unwrap();
+        let r = a.promise_trip("bob", true, 60_000).unwrap();
+        assert!(r.is_err(), "only one view room exists");
+        // A viewless trip still fits.
+        let _p2 = a.promise_trip("bob", false, 60_000).unwrap().unwrap();
+    }
+
+    #[test]
+    fn cancel_releases_everything() {
+        let a = agent(1, 1);
+        let p = a.promise_trip("alice", false, 60_000).unwrap().unwrap();
+        a.cancel(p).unwrap();
+        let p2 = a.promise_trip("bob", false, 60_000).unwrap().unwrap();
+        a.confirm(p2).unwrap();
+    }
+}

@@ -1,0 +1,329 @@
+//! An event-driven order workflow: the paper's long-running business
+//! process made explicit.
+//!
+//! The authors' prototype ran on their GAT event-driven workflow engine
+//! [5]; this module substitutes a small explicit state machine with the
+//! same shape: a multi-step process that obtains its promises up front
+//! (stock + shipping), holds them across intermediate steps (payment),
+//! and finally performs the consuming action atomically with the promise
+//! releases. Every §4 atomicity rule is visible in the transitions:
+//!
+//! ```text
+//! New --reserve--> Reserved --pay--> Paid --ship+purchase--> Completed
+//!   \                |                 |
+//!    \(rejected)     |(abandon)        |(action fails: promises retained,
+//!     v              v                 |  retry possible)
+//!   Rejected      Abandoned <----------+--(give up)
+//! ```
+
+use std::sync::Arc;
+
+use promises_core::{PromiseError, PromiseId, RejectReason};
+
+use crate::merchant::Merchant;
+use crate::shipping::Shipping;
+
+/// Current state of one order workflow instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderState {
+    /// Created; nothing promised yet.
+    New,
+    /// Stock and shipping promised; payment outstanding.
+    Reserved {
+        /// Stock promise.
+        stock: PromiseId,
+        /// Next-day-shipping promise.
+        shipping: PromiseId,
+    },
+    /// Payment settled; awaiting fulfilment.
+    Paid {
+        /// Stock promise (still held).
+        stock: PromiseId,
+        /// Shipping promise (still held).
+        shipping: PromiseId,
+    },
+    /// Fulfilled: stock consumed, shipment booked, promises released.
+    Completed {
+        /// The merchant's order id.
+        order_id: String,
+    },
+    /// The initial promise request was rejected — the Figure 1 "terminate
+    /// order process saying goods unavailable" branch.
+    Rejected(RejectReason),
+    /// Abandoned by the customer; promises released.
+    Abandoned,
+}
+
+/// Events driving the workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderEvent {
+    /// Customer placed the order: reserve stock and shipping.
+    Place,
+    /// Payment arrived.
+    PaymentReceived,
+    /// Payment failed or customer walked away.
+    Cancel,
+    /// Fulfil: purchase the stock and ship, releasing all promises.
+    Fulfil,
+}
+
+/// Errors from illegal transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidTransition {
+    /// The state the event arrived in.
+    pub state: String,
+    /// The offending event.
+    pub event: String,
+}
+
+impl std::fmt::Display for InvalidTransition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "event {} not valid in state {}", self.event, self.state)
+    }
+}
+
+impl std::error::Error for InvalidTransition {}
+
+/// Workflow-level errors.
+#[derive(Debug)]
+pub enum WorkflowError {
+    /// Illegal event for the current state.
+    Invalid(InvalidTransition),
+    /// Underlying promise-layer failure.
+    Promise(PromiseError),
+}
+
+impl std::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkflowError::Invalid(e) => write!(f, "{e}"),
+            WorkflowError::Promise(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+impl From<PromiseError> for WorkflowError {
+    fn from(e: PromiseError) -> Self {
+        WorkflowError::Promise(e)
+    }
+}
+
+/// One long-running order process over a merchant and a shipping service
+/// (both fronted by promise managers; they may share one or use two).
+pub struct OrderWorkflow {
+    merchant: Arc<Merchant>,
+    shipping: Arc<Shipping>,
+    client: String,
+    sku: String,
+    qty: u64,
+    duration_ms: u64,
+    state: OrderState,
+}
+
+impl OrderWorkflow {
+    /// Creates a workflow instance in [`OrderState::New`].
+    pub fn new(
+        merchant: Arc<Merchant>,
+        shipping: Arc<Shipping>,
+        client: &str,
+        sku: &str,
+        qty: u64,
+        duration_ms: u64,
+    ) -> Self {
+        Self {
+            merchant,
+            shipping,
+            client: client.to_owned(),
+            sku: sku.to_owned(),
+            qty,
+            duration_ms,
+            state: OrderState::New,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> &OrderState {
+        &self.state
+    }
+
+    /// Feeds one event into the state machine, performing the associated
+    /// promise operations, and returns the new state.
+    pub fn handle(&mut self, event: OrderEvent) -> Result<&OrderState, WorkflowError> {
+        let invalid = |state: &OrderState, event: &OrderEvent| {
+            WorkflowError::Invalid(InvalidTransition {
+                state: format!("{state:?}"),
+                event: format!("{event:?}"),
+            })
+        };
+        self.state = match (&self.state, &event) {
+            (OrderState::New, OrderEvent::Place) => {
+                // Obtain BOTH promises; compensate the first if the second
+                // is rejected so placement stays all-or-nothing.
+                match self
+                    .merchant
+                    .reserve_stock(&self.client, &self.sku, self.qty, self.duration_ms)?
+                {
+                    Err(reason) => OrderState::Rejected(reason),
+                    Ok(stock) => {
+                        match self.shipping.promise_next_day(&self.client, self.duration_ms)? {
+                            Ok(shipping) => OrderState::Reserved { stock, shipping },
+                            Err(reason) => {
+                                self.merchant.abandon(stock)?;
+                                OrderState::Rejected(reason)
+                            }
+                        }
+                    }
+                }
+            }
+            (OrderState::Reserved { stock, shipping }, OrderEvent::PaymentReceived) => {
+                // Payment is external to the resource pools; the promises
+                // simply persist across this step.
+                OrderState::Paid {
+                    stock: *stock,
+                    shipping: *shipping,
+                }
+            }
+            (
+                OrderState::Reserved { stock, shipping } | OrderState::Paid { stock, shipping },
+                OrderEvent::Cancel,
+            ) => {
+                self.merchant.abandon(*stock)?;
+                self.shipping.manager().release(*shipping)?;
+                OrderState::Abandoned
+            }
+            (OrderState::Paid { stock, shipping }, OrderEvent::Fulfil) => {
+                // Two §4 atomic units: purchase+release(stock) at the
+                // merchant, ship+release(shipping) at the shipper. Each is
+                // atomic within its own trust domain — exactly the paper's
+                // scoping ("the transaction is local to a trust domain").
+                let order_id =
+                    self.merchant
+                        .purchase(*stock, &self.client, &self.sku, self.qty)?;
+                self.shipping.ship(*shipping)?;
+                OrderState::Completed { order_id }
+            }
+            (state, event) => return Err(invalid(state, event)),
+        };
+        Ok(&self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use promises_core::{PromiseManager, SystemClock};
+    use promises_rm::ResourceManager;
+
+    fn services(stock: u64, slots: u64) -> (Arc<Merchant>, Arc<Shipping>) {
+        let pm = Arc::new(PromiseManager::new(
+            Arc::new(ResourceManager::new()),
+            Arc::new(SystemClock::new()),
+        ));
+        let merchant = Arc::new(Merchant::new(Arc::clone(&pm)));
+        merchant.stock_sku("widgets", stock).unwrap();
+        let shipping = Arc::new(Shipping::new(pm, slots).unwrap());
+        (merchant, shipping)
+    }
+
+    fn flow(stock: u64, slots: u64) -> OrderWorkflow {
+        let (m, s) = services(stock, slots);
+        OrderWorkflow::new(m, s, "alice", "widgets", 5, 60_000)
+    }
+
+    #[test]
+    fn happy_path_to_completion() {
+        let mut wf = flow(10, 2);
+        assert!(matches!(
+            wf.handle(OrderEvent::Place).unwrap(),
+            OrderState::Reserved { .. }
+        ));
+        assert!(matches!(
+            wf.handle(OrderEvent::PaymentReceived).unwrap(),
+            OrderState::Paid { .. }
+        ));
+        let done = wf.handle(OrderEvent::Fulfil).unwrap().clone();
+        let OrderState::Completed { order_id } = done else {
+            panic!("expected completion");
+        };
+        assert!(order_id.starts_with("o-"));
+        assert_eq!(wf.merchant.on_hand("widgets").unwrap(), 5);
+        assert_eq!(wf.shipping.capacity().unwrap(), 1);
+        assert_eq!(wf.merchant.manager().live_count(), 0);
+    }
+
+    #[test]
+    fn rejected_when_out_of_stock() {
+        let mut wf = flow(3, 2);
+        assert!(matches!(
+            wf.handle(OrderEvent::Place).unwrap(),
+            OrderState::Rejected(RejectReason::InsufficientQuantity { .. })
+        ));
+    }
+
+    #[test]
+    fn shipping_rejection_compensates_stock_promise() {
+        let mut wf = flow(10, 0);
+        assert!(matches!(
+            wf.handle(OrderEvent::Place).unwrap(),
+            OrderState::Rejected(_)
+        ));
+        // The stock promise was compensated away: all 10 promisable again.
+        assert!(wf
+            .merchant
+            .reserve_stock("bob", "widgets", 10, 60_000)
+            .unwrap()
+            .is_ok());
+    }
+
+    #[test]
+    fn cancel_releases_everything() {
+        let mut wf = flow(5, 1);
+        wf.handle(OrderEvent::Place).unwrap();
+        wf.handle(OrderEvent::Cancel).unwrap();
+        assert_eq!(wf.state(), &OrderState::Abandoned);
+        assert_eq!(wf.merchant.manager().live_count(), 0);
+        // Capacity untouched.
+        assert_eq!(wf.shipping.capacity().unwrap(), 1);
+        assert_eq!(wf.merchant.on_hand("widgets").unwrap(), 5);
+    }
+
+    #[test]
+    fn illegal_transitions_are_rejected() {
+        let mut wf = flow(10, 1);
+        assert!(matches!(
+            wf.handle(OrderEvent::Fulfil),
+            Err(WorkflowError::Invalid(_))
+        ));
+        wf.handle(OrderEvent::Place).unwrap();
+        assert!(matches!(
+            wf.handle(OrderEvent::Place),
+            Err(WorkflowError::Invalid(_))
+        ));
+        // Fulfil before payment is not allowed.
+        assert!(matches!(
+            wf.handle(OrderEvent::Fulfil),
+            Err(WorkflowError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn concurrent_workflows_compete_for_stock_and_slots() {
+        let (m, s) = services(10, 1);
+        let mut a = OrderWorkflow::new(Arc::clone(&m), Arc::clone(&s), "a", "widgets", 5, 60_000);
+        let mut b = OrderWorkflow::new(Arc::clone(&m), Arc::clone(&s), "b", "widgets", 5, 60_000);
+        a.handle(OrderEvent::Place).unwrap();
+        // b gets stock but not the single shipping slot; its stock promise
+        // must be compensated, leaving a's promises intact.
+        assert!(matches!(
+            b.handle(OrderEvent::Place).unwrap(),
+            OrderState::Rejected(_)
+        ));
+        a.handle(OrderEvent::PaymentReceived).unwrap();
+        assert!(matches!(
+            a.handle(OrderEvent::Fulfil).unwrap(),
+            OrderState::Completed { .. }
+        ));
+    }
+}

@@ -1,0 +1,34 @@
+//! `promises-sim` — deterministic concurrent workload harness for the
+//! Promises evaluation.
+//!
+//! The CIDR'07 paper is a position paper with no measured evaluation;
+//! this crate supplies the workload machinery that turns its qualitative
+//! claims into measurable experiments (DESIGN.md E2–E9):
+//!
+//! * [`WorkloadConfig`] — reproducible client mixes: pool count, hotspot
+//!   skew, think time, abandonment rate, single- or multi-pool
+//!   operations, all derived from a seed;
+//! * [`run_qty_workload`] — drives any [`promises_baselines::QtyReserver`]
+//!   (lock-based, optimistic, escrow, or the promise-manager adapter)
+//!   with N concurrent clients and reports throughput and failure
+//!   taxonomy;
+//! * [`PromiseQtyReserver`] — the adapter exposing a
+//!   [`promises_core::PromiseManager`] through the same reserve/consume
+//!   interface the baselines implement.
+
+#![warn(missing_docs)]
+
+mod adapter;
+mod driver;
+mod instances;
+mod metrics;
+mod workload;
+
+pub use adapter::{promise_reserver, PromiseQtyReserver};
+pub use instances::{
+    instance_name, promise_instance_reserver, run_instance_workload, seed_instances,
+    PromiseInstanceReserver, INSTANCE_POOL,
+};
+pub use driver::{run_qty_workload, seed_pools};
+pub use metrics::RunReport;
+pub use workload::{pool_name, WorkloadConfig};

@@ -1,0 +1,108 @@
+//! Run-level metrics collected by the driver.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Shared atomic counters written by client threads.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub attempts: AtomicU64,
+    pub completed: AtomicU64,
+    pub abandoned: AtomicU64,
+    pub failed_fast: AtomicU64,
+    pub failed_late: AtomicU64,
+    pub deadlocks: AtomicU64,
+    pub errors: AtomicU64,
+    pub latency_us: AtomicU64,
+}
+
+/// Final report of one workload run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunReport {
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Operations attempted.
+    pub attempts: u64,
+    /// Operations that reserved and consumed successfully.
+    pub completed: u64,
+    /// Operations abandoned by the client (reservation cancelled).
+    pub abandoned: u64,
+    /// Reservations refused immediately (promise rejection / escrow
+    /// headroom / lock-time insufficiency).
+    pub failed_fast: u64,
+    /// Failures discovered only at consume time (optimistic baseline's
+    /// late conflicts) — the failure mode promises eliminate.
+    pub failed_late: u64,
+    /// Deadlock-victim aborts observed by clients.
+    pub deadlocks: u64,
+    /// Other errors.
+    pub errors: u64,
+    /// Mean end-to-end latency of completed operations.
+    pub avg_latency: Duration,
+    /// Completed operations per second.
+    pub throughput: f64,
+}
+
+impl Counters {
+    pub(crate) fn report(&self, wall: Duration) -> RunReport {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let latency_us = self.latency_us.load(Ordering::Relaxed);
+        RunReport {
+            wall,
+            attempts: self.attempts.load(Ordering::Relaxed),
+            completed,
+            abandoned: self.abandoned.load(Ordering::Relaxed),
+            failed_fast: self.failed_fast.load(Ordering::Relaxed),
+            failed_late: self.failed_late.load(Ordering::Relaxed),
+            deadlocks: self.deadlocks.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            avg_latency: latency_us
+                .checked_div(completed)
+                .map(Duration::from_micros)
+                .unwrap_or(Duration::ZERO),
+            throughput: if wall.as_secs_f64() > 0.0 {
+                completed as f64 / wall.as_secs_f64()
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+impl RunReport {
+    /// Fraction of attempts that completed.
+    pub fn goodput_ratio(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.attempts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_computes_ratios() {
+        let c = Counters::default();
+        c.attempts.store(10, Ordering::Relaxed);
+        c.completed.store(5, Ordering::Relaxed);
+        c.latency_us.store(5_000, Ordering::Relaxed);
+        let r = c.report(Duration::from_secs(2));
+        assert_eq!(r.completed, 5);
+        assert!((r.throughput - 2.5).abs() < 1e-9);
+        assert_eq!(r.avg_latency, Duration::from_micros(1_000));
+        assert!((r.goodput_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_sane() {
+        let c = Counters::default();
+        let r = c.report(Duration::ZERO);
+        assert_eq!(r.throughput, 0.0);
+        assert_eq!(r.avg_latency, Duration::ZERO);
+        assert_eq!(r.goodput_ratio(), 0.0);
+    }
+}

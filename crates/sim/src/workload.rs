@@ -1,0 +1,160 @@
+//! Workload configuration and deterministic operation generation.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Name of the i-th quantity pool.
+pub fn pool_name(i: usize) -> String {
+    format!("pool-{i}")
+}
+
+/// A reproducible reserve-think-consume workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Operations each client attempts.
+    pub ops_per_client: usize,
+    /// Number of quantity pools.
+    pub pools: usize,
+    /// Probability an operation targets pool 0 (hotspot); the rest of the
+    /// probability mass is uniform over all pools.
+    pub hotspot_probability: f64,
+    /// Amounts are drawn uniformly from `1..=amount_max`.
+    pub amount_max: u64,
+    /// Simulated long-running work between reserve and consume.
+    pub think: Duration,
+    /// Probability a reservation is abandoned instead of consumed.
+    pub abandon_probability: f64,
+    /// If true, each operation reserves *two* distinct pools before
+    /// consuming either — half the clients in one order, half in the
+    /// opposite order (the classic deadlock shape for lock-based
+    /// reservations).
+    pub multi_pool: bool,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            clients: 8,
+            ops_per_client: 50,
+            pools: 4,
+            hotspot_probability: 0.5,
+            amount_max: 3,
+            think: Duration::from_millis(1),
+            abandon_probability: 0.1,
+            multi_pool: false,
+            seed: 42,
+        }
+    }
+}
+
+/// One generated operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Op {
+    /// Pools to reserve, in order. One entry unless `multi_pool`.
+    pub pools: Vec<usize>,
+    /// Units per pool.
+    pub amount: u64,
+    /// Abandon instead of consuming?
+    pub abandon: bool,
+}
+
+impl WorkloadConfig {
+    /// Generates client `client`'s operation stream (deterministic in
+    /// `(seed, client)`).
+    pub fn ops_for_client(&self, client: usize) -> Vec<Op> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (client as u64).wrapping_mul(0x9E3779B9));
+        (0..self.ops_per_client)
+            .map(|_| {
+                let first = self.pick_pool(&mut rng);
+                let pools = if self.multi_pool && self.pools >= 2 {
+                    let mut second = self.pick_pool(&mut rng);
+                    while second == first {
+                        second = self.pick_pool(&mut rng);
+                    }
+                    // Opposite lock orders by client parity.
+                    let (a, b) = (first.min(second), first.max(second));
+                    if client.is_multiple_of(2) {
+                        vec![a, b]
+                    } else {
+                        vec![b, a]
+                    }
+                } else {
+                    vec![first]
+                };
+                Op {
+                    pools,
+                    amount: rng.random_range(1..=self.amount_max.max(1)),
+                    abandon: rng.random_bool(self.abandon_probability.clamp(0.0, 1.0)),
+                }
+            })
+            .collect()
+    }
+
+    fn pick_pool(&self, rng: &mut StdRng) -> usize {
+        if self.pools <= 1 {
+            return 0;
+        }
+        if rng.random_bool(self.hotspot_probability.clamp(0.0, 1.0)) {
+            0
+        } else {
+            rng.random_range(0..self.pools)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = WorkloadConfig::default();
+        assert_eq!(cfg.ops_for_client(3), cfg.ops_for_client(3));
+        assert_ne!(cfg.ops_for_client(3), cfg.ops_for_client(4));
+    }
+
+    #[test]
+    fn hotspot_skews_to_pool_zero() {
+        let cfg = WorkloadConfig {
+            hotspot_probability: 0.9,
+            ops_per_client: 1000,
+            ..WorkloadConfig::default()
+        };
+        let ops = cfg.ops_for_client(0);
+        let hot = ops.iter().filter(|o| o.pools[0] == 0).count();
+        assert!(hot > 850, "hot={hot} of 1000");
+    }
+
+    #[test]
+    fn multi_pool_orders_differ_by_parity() {
+        let cfg = WorkloadConfig {
+            multi_pool: true,
+            pools: 2,
+            hotspot_probability: 0.0,
+            ..WorkloadConfig::default()
+        };
+        let even = cfg.ops_for_client(0);
+        let odd = cfg.ops_for_client(1);
+        assert!(even.iter().all(|o| o.pools == vec![0, 1]));
+        assert!(odd.iter().all(|o| o.pools == vec![1, 0]));
+    }
+
+    #[test]
+    fn amounts_in_range() {
+        let cfg = WorkloadConfig {
+            amount_max: 5,
+            ops_per_client: 500,
+            ..WorkloadConfig::default()
+        };
+        for op in cfg.ops_for_client(7) {
+            assert!((1..=5).contains(&op.amount));
+            assert_eq!(op.pools.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Envelope ↔ XML codec.
+//!
+//! The on-wire shape mirrors §6's description: promise elements live under
+//! a `<header>`, the action under a `<body>`:
+//!
+//! ```xml
+//! <envelope>
+//!   <header>
+//!     <promise-request request-id='r1' client='c' duration='60000'>
+//!       <predicate>qty('widgets') &gt;= 5</predicate>
+//!       <exchange promise='3'/>
+//!     </promise-request>
+//!     <promise-response promise='7' result='accepted' expires='60500'
+//!                       correlation='r0'/>
+//!     <release promise='4'/>
+//!     <environment>
+//!       <under promise='7' release='true'/>
+//!       <under correlation='r1' release='false'/>
+//!     </environment>
+//!   </header>
+//!   <body>
+//!     <action service='merchant' operation='purchase'>
+//!       <param name='qty'>5</param>
+//!     </action>
+//!   </body>
+//! </envelope>
+//! ```
+
+use crate::envelope::{
+    ActionRequest, ActionResponse, EnvEntry, EnvRef, Envelope, EnvironmentHeader,
+    PromiseRequestHeader, PromiseResponseHeader, PromiseResult,
+};
+use crate::xml::{parse, XmlElement, XmlError};
+
+/// Codec error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Malformed XML.
+    Xml(XmlError),
+    /// Well-formed XML with an invalid envelope shape.
+    Shape(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Xml(e) => write!(f, "{e}"),
+            CodecError::Shape(m) => write!(f, "invalid envelope: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<XmlError> for CodecError {
+    fn from(e: XmlError) -> Self {
+        CodecError::Xml(e)
+    }
+}
+
+/// Serialises an envelope to its XML wire form.
+pub fn encode(env: &Envelope) -> String {
+    let mut header = XmlElement::new("header");
+    for pr in &env.promise_requests {
+        let mut el = XmlElement::new("promise-request")
+            .attr("request-id", &pr.request_id)
+            .attr("client", &pr.client)
+            .attr("duration", pr.duration_ms);
+        if pr.negotiate {
+            el = el.attr("negotiate", "true");
+        }
+        for p in &pr.predicates {
+            el = el.child(XmlElement::new("predicate").with_text(p));
+        }
+        for x in &pr.exchange {
+            el = el.child(XmlElement::new("exchange").attr("promise", x));
+        }
+        header = header.child(el);
+    }
+    for resp in &env.promise_responses {
+        let mut el = XmlElement::new("promise-response")
+            .attr("expires", resp.expires_at)
+            .attr("correlation", &resp.correlation);
+        if let Some(id) = resp.promise_id {
+            el = el.attr("promise", id);
+        }
+        el = match &resp.result {
+            PromiseResult::Accepted => el.attr("result", "accepted"),
+            PromiseResult::AcceptedWithCondition(cond) => el
+                .attr("result", "accepted-with-condition")
+                .attr("condition", cond),
+            PromiseResult::Rejected(reason) => {
+                el.attr("result", "rejected").attr("reason", reason)
+            }
+        };
+        for g in &resp.granted_predicates {
+            el = el.child(XmlElement::new("granted-predicate").with_text(g));
+        }
+        header = header.child(el);
+    }
+    for id in &env.releases {
+        header = header.child(XmlElement::new("release").attr("promise", id));
+    }
+    if let Some(e) = &env.environment {
+        let mut el = XmlElement::new("environment");
+        for entry in &e.entries {
+            let mut u = XmlElement::new("under").attr("release", entry.release_after);
+            u = match &entry.reference {
+                EnvRef::Id(id) => u.attr("promise", id),
+                EnvRef::Correlation(c) => u.attr("correlation", c),
+            };
+            el = el.child(u);
+        }
+        header = header.child(el);
+    }
+
+    let mut body = XmlElement::new("body");
+    if let Some(a) = &env.action {
+        let mut el = XmlElement::new("action")
+            .attr("service", &a.service)
+            .attr("operation", &a.operation);
+        for (k, v) in &a.params {
+            el = el.child(XmlElement::new("param").attr("name", k).with_text(v));
+        }
+        body = body.child(el);
+    }
+    if let Some(r) = &env.action_response {
+        let mut el = XmlElement::new("action-response").attr("ok", r.ok);
+        if let Some(e) = &r.error {
+            el = el.attr("error", e);
+        }
+        for (k, v) in &r.fields {
+            el = el.child(XmlElement::new("field").attr("name", k).with_text(v));
+        }
+        body = body.child(el);
+    }
+
+    XmlElement::new("envelope")
+        .child(header)
+        .child(body)
+        .to_xml()
+}
+
+fn req_attr<'x>(el: &'x XmlElement, name: &str) -> Result<&'x str, CodecError> {
+    el.get_attr(name)
+        .ok_or_else(|| CodecError::Shape(format!("<{}> missing attribute {name:?}", el.name)))
+}
+
+fn u64_attr(el: &XmlElement, name: &str) -> Result<u64, CodecError> {
+    req_attr(el, name)?
+        .parse()
+        .map_err(|_| CodecError::Shape(format!("<{}> attribute {name:?} not a u64", el.name)))
+}
+
+/// Parses an envelope from its XML wire form.
+pub fn decode(xml: &str) -> Result<Envelope, CodecError> {
+    let doc = parse(xml)?;
+    if doc.name != "envelope" {
+        return Err(CodecError::Shape(format!(
+            "document element is <{}>, expected <envelope>",
+            doc.name
+        )));
+    }
+    let mut env = Envelope::new();
+    if let Some(header) = doc.find("header") {
+        for el in header.find_all("promise-request") {
+            env.promise_requests.push(PromiseRequestHeader {
+                request_id: req_attr(el, "request-id")?.to_owned(),
+                client: req_attr(el, "client")?.to_owned(),
+                predicates: el.find_all("predicate").map(|p| p.text.clone()).collect(),
+                duration_ms: u64_attr(el, "duration")?,
+                negotiate: el.get_attr("negotiate") == Some("true"),
+                exchange: el
+                    .find_all("exchange")
+                    .map(|x| u64_attr(x, "promise"))
+                    .collect::<Result<_, _>>()?,
+            });
+        }
+        for el in header.find_all("promise-response") {
+            let result = match req_attr(el, "result")? {
+                "accepted" => PromiseResult::Accepted,
+                "accepted-with-condition" => PromiseResult::AcceptedWithCondition(
+                    el.get_attr("condition").unwrap_or("").to_owned(),
+                ),
+                "rejected" => {
+                    PromiseResult::Rejected(el.get_attr("reason").unwrap_or("").to_owned())
+                }
+                other => {
+                    return Err(CodecError::Shape(format!("unknown result {other:?}")));
+                }
+            };
+            env.promise_responses.push(PromiseResponseHeader {
+                promise_id: el
+                    .get_attr("promise")
+                    .map(|v| {
+                        v.parse()
+                            .map_err(|_| CodecError::Shape("bad promise id".into()))
+                    })
+                    .transpose()?,
+                result,
+                expires_at: u64_attr(el, "expires")?,
+                correlation: req_attr(el, "correlation")?.to_owned(),
+                granted_predicates: el
+                    .find_all("granted-predicate")
+                    .map(|p| p.text.clone())
+                    .collect(),
+            });
+        }
+        for el in header.find_all("release") {
+            env.releases.push(u64_attr(el, "promise")?);
+        }
+        if let Some(el) = header.find("environment") {
+            let mut entries = Vec::new();
+            for u in el.find_all("under") {
+                let release_after = req_attr(u, "release")? == "true";
+                let reference = if let Some(id) = u.get_attr("promise") {
+                    EnvRef::Id(
+                        id.parse()
+                            .map_err(|_| CodecError::Shape("bad promise id".into()))?,
+                    )
+                } else if let Some(c) = u.get_attr("correlation") {
+                    EnvRef::Correlation(c.to_owned())
+                } else {
+                    return Err(CodecError::Shape(
+                        "<under> needs promise or correlation".into(),
+                    ));
+                };
+                entries.push(EnvEntry {
+                    reference,
+                    release_after,
+                });
+            }
+            env.environment = Some(EnvironmentHeader { entries });
+        }
+    }
+    if let Some(body) = doc.find("body") {
+        if let Some(el) = body.find("action") {
+            env.action = Some(ActionRequest {
+                service: req_attr(el, "service")?.to_owned(),
+                operation: req_attr(el, "operation")?.to_owned(),
+                params: el
+                    .find_all("param")
+                    .map(|p| Ok((req_attr(p, "name")?.to_owned(), p.text.clone())))
+                    .collect::<Result<_, CodecError>>()?,
+            });
+        }
+        if let Some(el) = body.find("action-response") {
+            env.action_response = Some(ActionResponse {
+                ok: req_attr(el, "ok")? == "true",
+                error: el.get_attr("error").map(str::to_owned),
+                fields: el
+                    .find_all("field")
+                    .map(|p| Ok((req_attr(p, "name")?.to_owned(), p.text.clone())))
+                    .collect::<Result<_, CodecError>>()?,
+            });
+        }
+    }
+    Ok(env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_envelope() -> Envelope {
+        Envelope {
+            promise_requests: vec![PromiseRequestHeader {
+                request_id: "r1".into(),
+                client: "order-process".into(),
+                predicates: vec![
+                    "qty('pink widgets') >= 5".into(),
+                    "prop('rooms', 2): floor == 5 && view == true".into(),
+                ],
+                duration_ms: 60_000,
+                exchange: vec![3, 4],
+            negotiate: false,
+            }],
+            promise_responses: vec![
+                PromiseResponseHeader {
+                    promise_id: Some(7),
+                    result: PromiseResult::Accepted,
+                    expires_at: 60_500,
+                    correlation: "r0".into(),
+            granted_predicates: vec![],
+                },
+                PromiseResponseHeader {
+                    promise_id: None,
+                    result: PromiseResult::Rejected("insufficient".into()),
+                    expires_at: 0,
+                    correlation: "r-old".into(),
+            granted_predicates: vec![],
+                },
+            ],
+            releases: vec![9],
+            environment: Some(EnvironmentHeader {
+                entries: vec![
+                    EnvEntry {
+                        reference: EnvRef::Id(7),
+                        release_after: true,
+                    },
+                    EnvEntry {
+                        reference: EnvRef::Correlation("r1".into()),
+                        release_after: false,
+                    },
+                ],
+            }),
+            action: Some(
+                ActionRequest::new("merchant", "purchase")
+                    .param("pool", "pink widgets")
+                    .param("qty", 5),
+            ),
+            action_response: Some(ActionResponse::success().field("order", "o-1")),
+        }
+    }
+
+    #[test]
+    fn full_roundtrip() {
+        let env = full_envelope();
+        let xml = encode(&env);
+        let back = decode(&xml).unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let env = Envelope::new();
+        assert_eq!(decode(&encode(&env)).unwrap(), env);
+    }
+
+    #[test]
+    fn predicates_with_xml_specials_survive() {
+        let mut env = Envelope::new();
+        env.promise_requests.push(PromiseRequestHeader {
+            request_id: "r".into(),
+            client: "c".into(),
+            predicates: vec!["qty('a&b') >= 5".into(), "prop('x'): a < 3 && b > 1".into()],
+            duration_ms: 1,
+            exchange: vec![],
+            negotiate: false,
+        });
+        let back = decode(&encode(&env)).unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(decode("<nope/>").is_err());
+        assert!(decode("<envelope><header><promise-request/></header></envelope>").is_err());
+        assert!(decode(
+            "<envelope><header><promise-response result='weird' expires='1' correlation='c'/></header></envelope>"
+        )
+        .is_err());
+        assert!(decode(
+            "<envelope><header><environment><under release='true'/></environment></header></envelope>"
+        )
+        .is_err());
+        assert!(decode("not xml").is_err());
+    }
+}

@@ -1,0 +1,302 @@
+//! Message envelopes carrying the §6 promise protocol.
+//!
+//! "All of our promise protocol messages can be transferred as elements in
+//! SOAP message headers and the associated actions can be carried within
+//! the body of the same SOAP messages" (§2). An [`Envelope`] may carry any
+//! subset of the protocol elements — promise requests, promise responses,
+//! releases, an environment, an action, an action response — "related to
+//! the message body or unrelated", including piggybacked responses (§6).
+
+/// A `<promise-request>` header element (§6).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PromiseRequestHeader {
+    /// Request identifier correlating request and response.
+    pub request_id: String,
+    /// Requesting client identity.
+    pub client: String,
+    /// Predicates in the text syntax of [`promises_core::parse_predicate`]
+    /// (each names its resource pool, fulfilling §6's "set of resources").
+    pub predicates: Vec<String>,
+    /// Requested promise duration in milliseconds.
+    pub duration_ms: u64,
+    /// Existing promise ids released iff this request is granted.
+    pub exchange: Vec<u64>,
+    /// If true, the promise maker may answer with an
+    /// [`PromiseResult::AcceptedWithCondition`] response granting a
+    /// weakened form of the predicates (desirable clauses dropped) — the
+    /// §6 "accepted with the condition XX" possibility.
+    pub negotiate: bool,
+}
+
+/// Result carried in a `<promise-response>` (§6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PromiseResult {
+    /// Request accepted; a promise id is available.
+    Accepted,
+    /// Request accepted after negotiation, under the stated condition
+    /// (e.g. "dropped 2 desirable clause(s)"); the response carries the
+    /// predicates as actually granted.
+    AcceptedWithCondition(String),
+    /// Request rejected with a human-readable reason.
+    Rejected(String),
+}
+
+/// A `<promise-response>` header element (§6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromiseResponseHeader {
+    /// The promise identifier (present iff accepted).
+    pub promise_id: Option<u64>,
+    /// Accepted or rejected.
+    pub result: PromiseResult,
+    /// Expiry timestamp granted by the manager (manager clock, ms); may
+    /// reflect a shorter duration than requested.
+    pub expires_at: u64,
+    /// Correlates with [`PromiseRequestHeader::request_id`].
+    pub correlation: String,
+    /// The predicates as actually granted (present for negotiated
+    /// accept-with-condition responses; empty otherwise).
+    pub granted_predicates: Vec<String>,
+}
+
+/// How an environment entry names its promise: by id (already granted) or
+/// by the correlation id of a promise requested *in the same message* —
+/// supporting the §6 combined request+action atomic unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvRef {
+    /// A known promise id.
+    Id(u64),
+    /// The request id of a promise requested in this same envelope.
+    Correlation(String),
+}
+
+/// One `<environment>` entry: a promise and its release option (§6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvEntry {
+    /// Which promise.
+    pub reference: EnvRef,
+    /// Release the promise atomically with a successful action?
+    pub release_after: bool,
+}
+
+/// The `<environment>` header element (§6).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EnvironmentHeader {
+    /// Promises the action executes under.
+    pub entries: Vec<EnvEntry>,
+}
+
+/// An application request carried in the message body.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ActionRequest {
+    /// Target service name.
+    pub service: String,
+    /// Operation name.
+    pub operation: String,
+    /// Operation parameters.
+    pub params: Vec<(String, String)>,
+}
+
+impl ActionRequest {
+    /// Creates an action request.
+    pub fn new(service: &str, operation: &str) -> Self {
+        Self {
+            service: service.to_owned(),
+            operation: operation.to_owned(),
+            params: Vec::new(),
+        }
+    }
+
+    /// Builder: adds a parameter.
+    pub fn param(mut self, name: &str, value: impl std::fmt::Display) -> Self {
+        self.params.push((name.to_owned(), value.to_string()));
+        self
+    }
+
+    /// Looks up a parameter.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// An application response carried in the reply body.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ActionResponse {
+    /// True if the action committed.
+    pub ok: bool,
+    /// Result fields.
+    pub fields: Vec<(String, String)>,
+    /// Error message when not ok.
+    pub error: Option<String>,
+}
+
+impl ActionResponse {
+    /// A successful response.
+    pub fn success() -> Self {
+        Self {
+            ok: true,
+            ..Self::default()
+        }
+    }
+
+    /// A failed response.
+    pub fn failure(error: impl Into<String>) -> Self {
+        Self {
+            ok: false,
+            error: Some(error.into()),
+            ..Self::default()
+        }
+    }
+
+    /// Builder: adds a result field.
+    pub fn field(mut self, name: &str, value: impl std::fmt::Display) -> Self {
+        self.fields.push((name.to_owned(), value.to_string()));
+        self
+    }
+
+    /// Looks up a result field.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A protocol message: any subset of headers plus an optional body.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Envelope {
+    /// `<promise-request>` headers.
+    pub promise_requests: Vec<PromiseRequestHeader>,
+    /// `<promise-response>` headers (piggybacked or reply).
+    pub promise_responses: Vec<PromiseResponseHeader>,
+    /// Standalone promise releases.
+    pub releases: Vec<u64>,
+    /// The `<environment>` for the body's action.
+    pub environment: Option<EnvironmentHeader>,
+    /// Body: application request.
+    pub action: Option<ActionRequest>,
+    /// Body: application response (reply direction).
+    pub action_response: Option<ActionResponse>,
+}
+
+impl Envelope {
+    /// An empty envelope.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: adds a promise request header.
+    pub fn with_promise_request(mut self, h: PromiseRequestHeader) -> Self {
+        self.promise_requests.push(h);
+        self
+    }
+
+    /// Builder: adds a release.
+    pub fn with_release(mut self, promise_id: u64) -> Self {
+        self.releases.push(promise_id);
+        self
+    }
+
+    /// Builder: sets the environment.
+    pub fn with_environment(mut self, env: EnvironmentHeader) -> Self {
+        self.environment = Some(env);
+        self
+    }
+
+    /// Builder: sets the action body.
+    pub fn with_action(mut self, action: ActionRequest) -> Self {
+        self.action = Some(action);
+        self
+    }
+
+    /// The response correlated with a given request id, if present.
+    pub fn response_for(&self, request_id: &str) -> Option<&PromiseResponseHeader> {
+        self.promise_responses
+            .iter()
+            .find(|r| r.correlation == request_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_request_params() {
+        let a = ActionRequest::new("merchant", "purchase")
+            .param("pool", "widgets")
+            .param("qty", 5);
+        assert_eq!(a.get("qty"), Some("5"));
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn action_response_builders() {
+        let r = ActionResponse::success().field("order", "o-1");
+        assert!(r.ok);
+        assert_eq!(r.get("order"), Some("o-1"));
+        let f = ActionResponse::failure("boom");
+        assert!(!f.ok);
+        assert_eq!(f.error.as_deref(), Some("boom"));
+    }
+
+    #[test]
+    fn envelope_response_lookup() {
+        let mut env = Envelope::new();
+        env.promise_responses.push(PromiseResponseHeader {
+            promise_id: Some(1),
+            result: PromiseResult::Accepted,
+            expires_at: 10,
+            correlation: "r1".into(),
+            granted_predicates: vec![],
+        });
+        assert!(env.response_for("r1").is_some());
+        assert!(env.response_for("r2").is_none());
+    }
+}
+
+#[cfg(test)]
+mod piggyback_tests {
+    use super::*;
+    use crate::codec::{decode, encode};
+
+    /// §6: "we allow an application message from A to B to contain a
+    /// related request for B to make a promise, and it can also carry a
+    /// piggybacked response reporting on the outcome of a previous request
+    /// that B had sent to A."
+    #[test]
+    fn piggybacked_response_rides_with_request_and_action() {
+        let msg = Envelope {
+            // A's new request to B...
+            promise_requests: vec![PromiseRequestHeader {
+                request_id: "a-req-7".into(),
+                client: "A".into(),
+                predicates: vec!["qty('widgets') >= 5".into()],
+                duration_ms: 10_000,
+                exchange: vec![],
+                negotiate: false,
+            }],
+            // ...plus A's answer to B's earlier request...
+            promise_responses: vec![PromiseResponseHeader {
+                promise_id: Some(41),
+                result: PromiseResult::Accepted,
+                expires_at: 99_000,
+                correlation: "b-req-3".into(),
+                granted_predicates: vec![],
+            }],
+            releases: vec![],
+            environment: None,
+            // ...plus an unrelated application body.
+            action: Some(ActionRequest::new("merchant", "status").param("order", "o-1")),
+            action_response: None,
+        };
+        let back = decode(&encode(&msg)).unwrap();
+        assert_eq!(back, msg);
+        assert!(back.response_for("b-req-3").is_some());
+        assert_eq!(back.promise_requests.len(), 1);
+        assert!(back.action.is_some());
+    }
+}

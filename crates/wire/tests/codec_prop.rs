@@ -1,0 +1,166 @@
+//! Property tests: the XML codec round-trips arbitrary envelopes and the
+//! XML subset round-trips arbitrary trees.
+
+use proptest::prelude::*;
+
+use promises_wire::xml::{parse, XmlElement};
+use promises_wire::{
+    decode, encode, ActionRequest, ActionResponse, EnvEntry, EnvRef, Envelope,
+    EnvironmentHeader, PromiseRequestHeader, PromiseResponseHeader, PromiseResult,
+};
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Includes XML-special characters to exercise escaping.
+    "[a-zA-Z0-9 <>&'\"=_-]{0,24}"
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,8}"
+}
+
+fn arb_xml_tree() -> impl Strategy<Value = XmlElement> {
+    let leaf = (arb_name(), proptest::collection::vec((arb_name(), arb_text()), 0..3), arb_text())
+        .prop_map(|(name, attrs, text)| {
+            let mut el = XmlElement::new(&name);
+            let mut seen = std::collections::HashSet::new();
+            for (k, v) in attrs {
+                if seen.insert(k.clone()) {
+                    el = el.attr(&k, v);
+                }
+            }
+            // Text and children are not interleaved in this subset; keep
+            // text only on leaves.
+            el.with_text(text.trim())
+        });
+    leaf.prop_recursive(3, 20, 3, |inner| {
+        (arb_name(), proptest::collection::vec(inner, 0..4)).prop_map(|(name, children)| {
+            let mut el = XmlElement::new(&name);
+            for c in children {
+                el = el.child(c);
+            }
+            el
+        })
+    })
+}
+
+fn arb_request() -> impl Strategy<Value = PromiseRequestHeader> {
+    (
+        arb_name(),
+        arb_name(),
+        proptest::collection::vec(arb_text(), 0..3),
+        any::<u64>(),
+        proptest::collection::vec(any::<u64>(), 0..3),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(request_id, client, predicates, duration_ms, exchange, negotiate)| {
+                PromiseRequestHeader {
+                    request_id,
+                    client,
+                    predicates: predicates.iter().map(|p| p.trim().to_owned()).collect(),
+                    duration_ms,
+                    exchange,
+                    negotiate,
+                }
+            },
+        )
+}
+
+fn arb_result() -> impl Strategy<Value = PromiseResult> {
+    prop_oneof![
+        Just(PromiseResult::Accepted),
+        arb_text().prop_map(PromiseResult::AcceptedWithCondition),
+        arb_text().prop_map(PromiseResult::Rejected),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = PromiseResponseHeader> {
+    (
+        proptest::option::of(any::<u64>()),
+        arb_result(),
+        any::<u64>(),
+        arb_name(),
+        proptest::collection::vec(arb_text(), 0..2),
+    )
+        .prop_map(
+            |(promise_id, result, expires_at, correlation, granted)| PromiseResponseHeader {
+                promise_id,
+                result,
+                expires_at,
+                correlation,
+                granted_predicates: granted.iter().map(|g| g.trim().to_owned()).collect(),
+            },
+        )
+}
+
+fn arb_envelope() -> impl Strategy<Value = Envelope> {
+    (
+        proptest::collection::vec(arb_request(), 0..3),
+        proptest::collection::vec(arb_response(), 0..3),
+        proptest::collection::vec(any::<u64>(), 0..3),
+        proptest::option::of(proptest::collection::vec(
+            (any::<bool>(), any::<u64>(), any::<bool>()),
+            0..3,
+        )),
+        proptest::option::of((arb_name(), arb_name(), proptest::collection::vec((arb_name(), arb_text()), 0..3))),
+        proptest::option::of((any::<bool>(), proptest::option::of(arb_text()), proptest::collection::vec((arb_name(), arb_text()), 0..3))),
+    )
+        .prop_map(|(reqs, resps, releases, env_entries, action, action_resp)| Envelope {
+            promise_requests: reqs,
+            promise_responses: resps,
+            releases,
+            environment: env_entries.map(|entries| EnvironmentHeader {
+                entries: entries
+                    .into_iter()
+                    .map(|(by_id, id, release_after)| EnvEntry {
+                        reference: if by_id {
+                            EnvRef::Id(id)
+                        } else {
+                            EnvRef::Correlation(format!("c{id}"))
+                        },
+                        release_after,
+                    })
+                    .collect(),
+            }),
+            action: action.map(|(service, operation, params)| {
+                let mut a = ActionRequest::new(&service, &operation);
+                for (k, v) in params {
+                    a = a.param(&k, v.trim());
+                }
+                a
+            }),
+            action_response: action_resp.map(|(ok, error, fields)| {
+                let mut r = if ok {
+                    ActionResponse::success()
+                } else {
+                    ActionResponse::failure(error.clone().unwrap_or_default())
+                };
+                r.error = error;
+                r.ok = ok;
+                for (k, v) in fields {
+                    r = r.field(&k, v.trim());
+                }
+                r
+            }),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn xml_tree_roundtrips(tree in arb_xml_tree()) {
+        let xml = tree.to_xml();
+        let parsed = parse(&xml)
+            .map_err(|e| TestCaseError::fail(format!("{xml:?}: {e}")))?;
+        prop_assert_eq!(parsed, tree);
+    }
+
+    #[test]
+    fn envelope_roundtrips(envelope in arb_envelope()) {
+        let xml = encode(&envelope);
+        let back = decode(&xml)
+            .map_err(|e| TestCaseError::fail(format!("{xml:?}: {e}")))?;
+        prop_assert_eq!(back, envelope);
+    }
+}

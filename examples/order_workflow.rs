@@ -1,0 +1,101 @@
+//! A long-running order process as an explicit workflow (the shape the
+//! paper's GAT engine [5] would drive), including the failure branches:
+//! rejection at placement, compensation when only part of the resources
+//! are available, and promise expiry when the customer stalls too long.
+//!
+//! Run with: `cargo run --example order_workflow`
+
+use std::sync::Arc;
+
+use promises::core::{PromiseManager, SystemClock};
+use promises::rm::ResourceManager;
+use promises::services::{Merchant, OrderEvent, OrderWorkflow, Shipping};
+
+fn services(stock: u64, slots: u64) -> (Arc<Merchant>, Arc<Shipping>) {
+    let pm = Arc::new(PromiseManager::new(
+        Arc::new(ResourceManager::new()),
+        Arc::new(SystemClock::new()),
+    ));
+    let merchant = Arc::new(Merchant::new(Arc::clone(&pm)));
+    merchant.stock_sku("widgets", stock).unwrap();
+    let shipping = Arc::new(Shipping::new(pm, slots).unwrap());
+    (merchant, shipping)
+}
+
+fn main() {
+    println!("== A promise-protected order workflow ==\n");
+    let (merchant, shipping) = services(12, 2);
+
+    // Happy path.
+    let mut order = OrderWorkflow::new(
+        Arc::clone(&merchant),
+        Arc::clone(&shipping),
+        "alice",
+        "widgets",
+        5,
+        60_000,
+    );
+    println!("alice: place order (5 widgets + next-day shipping)");
+    println!("  -> {:?}", order.handle(OrderEvent::Place).unwrap());
+    println!("alice: payment received (promises still held)");
+    println!("  -> {:?}", order.handle(OrderEvent::PaymentReceived).unwrap());
+    println!("alice: fulfil (purchase + ship, promises released atomically)");
+    println!("  -> {:?}\n", order.handle(OrderEvent::Fulfil).unwrap());
+
+    // Rejection branch: goods unavailable => terminate immediately, no
+    // "insufficient stock after payment" code path needed (the paper's
+    // core programming-model argument).
+    let mut big = OrderWorkflow::new(
+        Arc::clone(&merchant),
+        Arc::clone(&shipping),
+        "bob",
+        "widgets",
+        100,
+        60_000,
+    );
+    println!("bob: place order for 100 widgets (only 7 remain)");
+    println!("  -> {:?}\n", big.handle(OrderEvent::Place).unwrap());
+
+    // Cancellation branch: promises returned to the pool.
+    let mut fickle = OrderWorkflow::new(
+        Arc::clone(&merchant),
+        Arc::clone(&shipping),
+        "carol",
+        "widgets",
+        7,
+        60_000,
+    );
+    println!("carol: place order for the last 7 widgets");
+    println!("  -> {:?}", fickle.handle(OrderEvent::Place).unwrap());
+    println!("carol: cancels");
+    println!("  -> {:?}", fickle.handle(OrderEvent::Cancel).unwrap());
+    println!(
+        "  merchant: {} widgets promisable again, {} live promises\n",
+        merchant.on_hand("widgets").unwrap(),
+        merchant.manager().live_count()
+    );
+
+    // Expiry branch: a short promise lapses while the customer dawdles.
+    let mut slow = OrderWorkflow::new(
+        Arc::clone(&merchant),
+        Arc::clone(&shipping),
+        "dave",
+        "widgets",
+        2,
+        30, // 30 ms TTL
+    );
+    println!("dave: place order with a 30ms promise, then dawdle 100ms");
+    slow.handle(OrderEvent::Place).unwrap();
+    slow.handle(OrderEvent::PaymentReceived).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    match slow.handle(OrderEvent::Fulfil) {
+        Err(e) => println!("  -> fulfilment refused: {e}"),
+        Ok(s) => println!("  -> {s:?} (machine was fast enough!)"),
+    }
+    let m = merchant.manager().metrics();
+    println!(
+        "\nmanager metrics: granted={} rejected={} released={} expired={} expired-errors={}",
+        m.granted, m.rejected, m.released, m.expired_reaped, m.expired_errors
+    );
+    assert_eq!(merchant.manager().live_count(), 0);
+}

@@ -1,0 +1,78 @@
+//! Quickstart: the paper's Figure 1 ordering process, step by step.
+//!
+//! Reproduces the message flow of Figure 1 ("Outline of Ordering Process
+//! Code"): the order process asks the promise manager for a promise that
+//! 5 pink widgets stay in stock, continues processing the order while a
+//! *competing* order runs concurrently, then purchases the stock and
+//! releases the promise as one atomic unit.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+
+use promises::core::{PromiseManager, SystemClock};
+use promises::rm::ResourceManager;
+use promises::services::Merchant;
+
+fn main() {
+    println!("== Figure 1: the promise-protected ordering process ==\n");
+
+    let rm = Arc::new(ResourceManager::new());
+    let pm = Arc::new(PromiseManager::new(rm, Arc::new(SystemClock::new())));
+    let merchant = Merchant::new(pm);
+    merchant.stock_sku("pink-widgets", 12).unwrap();
+    println!("merchant: stocked 12 pink widgets");
+
+    // Order process: determine we need 5 pink widgets to be in stock and
+    // send a promise request that quantity('pink widgets') >= 5.
+    println!("\n[order-1] send promise request: qty('pink-widgets') >= 5");
+    let p1 = match merchant.reserve_stock("alice", "pink-widgets", 5, 60_000).unwrap() {
+        Ok(promise) => {
+            println!("[manager] promise accepted: {promise}");
+            promise
+        }
+        Err(reason) => {
+            println!("[manager] promise rejected ({reason}); terminate order process");
+            return;
+        }
+    };
+
+    // Concurrent order processes may be selling the same goods...
+    println!("\n[order-2] concurrent order wants 7 widgets (only 12-5=7 unpromised remain)");
+    let p2 = merchant
+        .reserve_stock("bob", "pink-widgets", 7, 60_000)
+        .unwrap()
+        .expect("7 unpromised widgets remain");
+    println!("[manager] promise accepted: {p2}");
+
+    println!("\n[order-3] a third order wants 1 more widget");
+    match merchant.reserve_stock("carol", "pink-widgets", 1, 60_000).unwrap() {
+        Ok(_) => unreachable!("stock is fully promised"),
+        Err(reason) => println!("[manager] promise rejected immediately: {reason}"),
+    }
+
+    // "...Continue processing order (organise payment, shippers)..."
+    println!("\n[order-1] organising payment and shipping under promise protection");
+
+    // "Send 'purchase stock' request to promise manager and release
+    // promise to keep stock level >= 5" — atomic per §4.
+    let order = merchant.purchase(p1, "alice", "pink-widgets", 5).unwrap();
+    println!("[manager] purchase executed, promise released atomically -> order {order}");
+
+    let order = merchant.purchase(p2, "bob", "pink-widgets", 7).unwrap();
+    println!("[manager] second purchase executed -> order {order}");
+
+    println!(
+        "\nfinal stock: {} widgets, {} completed orders, {} live promises",
+        merchant.on_hand("pink-widgets").unwrap(),
+        merchant.order_count().unwrap(),
+        merchant.manager().live_count()
+    );
+    let m = merchant.manager().metrics();
+    println!(
+        "manager metrics: granted={} rejected={} executions={} violations={}",
+        m.granted, m.rejected, m.executions, m.violations_rolled_back
+    );
+    assert_eq!(merchant.on_hand("pink-widgets").unwrap(), 0);
+    assert_eq!(merchant.manager().live_count(), 0);
+}

@@ -1,0 +1,98 @@
+//! Travel booking: atomic multi-resource promises, negotiation, and
+//! promise modification (paper §3.3 and §4).
+//!
+//! A travel agent atomically promises flight + car + hotel room; a hotel
+//! client negotiates away desirable-but-unavailable room features; a bank
+//! client upgrades and weakens a funds promise.
+//!
+//! Run with: `cargo run --example travel_booking`
+
+use std::sync::Arc;
+
+use promises::core::{
+    PromiseManager, PromiseRequestSpec, Predicate, PropExpr, SystemClock,
+};
+use promises::rm::ResourceManager;
+use promises::services::{Bank, Hotel, RoomSpec, TravelAgent};
+
+fn new_pm() -> Arc<PromiseManager> {
+    Arc::new(PromiseManager::new(
+        Arc::new(ResourceManager::new()),
+        Arc::new(SystemClock::new()),
+    ))
+}
+
+fn main() {
+    println!("== §4: atomic flight + car + hotel promise ==\n");
+    let agent = TravelAgent::new(new_pm(), 2, 1, &[("201", false), ("512", true)]).unwrap();
+
+    let trip = agent.promise_trip("alice", true, 60_000).unwrap().unwrap();
+    println!("alice: flight+car+view-room promised atomically ({trip})");
+
+    match agent.promise_trip("bob", false, 60_000).unwrap() {
+        Ok(_) => unreachable!("only one car exists and alice holds a car promise"),
+        Err(reason) => println!("bob: whole trip rejected, nothing partially held ({reason})"),
+    }
+
+    let booking = agent.confirm(trip).unwrap();
+    println!("alice: trip confirmed, room {} booked\n", booking.room);
+    assert_eq!(booking.room, "512");
+
+    println!("== §3.3: negotiating desirable room features ==\n");
+    let hotel = Hotel::new(new_pm());
+    hotel.add_room(RoomSpec::new("101", 1, false, false, 2, "standard")).unwrap();
+    hotel.add_room(RoomSpec::new("202", 2, false, false, 2, "standard")).unwrap();
+
+    // Essential: two beds, non-smoking. Desirable: a view, then a suite.
+    let want = Predicate::property(
+        "rooms",
+        PropExpr::all([
+            PropExpr::eq("beds", 2i64),
+            PropExpr::eq("smoking", false),
+            PropExpr::eq("view", true).desirable(),
+            PropExpr::at_least("class", "suite").desirable(),
+        ]),
+        1,
+    );
+    let mut spec = PromiseRequestSpec::new("negotiated-stay", "carol");
+    spec.predicates = vec![want];
+    let outcome = hotel.manager().request_negotiated(spec).unwrap();
+    println!(
+        "carol: granted after dropping {} desirable clause(s)",
+        outcome.total_dropped()
+    );
+    println!("       granted form: {}", outcome.granted_predicates[0]);
+    assert!(outcome.response.decision.is_granted());
+    assert_eq!(outcome.total_dropped(), 2, "no view, no suite in this hotel");
+
+    println!("\n== §4: upgrading and weakening a funds promise ==\n");
+    let bank = Bank::new(new_pm());
+    bank.open_account("alice", 250).unwrap();
+    let p100 = bank.promise_funds("shop", "alice", 100, 60_000).unwrap().unwrap();
+    println!("shop: holds promise for $100 of alice's $250");
+
+    // Upgrade to $200: during the atomic exchange the demand is 200, not
+    // 100 + 200 — so this succeeds with only $250 on hand.
+    let p200 = bank
+        .change_promise("shop", "alice", p100, 200, 60_000)
+        .unwrap()
+        .unwrap();
+    println!("shop: upgraded to $200 atomically (old promise handed back)");
+
+    // Attempting $300 fails and RETAINS the $200 promise (§4).
+    let kept = bank.change_promise("shop", "alice", p200, 300, 60_000).unwrap();
+    assert!(kept.is_err());
+    println!("shop: $300 upgrade rejected; the $200 promise was retained");
+
+    // Weaken to $50 and withdraw.
+    let p50 = bank
+        .change_promise("shop", "alice", p200, 50, 60_000)
+        .unwrap()
+        .unwrap();
+    bank.withdraw(p50, "alice", 50).unwrap();
+    println!(
+        "shop: weakened to $50 and withdrew; alice's balance is now ${}",
+        bank.balance("alice").unwrap()
+    );
+    assert_eq!(bank.balance("alice").unwrap(), 200);
+}

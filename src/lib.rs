@@ -1,0 +1,28 @@
+//! `promises` — umbrella crate for the CIDR 2007 *Promises* reproduction.
+//!
+//! This repository implements Greenfield, Fekete, Jang, Kuo & Nepal,
+//! *Isolation Support for Service-based Applications: A Position Paper*
+//! (CIDR 2007) as a complete Rust system. The umbrella crate re-exports
+//! every sub-crate so applications can depend on one name:
+//!
+//! * [`core`] — the Promise pattern: predicates, the promise manager,
+//!   resource views, atomic promise operations (the paper's contribution);
+//! * [`rm`] — the embedded ACID resource manager (paper §8's RM);
+//! * [`wire`] — the §6 SOAP-style protocol, codec, bus and gateway;
+//! * [`matching`] — bipartite matching for property-view satisfiability;
+//! * [`baselines`] — lock-based / optimistic / escrow / soft-lock
+//!   comparators;
+//! * [`services`] — the paper's example applications (merchant, bank,
+//!   hotel, airline, shipping, travel agent);
+//! * [`sim`] — the deterministic concurrent workload harness.
+//!
+//! Start with `examples/quickstart.rs` (the Figure 1 ordering process) or
+//! the [`core`] crate documentation.
+
+pub use promises_baselines as baselines;
+pub use promises_core as core;
+pub use promises_matching as matching;
+pub use promises_rm as rm;
+pub use promises_services as services;
+pub use promises_sim as sim;
+pub use promises_wire as wire;
