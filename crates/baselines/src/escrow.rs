@@ -122,8 +122,13 @@ mod tests {
         let rm = Arc::new(ResourceManager::new());
         rm.create_table(QTY_TABLE);
         let tx = rm.begin();
-        rm.insert(&tx, QTY_TABLE, "widgets", Record::new().with(QTY_FIELD, qty))
-            .unwrap();
+        rm.insert(
+            &tx,
+            QTY_TABLE,
+            "widgets",
+            Record::new().with(QTY_FIELD, qty),
+        )
+        .unwrap();
         rm.commit(tx).unwrap();
         rm
     }

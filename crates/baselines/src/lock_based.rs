@@ -126,7 +126,10 @@ mod tests {
         r.consume(t).unwrap();
         let tx = rm.begin();
         assert_eq!(
-            rm.get(&tx, QTY_TABLE, "widgets").unwrap().unwrap().int(QTY_FIELD),
+            rm.get(&tx, QTY_TABLE, "widgets")
+                .unwrap()
+                .unwrap()
+                .int(QTY_FIELD),
             Some(6)
         );
         rm.commit(tx).unwrap();
@@ -140,8 +143,14 @@ mod tests {
         r.extend(&mut t, "b", 3).unwrap();
         r.consume(t).unwrap();
         let tx = rm.begin();
-        assert_eq!(rm.get(&tx, QTY_TABLE, "a").unwrap().unwrap().int(QTY_FIELD), Some(3));
-        assert_eq!(rm.get(&tx, QTY_TABLE, "b").unwrap().unwrap().int(QTY_FIELD), Some(2));
+        assert_eq!(
+            rm.get(&tx, QTY_TABLE, "a").unwrap().unwrap().int(QTY_FIELD),
+            Some(3)
+        );
+        assert_eq!(
+            rm.get(&tx, QTY_TABLE, "b").unwrap().unwrap().int(QTY_FIELD),
+            Some(2)
+        );
         rm.commit(tx).unwrap();
     }
 

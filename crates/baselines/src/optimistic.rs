@@ -128,7 +128,10 @@ mod tests {
         r.consume(t).unwrap();
         let tx = rm.begin();
         assert_eq!(
-            rm.get(&tx, QTY_TABLE, "widgets").unwrap().unwrap().int(QTY_FIELD),
+            rm.get(&tx, QTY_TABLE, "widgets")
+                .unwrap()
+                .unwrap()
+                .int(QTY_FIELD),
             Some(6)
         );
         rm.commit(tx).unwrap();
@@ -158,7 +161,10 @@ mod tests {
         // The combined consume must fail late AND leave pool a untouched.
         assert_eq!(r.consume(t).unwrap_err(), ReserveFailure::LateConflict);
         let tx = rm.begin();
-        assert_eq!(rm.get(&tx, QTY_TABLE, "a").unwrap().unwrap().int(QTY_FIELD), Some(5));
+        assert_eq!(
+            rm.get(&tx, QTY_TABLE, "a").unwrap().unwrap().int(QTY_FIELD),
+            Some(5)
+        );
         rm.commit(tx).unwrap();
     }
 

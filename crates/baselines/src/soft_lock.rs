@@ -45,19 +45,15 @@ impl SoftLockReserver {
 impl InstanceReserver for SoftLockReserver {
     type Token = SoftLockToken;
 
-    fn reserve_instance(
-        &self,
-        pool: &str,
-        instance: &str,
-    ) -> Result<Self::Token, ReserveFailure> {
+    fn reserve_instance(&self, pool: &str, instance: &str) -> Result<Self::Token, ReserveFailure> {
         let result = self.rm.transact(self.retries, |txn| {
-            let rec = self
-                .rm
-                .get(txn, &table(pool), instance)?
-                .ok_or_else(|| RmError::NoSuchKey {
-                    table: table(pool),
-                    key: instance.into(),
-                })?;
+            let rec =
+                self.rm
+                    .get(txn, &table(pool), instance)?
+                    .ok_or_else(|| RmError::NoSuchKey {
+                        table: table(pool),
+                        key: instance.into(),
+                    })?;
             if rec.str(STATUS_FIELD) != Some("available") {
                 return Err(RmError::Aborted("already allocated".into()));
             }
@@ -130,7 +126,10 @@ mod tests {
         r.consume(t).unwrap();
         let tx = rm.begin();
         assert_eq!(
-            rm.get(&tx, &table("rooms"), "512").unwrap().unwrap().str(STATUS_FIELD),
+            rm.get(&tx, &table("rooms"), "512")
+                .unwrap()
+                .unwrap()
+                .str(STATUS_FIELD),
             Some("taken")
         );
         rm.commit(tx).unwrap();
@@ -169,7 +168,7 @@ mod tests {
         })
         .unwrap();
         rm.commit(tx).unwrap(); // commits fine: nobody checks
-        // The holder's consume now silently overwrites.
+                                // The holder's consume now silently overwrites.
         r.consume(t).unwrap();
     }
 }

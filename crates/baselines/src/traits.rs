@@ -57,8 +57,12 @@ pub trait QtyReserver: Send + Sync {
     /// the *same* transaction — the step that makes opposite-order clients
     /// deadlock. On failure the token keeps its earlier holdings; the
     /// caller decides whether to [`QtyReserver::cancel`].
-    fn extend(&self, token: &mut Self::Token, pool: &str, amount: u64)
-        -> Result<(), ReserveFailure>;
+    fn extend(
+        &self,
+        token: &mut Self::Token,
+        pool: &str,
+        amount: u64,
+    ) -> Result<(), ReserveFailure>;
 
     /// Consumes all reserved units (completes the purchase).
     fn consume(&self, token: Self::Token) -> Result<(), ReserveFailure>;
@@ -73,8 +77,7 @@ pub trait InstanceReserver: Send + Sync {
     type Token: Send;
 
     /// Reserves the named instance in `pool`.
-    fn reserve_instance(&self, pool: &str, instance: &str)
-        -> Result<Self::Token, ReserveFailure>;
+    fn reserve_instance(&self, pool: &str, instance: &str) -> Result<Self::Token, ReserveFailure>;
 
     /// Takes the instance.
     fn consume(&self, token: Self::Token) -> Result<(), ReserveFailure>;

@@ -10,26 +10,30 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e10_delegation");
     g.sample_size(30);
     for depth in [0usize, 1, 2, 4] {
-        g.bench_with_input(BenchmarkId::new("grant+release", depth), &depth, |b, &depth| {
-            let front = delegation_chain("stock", depth, u64::MAX / 4);
-            let mut n = 0u64;
-            b.iter(|| {
-                n += 1;
-                let id = front
-                    .request(
-                        PromiseRequestSpec::new(
-                            promises_core::RequestId(format!("d-{n}")),
-                            promises_core::ClientId("bench".into()),
+        g.bench_with_input(
+            BenchmarkId::new("grant+release", depth),
+            &depth,
+            |b, &depth| {
+                let front = delegation_chain("stock", depth, u64::MAX / 4);
+                let mut n = 0u64;
+                b.iter(|| {
+                    n += 1;
+                    let id = front
+                        .request(
+                            PromiseRequestSpec::new(
+                                promises_core::RequestId(format!("d-{n}")),
+                                promises_core::ClientId("bench".into()),
+                            )
+                            .predicate(Predicate::qty_at_least("stock", 1)),
                         )
-                        .predicate(Predicate::qty_at_least("stock", 1)),
-                    )
-                    .expect("rm ok")
-                    .decision
-                    .granted_id()
-                    .expect("ample");
-                front.release(id).expect("release");
-            });
-        });
+                        .expect("rm ok")
+                        .decision
+                        .granted_id()
+                        .expect("ample");
+                    front.release(id).expect("release");
+                });
+            },
+        );
     }
     g.finish();
 }

@@ -1,11 +1,16 @@
 //! E4 — hotspot contention: wall time of the same workload under each
 //! isolation mechanism. Lock-based reservations serialise the hotspot
 //! (flat throughput); promises/escrow/optimistic overlap think time.
+//!
+//! The run ends with E4b: the promise manager's footprint-scoped locking
+//! against its global-sync-point baseline on a perfectly disjoint
+//! workload (each client pinned to its own pool, zero think time). The
+//! comparison is written to `BENCH_contention.json` at the repo root.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::time::Duration;
 
-use promises_bench::exp::{e4_config, run_system, System};
+use promises_bench::exp::{e4_config, e4_disjoint_compare, run_system, ModeReport, System};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e4_contention");
@@ -14,22 +19,93 @@ fn bench(c: &mut Criterion) {
     g.warm_up_time(Duration::from_millis(200));
     let cfg = e4_config(8, 10);
     for sys in System::ALL {
-        g.bench_with_input(
-            BenchmarkId::new("workload", sys.name()),
-            &sys,
-            |b, &sys| {
-                b.iter_custom(|iters| {
-                    let mut total = Duration::ZERO;
-                    for _ in 0..iters {
-                        total += run_system(sys, &cfg, 1_000_000).wall;
-                    }
-                    total
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("workload", sys.name()), &sys, |b, &sys| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += run_system(sys, &cfg, 1_000_000).wall;
+                }
+                total
+            });
+        });
     }
     g.finish();
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+
+const CLIENTS: usize = 8;
+const OPS_PER_CLIENT: usize = 400;
+const POOL_QTY: u64 = 1_000_000;
+/// Long-lived promises held against every pool for the whole run — the
+/// paper's long-running operations. The global baseline re-checks all of
+/// them after every action; footprint scoping re-checks one pool's worth.
+const STANDING_PER_POOL: usize = 50;
+const SAMPLES: usize = 5;
+
+fn mode_json(r: &ModeReport) -> String {
+    format!(
+        concat!(
+            "{{\"mode\": \"{}\", \"wall_s\": {:.6}, \"throughput_ops_per_s\": {:.1}, ",
+            "\"completed\": {}, \"deadlocks\": {}, \"deadlock_retries\": {}}}"
+        ),
+        r.mode,
+        r.report.wall.as_secs_f64(),
+        r.report.throughput,
+        r.report.completed,
+        r.report.deadlocks,
+        r.deadlock_retries,
+    )
+}
+
+/// Runs the E4b disjoint-pool comparison and writes BENCH_contention.json.
+fn emit_contention_json() {
+    // Median-of-N to damp scheduler noise; each sample runs both modes on
+    // identical (deterministic) operation streams.
+    let mut samples: Vec<(ModeReport, ModeReport)> = (0..SAMPLES)
+        .map(|_| e4_disjoint_compare(CLIENTS, OPS_PER_CLIENT, POOL_QTY, STANDING_PER_POOL))
+        .collect();
+    samples.sort_by(|a, b| {
+        let ra = a.1.report.throughput / a.0.report.throughput.max(f64::MIN_POSITIVE);
+        let rb = b.1.report.throughput / b.0.report.throughput.max(f64::MIN_POSITIVE);
+        ra.total_cmp(&rb)
+    });
+    let (global, footprint) = samples[SAMPLES / 2];
+    let speedup = footprint.report.throughput / global.report.throughput.max(f64::MIN_POSITIVE);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"e4b_disjoint_pool_contention\",\n",
+            "  \"description\": \"promise-manager throughput on disjoint pools: ",
+            "footprint-scoped locking vs global sync point (median of {} runs)\",\n",
+            "  \"clients\": {},\n",
+            "  \"pools\": {},\n",
+            "  \"ops_per_client\": {},\n",
+            "  \"standing_promises_per_pool\": {},\n",
+            "  \"think_ms\": 0,\n",
+            "  \"global\": {},\n",
+            "  \"footprint\": {},\n",
+            "  \"speedup\": {:.2}\n",
+            "}}\n"
+        ),
+        SAMPLES,
+        CLIENTS,
+        CLIENTS,
+        OPS_PER_CLIENT,
+        STANDING_PER_POOL,
+        mode_json(&global),
+        mode_json(&footprint),
+        speedup,
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_contention.json");
+    std::fs::write(path, &json).expect("write BENCH_contention.json");
+    println!("e4_contention/disjoint: global {:.0} ops/s, footprint {:.0} ops/s, speedup {speedup:.2}x -> {path}",
+        global.report.throughput, footprint.report.throughput);
+}
+
+fn main() {
+    benches();
+    emit_contention_json();
+}

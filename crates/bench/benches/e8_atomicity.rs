@@ -6,9 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use promises_bench::setup::pm_with_qty_pool;
-use promises_core::{
-    ActionError, Catalog, Environment, Predicate, PromiseRequestSpec,
-};
+use promises_core::{ActionError, Catalog, Environment, Predicate, PromiseRequestSpec};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e8_atomicity");

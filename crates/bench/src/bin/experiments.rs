@@ -32,11 +32,7 @@ fn main() {
         let mut rows = Vec::new();
         for clients in [1usize, 2, 4, 8, 16] {
             let (tput, ok) = exp::e2_pipeline(clients, 200);
-            rows.push(vec![
-                clients.to_string(),
-                f(tput, 0),
-                f(ok * 100.0, 1),
-            ]);
+            rows.push(vec![clients.to_string(), f(tput, 0), f(ok * 100.0, 1)]);
         }
         print_table(
             "E2 (Figure 2) — wire pipeline throughput vs concurrent clients",
@@ -80,7 +76,16 @@ fn main() {
         }
         print_table(
             "E4 — contention: throughput under hotspot skew (ample stock)",
-            &["clients", "system", "ops/s", "done", "fail-fast", "fail-late", "deadlock", "latency"],
+            &[
+                "clients",
+                "system",
+                "ops/s",
+                "done",
+                "fail-fast",
+                "fail-late",
+                "deadlock",
+                "latency",
+            ],
             &rows,
         );
     }
@@ -158,7 +163,12 @@ fn main() {
         let naive = exp::e8_race(60, false);
         print_table(
             "E8 — action+release atomicity vs naive release-then-act (60 races)",
-            &["variant", "protected ok", "protected lost", "competitor grabs"],
+            &[
+                "variant",
+                "protected ok",
+                "protected lost",
+                "competitor grabs",
+            ],
             &[
                 vec![
                     "atomic (§4)".into(),

@@ -3,16 +3,17 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use promises_baselines::{
-    EscrowReserver, LockReserver, OptimisticReserver,
-};
+use promises_baselines::{EscrowReserver, LockReserver, OptimisticReserver};
 use promises_core::{
-    ActionError, Catalog, CheckStrategy, Environment, ManualClock, PoolSchema, Predicate,
-    PromiseManager, PromiseRequestSpec, PropExpr,
+    ActionError, Catalog, CheckStrategy, Environment, LockingMode, ManualClock, PoolSchema,
+    Predicate, PromiseManager, PromiseRequestSpec, PropExpr,
 };
 use promises_rm::ResourceManager;
 use promises_services::Merchant;
-use promises_sim::{promise_reserver, run_qty_workload, seed_pools, RunReport, WorkloadConfig};
+use promises_sim::{
+    pool_name, promise_reserver, promise_reserver_with_mode, run_qty_workload, seed_pools,
+    RunReport, WorkloadConfig,
+};
 use promises_wire::{
     ActionRequest, EnvEntry, EnvRef, Envelope, EnvironmentHeader, InMemoryBus, PromiseGateway,
     PromiseRequestHeader,
@@ -299,8 +300,92 @@ pub fn e4_config(clients: usize, ops: usize) -> WorkloadConfig {
         think: Duration::from_millis(2),
         abandon_probability: 0.1,
         multi_pool: false,
+        pinned_pools: false,
         seed: 2007,
     }
+}
+
+/// E4b workload: each client pinned to its own pool, zero think time —
+/// the all-parallelisable shape where a global promise-manager sync
+/// point is pure overhead and footprint scoping should win outright.
+pub fn e4_disjoint_config(clients: usize, ops: usize) -> WorkloadConfig {
+    WorkloadConfig {
+        clients,
+        ops_per_client: ops,
+        pools: clients,
+        hotspot_probability: 0.0,
+        amount_max: 2,
+        think: Duration::ZERO,
+        abandon_probability: 0.0,
+        multi_pool: false,
+        pinned_pools: true,
+        seed: 2007,
+    }
+}
+
+/// One locking mode's result on the E4b disjoint workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ModeReport {
+    /// `LockingMode` name as it should appear in reports.
+    pub mode: &'static str,
+    /// Full workload run.
+    pub report: RunReport,
+    /// Deadlock retries absorbed inside the promise manager.
+    pub deadlock_retries: u64,
+}
+
+/// Runs the promise system on `cfg` under an explicit locking mode.
+///
+/// `standing_per_pool` long-lived promises are granted against every pool
+/// before the clocks start — the paper's long-running operations holding
+/// guarantees while short operations stream past. Every one of them must
+/// survive each post-action re-check, so the standing set is what the
+/// incremental checker avoids re-scanning.
+pub fn run_promises_with_mode(
+    cfg: &WorkloadConfig,
+    qty: u64,
+    standing_per_pool: usize,
+    mode: LockingMode,
+) -> ModeReport {
+    let reserver = Arc::new(promise_reserver_with_mode(cfg.pools, qty, mode));
+    let pm = Arc::clone(reserver.manager());
+    for pool in 0..cfg.pools {
+        for k in 0..standing_per_pool {
+            pm.request(
+                PromiseRequestSpec::new(format!("standing-{pool}-{k}").as_str(), "bench")
+                    .predicate(Predicate::qty_at_least(pool_name(pool).as_str(), 1))
+                    .duration_ms(3_600_000),
+            )
+            .expect("standing grant")
+            .decision
+            .granted_id()
+            .expect("ample stock");
+        }
+    }
+    let report = run_qty_workload(reserver, cfg);
+    ModeReport {
+        mode: match mode {
+            LockingMode::Global => "global",
+            LockingMode::Footprint => "footprint",
+        },
+        report,
+        deadlock_retries: pm.metrics().deadlock_retries,
+    }
+}
+
+/// E4b: footprint-scoped vs global locking on the disjoint workload,
+/// with `standing_per_pool` long-lived promises held against every pool.
+/// Returns `(global, footprint)`.
+pub fn e4_disjoint_compare(
+    clients: usize,
+    ops: usize,
+    qty: u64,
+    standing_per_pool: usize,
+) -> (ModeReport, ModeReport) {
+    let cfg = e4_disjoint_config(clients, ops);
+    let global = run_promises_with_mode(&cfg, qty, standing_per_pool, LockingMode::Global);
+    let footprint = run_promises_with_mode(&cfg, qty, standing_per_pool, LockingMode::Footprint);
+    (global, footprint)
 }
 
 /// E5 workload: multi-pool operations with opposite acquisition orders.
@@ -314,6 +399,7 @@ pub fn e5_config(clients: usize, ops: usize) -> WorkloadConfig {
         think: Duration::from_millis(1),
         abandon_probability: 0.0,
         multi_pool: true,
+        pinned_pools: false,
         seed: 2007,
     }
 }
@@ -329,6 +415,7 @@ pub fn e6_config(clients: usize, ops: usize) -> WorkloadConfig {
         think: Duration::from_millis(2),
         abandon_probability: 0.0,
         multi_pool: false,
+        pinned_pools: false,
         seed: 2007,
     }
 }
@@ -461,16 +548,13 @@ pub fn e8_race(trials: usize, atomic: bool) -> E8Outcome {
                     if let Some(id) = resp.decision.granted_id() {
                         got += 1;
                         // Competitor immediately consumes the unit.
-                        let _ = pm.execute(
-                            &Environment::none().releasing(id),
-                            |rm, txn| {
-                                rm.update(txn, Catalog::QTY_TABLE, "unit", |r| {
-                                    let q = r.int("qty").unwrap_or(0);
-                                    r.set("qty", q - 1);
-                                })
-                                .map_err(ActionError::from)
-                            },
-                        );
+                        let _ = pm.execute(&Environment::none().releasing(id), |rm, txn| {
+                            rm.update(txn, Catalog::QTY_TABLE, "unit", |r| {
+                                let q = r.int("qty").unwrap_or(0);
+                                r.set("qty", q - 1);
+                            })
+                            .map_err(ActionError::from)
+                        });
                     }
                 }
                 got
@@ -668,6 +752,20 @@ mod tests {
             let r = run_system(sys, &cfg, 10_000);
             assert_eq!(r.attempts, 6, "{}", sys.name());
         }
+    }
+
+    #[test]
+    fn e4_disjoint_compare_runs_both_modes_cleanly() {
+        let (global, footprint) = e4_disjoint_compare(4, 5, 10_000, 8);
+        for r in [&global, &footprint] {
+            assert_eq!(r.report.attempts, 20, "{}", r.mode);
+            assert_eq!(r.report.completed, 20, "{}", r.mode);
+            assert_eq!(r.report.deadlocks, 0, "{}", r.mode);
+        }
+        assert_eq!(
+            footprint.deadlock_retries, 0,
+            "disjoint footprints never conflict"
+        );
     }
 
     #[test]

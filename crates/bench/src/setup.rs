@@ -2,9 +2,7 @@
 
 use std::sync::Arc;
 
-use promises_core::{
-    CheckStrategy, PoolSchema, PromiseManager, PropertyDef, SystemClock,
-};
+use promises_core::{CheckStrategy, PoolSchema, PromiseManager, PropertyDef, SystemClock};
 use promises_rm::{Record, ResourceManager};
 use promises_services::Merchant;
 

@@ -213,7 +213,8 @@ mod tests {
         let rec = cat.instance(&rm, &tx, &pool, &id).unwrap().unwrap();
         assert_eq!(rec.str(Catalog::STATUS), Some(status::AVAILABLE));
         assert_eq!(rec.int("floor"), Some(5));
-        cat.set_status(&rm, &tx, &pool, &id, status::PROMISED).unwrap();
+        cat.set_status(&rm, &tx, &pool, &id, status::PROMISED)
+            .unwrap();
         let rec = cat.instance(&rm, &tx, &pool, &id).unwrap().unwrap();
         assert_eq!(rec.str(Catalog::STATUS), Some(status::PROMISED));
         assert_eq!(cat.instances(&rm, &tx, &pool).unwrap().len(), 1);

@@ -24,9 +24,10 @@
 //! the `_status` field on instance records inside the caller's transaction,
 //! implementing §5's "allocated tags" / "tentative allocation" techniques.
 
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 
-use promises_matching::DynamicMatching;
+use promises_matching::assign_slots;
 use promises_rm::{Record, ResourceManager, RmError, Txn};
 
 use crate::catalog::{status, Catalog};
@@ -58,6 +59,16 @@ impl From<RmError> for CheckError {
     }
 }
 
+/// What one checking pass actually looked at — lets callers (and tests)
+/// verify that footprint scoping really narrowed the work done.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckerStats {
+    /// Pools visited by [`Checker::post_check`], in visit order.
+    pub pools_visited: Vec<PoolId>,
+    /// Promise records handed to `post_check` (the snapshot size).
+    pub promises_considered: usize,
+}
+
 /// A checking context bound to one transaction.
 pub struct Checker<'a> {
     /// The resource manager.
@@ -66,6 +77,13 @@ pub struct Checker<'a> {
     pub txn: &'a Txn,
     /// Pool schemas.
     pub catalog: &'a Catalog,
+    /// Pre-computed total `QtyAtLeast` demand per pool (including any
+    /// candidate), derived from the promise table's aggregate cache. When
+    /// a pool is present here, the quantity check is O(1) instead of
+    /// summing over the snapshot; a `debug_assert` re-sums the snapshot to
+    /// guard against aggregate drift.
+    qty_demand_hint: HashMap<PoolId, u64>,
+    stats: RefCell<CheckerStats>,
 }
 
 /// One slot to be matched to a distinct instance.
@@ -81,7 +99,26 @@ type SlotKey = (PromiseId, usize, u32);
 impl<'a> Checker<'a> {
     /// Creates a checker.
     pub fn new(rm: &'a ResourceManager, txn: &'a Txn, catalog: &'a Catalog) -> Self {
-        Self { rm, txn, catalog }
+        Self {
+            rm,
+            txn,
+            catalog,
+            qty_demand_hint: HashMap::new(),
+            stats: RefCell::new(CheckerStats::default()),
+        }
+    }
+
+    /// Supplies cached per-pool quantity demand (see
+    /// [`Checker::qty_demand_hint`]); pools absent from the map fall back
+    /// to summing over the snapshot.
+    pub fn with_qty_demand(mut self, demand: HashMap<PoolId, u64>) -> Self {
+        self.qty_demand_hint = demand;
+        self
+    }
+
+    /// What this checker has looked at so far.
+    pub fn stats(&self) -> CheckerStats {
+        self.stats.borrow().clone()
     }
 
     /// Grant-time check of `candidate` against the other live promises in
@@ -127,29 +164,47 @@ impl<'a> Checker<'a> {
         Ok(changed)
     }
 
-    /// Post-action check of all live promises (§8 "Executing Actions").
+    /// Post-action check of live promises (§8 "Executing Actions").
     /// Under the tentative strategy, may re-arrange allocations to absorb
     /// the action's effects; returns ids of promises whose allocations
     /// changed. Errors with [`CheckError::Violation`] if some promise can
     /// no longer be honoured.
-    pub fn post_check(&self, live: &mut [PromiseRecord]) -> Result<Vec<PromiseId>, CheckError> {
+    ///
+    /// When `scope` is `Some`, only those pools are re-checked — the
+    /// caller asserts the action wrote nothing outside them, so promises
+    /// over other pools cannot have been invalidated (`live` should then
+    /// be a snapshot of just the intersecting promises). With `None`,
+    /// every pool constrained by `live` is checked (the paper's original
+    /// whole-table behaviour).
+    pub fn post_check(
+        &self,
+        live: &mut [PromiseRecord],
+        scope: Option<&[PoolId]>,
+    ) -> Result<Vec<PromiseId>, CheckError> {
         let mut changed = Vec::new();
-        let mut pools: Vec<PoolId> = live
-            .iter()
-            .flat_map(|p| p.pools().into_iter().cloned())
-            .collect();
+        let mut pools: Vec<PoolId> = match scope {
+            Some(pools) => pools.to_vec(),
+            None => live
+                .iter()
+                .flat_map(|p| p.pools().into_iter().cloned())
+                .collect(),
+        };
         pools.sort();
         pools.dedup();
+        {
+            let mut stats = self.stats.borrow_mut();
+            stats.promises_considered += live.len();
+        }
         for pool in pools {
+            self.stats.borrow_mut().pools_visited.push(pool.clone());
             let schema = match self.catalog.get(&pool) {
                 Ok(s) => s,
                 Err(_) => continue,
             };
             match schema.kind {
                 PoolKind::Quantity => {
-                    self.check_quantity(&pool, live, None).map_err(|e| {
-                        self.as_violation(e, &pool, live)
-                    })?;
+                    self.check_quantity(&pool, live, None)
+                        .map_err(|e| self.as_violation(e, &pool, live))?;
                 }
                 PoolKind::Instances => match schema.strategy {
                     CheckStrategy::Satisfiability => {
@@ -182,14 +237,18 @@ impl<'a> Checker<'a> {
             };
             let pool = pred.pool();
             let table = Catalog::instance_table(pool);
-            let current = self.rm.get(self.txn, &table, &alloc.instance.0)?;
-            if let Some(r) = current {
-                if r.str(Catalog::STATUS) == Some(status::PROMISED) {
-                    self.rm.update(self.txn, &table, &alloc.instance.0, |r| {
+            // Single conditional round-trip: read, test, and write under
+            // one X lock; a missing instance or non-promised status is a
+            // no-op (the releasing action may have just taken it).
+            self.rm
+                .update_if(self.txn, &table, &alloc.instance.0, |r| {
+                    if r.str(Catalog::STATUS) == Some(status::PROMISED) {
                         r.set(Catalog::STATUS, status::AVAILABLE);
-                    })?;
-                }
-            }
+                        true
+                    } else {
+                        false
+                    }
+                })?;
         }
         Ok(())
     }
@@ -211,15 +270,30 @@ impl<'a> Checker<'a> {
                 crate::error::PromiseError::Rm(rm) => CheckError::Rm(rm),
                 _ => CheckError::Reject(RejectReason::UnknownPool(pool.clone())),
             })?;
-        let demand: u64 = existing
-            .iter()
-            .chain(candidate)
-            .flat_map(|p| p.predicates.iter())
-            .filter_map(|pred| match pred {
-                Predicate::QtyAtLeast { pool: p, amount } if p == pool => Some(*amount),
-                _ => None,
-            })
-            .sum();
+        let recompute = || -> u64 {
+            existing
+                .iter()
+                .chain(candidate)
+                .flat_map(|p| p.predicates.iter())
+                .filter_map(|pred| match pred {
+                    Predicate::QtyAtLeast { pool: p, amount } if p == pool => Some(*amount),
+                    _ => None,
+                })
+                .sum()
+        };
+        let demand: u64 = match self.qty_demand_hint.get(pool) {
+            Some(&cached) => {
+                // Any promise demanding from this pool intersects it, so a
+                // footprint snapshot must re-sum to exactly the aggregate.
+                debug_assert_eq!(
+                    cached,
+                    recompute(),
+                    "cached quantity demand for {pool} drifted from snapshot"
+                );
+                cached
+            }
+            None => recompute(),
+        };
         if demand <= on_hand {
             Ok(())
         } else {
@@ -257,36 +331,26 @@ impl<'a> Checker<'a> {
             .collect();
         let slots = self.build_slots(pool, existing, candidate, &instances, &matchable)?;
 
-        // Order: most-constrained first is a useful heuristic; feasibility
-        // is order-independent thanks to augmenting-path re-arrangement.
-        let mut order: Vec<usize> = (0..slots.len()).collect();
-        order.sort_by_key(|&i| slots[i].allowed.len());
-
-        let mut matching: DynamicMatching<usize, usize> = DynamicMatching::new();
-        for (idx, ok) in matchable.iter().enumerate() {
-            if *ok {
-                matching.add_right(idx);
-            }
-        }
-        for &i in &order {
-            if !matching.try_add_left(i, slots[i].allowed.clone()) {
-                return Err(CheckError::Reject(RejectReason::Unsatisfiable {
-                    pool: pool.clone(),
-                }));
-            }
-        }
+        // Hand the pre-filtered per-slot allowed lists to the matching
+        // crate, which seeds most-constrained-first and re-arranges via
+        // augmenting paths.
+        let allowed: Vec<Vec<usize>> = slots.iter().map(|s| s.allowed.clone()).collect();
+        let rights = matchable
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, ok)| ok.then_some(idx));
+        let assigned = assign_slots(rights, &allowed).ok_or_else(|| {
+            CheckError::Reject(RejectReason::Unsatisfiable { pool: pool.clone() })
+        })?;
 
         // Expand slots back into per-slot instance assignments.
         let mut out = HashMap::new();
         let mut slot_counter: HashMap<(PromiseId, usize), u32> = HashMap::new();
         for (i, slot) in slots.iter().enumerate() {
-            let inst_idx = *matching.assignment(&i).expect("matched above");
-            let k = slot_counter
-                .entry((slot.owner, slot.pred_idx))
-                .or_insert(0);
+            let k = slot_counter.entry((slot.owner, slot.pred_idx)).or_insert(0);
             out.insert(
                 (slot.owner, slot.pred_idx, *k),
-                instances[inst_idx].0.clone(),
+                instances[assigned[i]].0.clone(),
             );
             *k += 1;
         }
@@ -357,9 +421,8 @@ impl<'a> Checker<'a> {
                     // An anonymous quantity bound over an *instance* pool
                     // desugars to `count` unconstrained slots.
                     Predicate::QtyAtLeast { pool: pp, amount } if pp == pool => {
-                        let allowed: Vec<usize> = (0..instances.len())
-                            .filter(|i| matchable[*i])
-                            .collect();
+                        let allowed: Vec<usize> =
+                            (0..instances.len()).filter(|i| matchable[*i]).collect();
                         for _ in 0..*amount {
                             slots.push(Slot {
                                 owner: p.id,
@@ -422,9 +485,7 @@ impl<'a> Checker<'a> {
                     });
                 }
             }
-            new_allocs.sort_by(|a, b| {
-                (a.pred_idx, &a.instance).cmp(&(b.pred_idx, &b.instance))
-            });
+            new_allocs.sort_by(|a, b| (a.pred_idx, &a.instance).cmp(&(b.pred_idx, &b.instance)));
             if new_allocs != p.allocations {
                 p.allocations = new_allocs;
                 true
@@ -475,12 +536,10 @@ impl<'a> Checker<'a> {
                             });
                         }
                         None => {
-                            return Err(CheckError::Reject(
-                                RejectReason::InstanceUnavailable {
-                                    pool: pool.clone(),
-                                    instance: instance.clone(),
-                                },
-                            ))
+                            return Err(CheckError::Reject(RejectReason::InstanceUnavailable {
+                                pool: pool.clone(),
+                                instance: instance.clone(),
+                            }))
                         }
                     }
                 }
@@ -579,12 +638,7 @@ impl<'a> Checker<'a> {
     // ------------------------------------------------------------------
 
     /// At grant time failures blame the candidate; refine named conflicts.
-    fn as_reject(
-        &self,
-        e: CheckError,
-        pool: &PoolId,
-        candidate: &PromiseRecord,
-    ) -> CheckError {
+    fn as_reject(&self, e: CheckError, pool: &PoolId, candidate: &PromiseRecord) -> CheckError {
         if let CheckError::Reject(RejectReason::Unsatisfiable { .. }) = &e {
             // If the candidate names a specific instance, report that.
             for pred in &candidate.predicates {

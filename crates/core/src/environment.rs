@@ -80,7 +80,10 @@ mod tests {
             .under(PromiseId(1))
             .releasing(PromiseId(2))
             .under(PromiseId(3));
-        assert_eq!(env.promise_ids(), vec![PromiseId(1), PromiseId(2), PromiseId(3)]);
+        assert_eq!(
+            env.promise_ids(),
+            vec![PromiseId(1), PromiseId(2), PromiseId(3)]
+        );
         assert_eq!(env.releases(), vec![PromiseId(2)]);
         assert!(!env.is_empty());
         assert!(Environment::none().is_empty());

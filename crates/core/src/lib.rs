@@ -79,13 +79,14 @@ mod promise;
 mod schema;
 
 pub use catalog::{status, Catalog};
-pub use check::{CheckError, Checker};
+pub use check::{CheckError, Checker, CheckerStats};
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use environment::{Environment, ReleaseOption};
 pub use error::{ActionError, PromiseError, RejectReason};
 pub use ids::{ClientId, InstanceId, PoolId, PromiseId, RequestId};
 pub use manager::{
-    PmMetricsSnapshot, PromiseDecision, PromiseManager, PromiseRequestSpec, PromiseResponse,
+    LockingMode, OpLatency, PmMetricsSnapshot, PromiseDecision, PromiseManager, PromiseRequestSpec,
+    PromiseResponse,
 };
 pub use negotiate::NegotiatedResponse;
 pub use parser::{parse_expr, parse_predicate, ParseError};

@@ -7,19 +7,30 @@
 //! requests, check on resource availability and ensure that promises are
 //! not violated."
 //!
-//! # Concurrency design (following §8)
+//! # Concurrency design (following §8, footprint-refined)
 //!
 //! Every promise operation — grant, release, modify, expiry pruning, and
 //! the post-action check of [`PromiseManager::execute`] — runs inside one
-//! short local RM transaction and acquires an exclusive transactional lock
-//! on a single synchronisation point (`promise-ops`). This reproduces the
-//! prototype's design: "The solution we adopted here was to wrap each
-//! promise operation in a transaction... This transaction covers all of
-//! the action code executed inside the application as well as the
-//! subsequent promise checking code (including modifications to the
-//! promise table)."
+//! short local RM transaction, following the prototype's design: "The
+//! solution we adopted here was to wrap each promise operation in a
+//! transaction... This transaction covers all of the action code executed
+//! inside the application as well as the subsequent promise checking code
+//! (including modifications to the promise table)."
 //!
-//! Because the synchronisation point is an RM lock, a cycle between a
+//! The prototype serialised those transactions on a *single* exclusive
+//! synchronisation point, making every promise operation conflict with
+//! every other one. That behaviour is kept as [`LockingMode::Global`]
+//! (the benchmark baseline). The default, [`LockingMode::Footprint`],
+//! instead derives each operation's *footprint* — the pools its
+//! predicates constrain, its released promises cover, or its action
+//! actually wrote — and locks one synchronisation point per pool
+//! (`promise-ops/<pool>`), acquired in canonical sorted order so promise
+//! operations never deadlock against one another (§9). Operations over
+//! disjoint pools proceed fully in parallel; the checker then re-checks
+//! only the footprint's pools against the promises that intersect them
+//! (see [`crate::promise::PromiseTable`]'s per-pool indexes).
+//!
+//! Because the synchronisation points are RM locks, a cycle between a
 //! promise check and an in-flight application action is visible to the
 //! RM's wait-for graph and broken by victimising one transaction; the
 //! manager transparently retries deadlock victims a bounded number of
@@ -30,13 +41,14 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 
 use promises_rm::{Record, ResourceManager, RmError, Txn};
 
 use crate::catalog::Catalog;
-use crate::check::{CheckError, Checker};
+use crate::check::{CheckError, Checker, CheckerStats};
 use crate::clock::Clock;
 use crate::environment::Environment;
 use crate::error::{ActionError, PromiseError, RejectReason};
@@ -45,8 +57,24 @@ use crate::predicate::Predicate;
 use crate::promise::{PromiseRecord, PromiseTable};
 use crate::schema::PoolSchema;
 
-/// RM synchronisation point serialising promise operations.
+/// RM synchronisation point serialising promise operations: locked whole
+/// under [`LockingMode::Global`]; suffixed with `/<pool>` per footprint
+/// pool under [`LockingMode::Footprint`].
 const PM_OPS: &str = "promise-ops";
+
+/// How promise operations serialise against one another.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum LockingMode {
+    /// One global synchronisation point; every promise operation conflicts
+    /// with every other one (the paper prototype's design — kept as the
+    /// benchmark baseline).
+    Global,
+    /// One synchronisation point per pool, acquired in sorted order over
+    /// the operation's footprint; operations on disjoint pools run in
+    /// parallel and post-action checks cover only the written pools.
+    #[default]
+    Footprint,
+}
 
 /// Upstream promise references held by a delegated promise.
 type UpstreamRefs = Vec<(Arc<PromiseManager>, PromiseId)>;
@@ -142,6 +170,53 @@ pub struct PromiseResponse {
 }
 
 #[derive(Debug, Default)]
+struct OpLatencyMetrics {
+    lock_wait_ns: AtomicU64,
+    lock_wait_ops: AtomicU64,
+    check_ns: AtomicU64,
+    check_ops: AtomicU64,
+}
+
+impl OpLatencyMetrics {
+    fn add_lock_wait(&self, since: Instant) {
+        self.lock_wait_ns
+            .fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.lock_wait_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn add_check(&self, since: Instant) {
+        self.check_ns
+            .fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.check_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> OpLatency {
+        OpLatency {
+            lock_wait_ns: self.lock_wait_ns.load(Ordering::Relaxed),
+            lock_wait_ops: self.lock_wait_ops.load(Ordering::Relaxed),
+            check_ns: self.check_ns.load(Ordering::Relaxed),
+            check_ops: self.check_ops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Accumulated lock-wait and checking latency for one kind of promise
+/// operation (totals; divide by the op counts for means).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpLatency {
+    /// Total nanoseconds spent acquiring the operation's synchronisation
+    /// point(s) — the contention cost footprint scoping attacks.
+    pub lock_wait_ns: u64,
+    /// Number of sync-point acquisitions measured.
+    pub lock_wait_ops: u64,
+    /// Total nanoseconds spent in promise checking (tag release, grant
+    /// matching, post-action re-check).
+    pub check_ns: u64,
+    /// Number of checking passes measured.
+    pub check_ops: u64,
+}
+
+#[derive(Debug, Default)]
 struct PmMetrics {
     granted: AtomicU64,
     rejected: AtomicU64,
@@ -152,6 +227,10 @@ struct PmMetrics {
     violations_rolled_back: AtomicU64,
     expired_errors: AtomicU64,
     deadlock_retries: AtomicU64,
+    grant_lat: OpLatencyMetrics,
+    release_lat: OpLatencyMetrics,
+    execute_lat: OpLatencyMetrics,
+    prune_lat: OpLatencyMetrics,
 }
 
 /// Snapshot of manager counters for experiments.
@@ -175,6 +254,14 @@ pub struct PmMetricsSnapshot {
     pub expired_errors: u64,
     /// Internal deadlock-victim retries.
     pub deadlock_retries: u64,
+    /// Lock-wait / check latency of grant operations.
+    pub grant_lat: OpLatency,
+    /// Lock-wait / check latency of release operations.
+    pub release_lat: OpLatency,
+    /// Lock-wait / check latency of execute operations.
+    pub execute_lat: OpLatency,
+    /// Lock-wait / check latency of expiry pruning.
+    pub prune_lat: OpLatency,
 }
 
 /// The promise manager.
@@ -183,8 +270,12 @@ pub struct PromiseManager {
     catalog: RwLock<Catalog>,
     table: Mutex<PromiseTable>,
     clock: Arc<dyn Clock>,
+    locking: LockingMode,
     max_duration_ms: u64,
     retry_limit: usize,
+    /// What the most recent execute post-check actually looked at; lets
+    /// tests and experiments verify footprint scoping narrowed the work.
+    last_check_stats: Mutex<CheckerStats>,
     upstreams: RwLock<HashMap<PoolId, Arc<PromiseManager>>>,
     delegations: Mutex<HashMap<PromiseId, UpstreamRefs>>,
     /// Ids of promises reaped by expiry, kept so operations under them can
@@ -202,8 +293,10 @@ impl PromiseManager {
             catalog: RwLock::new(Catalog::new()),
             table: Mutex::new(PromiseTable::new()),
             clock,
+            locking: LockingMode::default(),
             max_duration_ms: u64::MAX,
             retry_limit: 64,
+            last_check_stats: Mutex::new(CheckerStats::default()),
             upstreams: RwLock::new(HashMap::new()),
             delegations: Mutex::new(HashMap::new()),
             expired_tombstones: Mutex::new(HashSet::new()),
@@ -216,6 +309,18 @@ impl PromiseManager {
     pub fn with_max_duration_ms(mut self, ms: u64) -> Self {
         self.max_duration_ms = ms;
         self
+    }
+
+    /// Selects how promise operations serialise (default
+    /// [`LockingMode::Footprint`]).
+    pub fn with_locking_mode(mut self, mode: LockingMode) -> Self {
+        self.locking = mode;
+        self
+    }
+
+    /// The active locking mode.
+    pub fn locking_mode(&self) -> LockingMode {
+        self.locking
     }
 
     /// The underlying resource manager.
@@ -321,7 +426,10 @@ impl PromiseManager {
             up_spec.predicates = preds;
             match upstream.request(up_spec) {
                 Ok(resp) => match resp.decision {
-                    PromiseDecision::Granted { promise, expires_at } => {
+                    PromiseDecision::Granted {
+                        promise,
+                        expires_at,
+                    } => {
                         // Upstream clocks are independent; bound our own
                         // expiry by the *duration* the upstream granted.
                         let up_dur = expires_at.saturating_sub(upstream.clock.now_ms());
@@ -347,9 +455,8 @@ impl PromiseManager {
         }
 
         let effective_duration = spec.duration_ms.min(upstream_duration);
-        let result = self.with_retries(|| {
-            self.try_grant_local(&spec, local.clone(), effective_duration)
-        });
+        let result =
+            self.with_retries(|| self.try_grant_local(&spec, local.clone(), effective_duration));
         match &result {
             Ok(resp) => match &resp.decision {
                 PromiseDecision::Granted { promise, .. } => {
@@ -483,7 +590,18 @@ impl PromiseManager {
             violations_rolled_back: m.violations_rolled_back.load(Ordering::Relaxed),
             expired_errors: m.expired_errors.load(Ordering::Relaxed),
             deadlock_retries: m.deadlock_retries.load(Ordering::Relaxed),
+            grant_lat: m.grant_lat.snapshot(),
+            release_lat: m.release_lat.snapshot(),
+            execute_lat: m.execute_lat.snapshot(),
+            prune_lat: m.prune_lat.snapshot(),
         }
+    }
+
+    /// What the most recent [`PromiseManager::execute`] post-check looked
+    /// at (pools visited, promises considered). Test/experiment hook for
+    /// verifying footprint scoping; racy under concurrent executes.
+    pub fn last_check_stats(&self) -> CheckerStats {
+        self.last_check_stats.lock().clone()
     }
 
     // ==================================================================
@@ -501,17 +619,110 @@ impl PromiseManager {
                     if (attempt as usize) < self.retry_limit =>
                 {
                     attempt += 1;
-                    self.metrics.deadlock_retries.fetch_add(1, Ordering::Relaxed);
+                    self.metrics
+                        .deadlock_retries
+                        .fetch_add(1, Ordering::Relaxed);
                     // Short bounded backoff breaks retry lockstep between
                     // symmetric victims (exponential, capped at ~3ms).
                     let exp = attempt.min(5);
-                    std::thread::sleep(std::time::Duration::from_micros(
-                        100u64 << exp,
-                    ));
+                    std::thread::sleep(std::time::Duration::from_micros(100u64 << exp));
                 }
                 other => return other,
             }
         }
+    }
+
+    /// Acquires the operation's synchronisation point(s), recording the
+    /// wait in `lat`. In [`LockingMode::Global`] this is the single
+    /// whole-manager point; in [`LockingMode::Footprint`] it is one point
+    /// per footprint pool, taken in canonical sorted order (handled by
+    /// [`ResourceManager::lock_exclusive_many`]) so two promise operations
+    /// can never deadlock on sync points alone.
+    fn lock_ops(
+        &self,
+        txn: &Txn,
+        footprint: &[PoolId],
+        lat: &OpLatencyMetrics,
+    ) -> Result<(), RmError> {
+        let started = Instant::now();
+        let result = match self.locking {
+            LockingMode::Global => self.rm.lock_exclusive(txn, PM_OPS),
+            LockingMode::Footprint => {
+                let names: Vec<String> = footprint
+                    .iter()
+                    .map(|pool| format!("{PM_OPS}/{pool}"))
+                    .collect();
+                self.rm.lock_exclusive_many(txn, &names)
+            }
+        };
+        lat.add_lock_wait(started);
+        result
+    }
+
+    /// Pre-computes exact per-pool `QtyAtLeast` demand for the checker
+    /// from the table's cached aggregate: aggregate − demand of `excluded`
+    /// records (which the snapshot omits) + demand of the `candidate`
+    /// predicates (checked on top of the snapshot). Returns an empty map —
+    /// falling back to the checker's snapshot re-sum — under global
+    /// locking (keeping the baseline faithful to the prototype) or when an
+    /// expired-but-unpruned record could inflate the aggregate.
+    fn qty_hints(
+        &self,
+        tbl: &PromiseTable,
+        now: u64,
+        footprint: &[PoolId],
+        excluded: &[PromiseRecord],
+        candidate: &[Predicate],
+    ) -> HashMap<PoolId, u64> {
+        let mut hints = HashMap::new();
+        if self.locking == LockingMode::Global || !tbl.none_expired(now) {
+            return hints;
+        }
+        let demand_on = |preds: &[Predicate], pool: &PoolId| -> u64 {
+            preds
+                .iter()
+                .filter_map(|pred| match pred {
+                    Predicate::QtyAtLeast { pool: p, amount } if p == pool => Some(*amount),
+                    _ => None,
+                })
+                .sum()
+        };
+        for pool in footprint {
+            let excluded_demand: u64 = excluded
+                .iter()
+                .map(|rec| demand_on(&rec.predicates, pool))
+                .sum();
+            hints.insert(
+                pool.clone(),
+                tbl.promised_qty(pool)
+                    .saturating_sub(excluded_demand)
+                    .saturating_add(demand_on(candidate, pool)),
+            );
+        }
+        hints
+    }
+
+    /// Pools this manager protects that `txn` has written so far — the
+    /// action's write footprint, mapped from the RM write-set the same way
+    /// scope enforcement maps it.
+    fn written_pools(&self, txn: &Txn) -> Result<Vec<PoolId>, PromiseError> {
+        let catalog = self.catalog.read();
+        let mut pools = Vec::new();
+        for (table, key) in self.rm.write_set(txn)? {
+            let touched: Option<PoolId> = if table == Catalog::QTY_TABLE {
+                Some(PoolId(key))
+            } else {
+                table.strip_prefix("inst:").map(|p| PoolId(p.to_owned()))
+            };
+            if let Some(pool) = touched {
+                if catalog.contains(&pool) {
+                    pools.push(pool);
+                }
+            }
+        }
+        pools.sort();
+        pools.dedup();
+        Ok(pools)
     }
 
     fn try_grant_local(
@@ -521,13 +732,32 @@ impl PromiseManager {
         duration_ms: u64,
     ) -> Result<PromiseResponse, PromiseError> {
         let txn = self.rm.begin();
-        if let Err(e) = self.rm.lock_exclusive(&txn, PM_OPS) {
+
+        // Footprint: the candidate's pools plus the pools of exchanged
+        // promises (read before locking — predicate sets are immutable, so
+        // an exchange record's pools cannot change while we wait; if the
+        // record vanishes meanwhile, the post-lock validation rejects).
+        let footprint: Vec<PoolId> = {
+            let tbl = self.table.lock();
+            let mut pools: Vec<PoolId> =
+                local_predicates.iter().map(|p| p.pool().clone()).collect();
+            for ex in &spec.exchange {
+                if let Some(rec) = tbl.get(*ex) {
+                    pools.extend(rec.pools().into_iter().cloned());
+                }
+            }
+            pools.sort();
+            pools.dedup();
+            pools
+        };
+        if let Err(e) = self.lock_ops(&txn, &footprint, &self.metrics.grant_lat) {
             self.rm.abort(txn);
             return Err(e.into());
         }
         let now = self.clock.now_ms();
 
-        // Validate and capture exchanged promises.
+        // Validate and capture exchanged promises (now serialised against
+        // releases/prunes over their pools).
         let mut exchanged: Vec<PromiseRecord> = Vec::new();
         {
             let tbl = self.table.lock();
@@ -548,9 +778,14 @@ impl PromiseManager {
             }
         }
 
-        let (id, mut existing) = {
+        let (id, mut existing, qty_hints) = {
             let mut tbl = self.table.lock();
-            (tbl.next_id(), tbl.snapshot(now, &spec.exchange))
+            let existing = match self.locking {
+                LockingMode::Global => tbl.snapshot(now, &spec.exchange),
+                LockingMode::Footprint => tbl.snapshot_pools(now, &footprint, &spec.exchange),
+            };
+            let hints = self.qty_hints(&tbl, now, &footprint, &exchanged, &local_predicates);
+            (tbl.next_id(), existing, hints)
         };
         let mut candidate = PromiseRecord {
             id,
@@ -566,8 +801,9 @@ impl PromiseManager {
         // fails the txn aborts and the old promises keep their resources
         // (§4: "the previous one should be retained").
         let catalog = self.catalog.read();
+        let check_started = Instant::now();
         let grant_result = {
-            let checker = Checker::new(&self.rm, &txn, &catalog);
+            let checker = Checker::new(&self.rm, &txn, &catalog).with_qty_demand(qty_hints);
             let mut r = Ok(Vec::new());
             for rec in &exchanged {
                 if let Err(e) = checker.release_tags(rec) {
@@ -580,6 +816,7 @@ impl PromiseManager {
             }
             r
         };
+        self.metrics.grant_lat.add_check(check_started);
         drop(catalog);
 
         match grant_result {
@@ -636,10 +873,20 @@ impl PromiseManager {
 
     fn try_release(&self, id: PromiseId) -> Result<(), PromiseError> {
         let txn = self.rm.begin();
-        if let Err(e) = self.rm.lock_exclusive(&txn, PM_OPS) {
+        // Footprint: the released promise's pools (immutable once granted,
+        // so the pre-lock read stays exact while we wait for the locks).
+        let footprint: Vec<PoolId> = match self.table.lock().get(id) {
+            Some(r) => r.pools().into_iter().cloned().collect(),
+            None => {
+                self.rm.abort(txn);
+                return Err(PromiseError::UnknownPromise(id));
+            }
+        };
+        if let Err(e) = self.lock_ops(&txn, &footprint, &self.metrics.release_lat) {
             self.rm.abort(txn);
             return Err(e.into());
         }
+        // Re-read under the lock: a concurrent prune may have reaped it.
         let rec = match self.table.lock().get(id) {
             Some(r) => r.clone(),
             None => {
@@ -648,7 +895,9 @@ impl PromiseManager {
             }
         };
         let catalog = self.catalog.read();
+        let check_started = Instant::now();
         let release_result = Checker::new(&self.rm, &txn, &catalog).release_tags(&rec);
+        self.metrics.release_lat.add_check(check_started);
         drop(catalog);
         if let Err(e) = release_result {
             self.rm.abort(txn);
@@ -663,36 +912,57 @@ impl PromiseManager {
 
     fn try_prune(&self) -> Result<Vec<PromiseRecord>, PromiseError> {
         let now = self.clock.now_ms();
-        // Fast path: nothing expired.
-        {
-            let tbl = self.table.lock();
-            if tbl.live_at(now, &[]).count() == tbl.len() {
-                return Ok(Vec::new());
-            }
+        // Fast path: nothing expired (O(log n) via the expiry histogram).
+        if self.table.lock().none_expired(now) {
+            return Ok(Vec::new());
         }
         let txn = self.rm.begin();
-        if let Err(e) = self.rm.lock_exclusive(&txn, PM_OPS) {
+        // Footprint: the union of the expired promises' pools. The set is
+        // re-read under the lock but only ever *shrinks* (concurrent
+        // releases); `now` is fixed above so nothing new expires, and a
+        // concurrent grant can only insert records live past `now`.
+        let expired_ids: Vec<PromiseId> = {
+            let tbl = self.table.lock();
+            tbl.all()
+                .into_iter()
+                .filter(|p| !p.is_live(now))
+                .map(|p| p.id)
+                .collect()
+        };
+        let footprint: Vec<PoolId> = {
+            let tbl = self.table.lock();
+            let mut pools: Vec<PoolId> = expired_ids
+                .iter()
+                .filter_map(|id| tbl.get(*id))
+                .flat_map(|rec| rec.pools().into_iter().cloned())
+                .collect();
+            pools.sort();
+            pools.dedup();
+            pools
+        };
+        if let Err(e) = self.lock_ops(&txn, &footprint, &self.metrics.prune_lat) {
             self.rm.abort(txn);
             return Err(e.into());
         }
-        let expired: Vec<PromiseRecord> = self
-            .table
-            .lock()
-            .all()
-            .into_iter()
-            .filter(|p| !p.is_live(now))
-            .collect();
+        let expired: Vec<PromiseRecord> = {
+            let tbl = self.table.lock();
+            expired_ids
+                .iter()
+                .filter_map(|id| tbl.get(*id))
+                .cloned()
+                .collect()
+        };
         if expired.is_empty() {
             self.rm.abort(txn);
             return Ok(Vec::new());
         }
         let catalog = self.catalog.read();
+        let check_started = Instant::now();
         let release_result = {
             let checker = Checker::new(&self.rm, &txn, &catalog);
-            expired
-                .iter()
-                .try_for_each(|rec| checker.release_tags(rec))
+            expired.iter().try_for_each(|rec| checker.release_tags(rec))
         };
+        self.metrics.prune_lat.add_check(check_started);
         drop(catalog);
         if let Err(e) = release_result {
             self.rm.abort(txn);
@@ -741,8 +1011,31 @@ impl PromiseManager {
             }
         };
 
-        // Promise phase: serialise, re-validate, release tags, post-check.
-        if let Err(e) = self.rm.lock_exclusive(&txn, PM_OPS) {
+        // Promise phase: derive the footprint (the pools the action wrote
+        // plus the pools of promises being released), serialise on it,
+        // re-validate, release tags, post-check.
+        let releases = env.releases();
+        let written = match self.written_pools(&txn) {
+            Ok(pools) => pools,
+            Err(e) => {
+                self.rm.abort(txn);
+                return Err(e);
+            }
+        };
+        let footprint: Vec<PoolId> = {
+            let tbl = self.table.lock();
+            let mut pools = written.clone();
+            pools.extend(
+                releases
+                    .iter()
+                    .filter_map(|id| tbl.get(*id))
+                    .flat_map(|rec| rec.pools().into_iter().cloned()),
+            );
+            pools.sort();
+            pools.dedup();
+            pools
+        };
+        if let Err(e) = self.lock_ops(&txn, &footprint, &self.metrics.execute_lat) {
             self.rm.abort(txn);
             return Err(e.into());
         }
@@ -752,7 +1045,7 @@ impl PromiseManager {
             return Err(e);
         }
         if enforce_scope {
-            if let Err(e) = self.check_scope(env, &txn) {
+            if let Err(e) = self.check_scope(env, &written) {
                 self.rm.abort(txn);
                 self.metrics
                     .violations_rolled_back
@@ -760,18 +1053,30 @@ impl PromiseManager {
                 return Err(e);
             }
         }
-        let releases = env.releases();
-        let (release_recs, mut live) = {
+        let (release_recs, mut live, qty_hints) = {
             let tbl = self.table.lock();
             let recs: Vec<PromiseRecord> = releases
                 .iter()
                 .filter_map(|id| tbl.get(*id).cloned())
                 .collect();
-            (recs, tbl.snapshot(now, &releases))
+            let live = match self.locking {
+                LockingMode::Global => tbl.snapshot(now, &releases),
+                LockingMode::Footprint => tbl.snapshot_pools(now, &footprint, &releases),
+            };
+            let hints = self.qty_hints(&tbl, now, &footprint, &recs, &[]);
+            (recs, live, hints)
+        };
+        // Only the written pools can have been invalidated by the action;
+        // released promises never constrain others tighter. Under global
+        // locking keep the prototype's full re-check of every live pool.
+        let scope = match self.locking {
+            LockingMode::Global => None,
+            LockingMode::Footprint => Some(footprint.as_slice()),
         };
         let catalog = self.catalog.read();
-        let check_result = {
-            let checker = Checker::new(&self.rm, &txn, &catalog);
+        let check_started = Instant::now();
+        let (check_result, check_stats) = {
+            let checker = Checker::new(&self.rm, &txn, &catalog).with_qty_demand(qty_hints);
             let mut r = Ok(Vec::new());
             for rec in &release_recs {
                 if let Err(e) = checker.release_tags(rec) {
@@ -780,11 +1085,13 @@ impl PromiseManager {
                 }
             }
             if r.is_ok() {
-                r = checker.post_check(&mut live);
+                r = checker.post_check(&mut live, scope);
             }
-            r
+            (r, checker.stats())
         };
+        self.metrics.execute_lat.add_check(check_started);
         drop(catalog);
+        *self.last_check_stats.lock() = check_stats;
 
         match check_result {
             Ok(changed) => {
@@ -835,10 +1142,11 @@ impl PromiseManager {
         }
     }
 
-    /// Scope enforcement: every pool-backed write must be covered by one
-    /// of the environment's promises.
-    fn check_scope(&self, env: &Environment, txn: &Txn) -> Result<(), PromiseError> {
-        let covered: std::collections::HashSet<PoolId> = {
+    /// Scope enforcement: every pool-backed write (`written`, from
+    /// [`PromiseManager::written_pools`]) must be covered by one of the
+    /// environment's promises.
+    fn check_scope(&self, env: &Environment, written: &[PoolId]) -> Result<(), PromiseError> {
+        let covered: HashSet<PoolId> = {
             let tbl = self.table.lock();
             env.promise_ids()
                 .into_iter()
@@ -846,18 +1154,9 @@ impl PromiseManager {
                 .flat_map(|rec| rec.pools().into_iter().cloned().collect::<Vec<_>>())
                 .collect()
         };
-        let catalog = self.catalog.read();
-        for (table, key) in self.rm.write_set(txn)? {
-            let touched: Option<PoolId> = if table == Catalog::QTY_TABLE {
-                Some(PoolId(key))
-            } else {
-                table.strip_prefix("inst:").map(|p| PoolId(p.to_owned()))
-            };
-            if let Some(pool) = touched {
-                // Only enforce pools this manager actually protects.
-                if catalog.contains(&pool) && !covered.contains(&pool) {
-                    return Err(PromiseError::ScopeViolation { pool });
-                }
+        for pool in written {
+            if !covered.contains(pool) {
+                return Err(PromiseError::ScopeViolation { pool: pool.clone() });
             }
         }
         Ok(())

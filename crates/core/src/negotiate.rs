@@ -105,11 +105,7 @@ mod tests {
     #[test]
     fn weaken_takes_from_last_predicate_first() {
         let preds = vec![
-            Predicate::property(
-                "a",
-                PropExpr::all([PropExpr::eq("x", 1i64).desirable()]),
-                1,
-            ),
+            Predicate::property("a", PropExpr::all([PropExpr::eq("x", 1i64).desirable()]), 1),
             Predicate::property(
                 "b",
                 PropExpr::all([

@@ -348,10 +348,7 @@ mod tests {
     #[test]
     fn property_count_defaults_to_one() {
         let p = parse_predicate("prop('rooms'): true").unwrap();
-        assert_eq!(
-            p,
-            Predicate::property("rooms", PropExpr::True, 1)
-        );
+        assert_eq!(p, Predicate::property("rooms", PropExpr::True, 1));
     }
 
     #[test]

@@ -196,7 +196,9 @@ impl PropExpr {
             PropExpr::And(cs) => {
                 PropExpr::And(cs.iter().map(|c| c.weaken_walk(seen, keep)).collect())
             }
-            PropExpr::Or(cs) => PropExpr::Or(cs.iter().map(|c| c.weaken_walk(seen, keep)).collect()),
+            PropExpr::Or(cs) => {
+                PropExpr::Or(cs.iter().map(|c| c.weaken_walk(seen, keep)).collect())
+            }
             PropExpr::Not(c) => PropExpr::Not(Box::new(c.weaken_walk(seen, keep))),
             other => other.clone(),
         }
@@ -379,7 +381,10 @@ mod tests {
         let r = room(5, true, "standard");
         let e = PropExpr::all([PropExpr::eq("floor", 5i64), PropExpr::eq("view", true)]);
         assert!(e.eval(&r, &s));
-        let e = PropExpr::Or(vec![PropExpr::eq("floor", 9i64), PropExpr::eq("view", true)]);
+        let e = PropExpr::Or(vec![
+            PropExpr::eq("floor", 9i64),
+            PropExpr::eq("view", true),
+        ]);
         assert!(e.eval(&r, &s));
         let e = PropExpr::Not(Box::new(PropExpr::eq("view", false)));
         assert!(e.eval(&r, &s));
@@ -397,7 +402,10 @@ mod tests {
         ]);
         assert_eq!(e.desirable_count(), 2);
         let r = room(5, false, "standard");
-        assert!(!e.eval(&r, &s), "desirables still required before weakening");
+        assert!(
+            !e.eval(&r, &s),
+            "desirables still required before weakening"
+        );
         // Drop the last desirable (suite) only.
         let w1 = e.weakened(1);
         assert!(!w1.eval(&r, &s), "view desirable still required");

@@ -4,7 +4,7 @@
 //! their predicates in a 'promise table'. Promises are placed in this
 //! table when they are granted and removed when they are released" (§8).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use crate::ids::{ClientId, InstanceId, PoolId, PromiseId, RequestId};
 use crate::predicate::Predicate;
@@ -66,9 +66,29 @@ impl PromiseRecord {
 
 /// In-memory index of live promises. Thread-safety is provided by the
 /// manager (this structure is always accessed under its table mutex).
+///
+/// Besides the primary id map, the table maintains two derived indexes so
+/// footprint-scoped operations avoid whole-table scans:
+///
+/// * `by_pool` — which promises constrain each pool, so a check over one
+///   pool snapshots only the intersecting promises;
+/// * `qty_agg` — the summed `QtyAtLeast` demand per pool over **every**
+///   record still in the table (including expired-but-unpruned ones, which
+///   over-counts conservatively until the next prune), making the quantity
+///   check O(1) instead of a table scan.
+///
+/// Both indexes key off each record's *predicates*, which are immutable
+/// once granted; [`PromiseTable::get_mut`] exists only so the manager can
+/// rewrite `allocations`, which neither index depends on.
 #[derive(Debug, Default)]
 pub struct PromiseTable {
     live: HashMap<PromiseId, PromiseRecord>,
+    by_pool: HashMap<PoolId, HashSet<PromiseId>>,
+    qty_agg: HashMap<PoolId, u64>,
+    /// Histogram of `expires_at` values over records in the table, so
+    /// "does any unpruned record pre-date `now`?" is an O(log n) first-key
+    /// probe rather than a scan (guards [`PromiseTable::promised_qty`]).
+    expiry: BTreeMap<u64, u32>,
     next: u64,
 }
 
@@ -86,12 +106,21 @@ impl PromiseTable {
 
     /// Inserts a granted promise.
     pub fn insert(&mut self, rec: PromiseRecord) {
-        self.live.insert(rec.id, rec);
+        self.index(&rec);
+        if let Some(old) = self.live.insert(rec.id, rec) {
+            self.unindex(&old);
+        }
+        self.debug_assert_consistent();
     }
 
     /// Removes (releases) a promise, returning its record.
     pub fn remove(&mut self, id: PromiseId) -> Option<PromiseRecord> {
-        self.live.remove(&id)
+        let rec = self.live.remove(&id);
+        if let Some(rec) = &rec {
+            self.unindex(rec);
+        }
+        self.debug_assert_consistent();
+        rec
     }
 
     /// Looks up a live-or-expired promise still in the table.
@@ -123,9 +152,7 @@ impl PromiseTable {
             .filter(|p| !p.is_live(now))
             .map(|p| p.id)
             .collect();
-        ids.into_iter()
-            .filter_map(|id| self.live.remove(&id))
-            .collect()
+        ids.into_iter().filter_map(|id| self.remove(id)).collect()
     }
 
     /// Sum of quantities demanded from `pool` by promises live at `now`,
@@ -159,6 +186,122 @@ impl PromiseTable {
     /// Copies of every promise in the table, live or expired.
     pub fn all(&self) -> Vec<PromiseRecord> {
         self.live.values().cloned().collect()
+    }
+
+    /// Snapshot of promises live at `now` whose footprint intersects any
+    /// of `pools`, excluding `except` — the footprint-scoped alternative
+    /// to [`PromiseTable::snapshot`]. Cost is proportional to the number
+    /// of intersecting promises, not the table size.
+    pub fn snapshot_pools(
+        &self,
+        now: u64,
+        pools: &[PoolId],
+        except: &[PromiseId],
+    ) -> Vec<PromiseRecord> {
+        let mut ids: Vec<PromiseId> = pools
+            .iter()
+            .filter_map(|pool| self.by_pool.get(pool))
+            .flatten()
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.iter()
+            .filter_map(|id| self.live.get(id))
+            .filter(|p| p.is_live(now) && !except.contains(&p.id))
+            .cloned()
+            .collect()
+    }
+
+    /// Cached total `QtyAtLeast` demand against `pool` over every record
+    /// still in the table. Includes expired-but-unpruned promises, so it
+    /// never under-counts relative to [`PromiseTable::qty_demand`]; the
+    /// manager prunes expired promises before consulting it.
+    pub fn promised_qty(&self, pool: &PoolId) -> u64 {
+        self.qty_agg.get(pool).copied().unwrap_or(0)
+    }
+
+    /// True if no record in the table has expired by `now` — exactly the
+    /// condition under which [`PromiseTable::promised_qty`] equals the
+    /// live demand of [`PromiseTable::qty_demand`] for every pool.
+    pub fn none_expired(&self, now: u64) -> bool {
+        self.expiry
+            .keys()
+            .next()
+            .is_none_or(|&earliest| earliest > now)
+    }
+
+    fn index(&mut self, rec: &PromiseRecord) {
+        *self.expiry.entry(rec.expires_at).or_default() += 1;
+        for pool in rec.pools() {
+            self.by_pool.entry(pool.clone()).or_default().insert(rec.id);
+        }
+        for pred in &rec.predicates {
+            if let Predicate::QtyAtLeast { pool, amount } = pred {
+                if *amount > 0 {
+                    *self.qty_agg.entry(pool.clone()).or_default() += amount;
+                }
+            }
+        }
+    }
+
+    fn unindex(&mut self, rec: &PromiseRecord) {
+        if let Some(count) = self.expiry.get_mut(&rec.expires_at) {
+            *count -= 1;
+            if *count == 0 {
+                self.expiry.remove(&rec.expires_at);
+            }
+        }
+        for pool in rec.pools() {
+            if let Some(set) = self.by_pool.get_mut(pool) {
+                set.remove(&rec.id);
+                if set.is_empty() {
+                    self.by_pool.remove(pool);
+                }
+            }
+        }
+        for pred in &rec.predicates {
+            if let Predicate::QtyAtLeast { pool, amount } = pred {
+                if *amount > 0 {
+                    if let Some(total) = self.qty_agg.get_mut(pool) {
+                        *total -= amount;
+                        if *total == 0 {
+                            self.qty_agg.remove(pool);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Debug-only drift guard: recomputes both derived indexes from
+    /// scratch and asserts they match the maintained ones. Compiled out
+    /// in release builds.
+    fn debug_assert_consistent(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let mut by_pool: HashMap<PoolId, HashSet<PromiseId>> = HashMap::new();
+            let mut qty_agg: HashMap<PoolId, u64> = HashMap::new();
+            let mut expiry: BTreeMap<u64, u32> = BTreeMap::new();
+            for rec in self.live.values() {
+                *expiry.entry(rec.expires_at).or_default() += 1;
+                for pool in rec.pools() {
+                    by_pool.entry(pool.clone()).or_default().insert(rec.id);
+                }
+                for pred in &rec.predicates {
+                    if let Predicate::QtyAtLeast { pool, amount } = pred {
+                        *qty_agg.entry(pool.clone()).or_default() += amount;
+                    }
+                }
+            }
+            qty_agg.retain(|_, v| *v != 0);
+            debug_assert_eq!(self.by_pool, by_pool, "pool index drifted from records");
+            debug_assert_eq!(
+                self.qty_agg, qty_agg,
+                "quantity aggregate drifted from records"
+            );
+            debug_assert_eq!(self.expiry, expiry, "expiry histogram drifted from records");
+        }
     }
 }
 
@@ -198,7 +341,11 @@ mod tests {
         let _other_pool = rec(&mut t, "x", 7, 100);
         assert_eq!(t.qty_demand(&PoolId::from("w"), 50, &[]), 8);
         assert_eq!(t.qty_demand(&PoolId::from("w"), 50, &[p1]), 3);
-        assert_eq!(t.qty_demand(&PoolId::from("w"), 5, &[]), 108, "not yet expired at t=5");
+        assert_eq!(
+            t.qty_demand(&PoolId::from("w"), 5, &[]),
+            108,
+            "not yet expired at t=5"
+        );
     }
 
     #[test]
@@ -246,10 +393,112 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_pools_returns_only_intersecting_promises() {
+        let mut t = PromiseTable::new();
+        let w1 = rec(&mut t, "w", 1, 100);
+        let w2 = rec(&mut t, "w", 2, 100);
+        let x = rec(&mut t, "x", 3, 100);
+        let _y = rec(&mut t, "y", 4, 100);
+        let _expired_w = rec(&mut t, "w", 9, 10);
+
+        let snap = t.snapshot_pools(50, &[PoolId::from("w")], &[]);
+        let mut ids: Vec<PromiseId> = snap.iter().map(|p| p.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![w1, w2], "only live w-promises");
+
+        let snap = t.snapshot_pools(50, &[PoolId::from("w"), PoolId::from("x")], &[w1]);
+        let mut ids: Vec<PromiseId> = snap.iter().map(|p| p.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![w2, x], "union of pools minus excluded");
+
+        assert!(t.snapshot_pools(50, &[PoolId::from("zzz")], &[]).is_empty());
+    }
+
+    #[test]
+    fn snapshot_pools_dedups_multi_pool_promises() {
+        let mut t = PromiseTable::new();
+        let id = t.next_id();
+        t.insert(PromiseRecord {
+            id,
+            client: ClientId::from("c"),
+            request: RequestId::from("r"),
+            predicates: vec![
+                Predicate::qty_at_least("w", 1),
+                Predicate::qty_at_least("x", 1),
+            ],
+            granted_at: 0,
+            expires_at: 100,
+            allocations: Vec::new(),
+        });
+        let snap = t.snapshot_pools(0, &[PoolId::from("w"), PoolId::from("x")], &[]);
+        assert_eq!(snap.len(), 1, "promise spanning both pools appears once");
+    }
+
+    #[test]
+    fn promised_qty_tracks_insert_remove_and_expiry() {
+        let mut t = PromiseTable::new();
+        let w = PoolId::from("w");
+        assert_eq!(t.promised_qty(&w), 0);
+        let a = rec(&mut t, "w", 5, 100);
+        let _b = rec(&mut t, "w", 3, 100);
+        let dead = rec(&mut t, "w", 7, 10);
+        assert_eq!(
+            t.promised_qty(&w),
+            15,
+            "aggregate counts unpruned expired too"
+        );
+        t.take_expired(50);
+        assert_eq!(t.promised_qty(&w), 8);
+        assert!(t.remove(dead).is_none());
+        t.remove(a);
+        assert_eq!(t.promised_qty(&w), 3);
+        assert_eq!(t.promised_qty(&PoolId::from("x")), 0);
+    }
+
+    #[test]
+    fn promised_qty_matches_full_qty_demand_after_prune() {
+        let mut t = PromiseTable::new();
+        for i in 0..20u64 {
+            rec(&mut t, if i % 2 == 0 { "w" } else { "x" }, i + 1, 100 + i);
+        }
+        t.take_expired(110);
+        for pool in [PoolId::from("w"), PoolId::from("x")] {
+            assert_eq!(
+                t.promised_qty(&pool),
+                t.qty_demand(&pool, 110, &[]),
+                "aggregate equals recomputed live demand once pruned"
+            );
+        }
+    }
+
+    #[test]
+    fn none_expired_tracks_earliest_expiry() {
+        let mut t = PromiseTable::new();
+        assert!(t.none_expired(u64::MAX), "empty table has nothing expired");
+        let early = rec(&mut t, "w", 1, 10);
+        let _late = rec(&mut t, "w", 1, 100);
+        assert!(t.none_expired(9));
+        assert!(
+            !t.none_expired(10),
+            "boundary: expired exactly at expires_at"
+        );
+        t.remove(early);
+        assert!(
+            t.none_expired(50),
+            "removing the earliest re-raises the bound"
+        );
+        t.take_expired(100);
+        assert!(t.none_expired(u64::MAX));
+    }
+
+    #[test]
     fn expiry_boundary_is_exclusive() {
         let mut t = PromiseTable::new();
         let id = rec(&mut t, "w", 1, 100);
         assert!(t.get(id).unwrap().is_live(99));
-        assert!(!t.get(id).unwrap().is_live(100), "expires exactly at expires_at");
+        assert!(
+            !t.get(id).unwrap().is_live(100),
+            "expires exactly at expires_at"
+        );
     }
 }

@@ -28,8 +28,12 @@ fn named_rooms_booked_exactly_once_under_contention() {
     );
     const ROOMS: usize = 24;
     for i in 0..ROOMS {
-        pm.seed_instance("rooms", format!("r{i}").as_str(), Record::new().with("floor", 1i64))
-            .unwrap();
+        pm.seed_instance(
+            "rooms",
+            format!("r{i}").as_str(),
+            Record::new().with("floor", 1i64),
+        )
+        .unwrap();
     }
 
     let bookings = Arc::new(AtomicU64::new(0));
@@ -162,8 +166,12 @@ fn mixed_chaos_ends_consistent() {
             .with_strategy(CheckStrategy::TentativeAllocation),
     );
     for i in 0..12 {
-        pm.seed_instance("items", format!("i{i}").as_str(), Record::new().with("grade", 1i64))
-            .unwrap();
+        pm.seed_instance(
+            "items",
+            format!("i{i}").as_str(),
+            Record::new().with("grade", 1i64),
+        )
+        .unwrap();
     }
 
     std::thread::scope(|scope| {
@@ -202,11 +210,7 @@ fn mixed_chaos_ends_consistent() {
                                         promises_core::RequestId(format!("p{t}-{i}")),
                                         promises_core::ClientId("chaos".into()),
                                     )
-                                    .predicate(Predicate::property(
-                                        "items",
-                                        PropExpr::True,
-                                        2,
-                                    )),
+                                    .predicate(Predicate::property("items", PropExpr::True, 2)),
                                 )
                                 .unwrap();
                             if let Some(p) = resp.decision.granted_id() {

@@ -89,7 +89,11 @@ fn anonymous_grants_until_quantity_exhausted() {
     let reason = reject_reason(&pm, "c", vec![Predicate::qty_at_least("widgets", 1)]);
     assert!(matches!(
         reason,
-        RejectReason::InsufficientQuantity { on_hand: 10, demanded: 11, .. }
+        RejectReason::InsufficientQuantity {
+            on_hand: 10,
+            demanded: 11,
+            ..
+        }
     ));
     assert_eq!(pm.live_count(), 2);
     assert_eq!(pm.metrics().granted, 2);
@@ -128,7 +132,11 @@ fn figure1_order_flow_purchase_under_promise_with_release() {
     // Remaining stock (2) still covers the other promise, but nothing more.
     assert!(matches!(
         reject_reason(&pm, "late", vec![Predicate::qty_at_least("widgets", 1)]),
-        RejectReason::InsufficientQuantity { on_hand: 2, demanded: 3, .. }
+        RejectReason::InsufficientQuantity {
+            on_hand: 2,
+            demanded: 3,
+            ..
+        }
     ));
 }
 
@@ -154,7 +162,10 @@ fn unprotected_action_violating_promise_is_rolled_back() {
     let rm = pm.rm();
     let txn = rm.begin();
     assert_eq!(
-        rm.get(&txn, Catalog::QTY_TABLE, "widgets").unwrap().unwrap().int("qty"),
+        rm.get(&txn, Catalog::QTY_TABLE, "widgets")
+            .unwrap()
+            .unwrap()
+            .int("qty"),
         Some(10)
     );
     rm.commit(txn).unwrap();
@@ -437,7 +448,11 @@ fn multi_predicate_request_is_all_or_nothing() {
     );
     assert!(matches!(reason, RejectReason::InsufficientQuantity { .. }));
     // The flight was NOT partially promised.
-    grant(&pm, "flight-only", vec![Predicate::qty_at_least("flights", 1)]);
+    grant(
+        &pm,
+        "flight-only",
+        vec![Predicate::qty_at_least("flights", 1)],
+    );
 }
 
 #[test]
@@ -447,7 +462,9 @@ fn failed_action_retains_promises_scheduled_for_release() {
     let p = grant(&pm, "a", vec![Predicate::qty_at_least("widgets", 5)]);
     let err = pm
         .execute(&Environment::none().releasing(p), |_rm, _txn| {
-            Err::<(), _>(promises_core::ActionError::App("no shipper available today".into()))
+            Err::<(), _>(promises_core::ActionError::App(
+                "no shipper available today".into(),
+            ))
         })
         .unwrap_err();
     assert!(matches!(err, PromiseError::ActionFailed(_)));
@@ -461,14 +478,21 @@ fn modify_upgrades_atomically_without_double_counting() {
     let (pm, _) = new_pm();
     pm.register_pool(PoolSchema::quantity("balance"));
     pm.seed_quantity("balance", 200).unwrap();
-    let old = grant(&pm, "hold-100", vec![Predicate::qty_at_least("balance", 100)]);
+    let old = grant(
+        &pm,
+        "hold-100",
+        vec![Predicate::qty_at_least("balance", 100)],
+    );
     let resp = pm
         .modify(
             &[old],
             spec("hold-200", vec![Predicate::qty_at_least("balance", 200)]),
         )
         .unwrap();
-    assert!(resp.decision.is_granted(), "upgrade within funds must grant");
+    assert!(
+        resp.decision.is_granted(),
+        "upgrade within funds must grant"
+    );
     assert_eq!(pm.live_count(), 1, "old promise released atomically");
 }
 
@@ -477,7 +501,11 @@ fn failed_modify_retains_old_promise() {
     let (pm, _) = new_pm();
     pm.register_pool(PoolSchema::quantity("balance"));
     pm.seed_quantity("balance", 150).unwrap();
-    let old = grant(&pm, "hold-100", vec![Predicate::qty_at_least("balance", 100)]);
+    let old = grant(
+        &pm,
+        "hold-100",
+        vec![Predicate::qty_at_least("balance", 100)],
+    );
     let resp = pm
         .modify(
             &[old],
@@ -508,7 +536,9 @@ fn modify_with_unknown_exchange_rejects() {
         .unwrap();
     assert!(matches!(
         resp.decision,
-        PromiseDecision::Rejected { reason: RejectReason::UnknownExchange(_) }
+        PromiseDecision::Rejected {
+            reason: RejectReason::UnknownExchange(_)
+        }
     ));
 }
 
@@ -525,7 +555,10 @@ fn modify_tagged_promise_reuses_its_own_instances() {
     let resp = pm
         .modify(
             &[old],
-            spec("three", vec![Predicate::property("rooms", PropExpr::True, 3)]),
+            spec(
+                "three",
+                vec![Predicate::property("rooms", PropExpr::True, 3)],
+            ),
         )
         .unwrap();
     assert!(resp.decision.is_granted());
@@ -542,9 +575,7 @@ fn expired_promise_gives_promise_expired_error() {
     pm.register_pool(PoolSchema::quantity("widgets"));
     pm.seed_quantity("widgets", 10).unwrap();
     let resp = pm
-        .request(
-            spec("a", vec![Predicate::qty_at_least("widgets", 5)]).duration_ms(1_000),
-        )
+        .request(spec("a", vec![Predicate::qty_at_least("widgets", 5)]).duration_ms(1_000))
         .unwrap();
     let p = resp.decision.granted_id().unwrap();
     clock.advance(2_000);
@@ -749,7 +780,11 @@ fn negotiation_drops_desirables_until_grantable() {
         .request_negotiated(spec("negotiate", vec![full]))
         .unwrap();
     assert!(resp.response.decision.is_granted());
-    assert_eq!(resp.total_dropped(), 2, "both impossible desirables dropped");
+    assert_eq!(
+        resp.total_dropped(),
+        2,
+        "both impossible desirables dropped"
+    );
 }
 
 #[test]
@@ -781,7 +816,11 @@ fn negotiation_rejects_when_essentials_unsatisfiable() {
     );
     let resp = pm.request_negotiated(spec("n", vec![full])).unwrap();
     assert!(!resp.response.decision.is_granted());
-    assert_eq!(resp.total_dropped(), 1, "desirable was dropped in the attempt");
+    assert_eq!(
+        resp.total_dropped(),
+        1,
+        "desirable was dropped in the attempt"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -829,7 +868,10 @@ fn scoped_action_on_unpromised_pool_is_rejected_and_rolled_back() {
     let rm = pm.rm();
     let txn = rm.begin();
     assert_eq!(
-        rm.get(&txn, Catalog::QTY_TABLE, "blue").unwrap().unwrap().int("qty"),
+        rm.get(&txn, Catalog::QTY_TABLE, "blue")
+            .unwrap()
+            .unwrap()
+            .int("qty"),
         Some(10)
     );
     rm.commit(txn).unwrap();

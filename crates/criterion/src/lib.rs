@@ -1,0 +1,261 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This workspace builds without network access, so benchmarks link
+//! against this in-repo shim instead of the real criterion. It keeps the
+//! same source-level API (`criterion_group!` / `criterion_main!`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`
+//! / `iter_custom`, `BenchmarkId`) but does plain wall-clock timing: a
+//! short warm-up, then `sample_size` timed samples, reporting mean / min /
+//! max to stdout. No statistics, no HTML reports, no outlier analysis —
+//! numbers are indicative, not rigorous.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group: a function name plus an
+/// optional parameter rendered with `Display`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter into one label.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        Self {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Top-level harness handle, passed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(100),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A group of related benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim always takes exactly
+    /// `sample_size` samples regardless of target measurement time.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets how long to run the routine before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Benchmarks `f`, labelling the output with `id`.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let label = if self.name.is_empty() {
+            id.label
+        } else {
+            format!("{}/{}", self.name, id.label)
+        };
+        run_benchmark(&label, self.sample_size, self.warm_up, &mut f);
+    }
+
+    /// Benchmarks `f` with an input value, labelling the output with `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (printing happens per-benchmark; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to the benchmarked closure.
+pub struct Bencher {
+    /// Iterations the routine should perform per sample.
+    iters_per_sample: u64,
+    /// Durations recorded by `iter` / `iter_custom`, one per call.
+    samples: Vec<Duration>,
+    /// True while the warm-up pass runs (samples are discarded).
+    warming_up: bool,
+}
+
+impl Bencher {
+    /// Times `routine` once per call and records the sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            std::hint::black_box(routine());
+        }
+        self.record(start.elapsed() / self.iters_per_sample as u32);
+    }
+
+    /// Lets the routine do its own timing: it receives an iteration count
+    /// and must return the total elapsed time for that many iterations.
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        let total = routine(self.iters_per_sample);
+        self.record(total / self.iters_per_sample as u32);
+    }
+
+    fn record(&mut self, per_iter: Duration) {
+        if !self.warming_up {
+            self.samples.push(per_iter);
+        }
+    }
+}
+
+fn run_benchmark(
+    label: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        warming_up: true,
+    };
+    // Warm-up: run the routine until the warm-up budget is spent.
+    let start = Instant::now();
+    while start.elapsed() < warm_up {
+        f(&mut b);
+    }
+    b.warming_up = false;
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    report(label, &b.samples);
+}
+
+fn report(label: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{label}: no samples recorded");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    println!(
+        "{label}: mean {} (min {}, max {}, n={})",
+        fmt_duration(mean),
+        fmt_duration(*min),
+        fmt_duration(*max),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Defines a benchmark group runner: `criterion_group!(benches, f1, f2)`
+/// expands to `pub fn benches()` invoking each target with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `fn main()` running the named groups in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching criterion's `black_box` (std's since 1.66).
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.warm_up_time(Duration::from_millis(1));
+        g.bench_function("iter", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("custom", 4), &4u32, |b, &n| {
+            b.iter_custom(|iters| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(n * 2);
+                }
+                start.elapsed()
+            });
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_all_targets() {
+        benches();
+    }
+}

@@ -92,8 +92,7 @@ fn dfs(
 ) -> bool {
     for &r in g.neighbours(l) {
         let next = pair_right[r];
-        if next == NIL || (dist[next] == dist[l] + 1 && dfs(g, next, pair_left, pair_right, dist))
-        {
+        if next == NIL || (dist[next] == dist[l] + 1 && dfs(g, next, pair_left, pair_right, dist)) {
             pair_left[l] = r;
             pair_right[r] = l;
             return true;

@@ -7,7 +7,7 @@
 //! that they can satisfy". Section 8 notes the authors' prototype did not
 //! implement this; this crate does.
 //!
-//! Two entry points:
+//! Three entry points:
 //!
 //! * [`hopcroft_karp`] — batch maximum matching in `O(E sqrt(V))`, used to
 //!   check a whole promise table from scratch;
@@ -16,13 +16,48 @@
 //!   Successfully finding an augmenting path *is* the paper's "tentative
 //!   allocation with re-arrangement": already-promised resources are
 //!   shuffled to other promises that also accept them so the new promise
-//!   can be granted.
+//!   can be granted;
+//! * [`assign_slots`] — the promise checker's entry point: given the
+//!   pre-filtered allowed-instance lists of a set of slots, produce a
+//!   full assignment of distinct instances (or report infeasibility).
 
 mod dynamic;
 mod hopcroft_karp;
 
 pub use dynamic::{DynamicMatching, RightRemoval};
 pub use hopcroft_karp::{hopcroft_karp, MatchingResult};
+
+/// Assigns every slot a distinct right vertex drawn from its allowed
+/// list, or returns `None` if no complete assignment exists.
+///
+/// `rights` enumerates the matchable right vertices; `allowed[i]` lists
+/// the rights slot `i` accepts (each must appear in `rights`). Slots are
+/// seeded most-constrained-first — a good heuristic for speed, while
+/// feasibility itself is order-independent thanks to augmenting-path
+/// re-arrangement. On success, `out[i]` is the right assigned to slot `i`.
+pub fn assign_slots(
+    rights: impl IntoIterator<Item = usize>,
+    allowed: &[Vec<usize>],
+) -> Option<Vec<usize>> {
+    let mut matching: DynamicMatching<usize, usize> = DynamicMatching::new();
+    for r in rights {
+        matching.add_right(r);
+    }
+
+    let mut order: Vec<usize> = (0..allowed.len()).collect();
+    order.sort_by_key(|&i| allowed[i].len());
+    for &i in &order {
+        if !matching.try_add_left(i, allowed[i].clone()) {
+            return None;
+        }
+    }
+
+    Some(
+        (0..allowed.len())
+            .map(|i| *matching.assignment(&i).expect("all slots matched above"))
+            .collect(),
+    )
+}
 
 /// A bipartite graph in adjacency-list form: `adj[l]` lists the right
 /// vertices that left vertex `l` may be matched to.
@@ -94,5 +129,36 @@ mod tests {
     fn out_of_range_edge_panics() {
         let mut g = BipartiteGraph::new(1, 1);
         g.add_edge(0, 5);
+    }
+
+    #[test]
+    fn assign_slots_finds_assignment_with_rearrangement() {
+        // Slot 0 accepts {0, 1}, slot 1 accepts only {0}: a greedy pass
+        // seeding slot 0 with 0 must re-arrange to satisfy slot 1.
+        let allowed = vec![vec![0, 1], vec![0]];
+        let got = assign_slots(0..2, &allowed).expect("feasible");
+        assert_eq!(got, vec![1, 0]);
+    }
+
+    #[test]
+    fn assign_slots_reports_infeasibility() {
+        let allowed = vec![vec![0], vec![0]];
+        assert_eq!(assign_slots(0..2, &allowed), None);
+        assert_eq!(assign_slots(std::iter::empty(), &[vec![]]), None);
+    }
+
+    #[test]
+    fn assign_slots_empty_slot_set_is_trivially_satisfied() {
+        assert_eq!(assign_slots(0..3, &[]), Some(vec![]));
+    }
+
+    #[test]
+    fn assign_slots_assignments_are_distinct() {
+        let allowed: Vec<Vec<usize>> = (0..5).map(|_| (0..5).collect()).collect();
+        let got = assign_slots(0..5, &allowed).expect("feasible");
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5, "no right vertex used twice: {got:?}");
     }
 }

@@ -1,0 +1,239 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This workspace builds without network access, so property tests link
+//! against this in-repo shim instead of the real proptest. It keeps the
+//! same source-level API the workspace uses — `proptest!`, `prop_oneof!`,
+//! `prop_assert*!`, `Strategy` with `prop_map` / `prop_recursive` /
+//! `boxed`, `any::<T>()`, integer-range and string-pattern strategies,
+//! `collection::vec`, `option::of`, `Just` — but is **generation-only**:
+//! a failing case panics with its inputs printed; there is no shrinking,
+//! no persistence of failing seeds, and the regex subset for string
+//! strategies is only what the tests here need (see [`string`]).
+//!
+//! Generation is deterministic per test (seeded from the test's module
+//! path); set `PROPTEST_SEED=<u64>` to perturb all streams.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a property-test module normally imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a test that generates `config.cases` input tuples and runs the
+/// body on each; `prop_assert*!` failures (and `?` on [`TestCaseError`])
+/// panic with the offending inputs. `#![proptest_config(expr)]` at the top
+/// of the block overrides the default configuration.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let inputs = {
+                        let mut s = String::new();
+                        $(
+                            s.push_str(&format!(
+                                "  {} = {:?}\n", stringify!($arg), &$arg,
+                            ));
+                        )+
+                        s
+                    };
+                    let case_fn = || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    match case_fn() {
+                        ::core::result::Result::Ok(()) => {}
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::core::result::Result::Err(e) => panic!(
+                            "proptest case {} of {} failed: {}\ninputs:\n{}",
+                            case + 1, config.cases, e, inputs,
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Like `assert!` but fails the current case (with input reporting)
+/// instead of panicking directly. Only valid inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Like `assert_eq!` but fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            left, right,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n {}",
+            left, right, format!($($fmt)+),
+        );
+    }};
+}
+
+/// Like `assert_ne!` but fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: {:?}",
+            left,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: {:?}\n {}",
+            left, format!($($fmt)+),
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(i64),
+        Node(Vec<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 1,
+            Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    fn arb_tree() -> impl Strategy<Value = Tree> {
+        let leaf = (-5i64..5).prop_map(Tree::Leaf);
+        leaf.prop_recursive(3, 16, 4, |inner| {
+            crate::collection::vec(inner, 1..4).prop_map(Tree::Node)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_are_in_bounds(x in 3u8..9, y in -2i64..=2) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2..=2).contains(&y), "y was {}", y);
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in crate::collection::vec(any::<bool>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            v in prop_oneof![
+                (0u8..10).prop_map(|n| n as i64),
+                Just(-1i64),
+                any::<bool>().prop_map(|b| if b { 100 } else { 200 }),
+            ],
+        ) {
+            prop_assert!((0..10).contains(&v) || v == -1 || v == 100 || v == 200);
+        }
+
+        #[test]
+        fn recursion_is_bounded(t in arb_tree()) {
+            prop_assert!(depth(&t) <= 4, "depth {} tree {:?}", depth(&t), t);
+        }
+
+        #[test]
+        fn question_mark_propagates_failure(x in 0u8..10) {
+            let checked: Result<u8, TestCaseError> = Ok(x);
+            let val = checked?;
+            prop_assert_eq!(val, x);
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = crate::collection::vec(0u64..1000, 5usize);
+        let mut a = TestRng::deterministic("same");
+        let mut b = TestRng::deterministic("same");
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn always_fails(x in 0u8..4) {
+                prop_assert!(x > 100, "x too small: {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,189 @@
+//! Generation from a small regex subset, backing `&str` strategies.
+//!
+//! Supported syntax — exactly what this workspace's tests use:
+//!
+//! * literal characters;
+//! * character classes `[...]` with single chars and `a-z` ranges (a `-`
+//!   that is first, last, or not between two chars is literal);
+//! * counted repetition `{n}` / `{m,n}` applied to the preceding atom.
+//!
+//! Anything else (`(`, `|`, `*`, `+`, `?`, `.`, `\`) panics loudly rather
+//! than silently generating the wrong language.
+
+use crate::test_runner::TestRng;
+
+/// One unit of the pattern plus its repetition bounds (inclusive).
+struct Atom {
+    /// Inclusive char ranges to choose from; a literal is one (c, c) range.
+    ranges: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+/// Generates a random string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let count = atom.min + rng.below(atom.max - atom.min + 1);
+        for _ in 0..count {
+            out.push(sample_char(&atom.ranges, rng));
+        }
+    }
+    out
+}
+
+fn sample_char(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: usize = ranges
+        .iter()
+        .map(|&(lo, hi)| hi as usize - lo as usize + 1)
+        .sum();
+    let mut idx = rng.below(total);
+    for &(lo, hi) in ranges {
+        let len = hi as usize - lo as usize + 1;
+        if idx < len {
+            return char::from_u32(lo as u32 + idx as u32).expect("range within valid chars");
+        }
+        idx -= len;
+    }
+    unreachable!("index within total")
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let ranges = match chars[i] {
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                let class = parse_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                class
+            }
+            c @ ('(' | '|' | '*' | '+' | '?' | '.' | '\\' | ']' | '}') => {
+                panic!("unsupported regex construct {c:?} in pattern {pattern:?}")
+            }
+            c => {
+                i += 1;
+                vec![(c, c)]
+            }
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+        atoms.push(Atom { ranges, min, max });
+    }
+    atoms
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Vec<(char, char)> {
+    assert!(!body.is_empty(), "empty [] class in pattern {pattern:?}");
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            assert!(
+                body[i] <= body[i + 2],
+                "inverted range in class in pattern {pattern:?}"
+            );
+            ranges.push((body[i], body[i + 2]));
+            i += 3;
+        } else {
+            ranges.push((body[i], body[i]));
+            i += 1;
+        }
+    }
+    ranges
+}
+
+/// Parses a `{n}` / `{m,n}` quantifier at `chars[*i]`, if present,
+/// advancing `*i` past it. Defaults to exactly one.
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    if *i >= chars.len() || chars[*i] != '{' {
+        return (1, 1);
+    }
+    let close = chars[*i + 1..]
+        .iter()
+        .position(|&c| c == '}')
+        .map(|p| p + *i + 1)
+        .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+    let body: String = chars[*i + 1..close].iter().collect();
+    *i = close + 1;
+    let parse_n = |s: &str| -> usize {
+        s.trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("bad quantifier {{{body}}} in pattern {pattern:?}"))
+    };
+    match body.split_once(',') {
+        Some((lo, hi)) => {
+            let (lo, hi) = (parse_n(lo), parse_n(hi));
+            assert!(lo <= hi, "inverted quantifier in pattern {pattern:?}");
+            (lo, hi)
+        }
+        None => {
+            let n = parse_n(&body);
+            (n, n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string-shim-tests")
+    }
+
+    #[test]
+    fn class_with_ranges_and_quantifier() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z][a-z0-9 ]{0,8}", &mut r);
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase(), "{s:?}");
+            assert!(s.len() <= 9, "{s:?}");
+            assert!(
+                cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == ' '),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut r = rng();
+        let mut saw_dash = false;
+        for _ in 0..500 {
+            let s = generate_from_pattern("[a-zA-Z0-9 <>&'\"=_-]{0,24}", &mut r);
+            assert!(s.len() <= 24);
+            saw_dash |= s.contains('-');
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || " <>&'\"=_-".contains(c)),
+                "{s:?}"
+            );
+        }
+        assert!(saw_dash, "dash should be generated as a literal");
+    }
+
+    #[test]
+    fn exact_quantifier_and_literals() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate_from_pattern("c[0-9]{3}x", &mut r);
+            assert_eq!(s.len(), 5, "{s:?}");
+            assert!(s.starts_with('c') && s.ends_with('x'), "{s:?}");
+            assert!(s[1..4].chars().all(|c| c.is_ascii_digit()), "{s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex construct")]
+    fn unsupported_metachar_panics() {
+        generate_from_pattern("a|b", &mut rng());
+    }
+}

@@ -1,0 +1,103 @@
+//! Runner configuration, failure type, and the deterministic RNG that
+//! drives value generation.
+
+use std::fmt;
+
+/// Deterministic SplitMix64 RNG used for all value generation. Seeded
+/// from the test's module path so each test gets a stable, independent
+/// stream; set `PROPTEST_SEED=<u64>` to perturb every stream at once.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds an RNG whose stream is fully determined by `name` (and the
+    /// optional `PROPTEST_SEED` environment variable).
+    pub fn deterministic(name: &str) -> Self {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        name.hash(&mut h);
+        let mut state = h.finish() ^ 0x9E37_79B9_7F4A_7C15;
+        if let Some(extra) = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            state ^= extra;
+        }
+        Self { state }
+    }
+
+    /// Returns the next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample in `[0, bound)`; panics if `bound == 0`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below(0) is empty");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property was falsified; the case counts as a test failure.
+    Fail(String),
+    /// The input was rejected (e.g. a precondition filter); the case is
+    /// skipped without failing the test.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A falsified property with the given message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        Self::Fail(reason.into())
+    }
+
+    /// A rejected (skipped) input with the given message.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Self::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Fail(msg) => write!(f, "{msg}"),
+            Self::Reject(msg) => write!(f, "input rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Runner configuration. Only `cases` is honoured by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}

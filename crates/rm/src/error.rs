@@ -57,8 +57,11 @@ mod tests {
         let e = RmError::Deadlock { txn: TxnId(7) };
         assert!(e.to_string().contains("deadlock"));
         assert!(RmError::NoSuchTable("t".into()).to_string().contains("t"));
-        assert!(RmError::DuplicateKey { table: "a".into(), key: "b".into() }
-            .to_string()
-            .contains("\"b\""));
+        assert!(RmError::DuplicateKey {
+            table: "a".into(),
+            key: "b".into()
+        }
+        .to_string()
+        .contains("\"b\""));
     }
 }

@@ -294,7 +294,10 @@ mod tests {
         assert!(Shared.covers(IntentionShared));
         assert!(!Shared.covers(Exclusive));
         assert_eq!(Shared.combine(Exclusive), Exclusive);
-        assert_eq!(IntentionShared.combine(IntentionExclusive), IntentionExclusive);
+        assert_eq!(
+            IntentionShared.combine(IntentionExclusive),
+            IntentionExclusive
+        );
         assert_eq!(Shared.combine(IntentionExclusive), Exclusive);
         assert_eq!(IntentionShared.combine(Shared), Shared);
     }
@@ -384,8 +387,12 @@ mod tests {
         lm.lock(TxnId(1), &table, LockMode::Shared).unwrap();
         let lm2 = Arc::clone(&lm);
         let h = thread::spawn(move || {
-            lm2.lock(TxnId(2), &Granule::Table("t".into()), LockMode::IntentionExclusive)
-                .unwrap();
+            lm2.lock(
+                TxnId(2),
+                &Granule::Table("t".into()),
+                LockMode::IntentionExclusive,
+            )
+            .unwrap();
             lm2.release_all(TxnId(2));
         });
         thread::sleep(Duration::from_millis(30));
@@ -398,8 +405,12 @@ mod tests {
     fn release_all_cleans_state() {
         let lm = LockManager::new();
         lm.lock(TxnId(1), &rec("a"), LockMode::Exclusive).unwrap();
-        lm.lock(TxnId(1), &Granule::Table("t".into()), LockMode::IntentionExclusive)
-            .unwrap();
+        lm.lock(
+            TxnId(1),
+            &Granule::Table("t".into()),
+            LockMode::IntentionExclusive,
+        )
+        .unwrap();
         assert_eq!(lm.locked_granules(), 2);
         lm.release_all(TxnId(1));
         assert_eq!(lm.locked_granules(), 0);

@@ -146,7 +146,11 @@ impl ResourceManager {
     /// Reads a record (`IS` on the table, `S` on the record).
     pub fn get(&self, txn: &Txn, table: &str, key: &str) -> Result<Option<Record>, RmError> {
         self.ensure_active(txn)?;
-        self.lock(txn, &Granule::Table(table.to_owned()), LockMode::IntentionShared)?;
+        self.lock(
+            txn,
+            &Granule::Table(table.to_owned()),
+            LockMode::IntentionShared,
+        )?;
         self.lock(
             txn,
             &Granule::Record(table.to_owned(), key.to_owned()),
@@ -258,6 +262,62 @@ impl ResourceManager {
         )
     }
 
+    /// Acquires exclusive locks on several synchronisation points, always
+    /// in canonical (sorted, deduplicated) order regardless of the order
+    /// the caller passes them in.
+    ///
+    /// This is the footprint-locking primitive for the promise manager:
+    /// every promise operation locks the sync points of exactly the pools
+    /// it touches, and because all lockers of multiple sync points go
+    /// through this single sorted path, sync points alone can never form
+    /// a wait-for cycle (paper §9's no-new-deadlocks property). Cycles
+    /// through ordinary data locks are still possible and remain handled
+    /// by deadlock detection + victimisation.
+    pub fn lock_exclusive_many<S: AsRef<str>>(
+        &self,
+        txn: &Txn,
+        names: &[S],
+    ) -> Result<(), RmError> {
+        self.ensure_active(txn)?;
+        let mut sorted: Vec<&str> = names.iter().map(AsRef::as_ref).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for name in sorted {
+            self.lock(
+                txn,
+                &Granule::Table(format!("\u{0}sync:{name}")),
+                LockMode::Exclusive,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Conditional read-modify-write of one record under an `X` lock, in a
+    /// single store round-trip. `f` mutates the record and returns whether
+    /// the mutation should be kept; when it returns `false` nothing is
+    /// written (and no undo entry is recorded). Returns `Ok(None)` if the
+    /// key is absent, otherwise `Ok(Some(updated))`.
+    pub fn update_if(
+        &self,
+        txn: &Txn,
+        table: &str,
+        key: &str,
+        f: impl FnOnce(&mut Record) -> bool,
+    ) -> Result<Option<bool>, RmError> {
+        self.write_locks(txn, table, key)?;
+        let mut store = self.store.lock();
+        let Some(before) = store.get(table, key)? else {
+            return Ok(None);
+        };
+        let mut rec = before.clone();
+        if !f(&mut rec) {
+            return Ok(Some(false));
+        }
+        self.record_undo(txn, table, key, Some(before))?;
+        store.put(table, key, rec)?;
+        Ok(Some(true))
+    }
+
     /// Scans a whole table under a table-level `S` lock (phantom-safe).
     pub fn scan(&self, txn: &Txn, table: &str) -> Result<Vec<(String, Record)>, RmError> {
         self.ensure_active(txn)?;
@@ -355,9 +415,7 @@ impl ResourceManager {
         before: Option<Record>,
     ) -> Result<(), RmError> {
         let mut undo = self.undo.lock();
-        let log = undo
-            .get_mut(&txn.id)
-            .ok_or(RmError::TxnNotActive(txn.id))?;
+        let log = undo.get_mut(&txn.id).ok_or(RmError::TxnNotActive(txn.id))?;
         log.record(table, key, before);
         Ok(())
     }
@@ -379,7 +437,8 @@ mod tests {
     fn commit_makes_writes_visible() {
         let rm = rm_with_table();
         let tx = rm.begin();
-        rm.insert(&tx, "t", "k", Record::new().with("v", 1i64)).unwrap();
+        rm.insert(&tx, "t", "k", Record::new().with("v", 1i64))
+            .unwrap();
         rm.commit(tx).unwrap();
         let tx = rm.begin();
         assert_eq!(rm.get(&tx, "t", "k").unwrap().unwrap().int("v"), Some(1));
@@ -390,7 +449,8 @@ mod tests {
     fn abort_undoes_insert_update_delete() {
         let rm = rm_with_table();
         let tx = rm.begin();
-        rm.insert(&tx, "t", "stay", Record::new().with("v", 1i64)).unwrap();
+        rm.insert(&tx, "t", "stay", Record::new().with("v", 1i64))
+            .unwrap();
         rm.commit(tx).unwrap();
 
         let tx = rm.begin();
@@ -419,7 +479,8 @@ mod tests {
         assert_eq!(rm.locked_granules(), 0);
 
         let tx = rm.begin();
-        rm.put(&tx, "t", "k", Record::new().with("x", 1i64)).unwrap();
+        rm.put(&tx, "t", "k", Record::new().with("x", 1i64))
+            .unwrap();
         rm.abort(tx);
         assert_eq!(rm.locked_granules(), 0);
     }
@@ -431,17 +492,15 @@ mod tests {
         let id = tx.id();
         rm.commit(tx).unwrap();
         let fake = Txn { id };
-        assert_eq!(
-            rm.get(&fake, "t", "k"),
-            Err(RmError::TxnNotActive(id))
-        );
+        assert_eq!(rm.get(&fake, "t", "k"), Err(RmError::TxnNotActive(id)));
     }
 
     #[test]
     fn writers_block_readers_until_commit() {
         let rm = Arc::new(rm_with_table());
         let tx = rm.begin();
-        rm.insert(&tx, "t", "k", Record::new().with("v", 1i64)).unwrap();
+        rm.insert(&tx, "t", "k", Record::new().with("v", 1i64))
+            .unwrap();
         rm.commit(tx).unwrap();
 
         let tx = rm.begin();
@@ -464,8 +523,10 @@ mod tests {
     fn transact_retries_deadlocks_and_commits() {
         let rm = Arc::new(rm_with_table());
         let tx = rm.begin();
-        rm.insert(&tx, "t", "a", Record::new().with("v", 0i64)).unwrap();
-        rm.insert(&tx, "t", "b", Record::new().with("v", 0i64)).unwrap();
+        rm.insert(&tx, "t", "a", Record::new().with("v", 0i64))
+            .unwrap();
+        rm.insert(&tx, "t", "b", Record::new().with("v", 0i64))
+            .unwrap();
         rm.commit(tx).unwrap();
 
         // Two transactions updating a,b in opposite orders: without retry
@@ -501,8 +562,13 @@ mod tests {
         let rm = rm_with_table();
         let tx = rm.begin();
         for i in 0..5 {
-            rm.insert(&tx, "t", &format!("k{i}"), Record::new().with("v", i as i64))
-                .unwrap();
+            rm.insert(
+                &tx,
+                "t",
+                &format!("k{i}"),
+                Record::new().with("v", i as i64),
+            )
+            .unwrap();
         }
         rm.commit(tx).unwrap();
         let tx = rm.begin();
@@ -538,10 +604,99 @@ mod tests {
     }
 
     #[test]
+    fn lock_exclusive_many_is_order_insensitive_and_deadlock_free() {
+        let rm = Arc::new(rm_with_table());
+        // Opposite declaration orders on the same sync points: the sorted
+        // acquisition path must never produce a deadlock victim.
+        let mut handles = Vec::new();
+        for names in [["p/a", "p/b", "p/c"], ["p/c", "p/b", "p/a"]] {
+            let rm = Arc::clone(&rm);
+            handles.push(thread::spawn(move || {
+                for _ in 0..50 {
+                    rm.transact(0, |tx| {
+                        rm.lock_exclusive_many(tx, &names)?;
+                        thread::yield_now();
+                        Ok(())
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            rm.stats().deadlocks,
+            0,
+            "sorted sync locking must not deadlock"
+        );
+    }
+
+    #[test]
+    fn lock_exclusive_many_matches_single_sync_points() {
+        let rm = Arc::new(rm_with_table());
+        // A multi-lock on {a, b} must conflict with a single lock on b.
+        let tx = rm.begin();
+        rm.lock_exclusive_many(&tx, &["a", "b", "b"]).unwrap();
+
+        let rm2 = Arc::clone(&rm);
+        let h = thread::spawn(move || {
+            let t = rm2.begin();
+            rm2.lock_exclusive(&t, "b").unwrap();
+            rm2.commit(t).unwrap();
+        });
+        thread::sleep(std::time::Duration::from_millis(30));
+        assert!(
+            !h.is_finished(),
+            "single sync point must block on multi-lock"
+        );
+        rm.commit(tx).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn update_if_writes_only_when_predicate_holds() {
+        let rm = rm_with_table();
+        let tx = rm.begin();
+        rm.insert(&tx, "t", "k", Record::new().with("v", 1i64))
+            .unwrap();
+        rm.commit(tx).unwrap();
+
+        let tx = rm.begin();
+        // Declined update: no write, no undo entry.
+        assert_eq!(rm.update_if(&tx, "t", "k", |_| false), Ok(Some(false)));
+        assert!(
+            rm.write_set(&tx).unwrap().is_empty(),
+            "declined update must not log"
+        );
+        // Missing key is not an error, just None.
+        assert_eq!(rm.update_if(&tx, "t", "nope", |_| true), Ok(None));
+        // Applied update goes through and is undone on abort.
+        assert_eq!(
+            rm.update_if(&tx, "t", "k", |r| {
+                r.set("v", 2i64);
+                true
+            }),
+            Ok(Some(true))
+        );
+        assert_eq!(rm.get(&tx, "t", "k").unwrap().unwrap().int("v"), Some(2));
+        rm.abort(tx);
+
+        let tx = rm.begin();
+        assert_eq!(
+            rm.get(&tx, "t", "k").unwrap().unwrap().int("v"),
+            Some(1),
+            "abort reverts applied update_if"
+        );
+        rm.commit(tx).unwrap();
+    }
+
+    #[test]
     fn concurrent_increments_are_serialised() {
         let rm = Arc::new(rm_with_table());
         let tx = rm.begin();
-        rm.insert(&tx, "t", "ctr", Record::new().with("v", 0i64)).unwrap();
+        rm.insert(&tx, "t", "ctr", Record::new().with("v", 0i64))
+            .unwrap();
         rm.commit(tx).unwrap();
 
         let threads = 8;

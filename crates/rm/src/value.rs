@@ -203,7 +203,10 @@ mod tests {
     #[test]
     fn cross_variant_values_do_not_compare() {
         assert_eq!(Value::Int(1).partial_cmp_same(&Value::Bool(true)), None);
-        assert_eq!(Value::Str("1".into()).partial_cmp_same(&Value::Int(1)), None);
+        assert_eq!(
+            Value::Str("1".into()).partial_cmp_same(&Value::Int(1)),
+            None
+        );
     }
 
     #[test]

@@ -105,7 +105,8 @@ fn aborted_writer_leaves_no_trace_for_waiting_reader() {
     let rm = Arc::new(ResourceManager::new());
     rm.create_table("t");
     let tx = rm.begin();
-    rm.insert(&tx, "t", "k", Record::new().with("v", 1i64)).unwrap();
+    rm.insert(&tx, "t", "k", Record::new().with("v", 1i64))
+        .unwrap();
     rm.commit(tx).unwrap();
 
     let writer = rm.begin();
@@ -136,17 +137,15 @@ fn many_tables_many_threads_smoke() {
                 for i in 0..100usize {
                     let table = format!("t{}", (t * 3 + i) % 16);
                     let key = format!("k{}", i % 10);
-                    rm.transact(100, |txn| {
-                        match rm.get(txn, &table, &key)? {
-                            Some(mut rec) => {
-                                let v = rec.int("v").unwrap_or(0);
-                                rec.set("v", v + 1);
-                                rm.put(txn, &table, &key, rec).map(|_| ())
-                            }
-                            None => rm
-                                .put(txn, &table, &key, Record::new().with("v", 1i64))
-                                .map(|_| ()),
+                    rm.transact(100, |txn| match rm.get(txn, &table, &key)? {
+                        Some(mut rec) => {
+                            let v = rec.int("v").unwrap_or(0);
+                            rec.set("v", v + 1);
+                            rm.put(txn, &table, &key, rec).map(|_| ())
                         }
+                        None => rm
+                            .put(txn, &table, &key, Record::new().with("v", 1i64))
+                            .map(|_| ()),
                     })
                     .unwrap();
                 }
@@ -178,7 +177,10 @@ fn write_set_reports_touched_records_in_order() {
     let ws = rm.write_set(&tx).unwrap();
     assert_eq!(
         ws,
-        vec![("a".to_owned(), "k1".to_owned()), ("b".to_owned(), "k2".to_owned())]
+        vec![
+            ("a".to_owned(), "k1".to_owned()),
+            ("b".to_owned(), "k2".to_owned())
+        ]
     );
     rm.commit(tx).unwrap();
     // write_set on finished transactions errors rather than lying.

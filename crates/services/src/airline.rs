@@ -191,7 +191,10 @@ mod tests {
     #[test]
     fn named_seat_excluded_from_class_pool() {
         let a = airline();
-        let _named = a.promise_seat("alice", "QF1", "24G", 60_000).unwrap().unwrap();
+        let _named = a
+            .promise_seat("alice", "QF1", "24G", 60_000)
+            .unwrap()
+            .unwrap();
         // Only 24A remains in economy.
         let _class = a
             .promise_class("bob", "QF1", "economy", 1, 60_000)

@@ -73,7 +73,10 @@ impl Bank {
                 promises_core::RequestId(format!("funds-{n}")),
                 promises_core::ClientId(client.to_owned()),
             )
-            .predicate(Predicate::qty_at_least(account_pool(account).as_str(), amount))
+            .predicate(Predicate::qty_at_least(
+                account_pool(account).as_str(),
+                amount,
+            ))
             .duration_ms(duration_ms),
         )?;
         Ok(match resp.decision {
@@ -186,19 +189,31 @@ mod tests {
     fn many_promises_bounded_by_balance() {
         // §3.1: many promises as long as the sum cannot overdraw.
         let b = bank();
-        let _p1 = b.promise_funds("s1", "alice", 4_000, 60_000).unwrap().unwrap();
-        let _p2 = b.promise_funds("s2", "alice", 4_000, 60_000).unwrap().unwrap();
+        let _p1 = b
+            .promise_funds("s1", "alice", 4_000, 60_000)
+            .unwrap()
+            .unwrap();
+        let _p2 = b
+            .promise_funds("s2", "alice", 4_000, 60_000)
+            .unwrap()
+            .unwrap();
         assert!(b
             .promise_funds("s3", "alice", 4_000, 60_000)
             .unwrap()
             .is_err());
-        let _p3 = b.promise_funds("s3", "alice", 2_000, 60_000).unwrap().unwrap();
+        let _p3 = b
+            .promise_funds("s3", "alice", 2_000, 60_000)
+            .unwrap()
+            .unwrap();
     }
 
     #[test]
     fn deposits_never_violate() {
         let b = bank();
-        let _p = b.promise_funds("s", "alice", 10_000, 60_000).unwrap().unwrap();
+        let _p = b
+            .promise_funds("s", "alice", 10_000, 60_000)
+            .unwrap()
+            .unwrap();
         b.deposit("alice", 1).unwrap();
         assert_eq!(b.balance("alice").unwrap(), 10_001);
     }
@@ -229,7 +244,10 @@ mod tests {
     #[test]
     fn overdraft_protected_by_promise_of_other_client() {
         let b = bank();
-        let _hold = b.promise_funds("s", "alice", 10_000, 60_000).unwrap().unwrap();
+        let _hold = b
+            .promise_funds("s", "alice", 10_000, 60_000)
+            .unwrap()
+            .unwrap();
         // An unprotected withdrawal would break the hold: rolled back.
         let p = b.promise_funds("t", "alice", 1, 60_000).unwrap();
         assert!(p.is_err(), "no headroom for further promises");

@@ -37,7 +37,14 @@ pub struct RoomSpec {
 
 impl RoomSpec {
     /// Convenience constructor.
-    pub fn new(number: &str, floor: i64, view: bool, smoking: bool, beds: i64, class: &str) -> Self {
+    pub fn new(
+        number: &str,
+        floor: i64,
+        view: bool,
+        smoking: bool,
+        beds: i64,
+        class: &str,
+    ) -> Self {
         Self {
             number: number.to_owned(),
             floor,
@@ -155,9 +162,7 @@ impl Hotel {
             .allocated_in(&PoolId::from(ROOM_POOL))
             .first()
             .map(|i| i.0.clone())
-            .ok_or_else(|| {
-                PromiseError::ActionFailed("promise holds no room allocation".into())
-            })?;
+            .ok_or_else(|| PromiseError::ActionFailed("promise holds no room allocation".into()))?;
         let table = Catalog::instance_table(&PoolId::from(ROOM_POOL));
         let booked = room.clone();
         self.pm
@@ -272,12 +277,9 @@ impl Hotel {
             .allocations
             .iter()
             .filter_map(|a| {
-                rec.predicates.get(a.pred_idx).map(|p| {
-                    (
-                        Catalog::instance_table(p.pool()),
-                        a.instance.0.clone(),
-                    )
-                })
+                rec.predicates
+                    .get(a.pred_idx)
+                    .map(|p| (Catalog::instance_table(p.pool()), a.instance.0.clone()))
             })
             .collect();
         if nights.is_empty() {
@@ -330,9 +332,12 @@ mod tests {
         let rm = Arc::new(ResourceManager::new());
         let pm = Arc::new(PromiseManager::new(rm, Arc::new(SystemClock::new())));
         let h = Hotel::new(pm);
-        h.add_room(RoomSpec::new("101", 1, false, false, 1, "standard")).unwrap();
-        h.add_room(RoomSpec::new("512", 5, true, false, 2, "standard")).unwrap();
-        h.add_room(RoomSpec::new("610", 6, true, false, 2, "deluxe")).unwrap();
+        h.add_room(RoomSpec::new("101", 1, false, false, 1, "standard"))
+            .unwrap();
+        h.add_room(RoomSpec::new("512", 5, true, false, 2, "standard"))
+            .unwrap();
+        h.add_room(RoomSpec::new("610", 6, true, false, 2, "deluxe"))
+            .unwrap();
         h
     }
 
@@ -357,7 +362,10 @@ mod tests {
     #[test]
     fn booking_marks_taken_and_releases() {
         let h = hotel();
-        let p = h.promise_specific_room("alice", "101", 60_000).unwrap().unwrap();
+        let p = h
+            .promise_specific_room("alice", "101", 60_000)
+            .unwrap()
+            .unwrap();
         let room = h.book(p).unwrap();
         assert_eq!(room, "101");
         assert!(!h.available_rooms().unwrap().contains(&"101".to_owned()));
@@ -385,7 +393,10 @@ mod tests {
     #[test]
     fn cancel_returns_room_to_pool() {
         let h = hotel();
-        let p = h.promise_specific_room("a", "512", 60_000).unwrap().unwrap();
+        let p = h
+            .promise_specific_room("a", "512", 60_000)
+            .unwrap()
+            .unwrap();
         assert!(!h.available_rooms().unwrap().contains(&"512".to_owned()));
         h.cancel(p).unwrap();
         assert!(h.available_rooms().unwrap().contains(&"512".to_owned()));
@@ -395,9 +406,14 @@ mod tests {
     fn sold_out_rejects() {
         let h = hotel();
         for _ in 0..3 {
-            h.promise_room("x", PropExpr::True, 60_000).unwrap().unwrap();
+            h.promise_room("x", PropExpr::True, 60_000)
+                .unwrap()
+                .unwrap();
         }
-        assert!(h.promise_room("y", PropExpr::True, 60_000).unwrap().is_err());
+        assert!(h
+            .promise_room("y", PropExpr::True, 60_000)
+            .unwrap()
+            .is_err());
     }
 }
 
@@ -456,12 +472,22 @@ mod calendar_tests {
             .unwrap();
         // A three-night stay in 212 must be rejected wholesale...
         assert!(h
-            .promise_stay("alice", "212", &["2007-03-12", "2007-03-13", "2007-03-14"], 60_000)
+            .promise_stay(
+                "alice",
+                "212",
+                &["2007-03-12", "2007-03-13", "2007-03-14"],
+                60_000
+            )
             .unwrap()
             .is_err());
         // ...leaving all of room 512's nights available for the same stay.
         let stay = h
-            .promise_stay("alice", "512", &["2007-03-12", "2007-03-13", "2007-03-14"], 60_000)
+            .promise_stay(
+                "alice",
+                "512",
+                &["2007-03-12", "2007-03-13", "2007-03-14"],
+                60_000,
+            )
             .unwrap()
             .unwrap();
         assert_eq!(h.book_stay(stay).unwrap(), 3);

@@ -171,8 +171,14 @@ mod tests {
     #[test]
     fn concurrent_orders_share_stock_without_blocking() {
         let m = merchant();
-        let a = m.reserve_stock("a", "pink-widgets", 10, 60_000).unwrap().unwrap();
-        let b = m.reserve_stock("b", "pink-widgets", 10, 60_000).unwrap().unwrap();
+        let a = m
+            .reserve_stock("a", "pink-widgets", 10, 60_000)
+            .unwrap()
+            .unwrap();
+        let b = m
+            .reserve_stock("b", "pink-widgets", 10, 60_000)
+            .unwrap()
+            .unwrap();
         assert!(m
             .reserve_stock("c", "pink-widgets", 1, 60_000)
             .unwrap()
@@ -185,7 +191,10 @@ mod tests {
     #[test]
     fn abandon_frees_stock() {
         let m = merchant();
-        let p = m.reserve_stock("a", "pink-widgets", 20, 60_000).unwrap().unwrap();
+        let p = m
+            .reserve_stock("a", "pink-widgets", 20, 60_000)
+            .unwrap()
+            .unwrap();
         m.abandon(p).unwrap();
         assert!(m
             .reserve_stock("b", "pink-widgets", 20, 60_000)

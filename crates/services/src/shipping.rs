@@ -157,7 +157,9 @@ mod tests {
     #[test]
     fn delegated_carrier_capacity_bounds_promises() {
         let carrier = standalone_carrier(1);
-        let s = Shipping::new(pm(), 10).unwrap().with_carrier(Arc::clone(&carrier));
+        let s = Shipping::new(pm(), 10)
+            .unwrap()
+            .with_carrier(Arc::clone(&carrier));
         let p1 = s.promise_next_day("a", 60_000).unwrap().unwrap();
         assert_eq!(carrier.live_count(), 1);
         // Plenty of local slots, but the carrier is exhausted.
@@ -176,7 +178,9 @@ mod tests {
         regional.delegate_pool("national-capacity", Arc::clone(&national));
         // The regional's next-day promise needs national capacity too:
         // model by asking regional for both pools via a shipping facade.
-        let s = Shipping::new(pm(), 10).unwrap().with_carrier(Arc::clone(&regional));
+        let s = Shipping::new(pm(), 10)
+            .unwrap()
+            .with_carrier(Arc::clone(&regional));
         let _p = s.promise_next_day("a", 60_000).unwrap().unwrap();
         assert_eq!(regional.live_count(), 1);
     }

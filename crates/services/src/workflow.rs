@@ -161,13 +161,18 @@ impl OrderWorkflow {
             (OrderState::New, OrderEvent::Place) => {
                 // Obtain BOTH promises; compensate the first if the second
                 // is rejected so placement stays all-or-nothing.
-                match self
-                    .merchant
-                    .reserve_stock(&self.client, &self.sku, self.qty, self.duration_ms)?
-                {
+                match self.merchant.reserve_stock(
+                    &self.client,
+                    &self.sku,
+                    self.qty,
+                    self.duration_ms,
+                )? {
                     Err(reason) => OrderState::Rejected(reason),
                     Ok(stock) => {
-                        match self.shipping.promise_next_day(&self.client, self.duration_ms)? {
+                        match self
+                            .shipping
+                            .promise_next_day(&self.client, self.duration_ms)?
+                        {
                             Ok(shipping) => OrderState::Reserved { stock, shipping },
                             Err(reason) => {
                                 self.merchant.abandon(stock)?;
@@ -198,9 +203,9 @@ impl OrderWorkflow {
                 // merchant, ship+release(shipping) at the shipper. Each is
                 // atomic within its own trust domain — exactly the paper's
                 // scoping ("the transaction is local to a trust domain").
-                let order_id =
-                    self.merchant
-                        .purchase(*stock, &self.client, &self.sku, self.qty)?;
+                let order_id = self
+                    .merchant
+                    .purchase(*stock, &self.client, &self.sku, self.qty)?;
                 self.shipping.ship(*shipping)?;
                 OrderState::Completed { order_id }
             }

@@ -118,6 +118,7 @@ mod tests {
             think: Duration::from_micros(200),
             abandon_probability: 0.1,
             multi_pool: false,
+            pinned_pools: false,
             seed: 7,
         }
     }
@@ -141,10 +142,7 @@ mod tests {
     fn escrow_workload_conserves_stock() {
         let rm = Arc::new(ResourceManager::new());
         seed_pools(&rm, 2, 1_000);
-        let report = run_qty_workload(
-            Arc::new(EscrowReserver::new(Arc::clone(&rm))),
-            &small_cfg(),
-        );
+        let report = run_qty_workload(Arc::new(EscrowReserver::new(Arc::clone(&rm))), &small_cfg());
         assert_eq!(report.attempts, 40);
         let consumed = 2_000 - final_qty(&rm, 2);
         assert!(consumed >= 0);
@@ -155,8 +153,7 @@ mod tests {
     fn lock_workload_completes() {
         let rm = Arc::new(ResourceManager::new());
         seed_pools(&rm, 2, 1_000);
-        let report =
-            run_qty_workload(Arc::new(LockReserver::new(Arc::clone(&rm))), &small_cfg());
+        let report = run_qty_workload(Arc::new(LockReserver::new(Arc::clone(&rm))), &small_cfg());
         assert!(report.completed > 0);
     }
 

@@ -8,8 +8,8 @@ use std::time::Instant;
 
 use promises_baselines::{InstanceReserver, ReserveFailure};
 use promises_core::{
-    status, Catalog, Environment, PoolSchema, Predicate, PromiseDecision, PromiseError,
-    PromiseId, PromiseManager, PromiseRequestSpec, SystemClock,
+    status, Catalog, Environment, PoolSchema, Predicate, PromiseDecision, PromiseError, PromiseId,
+    PromiseManager, PromiseRequestSpec, SystemClock,
 };
 use promises_rm::{Record, ResourceManager, RmError};
 
@@ -59,11 +59,7 @@ impl PromiseInstanceReserver {
 impl InstanceReserver for PromiseInstanceReserver {
     type Token = PromiseInstanceToken;
 
-    fn reserve_instance(
-        &self,
-        pool: &str,
-        instance: &str,
-    ) -> Result<Self::Token, ReserveFailure> {
+    fn reserve_instance(&self, pool: &str, instance: &str) -> Result<Self::Token, ReserveFailure> {
         let n = self.next_req.fetch_add(1, Ordering::Relaxed);
         let resp = self
             .pm
@@ -94,12 +90,15 @@ impl InstanceReserver for PromiseInstanceReserver {
         let table = Catalog::instance_table(&promises_core::PoolId(token.pool.clone()));
         let instance = token.instance.clone();
         self.pm
-            .execute(&Environment::none().releasing(token.promise), move |rm, txn| {
-                rm.update(txn, &table, &instance, |r| {
-                    r.set(Catalog::STATUS, status::TAKEN);
-                })
-                .map_err(promises_core::ActionError::from)
-            })
+            .execute(
+                &Environment::none().releasing(token.promise),
+                move |rm, txn| {
+                    rm.update(txn, &table, &instance, |r| {
+                        r.set(Catalog::STATUS, status::TAKEN);
+                    })
+                    .map_err(promises_core::ActionError::from)
+                },
+            )
             .map(|_| ())
             .map_err(|e| match e {
                 PromiseError::Rm(RmError::Deadlock { .. }) => ReserveFailure::Deadlock,
@@ -174,26 +173,26 @@ where
                     } else {
                         (client * 31 + i * 7) % instances
                     };
-                    let token =
-                        match reserver.reserve_instance(INSTANCE_POOL, &instance_name(idx)) {
-                            Ok(t) => t,
-                            Err(ReserveFailure::Insufficient) => {
-                                counters.failed_fast.fetch_add(1, Ordering::Relaxed);
-                                continue;
-                            }
-                            Err(ReserveFailure::Deadlock) => {
-                                counters.deadlocks.fetch_add(1, Ordering::Relaxed);
-                                continue;
-                            }
-                            Err(ReserveFailure::LateConflict) => {
-                                counters.failed_late.fetch_add(1, Ordering::Relaxed);
-                                continue;
-                            }
-                            Err(ReserveFailure::Rm(_)) => {
-                                counters.errors.fetch_add(1, Ordering::Relaxed);
-                                continue;
-                            }
-                        };
+                    let token = match reserver.reserve_instance(INSTANCE_POOL, &instance_name(idx))
+                    {
+                        Ok(t) => t,
+                        Err(ReserveFailure::Insufficient) => {
+                            counters.failed_fast.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        Err(ReserveFailure::Deadlock) => {
+                            counters.deadlocks.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        Err(ReserveFailure::LateConflict) => {
+                            counters.failed_late.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        Err(ReserveFailure::Rm(_)) => {
+                            counters.errors.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    };
                     if !think.is_zero() {
                         std::thread::sleep(think);
                     }
@@ -243,6 +242,7 @@ mod tests {
             think: Duration::from_micros(200),
             abandon_probability: 0.2,
             multi_pool: false,
+            pinned_pools: false,
             seed: 11,
         }
     }
@@ -273,11 +273,8 @@ mod tests {
         const N: usize = 40;
         let rm = Arc::new(ResourceManager::new());
         seed_instances(&rm, N);
-        let report = run_instance_workload(
-            Arc::new(SoftLockReserver::new(Arc::clone(&rm))),
-            &cfg(),
-            N,
-        );
+        let report =
+            run_instance_workload(Arc::new(SoftLockReserver::new(Arc::clone(&rm))), &cfg(), N);
         assert!(report.completed > 0);
         let txn = rm.begin();
         let taken = rm
@@ -301,11 +298,8 @@ mod tests {
 
         let rm = Arc::new(ResourceManager::new());
         seed_instances(&rm, N);
-        let soft = run_instance_workload(
-            Arc::new(SoftLockReserver::new(Arc::clone(&rm))),
-            &cfg(),
-            N,
-        );
+        let soft =
+            run_instance_workload(Arc::new(SoftLockReserver::new(Arc::clone(&rm))), &cfg(), N);
         assert_eq!(promises.attempts, soft.attempts);
         // Identical deterministic workloads; small divergence possible only
         // from scheduling (both must stay in the same ballpark).

@@ -24,11 +24,11 @@ mod instances;
 mod metrics;
 mod workload;
 
-pub use adapter::{promise_reserver, PromiseQtyReserver};
+pub use adapter::{promise_reserver, promise_reserver_with_mode, PromiseQtyReserver};
+pub use driver::{run_qty_workload, seed_pools};
 pub use instances::{
     instance_name, promise_instance_reserver, run_instance_workload, seed_instances,
     PromiseInstanceReserver, INSTANCE_POOL,
 };
-pub use driver::{run_qty_workload, seed_pools};
 pub use metrics::RunReport;
 pub use workload::{pool_name, WorkloadConfig};

@@ -33,6 +33,11 @@ pub struct WorkloadConfig {
     /// opposite order (the classic deadlock shape for lock-based
     /// reservations).
     pub multi_pool: bool,
+    /// If true, client `t` works exclusively on pool `t % pools`
+    /// (perfectly disjoint footprints when `clients <= pools`). Overrides
+    /// the hotspot and multi-pool pool selection; amounts and abandonment
+    /// still follow the PRNG.
+    pub pinned_pools: bool,
     /// PRNG seed.
     pub seed: u64,
 }
@@ -48,6 +53,7 @@ impl Default for WorkloadConfig {
             think: Duration::from_millis(1),
             abandon_probability: 0.1,
             multi_pool: false,
+            pinned_pools: false,
             seed: 42,
         }
     }
@@ -71,8 +77,12 @@ impl WorkloadConfig {
         let mut rng = StdRng::seed_from_u64(self.seed ^ (client as u64).wrapping_mul(0x9E3779B9));
         (0..self.ops_per_client)
             .map(|_| {
-                let first = self.pick_pool(&mut rng);
-                let pools = if self.multi_pool && self.pools >= 2 {
+                let first = if self.pinned_pools {
+                    client % self.pools.max(1)
+                } else {
+                    self.pick_pool(&mut rng)
+                };
+                let pools = if self.multi_pool && !self.pinned_pools && self.pools >= 2 {
                     let mut second = self.pick_pool(&mut rng);
                     while second == first {
                         second = self.pick_pool(&mut rng);
@@ -143,6 +153,23 @@ mod tests {
         let odd = cfg.ops_for_client(1);
         assert!(even.iter().all(|o| o.pools == vec![0, 1]));
         assert!(odd.iter().all(|o| o.pools == vec![1, 0]));
+    }
+
+    #[test]
+    fn pinned_clients_never_leave_their_pool() {
+        let cfg = WorkloadConfig {
+            pinned_pools: true,
+            pools: 8,
+            clients: 8,
+            multi_pool: true, // pinning wins: single-pool ops only
+            ops_per_client: 50,
+            ..WorkloadConfig::default()
+        };
+        for client in 0..cfg.clients {
+            for op in cfg.ops_for_client(client) {
+                assert_eq!(op.pools, vec![client % cfg.pools]);
+            }
+        }
     }
 
     #[test]

@@ -150,9 +150,7 @@ impl InMemoryBus {
             .cloned()
             .ok_or_else(|| BusError::UnknownEndpoint(to.to_owned()))?;
         let profile = *self.profile.read();
-        if profile.drop_probability > 0.0
-            && self.rng.lock().next_f64() < profile.drop_probability
-        {
+        if profile.drop_probability > 0.0 && self.rng.lock().next_f64() < profile.drop_probability {
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return Err(BusError::Dropped);
         }
@@ -246,6 +244,9 @@ mod tests {
         });
         let start = std::time::Instant::now();
         bus.send("echo", &Envelope::new()).unwrap();
-        assert!(start.elapsed() >= Duration::from_millis(20), "two directions");
+        assert!(
+            start.elapsed() >= Duration::from_millis(20),
+            "two directions"
+        );
     }
 }

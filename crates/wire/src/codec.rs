@@ -89,9 +89,7 @@ pub fn encode(env: &Envelope) -> String {
             PromiseResult::AcceptedWithCondition(cond) => el
                 .attr("result", "accepted-with-condition")
                 .attr("condition", cond),
-            PromiseResult::Rejected(reason) => {
-                el.attr("result", "rejected").attr("reason", reason)
-            }
+            PromiseResult::Rejected(reason) => el.attr("result", "rejected").attr("reason", reason),
         };
         for g in &resp.granted_predicates {
             el = el.child(XmlElement::new("granted-predicate").with_text(g));
@@ -273,7 +271,7 @@ mod tests {
                 ],
                 duration_ms: 60_000,
                 exchange: vec![3, 4],
-            negotiate: false,
+                negotiate: false,
             }],
             promise_responses: vec![
                 PromiseResponseHeader {
@@ -281,14 +279,14 @@ mod tests {
                     result: PromiseResult::Accepted,
                     expires_at: 60_500,
                     correlation: "r0".into(),
-            granted_predicates: vec![],
+                    granted_predicates: vec![],
                 },
                 PromiseResponseHeader {
                     promise_id: None,
                     result: PromiseResult::Rejected("insufficient".into()),
                     expires_at: 0,
                     correlation: "r-old".into(),
-            granted_predicates: vec![],
+                    granted_predicates: vec![],
                 },
             ],
             releases: vec![9],

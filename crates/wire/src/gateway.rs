@@ -19,8 +19,8 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use promises_core::{
-    parse_predicate, ActionError, Environment, PromiseDecision, PromiseError, PromiseManager,
-    PromiseRequestSpec, PromiseId,
+    parse_predicate, ActionError, Environment, PromiseDecision, PromiseError, PromiseId,
+    PromiseManager, PromiseRequestSpec,
 };
 use promises_rm::{ResourceManager, Txn};
 
@@ -58,12 +58,7 @@ impl PromiseGateway {
     }
 
     /// Registers the handler for `(service, operation)` action bodies.
-    pub fn register_handler(
-        &self,
-        service: &str,
-        operation: &str,
-        handler: ActionHandler,
-    ) {
+    pub fn register_handler(&self, service: &str, operation: &str, handler: ActionHandler) {
         self.handlers
             .write()
             .insert((service.to_owned(), operation.to_owned()), handler);
@@ -93,7 +88,7 @@ impl PromiseGateway {
                     result: PromiseResult::Rejected(msg),
                     expires_at: 0,
                     correlation: req.request_id.clone(),
-            granted_predicates: vec![],
+                    granted_predicates: vec![],
                 });
                 continue;
             }
@@ -119,7 +114,10 @@ impl PromiseGateway {
                 // as actually granted.
                 match self.pm.request_negotiated(spec) {
                     Ok(out) => match out.response.decision {
-                        PromiseDecision::Granted { promise, expires_at } => {
+                        PromiseDecision::Granted {
+                            promise,
+                            expires_at,
+                        } => {
                             granted_by_correlation.insert(req.request_id.clone(), promise);
                             let dropped = out.total_dropped();
                             PromiseResponseHeader {
@@ -147,7 +145,10 @@ impl PromiseGateway {
             } else {
                 match self.pm.request(spec) {
                     Ok(resp) => match resp.decision {
-                        PromiseDecision::Granted { promise, expires_at } => {
+                        PromiseDecision::Granted {
+                            promise,
+                            expires_at,
+                        } => {
                             granted_by_correlation.insert(req.request_id.clone(), promise);
                             PromiseResponseHeader {
                                 promise_id: Some(promise.0),
@@ -209,9 +210,7 @@ impl PromiseGateway {
             }
         }
 
-        let result = self
-            .pm
-            .execute(&env, |rm, txn| handler(rm, txn, action));
+        let result = self.pm.execute(&env, |rm, txn| handler(rm, txn, action));
         match result {
             Ok(fields) => {
                 let mut resp = ActionResponse::success();
@@ -315,10 +314,7 @@ mod tests {
                     release_after: true,
                 }],
             })
-            .with_action(
-                ActionRequest::new("merchant", "purchase")
-                    .param("qty", 5),
-            );
+            .with_action(ActionRequest::new("merchant", "purchase").param("qty", 5));
         let reply = gw.handle(envelope);
         assert!(matches!(
             reply.response_for("r1").unwrap().result,
@@ -332,9 +328,8 @@ mod tests {
     #[test]
     fn bad_predicate_rejected_not_crashing() {
         let gw = gateway();
-        let reply = gw.handle(
-            Envelope::new().with_promise_request(request_header("r1", "gibberish")),
-        );
+        let reply =
+            gw.handle(Envelope::new().with_promise_request(request_header("r1", "gibberish")));
         assert!(matches!(
             reply.response_for("r1").unwrap().result,
             PromiseResult::Rejected(_)
@@ -344,9 +339,7 @@ mod tests {
     #[test]
     fn unknown_handler_fails_cleanly() {
         let gw = gateway();
-        let reply = gw.handle(
-            Envelope::new().with_action(ActionRequest::new("ghost", "noop")),
-        );
+        let reply = gw.handle(Envelope::new().with_action(ActionRequest::new("ghost", "noop")));
         let resp = reply.action_response.unwrap();
         assert!(!resp.ok);
         assert!(resp.error.unwrap().contains("no handler"));
@@ -385,7 +378,9 @@ mod tests {
     fn violating_action_reported_as_failure() {
         let gw = gateway();
         // Grant 8; then an unprotected purchase of 5 must roll back.
-        gw.handle(Envelope::new().with_promise_request(request_header("r1", "qty('widgets') >= 8")));
+        gw.handle(
+            Envelope::new().with_promise_request(request_header("r1", "qty('widgets') >= 8")),
+        );
         let reply = gw.handle(
             Envelope::new().with_action(ActionRequest::new("merchant", "purchase").param("qty", 5)),
         );

@@ -5,8 +5,8 @@ use proptest::prelude::*;
 
 use promises_wire::xml::{parse, XmlElement};
 use promises_wire::{
-    decode, encode, ActionRequest, ActionResponse, EnvEntry, EnvRef, Envelope,
-    EnvironmentHeader, PromiseRequestHeader, PromiseResponseHeader, PromiseResult,
+    decode, encode, ActionRequest, ActionResponse, EnvEntry, EnvRef, Envelope, EnvironmentHeader,
+    PromiseRequestHeader, PromiseResponseHeader, PromiseResult,
 };
 
 fn arb_text() -> impl Strategy<Value = String> {
@@ -19,7 +19,11 @@ fn arb_name() -> impl Strategy<Value = String> {
 }
 
 fn arb_xml_tree() -> impl Strategy<Value = XmlElement> {
-    let leaf = (arb_name(), proptest::collection::vec((arb_name(), arb_text()), 0..3), arb_text())
+    let leaf = (
+        arb_name(),
+        proptest::collection::vec((arb_name(), arb_text()), 0..3),
+        arb_text(),
+    )
         .prop_map(|(name, attrs, text)| {
             let mut el = XmlElement::new(&name);
             let mut seen = std::collections::HashSet::new();
@@ -82,15 +86,15 @@ fn arb_response() -> impl Strategy<Value = PromiseResponseHeader> {
         arb_name(),
         proptest::collection::vec(arb_text(), 0..2),
     )
-        .prop_map(
-            |(promise_id, result, expires_at, correlation, granted)| PromiseResponseHeader {
+        .prop_map(|(promise_id, result, expires_at, correlation, granted)| {
+            PromiseResponseHeader {
                 promise_id,
                 result,
                 expires_at,
                 correlation,
                 granted_predicates: granted.iter().map(|g| g.trim().to_owned()).collect(),
-            },
-        )
+            }
+        })
 }
 
 fn arb_envelope() -> impl Strategy<Value = Envelope> {
@@ -102,47 +106,57 @@ fn arb_envelope() -> impl Strategy<Value = Envelope> {
             (any::<bool>(), any::<u64>(), any::<bool>()),
             0..3,
         )),
-        proptest::option::of((arb_name(), arb_name(), proptest::collection::vec((arb_name(), arb_text()), 0..3))),
-        proptest::option::of((any::<bool>(), proptest::option::of(arb_text()), proptest::collection::vec((arb_name(), arb_text()), 0..3))),
+        proptest::option::of((
+            arb_name(),
+            arb_name(),
+            proptest::collection::vec((arb_name(), arb_text()), 0..3),
+        )),
+        proptest::option::of((
+            any::<bool>(),
+            proptest::option::of(arb_text()),
+            proptest::collection::vec((arb_name(), arb_text()), 0..3),
+        )),
     )
-        .prop_map(|(reqs, resps, releases, env_entries, action, action_resp)| Envelope {
-            promise_requests: reqs,
-            promise_responses: resps,
-            releases,
-            environment: env_entries.map(|entries| EnvironmentHeader {
-                entries: entries
-                    .into_iter()
-                    .map(|(by_id, id, release_after)| EnvEntry {
-                        reference: if by_id {
-                            EnvRef::Id(id)
-                        } else {
-                            EnvRef::Correlation(format!("c{id}"))
-                        },
-                        release_after,
-                    })
-                    .collect(),
-            }),
-            action: action.map(|(service, operation, params)| {
-                let mut a = ActionRequest::new(&service, &operation);
-                for (k, v) in params {
-                    a = a.param(&k, v.trim());
-                }
-                a
-            }),
-            action_response: action_resp.map(|(ok, error, fields)| {
-                let mut r = if ok {
-                    ActionResponse::success()
-                } else {
-                    ActionResponse::failure(error.clone().unwrap_or_default())
-                };
-                r.error = error;
-                r.ok = ok;
-                for (k, v) in fields {
-                    r = r.field(&k, v.trim());
-                }
-                r
-            }),
-        })
+        .prop_map(
+            |(reqs, resps, releases, env_entries, action, action_resp)| Envelope {
+                promise_requests: reqs,
+                promise_responses: resps,
+                releases,
+                environment: env_entries.map(|entries| EnvironmentHeader {
+                    entries: entries
+                        .into_iter()
+                        .map(|(by_id, id, release_after)| EnvEntry {
+                            reference: if by_id {
+                                EnvRef::Id(id)
+                            } else {
+                                EnvRef::Correlation(format!("c{id}"))
+                            },
+                            release_after,
+                        })
+                        .collect(),
+                }),
+                action: action.map(|(service, operation, params)| {
+                    let mut a = ActionRequest::new(&service, &operation);
+                    for (k, v) in params {
+                        a = a.param(&k, v.trim());
+                    }
+                    a
+                }),
+                action_response: action_resp.map(|(ok, error, fields)| {
+                    let mut r = if ok {
+                        ActionResponse::success()
+                    } else {
+                        ActionResponse::failure(error.clone().unwrap_or_default())
+                    };
+                    r.error = error;
+                    r.ok = ok;
+                    for (k, v) in fields {
+                        r = r.field(&k, v.trim());
+                    }
+                    r
+                }),
+            },
+        )
 }
 
 proptest! {

@@ -24,6 +24,7 @@ fn cfg() -> WorkloadConfig {
         think: Duration::from_millis(2),
         abandon_probability: 0.1,
         multi_pool: false,
+        pinned_pools: false,
         seed: 2007,
     }
 }
@@ -54,7 +55,10 @@ fn main() {
 
     let rm = Arc::new(ResourceManager::new());
     seed_pools(&rm, cfg.pools, POOL_QTY);
-    row("locks-2pl", &run_qty_workload(Arc::new(LockReserver::new(rm)), &cfg));
+    row(
+        "locks-2pl",
+        &run_qty_workload(Arc::new(LockReserver::new(rm)), &cfg),
+    );
 
     let rm = Arc::new(ResourceManager::new());
     seed_pools(&rm, cfg.pools, POOL_QTY);
@@ -65,7 +69,10 @@ fn main() {
 
     let rm = Arc::new(ResourceManager::new());
     seed_pools(&rm, cfg.pools, POOL_QTY);
-    row("escrow", &run_qty_workload(Arc::new(EscrowReserver::new(rm)), &cfg));
+    row(
+        "escrow",
+        &run_qty_workload(Arc::new(EscrowReserver::new(rm)), &cfg),
+    );
 
     let reserver = Arc::new(promise_reserver(cfg.pools, POOL_QTY));
     row("promises", &run_qty_workload(reserver, &cfg));

@@ -38,7 +38,10 @@ fn main() {
     println!("alice: place order (5 widgets + next-day shipping)");
     println!("  -> {:?}", order.handle(OrderEvent::Place).unwrap());
     println!("alice: payment received (promises still held)");
-    println!("  -> {:?}", order.handle(OrderEvent::PaymentReceived).unwrap());
+    println!(
+        "  -> {:?}",
+        order.handle(OrderEvent::PaymentReceived).unwrap()
+    );
     println!("alice: fulfil (purchase + ship, promises released atomically)");
     println!("  -> {:?}\n", order.handle(OrderEvent::Fulfil).unwrap());
 

@@ -26,7 +26,10 @@ fn main() {
     // Order process: determine we need 5 pink widgets to be in stock and
     // send a promise request that quantity('pink widgets') >= 5.
     println!("\n[order-1] send promise request: qty('pink-widgets') >= 5");
-    let p1 = match merchant.reserve_stock("alice", "pink-widgets", 5, 60_000).unwrap() {
+    let p1 = match merchant
+        .reserve_stock("alice", "pink-widgets", 5, 60_000)
+        .unwrap()
+    {
         Ok(promise) => {
             println!("[manager] promise accepted: {promise}");
             promise
@@ -46,7 +49,10 @@ fn main() {
     println!("[manager] promise accepted: {p2}");
 
     println!("\n[order-3] a third order wants 1 more widget");
-    match merchant.reserve_stock("carol", "pink-widgets", 1, 60_000).unwrap() {
+    match merchant
+        .reserve_stock("carol", "pink-widgets", 1, 60_000)
+        .unwrap()
+    {
         Ok(_) => unreachable!("stock is fully promised"),
         Err(reason) => println!("[manager] promise rejected immediately: {reason}"),
     }

@@ -60,13 +60,16 @@ fn main() {
         predicates: vec!["qty('pink-widgets') >= 5".into()],
         duration_ms: 60_000,
         exchange: vec![],
-            negotiate: false,
+        negotiate: false,
     });
     println!("client: -> promise request qty('pink-widgets') >= 5");
     let reply = bus.send("merchant-gateway", &request).unwrap();
     let resp = reply.response_for("r1").unwrap();
     let promise_id = resp.promise_id.expect("accepted");
-    println!("client: <- accepted, promise id {promise_id}, expires at {}ms", resp.expires_at);
+    println!(
+        "client: <- accepted, promise id {promise_id}, expires at {}ms",
+        resp.expires_at
+    );
 
     // Message 2: the §6 combined form — request a SECOND promise, run the
     // purchase under BOTH (releasing both on success), in one envelope.
@@ -114,13 +117,13 @@ fn main() {
         predicates: vec!["qty('pink-widgets') >= 3".into()],
         duration_ms: 60_000,
         exchange: vec![],
-            negotiate: false,
+        negotiate: false,
     });
     bus.send("merchant-gateway", &hold).unwrap();
     println!("\nother-client: holds a promise for the remaining 3 widgets");
 
-    let rogue = Envelope::new()
-        .with_action(ActionRequest::new("merchant", "purchase").param("qty", 1));
+    let rogue =
+        Envelope::new().with_action(ActionRequest::new("merchant", "purchase").param("qty", 1));
     let reply = bus.send("merchant-gateway", &rogue).unwrap();
     let action = reply.action_response.unwrap();
     println!(

@@ -9,9 +9,7 @@
 
 use std::sync::Arc;
 
-use promises::core::{
-    PromiseManager, PromiseRequestSpec, Predicate, PropExpr, SystemClock,
-};
+use promises::core::{Predicate, PromiseManager, PromiseRequestSpec, PropExpr, SystemClock};
 use promises::rm::ResourceManager;
 use promises::services::{Bank, Hotel, RoomSpec, TravelAgent};
 
@@ -40,8 +38,12 @@ fn main() {
 
     println!("== §3.3: negotiating desirable room features ==\n");
     let hotel = Hotel::new(new_pm());
-    hotel.add_room(RoomSpec::new("101", 1, false, false, 2, "standard")).unwrap();
-    hotel.add_room(RoomSpec::new("202", 2, false, false, 2, "standard")).unwrap();
+    hotel
+        .add_room(RoomSpec::new("101", 1, false, false, 2, "standard"))
+        .unwrap();
+    hotel
+        .add_room(RoomSpec::new("202", 2, false, false, 2, "standard"))
+        .unwrap();
 
     // Essential: two beds, non-smoking. Desirable: a view, then a suite.
     let want = Predicate::property(
@@ -63,12 +65,19 @@ fn main() {
     );
     println!("       granted form: {}", outcome.granted_predicates[0]);
     assert!(outcome.response.decision.is_granted());
-    assert_eq!(outcome.total_dropped(), 2, "no view, no suite in this hotel");
+    assert_eq!(
+        outcome.total_dropped(),
+        2,
+        "no view, no suite in this hotel"
+    );
 
     println!("\n== §4: upgrading and weakening a funds promise ==\n");
     let bank = Bank::new(new_pm());
     bank.open_account("alice", 250).unwrap();
-    let p100 = bank.promise_funds("shop", "alice", 100, 60_000).unwrap().unwrap();
+    let p100 = bank
+        .promise_funds("shop", "alice", 100, 60_000)
+        .unwrap()
+        .unwrap();
     println!("shop: holds promise for $100 of alice's $250");
 
     // Upgrade to $200: during the atomic exchange the demand is 200, not
@@ -80,7 +89,9 @@ fn main() {
     println!("shop: upgraded to $200 atomically (old promise handed back)");
 
     // Attempting $300 fails and RETAINS the $200 promise (§4).
-    let kept = bank.change_promise("shop", "alice", p200, 300, 60_000).unwrap();
+    let kept = bank
+        .change_promise("shop", "alice", p200, 300, 60_000)
+        .unwrap();
     assert!(kept.is_err());
     println!("shop: $300 upgrade rejected; the $200 promise was retained");
 

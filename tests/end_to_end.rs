@@ -9,9 +9,7 @@ use promises::core::{
 };
 use promises::rm::ResourceManager;
 use promises::services::{standalone_carrier, Airline, Bank, Hotel, Merchant, RoomSpec, Shipping};
-use promises::wire::{
-    Envelope, InMemoryBus, PromiseGateway, PromiseRequestHeader, PromiseResult,
-};
+use promises::wire::{Envelope, InMemoryBus, PromiseGateway, PromiseRequestHeader, PromiseResult};
 
 fn new_pm() -> Arc<PromiseManager> {
     Arc::new(PromiseManager::new(
@@ -61,8 +59,12 @@ fn hotel_over_the_wire_with_predicate_language() {
     // Drive the hotel through the gateway using the text predicate syntax.
     let pm = new_pm();
     let hotel = Hotel::new(Arc::clone(&pm));
-    hotel.add_room(RoomSpec::new("512", 5, true, false, 2, "standard")).unwrap();
-    hotel.add_room(RoomSpec::new("610", 6, true, false, 2, "deluxe")).unwrap();
+    hotel
+        .add_room(RoomSpec::new("512", 5, true, false, 2, "standard"))
+        .unwrap();
+    hotel
+        .add_room(RoomSpec::new("610", 6, true, false, 2, "deluxe"))
+        .unwrap();
 
     let gateway = Arc::new(PromiseGateway::new(Arc::clone(&pm)));
     let bus = InMemoryBus::new();
@@ -74,7 +76,7 @@ fn hotel_over_the_wire_with_predicate_language() {
         predicates: vec!["prop('rooms'): view == true && floor >= 5".into()],
         duration_ms: 60_000,
         exchange: vec![],
-            negotiate: false,
+        negotiate: false,
     });
     let reply = bus.send("hotel", &env).unwrap();
     let resp = reply.response_for("want-view").unwrap();
@@ -88,7 +90,7 @@ fn hotel_over_the_wire_with_predicate_language() {
         predicates: vec!["prop('rooms'): view == true && floor >= 5".into()],
         duration_ms: 60_000,
         exchange: vec![],
-            negotiate: false,
+        negotiate: false,
     });
     let reply = bus.send("hotel", &env2).unwrap();
     assert!(matches!(
@@ -102,7 +104,7 @@ fn hotel_over_the_wire_with_predicate_language() {
         predicates: vec!["prop('rooms'): view == true".into()],
         duration_ms: 60_000,
         exchange: vec![],
-            negotiate: false,
+        negotiate: false,
     });
     let reply = bus.send("hotel", &env3).unwrap();
     assert!(matches!(
@@ -165,7 +167,10 @@ fn airline_full_lifecycle_with_upgrades() {
         .unwrap();
 
     // Named + class promises interleaved.
-    let named = airline.promise_seat("a", "QF1", "24A", 60_000).unwrap().unwrap();
+    let named = airline
+        .promise_seat("a", "QF1", "24A", 60_000)
+        .unwrap()
+        .unwrap();
     let economy = airline
         .promise_class("b", "QF1", "economy", 2, 60_000)
         .unwrap()
@@ -190,10 +195,19 @@ fn shipping_delegation_end_to_end() {
         .unwrap()
         .with_carrier(Arc::clone(&carrier));
 
-    let p1 = shipping.promise_next_day("order-1", 60_000).unwrap().unwrap();
-    let p2 = shipping.promise_next_day("order-2", 60_000).unwrap().unwrap();
+    let p1 = shipping
+        .promise_next_day("order-1", 60_000)
+        .unwrap()
+        .unwrap();
+    let p2 = shipping
+        .promise_next_day("order-2", 60_000)
+        .unwrap()
+        .unwrap();
     assert_eq!(carrier.live_count(), 2);
-    assert!(shipping.promise_next_day("order-3", 60_000).unwrap().is_err());
+    assert!(shipping
+        .promise_next_day("order-3", 60_000)
+        .unwrap()
+        .is_err());
 
     shipping.ship(p1).unwrap();
     assert_eq!(carrier.live_count(), 1);
@@ -280,7 +294,9 @@ fn concurrent_mixed_services_keep_invariants() {
 fn negotiated_promise_over_mixed_essential_desirable() {
     let pm = new_pm();
     let hotel = Hotel::new(Arc::clone(&pm));
-    hotel.add_room(RoomSpec::new("101", 1, false, true, 2, "standard")).unwrap();
+    hotel
+        .add_room(RoomSpec::new("101", 1, false, true, 2, "standard"))
+        .unwrap();
 
     let mut spec = PromiseRequestSpec::new("fussy", "alice");
     spec.predicates = vec![Predicate::property(
@@ -295,5 +311,10 @@ fn negotiated_promise_over_mixed_essential_desirable() {
     let out = pm.request_negotiated(spec).unwrap();
     assert!(out.response.decision.is_granted());
     assert_eq!(out.total_dropped(), 2, "only the smoking room exists");
-    assert_eq!(hotel.book(out.response.decision.granted_id().unwrap()).unwrap(), "101");
+    assert_eq!(
+        hotel
+            .book(out.response.decision.granted_id().unwrap())
+            .unwrap(),
+        "101"
+    );
 }

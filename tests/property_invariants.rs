@@ -6,8 +6,8 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use promises::core::{
-    parse_predicate, ActionError, Catalog, Clock, Environment, ManualClock, PoolSchema,
-    Predicate, PromiseId, PromiseManager, PromiseRequestSpec, PropExpr, CmpOp,
+    parse_predicate, ActionError, Catalog, Clock, CmpOp, Environment, ManualClock, PoolSchema,
+    Predicate, PromiseId, PromiseManager, PromiseRequestSpec, PropExpr,
 };
 use promises::matching::{hopcroft_karp, BipartiteGraph, DynamicMatching};
 use promises::rm::{Record, ResourceManager, Value};
@@ -350,6 +350,148 @@ proptest! {
                 demand as i64 <= on_hand,
                 "live demand {demand} exceeds on-hand {on_hand}"
             );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Promise manager: overlapping multi-pool footprints
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum MpOp {
+    /// Request `(amount on "w", amount on "x")`; 0 skips that pool, so
+    /// promises cover w-only, x-only, or overlap both.
+    Request(u8, u8),
+    Release(usize),
+    Consume(usize),
+    Advance(u16),
+}
+
+fn arb_mp_ops() -> impl Strategy<Value = Vec<MpOp>> {
+    let op = prop_oneof![
+        (0u8..5, 0u8..5).prop_map(|(w, x)| MpOp::Request(w, x)),
+        any::<usize>().prop_map(MpOp::Release),
+        any::<usize>().prop_map(MpOp::Consume),
+        (1u16..2_000).prop_map(MpOp::Advance),
+    ];
+    proptest::collection::vec(op, 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The single-pool invariants hold per pool when promises overlap two
+    /// pools under footprint-scoped locking, and — in debug builds — the
+    /// table's cached quantity aggregate and the checker's demand hints
+    /// are re-derived and asserted against full recomputation inside
+    /// every operation, so any drift fails this property immediately.
+    #[test]
+    fn overlapping_multi_pool_promises_never_oversubscribe(ops in arb_mp_ops()) {
+        const INITIAL: u64 = 20;
+        let clock = Arc::new(ManualClock::new());
+        let pm = PromiseManager::new(
+            Arc::new(ResourceManager::new()),
+            Arc::clone(&clock) as Arc<dyn promises::core::Clock>,
+        );
+        for pool in ["w", "x"] {
+            pm.register_pool(PoolSchema::quantity(pool));
+            pm.seed_quantity(pool, INITIAL).unwrap();
+        }
+
+        let mut live: Vec<(PromiseId, u64, u64)> = Vec::new();
+        let mut n = 0u64;
+        for op in ops {
+            match op {
+                MpOp::Request(w, x) if w + x > 0 => {
+                    n += 1;
+                    let mut spec = PromiseRequestSpec::new(
+                        promises::core::RequestId(format!("m{n}")),
+                        promises::core::ClientId("prop".into()),
+                    )
+                    .duration_ms(1_000);
+                    if w > 0 {
+                        spec = spec.predicate(Predicate::qty_at_least("w", w as u64));
+                    }
+                    if x > 0 {
+                        spec = spec.predicate(Predicate::qty_at_least("x", x as u64));
+                    }
+                    let resp = pm.request(spec).unwrap();
+                    if let Some(id) = resp.decision.granted_id() {
+                        live.push((id, w as u64, x as u64));
+                    }
+                }
+                MpOp::Release(i) if !live.is_empty() => {
+                    let (id, _, _) = live.remove(i % live.len());
+                    let _ = pm.release(id);
+                }
+                MpOp::Consume(i) if !live.is_empty() => {
+                    let (id, w, x) = live.remove(i % live.len());
+                    let result = pm.execute(
+                        &Environment::none().releasing(id),
+                        move |rm, txn| {
+                            for (pool, amt) in [("w", w), ("x", x)] {
+                                if amt == 0 {
+                                    continue;
+                                }
+                                let mut enough = false;
+                                rm.update(txn, Catalog::QTY_TABLE, pool, |r| {
+                                    let q = r.int("qty").unwrap_or(0);
+                                    if q >= amt as i64 {
+                                        enough = true;
+                                        r.set("qty", q - amt as i64);
+                                    }
+                                }).map_err(ActionError::from)?;
+                                if !enough {
+                                    return Err("stock vanished".into());
+                                }
+                            }
+                            Ok(())
+                        },
+                    );
+                    match result {
+                        Ok(()) => {}
+                        Err(promises::core::PromiseError::PromiseExpired(_)) => {}
+                        Err(promises::core::PromiseError::UnknownPromise(_)) => {}
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                MpOp::Advance(ms) => {
+                    clock.advance(ms as u64);
+                    let now = clock.now_ms();
+                    live.retain(|(id, _, _)| {
+                        pm.promise(*id).map(|r| r.is_live(now)).unwrap_or(false)
+                    });
+                }
+                _ => {}
+            }
+
+            // Per-pool invariants after every step.
+            let now = clock.now_ms();
+            for (pool, pick) in [
+                ("w", (|t: &(PromiseId, u64, u64)| (t.0, t.1)) as fn(&(PromiseId, u64, u64)) -> (PromiseId, u64)),
+                ("x", |t| (t.0, t.2)),
+            ] {
+                let rm = pm.rm();
+                let txn = rm.begin();
+                let on_hand = rm
+                    .get(&txn, Catalog::QTY_TABLE, pool).unwrap()
+                    .and_then(|r| r.int("qty"))
+                    .unwrap_or(0);
+                rm.commit(txn).unwrap();
+                prop_assert!(on_hand >= 0, "{pool} stock went negative");
+                let demand: u64 = live
+                    .iter()
+                    .map(pick)
+                    .filter_map(|(id, amt)| {
+                        pm.promise(id).filter(|r| r.is_live(now)).map(|_| amt)
+                    })
+                    .sum();
+                prop_assert!(
+                    demand as i64 <= on_hand,
+                    "{pool}: live demand {demand} exceeds on-hand {on_hand}"
+                );
+            }
         }
     }
 }
