@@ -58,7 +58,7 @@ impl QtyReserver for LockReserver {
                 holds: vec![(pool.to_owned(), amount)],
             }),
             Err(e) => {
-                self.rm.abort(txn);
+                let _ = self.rm.abort(txn);
                 Err(e)
             }
         }
@@ -86,7 +86,7 @@ impl QtyReserver for LockReserver {
                 rec.set(QTY_FIELD, q - *amount as i64);
             });
             if let Err(e) = r {
-                self.rm.abort(txn);
+                let _ = self.rm.abort(txn);
                 return Err(e.into());
             }
         }
@@ -95,7 +95,7 @@ impl QtyReserver for LockReserver {
     }
 
     fn cancel(&self, token: Self::Token) {
-        self.rm.abort(token.txn);
+        let _ = self.rm.abort(token.txn);
     }
 }
 

@@ -1,0 +1,119 @@
+//! E11 — fault sweep: goodput and guarantee audits vs injected fault rate.
+//!
+//! Drives the full wire pipeline (retrying client → faulty bus → gateway →
+//! journalled promise manager → fault-hooked RM) at increasing fault rates
+//! and writes `BENCH_faults.json` at the repo root: goodput, retry
+//! amplification, and — the point of the experiment — the violation and
+//! double-grant audits, which must be exactly zero at every rate.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use promises_bench::exp::{e11_fault_sweep, E11Row};
+
+const CLIENTS: usize = 4;
+const OPS_PER_CLIENT: usize = 50;
+const RATES: [f64; 4] = [0.0, 0.05, 0.10, 0.20];
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_faults");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(200));
+    for rate in [0.0, 0.10] {
+        g.bench_with_input(
+            BenchmarkId::new("sweep", format!("rate-{rate}")),
+            &rate,
+            |b, &rate| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        total += e11_fault_sweep(&[rate], CLIENTS, 20)[0].report.elapsed;
+                    }
+                    total
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn row_json(row: &E11Row) -> String {
+    let r = &row.report;
+    format!(
+        concat!(
+            "{{\"fault_rate\": {:.2}, \"goodput_ops_per_s\": {:.1}, ",
+            "\"granted\": {}, \"purchased\": {}, \"already_applied\": {}, ",
+            "\"gave_up\": {}, \"killed\": {}, \"retries\": {}, \"deduped\": {}, ",
+            "\"requests_dropped\": {}, \"replies_dropped\": {}, \"duplicates\": {}, ",
+            "\"storage_faults\": {}, ",
+            "\"violations\": {}, \"double_grants\": {}, \"leaked_after_reap\": {}}}"
+        ),
+        row.rate,
+        row.goodput,
+        r.granted,
+        r.purchased_ops,
+        r.already_applied,
+        r.gave_up,
+        r.killed,
+        r.retries,
+        r.deduped,
+        r.faults.requests_dropped,
+        r.faults.replies_dropped,
+        r.faults.duplicates,
+        r.faults.storage_faults,
+        r.violations,
+        r.double_grants,
+        r.live_after_reap,
+    )
+}
+
+/// Runs the full sweep and writes BENCH_faults.json.
+fn emit_faults_json() {
+    let rows = e11_fault_sweep(&RATES, CLIENTS, OPS_PER_CLIENT);
+    let violations: u64 = rows.iter().map(|r| r.report.violations).sum();
+    let double_grants: u64 = rows.iter().map(|r| r.report.double_grants).sum();
+    assert_eq!(violations, 0, "promise violations under faults");
+    assert_eq!(double_grants, 0, "double-granted retried requests");
+
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| format!("    {}", row_json(r)))
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"e11_fault_sweep\",\n",
+            "  \"description\": \"grant->purchase goodput and guarantee audits vs injected ",
+            "fault rate (message drop/duplicate/delay and RM storage errors, all at the row rate)\",\n",
+            "  \"clients\": {},\n",
+            "  \"ops_per_client\": {},\n",
+            "  \"rows\": [\n{}\n  ],\n",
+            "  \"total_violations\": {},\n",
+            "  \"total_double_grants\": {}\n",
+            "}}\n"
+        ),
+        CLIENTS,
+        OPS_PER_CLIENT,
+        body.join(",\n"),
+        violations,
+        double_grants,
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faults.json");
+    std::fs::write(path, &json).expect("write BENCH_faults.json");
+    let top = rows.last().expect("rates non-empty");
+    println!(
+        "e11_faults: {} rates, worst-case goodput {:.0} ops/s at rate {:.2}, violations {violations}, double grants {double_grants} -> {path}",
+        rows.len(),
+        top.goodput,
+        top.rate,
+    );
+}
+
+fn main() {
+    benches();
+    emit_faults_json();
+}

@@ -1,7 +1,9 @@
 //! Regenerates every experiment table in EXPERIMENTS.md.
 //!
 //! Run with: `cargo run --release -p promises-bench --bin experiments`
-//! (optionally pass experiment ids, e.g. `e4 e5`, to run a subset).
+//! (optionally pass experiment ids, e.g. `e4 e5`, to run a subset;
+//! `--faults` runs a fast fault-injection smoke check and exits non-zero
+//! if any guarantee audit fails).
 
 use std::env;
 
@@ -9,8 +11,69 @@ use promises_bench::exp::{self, System, View};
 use promises_bench::table::{f, print_table, us};
 use promises_core::CheckStrategy;
 
+/// Fast fault smoke check for CI: a small sweep across several seeds;
+/// any promise violation, double grant, or leaked promise is fatal.
+fn faults_smoke(seeds: &[u64]) {
+    let mut failures = 0usize;
+    for &seed in seeds {
+        for rate in [0.05, 0.15] {
+            let cfg = promises_sim::FaultSweepConfig {
+                clients: 3,
+                ops_per_client: 12,
+                seed,
+                ..promises_sim::FaultSweepConfig::default()
+            };
+            let scenario =
+                promises_faults::FaultScenario::uniform(seed, rate).with_storage_errors(rate);
+            let r = promises_sim::run_fault_sweep(scenario, &cfg);
+            let ok = r.violations == 0 && r.double_grants == 0 && r.live_after_reap == 0;
+            println!(
+                "faults-smoke seed={seed} rate={rate:.2}: granted={} purchased={} retries={} \
+                 deduped={} violations={} double_grants={} leaked={} -> {}",
+                r.granted,
+                r.purchased_ops,
+                r.retries,
+                r.deduped,
+                r.violations,
+                r.double_grants,
+                r.live_after_reap,
+                if ok { "OK" } else { "FAIL" }
+            );
+            if !ok {
+                failures += 1;
+            }
+        }
+        let crash = promises_sim::run_crash_restart(seed, 12, 3_700_000);
+        let ok = crash.state_matches() && crash.pruned_while_down > 0;
+        println!(
+            "faults-smoke crash-restart seed={seed}: replayed={} recovered={} pruned={} -> {}",
+            crash.recovery.replayed,
+            crash.recovery.recovered,
+            crash.recovery.pruned,
+            if ok { "OK" } else { "FAIL" }
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("faults-smoke: {failures} check(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("faults-smoke: all checks passed");
+}
+
 fn main() {
     let args: Vec<String> = env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    if args.iter().any(|a| a == "--faults") {
+        let seeds: Vec<u64> = args.iter().filter_map(|a| a.parse().ok()).collect();
+        faults_smoke(if seeds.is_empty() {
+            &[3, 1117, 90210]
+        } else {
+            &seeds
+        });
+        return;
+    }
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
 
     println!("# Promises experiment suite");
@@ -213,6 +276,39 @@ fn main() {
         print_table(
             "E10 — delegation chain depth vs grant+release latency",
             &["chain depth", "mean grant+release"],
+            &rows,
+        );
+    }
+
+    if want("e11") {
+        let mut rows = Vec::new();
+        for row in exp::e11_fault_sweep(&[0.0, 0.05, 0.10, 0.20], 4, 50) {
+            let r = &row.report;
+            rows.push(vec![
+                format!("{:.2}", row.rate),
+                f(row.goodput, 0),
+                r.granted.to_string(),
+                r.purchased_ops.to_string(),
+                r.retries.to_string(),
+                r.deduped.to_string(),
+                r.violations.to_string(),
+                r.double_grants.to_string(),
+                r.live_after_reap.to_string(),
+            ]);
+        }
+        print_table(
+            "E11 — fault sweep: goodput and guarantee audits vs fault rate (violations and double-grants must be 0)",
+            &[
+                "fault rate",
+                "goodput ops/s",
+                "granted",
+                "purchased",
+                "retries",
+                "deduped",
+                "violations",
+                "double grants",
+                "leaked",
+            ],
             &rows,
         );
     }

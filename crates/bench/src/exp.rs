@@ -8,11 +8,12 @@ use promises_core::{
     ActionError, Catalog, CheckStrategy, Environment, LockingMode, ManualClock, PoolSchema,
     Predicate, PromiseManager, PromiseRequestSpec, PropExpr,
 };
+use promises_faults::FaultScenario;
 use promises_rm::ResourceManager;
 use promises_services::Merchant;
 use promises_sim::{
-    pool_name, promise_reserver, promise_reserver_with_mode, run_qty_workload, seed_pools,
-    RunReport, WorkloadConfig,
+    pool_name, promise_reserver, promise_reserver_with_mode, run_fault_sweep, run_qty_workload,
+    seed_pools, FaultRunReport, FaultSweepConfig, RunReport, WorkloadConfig,
 };
 use promises_wire::{
     ActionRequest, EnvEntry, EnvRef, Envelope, EnvironmentHeader, InMemoryBus, PromiseGateway,
@@ -717,6 +718,49 @@ pub fn e10_delegation(depth: usize, iters: usize) -> f64 {
     })
 }
 
+// ======================================================================
+// E11 — fault sweep: goodput and guarantee audits vs fault rate
+// ======================================================================
+
+/// One E11 row: a fault rate and everything measured under it.
+#[derive(Debug, Clone, Copy)]
+pub struct E11Row {
+    /// Message fault rate (drop/duplicate/delay each at this probability)
+    /// and RM storage-fault rate.
+    pub rate: f64,
+    /// The audited run.
+    pub report: FaultRunReport,
+    /// Confirmed purchases per wall-clock second.
+    pub goodput: f64,
+}
+
+/// Runs the E11 fault sweep: the same grant→purchase workload at each
+/// fault rate (messages dropped/duplicated/delayed AND RM storage errors,
+/// all at `rate`), auditing promise violations, double grants and leaks
+/// after every run. The paper's guarantees require the violation and
+/// double-grant columns to be **exactly zero at every rate**.
+pub fn e11_fault_sweep(rates: &[f64], clients: usize, ops_per_client: usize) -> Vec<E11Row> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let cfg = FaultSweepConfig {
+                clients,
+                ops_per_client,
+                seed: 2007 + (rate * 1000.0) as u64,
+                ..FaultSweepConfig::default()
+            };
+            let scenario = FaultScenario::uniform(cfg.seed, rate).with_storage_errors(rate);
+            let report = run_fault_sweep(scenario, &cfg);
+            let goodput = report.purchased_ops as f64 / report.elapsed.as_secs_f64().max(1e-9);
+            E11Row {
+                rate,
+                report,
+                goodput,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -809,5 +853,14 @@ mod tests {
         let d3 = e10_delegation(3, 10);
         assert!(d0 > 0.0 && d3 > 0.0);
         // Not asserting strict ordering (timing noise), only that both run.
+    }
+
+    #[test]
+    fn e11_sweep_small_is_clean_at_every_rate() {
+        for row in e11_fault_sweep(&[0.0, 0.15], 2, 10) {
+            assert_eq!(row.report.violations, 0, "rate {}", row.rate);
+            assert_eq!(row.report.double_grants, 0, "rate {}", row.rate);
+            assert_eq!(row.report.live_after_reap, 0, "rate {}", row.rate);
+        }
     }
 }

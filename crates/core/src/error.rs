@@ -45,6 +45,11 @@ pub enum RejectReason {
         /// The remote pool whose upstream manager said no.
         pool: PoolId,
     },
+    /// The manager is overloaded or administratively degraded: new grants
+    /// are refused immediately (the paper's "reject immediately, never
+    /// block" stance applied to overload) while existing promises continue
+    /// to be honored, checked and released. Retryable after backoff.
+    Overloaded,
 }
 
 impl fmt::Display for RejectReason {
@@ -70,6 +75,9 @@ impl fmt::Display for RejectReason {
             RejectReason::UnknownPool(pool) => write!(f, "unknown pool {pool}"),
             RejectReason::UpstreamRejected { pool } => {
                 write!(f, "upstream manager rejected delegated promise on {pool}")
+            }
+            RejectReason::Overloaded => {
+                write!(f, "manager overloaded: new grants refused, retry later")
             }
         }
     }
@@ -151,6 +159,8 @@ pub enum PromiseError {
         /// The pool written outside the environment's promise scope.
         pool: PoolId,
     },
+    /// The journal handed to recovery could not be decoded.
+    JournalCorrupt(String),
 }
 
 impl fmt::Display for PromiseError {
@@ -167,7 +177,18 @@ impl fmt::Display for PromiseError {
             PromiseError::ScopeViolation { pool } => {
                 write!(f, "action wrote pool {pool} outside its promise scope")
             }
+            PromiseError::JournalCorrupt(detail) => write!(f, "journal corrupt: {detail}"),
         }
+    }
+}
+
+impl PromiseError {
+    /// True if retrying the *same* operation may succeed: transient
+    /// resource-manager failures (deadlock victims, storage faults) are
+    /// retryable; semantic outcomes (unknown/expired promise, violations,
+    /// action failures) are not. Used by the wire layer's retry policy.
+    pub fn retryable(&self) -> bool {
+        matches!(self, PromiseError::Rm(e) if e.retryable())
     }
 }
 

@@ -1,0 +1,470 @@
+//! The durable promise journal.
+//!
+//! The paper's promise table (§8) is the manager's *only* record of
+//! outstanding promises; a crashed manager that forgot it would silently
+//! break every guarantee it had granted. This module makes the table
+//! recoverable: every state transition — grant, release, expiry, allocation
+//! rewrite — is appended to a [`PromiseJournal`] as a generation-stamped
+//! [`JournalEntry`], and [`crate::PromiseManager::recover`] rebuilds the
+//! table (with its per-pool indexes and quantity aggregates) by replaying
+//! the journal idempotently.
+//!
+//! # Record format
+//!
+//! Entries are encoded one per line, tab-separated, so the journal is
+//! human-inspectable and trivially file-backed. Variable-length string
+//! fields (client, request, predicate, instance) are percent-escaped for
+//! `%`, tab, CR and LF; predicates use their canonical [`std::fmt::Display`]
+//! form, which the crate's parser round-trips (property-tested).
+//!
+//! ```text
+//! seq  gen  G  id  client  request  granted_at  expires_at  np  pred…  na  (idx inst)…
+//! seq  gen  R  id                       — release
+//! seq  gen  E  id                       — expiry
+//! seq  gen  A  id  na  (idx inst)…      — allocation rewrite
+//! ```
+//!
+//! # Generations
+//!
+//! The journal carries a *generation* counter, bumped at the start of every
+//! recovery. Entries a recovering manager appends (in particular `E` records
+//! for promises that expired while it was down) carry the new generation, so
+//! a journal records how many incarnations of the manager produced it and
+//! which entries are recovery decisions rather than client operations.
+
+use std::fmt;
+
+use parking_lot::Mutex;
+
+use crate::ids::{ClientId, InstanceId, PromiseId, RequestId};
+use crate::parser::parse_predicate;
+use crate::promise::{Allocation, PromiseRecord};
+
+/// One journalled promise-table transition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalOp {
+    /// A promise was granted; carries the full record.
+    Grant(PromiseRecord),
+    /// A promise was released (explicitly, or consumed by exchange).
+    Release(PromiseId),
+    /// A promise was reaped by expiry.
+    Expire(PromiseId),
+    /// A promise's tentative allocations were rewritten by the checker.
+    Allocations {
+        /// The promise whose allocations changed.
+        id: PromiseId,
+        /// The new allocation set (replaces the old one wholesale).
+        allocations: Vec<Allocation>,
+    },
+}
+
+/// One journal entry: sequence number, generation stamp, and the operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// Strictly increasing append order.
+    pub seq: u64,
+    /// Manager incarnation that wrote the entry (bumped on every recovery).
+    pub generation: u64,
+    /// The recorded transition.
+    pub op: JournalOp,
+}
+
+/// A malformed journal line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalError {
+    /// Zero-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub detail: String,
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "journal line {}: {}", self.line, self.detail)
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '\t' => out.push_str("%09"),
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let hi = chars.next();
+        let lo = chars.next();
+        match (hi, lo) {
+            (Some('2'), Some('5')) => out.push('%'),
+            (Some('0'), Some('9')) => out.push('\t'),
+            (Some('0'), Some('A')) => out.push('\n'),
+            (Some('0'), Some('D')) => out.push('\r'),
+            // Tolerate unknown escapes by passing them through.
+            (Some(a), Some(b)) => {
+                out.push('%');
+                out.push(a);
+                out.push(b);
+            }
+            _ => out.push('%'),
+        }
+    }
+    out
+}
+
+fn encode_allocs(out: &mut String, allocations: &[Allocation]) {
+    out.push('\t');
+    out.push_str(&allocations.len().to_string());
+    for a in allocations {
+        out.push('\t');
+        out.push_str(&a.pred_idx.to_string());
+        out.push('\t');
+        out.push_str(&escape(&a.instance.0));
+    }
+}
+
+/// Encodes one entry as its journal line (no trailing newline).
+pub fn encode_entry(entry: &JournalEntry) -> String {
+    let mut out = format!("{}\t{}", entry.seq, entry.generation);
+    match &entry.op {
+        JournalOp::Grant(rec) => {
+            out.push_str(&format!(
+                "\tG\t{}\t{}\t{}\t{}\t{}\t{}",
+                rec.id.0,
+                escape(&rec.client.0),
+                escape(&rec.request.0),
+                rec.granted_at,
+                rec.expires_at,
+                rec.predicates.len(),
+            ));
+            for p in &rec.predicates {
+                out.push('\t');
+                out.push_str(&escape(&p.to_string()));
+            }
+            encode_allocs(&mut out, &rec.allocations);
+        }
+        JournalOp::Release(id) => out.push_str(&format!("\tR\t{}", id.0)),
+        JournalOp::Expire(id) => out.push_str(&format!("\tE\t{}", id.0)),
+        JournalOp::Allocations { id, allocations } => {
+            out.push_str(&format!("\tA\t{}", id.0));
+            encode_allocs(&mut out, allocations);
+        }
+    }
+    out
+}
+
+struct FieldReader<'a> {
+    fields: std::str::Split<'a, char>,
+    line: usize,
+}
+
+impl<'a> FieldReader<'a> {
+    fn next(&mut self, what: &str) -> Result<&'a str, JournalError> {
+        self.fields.next().ok_or_else(|| JournalError {
+            line: self.line,
+            detail: format!("missing field: {what}"),
+        })
+    }
+
+    fn next_u64(&mut self, what: &str) -> Result<u64, JournalError> {
+        let raw = self.next(what)?;
+        raw.parse().map_err(|_| JournalError {
+            line: self.line,
+            detail: format!("bad {what}: {raw:?}"),
+        })
+    }
+
+    fn allocs(&mut self) -> Result<Vec<Allocation>, JournalError> {
+        let n = self.next_u64("allocation count")? as usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let pred_idx = self.next_u64("allocation predicate index")? as usize;
+            let instance = InstanceId(unescape(self.next("allocation instance")?));
+            out.push(Allocation { pred_idx, instance });
+        }
+        Ok(out)
+    }
+}
+
+/// Decodes one journal line (inverse of [`encode_entry`]). `line` is used
+/// only for error reporting.
+pub fn decode_entry(raw: &str, line: usize) -> Result<JournalEntry, JournalError> {
+    let mut r = FieldReader {
+        fields: raw.split('\t'),
+        line,
+    };
+    let seq = r.next_u64("seq")?;
+    let generation = r.next_u64("generation")?;
+    let tag = r.next("op tag")?;
+    let op = match tag {
+        "G" => {
+            let id = PromiseId(r.next_u64("promise id")?);
+            let client = ClientId(unescape(r.next("client")?));
+            let request = RequestId(unescape(r.next("request")?));
+            let granted_at = r.next_u64("granted_at")?;
+            let expires_at = r.next_u64("expires_at")?;
+            let np = r.next_u64("predicate count")? as usize;
+            let mut predicates = Vec::with_capacity(np);
+            for _ in 0..np {
+                let text = unescape(r.next("predicate")?);
+                predicates.push(parse_predicate(&text).map_err(|e| JournalError {
+                    line,
+                    detail: format!("bad predicate {text:?}: {e}"),
+                })?);
+            }
+            let allocations = r.allocs()?;
+            JournalOp::Grant(PromiseRecord {
+                id,
+                client,
+                request,
+                predicates,
+                granted_at,
+                expires_at,
+                allocations,
+            })
+        }
+        "R" => JournalOp::Release(PromiseId(r.next_u64("promise id")?)),
+        "E" => JournalOp::Expire(PromiseId(r.next_u64("promise id")?)),
+        "A" => {
+            let id = PromiseId(r.next_u64("promise id")?);
+            let allocations = r.allocs()?;
+            JournalOp::Allocations { id, allocations }
+        }
+        other => {
+            return Err(JournalError {
+                line,
+                detail: format!("unknown op tag {other:?}"),
+            })
+        }
+    };
+    Ok(JournalEntry {
+        seq,
+        generation,
+        op,
+    })
+}
+
+struct JournalInner {
+    lines: Vec<String>,
+    next_seq: u64,
+    generation: u64,
+}
+
+/// An append-only, generation-stamped journal of promise-table transitions.
+///
+/// In-memory but line-encoded throughout, so it models (and can be dumped
+/// to / loaded from) a durable log file; "crashing" a manager and handing
+/// its journal to a fresh one is exactly the durability scenario the
+/// recovery tests exercise.
+pub struct PromiseJournal {
+    inner: Mutex<JournalInner>,
+}
+
+impl Default for PromiseJournal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PromiseJournal {
+    /// Creates an empty journal at generation 0.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(JournalInner {
+                lines: Vec::new(),
+                next_seq: 1,
+                generation: 0,
+            }),
+        }
+    }
+
+    /// Rebuilds a journal from previously dumped lines (e.g. read back
+    /// from a file). Sequence and generation counters resume past the
+    /// highest values present.
+    pub fn from_lines<S: AsRef<str>>(lines: &[S]) -> Result<Self, JournalError> {
+        let mut next_seq = 1;
+        let mut generation = 0;
+        for (i, raw) in lines.iter().enumerate() {
+            let entry = decode_entry(raw.as_ref(), i)?;
+            next_seq = next_seq.max(entry.seq + 1);
+            generation = generation.max(entry.generation);
+        }
+        Ok(Self {
+            inner: Mutex::new(JournalInner {
+                lines: lines.iter().map(|s| s.as_ref().to_owned()).collect(),
+                next_seq,
+                generation,
+            }),
+        })
+    }
+
+    /// Appends one operation, assigning it the next sequence number and the
+    /// current generation. Returns the assigned sequence number.
+    pub fn append(&self, op: JournalOp) -> u64 {
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let entry = JournalEntry {
+            seq,
+            generation: inner.generation,
+            op,
+        };
+        let line = encode_entry(&entry);
+        inner.lines.push(line);
+        seq
+    }
+
+    /// The current generation stamp.
+    pub fn generation(&self) -> u64 {
+        self.inner.lock().generation
+    }
+
+    /// Bumps the generation (called at the start of recovery) and returns
+    /// the new value.
+    pub fn bump_generation(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        inner.generation += 1;
+        inner.generation
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().lines.len()
+    }
+
+    /// True if no entries have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().lines.is_empty()
+    }
+
+    /// The raw encoded lines (what would be written to a log file).
+    pub fn lines(&self) -> Vec<String> {
+        self.inner.lock().lines.clone()
+    }
+
+    /// All entries, decoded, in append order.
+    pub fn entries(&self) -> Result<Vec<JournalEntry>, JournalError> {
+        self.inner
+            .lock()
+            .lines
+            .iter()
+            .enumerate()
+            .map(|(i, l)| decode_entry(l, i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+
+    fn sample_record() -> PromiseRecord {
+        PromiseRecord {
+            id: PromiseId(7),
+            client: ClientId::from("merchant%1\twith tab"),
+            request: RequestId::from("order\n42"),
+            predicates: vec![
+                Predicate::qty_at_least("pink-widgets", 5),
+                Predicate::named("rooms", "512"),
+            ],
+            granted_at: 10,
+            expires_at: 5_000,
+            allocations: vec![Allocation {
+                pred_idx: 1,
+                instance: InstanceId::from("512"),
+            }],
+        }
+    }
+
+    #[test]
+    fn grant_line_roundtrips() {
+        let entry = JournalEntry {
+            seq: 3,
+            generation: 2,
+            op: JournalOp::Grant(sample_record()),
+        };
+        let line = encode_entry(&entry);
+        let back = decode_entry(&line, 0).unwrap();
+        assert_eq!(back, entry);
+    }
+
+    #[test]
+    fn simple_ops_roundtrip() {
+        for op in [
+            JournalOp::Release(PromiseId(9)),
+            JournalOp::Expire(PromiseId(11)),
+            JournalOp::Allocations {
+                id: PromiseId(4),
+                allocations: vec![Allocation {
+                    pred_idx: 0,
+                    instance: InstanceId::from("a%b"),
+                }],
+            },
+        ] {
+            let entry = JournalEntry {
+                seq: 1,
+                generation: 0,
+                op,
+            };
+            assert_eq!(decode_entry(&encode_entry(&entry), 0).unwrap(), entry);
+        }
+    }
+
+    #[test]
+    fn append_assigns_monotonic_seqs_and_generation() {
+        let j = PromiseJournal::new();
+        assert!(j.is_empty());
+        assert_eq!(j.append(JournalOp::Release(PromiseId(1))), 1);
+        assert_eq!(j.bump_generation(), 1);
+        assert_eq!(j.append(JournalOp::Expire(PromiseId(2))), 2);
+        let entries = j.entries().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].generation, 0);
+        assert_eq!(entries[1].generation, 1);
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn from_lines_resumes_counters() {
+        let j = PromiseJournal::new();
+        j.append(JournalOp::Grant(sample_record()));
+        j.bump_generation();
+        j.append(JournalOp::Expire(PromiseId(7)));
+        let reloaded = PromiseJournal::from_lines(&j.lines()).unwrap();
+        assert_eq!(reloaded.generation(), 1);
+        assert_eq!(reloaded.append(JournalOp::Release(PromiseId(7))), 3);
+        assert_eq!(reloaded.entries().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(decode_entry("not-a-number\t0\tR\t1", 5).is_err());
+        assert!(decode_entry("1\t0\tZ\t1", 0).is_err());
+        assert!(decode_entry("1\t0\tG\t1\tc", 0).is_err());
+        let err = decode_entry("1\t0", 9).unwrap_err();
+        assert_eq!(err.line, 9);
+    }
+
+    #[test]
+    fn escape_unescape_roundtrip() {
+        for s in ["plain", "with\ttab", "pct%09literal", "%", "a%2", "\r\n"] {
+            assert_eq!(unescape(&escape(s)), s);
+        }
+    }
+}

@@ -71,11 +71,13 @@ mod clock;
 mod environment;
 mod error;
 mod ids;
+mod journal;
 mod manager;
 mod negotiate;
 mod parser;
 mod predicate;
 mod promise;
+mod reaper;
 mod schema;
 
 pub use catalog::{status, Catalog};
@@ -84,12 +86,16 @@ pub use clock::{Clock, ManualClock, SystemClock};
 pub use environment::{Environment, ReleaseOption};
 pub use error::{ActionError, PromiseError, RejectReason};
 pub use ids::{ClientId, InstanceId, PoolId, PromiseId, RequestId};
+pub use journal::{
+    decode_entry, encode_entry, JournalEntry, JournalError, JournalOp, PromiseJournal,
+};
 pub use manager::{
     LockingMode, OpLatency, PmMetricsSnapshot, PromiseDecision, PromiseManager, PromiseRequestSpec,
-    PromiseResponse,
+    PromiseResponse, RecoveryReport,
 };
 pub use negotiate::NegotiatedResponse;
 pub use parser::{parse_expr, parse_predicate, ParseError};
 pub use predicate::{CmpOp, Predicate, PropExpr};
 pub use promise::{Allocation, PromiseRecord, PromiseTable};
+pub use reaper::ExpiryReaper;
 pub use schema::{CheckStrategy, PoolKind, PoolSchema, PropertyDef};

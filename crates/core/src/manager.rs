@@ -39,7 +39,7 @@
 //! which is why the promise layer introduces no deadlocks of its own.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -53,6 +53,7 @@ use crate::clock::Clock;
 use crate::environment::Environment;
 use crate::error::{ActionError, PromiseError, RejectReason};
 use crate::ids::{ClientId, InstanceId, PoolId, PromiseId, RequestId};
+use crate::journal::{JournalOp, PromiseJournal};
 use crate::predicate::Predicate;
 use crate::promise::{PromiseRecord, PromiseTable};
 use crate::schema::PoolSchema;
@@ -227,6 +228,8 @@ struct PmMetrics {
     violations_rolled_back: AtomicU64,
     expired_errors: AtomicU64,
     deadlock_retries: AtomicU64,
+    grants_deduped: AtomicU64,
+    overload_rejections: AtomicU64,
     grant_lat: OpLatencyMetrics,
     release_lat: OpLatencyMetrics,
     execute_lat: OpLatencyMetrics,
@@ -254,6 +257,11 @@ pub struct PmMetricsSnapshot {
     pub expired_errors: u64,
     /// Internal deadlock-victim retries.
     pub deadlock_retries: u64,
+    /// Retried grant requests answered from the request-id index instead
+    /// of being granted a second time.
+    pub grants_deduped: u64,
+    /// Requests fail-fasted because the manager was degraded/overloaded.
+    pub overload_rejections: u64,
     /// Lock-wait / check latency of grant operations.
     pub grant_lat: OpLatency,
     /// Lock-wait / check latency of release operations.
@@ -282,7 +290,32 @@ pub struct PromiseManager {
     /// be answered with the paper's distinct "promise-expired" error (§2)
     /// instead of "unknown promise".
     expired_tombstones: Mutex<HashSet<PromiseId>>,
+    /// Durable journal of promise-table transitions; `None` disables
+    /// journalling (the pre-durability behaviour).
+    journal: RwLock<Option<Arc<PromiseJournal>>>,
+    /// `(client, request)` → granted promise, so a *retried* grant request
+    /// (duplicate delivery, reply lost) is answered with the original
+    /// promise instead of being granted — and charged — twice.
+    request_index: Mutex<HashMap<(ClientId, RequestId), PromiseId>>,
+    /// Administratively degraded: fail-fast all new grant requests.
+    degraded: AtomicBool,
+    /// Live-promise count above which new grants are refused (0 = no cap).
+    overload_limit: AtomicUsize,
     metrics: PmMetrics,
+}
+
+/// What [`PromiseManager::recover`] did, for assertions and logging.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Journal entries replayed.
+    pub replayed: usize,
+    /// Promises live in the rebuilt table (before expiry pruning).
+    pub recovered: usize,
+    /// Promises that expired while the manager was down and were pruned
+    /// (their `Expire` records carry the new generation).
+    pub pruned: usize,
+    /// The journal generation after the bump.
+    pub generation: u64,
 }
 
 impl PromiseManager {
@@ -300,8 +333,26 @@ impl PromiseManager {
             upstreams: RwLock::new(HashMap::new()),
             delegations: Mutex::new(HashMap::new()),
             expired_tombstones: Mutex::new(HashSet::new()),
+            journal: RwLock::new(None),
+            request_index: Mutex::new(HashMap::new()),
+            degraded: AtomicBool::new(false),
+            overload_limit: AtomicUsize::new(0),
             metrics: PmMetrics::default(),
         }
+    }
+
+    /// Attaches a durable journal: every grant/release/expiry/allocation
+    /// change is appended, enabling [`PromiseManager::recover`].
+    pub fn with_journal(self, journal: Arc<PromiseJournal>) -> Self {
+        *self.journal.write() = Some(journal);
+        self
+    }
+
+    /// Caps the number of live promises; requests beyond the cap are
+    /// rejected immediately with [`RejectReason::Overloaded`] (0 = no cap).
+    pub fn with_overload_limit(self, limit: usize) -> Self {
+        self.overload_limit.store(limit, Ordering::Relaxed);
+        self
     }
 
     /// Caps every granted duration at `ms` (§6: the manager may "offer a
@@ -333,6 +384,24 @@ impl PromiseManager {
         &self.clock
     }
 
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<Arc<PromiseJournal>> {
+        self.journal.read().clone()
+    }
+
+    /// Enters or leaves degraded mode. While degraded, new grant requests
+    /// are rejected immediately with [`RejectReason::Overloaded`]; checks,
+    /// executes, releases and expiry pruning continue normally, so existing
+    /// promises are still honored (§9's never-block stance under overload).
+    pub fn set_degraded(&self, degraded: bool) {
+        self.degraded.store(degraded, Ordering::Relaxed);
+    }
+
+    /// True if the manager is administratively degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
     /// Registers a pool schema (creates its backing tables).
     pub fn register_pool(&self, schema: PoolSchema) {
         self.catalog.write().register(&self.rm, schema);
@@ -355,10 +424,7 @@ impl PromiseManager {
                 self.rm.commit(txn)?;
                 Ok(())
             }
-            Err(e) => {
-                self.rm.abort(txn);
-                Err(e)
-            }
+            Err(e) => Err(self.abort_with(txn, e)),
         }
     }
 
@@ -378,10 +444,7 @@ impl PromiseManager {
                 self.rm.commit(txn)?;
                 Ok(())
             }
-            Err(e) => {
-                self.rm.abort(txn);
-                Err(e)
-            }
+            Err(e) => Err(self.abort_with(txn, e)),
         }
     }
 
@@ -398,6 +461,35 @@ impl PromiseManager {
     /// cannot be granted.
     pub fn request(&self, spec: PromiseRequestSpec) -> Result<PromiseResponse, PromiseError> {
         self.prune_expired()?;
+
+        // Duplicate-request fast path: a retried grant (lost reply, network
+        // duplicate) whose original succeeded is answered with the original
+        // promise — before delegation, so no duplicate upstream grants are
+        // acquired either. The authoritative re-check happens again inside
+        // `try_grant_local` under the footprint locks.
+        if let Some(resp) = self.dedup_hit(&spec) {
+            self.metrics.grants_deduped.fetch_add(1, Ordering::Relaxed);
+            return Ok(resp);
+        }
+
+        // Degraded/overload fail-fast (after dedup: answering a retry from
+        // the index adds no load). New grants are the only thing refused.
+        let over_limit = {
+            let limit = self.overload_limit.load(Ordering::Relaxed);
+            limit > 0 && self.table.lock().len() >= limit
+        };
+        if self.degraded.load(Ordering::Relaxed) || over_limit {
+            self.metrics
+                .overload_rejections
+                .fetch_add(1, Ordering::Relaxed);
+            self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return Ok(PromiseResponse {
+                correlation: spec.request,
+                decision: PromiseDecision::Rejected {
+                    reason: RejectReason::Overloaded,
+                },
+            });
+        }
 
         // Split predicates between local pools and delegated pools.
         let upstream_map = self.upstreams.read().clone();
@@ -458,7 +550,14 @@ impl PromiseManager {
         let result =
             self.with_retries(|| self.try_grant_local(&spec, local.clone(), effective_duration));
         match &result {
-            Ok(resp) => match &resp.decision {
+            Ok((resp, deduped)) => match &resp.decision {
+                PromiseDecision::Granted { promise, .. } if *deduped => {
+                    // The original grant already owns its delegation refs;
+                    // the ones acquired for this retry are surplus.
+                    let _ = promise;
+                    self.metrics.grants_deduped.fetch_add(1, Ordering::Relaxed);
+                    self.release_refs(&upstream_refs);
+                }
                 PromiseDecision::Granted { promise, .. } => {
                     self.metrics.granted.fetch_add(1, Ordering::Relaxed);
                     if !upstream_refs.is_empty() {
@@ -474,7 +573,7 @@ impl PromiseManager {
             },
             Err(_) => self.release_refs(&upstream_refs),
         }
-        result
+        result.map(|(resp, _)| resp)
     }
 
     /// Releases a promise (§6 promise release). Cascades to delegated
@@ -563,6 +662,77 @@ impl PromiseManager {
         Ok(reaped.len())
     }
 
+    /// Rebuilds the promise table, per-pool indexes, quantity aggregates
+    /// and request-id index from `journal` after a (simulated) crash, then
+    /// installs the journal for continued appends.
+    ///
+    /// Replay is *idempotent*: `Grant` inserts (replacing any stale copy),
+    /// `Release`/`Expire` of an absent id is a no-op, and `Allocations`
+    /// rewrites in place — so replaying the same journal twice yields the
+    /// same table. Recovery first bumps the journal generation; promises
+    /// that expired while the manager was down are pruned immediately and
+    /// their `Expire` records carry the new generation, so a second
+    /// recovery over the extended journal never re-admits them.
+    pub fn recover(&self, journal: Arc<PromiseJournal>) -> Result<RecoveryReport, PromiseError> {
+        let generation = journal.bump_generation();
+        let entries = journal
+            .entries()
+            .map_err(|e| PromiseError::JournalCorrupt(e.to_string()))?;
+        let replayed = entries.len();
+
+        let mut table = PromiseTable::new();
+        let mut tombstones: HashSet<PromiseId> = HashSet::new();
+        let mut max_id = 0u64;
+        for entry in entries {
+            match entry.op {
+                JournalOp::Grant(rec) => {
+                    max_id = max_id.max(rec.id.0);
+                    tombstones.remove(&rec.id);
+                    table.insert(rec);
+                }
+                JournalOp::Release(id) => {
+                    table.remove(id);
+                }
+                JournalOp::Expire(id) => {
+                    table.remove(id);
+                    tombstones.insert(id);
+                }
+                JournalOp::Allocations { id, allocations } => {
+                    if let Some(rec) = table.get_mut(id) {
+                        rec.allocations = allocations;
+                    }
+                }
+            }
+        }
+        table.bump_next_to(max_id);
+        let recovered = table.len();
+
+        let mut index: HashMap<(ClientId, RequestId), PromiseId> = HashMap::new();
+        for rec in table.all() {
+            index.insert((rec.client.clone(), rec.request.clone()), rec.id);
+        }
+
+        // Install rebuilt state. Locks are taken one at a time — recovery
+        // runs before the manager serves traffic, so no consistency window
+        // matters here.
+        *self.table.lock() = table;
+        *self.request_index.lock() = index;
+        self.expired_tombstones.lock().extend(tombstones);
+        *self.journal.write() = Some(journal);
+
+        // Reap promises that expired while the manager was down; their
+        // Expire entries are appended under the new generation and their
+        // ids become tombstones, so post-recovery operations under them get
+        // the paper's "promise-expired" error, never "unknown promise".
+        let pruned = self.prune_expired()?;
+        Ok(RecoveryReport {
+            replayed,
+            recovered,
+            pruned,
+            generation,
+        })
+    }
+
     // ==================================================================
     // Introspection
     // ==================================================================
@@ -575,6 +745,24 @@ impl PromiseManager {
     /// A copy of a promise's record, if present.
     pub fn promise(&self, id: PromiseId) -> Option<PromiseRecord> {
         self.table.lock().get(id).cloned()
+    }
+
+    /// Per-pool totals of quantity promised by live promises (sorted by
+    /// pool). An external audit can cross-check these against quantities
+    /// on hand: promised exceeding on-hand is a promise violation.
+    pub fn promised_quantities(&self) -> Vec<(PoolId, u64)> {
+        self.table.lock().qty_aggregates()
+    }
+
+    /// The quantity on hand in a quantity pool (audit/introspection).
+    pub fn quantity_on_hand(&self, pool: impl Into<PoolId>) -> Result<u64, PromiseError> {
+        let pool = pool.into();
+        let catalog = self.catalog.read();
+        let txn = self.rm.begin();
+        match catalog.quantity(&self.rm, &txn, &pool) {
+            Ok(q) => self.abort_then(txn, q),
+            Err(e) => Err(self.abort_with(txn, e)),
+        }
     }
 
     /// Counter snapshot.
@@ -590,6 +778,8 @@ impl PromiseManager {
             violations_rolled_back: m.violations_rolled_back.load(Ordering::Relaxed),
             expired_errors: m.expired_errors.load(Ordering::Relaxed),
             deadlock_retries: m.deadlock_retries.load(Ordering::Relaxed),
+            grants_deduped: m.grants_deduped.load(Ordering::Relaxed),
+            overload_rejections: m.overload_rejections.load(Ordering::Relaxed),
             grant_lat: m.grant_lat.snapshot(),
             release_lat: m.release_lat.snapshot(),
             execute_lat: m.execute_lat.snapshot(),
@@ -604,6 +794,38 @@ impl PromiseManager {
         self.last_check_stats.lock().clone()
     }
 
+    /// A canonical string over the full promise-table state: every record
+    /// (sorted by id, predicates in `Display` form, allocations in slot
+    /// order), the per-pool promised-quantity aggregates, and the expiry
+    /// histogram. Two managers with byte-equal digests hold equivalent
+    /// promise state — the crash-recovery tests compare a pre-crash digest
+    /// against the post-[`PromiseManager::recover`] digest.
+    pub fn state_digest(&self) -> String {
+        let tbl = self.table.lock();
+        let mut records = tbl.all();
+        records.sort_by_key(|r| r.id);
+        let mut out = String::new();
+        for rec in &records {
+            out.push_str(&format!(
+                "promise {} client={} request={} granted={} expires={}\n",
+                rec.id, rec.client, rec.request, rec.granted_at, rec.expires_at
+            ));
+            for pred in &rec.predicates {
+                out.push_str(&format!("  pred {pred}\n"));
+            }
+            for alloc in &rec.allocations {
+                out.push_str(&format!("  alloc {}:{}\n", alloc.pred_idx, alloc.instance));
+            }
+        }
+        for (pool, qty) in tbl.qty_aggregates() {
+            out.push_str(&format!("qty {pool}={qty}\n"));
+        }
+        for (at, n) in tbl.expiry_histogram() {
+            out.push_str(&format!("expiry {at}={n}\n"));
+        }
+        out
+    }
+
     // ==================================================================
     // Internals
     // ==================================================================
@@ -615,8 +837,8 @@ impl PromiseManager {
         let mut attempt: u32 = 0;
         loop {
             match body() {
-                Err(PromiseError::Rm(RmError::Deadlock { .. }))
-                    if (attempt as usize) < self.retry_limit =>
+                Err(PromiseError::Rm(ref e))
+                    if e.retryable() && (attempt as usize) < self.retry_limit =>
                 {
                     attempt += 1;
                     self.metrics
@@ -628,6 +850,70 @@ impl PromiseManager {
                     std::thread::sleep(std::time::Duration::from_micros(100u64 << exp));
                 }
                 other => return other,
+            }
+        }
+    }
+
+    /// Aborts `txn` on an error path, folding a failed rollback into the
+    /// returned error: [`RmError::RollbackIncomplete`] (store possibly
+    /// inconsistent) takes precedence over the error that triggered the
+    /// abort, because state integrity trumps the original failure.
+    fn abort_with(&self, txn: Txn, err: PromiseError) -> PromiseError {
+        match self.rm.abort(txn) {
+            Ok(()) => err,
+            Err(abort_err) => PromiseError::Rm(abort_err),
+        }
+    }
+
+    /// Aborts a transaction whose outcome is a normal (non-error) value;
+    /// a failed rollback converts the outcome into an error.
+    fn abort_then<T>(&self, txn: Txn, value: T) -> Result<T, PromiseError> {
+        self.rm.abort(txn)?;
+        Ok(value)
+    }
+
+    /// Appends to the journal if one is attached. Called while holding the
+    /// table lock, so journal order matches table-mutation order.
+    fn journal_append(&self, op: JournalOp) {
+        if let Some(j) = self.journal.read().as_ref() {
+            j.append(op);
+        }
+    }
+
+    /// Answers a grant request from the request-id index if the same
+    /// `(client, request)` already holds a live promise. Locks are taken
+    /// one at a time (index, then table) — never nested.
+    fn dedup_hit(&self, spec: &PromiseRequestSpec) -> Option<PromiseResponse> {
+        let key = (spec.client.clone(), spec.request.clone());
+        let id = *self.request_index.lock().get(&key)?;
+        let expires_at = {
+            let tbl = self.table.lock();
+            let rec = tbl.get(id)?;
+            if !rec.is_live(self.clock.now_ms()) {
+                return None;
+            }
+            rec.expires_at
+        };
+        Some(PromiseResponse {
+            correlation: spec.request.clone(),
+            decision: PromiseDecision::Granted {
+                promise: id,
+                expires_at,
+            },
+        })
+    }
+
+    /// Drops request-index entries for promises leaving the table, keyed
+    /// conditionally so a newer grant under a reused request id survives.
+    fn unindex_requests(&self, removed: &[PromiseRecord]) {
+        if removed.is_empty() {
+            return;
+        }
+        let mut idx = self.request_index.lock();
+        for rec in removed {
+            let key = (rec.client.clone(), rec.request.clone());
+            if idx.get(&key) == Some(&rec.id) {
+                idx.remove(&key);
             }
         }
     }
@@ -725,12 +1011,15 @@ impl PromiseManager {
         Ok(pools)
     }
 
+    /// One grant attempt. The boolean in the success value is true when the
+    /// response was answered from the request-id index (a deduplicated
+    /// retry) rather than freshly granted.
     fn try_grant_local(
         &self,
         spec: &PromiseRequestSpec,
         local_predicates: Vec<Predicate>,
         duration_ms: u64,
-    ) -> Result<PromiseResponse, PromiseError> {
+    ) -> Result<(PromiseResponse, bool), PromiseError> {
         let txn = self.rm.begin();
 
         // Footprint: the candidate's pools plus the pools of exchanged
@@ -751,8 +1040,12 @@ impl PromiseManager {
             pools
         };
         if let Err(e) = self.lock_ops(&txn, &footprint, &self.metrics.grant_lat) {
-            self.rm.abort(txn);
-            return Err(e.into());
+            return Err(self.abort_with(txn, e.into()));
+        }
+        // Authoritative dedup under the footprint locks: a racing duplicate
+        // of this request may have been granted while we waited.
+        if let Some(resp) = self.dedup_hit(spec) {
+            return self.abort_then(txn, (resp, true));
         }
         let now = self.clock.now_ms();
 
@@ -766,13 +1059,18 @@ impl PromiseManager {
                     Some(r) if r.is_live(now) => exchanged.push(r.clone()),
                     _ => {
                         drop(tbl);
-                        self.rm.abort(txn);
-                        return Ok(PromiseResponse {
-                            correlation: spec.request.clone(),
-                            decision: PromiseDecision::Rejected {
-                                reason: RejectReason::UnknownExchange(*ex),
-                            },
-                        });
+                        return self.abort_then(
+                            txn,
+                            (
+                                PromiseResponse {
+                                    correlation: spec.request.clone(),
+                                    decision: PromiseDecision::Rejected {
+                                        reason: RejectReason::UnknownExchange(*ex),
+                                    },
+                                },
+                                false,
+                            ),
+                        );
                     }
                 }
             }
@@ -822,52 +1120,68 @@ impl PromiseManager {
         match grant_result {
             Ok(changed) => {
                 let expires_at = candidate.expires_at;
+                let mut removed: Vec<PromiseRecord> = Vec::new();
                 {
                     let mut tbl = self.table.lock();
                     for ex in &spec.exchange {
-                        tbl.remove(*ex);
+                        if let Some(old) = tbl.remove(*ex) {
+                            self.journal_append(JournalOp::Release(old.id));
+                            removed.push(old);
+                        }
                     }
                     for cid in changed {
                         if let Some(new_rec) = existing.iter().find(|p| p.id == cid) {
                             if let Some(slot) = tbl.get_mut(cid) {
                                 slot.allocations = new_rec.allocations.clone();
+                                self.journal_append(JournalOp::Allocations {
+                                    id: cid,
+                                    allocations: new_rec.allocations.clone(),
+                                });
                             }
                         }
                     }
+                    self.journal_append(JournalOp::Grant(candidate.clone()));
                     tbl.insert(candidate);
                 }
+                self.unindex_requests(&removed);
+                self.request_index
+                    .lock()
+                    .insert((spec.client.clone(), spec.request.clone()), id);
                 self.rm
                     .commit(txn)
                     .expect("grant commit cannot fail after lock acquisition");
                 for ex in &spec.exchange {
                     self.cascade_release(*ex);
                 }
-                Ok(PromiseResponse {
-                    correlation: spec.request.clone(),
-                    decision: PromiseDecision::Granted {
-                        promise: id,
-                        expires_at,
+                Ok((
+                    PromiseResponse {
+                        correlation: spec.request.clone(),
+                        decision: PromiseDecision::Granted {
+                            promise: id,
+                            expires_at,
+                        },
                     },
-                })
+                    false,
+                ))
             }
-            Err(CheckError::Reject(reason)) => {
-                self.rm.abort(txn);
-                Ok(PromiseResponse {
-                    correlation: spec.request.clone(),
-                    decision: PromiseDecision::Rejected { reason },
-                })
-            }
-            Err(CheckError::Rm(e)) => {
-                self.rm.abort(txn);
-                Err(e.into())
-            }
-            Err(CheckError::Violation { promise, detail }) => {
-                self.rm.abort(txn);
-                Err(PromiseError::ViolationRolledBack {
+            Err(CheckError::Reject(reason)) => self.abort_then(
+                txn,
+                (
+                    PromiseResponse {
+                        correlation: spec.request.clone(),
+                        decision: PromiseDecision::Rejected { reason },
+                    },
+                    false,
+                ),
+            ),
+            Err(CheckError::Rm(e)) => Err(self.abort_with(txn, e.into())),
+            Err(CheckError::Violation { promise, detail }) => Err(self.abort_with(
+                txn,
+                PromiseError::ViolationRolledBack {
                     violated: promise,
                     detail,
-                })
-            }
+                },
+            )),
         }
     }
 
@@ -877,22 +1191,15 @@ impl PromiseManager {
         // so the pre-lock read stays exact while we wait for the locks).
         let footprint: Vec<PoolId> = match self.table.lock().get(id) {
             Some(r) => r.pools().into_iter().cloned().collect(),
-            None => {
-                self.rm.abort(txn);
-                return Err(PromiseError::UnknownPromise(id));
-            }
+            None => return Err(self.abort_with(txn, PromiseError::UnknownPromise(id))),
         };
         if let Err(e) = self.lock_ops(&txn, &footprint, &self.metrics.release_lat) {
-            self.rm.abort(txn);
-            return Err(e.into());
+            return Err(self.abort_with(txn, e.into()));
         }
         // Re-read under the lock: a concurrent prune may have reaped it.
         let rec = match self.table.lock().get(id) {
             Some(r) => r.clone(),
-            None => {
-                self.rm.abort(txn);
-                return Err(PromiseError::UnknownPromise(id));
-            }
+            None => return Err(self.abort_with(txn, PromiseError::UnknownPromise(id))),
         };
         let catalog = self.catalog.read();
         let check_started = Instant::now();
@@ -900,10 +1207,15 @@ impl PromiseManager {
         self.metrics.release_lat.add_check(check_started);
         drop(catalog);
         if let Err(e) = release_result {
-            self.rm.abort(txn);
-            return Err(e.into());
+            return Err(self.abort_with(txn, e.into()));
         }
-        self.table.lock().remove(id);
+        {
+            let mut tbl = self.table.lock();
+            if tbl.remove(id).is_some() {
+                self.journal_append(JournalOp::Release(id));
+            }
+        }
+        self.unindex_requests(std::slice::from_ref(&rec));
         self.rm
             .commit(txn)
             .expect("release commit cannot fail after lock acquisition");
@@ -941,8 +1253,7 @@ impl PromiseManager {
             pools
         };
         if let Err(e) = self.lock_ops(&txn, &footprint, &self.metrics.prune_lat) {
-            self.rm.abort(txn);
-            return Err(e.into());
+            return Err(self.abort_with(txn, e.into()));
         }
         let expired: Vec<PromiseRecord> = {
             let tbl = self.table.lock();
@@ -953,8 +1264,7 @@ impl PromiseManager {
                 .collect()
         };
         if expired.is_empty() {
-            self.rm.abort(txn);
-            return Ok(Vec::new());
+            return self.abort_then(txn, Vec::new());
         }
         let catalog = self.catalog.read();
         let check_started = Instant::now();
@@ -965,15 +1275,17 @@ impl PromiseManager {
         self.metrics.prune_lat.add_check(check_started);
         drop(catalog);
         if let Err(e) = release_result {
-            self.rm.abort(txn);
-            return Err(e.into());
+            return Err(self.abort_with(txn, e.into()));
         }
         {
             let mut tbl = self.table.lock();
             for rec in &expired {
-                tbl.remove(rec.id);
+                if tbl.remove(rec.id).is_some() {
+                    self.journal_append(JournalOp::Expire(rec.id));
+                }
             }
         }
+        self.unindex_requests(&expired);
         self.rm
             .commit(txn)
             .expect("prune commit cannot fail after lock acquisition");
@@ -990,24 +1302,21 @@ impl PromiseManager {
         // Pre-validate the environment (cheap fail-fast; re-checked after
         // the action because time passes while it runs).
         if let Err(e) = self.validate_env(env, self.clock.now_ms()) {
-            self.rm.abort(txn);
-            return Err(e);
+            return Err(self.abort_with(txn, e));
         }
 
         // The application action itself.
         let out = match action(&self.rm, &txn) {
             Ok(v) => v,
             Err(ActionError::App(msg)) => {
-                self.rm.abort(txn);
                 self.metrics.action_failures.fetch_add(1, Ordering::Relaxed);
-                return Err(PromiseError::ActionFailed(msg));
+                return Err(self.abort_with(txn, PromiseError::ActionFailed(msg)));
             }
             Err(ActionError::Rm(e)) => {
                 // Storage failures (deadlock victims in particular) are not
                 // business failures; bubble them so with_retries re-runs the
                 // whole transactional attempt.
-                self.rm.abort(txn);
-                return Err(PromiseError::Rm(e));
+                return Err(self.abort_with(txn, PromiseError::Rm(e)));
             }
         };
 
@@ -1017,10 +1326,7 @@ impl PromiseManager {
         let releases = env.releases();
         let written = match self.written_pools(&txn) {
             Ok(pools) => pools,
-            Err(e) => {
-                self.rm.abort(txn);
-                return Err(e);
-            }
+            Err(e) => return Err(self.abort_with(txn, e)),
         };
         let footprint: Vec<PoolId> = {
             let tbl = self.table.lock();
@@ -1036,21 +1342,18 @@ impl PromiseManager {
             pools
         };
         if let Err(e) = self.lock_ops(&txn, &footprint, &self.metrics.execute_lat) {
-            self.rm.abort(txn);
-            return Err(e.into());
+            return Err(self.abort_with(txn, e.into()));
         }
         let now = self.clock.now_ms();
         if let Err(e) = self.validate_env(env, now) {
-            self.rm.abort(txn);
-            return Err(e);
+            return Err(self.abort_with(txn, e));
         }
         if enforce_scope {
             if let Err(e) = self.check_scope(env, &written) {
-                self.rm.abort(txn);
                 self.metrics
                     .violations_rolled_back
                     .fetch_add(1, Ordering::Relaxed);
-                return Err(e);
+                return Err(self.abort_with(txn, e));
             }
         }
         let (release_recs, mut live, qty_hints) = {
@@ -1095,49 +1398,59 @@ impl PromiseManager {
 
         match check_result {
             Ok(changed) => {
+                let mut removed: Vec<PromiseRecord> = Vec::new();
                 {
                     let mut tbl = self.table.lock();
                     for id in &releases {
-                        tbl.remove(*id);
+                        if let Some(old) = tbl.remove(*id) {
+                            self.journal_append(JournalOp::Release(old.id));
+                            removed.push(old);
+                        }
                     }
                     for cid in changed {
                         if let Some(new_rec) = live.iter().find(|p| p.id == cid) {
                             if let Some(slot) = tbl.get_mut(cid) {
                                 slot.allocations = new_rec.allocations.clone();
+                                self.journal_append(JournalOp::Allocations {
+                                    id: cid,
+                                    allocations: new_rec.allocations.clone(),
+                                });
                             }
                         }
                     }
                 }
+                self.unindex_requests(&removed);
                 self.rm
                     .commit(txn)
                     .expect("execute commit cannot fail after post-check");
                 Ok(out)
             }
             Err(CheckError::Violation { promise, detail }) => {
-                self.rm.abort(txn);
                 self.metrics
                     .violations_rolled_back
                     .fetch_add(1, Ordering::Relaxed);
-                Err(PromiseError::ViolationRolledBack {
-                    violated: promise,
-                    detail,
-                })
+                Err(self.abort_with(
+                    txn,
+                    PromiseError::ViolationRolledBack {
+                        violated: promise,
+                        detail,
+                    },
+                ))
             }
-            Err(CheckError::Rm(e)) => {
-                self.rm.abort(txn);
-                Err(e.into())
-            }
+            Err(CheckError::Rm(e)) => Err(self.abort_with(txn, e.into())),
             Err(CheckError::Reject(reason)) => {
                 // Post-checks normally surface as violations; a reject here
                 // means a pool vanished mid-flight — treat as violation.
-                self.rm.abort(txn);
                 self.metrics
                     .violations_rolled_back
                     .fetch_add(1, Ordering::Relaxed);
-                Err(PromiseError::ViolationRolledBack {
-                    violated: PromiseId(0),
-                    detail: reason.to_string(),
-                })
+                Err(self.abort_with(
+                    txn,
+                    PromiseError::ViolationRolledBack {
+                        violated: PromiseId(0),
+                        detail: reason.to_string(),
+                    },
+                ))
             }
         }
     }

@@ -20,7 +20,7 @@ pub struct Allocation {
 }
 
 /// One granted, unreleased promise.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PromiseRecord {
     /// Manager-assigned identifier (§6 "promise identifier").
     pub id: PromiseId,
@@ -102,6 +102,13 @@ impl PromiseTable {
     pub fn next_id(&mut self) -> PromiseId {
         self.next += 1;
         PromiseId(self.next)
+    }
+
+    /// Raises the id counter so future [`PromiseTable::next_id`] calls
+    /// return ids strictly greater than `floor` — used by journal recovery
+    /// so a rebuilt table never re-issues an id that appears in the log.
+    pub fn bump_next_to(&mut self, floor: u64) {
+        self.next = self.next.max(floor);
     }
 
     /// Inserts a granted promise.
@@ -229,6 +236,21 @@ impl PromiseTable {
             .keys()
             .next()
             .is_none_or(|&earliest| earliest > now)
+    }
+
+    /// The cached per-pool quantity aggregates, sorted by pool — exposed
+    /// so recovery equivalence can be asserted index-by-index, not just on
+    /// the primary records.
+    pub fn qty_aggregates(&self) -> Vec<(PoolId, u64)> {
+        let mut out: Vec<(PoolId, u64)> =
+            self.qty_agg.iter().map(|(p, q)| (p.clone(), *q)).collect();
+        out.sort();
+        out
+    }
+
+    /// The expiry histogram (`expires_at` → record count), ascending.
+    pub fn expiry_histogram(&self) -> Vec<(u64, u32)> {
+        self.expiry.iter().map(|(k, v)| (*k, *v)).collect()
     }
 
     fn index(&mut self, rec: &PromiseRecord) {

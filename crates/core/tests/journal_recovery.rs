@@ -1,0 +1,204 @@
+//! Crash-recovery integration tests for the durable promise journal:
+//! a journalled manager is "crashed" (dropped), a fresh incarnation
+//! replays the journal, and the rebuilt promise table must be
+//! byte-equivalent to the pre-crash state — including per-pool quantity
+//! aggregates, the expiry histogram, and the request-dedup index.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use promises_core::{
+    ManualClock, PoolSchema, Predicate, PromiseId, PromiseJournal, PromiseManager,
+    PromiseRequestSpec,
+};
+use promises_rm::ResourceManager;
+
+const LONG_MS: u64 = 10_000_000;
+
+/// A journalled manager over two quantity pools.
+fn journalled_pm(clock: &Arc<ManualClock>, journal: &Arc<PromiseJournal>) -> Arc<PromiseManager> {
+    let rm = Arc::new(ResourceManager::new());
+    let pm =
+        Arc::new(PromiseManager::new(rm, Arc::clone(clock) as _).with_journal(Arc::clone(journal)));
+    for pool in ["widgets", "gears"] {
+        pm.register_pool(PoolSchema::quantity(pool));
+        pm.seed_quantity(pool, 10_000).unwrap();
+    }
+    pm
+}
+
+fn spec(client: &str, request: &str, pool: &str, qty: u64, duration_ms: u64) -> PromiseRequestSpec {
+    PromiseRequestSpec::new(request, client)
+        .predicate(Predicate::qty_at_least(pool, qty))
+        .duration_ms(duration_ms)
+}
+
+fn grant(pm: &PromiseManager, s: PromiseRequestSpec) -> PromiseId {
+    pm.request(s).unwrap().decision.granted_id().expect("grant")
+}
+
+#[test]
+fn crash_restart_rebuilds_byte_equivalent_state() {
+    let clock = Arc::new(ManualClock::new());
+    let journal = Arc::new(PromiseJournal::new());
+    let pm = journalled_pm(&clock, &journal);
+
+    // Grants across both pools, from several clients, with varied TTLs so
+    // the expiry histogram has more than one bucket.
+    let mut ids = Vec::new();
+    for i in 0..10u64 {
+        let pool = if i % 2 == 0 { "widgets" } else { "gears" };
+        let s = spec(
+            &format!("client-{}", i % 3),
+            &format!("order-{i}"),
+            pool,
+            (i % 4) + 1,
+            LONG_MS + i * 1_000,
+        );
+        ids.push(grant(&pm, s));
+    }
+    // Release a few so the journal has R records interleaved with G.
+    for id in [ids[1], ids[4], ids[7]] {
+        pm.release(id).unwrap();
+    }
+
+    let pre_digest = pm.state_digest();
+    let pre_qty = pm.promised_quantities();
+    let pre_live = pm.live_count();
+    drop(pm); // crash
+
+    let pm2 = journalled_pm(&clock, &Arc::new(PromiseJournal::new()));
+    let report = pm2.recover(Arc::clone(&journal)).unwrap();
+    assert_eq!(report.replayed, 13, "10 grants + 3 releases");
+    assert_eq!(report.recovered, pre_live);
+    assert_eq!(report.pruned, 0);
+    assert_eq!(report.generation, 1);
+
+    assert_eq!(
+        pm2.state_digest(),
+        pre_digest,
+        "recovered table must be byte-equivalent"
+    );
+    assert_eq!(pm2.promised_quantities(), pre_qty);
+    assert_eq!(pm2.live_count(), pre_live);
+
+    // The request-dedup index was rebuilt: re-sending a pre-crash request
+    // returns the original promise instead of double-granting.
+    let again = grant(&pm2, spec("client-0", "order-0", "widgets", 1, LONG_MS));
+    assert_eq!(again, ids[0]);
+    assert_eq!(
+        pm2.live_count(),
+        pre_live,
+        "dedup hit must not create a promise"
+    );
+
+    // Fresh requests still get ids above every replayed one.
+    let fresh = grant(&pm2, spec("client-9", "order-new", "gears", 1, LONG_MS));
+    assert!(fresh.0 > ids.iter().map(|i| i.0).max().unwrap());
+}
+
+#[test]
+fn promises_expiring_while_down_are_pruned_and_never_readmitted() {
+    let clock = Arc::new(ManualClock::new());
+    let journal = Arc::new(PromiseJournal::new());
+    let pm = journalled_pm(&clock, &journal);
+
+    let doomed: Vec<PromiseId> = (0..4)
+        .map(|i| grant(&pm, spec("c", &format!("short-{i}"), "widgets", 2, 50)))
+        .collect();
+    let survivors: Vec<PromiseId> = (0..3)
+        .map(|i| grant(&pm, spec("c", &format!("long-{i}"), "gears", 3, LONG_MS)))
+        .collect();
+    drop(pm); // crash while all 7 are live
+
+    clock.advance(1_000); // the short promises expire during the outage
+
+    let pm2 = journalled_pm(&clock, &Arc::new(PromiseJournal::new()));
+    let report = pm2.recover(Arc::clone(&journal)).unwrap();
+    assert_eq!(report.recovered, 7, "replay first rebuilds everything");
+    assert_eq!(report.pruned, 4, "then expiry-aware pruning drops the dead");
+    assert_eq!(pm2.live_count(), survivors.len());
+    for id in &doomed {
+        assert!(
+            pm2.promise(*id).is_none(),
+            "expired promise {id:?} re-admitted"
+        );
+    }
+    for id in &survivors {
+        assert!(pm2.promise(*id).is_some());
+    }
+    // Only the surviving pool still has promised quantity.
+    assert_eq!(pm2.promised_quantities(), vec![("gears".into(), 9)]);
+
+    // The recovery appended generation-stamped Expire records, so a *second*
+    // incarnation recovering from the same journal sees them as ordinary
+    // history: nothing left to prune, identical state, and the expired
+    // promises stay gone even though their Grant records are replayed.
+    let pm3 = journalled_pm(&clock, &Arc::new(PromiseJournal::new()));
+    let report3 = pm3.recover(Arc::clone(&journal)).unwrap();
+    assert_eq!(report3.pruned, 0);
+    assert_eq!(report3.generation, 2);
+    assert_eq!(pm3.state_digest(), pm2.state_digest());
+    for id in &doomed {
+        assert!(pm3.promise(*id).is_none());
+    }
+
+    // And a dedup probe for an expired request must not resurrect it with
+    // the old id: the tombstone forces a fresh grant.
+    let revived = grant(&pm3, spec("c", "short-0", "widgets", 2, LONG_MS));
+    assert!(
+        !doomed.contains(&revived),
+        "expired promise id must not be re-issued"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replaying a journal twice is a no-op: two fresh managers recovering
+    /// from the same journal (the second seeing the first's recovery
+    /// records) reach byte-identical state, for arbitrary interleavings of
+    /// grants, releases, and downtime expiry.
+    #[test]
+    fn replaying_a_journal_twice_is_a_noop(
+        ops in proptest::collection::vec(
+            (0u8..2, 1u64..5, any::<bool>(), any::<bool>()),
+            1..24,
+        ),
+        downtime_ms in 0u64..2_000,
+    ) {
+        let clock = Arc::new(ManualClock::new());
+        let journal = Arc::new(PromiseJournal::new());
+        let pm = journalled_pm(&clock, &journal);
+
+        let mut live = Vec::new();
+        for (i, (pool, qty, short, release)) in ops.iter().enumerate() {
+            let pool = if *pool == 0 { "widgets" } else { "gears" };
+            let duration = if *short { 50 } else { LONG_MS };
+            let s = spec(&format!("c{}", i % 3), &format!("r{i}"), pool, *qty, duration);
+            let id = grant(&pm, s);
+            if *release {
+                pm.release(id).unwrap();
+            } else {
+                live.push(id);
+            }
+        }
+        drop(pm);
+        clock.advance(downtime_ms);
+
+        let pm_a = journalled_pm(&clock, &Arc::new(PromiseJournal::new()));
+        let report_a = pm_a.recover(Arc::clone(&journal)).unwrap();
+        let digest_a = pm_a.state_digest();
+
+        // Second replay of the (now extended) journal: same state, nothing
+        // new to prune.
+        let pm_b = journalled_pm(&clock, &Arc::new(PromiseJournal::new()));
+        let report_b = pm_b.recover(Arc::clone(&journal)).unwrap();
+        prop_assert_eq!(pm_b.state_digest(), digest_a);
+        prop_assert_eq!(report_b.pruned, 0);
+        prop_assert_eq!(report_b.recovered, report_a.recovered - report_a.pruned);
+        prop_assert_eq!(pm_b.live_count(), pm_a.live_count());
+        prop_assert_eq!(pm_b.promised_quantities(), pm_a.promised_quantities());
+    }
+}

@@ -28,6 +28,39 @@ pub enum RmError {
     TxnNotActive(TxnId),
     /// The application aborted the transaction explicitly with a message.
     Aborted(String),
+    /// A storage access failed (injected or real I/O fault). The statement
+    /// did not take effect; the transaction is still active and the caller
+    /// decides whether to retry the statement or abort.
+    StorageFault {
+        /// The operation that failed (`get`, `put`, `scan`, ...).
+        op: String,
+        /// The table being accessed.
+        table: String,
+    },
+    /// Rollback itself failed partway: an undo write raised a storage fault,
+    /// leaving `remaining` `(table, key)` before-images unapplied. The store
+    /// may be inconsistent for those records; callers must surface this
+    /// rather than treat the abort as clean.
+    RollbackIncomplete {
+        /// The transaction whose rollback failed.
+        txn: TxnId,
+        /// `(table, key)` pairs whose before-images were not restored,
+        /// failing entry first.
+        remaining: Vec<(String, String)>,
+    },
+}
+
+impl RmError {
+    /// True if the failed operation is worth retrying in a fresh
+    /// transaction: deadlock victims and transient storage faults are;
+    /// semantic failures (missing key, duplicate, explicit abort) and
+    /// incomplete rollbacks are not.
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            RmError::Deadlock { .. } | RmError::StorageFault { .. }
+        )
+    }
 }
 
 impl fmt::Display for RmError {
@@ -42,6 +75,14 @@ impl fmt::Display for RmError {
             RmError::NoSuchKey { table, key } => write!(f, "no key {key:?} in table {table}"),
             RmError::TxnNotActive(id) => write!(f, "transaction {id} is not active"),
             RmError::Aborted(msg) => write!(f, "transaction aborted: {msg}"),
+            RmError::StorageFault { op, table } => {
+                write!(f, "storage fault during {op} on table {table}")
+            }
+            RmError::RollbackIncomplete { txn, remaining } => write!(
+                f,
+                "rollback of {txn} incomplete: {} undo entries unapplied",
+                remaining.len()
+            ),
         }
     }
 }
@@ -63,5 +104,26 @@ mod tests {
         }
         .to_string()
         .contains("\"b\""));
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(RmError::Deadlock { txn: TxnId(1) }.retryable());
+        assert!(RmError::StorageFault {
+            op: "get".into(),
+            table: "t".into()
+        }
+        .retryable());
+        assert!(!RmError::NoSuchKey {
+            table: "t".into(),
+            key: "k".into()
+        }
+        .retryable());
+        assert!(!RmError::Aborted("x".into()).retryable());
+        assert!(!RmError::RollbackIncomplete {
+            txn: TxnId(2),
+            remaining: vec![("t".into(), "k".into())]
+        }
+        .retryable());
     }
 }

@@ -44,7 +44,7 @@ mod value;
 pub use error::RmError;
 pub use lock::{LockManager, LockMode};
 pub use store::TableStats;
-pub use txn::{ResourceManager, Txn, TxnId};
+pub use txn::{ResourceManager, StorageFaultHook, Txn, TxnId};
 pub use value::{Record, Value};
 
 /// Convenient `Result` alias for resource-manager operations.

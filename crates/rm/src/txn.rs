@@ -10,8 +10,9 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::error::RmError;
 use crate::lock::{Granule, LockManager, LockMode};
@@ -61,6 +62,12 @@ pub struct RmStatsSnapshot {
     pub deadlocks: u64,
 }
 
+/// A storage-fault hook: called with `(op, table)` before every store
+/// access; returning `Some(err)` injects that error instead of performing
+/// the access. Rollback replay calls it with op `"undo"` so injectors can
+/// (and by default do) keep rollback writes fault-free.
+pub type StorageFaultHook = Arc<dyn Fn(&str, &str) -> Option<RmError> + Send + Sync>;
+
 /// The embedded ACID resource manager (paper §8's "RM").
 pub struct ResourceManager {
     store: Mutex<Store>,
@@ -68,6 +75,7 @@ pub struct ResourceManager {
     undo: Mutex<HashMap<TxnId, UndoLog>>,
     next_txn: AtomicU64,
     counters: Counters,
+    fault_hook: RwLock<Option<StorageFaultHook>>,
 }
 
 impl Default for ResourceManager {
@@ -85,7 +93,26 @@ impl ResourceManager {
             undo: Mutex::new(HashMap::new()),
             next_txn: AtomicU64::new(1),
             counters: Counters::default(),
+            fault_hook: RwLock::new(None),
         }
+    }
+
+    /// Installs (or clears, with `None`) the storage-fault hook used for
+    /// deterministic fault injection. See [`StorageFaultHook`].
+    pub fn set_storage_fault_hook(&self, hook: Option<StorageFaultHook>) {
+        *self.fault_hook.write() = hook;
+    }
+
+    /// Consults the fault hook for one store access; `Err` means the access
+    /// must be abandoned with the injected error.
+    fn faultable(&self, op: &str, table: &str) -> Result<(), RmError> {
+        let guard = self.fault_hook.read();
+        if let Some(hook) = guard.as_ref() {
+            if let Some(err) = hook(op, table) {
+                return Err(err);
+            }
+        }
+        Ok(())
     }
 
     /// Creates a table. DDL is not transactional (as in most engines,
@@ -119,28 +146,55 @@ impl ResourceManager {
     }
 
     /// Aborts: replays the undo log newest-first, then releases all locks.
-    pub fn abort(&self, txn: Txn) {
-        self.abort_id(txn.id);
+    ///
+    /// Normally infallible, but if an undo write itself fails (an injected
+    /// `"undo"`-point storage fault, or a genuinely missing table) the
+    /// rollback stops and [`RmError::RollbackIncomplete`] reports every
+    /// `(table, key)` whose before-image was *not* restored, failing entry
+    /// first. Locks are released either way so the system does not wedge,
+    /// but callers must surface the error: those records may be dirty.
+    pub fn abort(&self, txn: Txn) -> Result<(), RmError> {
+        self.abort_id(txn.id)
     }
 
     /// Aborts by id (used internally by retry helpers).
-    fn abort_id(&self, id: TxnId) {
+    fn abort_id(&self, id: TxnId) -> Result<(), RmError> {
         let log = self.undo.lock().remove(&id);
+        let mut failure: Option<RmError> = None;
         if let Some(log) = log.filter(|l| !l.is_empty()) {
             let mut store = self.store.lock();
-            for entry in log.entries_reversed() {
-                match &entry.before {
-                    Some(rec) => {
-                        let _ = store.put(&entry.table, &entry.key, rec.clone());
+            let entries: Vec<_> = log.entries_reversed().collect();
+            for (idx, entry) in entries.iter().enumerate() {
+                let undo_write = self.faultable("undo", &entry.table).and_then(|()| {
+                    match &entry.before {
+                        Some(rec) => store.put(&entry.table, &entry.key, rec.clone()).map(|_| ()),
+                        // An absent before-image means the record was created
+                        // by this transaction; it may already be gone if a
+                        // statement failed before the write landed.
+                        None => match store.delete(&entry.table, &entry.key) {
+                            Ok(_) | Err(RmError::NoSuchKey { .. }) => Ok(()),
+                            Err(e) => Err(e),
+                        },
                     }
-                    None => {
-                        let _ = store.delete(&entry.table, &entry.key);
-                    }
+                });
+                if undo_write.is_err() {
+                    failure = Some(RmError::RollbackIncomplete {
+                        txn: id,
+                        remaining: entries[idx..]
+                            .iter()
+                            .map(|e| (e.table.clone(), e.key.clone()))
+                            .collect(),
+                    });
+                    break;
                 }
             }
         }
         self.locks.release_all(id);
         self.counters.aborts.fetch_add(1, Ordering::Relaxed);
+        match failure {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
     }
 
     /// Reads a record (`IS` on the table, `S` on the record).
@@ -156,6 +210,7 @@ impl ResourceManager {
             &Granule::Record(table.to_owned(), key.to_owned()),
             LockMode::Shared,
         )?;
+        self.faultable("get", table)?;
         self.store.lock().get(table, key)
     }
 
@@ -169,6 +224,7 @@ impl ResourceManager {
         rec: Record,
     ) -> Result<Option<Record>, RmError> {
         self.write_locks(txn, table, key)?;
+        self.faultable("put", table)?;
         let mut store = self.store.lock();
         let before = store.get(table, key)?;
         self.record_undo(txn, table, key, before.clone())?;
@@ -178,6 +234,7 @@ impl ResourceManager {
     /// Inserts a record; fails with [`RmError::DuplicateKey`] if present.
     pub fn insert(&self, txn: &Txn, table: &str, key: &str, rec: Record) -> Result<(), RmError> {
         self.write_locks(txn, table, key)?;
+        self.faultable("insert", table)?;
         let mut store = self.store.lock();
         let before = store.get(table, key)?;
         if before.is_some() {
@@ -193,6 +250,7 @@ impl ResourceManager {
     /// Deletes a record; fails with [`RmError::NoSuchKey`] if absent.
     pub fn delete(&self, txn: &Txn, table: &str, key: &str) -> Result<(), RmError> {
         self.write_locks(txn, table, key)?;
+        self.faultable("delete", table)?;
         let mut store = self.store.lock();
         let before = store.get(table, key)?;
         if before.is_none() {
@@ -214,6 +272,7 @@ impl ResourceManager {
         f: impl FnOnce(&mut Record),
     ) -> Result<(), RmError> {
         self.write_locks(txn, table, key)?;
+        self.faultable("update", table)?;
         let mut store = self.store.lock();
         let before = store.get(table, key)?.ok_or_else(|| RmError::NoSuchKey {
             table: table.to_owned(),
@@ -305,6 +364,7 @@ impl ResourceManager {
         f: impl FnOnce(&mut Record) -> bool,
     ) -> Result<Option<bool>, RmError> {
         self.write_locks(txn, table, key)?;
+        self.faultable("update", table)?;
         let mut store = self.store.lock();
         let Some(before) = store.get(table, key)? else {
             return Ok(None);
@@ -322,11 +382,16 @@ impl ResourceManager {
     pub fn scan(&self, txn: &Txn, table: &str) -> Result<Vec<(String, Record)>, RmError> {
         self.ensure_active(txn)?;
         self.lock(txn, &Granule::Table(table.to_owned()), LockMode::Shared)?;
+        self.faultable("scan", table)?;
         self.store.lock().scan(table)
     }
 
     /// Runs `f` in a transaction, committing on `Ok` and aborting on `Err`;
-    /// deadlock victims are retried up to `max_retries` times.
+    /// retryable failures (deadlock victims, transient storage faults) are
+    /// retried up to `max_retries` times. A failed *rollback* is never
+    /// retried: [`RmError::RollbackIncomplete`] is returned immediately,
+    /// taking precedence over the error that triggered the abort, because
+    /// it means the store may be inconsistent.
     pub fn transact<R>(
         &self,
         max_retries: usize,
@@ -340,8 +405,8 @@ impl ResourceManager {
                     Ok(()) => return Ok(v),
                     Err(e) => return Err(e),
                 },
-                Err(RmError::Deadlock { .. }) if attempt < max_retries => {
-                    self.abort(txn);
+                Err(e) if e.retryable() && attempt < max_retries => {
+                    self.abort(txn)?;
                     attempt += 1;
                     // Bounded exponential backoff breaks retry lockstep
                     // between symmetric victims (caps at ~3ms).
@@ -349,7 +414,7 @@ impl ResourceManager {
                     std::thread::sleep(std::time::Duration::from_micros(100u64 << exp));
                 }
                 Err(e) => {
-                    self.abort(txn);
+                    self.abort(txn)?;
                     return Err(e);
                 }
             }
@@ -457,7 +522,7 @@ mod tests {
         rm.insert(&tx, "t", "new", Record::new()).unwrap();
         rm.update(&tx, "t", "stay", |r| r.set("v", 99i64)).unwrap();
         rm.delete(&tx, "t", "stay").unwrap();
-        rm.abort(tx);
+        rm.abort(tx).unwrap();
 
         let tx = rm.begin();
         assert!(rm.get(&tx, "t", "new").unwrap().is_none(), "insert undone");
@@ -481,7 +546,7 @@ mod tests {
         let tx = rm.begin();
         rm.put(&tx, "t", "k", Record::new().with("x", 1i64))
             .unwrap();
-        rm.abort(tx);
+        rm.abort(tx).unwrap();
         assert_eq!(rm.locked_granules(), 0);
     }
 
@@ -597,7 +662,7 @@ mod tests {
         let tx = rm.begin();
         rm.commit(tx).unwrap();
         let tx = rm.begin();
-        rm.abort(tx);
+        rm.abort(tx).unwrap();
         let s = rm.stats();
         assert_eq!(s.commits, 1);
         assert_eq!(s.aborts, 1);
@@ -680,7 +745,7 @@ mod tests {
             Ok(Some(true))
         );
         assert_eq!(rm.get(&tx, "t", "k").unwrap().unwrap().int("v"), Some(2));
-        rm.abort(tx);
+        rm.abort(tx).unwrap();
 
         let tx = rm.begin();
         assert_eq!(

@@ -1,0 +1,148 @@
+//! Rollback failure-safety: when an undo write itself hits a storage
+//! fault, abort must not pretend the rollback succeeded — it reports
+//! `RmError::RollbackIncomplete` naming every before-image it could not
+//! restore, while still releasing locks so the system does not wedge.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use promises_rm::{Record, ResourceManager, RmError, StorageFaultHook};
+
+fn rm_with_counter() -> (Arc<ResourceManager>, Arc<AtomicUsize>) {
+    let rm = Arc::new(ResourceManager::new());
+    rm.create_table("t");
+    let txn = rm.begin();
+    for key in ["a", "b", "c"] {
+        rm.insert(&txn, "t", key, Record::new().with("v", 1i64))
+            .unwrap();
+    }
+    rm.commit(txn).unwrap();
+    (rm, Arc::new(AtomicUsize::new(0)))
+}
+
+/// A hook that fails the Nth undo write (0-based) and nothing else.
+fn fail_nth_undo(counter: Arc<AtomicUsize>, nth: usize) -> StorageFaultHook {
+    Arc::new(move |op: &str, table: &str| {
+        if op != "undo" {
+            return None;
+        }
+        if counter.fetch_add(1, Ordering::SeqCst) == nth {
+            Some(RmError::StorageFault {
+                op: op.to_owned(),
+                table: table.to_owned(),
+            })
+        } else {
+            None
+        }
+    })
+}
+
+#[test]
+fn undo_fault_reports_remaining_entries_failing_first() {
+    let (rm, undo_calls) = rm_with_counter();
+    let txn = rm.begin();
+    // Touch a, b, c in order; undo replays newest-first (c, b, a).
+    for key in ["a", "b", "c"] {
+        rm.update(&txn, "t", key, |r| *r = r.clone().with("v", 9i64))
+            .unwrap();
+    }
+    // Fail the second undo write (key "b"): "c" restores, "b" and "a" don't.
+    rm.set_storage_fault_hook(Some(fail_nth_undo(Arc::clone(&undo_calls), 1)));
+    let err = rm.abort(txn).unwrap_err();
+    rm.set_storage_fault_hook(None);
+
+    match &err {
+        RmError::RollbackIncomplete { remaining, .. } => {
+            assert_eq!(
+                *remaining,
+                vec![
+                    ("t".to_owned(), "b".to_owned()),
+                    ("t".to_owned(), "a".to_owned()),
+                ],
+                "failing entry first, then every entry never attempted"
+            );
+        }
+        other => panic!("expected RollbackIncomplete, got {other}"),
+    }
+    assert!(
+        !err.retryable(),
+        "an incomplete rollback must never be auto-retried"
+    );
+
+    // The store is honestly dirty exactly where reported: "c" was rolled
+    // back before the fault, "a" and "b" keep the aborted writes.
+    let probe = rm.begin();
+    let read = |key: &str| {
+        rm.get(&probe, "t", key)
+            .unwrap()
+            .and_then(|r| r.int("v"))
+            .unwrap()
+    };
+    assert_eq!(read("c"), 1);
+    assert_eq!(read("b"), 9);
+    assert_eq!(read("a"), 9);
+    rm.commit(probe).unwrap();
+}
+
+#[test]
+fn locks_are_released_even_when_rollback_fails() {
+    let (rm, undo_calls) = rm_with_counter();
+    let txn = rm.begin();
+    rm.update(&txn, "t", "a", |r| *r = r.clone().with("v", 5i64))
+        .unwrap();
+    rm.set_storage_fault_hook(Some(fail_nth_undo(undo_calls, 0)));
+    assert!(matches!(
+        rm.abort(txn),
+        Err(RmError::RollbackIncomplete { .. })
+    ));
+    rm.set_storage_fault_hook(None);
+
+    // A new transaction can immediately lock and write the same record —
+    // the failed rollback must not leave it wedged.
+    let txn2 = rm.begin();
+    rm.update(&txn2, "t", "a", |r| *r = r.clone().with("v", 2i64))
+        .unwrap();
+    rm.commit(txn2).unwrap();
+}
+
+#[test]
+fn transact_surfaces_rollback_incomplete_without_retrying() {
+    let (rm, undo_calls) = rm_with_counter();
+    let attempts = AtomicUsize::new(0);
+    rm.set_storage_fault_hook(Some(fail_nth_undo(undo_calls, 0)));
+    let result: Result<(), RmError> = rm.transact(5, |txn| {
+        attempts.fetch_add(1, Ordering::SeqCst);
+        rm.update(txn, "t", "a", |r| *r = r.clone().with("v", 3i64))?;
+        // Force an abort so the poisoned undo path runs.
+        Err(RmError::Aborted("forced".into()))
+    });
+    rm.set_storage_fault_hook(None);
+
+    assert!(matches!(result, Err(RmError::RollbackIncomplete { .. })));
+    assert_eq!(
+        attempts.load(Ordering::SeqCst),
+        1,
+        "RollbackIncomplete takes precedence and is never retried"
+    );
+}
+
+#[test]
+fn clean_abort_still_restores_every_before_image() {
+    let (rm, _) = rm_with_counter();
+    let txn = rm.begin();
+    for key in ["a", "b", "c"] {
+        rm.update(&txn, "t", key, |r| *r = r.clone().with("v", 7i64))
+            .unwrap();
+    }
+    rm.abort(txn).unwrap();
+    let probe = rm.begin();
+    for key in ["a", "b", "c"] {
+        let v = rm
+            .get(&probe, "t", key)
+            .unwrap()
+            .and_then(|r| r.int("v"))
+            .unwrap();
+        assert_eq!(v, 1);
+    }
+    rm.commit(probe).unwrap();
+}

@@ -120,7 +120,7 @@ fn aborted_writer_leaves_no_trace_for_waiting_reader() {
         .unwrap()
     });
     std::thread::sleep(std::time::Duration::from_millis(30));
-    rm.abort(writer);
+    rm.abort(writer).unwrap();
     assert_eq!(reader.join().unwrap(), 1, "reader sees pre-abort value");
 }
 
@@ -186,7 +186,7 @@ fn write_set_reports_touched_records_in_order() {
     // write_set on finished transactions errors rather than lying.
     let dead = rm.begin();
     let id = dead.id();
-    rm.abort(dead);
+    rm.abort(dead).unwrap();
     let _ = id;
     let tx2 = rm.begin();
     rm.commit(tx2).unwrap();
@@ -210,13 +210,13 @@ fn deadlock_error_identifies_victim() {
         std::thread::sleep(std::time::Duration::from_millis(40));
         let r = rm2.update(&t2, "t", "a", |_| {});
         let id = t2.id();
-        rm2.abort(t2);
+        rm2.abort(t2).unwrap();
         (r, id)
     });
     std::thread::sleep(std::time::Duration::from_millis(20));
     let mine = rm.update(&t1, "t", "b", |_| {});
     let my_id = t1.id();
-    rm.abort(t1);
+    rm.abort(t1).unwrap();
     let (theirs, their_id) = other.join().unwrap();
     // Exactly the victim's own id appears in its error.
     match (mine, theirs) {

@@ -20,12 +20,17 @@
 
 mod adapter;
 mod driver;
+mod faults;
 mod instances;
 mod metrics;
 mod workload;
 
 pub use adapter::{promise_reserver, promise_reserver_with_mode, PromiseQtyReserver};
 pub use driver::{run_qty_workload, seed_pools};
+pub use faults::{
+    fault_harness, run_crash_restart, run_fault_sweep, CrashRestartReport, FaultHarness,
+    FaultRunReport, FaultSweepConfig, PM_ENDPOINT,
+};
 pub use instances::{
     instance_name, promise_instance_reserver, run_instance_workload, seed_instances,
     PromiseInstanceReserver, INSTANCE_POOL,

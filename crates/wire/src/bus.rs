@@ -13,6 +13,8 @@ use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 
+use promises_faults::{FaultInjector, MessageFate};
+
 use crate::codec::{decode, encode, CodecError};
 use crate::envelope::Envelope;
 
@@ -32,21 +34,45 @@ where
 }
 
 /// Bus delivery errors.
+///
+/// Transport faults ([`BusError::DroppedRequest`], [`BusError::DroppedReply`])
+/// are distinguished from service-side problems ([`BusError::UnknownEndpoint`],
+/// [`BusError::Codec`]) *and from each other*: a dropped request means the
+/// service never ran (plain retry is safe), while a dropped reply means the
+/// service **did** run and only the answer was lost — a retry may re-apply
+/// the operation, so retried grants carry the same request id and are
+/// deduplicated by the promise manager.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BusError {
     /// No endpoint registered under this name.
     UnknownEndpoint(String),
-    /// The (injected) network dropped the message.
-    Dropped,
+    /// The network dropped the request before the service saw it; the
+    /// operation did not run.
+    DroppedRequest,
+    /// The network dropped the reply after the service processed the
+    /// request; the operation may have been applied.
+    DroppedReply,
     /// Codec failure in either direction.
     Codec(CodecError),
+}
+
+impl BusError {
+    /// True if resending the same message can succeed: transport drops are
+    /// transient, while unknown endpoints and codec failures are
+    /// deterministic and would fail identically on every retry.
+    pub fn retryable(&self) -> bool {
+        matches!(self, BusError::DroppedRequest | BusError::DroppedReply)
+    }
 }
 
 impl std::fmt::Display for BusError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BusError::UnknownEndpoint(n) => write!(f, "unknown endpoint {n:?}"),
-            BusError::Dropped => write!(f, "message dropped by network"),
+            BusError::DroppedRequest => write!(f, "request dropped by network (service never ran)"),
+            BusError::DroppedReply => {
+                write!(f, "reply dropped by network (service may have run)")
+            }
             BusError::Codec(e) => write!(f, "{e}"),
         }
     }
@@ -101,6 +127,9 @@ pub struct InMemoryBus {
     endpoints: RwLock<HashMap<String, Arc<dyn Service>>>,
     profile: RwLock<NetworkProfile>,
     rng: Mutex<XorShift>,
+    /// Richer, scenario-driven fault injection (drop/duplicate/delay on
+    /// each direction); composes with the legacy [`NetworkProfile`].
+    injector: RwLock<Option<Arc<FaultInjector>>>,
     delivered: AtomicU64,
     dropped: AtomicU64,
     bytes: AtomicU64,
@@ -119,6 +148,7 @@ impl InMemoryBus {
             endpoints: RwLock::new(HashMap::new()),
             profile: RwLock::new(NetworkProfile::default()),
             rng: Mutex::new(XorShift(0x9E3779B97F4A7C15)),
+            injector: RwLock::new(None),
             delivered: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
@@ -128,6 +158,13 @@ impl InMemoryBus {
     /// Sets the network profile.
     pub fn set_profile(&self, profile: NetworkProfile) {
         *self.profile.write() = profile;
+    }
+
+    /// Installs (or clears) a scenario-driven fault injector. When present,
+    /// every send consults it: the request can be dropped or delivered
+    /// twice, the reply can be dropped, and each direction can be delayed.
+    pub fn set_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
+        *self.injector.write() = injector;
     }
 
     /// Reseeds the fault-injection PRNG (for reproducible experiments).
@@ -152,7 +189,21 @@ impl InMemoryBus {
         let profile = *self.profile.read();
         if profile.drop_probability > 0.0 && self.rng.lock().next_f64() < profile.drop_probability {
             self.dropped.fetch_add(1, Ordering::Relaxed);
-            return Err(BusError::Dropped);
+            return Err(BusError::DroppedRequest);
+        }
+        let injector = self.injector.read().clone();
+        let request_fate = match &injector {
+            Some(inj) => {
+                if let Some(d) = inj.delay() {
+                    std::thread::sleep(d);
+                }
+                inj.request_fate()
+            }
+            None => MessageFate::Deliver,
+        };
+        if request_fate == MessageFate::Drop {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return Err(BusError::DroppedRequest);
         }
         let wire_out = encode(envelope);
         if !profile.latency.is_zero() {
@@ -160,9 +211,27 @@ impl InMemoryBus {
         }
         let received = decode(&wire_out)?;
         let reply = service.handle(received);
+        if request_fate == MessageFate::Duplicate {
+            // The network delivered the request twice: the service handles
+            // both copies (exercising server-side request-id dedup); the
+            // caller consumes the first reply.
+            let duplicate = decode(&wire_out)?;
+            let _ = service.handle(duplicate);
+        }
         let wire_back = encode(&reply);
         if !profile.latency.is_zero() {
             std::thread::sleep(profile.latency);
+        }
+        if let Some(inj) = &injector {
+            if let Some(d) = inj.delay() {
+                std::thread::sleep(d);
+            }
+            if inj.reply_fate() == MessageFate::Drop {
+                // The service already processed the request; only the
+                // answer is lost.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return Err(BusError::DroppedReply);
+            }
         }
         let decoded = decode(&wire_back)?;
         self.delivered.fetch_add(1, Ordering::Relaxed);

@@ -1,0 +1,232 @@
+//! Client-side retry with timeout classification and seeded backoff.
+//!
+//! The bus distinguishes [`BusError::DroppedRequest`] (service never ran —
+//! plain retry is safe) from [`BusError::DroppedReply`] (service ran, answer
+//! lost — a blind retry could re-apply the operation). Both are retried
+//! here because the protocol makes retries idempotent: a resent envelope
+//! carries the *same* request ids, and the promise manager's request-id
+//! index answers a duplicate grant with the original promise instead of
+//! granting — and charging — twice. Non-retryable errors (unknown endpoint,
+//! codec failures) are surfaced immediately.
+//!
+//! Backoff is capped exponential with full jitter drawn from a seeded PRNG,
+//! so a fault run is reproducible end to end from the scenario seed plus
+//! the client seed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::bus::{BusError, InMemoryBus};
+use crate::envelope::Envelope;
+
+/// Retry/backoff configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (so `max_retries + 1` sends total).
+    pub max_retries: u32,
+    /// Backoff before retry `n` is uniform in `[0, min(base << n, cap)]`.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Seed for the jitter PRNG (full jitter, deterministic per seed).
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// A policy suited to the in-memory bus: 8 retries, 50µs base doubling
+    /// to a 5ms cap.
+    pub fn new(jitter_seed: u64) -> Self {
+        Self {
+            max_retries: 8,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_millis(5),
+            jitter_seed,
+        }
+    }
+
+    /// A policy that never retries (every error surfaces immediately).
+    pub fn no_retries() -> Self {
+        Self {
+            max_retries: 0,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter_seed: 0,
+        }
+    }
+
+    /// Sets the retry budget.
+    pub fn with_max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    fn backoff(&self, rng: &mut StdRng, attempt: u32) -> Duration {
+        let base = self.base_backoff.as_nanos() as u64;
+        if base == 0 {
+            return Duration::ZERO;
+        }
+        let cap = self.max_backoff.as_nanos() as u64;
+        let ceiling = base
+            .checked_shl(attempt.min(20))
+            .unwrap_or(u64::MAX)
+            .min(cap.max(base));
+        Duration::from_nanos(rng.random_range(0..=ceiling))
+    }
+}
+
+/// Counters for one client's retry behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Logical sends (each may involve several attempts).
+    pub sends: u64,
+    /// Individual retry attempts after a retryable failure.
+    pub retries: u64,
+    /// Sends that exhausted the retry budget and surfaced a transport
+    /// error to the caller.
+    pub exhausted: u64,
+}
+
+/// A bus client that retries transport faults with seeded backoff.
+pub struct RetryingClient {
+    bus: Arc<InMemoryBus>,
+    policy: RetryPolicy,
+    rng: Mutex<StdRng>,
+    sends: AtomicU64,
+    retries: AtomicU64,
+    exhausted: AtomicU64,
+}
+
+impl RetryingClient {
+    /// Wraps `bus` with the given policy.
+    pub fn new(bus: Arc<InMemoryBus>, policy: RetryPolicy) -> Self {
+        Self {
+            bus,
+            policy,
+            rng: Mutex::new(StdRng::seed_from_u64(policy.jitter_seed)),
+            sends: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            exhausted: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying bus.
+    pub fn bus(&self) -> &Arc<InMemoryBus> {
+        &self.bus
+    }
+
+    /// Sends `envelope` to `to`, retrying retryable transport faults with
+    /// capped exponential backoff. The envelope is resent verbatim — same
+    /// request ids — so server-side dedup keeps retried grants single.
+    pub fn send(&self, to: &str, envelope: &Envelope) -> Result<Envelope, BusError> {
+        self.sends.fetch_add(1, Ordering::Relaxed);
+        let mut attempt: u32 = 0;
+        loop {
+            match self.bus.send(to, envelope) {
+                Ok(reply) => return Ok(reply),
+                Err(e) if e.retryable() && attempt < self.policy.max_retries => {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    let pause = self.policy.backoff(&mut self.rng.lock(), attempt);
+                    attempt += 1;
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                }
+                Err(e) => {
+                    if e.retryable() {
+                        self.exhausted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> RetryStats {
+        RetryStats {
+            sends: self.sends.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            exhausted: self.exhausted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::Service;
+    use crate::envelope::ActionRequest;
+    use promises_faults::{FaultInjector, FaultScenario};
+
+    fn echo_bus() -> Arc<InMemoryBus> {
+        let bus = Arc::new(InMemoryBus::new());
+        bus.register("echo", Arc::new(|env: Envelope| env) as Arc<dyn Service>);
+        bus
+    }
+
+    #[test]
+    fn retries_through_heavy_drop_rates() {
+        let bus = echo_bus();
+        bus.set_fault_injector(Some(Arc::new(FaultInjector::new(FaultScenario::uniform(
+            7, 0.4,
+        )))));
+        let client = RetryingClient::new(Arc::clone(&bus), RetryPolicy::new(11));
+        let env = Envelope::new().with_action(ActionRequest::new("s", "op").param("k", "v"));
+        let mut delivered = 0;
+        for _ in 0..50 {
+            if client.send("echo", &env).is_ok() {
+                delivered += 1;
+            }
+        }
+        assert!(
+            delivered >= 45,
+            "retry should mask most faults: {delivered}/50 ({:?})",
+            client.stats()
+        );
+        assert!(
+            client.stats().retries > 0,
+            "faults should have forced retries"
+        );
+    }
+
+    #[test]
+    fn non_retryable_errors_surface_immediately() {
+        let bus = Arc::new(InMemoryBus::new());
+        let client = RetryingClient::new(bus, RetryPolicy::new(1));
+        let err = client.send("ghost", &Envelope::new()).unwrap_err();
+        assert!(!err.retryable());
+        assert_eq!(client.stats().retries, 0);
+    }
+
+    #[test]
+    fn no_retries_policy_surfaces_first_drop() {
+        let bus = echo_bus();
+        bus.set_fault_injector(Some(Arc::new(FaultInjector::new(FaultScenario {
+            drop_request: 1.0,
+            ..FaultScenario::quiet(3)
+        }))));
+        let client = RetryingClient::new(Arc::clone(&bus), RetryPolicy::no_retries());
+        assert_eq!(
+            client.send("echo", &Envelope::new()).unwrap_err(),
+            BusError::DroppedRequest
+        );
+        assert_eq!(client.stats().exhausted, 1);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_capped() {
+        let policy = RetryPolicy::new(42);
+        let mut a = StdRng::seed_from_u64(policy.jitter_seed);
+        let mut b = StdRng::seed_from_u64(policy.jitter_seed);
+        for attempt in 0..12 {
+            let x = policy.backoff(&mut a, attempt);
+            let y = policy.backoff(&mut b, attempt);
+            assert_eq!(x, y);
+            assert!(x <= policy.max_backoff);
+        }
+    }
+}

@@ -16,12 +16,14 @@
 #![warn(missing_docs)]
 
 mod bus;
+mod client;
 mod codec;
 mod envelope;
 mod gateway;
 pub mod xml;
 
 pub use bus::{BusError, BusStats, InMemoryBus, NetworkProfile, Service};
+pub use client::{RetryPolicy, RetryStats, RetryingClient};
 pub use codec::{decode, encode, CodecError};
 pub use envelope::{
     ActionRequest, ActionResponse, EnvEntry, EnvRef, Envelope, EnvironmentHeader,

@@ -10,6 +10,11 @@ cargo build --release --workspace
 echo "==> cargo test --workspace"
 cargo test -q --workspace
 
+# Fault suite under three fixed seeds: sweep + crash-restart audits
+# (violations, double grants, leaks must all be zero; see DESIGN.md §11).
+echo "==> fault smoke (seeds 3 1117 90210)"
+cargo run --release -q -p promises-bench --bin experiments -- --faults 3 1117 90210
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -216,7 +216,7 @@ proptest! {
                 rm.commit(txn).unwrap();
                 model = local;
             } else {
-                rm.abort(txn);
+                rm.abort(txn).unwrap();
             }
         }
 
