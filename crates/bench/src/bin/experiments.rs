@@ -3,13 +3,31 @@
 //! Run with: `cargo run --release -p promises-bench --bin experiments`
 //! (optionally pass experiment ids, e.g. `e4 e5`, to run a subset;
 //! `--faults` runs a fast fault-injection smoke check and exits non-zero
-//! if any guarantee audit fails).
+//! if any guarantee audit fails; `--obs` runs the E12 instrumented sweep,
+//! prints per-stage latency and rejection-cause tables, dumps
+//! `BENCH_obs.json`/`BENCH_obs.prom`, and exits non-zero if any required
+//! stage histogram is empty or the lifecycle audit finds an ordering
+//! violation).
 
 use std::env;
+use std::time::Duration;
 
 use promises_bench::exp::{self, System, View};
 use promises_bench::table::{f, print_table, us};
 use promises_core::CheckStrategy;
+use promises_telemetry::export::{to_json, to_prometheus};
+
+/// Formats an optional mean latency; runs with zero successes have none.
+fn opt_us(d: Option<Duration>) -> String {
+    d.map(|d| us(d.as_micros() as f64))
+        .unwrap_or_else(|| "n/a".into())
+}
+
+/// Formats optional nanoseconds (histogram quantiles) for table cells.
+fn opt_ns(v: Option<u64>) -> String {
+    v.map(|ns| us(ns as f64 / 1e3))
+        .unwrap_or_else(|| "-".into())
+}
 
 /// Fast fault smoke check for CI: a small sweep across several seeds;
 /// any promise violation, double grant, or leaked promise is fatal.
@@ -63,12 +81,169 @@ fn faults_smoke(seeds: &[u64]) {
     println!("faults-smoke: all checks passed");
 }
 
+/// Stages the E12 smoke requires to have recorded samples: if any of
+/// these is empty the pipeline was not actually instrumented end to end.
+const REQUIRED_STAGES: &[&str] = &["bus.deliver", "pm.grant", "pm.check", "rm.txn"];
+
+/// E12 observability mode: one instrumented fault sweep per seed, with
+/// per-stage latency and rejection-cause tables, the lifecycle audit, a
+/// telemetry-overhead probe on the E4b footprint workload, and
+/// `BENCH_obs.json` + `BENCH_obs.prom` dumps. Exits non-zero when a
+/// required stage histogram is empty, the lifecycle audit finds an
+/// ordering violation, or a sweep invariant (violations / double grants)
+/// breaks.
+fn obs_mode(seeds: &[u64]) {
+    const RATE: f64 = 0.15;
+    let mut failures = 0usize;
+    let mut run_jsons = Vec::new();
+    let mut last_prom = String::new();
+
+    for &seed in seeds {
+        let obs = exp::e12_obs(seed, RATE, 4, 30);
+
+        let mut stage_rows = Vec::new();
+        for (name, h) in &obs.snapshot.histograms {
+            stage_rows.push(vec![
+                name.clone(),
+                h.count.to_string(),
+                opt_ns(h.p50()),
+                opt_ns(h.p95()),
+                opt_ns(h.p99()),
+                opt_ns((h.count > 0).then_some(h.max)),
+            ]);
+        }
+        print_table(
+            &format!("E12 — per-stage latency (seed {seed}, fault rate {RATE})"),
+            &["stage", "count", "p50", "p95", "p99", "max"],
+            &stage_rows,
+        );
+
+        let mut cause_rows = Vec::new();
+        for (name, v) in &obs.snapshot.counters {
+            let keep = name.starts_with("pm.reject.")
+                || name.starts_with("bus.fault.")
+                || name.starts_with("client.")
+                || name.starts_with("pm.retry.");
+            if keep {
+                cause_rows.push(vec![name.clone(), v.to_string()]);
+            }
+        }
+        print_table(
+            &format!("E12 — rejection causes, faults and retries (seed {seed})"),
+            &["counter", "count"],
+            &cause_rows,
+        );
+
+        let life = &obs.lifecycle;
+        println!(
+            "\nlifecycle audit seed={seed}: promises={} complete={} violations={} \
+             journal(granted={} released={} expired={})",
+            life.promises,
+            life.complete,
+            life.violations.len(),
+            obs.facts.granted.len(),
+            obs.facts.released.len(),
+            obs.facts.expired.len(),
+        );
+        for v in &life.violations {
+            eprintln!("  VIOLATION: {v}");
+        }
+
+        for stage in REQUIRED_STAGES {
+            let empty = obs.snapshot.histogram(stage).is_none_or(|h| h.is_empty());
+            if empty {
+                eprintln!("obs: required stage histogram {stage} is EMPTY (seed {seed})");
+                failures += 1;
+            }
+        }
+        if !obs.ok() {
+            eprintln!(
+                "obs: audit FAILED (seed {seed}): sweep violations={} double_grants={} \
+                 lifecycle violations={}",
+                obs.sweep.violations,
+                obs.sweep.double_grants,
+                life.violations.len()
+            );
+            failures += 1;
+        }
+
+        let r = &obs.sweep;
+        let dedup_ratio =
+            (r.granted + r.deduped > 0).then(|| r.deduped as f64 / (r.granted + r.deduped) as f64);
+        run_jsons.push(format!(
+            "{{\"seed\":{seed},\"fault_rate\":{RATE},\"telemetry\":{},\
+             \"lifecycle\":{{\"promises\":{},\"complete\":{},\"violations\":{}}},\
+             \"sweep\":{{\"granted\":{},\"purchased\":{},\"retries\":{},\"deduped\":{},\
+             \"violations\":{},\"double_grants\":{},\"leaked\":{}}},\
+             \"dedup_ratio\":{}}}",
+            to_json(&obs.snapshot),
+            life.promises,
+            life.complete,
+            life.violations.len(),
+            r.granted,
+            r.purchased_ops,
+            r.retries,
+            r.deduped,
+            r.violations,
+            r.double_grants,
+            r.live_after_reap,
+            dedup_ratio.map_or("null".into(), |d| format!("{d:.4}")),
+        ));
+        last_prom = to_prometheus(&obs.snapshot);
+    }
+
+    let o = exp::e12_overhead(8, 2_000, 10_000_000, 8);
+    print_table(
+        "E12b — telemetry overhead on the E4b footprint workload",
+        &["variant", "median ops/s"],
+        &[
+            vec!["telemetry off".into(), f(o.plain, 0)],
+            vec!["telemetry on".into(), f(o.instrumented, 0)],
+        ],
+    );
+    println!(
+        "overhead: {:.1}% (median of 9 paired off/on rounds; acceptance \
+         bar <5%; reported, not gated, because box noise can exceed it)",
+        o.overhead_pct()
+    );
+
+    let json = format!(
+        "{{\"experiment\":\"e12-obs\",\"runs\":[{}],\
+         \"overhead\":{{\"plain_ops_s\":{:.0},\"instrumented_ops_s\":{:.0},\
+         \"overhead_pct\":{:.2}}}}}\n",
+        run_jsons.join(","),
+        o.plain,
+        o.instrumented,
+        o.overhead_pct(),
+    );
+    let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    std::fs::write(json_path, json).expect("write BENCH_obs.json");
+    let prom_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.prom");
+    std::fs::write(prom_path, last_prom).expect("write BENCH_obs.prom");
+    println!("\nwrote BENCH_obs.json and BENCH_obs.prom");
+
+    if failures > 0 {
+        eprintln!("obs: {failures} check(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("obs: all checks passed");
+}
+
 fn main() {
     let args: Vec<String> = env::args().skip(1).map(|a| a.to_lowercase()).collect();
     if args.iter().any(|a| a == "--faults") {
         let seeds: Vec<u64> = args.iter().filter_map(|a| a.parse().ok()).collect();
         faults_smoke(if seeds.is_empty() {
             &[3, 1117, 90210]
+        } else {
+            &seeds
+        });
+        return;
+    }
+    if args.iter().any(|a| a == "--obs") {
+        let seeds: Vec<u64> = args.iter().filter_map(|a| a.parse().ok()).collect();
+        obs_mode(if seeds.is_empty() {
+            &[2007, 4711]
         } else {
             &seeds
         });
@@ -133,7 +308,7 @@ fn main() {
                     r.failed_fast.to_string(),
                     r.failed_late.to_string(),
                     r.deadlocks.to_string(),
-                    us(r.avg_latency.as_micros() as f64),
+                    opt_us(r.avg_latency),
                 ]);
             }
         }
@@ -291,6 +466,9 @@ fn main() {
                 r.purchased_ops.to_string(),
                 r.retries.to_string(),
                 r.deduped.to_string(),
+                row.dedup_ratio
+                    .map(|d| f(d * 100.0, 1))
+                    .unwrap_or_else(|| "n/a".into()),
                 r.violations.to_string(),
                 r.double_grants.to_string(),
                 r.live_after_reap.to_string(),
@@ -305,6 +483,7 @@ fn main() {
                 "purchased",
                 "retries",
                 "deduped",
+                "dedup %",
                 "violations",
                 "double grants",
                 "leaked",

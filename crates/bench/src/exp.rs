@@ -12,9 +12,11 @@ use promises_faults::FaultScenario;
 use promises_rm::ResourceManager;
 use promises_services::Merchant;
 use promises_sim::{
-    pool_name, promise_reserver, promise_reserver_with_mode, run_fault_sweep, run_qty_workload,
-    seed_pools, FaultRunReport, FaultSweepConfig, RunReport, WorkloadConfig,
+    pool_name, promise_reserver, promise_reserver_with_mode, run_fault_sweep_with, run_obs_sweep,
+    run_qty_workload, seed_pools, FaultRunReport, FaultSweepConfig, ObsReport, RunReport,
+    WorkloadConfig,
 };
+use promises_telemetry::Telemetry;
 use promises_wire::{
     ActionRequest, EnvEntry, EnvRef, Envelope, EnvironmentHeader, InMemoryBus, PromiseGateway,
     PromiseRequestHeader,
@@ -348,8 +350,25 @@ pub fn run_promises_with_mode(
     standing_per_pool: usize,
     mode: LockingMode,
 ) -> ModeReport {
+    run_promises_with_mode_telemetry(cfg, qty, standing_per_pool, mode, None)
+}
+
+/// [`run_promises_with_mode`] with an optional telemetry registry attached
+/// to the manager and its RM — the E12 overhead probe runs the same
+/// workload twice, differing only in this argument.
+pub fn run_promises_with_mode_telemetry(
+    cfg: &WorkloadConfig,
+    qty: u64,
+    standing_per_pool: usize,
+    mode: LockingMode,
+    telemetry: Option<Arc<Telemetry>>,
+) -> ModeReport {
     let reserver = Arc::new(promise_reserver_with_mode(cfg.pools, qty, mode));
     let pm = Arc::clone(reserver.manager());
+    if let Some(tel) = telemetry {
+        pm.rm().set_telemetry(Some(Arc::clone(&tel)));
+        pm.set_telemetry(Some(tel));
+    }
     for pool in 0..cfg.pools {
         for k in 0..standing_per_pool {
             pm.request(
@@ -732,6 +751,9 @@ pub struct E11Row {
     pub report: FaultRunReport,
     /// Confirmed purchases per wall-clock second.
     pub goodput: f64,
+    /// Fraction of grant answers served from the manager's
+    /// `(client, request-id)` dedup index — rises with the retry rate.
+    pub dedup_ratio: Option<f64>,
 }
 
 /// Runs the E11 fault sweep: the same grant→purchase workload at each
@@ -750,15 +772,117 @@ pub fn e11_fault_sweep(rates: &[f64], clients: usize, ops_per_client: usize) -> 
                 ..FaultSweepConfig::default()
             };
             let scenario = FaultScenario::uniform(cfg.seed, rate).with_storage_errors(rate);
-            let report = run_fault_sweep(scenario, &cfg);
+            let (report, harness) = run_fault_sweep_with(scenario, &cfg, None);
             let goodput = report.purchased_ops as f64 / report.elapsed.as_secs_f64().max(1e-9);
             E11Row {
                 rate,
                 report,
                 goodput,
+                dedup_ratio: harness.pm.metrics().dedup_ratio(),
             }
         })
         .collect()
+}
+
+// ======================================================================
+// E12 — observability: instrumented sweep, lifecycle audit, overhead
+// ======================================================================
+
+/// Runs the E12 instrumented fault sweep: the E11 workload with one
+/// shared telemetry registry attached at every layer (client, bus, PM,
+/// RM), audited by the trace-replay lifecycle checker. Message faults
+/// fire at `rate`; RM storage faults at a quarter of it.
+pub fn e12_obs(seed: u64, rate: f64, clients: usize, ops_per_client: usize) -> ObsReport {
+    let cfg = FaultSweepConfig {
+        clients,
+        ops_per_client,
+        seed,
+        ..FaultSweepConfig::default()
+    };
+    let scenario = FaultScenario::uniform(seed, rate).with_storage_errors(rate / 4.0);
+    run_obs_sweep(scenario, &cfg)
+}
+
+/// E12b result: footprint-mode E4b throughput with and without telemetry.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsOverhead {
+    /// Median round throughput with telemetry disabled (ops/s).
+    pub plain: f64,
+    /// Median round throughput with a live registry on the PM and RM
+    /// (ops/s).
+    pub instrumented: f64,
+    /// Median of the per-round paired regressions (percent; negative =
+    /// the instrumented run of that round happened to be faster).
+    pub median_delta_pct: f64,
+}
+
+impl ObsOverhead {
+    /// Regression of the instrumented runs in percent: the median of the
+    /// paired per-round deltas, which cancels machine-load drift that a
+    /// single off/on pair (or a best-of comparison) cannot.
+    pub fn overhead_pct(&self) -> f64 {
+        self.median_delta_pct
+    }
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("throughputs are finite"));
+    xs[xs.len() / 2]
+}
+
+/// E12b: telemetry overhead on the E4b disjoint footprint workload — the
+/// same config run in interleaved off/on pairs differing only in whether
+/// a registry is attached. Each pair yields one paired regression sample;
+/// the reported overhead is the median pair, which is robust to the
+/// scheduler noise a shared box injects into any single run. The
+/// acceptance bar is under 5% regression; the smoke reports rather than
+/// gates on this because the noise floor on a loaded box can exceed it.
+pub fn e12_overhead(clients: usize, ops: usize, qty: u64, standing_per_pool: usize) -> ObsOverhead {
+    let cfg = e4_disjoint_config(clients, ops);
+    let run_off = || -> f64 {
+        run_promises_with_mode(&cfg, qty, standing_per_pool, LockingMode::Footprint)
+            .report
+            .throughput
+    };
+    let run_on = || -> f64 {
+        run_promises_with_mode_telemetry(
+            &cfg,
+            qty,
+            standing_per_pool,
+            LockingMode::Footprint,
+            Some(Telemetry::shared()),
+        )
+        .report
+        .throughput
+    };
+    let mut offs = Vec::new();
+    let mut ons = Vec::new();
+    let mut deltas = Vec::new();
+    for round in 0..9 {
+        // Alternate which variant runs first so slow drift in machine
+        // load (warming caches, background work) cancels out across the
+        // pairs instead of biasing one arm.
+        let (off, on) = if round % 2 == 0 {
+            let off = run_off();
+            (off, run_on())
+        } else {
+            let on = run_on();
+            (run_off(), on)
+        };
+        offs.push(off);
+        ons.push(on);
+        if off > 0.0 {
+            deltas.push((off - on) / off * 100.0);
+        }
+    }
+    ObsOverhead {
+        plain: median(&mut offs),
+        instrumented: median(&mut ons),
+        median_delta_pct: median(&mut deltas),
+    }
 }
 
 #[cfg(test)]
@@ -861,6 +985,28 @@ mod tests {
             assert_eq!(row.report.violations, 0, "rate {}", row.rate);
             assert_eq!(row.report.double_grants, 0, "rate {}", row.rate);
             assert_eq!(row.report.live_after_reap, 0, "rate {}", row.rate);
+            if row.report.granted + row.report.deduped > 0 {
+                let ratio = row.dedup_ratio.expect("grants happened");
+                assert!((0.0..=1.0).contains(&ratio), "rate {}", row.rate);
+            }
         }
+    }
+
+    #[test]
+    fn e12_obs_small_audits_clean_with_stage_histograms() {
+        let obs = e12_obs(2007, 0.1, 3, 10);
+        assert!(obs.ok(), "violations: {:?}", obs.lifecycle.violations);
+        for stage in ["bus.deliver", "pm.check", "rm.txn"] {
+            let h = obs.snapshot.histogram(stage);
+            assert!(h.is_some_and(|h| !h.is_empty()), "stage {stage} empty");
+        }
+    }
+
+    #[test]
+    fn e12_overhead_measures_both_modes() {
+        let o = e12_overhead(2, 5, 10_000, 2);
+        assert!(o.plain > 0.0);
+        assert!(o.instrumented > 0.0);
+        assert!(o.overhead_pct().is_finite());
     }
 }

@@ -46,6 +46,9 @@ use std::time::Instant;
 use parking_lot::{Mutex, RwLock};
 
 use promises_rm::{Record, ResourceManager, RmError, Txn};
+use promises_telemetry::{
+    current_trace, Histogram, HistogramSnapshot, SpanKind, SpanOutcome, Telemetry,
+};
 
 use crate::catalog::Catalog;
 use crate::check::{CheckError, Checker, CheckerStats};
@@ -172,49 +175,66 @@ pub struct PromiseResponse {
 
 #[derive(Debug, Default)]
 struct OpLatencyMetrics {
-    lock_wait_ns: AtomicU64,
-    lock_wait_ops: AtomicU64,
-    check_ns: AtomicU64,
-    check_ops: AtomicU64,
+    lock_wait: Histogram,
+    check: Histogram,
 }
 
 impl OpLatencyMetrics {
     fn add_lock_wait(&self, since: Instant) {
-        self.lock_wait_ns
-            .fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        self.lock_wait_ops.fetch_add(1, Ordering::Relaxed);
+        self.lock_wait.record_duration(since.elapsed());
     }
 
-    fn add_check(&self, since: Instant) {
-        self.check_ns
-            .fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        self.check_ops.fetch_add(1, Ordering::Relaxed);
+    /// Records the checking time and hands the measurement back so the
+    /// telemetry mirror ([`PromiseManager::record_check`]) doesn't read
+    /// the clock a second time for the same interval.
+    fn add_check(&self, since: Instant) -> std::time::Duration {
+        let dur = since.elapsed();
+        self.check.record_duration(dur);
+        dur
     }
 
     fn snapshot(&self) -> OpLatency {
         OpLatency {
-            lock_wait_ns: self.lock_wait_ns.load(Ordering::Relaxed),
-            lock_wait_ops: self.lock_wait_ops.load(Ordering::Relaxed),
-            check_ns: self.check_ns.load(Ordering::Relaxed),
-            check_ops: self.check_ops.load(Ordering::Relaxed),
+            lock_wait: self.lock_wait.snapshot(),
+            check: self.check.snapshot(),
         }
     }
 }
 
-/// Accumulated lock-wait and checking latency for one kind of promise
-/// operation (totals; divide by the op counts for means).
+/// Lock-wait and checking latency distributions for one kind of promise
+/// operation. Formerly mean-only totals; now full log-scale histograms
+/// (p50/p95/p99/max via [`HistogramSnapshot`]) with total/count accessors
+/// kept for callers of the old shape.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpLatency {
-    /// Total nanoseconds spent acquiring the operation's synchronisation
-    /// point(s) — the contention cost footprint scoping attacks.
-    pub lock_wait_ns: u64,
+    /// Time spent acquiring the operation's synchronisation point(s) —
+    /// the contention cost footprint scoping attacks.
+    pub lock_wait: HistogramSnapshot,
+    /// Time spent in promise checking (tag release, grant matching,
+    /// post-action re-check).
+    pub check: HistogramSnapshot,
+}
+
+impl OpLatency {
+    /// Total nanoseconds spent waiting on sync points.
+    pub fn lock_wait_ns(&self) -> u64 {
+        self.lock_wait.sum
+    }
+
     /// Number of sync-point acquisitions measured.
-    pub lock_wait_ops: u64,
-    /// Total nanoseconds spent in promise checking (tag release, grant
-    /// matching, post-action re-check).
-    pub check_ns: u64,
+    pub fn lock_wait_ops(&self) -> u64 {
+        self.lock_wait.count
+    }
+
+    /// Total nanoseconds spent in promise checking.
+    pub fn check_ns(&self) -> u64 {
+        self.check.sum
+    }
+
     /// Number of checking passes measured.
-    pub check_ops: u64,
+    pub fn check_ops(&self) -> u64 {
+        self.check.count
+    }
 }
 
 #[derive(Debug, Default)]
@@ -272,6 +292,99 @@ pub struct PmMetricsSnapshot {
     pub prune_lat: OpLatency,
 }
 
+impl PmMetricsSnapshot {
+    /// Deduplicated grant answers as a fraction of all successful grant
+    /// answers (fresh grants + dedup hits): how much retry traffic the
+    /// request-id index absorbed. `None` when nothing was granted at all —
+    /// never a fabricated zero.
+    pub fn dedup_ratio(&self) -> Option<f64> {
+        let total = self.granted + self.grants_deduped;
+        (total > 0).then(|| self.grants_deduped as f64 / total as f64)
+    }
+}
+
+/// Short machine-readable cause slug, and the pool when the cause names
+/// one, for a grant rejection — used as telemetry counter keys
+/// (`pm.reject.<cause>`, `pm.pool.<pool>.rejected`).
+fn reject_cause(reason: &RejectReason) -> (&'static str, Option<&PoolId>) {
+    match reason {
+        RejectReason::InsufficientQuantity { pool, .. } => ("insufficient_quantity", Some(pool)),
+        RejectReason::InstanceUnavailable { pool, .. } => ("instance_unavailable", Some(pool)),
+        RejectReason::Unsatisfiable { pool } => ("unsatisfiable", Some(pool)),
+        RejectReason::UnknownExchange(_) => ("unknown_exchange", None),
+        RejectReason::UnknownPool(pool) => ("unknown_pool", Some(pool)),
+        RejectReason::UpstreamRejected { pool } => ("upstream_rejected", Some(pool)),
+        RejectReason::Overloaded => ("overloaded", None),
+    }
+}
+
+/// Telemetry registry plus pre-resolved handles for every fixed-name
+/// metric the manager's hot path touches. Resolving once at attach time
+/// keeps per-operation recording to a handful of relaxed atomic ops —
+/// no name formatting, no registry map lookups — which is what keeps the
+/// instrumented/uninstrumented throughput gap inside the §12 budget.
+/// Per-pool counters are formatted once per pool and cached.
+struct PmTel {
+    tel: Arc<Telemetry>,
+    grant_hist: Arc<Histogram>,
+    check_hist: Arc<Histogram>,
+    execute_hist: Arc<Histogram>,
+    release_hist: Arc<Histogram>,
+    granted: Arc<AtomicU64>,
+    deduped: Arc<AtomicU64>,
+    grant_error: Arc<AtomicU64>,
+    retry_deadlock: Arc<AtomicU64>,
+    expired: Arc<AtomicU64>,
+    /// `pm.pool.<pool>.granted` / `pm.pool.<pool>.rejected` handles.
+    pool_counters: RwLock<HashMap<PoolId, PoolCounters>>,
+}
+
+/// `(granted, rejected)` counter handles for one pool.
+type PoolCounters = (Arc<AtomicU64>, Arc<AtomicU64>);
+
+impl PmTel {
+    fn attach(tel: Arc<Telemetry>) -> Arc<Self> {
+        Arc::new(Self {
+            grant_hist: tel.histogram("pm.grant"),
+            check_hist: tel.histogram("pm.check"),
+            execute_hist: tel.histogram("pm.execute"),
+            release_hist: tel.histogram("pm.release"),
+            granted: tel.counter("pm.grant.granted"),
+            deduped: tel.counter("pm.grant.deduped"),
+            grant_error: tel.counter("pm.grant.error"),
+            retry_deadlock: tel.counter("pm.retry.deadlock"),
+            expired: tel.counter("pm.expired"),
+            pool_counters: RwLock::new(HashMap::new()),
+            tel,
+        })
+    }
+
+    /// Bumps `pm.pool.<pool>.granted` (or `.rejected`), formatting the
+    /// counter names only on each pool's first sighting.
+    fn bump_pool(&self, pool: &PoolId, granted: bool) {
+        if let Some((g, r)) = self.pool_counters.read().get(pool) {
+            (if granted { g } else { r }).fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut cache = self.pool_counters.write();
+        let (g, r) = cache.entry(pool.clone()).or_insert_with(|| {
+            (
+                self.tel.counter(&format!("pm.pool.{pool}.granted")),
+                self.tel.counter(&format!("pm.pool.{pool}.rejected")),
+            )
+        });
+        (if granted { g } else { r }).fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl std::ops::Deref for PmTel {
+    type Target = Telemetry;
+
+    fn deref(&self) -> &Telemetry {
+        &self.tel
+    }
+}
+
 /// The promise manager.
 pub struct PromiseManager {
     rm: Arc<ResourceManager>,
@@ -302,6 +415,9 @@ pub struct PromiseManager {
     /// Live-promise count above which new grants are refused (0 = no cap).
     overload_limit: AtomicUsize,
     metrics: PmMetrics,
+    /// Lifecycle spans + per-stage histograms land here when attached;
+    /// `None` (the default) makes every recording site a cheap check.
+    telemetry: RwLock<Option<Arc<PmTel>>>,
 }
 
 /// What [`PromiseManager::recover`] did, for assertions and logging.
@@ -338,7 +454,21 @@ impl PromiseManager {
             degraded: AtomicBool::new(false),
             overload_limit: AtomicUsize::new(0),
             metrics: PmMetrics::default(),
+            telemetry: RwLock::new(None),
         }
+    }
+
+    /// Attaches a telemetry registry: promise operations record lifecycle
+    /// spans (grant/check/release/expire, joining the ambient trace
+    /// context) and per-stage latency histograms into it.
+    pub fn with_telemetry(self, tel: Arc<Telemetry>) -> Self {
+        *self.telemetry.write() = Some(PmTel::attach(tel));
+        self
+    }
+
+    /// Attaches or detaches the telemetry registry at runtime.
+    pub fn set_telemetry(&self, tel: Option<Arc<Telemetry>>) {
+        *self.telemetry.write() = tel.map(PmTel::attach);
     }
 
     /// Attaches a durable journal: every grant/release/expiry/allocation
@@ -460,6 +590,86 @@ impl PromiseManager {
     /// from the upstream manager, released again if the overall request
     /// cannot be granted.
     pub fn request(&self, spec: PromiseRequestSpec) -> Result<PromiseResponse, PromiseError> {
+        // Capture what the span needs before `spec` moves into the grant.
+        let ctx = self.telemetry.read().is_some().then(|| {
+            let mut pools: Vec<PoolId> = spec.predicates.iter().map(|p| p.pool().clone()).collect();
+            pools.sort();
+            pools.dedup();
+            (spec.exchange.clone(), pools)
+        });
+        let started = Instant::now();
+        let result = self.request_inner(spec);
+        let Some((exchange, pools)) = ctx else {
+            return result.map(|(resp, _)| resp);
+        };
+        let guard = self.telemetry.read();
+        let Some(tel) = guard.as_deref() else {
+            return result.map(|(resp, _)| resp);
+        };
+        let dur = started.elapsed();
+        tel.grant_hist.record_duration(dur);
+        // Spans are trace artifacts (DESIGN §12): a clean grant outside
+        // any ambient trace joins nothing downstream, and the journal —
+        // not the ring — is lifecycle ground truth, so it is elided.
+        // Failures are always recorded for diagnosis.
+        let traced = current_trace().is_some();
+        match &result {
+            Ok((resp, deduped)) => match &resp.decision {
+                PromiseDecision::Granted { promise, .. } if *deduped => {
+                    tel.deduped.fetch_add(1, Ordering::Relaxed);
+                    if traced {
+                        tel.span_since(SpanKind::PmGrant, started)
+                            .promise(promise.0)
+                            .outcome(SpanOutcome::Deduped)
+                            .finish_with(dur);
+                    }
+                }
+                PromiseDecision::Granted { promise, .. } => {
+                    tel.granted.fetch_add(1, Ordering::Relaxed);
+                    for pool in &pools {
+                        tel.bump_pool(pool, true);
+                    }
+                    // Exchanged promises were released atomically with the
+                    // fresh grant (§4); record their lifecycle terminal.
+                    for ex in &exchange {
+                        tel.event(SpanKind::PmRelease, ex.0);
+                    }
+                    if traced {
+                        tel.span_since(SpanKind::PmGrant, started)
+                            .promise(promise.0)
+                            .finish_with(dur);
+                    }
+                }
+                PromiseDecision::Rejected { reason } => {
+                    let (cause, pool) = reject_cause(reason);
+                    tel.incr(&format!("pm.reject.{cause}"));
+                    if let Some(pool) = pool {
+                        tel.bump_pool(pool, false);
+                    }
+                    tel.span_since(SpanKind::PmGrant, started)
+                        .outcome(SpanOutcome::Rejected)
+                        .note(cause)
+                        .finish_with(dur);
+                }
+            },
+            Err(e) => {
+                tel.grant_error.fetch_add(1, Ordering::Relaxed);
+                tel.span_since(SpanKind::PmGrant, started)
+                    .outcome(SpanOutcome::Error)
+                    .note(e.to_string())
+                    .finish_with(dur);
+            }
+        }
+        result.map(|(resp, _)| resp)
+    }
+
+    /// The grant path behind [`PromiseManager::request`]. The boolean in
+    /// the success value is true when the response was answered from the
+    /// request-id index (a deduplicated retry) rather than freshly granted.
+    fn request_inner(
+        &self,
+        spec: PromiseRequestSpec,
+    ) -> Result<(PromiseResponse, bool), PromiseError> {
         self.prune_expired()?;
 
         // Duplicate-request fast path: a retried grant (lost reply, network
@@ -469,7 +679,7 @@ impl PromiseManager {
         // `try_grant_local` under the footprint locks.
         if let Some(resp) = self.dedup_hit(&spec) {
             self.metrics.grants_deduped.fetch_add(1, Ordering::Relaxed);
-            return Ok(resp);
+            return Ok((resp, true));
         }
 
         // Degraded/overload fail-fast (after dedup: answering a retry from
@@ -483,12 +693,15 @@ impl PromiseManager {
                 .overload_rejections
                 .fetch_add(1, Ordering::Relaxed);
             self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-            return Ok(PromiseResponse {
-                correlation: spec.request,
-                decision: PromiseDecision::Rejected {
-                    reason: RejectReason::Overloaded,
+            return Ok((
+                PromiseResponse {
+                    correlation: spec.request,
+                    decision: PromiseDecision::Rejected {
+                        reason: RejectReason::Overloaded,
+                    },
                 },
-            });
+                false,
+            ));
         }
 
         // Split predicates between local pools and delegated pools.
@@ -531,12 +744,15 @@ impl PromiseManager {
                     PromiseDecision::Rejected { .. } => {
                         self.release_refs(&upstream_refs);
                         self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-                        return Ok(PromiseResponse {
-                            correlation: spec.request,
-                            decision: PromiseDecision::Rejected {
-                                reason: RejectReason::UpstreamRejected { pool },
+                        return Ok((
+                            PromiseResponse {
+                                correlation: spec.request,
+                                decision: PromiseDecision::Rejected {
+                                    reason: RejectReason::UpstreamRejected { pool },
+                                },
                             },
-                        });
+                            false,
+                        ));
                     }
                 },
                 Err(e) => {
@@ -573,13 +789,36 @@ impl PromiseManager {
             },
             Err(_) => self.release_refs(&upstream_refs),
         }
-        result.map(|(resp, _)| resp)
+        result
     }
 
     /// Releases a promise (§6 promise release). Cascades to delegated
     /// upstream promises.
     pub fn release(&self, id: PromiseId) -> Result<(), PromiseError> {
-        self.with_retries(|| self.try_release(id))?;
+        let started = Instant::now();
+        let result = self.with_retries(|| self.try_release(id));
+        if let Some(tel) = self.telemetry.read().as_deref() {
+            let dur = started.elapsed();
+            tel.release_hist.record_duration(dur);
+            match &result {
+                // Clean untraced releases are elided like clean untraced
+                // grants (DESIGN §12); failures always get a span.
+                Ok(()) => {
+                    if current_trace().is_some() {
+                        tel.span_since(SpanKind::PmRelease, started)
+                            .promise(id.0)
+                            .finish_with(dur);
+                    }
+                }
+                Err(e) => tel
+                    .span_since(SpanKind::PmRelease, started)
+                    .promise(id.0)
+                    .outcome(SpanOutcome::Error)
+                    .note(e.to_string())
+                    .finish_with(dur),
+            }
+        }
+        result?;
         self.cascade_release(id);
         self.metrics.released.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -614,7 +853,10 @@ impl PromiseManager {
         mut action: impl FnMut(&ResourceManager, &Txn) -> Result<R, ActionError>,
     ) -> Result<R, PromiseError> {
         self.prune_expired()?;
-        let out = self.with_retries(|| self.try_execute(env, &mut action, false))?;
+        let started = Instant::now();
+        let result = self.with_retries(|| self.try_execute(env, &mut action, false));
+        self.note_execute(env, started, result.as_ref().err());
+        let out = result?;
         for id in env.releases() {
             self.cascade_release(id);
         }
@@ -634,12 +876,53 @@ impl PromiseManager {
         mut action: impl FnMut(&ResourceManager, &Txn) -> Result<R, crate::error::ActionError>,
     ) -> Result<R, PromiseError> {
         self.prune_expired()?;
-        let out = self.with_retries(|| self.try_execute(env, &mut action, true))?;
+        let started = Instant::now();
+        let result = self.with_retries(|| self.try_execute(env, &mut action, true));
+        self.note_execute(env, started, result.as_ref().err());
+        let out = result?;
         for id in env.releases() {
             self.cascade_release(id);
         }
         self.metrics.executions.fetch_add(1, Ordering::Relaxed);
         Ok(out)
+    }
+
+    /// Records the `pm.execute` histogram and span — plus a `pm.release`
+    /// lifecycle event per promise released with the action — when
+    /// telemetry is attached. Rollbacks for promise violations are tagged
+    /// with the violated promise.
+    fn note_execute(&self, env: &Environment, started: Instant, err: Option<&PromiseError>) {
+        let guard = self.telemetry.read();
+        let Some(tel) = guard.as_deref() else { return };
+        let dur = started.elapsed();
+        tel.execute_hist.record_duration(dur);
+        match err {
+            None => {
+                // A clean execute outside any ambient trace joins nothing
+                // an auditor could correlate — the journal carries the
+                // release ground truth and the histogram above already has
+                // the latency sample — so only traced executions earn ring
+                // slots (DESIGN §12).
+                if current_trace().is_some() {
+                    for id in env.releases() {
+                        tel.event(SpanKind::PmRelease, id.0);
+                    }
+                    tel.span_since(SpanKind::PmExecute, started)
+                        .finish_with(dur);
+                }
+            }
+            Some(PromiseError::ViolationRolledBack { violated, detail }) => tel
+                .span_since(SpanKind::PmExecute, started)
+                .promise(violated.0)
+                .outcome(SpanOutcome::RolledBack)
+                .note(detail.clone())
+                .finish_with(dur),
+            Some(e) => tel
+                .span_since(SpanKind::PmExecute, started)
+                .outcome(SpanOutcome::Error)
+                .note(e.to_string())
+                .finish_with(dur),
+        }
     }
 
     /// Reaps expired promises, freeing their tag allocations. Called
@@ -655,6 +938,15 @@ impl PromiseManager {
         }
         for rec in &reaped {
             self.cascade_release(rec.id);
+        }
+        if !reaped.is_empty() {
+            if let Some(tel) = self.telemetry.read().as_deref() {
+                for rec in &reaped {
+                    tel.event(SpanKind::PmExpire, rec.id.0);
+                }
+                tel.expired
+                    .fetch_add(reaped.len() as u64, Ordering::Relaxed);
+            }
         }
         self.metrics
             .expired_reaped
@@ -844,6 +1136,9 @@ impl PromiseManager {
                     self.metrics
                         .deadlock_retries
                         .fetch_add(1, Ordering::Relaxed);
+                    if let Some(tel) = self.telemetry.read().as_deref() {
+                        tel.retry_deadlock.fetch_add(1, Ordering::Relaxed);
+                    }
                     // Short bounded backoff breaks retry lockstep between
                     // symmetric victims (exponential, capped at ~3ms).
                     let exp = attempt.min(5);
@@ -943,6 +1238,26 @@ impl PromiseManager {
         };
         lat.add_lock_wait(started);
         result
+    }
+
+    /// Mirrors one checking pass into the attached telemetry registry:
+    /// the `pm.check` stage histogram plus a `pm.check` span with the
+    /// pass's outcome (joining the ambient trace, so a check shows up
+    /// under the client operation that triggered it).
+    fn record_check(&self, started: Instant, dur: std::time::Duration, outcome: SpanOutcome) {
+        let guard = self.telemetry.read();
+        let Some(tel) = guard.as_deref() else { return };
+        tel.check_hist.record_duration(dur);
+        // An Ok check outside any ambient trace carries no promise id and
+        // no causal edge, so nothing downstream can join it; the histogram
+        // sample above is the whole signal. Only traced or failed checks
+        // earn a ring slot — this also keeps tracing off the fast path of
+        // uninstrumented-by-wire workloads.
+        if outcome != SpanOutcome::Ok || current_trace().is_some() {
+            tel.span_since(SpanKind::PmCheck, started)
+                .outcome(outcome)
+                .finish_with(dur);
+        }
     }
 
     /// Pre-computes exact per-pool `QtyAtLeast` demand for the checker
@@ -1114,7 +1429,16 @@ impl PromiseManager {
             }
             r
         };
-        self.metrics.grant_lat.add_check(check_started);
+        let check_dur = self.metrics.grant_lat.add_check(check_started);
+        self.record_check(
+            check_started,
+            check_dur,
+            match &grant_result {
+                Ok(_) => SpanOutcome::Ok,
+                Err(CheckError::Reject(_)) => SpanOutcome::Rejected,
+                Err(_) => SpanOutcome::Error,
+            },
+        );
         drop(catalog);
 
         match grant_result {
@@ -1204,7 +1528,16 @@ impl PromiseManager {
         let catalog = self.catalog.read();
         let check_started = Instant::now();
         let release_result = Checker::new(&self.rm, &txn, &catalog).release_tags(&rec);
-        self.metrics.release_lat.add_check(check_started);
+        let check_dur = self.metrics.release_lat.add_check(check_started);
+        self.record_check(
+            check_started,
+            check_dur,
+            if release_result.is_ok() {
+                SpanOutcome::Ok
+            } else {
+                SpanOutcome::Error
+            },
+        );
         drop(catalog);
         if let Err(e) = release_result {
             return Err(self.abort_with(txn, e.into()));
@@ -1272,7 +1605,16 @@ impl PromiseManager {
             let checker = Checker::new(&self.rm, &txn, &catalog);
             expired.iter().try_for_each(|rec| checker.release_tags(rec))
         };
-        self.metrics.prune_lat.add_check(check_started);
+        let check_dur = self.metrics.prune_lat.add_check(check_started);
+        self.record_check(
+            check_started,
+            check_dur,
+            if release_result.is_ok() {
+                SpanOutcome::Ok
+            } else {
+                SpanOutcome::Error
+            },
+        );
         drop(catalog);
         if let Err(e) = release_result {
             return Err(self.abort_with(txn, e.into()));
@@ -1392,7 +1734,16 @@ impl PromiseManager {
             }
             (r, checker.stats())
         };
-        self.metrics.execute_lat.add_check(check_started);
+        let check_dur = self.metrics.execute_lat.add_check(check_started);
+        self.record_check(
+            check_started,
+            check_dur,
+            match &check_result {
+                Ok(_) => SpanOutcome::Ok,
+                Err(CheckError::Rm(_)) => SpanOutcome::Error,
+                Err(_) => SpanOutcome::RolledBack,
+            },
+        );
         drop(catalog);
         *self.last_check_stats.lock() = check_stats;
 

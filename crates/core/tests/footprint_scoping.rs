@@ -207,11 +207,11 @@ fn latency_counters_accumulate_per_operation() {
     let pm = seeded_four_pool_pm(LockingMode::Footprint);
     restock_p0(&pm);
     let m = pm.metrics();
-    assert_eq!(m.grant_lat.lock_wait_ops, 4);
-    assert_eq!(m.grant_lat.check_ops, 4);
-    assert_eq!(m.execute_lat.lock_wait_ops, 1);
-    assert_eq!(m.execute_lat.check_ops, 1);
-    assert_eq!(m.prune_lat.lock_wait_ops, 0, "nothing expired, fast path");
+    assert_eq!(m.grant_lat.lock_wait_ops(), 4);
+    assert_eq!(m.grant_lat.check_ops(), 4);
+    assert_eq!(m.execute_lat.lock_wait_ops(), 1);
+    assert_eq!(m.execute_lat.check_ops(), 1);
+    assert_eq!(m.prune_lat.lock_wait_ops(), 0, "nothing expired, fast path");
 }
 
 /// Both locking modes make identical decisions on a sequential workload:

@@ -11,8 +11,11 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
+
+use promises_telemetry::{current_trace, FaultTag, Histogram, SpanKind, SpanOutcome, Telemetry};
 
 use crate::error::RmError;
 use crate::lock::{Granule, LockManager, LockMode};
@@ -34,6 +37,7 @@ impl fmt::Display for TxnId {
 #[derive(Debug)]
 pub struct Txn {
     id: TxnId,
+    started: Instant,
 }
 
 impl Txn {
@@ -62,6 +66,33 @@ pub struct RmStatsSnapshot {
     pub deadlocks: u64,
 }
 
+/// Telemetry registry plus the two histogram handles the commit/abort
+/// paths record into, resolved once at attach time so the per-transaction
+/// cost is a single relaxed atomic record with no registry lookup.
+struct RmTel {
+    tel: Arc<Telemetry>,
+    txn_hist: Arc<Histogram>,
+    undo_hist: Arc<Histogram>,
+}
+
+impl RmTel {
+    fn attach(tel: Arc<Telemetry>) -> Arc<Self> {
+        Arc::new(Self {
+            txn_hist: tel.histogram("rm.txn"),
+            undo_hist: tel.histogram("rm.undo"),
+            tel,
+        })
+    }
+}
+
+impl std::ops::Deref for RmTel {
+    type Target = Telemetry;
+
+    fn deref(&self) -> &Telemetry {
+        &self.tel
+    }
+}
+
 /// A storage-fault hook: called with `(op, table)` before every store
 /// access; returning `Some(err)` injects that error instead of performing
 /// the access. Rollback replay calls it with op `"undo"` so injectors can
@@ -76,6 +107,7 @@ pub struct ResourceManager {
     next_txn: AtomicU64,
     counters: Counters,
     fault_hook: RwLock<Option<StorageFaultHook>>,
+    telemetry: RwLock<Option<Arc<RmTel>>>,
 }
 
 impl Default for ResourceManager {
@@ -94,6 +126,7 @@ impl ResourceManager {
             next_txn: AtomicU64::new(1),
             counters: Counters::default(),
             fault_hook: RwLock::new(None),
+            telemetry: RwLock::new(None),
         }
     }
 
@@ -103,12 +136,33 @@ impl ResourceManager {
         *self.fault_hook.write() = hook;
     }
 
+    /// Attaches (or detaches, with `None`) a telemetry registry. When
+    /// attached, every commit/abort records an `rm.txn`/`rm.undo` span and
+    /// latency histogram sample, and injected storage faults are tagged.
+    pub fn set_telemetry(&self, tel: Option<Arc<Telemetry>>) {
+        *self.telemetry.write() = tel.map(RmTel::attach);
+    }
+
     /// Consults the fault hook for one store access; `Err` means the access
     /// must be abandoned with the injected error.
     fn faultable(&self, op: &str, table: &str) -> Result<(), RmError> {
         let guard = self.fault_hook.read();
         if let Some(hook) = guard.as_ref() {
             if let Some(err) = hook(op, table) {
+                drop(guard);
+                if let Some(tel) = self.telemetry.read().as_deref() {
+                    let tag = if op == "undo" {
+                        FaultTag::Undo
+                    } else {
+                        FaultTag::Storage
+                    };
+                    tel.incr(&format!("rm.fault.{op}"));
+                    tel.span(SpanKind::RmTxn)
+                        .outcome(SpanOutcome::Error)
+                        .fault(tag)
+                        .note(format!("storage fault: {op} on {table}"))
+                        .finish();
+                }
                 return Err(err);
             }
         }
@@ -131,17 +185,30 @@ impl ResourceManager {
     pub fn begin(&self) -> Txn {
         let id = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed));
         self.undo.lock().insert(id, UndoLog::new());
-        Txn { id }
+        Txn {
+            id,
+            started: Instant::now(),
+        }
     }
 
     /// Commits: discards the undo log and releases all locks.
     pub fn commit(&self, txn: Txn) -> Result<(), RmError> {
-        let removed = self.undo.lock().remove(&txn.id);
-        if removed.is_none() {
+        if self.undo.lock().remove(&txn.id).is_none() {
             return Err(RmError::TxnNotActive(txn.id));
         }
         self.locks.release_all(txn.id);
         self.counters.commits.fetch_add(1, Ordering::Relaxed);
+        if let Some(tel) = self.telemetry.read().as_deref() {
+            let dur = txn.started.elapsed();
+            tel.txn_hist.record_duration(dur);
+            // A clean commit outside any ambient trace would root a
+            // one-span trace nobody can join; the histogram sample above
+            // is the whole signal, so only traced commits get a span.
+            if current_trace().is_some() {
+                tel.span_since(SpanKind::RmTxn, txn.started)
+                    .finish_with(dur);
+            }
+        }
         Ok(())
     }
 
@@ -154,7 +221,21 @@ impl ResourceManager {
     /// first. Locks are released either way so the system does not wedge,
     /// but callers must surface the error: those records may be dirty.
     pub fn abort(&self, txn: Txn) -> Result<(), RmError> {
-        self.abort_id(txn.id)
+        let result = self.abort_id(txn.id);
+        if let Some(tel) = self.telemetry.read().as_deref() {
+            let dur = txn.started.elapsed();
+            tel.undo_hist.record_duration(dur);
+            let draft = tel.span_since(SpanKind::RmUndo, txn.started);
+            match &result {
+                Ok(()) => draft.finish_with(dur),
+                Err(e) => draft
+                    .outcome(SpanOutcome::Error)
+                    .fault(FaultTag::Undo)
+                    .note(e.to_string())
+                    .finish_with(dur),
+            }
+        }
+        result
     }
 
     /// Aborts by id (used internally by retry helpers).
@@ -556,7 +637,10 @@ mod tests {
         let tx = rm.begin();
         let id = tx.id();
         rm.commit(tx).unwrap();
-        let fake = Txn { id };
+        let fake = Txn {
+            id,
+            started: Instant::now(),
+        };
         assert_eq!(rm.get(&fake, "t", "k"), Err(RmError::TxnNotActive(id)));
     }
 

@@ -54,14 +54,14 @@ where
                     let mut token = match reserver.reserve(&pool_name(op.pools[0]), op.amount) {
                         Ok(t) => Some(t),
                         Err(e) => {
-                            count_failure(&counters, &e);
+                            count_failure(&counters, &e, op_start);
                             continue;
                         }
                     };
                     for &pool in &op.pools[1..] {
                         let t = token.as_mut().expect("set above");
                         if let Err(e) = reserver.extend(t, &pool_name(pool), op.amount) {
-                            count_failure(&counters, &e);
+                            count_failure(&counters, &e, op_start);
                             reserver.cancel(token.take().expect("still held"));
                             break;
                         }
@@ -76,14 +76,8 @@ where
                         continue;
                     }
                     match reserver.consume(token) {
-                        Ok(()) => {
-                            counters.completed.fetch_add(1, Ordering::Relaxed);
-                            counters.latency_us.fetch_add(
-                                op_start.elapsed().as_micros() as u64,
-                                Ordering::Relaxed,
-                            );
-                        }
-                        Err(e) => count_failure(&counters, &e),
+                        Ok(()) => counters.succeeded(op_start.elapsed()),
+                        Err(e) => count_failure(&counters, &e, op_start),
                     }
                 }
             });
@@ -92,13 +86,14 @@ where
     counters.report(start.elapsed())
 }
 
-fn count_failure(counters: &Counters, e: &ReserveFailure) {
+fn count_failure(counters: &Counters, e: &ReserveFailure, op_start: Instant) {
     match e {
         ReserveFailure::Insufficient => counters.failed_fast.fetch_add(1, Ordering::Relaxed),
         ReserveFailure::LateConflict => counters.failed_late.fetch_add(1, Ordering::Relaxed),
         ReserveFailure::Deadlock => counters.deadlocks.fetch_add(1, Ordering::Relaxed),
         ReserveFailure::Rm(_) => counters.errors.fetch_add(1, Ordering::Relaxed),
     };
+    counters.failed_op(op_start.elapsed());
 }
 
 #[cfg(test)]

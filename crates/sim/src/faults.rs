@@ -24,6 +24,7 @@ use promises_core::{
 };
 use promises_faults::{FaultInjector, FaultScenario, FaultStats};
 use promises_rm::ResourceManager;
+use promises_telemetry::Telemetry;
 use promises_wire::{
     ActionRequest, EnvEntry, EnvRef, Envelope, EnvironmentHeader, InMemoryBus, PromiseGateway,
     PromiseRequestHeader, PromiseResult, RetryPolicy, RetryingClient,
@@ -50,6 +51,9 @@ pub struct FaultHarness {
     pub journal: Arc<PromiseJournal>,
     /// The resource manager (for post-run audits).
     pub rm: Arc<ResourceManager>,
+    /// Telemetry registry shared by PM, RM and bus, when the harness was
+    /// built instrumented.
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 impl FaultHarness {
@@ -65,6 +69,18 @@ impl FaultHarness {
 /// pools of `qty` units each. Seeding happens before the fault hooks are
 /// installed, so setup is always clean.
 pub fn fault_harness(scenario: FaultScenario, pools: usize, qty: u64) -> FaultHarness {
+    fault_harness_with(scenario, pools, qty, None)
+}
+
+/// [`fault_harness`] with an optional telemetry registry attached to the
+/// resource manager, the promise manager, and the bus — so every span the
+/// pipeline records (including injected-fault tags) lands in one ring.
+pub fn fault_harness_with(
+    scenario: FaultScenario,
+    pools: usize,
+    qty: u64,
+    telemetry: Option<Arc<Telemetry>>,
+) -> FaultHarness {
     let rm = Arc::new(ResourceManager::new());
     let clock = Arc::new(ManualClock::new());
     let journal = Arc::new(PromiseJournal::new());
@@ -105,6 +121,11 @@ pub fn fault_harness(scenario: FaultScenario, pools: usize, qty: u64) -> FaultHa
     let bus = Arc::new(InMemoryBus::new());
     bus.register(PM_ENDPOINT, gateway);
     bus.set_fault_injector(Some(Arc::clone(&injector)));
+    if let Some(tel) = &telemetry {
+        rm.set_telemetry(Some(Arc::clone(tel)));
+        pm.set_telemetry(Some(Arc::clone(tel)));
+        bus.set_telemetry(Some(Arc::clone(tel)));
+    }
     FaultHarness {
         bus,
         injector,
@@ -112,6 +133,7 @@ pub fn fault_harness(scenario: FaultScenario, pools: usize, qty: u64) -> FaultHa
         clock,
         journal,
         rm,
+        telemetry,
     }
 }
 
@@ -199,11 +221,24 @@ pub struct FaultRunReport {
 /// wire pipeline under `scenario`, then audits violations, double grants
 /// and leaks. See the module docs for the guarantees checked.
 pub fn run_fault_sweep(scenario: FaultScenario, cfg: &FaultSweepConfig) -> FaultRunReport {
-    let h = fault_harness(scenario, cfg.pools, cfg.qty);
-    let client = Arc::new(RetryingClient::new(
-        Arc::clone(&h.bus),
-        RetryPolicy::new(cfg.seed ^ 0xC1_1E57),
-    ));
+    run_fault_sweep_with(scenario, cfg, None).0
+}
+
+/// [`run_fault_sweep`] with an optional telemetry registry threaded
+/// through client, bus, PM and RM; returns the quiesced harness so
+/// callers can run further audits (journal, spans) after the sweep.
+pub fn run_fault_sweep_with(
+    scenario: FaultScenario,
+    cfg: &FaultSweepConfig,
+    telemetry: Option<Arc<Telemetry>>,
+) -> (FaultRunReport, FaultHarness) {
+    let h = fault_harness_with(scenario, cfg.pools, cfg.qty, telemetry);
+    let mut client =
+        RetryingClient::new(Arc::clone(&h.bus), RetryPolicy::new(cfg.seed ^ 0xC1_1E57));
+    if let Some(tel) = &h.telemetry {
+        client = client.with_telemetry(Arc::clone(tel));
+    }
+    let client = Arc::new(client);
 
     let granted = AtomicU64::new(0);
     let rejected = AtomicU64::new(0);
@@ -381,7 +416,7 @@ pub fn run_fault_sweep(scenario: FaultScenario, cfg: &FaultSweepConfig) -> Fault
     h.clock.advance(4_000_000);
     let _ = h.pm.prune_expired();
     report.live_after_reap = h.pm.live_count();
-    report
+    (report, h)
 }
 
 /// Outcome of a crash–restart run.

@@ -178,18 +178,22 @@ where
                         Ok(t) => t,
                         Err(ReserveFailure::Insufficient) => {
                             counters.failed_fast.fetch_add(1, Ordering::Relaxed);
+                            counters.failed_op(op_start.elapsed());
                             continue;
                         }
                         Err(ReserveFailure::Deadlock) => {
                             counters.deadlocks.fetch_add(1, Ordering::Relaxed);
+                            counters.failed_op(op_start.elapsed());
                             continue;
                         }
                         Err(ReserveFailure::LateConflict) => {
                             counters.failed_late.fetch_add(1, Ordering::Relaxed);
+                            counters.failed_op(op_start.elapsed());
                             continue;
                         }
                         Err(ReserveFailure::Rm(_)) => {
                             counters.errors.fetch_add(1, Ordering::Relaxed);
+                            counters.failed_op(op_start.elapsed());
                             continue;
                         }
                     };
@@ -201,21 +205,18 @@ where
                         counters.abandoned.fetch_add(1, Ordering::Relaxed);
                     } else {
                         match reserver.consume(token) {
-                            Ok(()) => {
-                                counters.completed.fetch_add(1, Ordering::Relaxed);
-                                counters.latency_us.fetch_add(
-                                    op_start.elapsed().as_micros() as u64,
-                                    Ordering::Relaxed,
-                                );
-                            }
+                            Ok(()) => counters.succeeded(op_start.elapsed()),
                             Err(ReserveFailure::Deadlock) => {
                                 counters.deadlocks.fetch_add(1, Ordering::Relaxed);
+                                counters.failed_op(op_start.elapsed());
                             }
                             Err(ReserveFailure::LateConflict) => {
                                 counters.failed_late.fetch_add(1, Ordering::Relaxed);
+                                counters.failed_op(op_start.elapsed());
                             }
                             Err(_) => {
                                 counters.errors.fetch_add(1, Ordering::Relaxed);
+                                counters.failed_op(op_start.elapsed());
                             }
                         }
                     }

@@ -23,17 +23,19 @@ mod driver;
 mod faults;
 mod instances;
 mod metrics;
+mod obs;
 mod workload;
 
 pub use adapter::{promise_reserver, promise_reserver_with_mode, PromiseQtyReserver};
 pub use driver::{run_qty_workload, seed_pools};
 pub use faults::{
-    fault_harness, run_crash_restart, run_fault_sweep, CrashRestartReport, FaultHarness,
-    FaultRunReport, FaultSweepConfig, PM_ENDPOINT,
+    fault_harness, fault_harness_with, run_crash_restart, run_fault_sweep, run_fault_sweep_with,
+    CrashRestartReport, FaultHarness, FaultRunReport, FaultSweepConfig, PM_ENDPOINT,
 };
 pub use instances::{
     instance_name, promise_instance_reserver, run_instance_workload, seed_instances,
     PromiseInstanceReserver, INSTANCE_POOL,
 };
 pub use metrics::RunReport;
+pub use obs::{journal_facts, run_obs_sweep, ObsReport};
 pub use workload::{pool_name, WorkloadConfig};

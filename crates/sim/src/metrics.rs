@@ -3,6 +3,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use promises_telemetry::{Histogram, HistogramSnapshot};
+
 /// Shared atomic counters written by client threads.
 #[derive(Debug, Default)]
 pub(crate) struct Counters {
@@ -13,7 +15,11 @@ pub(crate) struct Counters {
     pub failed_late: AtomicU64,
     pub deadlocks: AtomicU64,
     pub errors: AtomicU64,
-    pub latency_us: AtomicU64,
+    /// End-to-end latency of completed operations.
+    pub latency: Histogram,
+    /// End-to-end latency of operations that failed (any taxonomy bucket)
+    /// — kept apart so failure latency never dilutes the success numbers.
+    pub failed_latency: Histogram,
 }
 
 /// Final report of one workload run.
@@ -37,16 +43,39 @@ pub struct RunReport {
     pub deadlocks: u64,
     /// Other errors.
     pub errors: u64,
-    /// Mean end-to-end latency of completed operations.
-    pub avg_latency: Duration,
+    /// Mean end-to-end latency of completed operations; `None` when
+    /// nothing completed (an all-failure run has no success latency, and
+    /// reporting zero would fake an infinitely fast system).
+    pub avg_latency: Option<Duration>,
+    /// Mean end-to-end latency of failed operations; `None` when nothing
+    /// failed.
+    pub avg_failed_latency: Option<Duration>,
+    /// Latency distribution of completed operations (p50/p95/p99 via
+    /// [`HistogramSnapshot::quantile_ns`]).
+    pub latency: HistogramSnapshot,
+    /// Latency distribution of failed operations.
+    pub failed_latency: HistogramSnapshot,
     /// Completed operations per second.
     pub throughput: f64,
 }
 
 impl Counters {
+    /// Counts a completed operation and its latency.
+    pub(crate) fn succeeded(&self, elapsed: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latency.record_duration(elapsed);
+    }
+
+    /// Records the latency of a failed operation (the taxonomy counter is
+    /// incremented separately by the caller).
+    pub(crate) fn failed_op(&self, elapsed: Duration) {
+        self.failed_latency.record_duration(elapsed);
+    }
+
     pub(crate) fn report(&self, wall: Duration) -> RunReport {
         let completed = self.completed.load(Ordering::Relaxed);
-        let latency_us = self.latency_us.load(Ordering::Relaxed);
+        let latency = self.latency.snapshot();
+        let failed_latency = self.failed_latency.snapshot();
         RunReport {
             wall,
             attempts: self.attempts.load(Ordering::Relaxed),
@@ -56,10 +85,10 @@ impl Counters {
             failed_late: self.failed_late.load(Ordering::Relaxed),
             deadlocks: self.deadlocks.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
-            avg_latency: latency_us
-                .checked_div(completed)
-                .map(Duration::from_micros)
-                .unwrap_or(Duration::ZERO),
+            avg_latency: latency.mean_ns().map(Duration::from_nanos),
+            avg_failed_latency: failed_latency.mean_ns().map(Duration::from_nanos),
+            latency,
+            failed_latency,
             throughput: if wall.as_secs_f64() > 0.0 {
                 completed as f64 / wall.as_secs_f64()
             } else {
@@ -88,13 +117,16 @@ mod tests {
     fn report_computes_ratios() {
         let c = Counters::default();
         c.attempts.store(10, Ordering::Relaxed);
-        c.completed.store(5, Ordering::Relaxed);
-        c.latency_us.store(5_000, Ordering::Relaxed);
+        for _ in 0..5 {
+            c.succeeded(Duration::from_micros(1_000));
+        }
         let r = c.report(Duration::from_secs(2));
         assert_eq!(r.completed, 5);
         assert!((r.throughput - 2.5).abs() < 1e-9);
-        assert_eq!(r.avg_latency, Duration::from_micros(1_000));
+        assert_eq!(r.avg_latency, Some(Duration::from_micros(1_000)));
+        assert_eq!(r.avg_failed_latency, None);
         assert!((r.goodput_ratio() - 0.5).abs() < 1e-9);
+        assert_eq!(r.latency.count, 5);
     }
 
     #[test]
@@ -102,7 +134,21 @@ mod tests {
         let c = Counters::default();
         let r = c.report(Duration::ZERO);
         assert_eq!(r.throughput, 0.0);
-        assert_eq!(r.avg_latency, Duration::ZERO);
+        assert_eq!(r.avg_latency, None, "no completions, no latency claim");
         assert_eq!(r.goodput_ratio(), 0.0);
+    }
+
+    #[test]
+    fn all_failure_run_reports_failed_latency_not_zero_success() {
+        let c = Counters::default();
+        c.attempts.store(3, Ordering::Relaxed);
+        for _ in 0..3 {
+            c.failed_fast.fetch_add(1, Ordering::Relaxed);
+            c.failed_op(Duration::from_micros(400));
+        }
+        let r = c.report(Duration::from_secs(1));
+        assert_eq!(r.avg_latency, None);
+        assert_eq!(r.avg_failed_latency, Some(Duration::from_micros(400)));
+        assert_eq!(r.failed_latency.count, 3);
     }
 }

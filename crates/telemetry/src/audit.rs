@@ -1,0 +1,266 @@
+//! Trace-replay lifecycle auditor.
+//!
+//! Reconstructs each promise's lifecycle from the span ring —
+//! requested→granted→checked→released/expired — and asserts it against
+//! ground truth derived from the promise journal. The auditor is
+//! deliberately conservative about the ring's bounded retention: a
+//! missing *older* span (overwritten) is never a violation; only spans
+//! that are present and contradict each other or the journal are.
+//!
+//! The telemetry crate sits below `promises-core`, so the journal is
+//! passed in pre-digested as [`JournalFacts`] (which promise ids were
+//! granted / released / expired) rather than as journal entries.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::span::{SpanKind, SpanOutcome, SpanRecord};
+
+/// Journal-derived ground truth: which promise ids the journal records as
+/// granted, released, and expired.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JournalFacts {
+    /// Ids with a Grant record.
+    pub granted: BTreeSet<u64>,
+    /// Ids with a Release record.
+    pub released: BTreeSet<u64>,
+    /// Ids with an Expire record.
+    pub expired: BTreeSet<u64>,
+}
+
+/// Result of auditing one run's spans against the journal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LifecycleReport {
+    /// Distinct promise ids observed in spans.
+    pub promises: usize,
+    /// Promises whose spans show both a grant and a terminal event.
+    pub complete: usize,
+    /// Ordering or journal-consistency violations, human-readable.
+    pub violations: Vec<String>,
+}
+
+impl LifecycleReport {
+    /// True when no lifecycle violated ordering or journal consistency.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Lifecycle {
+    grant: Option<SpanRecord>,
+    checks: Vec<SpanRecord>,
+    releases: Vec<SpanRecord>,
+    expires: Vec<SpanRecord>,
+}
+
+/// Audits `spans` against `journal`. See the module docs for the rules.
+pub fn audit_lifecycles(spans: &[SpanRecord], journal: &JournalFacts) -> LifecycleReport {
+    let mut by_promise: BTreeMap<u64, Lifecycle> = BTreeMap::new();
+    for s in spans {
+        let Some(id) = s.promise else { continue };
+        let life = by_promise.entry(id).or_default();
+        match (s.kind, s.outcome) {
+            // A deduped grant re-observes an earlier grant (possibly after
+            // arbitrary delay) and carries no fresh lifecycle information.
+            (SpanKind::PmGrant, SpanOutcome::Deduped) => {}
+            (SpanKind::PmGrant, SpanOutcome::Ok) if life.grant.is_none() => {
+                life.grant = Some(s.clone());
+            }
+            (SpanKind::PmCheck, _) => life.checks.push(s.clone()),
+            (SpanKind::PmRelease, SpanOutcome::Ok) => life.releases.push(s.clone()),
+            (SpanKind::PmExpire, SpanOutcome::Ok) => life.expires.push(s.clone()),
+            _ => {}
+        }
+    }
+
+    let mut report = LifecycleReport {
+        promises: by_promise.len(),
+        ..LifecycleReport::default()
+    };
+
+    for (id, life) in &by_promise {
+        let terminal_end = life
+            .releases
+            .iter()
+            .chain(life.expires.iter())
+            .map(|s| s.end_ns())
+            .min();
+        if life.grant.is_some() && terminal_end.is_some() {
+            report.complete += 1;
+        }
+
+        if let Some(grant) = &life.grant {
+            // granted must precede every later lifecycle event.
+            for (what, events) in [
+                ("checked", &life.checks),
+                ("released", &life.releases),
+                ("expired", &life.expires),
+            ] {
+                for e in events.iter() {
+                    if e.end_ns() < grant.start_ns {
+                        report.violations.push(format!(
+                            "promise {id}: {what} at {}ns before granted at {}ns",
+                            e.end_ns(),
+                            grant.start_ns
+                        ));
+                    }
+                }
+            }
+            // A grant span must be backed by a journal Grant record.
+            if !journal.granted.is_empty() && !journal.granted.contains(id) {
+                report.violations.push(format!(
+                    "promise {id}: grant span has no journal Grant record"
+                ));
+            }
+        }
+
+        // At most one terminal state: released and expired are exclusive.
+        if !life.releases.is_empty() && !life.expires.is_empty() {
+            report
+                .violations
+                .push(format!("promise {id}: both released and expired"));
+        }
+        if life.releases.len() > 1 {
+            report.violations.push(format!(
+                "promise {id}: released {} times",
+                life.releases.len()
+            ));
+        }
+
+        // No successful check may start after the terminal event ended.
+        if let Some(term) = terminal_end {
+            for c in life.checks.iter().filter(|c| c.outcome == SpanOutcome::Ok) {
+                if c.start_ns > term {
+                    report.violations.push(format!(
+                        "promise {id}: checked at {}ns after terminal at {term}ns",
+                        c.start_ns
+                    ));
+                }
+            }
+        }
+
+        // Terminal spans must be backed by the matching journal record.
+        for s in &life.releases {
+            if !journal.released.contains(id) {
+                report.violations.push(format!(
+                    "promise {id}: release span ({}) has no journal Release record",
+                    s.kind.as_str()
+                ));
+            }
+        }
+        for s in &life.expires {
+            if !journal.expired.contains(id) {
+                report.violations.push(format!(
+                    "promise {id}: expire span ({}) has no journal Expire record",
+                    s.kind.as_str()
+                ));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanId, TraceId};
+
+    fn span(kind: SpanKind, promise: u64, start_ns: u64, outcome: SpanOutcome) -> SpanRecord {
+        SpanRecord {
+            trace: TraceId(1),
+            span: SpanId(start_ns),
+            parent: None,
+            kind,
+            start_ns,
+            dur_ns: 10,
+            promise: Some(promise),
+            outcome,
+            fault: None,
+            note: None,
+        }
+    }
+
+    fn journal(granted: &[u64], released: &[u64], expired: &[u64]) -> JournalFacts {
+        JournalFacts {
+            granted: granted.iter().copied().collect(),
+            released: released.iter().copied().collect(),
+            expired: expired.iter().copied().collect(),
+        }
+    }
+
+    #[test]
+    fn clean_lifecycle_passes() {
+        let spans = vec![
+            span(SpanKind::PmGrant, 1, 100, SpanOutcome::Ok),
+            span(SpanKind::PmCheck, 1, 200, SpanOutcome::Ok),
+            span(SpanKind::PmRelease, 1, 300, SpanOutcome::Ok),
+        ];
+        let r = audit_lifecycles(&spans, &journal(&[1], &[1], &[]));
+        assert!(r.ok(), "{:?}", r.violations);
+        assert_eq!(r.promises, 1);
+        assert_eq!(r.complete, 1);
+    }
+
+    #[test]
+    fn release_before_grant_is_a_violation() {
+        let spans = vec![
+            span(SpanKind::PmRelease, 1, 50, SpanOutcome::Ok),
+            span(SpanKind::PmGrant, 1, 100, SpanOutcome::Ok),
+        ];
+        let r = audit_lifecycles(&spans, &journal(&[1], &[1], &[]));
+        assert!(!r.ok());
+        assert!(r.violations[0].contains("before granted"));
+    }
+
+    #[test]
+    fn double_terminal_is_a_violation() {
+        let spans = vec![
+            span(SpanKind::PmGrant, 1, 100, SpanOutcome::Ok),
+            span(SpanKind::PmRelease, 1, 200, SpanOutcome::Ok),
+            span(SpanKind::PmExpire, 1, 300, SpanOutcome::Ok),
+        ];
+        let r = audit_lifecycles(&spans, &journal(&[1], &[1], &[1]));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.contains("both released and expired")));
+    }
+
+    #[test]
+    fn span_without_journal_backing_is_a_violation() {
+        let spans = vec![
+            span(SpanKind::PmGrant, 2, 100, SpanOutcome::Ok),
+            span(SpanKind::PmRelease, 2, 200, SpanOutcome::Ok),
+        ];
+        // Journal knows promise 1 only.
+        let r = audit_lifecycles(&spans, &journal(&[1], &[1], &[]));
+        assert!(r.violations.iter().any(|v| v.contains("no journal Grant")));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.contains("no journal Release")));
+    }
+
+    #[test]
+    fn overwritten_grant_span_is_not_a_violation() {
+        // The ring dropped the grant span; only the release survives, and
+        // the journal confirms it. Bounded retention must not false-alarm.
+        let spans = vec![span(SpanKind::PmRelease, 1, 200, SpanOutcome::Ok)];
+        let r = audit_lifecycles(&spans, &journal(&[1], &[1], &[]));
+        assert!(r.ok(), "{:?}", r.violations);
+        assert_eq!(r.complete, 0);
+    }
+
+    #[test]
+    fn deduped_grants_are_ignored() {
+        let spans = vec![
+            span(SpanKind::PmGrant, 1, 100, SpanOutcome::Ok),
+            span(SpanKind::PmRelease, 1, 200, SpanOutcome::Ok),
+            // A late retry answered from the dedup index after release.
+            span(SpanKind::PmGrant, 1, 300, SpanOutcome::Deduped),
+        ];
+        let r = audit_lifecycles(&spans, &journal(&[1], &[1], &[]));
+        assert!(r.ok(), "{:?}", r.violations);
+    }
+}

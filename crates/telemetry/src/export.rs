@@ -1,0 +1,163 @@
+//! Snapshot exporters: JSON and Prometheus text exposition.
+//!
+//! Both exporters render a [`TelemetrySnapshot`] — they never touch live
+//! atomics, so exporting is race-free by construction. JSON is the shape
+//! dumped into `BENCH_obs.json`; the Prometheus form follows the text
+//! exposition format (one `# TYPE` per family, histogram quantiles as
+//! gauge series labelled by stage).
+
+use crate::hist::HistogramSnapshot;
+use crate::registry::TelemetrySnapshot;
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_hist(h: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\":{},\"sum_ns\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+        h.count,
+        h.sum,
+        h.mean_ns().unwrap_or(0),
+        h.p50().unwrap_or(0),
+        h.p95().unwrap_or(0),
+        h.p99().unwrap_or(0),
+        h.max,
+    )
+}
+
+/// Renders a snapshot as a JSON object:
+/// `{"histograms": {name: {count, sum_ns, mean_ns, p50_ns, p95_ns,
+/// p99_ns, max_ns}}, "counters": {name: value}, "spans": {recorded,
+/// dropped}}`.
+pub fn to_json(snap: &TelemetrySnapshot) -> String {
+    let hists: Vec<String> = snap
+        .histograms
+        .iter()
+        .map(|(k, h)| format!("\"{}\":{}", json_escape(k), json_hist(h)))
+        .collect();
+    let counters: Vec<String> = snap
+        .counters
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{}", json_escape(k), v))
+        .collect();
+    format!(
+        "{{\"histograms\":{{{}}},\"counters\":{{{}}},\"spans\":{{\"recorded\":{},\"dropped\":{}}}}}",
+        hists.join(","),
+        counters.join(","),
+        snap.spans_recorded,
+        snap.spans_dropped,
+    )
+}
+
+/// Escapes a Prometheus label value (`\`, `"`, newline).
+fn prom_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders a snapshot in the Prometheus text exposition format. Histogram
+/// quantiles become `promises_latency_ns{stage="...",quantile="..."}`
+/// series plus `_count`/`_sum`/`_max` companions; counters become
+/// `promises_events_total{name="..."}`.
+pub fn to_prometheus(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP promises_latency_ns Stage latency quantile estimates (nanoseconds).\n");
+    out.push_str("# TYPE promises_latency_ns gauge\n");
+    for (name, h) in &snap.histograms {
+        let stage = prom_escape(name);
+        for (q, v) in [("0.5", h.p50()), ("0.95", h.p95()), ("0.99", h.p99())] {
+            if let Some(v) = v {
+                out.push_str(&format!(
+                    "promises_latency_ns{{stage=\"{stage}\",quantile=\"{q}\"}} {v}\n"
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "promises_latency_ns_count{{stage=\"{stage}\"}} {}\n",
+            h.count
+        ));
+        out.push_str(&format!(
+            "promises_latency_ns_sum{{stage=\"{stage}\"}} {}\n",
+            h.sum
+        ));
+        out.push_str(&format!(
+            "promises_latency_ns_max{{stage=\"{stage}\"}} {}\n",
+            h.max
+        ));
+    }
+    out.push_str("# HELP promises_events_total Typed event counters.\n");
+    out.push_str("# TYPE promises_events_total counter\n");
+    for (name, v) in &snap.counters {
+        out.push_str(&format!(
+            "promises_events_total{{name=\"{}\"}} {v}\n",
+            prom_escape(name)
+        ));
+    }
+    out.push_str(&format!(
+        "# HELP promises_spans_recorded_total Spans pushed into the ring.\n# TYPE promises_spans_recorded_total counter\npromises_spans_recorded_total {}\n",
+        snap.spans_recorded
+    ));
+    out.push_str(&format!(
+        "# HELP promises_spans_dropped_total Spans overwritten by newer ones.\n# TYPE promises_spans_dropped_total counter\npromises_spans_dropped_total {}\n",
+        snap.spans_dropped
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Telemetry;
+
+    fn sample() -> TelemetrySnapshot {
+        let tel = Telemetry::new();
+        tel.record_ns("bus.deliver", 1_000);
+        tel.record_ns("bus.deliver", 4_000);
+        tel.incr("pm.reject.overloaded");
+        tel.snapshot()
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let j = to_json(&sample());
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"bus.deliver\""));
+        assert!(j.contains("\"count\":2"));
+        assert!(j.contains("\"pm.reject.overloaded\":1"));
+        assert!(j.contains("\"p99_ns\":"));
+        // Balanced braces (no stray quoting bugs).
+        let opens = j.matches('{').count();
+        let closes = j.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn prometheus_has_type_headers_and_series() {
+        let p = to_prometheus(&sample());
+        assert!(p.contains("# TYPE promises_latency_ns gauge"));
+        assert!(p.contains("promises_latency_ns{stage=\"bus.deliver\",quantile=\"0.99\"}"));
+        assert!(p.contains("promises_latency_ns_count{stage=\"bus.deliver\"} 2"));
+        assert!(p.contains("promises_events_total{name=\"pm.reject.overloaded\"} 1"));
+        assert!(p.ends_with('\n'));
+    }
+}

@@ -1,0 +1,39 @@
+//! Observability for the Promises stack (DESIGN.md §12).
+//!
+//! The paper's grant-or-reject-immediately claim is an argument about
+//! *where time and refusals go*; this crate makes that observable without
+//! perturbing what it observes:
+//!
+//! - **Causal tracing** ([`TraceId`]/[`SpanId`], [`SpanRecord`],
+//!   [`SpanRing`]): a trace is minted at the client, carried in the wire
+//!   envelope, re-spanned on every retry, and joined ambiently
+//!   ([`push_trace`]) by the promise manager and resource manager.
+//! - **Histograms** ([`Histogram`]): fixed-bucket log2-scale latency
+//!   distributions reporting p50/p95/p99/max, recorded with a few relaxed
+//!   atomics.
+//! - **The registry** ([`Telemetry`]): named histograms, typed counters,
+//!   and the span ring behind one handle; components hold
+//!   `Option<Arc<Telemetry>>` so the disabled path is a `None` check.
+//! - **Exporters** ([`export::to_json`], [`export::to_prometheus`]) over
+//!   immutable [`TelemetrySnapshot`]s.
+//! - **Lifecycle audit** ([`audit_lifecycles`]): replays the span ring
+//!   into per-promise lifecycles and asserts
+//!   requested→granted→checked→terminal ordering against journal facts.
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod export;
+pub mod hist;
+pub mod registry;
+pub mod ring;
+pub mod span;
+
+pub use audit::{audit_lifecycles, JournalFacts, LifecycleReport};
+pub use hist::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{SpanDraft, Telemetry, TelemetrySnapshot, DEFAULT_RING_CAPACITY};
+pub use ring::SpanRing;
+pub use span::{
+    current_trace, push_trace, FaultTag, SpanId, SpanKind, SpanOutcome, SpanRecord, TraceContext,
+    TraceGuard, TraceId,
+};

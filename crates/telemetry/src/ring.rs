@@ -1,0 +1,145 @@
+//! A bounded, overwrite-oldest ring buffer of span records.
+//!
+//! Writers claim a slot with a single `fetch_add` on the global sequence
+//! counter — claiming is wait-free and never blocks on other writers. The
+//! claimed slot is then published under a per-slot guard, which only
+//! contends when two writers land on the *same* slot, i.e. when one laps
+//! the other by a full ring — vanishingly rare at sane capacities. A slot
+//! keeps the record with the highest sequence number, so a lapped writer's
+//! stale record never clobbers a newer one and a snapshot is always "the
+//! most recent ≤ capacity spans".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::span::SpanRecord;
+
+struct Slot {
+    rec: Mutex<Option<(u64, SpanRecord)>>,
+}
+
+/// Bounded span sink with overwrite-oldest semantics.
+pub struct SpanRing {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+}
+
+impl std::fmt::Debug for SpanRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRing")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+impl SpanRing {
+    /// A ring holding at most `capacity` spans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    rec: Mutex::new(None),
+                })
+                .collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of retained spans.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total spans pushed over the ring's lifetime (including overwritten
+    /// ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Spans pushed but no longer retained (overwritten by newer ones).
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.capacity() as u64)
+    }
+
+    /// Pushes a span, overwriting the oldest retained span when full.
+    pub fn push(&self, rec: SpanRecord) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        let mut guard = slot.rec.lock();
+        // A slow writer lapped by a full ring must not clobber the newer
+        // record already published in its slot.
+        if guard.as_ref().is_none_or(|(s, _)| *s < seq) {
+            *guard = Some((seq, rec));
+        }
+    }
+
+    /// The retained spans in push order (oldest first). Concurrent pushes
+    /// continue; the snapshot is a consistent per-slot copy.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let mut out: Vec<(u64, SpanRecord)> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.rec.lock().clone())
+            .collect();
+        out.sort_unstable_by_key(|(seq, _)| *seq);
+        out.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Empties the ring (sequence numbering keeps monotonically rising).
+    pub fn clear(&self) {
+        for s in self.slots.iter() {
+            *s.rec.lock() = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanId, SpanKind, SpanOutcome, TraceId};
+
+    fn rec(n: u64) -> SpanRecord {
+        SpanRecord {
+            trace: TraceId(n),
+            span: SpanId(n),
+            parent: None,
+            kind: SpanKind::PmGrant,
+            start_ns: n,
+            dur_ns: 1,
+            promise: None,
+            outcome: SpanOutcome::Ok,
+            fault: None,
+            note: None,
+        }
+    }
+
+    #[test]
+    fn retains_most_recent_capacity_spans() {
+        let ring = SpanRing::new(64);
+        for n in 0..200 {
+            ring.push(rec(n));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 64);
+        let traces: Vec<u64> = snap.iter().map(|r| r.trace.0).collect();
+        assert_eq!(traces, (136..200).collect::<Vec<_>>());
+        assert_eq!(ring.recorded(), 200);
+        assert_eq!(ring.dropped(), 136);
+    }
+
+    #[test]
+    fn clear_keeps_counting() {
+        let ring = SpanRing::new(4);
+        for n in 0..6 {
+            ring.push(rec(n));
+        }
+        ring.clear();
+        assert!(ring.snapshot().is_empty());
+        ring.push(rec(99));
+        assert_eq!(ring.snapshot().len(), 1);
+        assert_eq!(ring.recorded(), 7);
+    }
+}

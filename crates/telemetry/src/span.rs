@@ -1,0 +1,251 @@
+//! Causal trace/span identifiers, span records, and the ambient trace
+//! context.
+//!
+//! A **trace** covers one logical client operation end to end: the trace id
+//! is minted once at the client and carried through every hop — bus
+//! attempts (retries reuse the trace but mint a fresh span), the promise
+//! manager's grant/check/execute/release paths, and the resource manager's
+//! transactions. A **span** is one timed step inside a trace; spans name
+//! their parent so the causal chain can be reassembled offline.
+//!
+//! Components that sit below the wire (the PM, the RM) receive the trace
+//! context *ambiently*: the service endpoint pushes the envelope's context
+//! onto a thread-local before dispatching, and every span recorded on that
+//! thread while the guard lives joins the trace. This keeps trace plumbing
+//! out of every PM/RM method signature.
+
+use std::cell::Cell;
+
+/// Identifies one end-to-end causal trace (one logical client operation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+/// Identifies one span within a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+/// The propagated pair: which trace we are in and which span is the
+/// current causal parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The trace every downstream span joins.
+    pub trace: TraceId,
+    /// The span downstream spans name as their parent.
+    pub parent: SpanId,
+}
+
+/// Named span kinds — the fixed taxonomy of DESIGN.md §12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// One logical client send, covering every retry attempt.
+    ClientSend,
+    /// One bus attempt within a logical send (retries mint a new one).
+    ClientAttempt,
+    /// One bus round trip: encode → deliver → handle → encode → reply.
+    BusDeliver,
+    /// A promise-request decision (grant / reject / dedup) in the PM.
+    PmGrant,
+    /// One promise participating in a post-action check.
+    PmCheck,
+    /// An action executed under promises (env resolution + action + check).
+    PmExecute,
+    /// A promise released (explicitly, by exchange, or action-atomically).
+    PmRelease,
+    /// A promise reaped after expiry.
+    PmExpire,
+    /// One RM transaction from begin to commit.
+    RmTxn,
+    /// One RM transaction abort, replaying the undo log.
+    RmUndo,
+}
+
+impl SpanKind {
+    /// Every kind, in taxonomy order (exporters iterate this).
+    pub const ALL: [SpanKind; 10] = [
+        SpanKind::ClientSend,
+        SpanKind::ClientAttempt,
+        SpanKind::BusDeliver,
+        SpanKind::PmGrant,
+        SpanKind::PmCheck,
+        SpanKind::PmExecute,
+        SpanKind::PmRelease,
+        SpanKind::PmExpire,
+        SpanKind::RmTxn,
+        SpanKind::RmUndo,
+    ];
+
+    /// The wire/exporter name of this kind.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SpanKind::ClientSend => "client.send",
+            SpanKind::ClientAttempt => "client.attempt",
+            SpanKind::BusDeliver => "bus.deliver",
+            SpanKind::PmGrant => "pm.grant",
+            SpanKind::PmCheck => "pm.check",
+            SpanKind::PmExecute => "pm.execute",
+            SpanKind::PmRelease => "pm.release",
+            SpanKind::PmExpire => "pm.expire",
+            SpanKind::RmTxn => "rm.txn",
+            SpanKind::RmUndo => "rm.undo",
+        }
+    }
+}
+
+/// How the spanned step ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpanOutcome {
+    /// The step succeeded.
+    #[default]
+    Ok,
+    /// The step was refused by policy (promise rejection, overload).
+    Rejected,
+    /// A retried request was answered with the original grant.
+    Deduped,
+    /// A post-action check failed and the action was undone.
+    RolledBack,
+    /// The step failed with an error.
+    Error,
+}
+
+impl SpanOutcome {
+    /// The exporter name of this outcome.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SpanOutcome::Ok => "ok",
+            SpanOutcome::Rejected => "rejected",
+            SpanOutcome::Deduped => "deduped",
+            SpanOutcome::RolledBack => "rolled-back",
+            SpanOutcome::Error => "error",
+        }
+    }
+}
+
+/// Which injected fault (if any) this span observed, so goodput loss in a
+/// fault sweep can be attributed to drop vs. delay vs. storage faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultTag {
+    /// The request was dropped before the service ran.
+    DropRequest,
+    /// The reply was dropped after the service ran.
+    DropReply,
+    /// The request was delivered twice.
+    Duplicate,
+    /// The message was delayed in flight.
+    Delay,
+    /// A storage access failed with an injected RM error.
+    Storage,
+    /// An undo write failed during rollback replay.
+    Undo,
+}
+
+impl FaultTag {
+    /// The exporter name of this fault tag.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultTag::DropRequest => "drop-request",
+            FaultTag::DropReply => "drop-reply",
+            FaultTag::Duplicate => "duplicate",
+            FaultTag::Delay => "delay",
+            FaultTag::Storage => "storage",
+            FaultTag::Undo => "undo",
+        }
+    }
+}
+
+/// One completed span, as stored in the ring buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// The trace this span belongs to.
+    pub trace: TraceId,
+    /// This span's id.
+    pub span: SpanId,
+    /// The causal parent, if the span was not a trace root.
+    pub parent: Option<SpanId>,
+    /// What kind of step this was.
+    pub kind: SpanKind,
+    /// Start time in nanoseconds since the registry epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// The promise this span is about, when it is a lifecycle event.
+    pub promise: Option<u64>,
+    /// How the step ended.
+    pub outcome: SpanOutcome,
+    /// Injected-fault annotation, when a fault was observed.
+    pub fault: Option<FaultTag>,
+    /// Free-form detail (pool name, rejection cause, retry attempt).
+    pub note: Option<String>,
+}
+
+impl SpanRecord {
+    /// End time in nanoseconds since the registry epoch.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns.saturating_add(self.dur_ns)
+    }
+}
+
+thread_local! {
+    static CURRENT_TRACE: Cell<Option<TraceContext>> = const { Cell::new(None) };
+}
+
+/// The ambient trace context on this thread, if one is installed.
+pub fn current_trace() -> Option<TraceContext> {
+    CURRENT_TRACE.with(|c| c.get())
+}
+
+/// Installs `ctx` as the ambient trace context for the lifetime of the
+/// returned guard; the previous context (if any) is restored on drop.
+/// Guards nest, so a service can re-scope the context per message.
+#[must_use = "the context is popped when the guard drops"]
+pub fn push_trace(ctx: TraceContext) -> TraceGuard {
+    let prev = CURRENT_TRACE.with(|c| c.replace(Some(ctx)));
+    TraceGuard { prev }
+}
+
+/// Restores the previous ambient trace context on drop. See [`push_trace`].
+#[derive(Debug)]
+pub struct TraceGuard {
+    prev: Option<TraceContext>,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|c| c.set(self.prev.take()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_context_nests_and_restores() {
+        assert_eq!(current_trace(), None);
+        let outer = TraceContext {
+            trace: TraceId(1),
+            parent: SpanId(10),
+        };
+        let inner = TraceContext {
+            trace: TraceId(2),
+            parent: SpanId(20),
+        };
+        {
+            let _g1 = push_trace(outer);
+            assert_eq!(current_trace(), Some(outer));
+            {
+                let _g2 = push_trace(inner);
+                assert_eq!(current_trace(), Some(inner));
+            }
+            assert_eq!(current_trace(), Some(outer));
+        }
+        assert_eq!(current_trace(), None);
+    }
+
+    #[test]
+    fn span_kind_names_are_unique() {
+        let mut names: Vec<_> = SpanKind::ALL.iter().map(|k| k.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SpanKind::ALL.len());
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests: histogram bucket boundaries and quantile sanity.
+
+use proptest::prelude::*;
+
+use promises_telemetry::{bucket_bounds, bucket_index, Histogram, BUCKETS};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any recorded value falls inside the bounds of the bucket it is
+    /// reported in.
+    #[test]
+    fn recorded_value_falls_in_its_reported_bucket(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        let v_eff = v.max(1); // 0 is absorbed by bucket 0 alongside 1.
+        prop_assert!(
+            v_eff >= lo && (v_eff < hi || hi == u64::MAX),
+            "value {v} mapped to bucket {i} [{lo}, {hi})"
+        );
+    }
+
+    /// Recording into a histogram puts the value in exactly one bucket and
+    /// the snapshot totals stay consistent.
+    #[test]
+    fn snapshot_totals_match_bucket_contents(
+        values in proptest::collection::vec(any::<u64>(), 1..64)
+    ) {
+        let h = Histogram::new();
+        let mut sum = 0u64;
+        let mut max = 0u64;
+        for &v in &values {
+            h.record(v);
+            sum = sum.wrapping_add(v);
+            max = max.max(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.buckets.iter().sum::<u64>(), values.len() as u64);
+        prop_assert_eq!(s.max, max);
+        prop_assert_eq!(s.sum, sum); // u64 wrapping matches atomic adds
+        for &v in &values {
+            prop_assert!(s.buckets[bucket_index(v)] > 0);
+        }
+    }
+
+    /// Quantiles are monotone in q, never exceed the observed max, and the
+    /// quantile estimate lands in an occupied bucket's range.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        values in proptest::collection::vec(1u64..u64::MAX / 2, 1..64)
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.p50().unwrap();
+        let p95 = s.p95().unwrap();
+        let p99 = s.p99().unwrap();
+        prop_assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        prop_assert!(p99 <= s.max);
+        // The p99 estimate sits in (or below the clamp of) the highest
+        // occupied bucket.
+        let top = (0..BUCKETS).rev().find(|&i| s.buckets[i] > 0).unwrap();
+        let (_, hi) = bucket_bounds(top);
+        prop_assert!(p99 < hi || hi == u64::MAX);
+    }
+}

@@ -9,11 +9,14 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 
 use promises_faults::{FaultInjector, MessageFate};
+use promises_telemetry::{
+    push_trace, FaultTag, SpanId, SpanKind, SpanOutcome, Telemetry, TraceContext, TraceId,
+};
 
 use crate::codec::{decode, encode, CodecError};
 use crate::envelope::Envelope;
@@ -130,9 +133,28 @@ pub struct InMemoryBus {
     /// Richer, scenario-driven fault injection (drop/duplicate/delay on
     /// each direction); composes with the legacy [`NetworkProfile`].
     injector: RwLock<Option<Arc<FaultInjector>>>,
+    telemetry: RwLock<Option<Arc<Telemetry>>>,
     delivered: AtomicU64,
     dropped: AtomicU64,
     bytes: AtomicU64,
+}
+
+/// Severity order for fault tags when one delivery observes several: a
+/// drop explains a failed round trip better than a delay that also
+/// happened along the way.
+fn tag_priority(tag: FaultTag) -> u8 {
+    match tag {
+        FaultTag::Delay => 0,
+        FaultTag::Duplicate => 1,
+        _ => 2,
+    }
+}
+
+/// Keeps the highest-priority fault tag observed so far.
+fn upgrade_tag(slot: &mut Option<FaultTag>, tag: FaultTag) {
+    if slot.is_none_or(|cur| tag_priority(tag) > tag_priority(cur)) {
+        *slot = Some(tag);
+    }
 }
 
 impl Default for InMemoryBus {
@@ -149,6 +171,7 @@ impl InMemoryBus {
             profile: RwLock::new(NetworkProfile::default()),
             rng: Mutex::new(XorShift(0x9E3779B97F4A7C15)),
             injector: RwLock::new(None),
+            telemetry: RwLock::new(None),
             delivered: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
@@ -172,6 +195,14 @@ impl InMemoryBus {
         self.rng.lock().0 = seed.max(1);
     }
 
+    /// Installs (or clears) the telemetry registry. When present, every
+    /// send records a `bus.deliver` histogram sample and a
+    /// [`SpanKind::BusDeliver`] span joining the envelope's trace context,
+    /// tagged with the injected fault (if any) it observed.
+    pub fn set_telemetry(&self, telemetry: Option<Arc<Telemetry>>) {
+        *self.telemetry.write() = telemetry;
+    }
+
     /// Registers a service under a name.
     pub fn register(&self, name: &str, service: Arc<dyn Service>) {
         self.endpoints.write().insert(name.to_owned(), service);
@@ -180,6 +211,42 @@ impl InMemoryBus {
     /// Sends `envelope` to endpoint `to`, returning the reply. The message
     /// is encoded and decoded in both directions.
     pub fn send(&self, to: &str, envelope: &Envelope) -> Result<Envelope, BusError> {
+        let Some(tel) = self.telemetry.read().clone() else {
+            return self.deliver(to, envelope, &mut None);
+        };
+        // Join the sender's trace so the bus span — and everything the
+        // service records while handling the message — shares the
+        // envelope's context.
+        let _guard = envelope.trace.map(|t| {
+            push_trace(TraceContext {
+                trace: TraceId(t.trace),
+                parent: SpanId(t.span),
+            })
+        });
+        let started = Instant::now();
+        let mut fault = None;
+        let result = self.deliver(to, envelope, &mut fault);
+        tel.record_duration("bus.deliver", started.elapsed());
+        let mut draft = tel.span_since(SpanKind::BusDeliver, started);
+        if let Some(tag) = fault {
+            tel.incr(&format!("bus.fault.{}", tag.as_str()));
+            draft = draft.fault(tag);
+        }
+        if let Err(e) = &result {
+            draft = draft.outcome(SpanOutcome::Error).note(e.to_string());
+        }
+        draft.finish();
+        result
+    }
+
+    /// The untimed delivery path; reports the highest-priority injected
+    /// fault it observed through `fault`.
+    fn deliver(
+        &self,
+        to: &str,
+        envelope: &Envelope,
+        fault: &mut Option<FaultTag>,
+    ) -> Result<Envelope, BusError> {
         let service = self
             .endpoints
             .read()
@@ -189,12 +256,14 @@ impl InMemoryBus {
         let profile = *self.profile.read();
         if profile.drop_probability > 0.0 && self.rng.lock().next_f64() < profile.drop_probability {
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            upgrade_tag(fault, FaultTag::DropRequest);
             return Err(BusError::DroppedRequest);
         }
         let injector = self.injector.read().clone();
         let request_fate = match &injector {
             Some(inj) => {
                 if let Some(d) = inj.delay() {
+                    upgrade_tag(fault, FaultTag::Delay);
                     std::thread::sleep(d);
                 }
                 inj.request_fate()
@@ -203,6 +272,7 @@ impl InMemoryBus {
         };
         if request_fate == MessageFate::Drop {
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            upgrade_tag(fault, FaultTag::DropRequest);
             return Err(BusError::DroppedRequest);
         }
         let wire_out = encode(envelope);
@@ -215,6 +285,7 @@ impl InMemoryBus {
             // The network delivered the request twice: the service handles
             // both copies (exercising server-side request-id dedup); the
             // caller consumes the first reply.
+            upgrade_tag(fault, FaultTag::Duplicate);
             let duplicate = decode(&wire_out)?;
             let _ = service.handle(duplicate);
         }
@@ -224,12 +295,14 @@ impl InMemoryBus {
         }
         if let Some(inj) = &injector {
             if let Some(d) = inj.delay() {
+                upgrade_tag(fault, FaultTag::Delay);
                 std::thread::sleep(d);
             }
             if inj.reply_fate() == MessageFate::Drop {
                 // The service already processed the request; only the
                 // answer is lost.
                 self.dropped.fetch_add(1, Ordering::Relaxed);
+                upgrade_tag(fault, FaultTag::DropReply);
                 return Err(BusError::DroppedReply);
             }
         }

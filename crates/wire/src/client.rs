@@ -15,10 +15,12 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use promises_telemetry::{push_trace, FaultTag, SpanKind, SpanOutcome, Telemetry};
 
 use crate::bus::{BusError, InMemoryBus};
 use crate::envelope::Envelope;
@@ -95,6 +97,7 @@ pub struct RetryingClient {
     bus: Arc<InMemoryBus>,
     policy: RetryPolicy,
     rng: Mutex<StdRng>,
+    telemetry: RwLock<Option<Arc<Telemetry>>>,
     sends: AtomicU64,
     retries: AtomicU64,
     exhausted: AtomicU64,
@@ -107,10 +110,26 @@ impl RetryingClient {
             bus,
             policy,
             rng: Mutex::new(StdRng::seed_from_u64(policy.jitter_seed)),
+            telemetry: RwLock::new(None),
             sends: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             exhausted: AtomicU64::new(0),
         }
+    }
+
+    /// Builder: attaches a telemetry registry. Each logical send then
+    /// roots a [`SpanKind::ClientSend`] trace, each bus attempt records a
+    /// child [`SpanKind::ClientAttempt`] span (fresh span per retry, same
+    /// trace), and outgoing envelopes carry the `(trace, attempt-span)`
+    /// pair so the receiving side joins the same trace.
+    pub fn with_telemetry(self, telemetry: Arc<Telemetry>) -> Self {
+        *self.telemetry.write() = Some(telemetry);
+        self
+    }
+
+    /// Installs (or clears) the telemetry registry.
+    pub fn set_telemetry(&self, telemetry: Option<Arc<Telemetry>>) {
+        *self.telemetry.write() = telemetry;
     }
 
     /// The underlying bus.
@@ -123,12 +142,69 @@ impl RetryingClient {
     /// request ids — so server-side dedup keeps retried grants single.
     pub fn send(&self, to: &str, envelope: &Envelope) -> Result<Envelope, BusError> {
         self.sends.fetch_add(1, Ordering::Relaxed);
+        let Some(tel) = self.telemetry.read().clone() else {
+            return self.send_inner(to, envelope, None);
+        };
+        let started = Instant::now();
+        // The send span roots the trace; attempts parent on it through the
+        // ambient context for the duration of the retry loop.
+        let send_span = tel.span_since(SpanKind::ClientSend, started);
+        let result = {
+            let _guard = push_trace(send_span.context());
+            self.send_inner(to, envelope, Some(&tel))
+        };
+        tel.record_duration("client.send", started.elapsed());
+        match &result {
+            Ok(_) => send_span.finish(),
+            Err(e) => send_span
+                .outcome(SpanOutcome::Error)
+                .note(e.to_string())
+                .finish(),
+        }
+        result
+    }
+
+    /// The retry loop. When telemetry is attached, every attempt gets its
+    /// own span and the envelope is re-stamped with that attempt's span id.
+    fn send_inner(
+        &self,
+        to: &str,
+        envelope: &Envelope,
+        tel: Option<&Telemetry>,
+    ) -> Result<Envelope, BusError> {
         let mut attempt: u32 = 0;
         loop {
-            match self.bus.send(to, envelope) {
+            let outcome = match tel {
+                None => self.bus.send(to, envelope),
+                Some(tel) => {
+                    let draft = tel.span(SpanKind::ClientAttempt);
+                    let ctx = draft.context();
+                    let traced = envelope.clone().with_trace(ctx.trace.0, ctx.parent.0);
+                    let result = self.bus.send(to, &traced);
+                    match &result {
+                        Ok(_) => draft.note(format!("attempt={attempt}")).finish(),
+                        Err(e) => {
+                            let mut d = draft
+                                .outcome(SpanOutcome::Error)
+                                .note(format!("attempt={attempt}: {e}"));
+                            d = match e {
+                                BusError::DroppedRequest => d.fault(FaultTag::DropRequest),
+                                BusError::DroppedReply => d.fault(FaultTag::DropReply),
+                                _ => d,
+                            };
+                            d.finish();
+                        }
+                    }
+                    result
+                }
+            };
+            match outcome {
                 Ok(reply) => return Ok(reply),
                 Err(e) if e.retryable() && attempt < self.policy.max_retries => {
                     self.retries.fetch_add(1, Ordering::Relaxed);
+                    if let Some(tel) = tel {
+                        tel.incr("client.retry");
+                    }
                     let pause = self.policy.backoff(&mut self.rng.lock(), attempt);
                     attempt += 1;
                     if !pause.is_zero() {
@@ -138,6 +214,9 @@ impl RetryingClient {
                 Err(e) => {
                     if e.retryable() {
                         self.exhausted.fetch_add(1, Ordering::Relaxed);
+                        if let Some(tel) = tel {
+                            tel.incr("client.exhausted");
+                        }
                     }
                     return Err(e);
                 }

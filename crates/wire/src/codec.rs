@@ -28,7 +28,7 @@
 
 use crate::envelope::{
     ActionRequest, ActionResponse, EnvEntry, EnvRef, Envelope, EnvironmentHeader,
-    PromiseRequestHeader, PromiseResponseHeader, PromiseResult,
+    PromiseRequestHeader, PromiseResponseHeader, PromiseResult, TraceHeader,
 };
 use crate::xml::{parse, XmlElement, XmlError};
 
@@ -133,10 +133,11 @@ pub fn encode(env: &Envelope) -> String {
         body = body.child(el);
     }
 
-    XmlElement::new("envelope")
-        .child(header)
-        .child(body)
-        .to_xml()
+    let mut root = XmlElement::new("envelope");
+    if let Some(t) = &env.trace {
+        root = root.attr("trace", t.trace).attr("span", t.span);
+    }
+    root.child(header).child(body).to_xml()
 }
 
 fn req_attr<'x>(el: &'x XmlElement, name: &str) -> Result<&'x str, CodecError> {
@@ -160,6 +161,14 @@ pub fn decode(xml: &str) -> Result<Envelope, CodecError> {
         )));
     }
     let mut env = Envelope::new();
+    // Trace context is optional (absent from uninstrumented senders); a
+    // malformed pair is a shape error, not silently dropped.
+    if doc.get_attr("trace").is_some() || doc.get_attr("span").is_some() {
+        env.trace = Some(TraceHeader {
+            trace: u64_attr(&doc, "trace")?,
+            span: u64_attr(&doc, "span")?,
+        });
+    }
     if let Some(header) = doc.find("header") {
         for el in header.find_all("promise-request") {
             env.promise_requests.push(PromiseRequestHeader {
@@ -308,6 +317,7 @@ mod tests {
                     .param("qty", 5),
             ),
             action_response: Some(ActionResponse::success().field("order", "o-1")),
+            trace: Some(TraceHeader { trace: 5, span: 6 }),
         }
     }
 

@@ -165,6 +165,20 @@ impl ActionResponse {
     }
 }
 
+/// Trace-context header carried as `<envelope trace='..' span='..'>`
+/// attributes: the trace minted at the sending client (stable across
+/// retries of the same logical operation) and the span id of this
+/// transmission attempt (fresh per retry). Receivers adopt it as the
+/// causal parent of their own spans. Optional — envelopes from
+/// uninstrumented senders decode with `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Trace id, one per logical client operation.
+    pub trace: u64,
+    /// The sender's span id for this transmission attempt.
+    pub span: u64,
+}
+
 /// A protocol message: any subset of headers plus an optional body.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Envelope {
@@ -180,6 +194,9 @@ pub struct Envelope {
     pub action: Option<ActionRequest>,
     /// Body: application response (reply direction).
     pub action_response: Option<ActionResponse>,
+    /// Causal trace context for observability (not part of the §6
+    /// protocol; ignored by promise semantics).
+    pub trace: Option<TraceHeader>,
 }
 
 impl Envelope {
@@ -209,6 +226,12 @@ impl Envelope {
     /// Builder: sets the action body.
     pub fn with_action(mut self, action: ActionRequest) -> Self {
         self.action = Some(action);
+        self
+    }
+
+    /// Builder: sets the trace-context header.
+    pub fn with_trace(mut self, trace: u64, span: u64) -> Self {
+        self.trace = Some(TraceHeader { trace, span });
         self
     }
 
@@ -292,6 +315,7 @@ mod piggyback_tests {
             // ...plus an unrelated application body.
             action: Some(ActionRequest::new("merchant", "status").param("order", "o-1")),
             action_response: None,
+            trace: None,
         };
         let back = decode(&encode(&msg)).unwrap();
         assert_eq!(back, msg);

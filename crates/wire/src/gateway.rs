@@ -23,6 +23,7 @@ use promises_core::{
     PromiseManager, PromiseRequestSpec,
 };
 use promises_rm::{ResourceManager, Txn};
+use promises_telemetry::{push_trace, SpanId, TraceContext, TraceId};
 
 use crate::bus::Service;
 use crate::envelope::{
@@ -225,6 +226,15 @@ impl PromiseGateway {
 
 impl Service for PromiseGateway {
     fn handle(&self, envelope: Envelope) -> Envelope {
+        // Adopt the sender's trace context so PM/RM spans recorded while
+        // handling this message join the client's trace — effective even
+        // when the gateway is invoked without an instrumented bus.
+        let _guard = envelope.trace.map(|t| {
+            push_trace(TraceContext {
+                trace: TraceId(t.trace),
+                parent: SpanId(t.span),
+            })
+        });
         let mut reply = Envelope::new();
         // 1. Standalone releases.
         for id in &envelope.releases {

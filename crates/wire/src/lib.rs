@@ -27,6 +27,6 @@ pub use client::{RetryPolicy, RetryStats, RetryingClient};
 pub use codec::{decode, encode, CodecError};
 pub use envelope::{
     ActionRequest, ActionResponse, EnvEntry, EnvRef, Envelope, EnvironmentHeader,
-    PromiseRequestHeader, PromiseResponseHeader, PromiseResult,
+    PromiseRequestHeader, PromiseResponseHeader, PromiseResult, TraceHeader,
 };
 pub use gateway::{ActionHandler, PromiseGateway};

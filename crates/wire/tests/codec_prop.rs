@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use promises_wire::xml::{parse, XmlElement};
 use promises_wire::{
     decode, encode, ActionRequest, ActionResponse, EnvEntry, EnvRef, Envelope, EnvironmentHeader,
-    PromiseRequestHeader, PromiseResponseHeader, PromiseResult,
+    PromiseRequestHeader, PromiseResponseHeader, PromiseResult, TraceHeader,
 };
 
 fn arb_text() -> impl Strategy<Value = String> {
@@ -116,9 +116,10 @@ fn arb_envelope() -> impl Strategy<Value = Envelope> {
             proptest::option::of(arb_text()),
             proptest::collection::vec((arb_name(), arb_text()), 0..3),
         )),
+        proptest::option::of((any::<u64>(), any::<u64>())),
     )
         .prop_map(
-            |(reqs, resps, releases, env_entries, action, action_resp)| Envelope {
+            |(reqs, resps, releases, env_entries, action, action_resp, trace)| Envelope {
                 promise_requests: reqs,
                 promise_responses: resps,
                 releases,
@@ -155,6 +156,7 @@ fn arb_envelope() -> impl Strategy<Value = Envelope> {
                     }
                     r
                 }),
+                trace: trace.map(|(trace, span)| TraceHeader { trace, span }),
             },
         )
 }

@@ -1,0 +1,140 @@
+//! End-to-end trace propagation: a logical client send keeps one trace id
+//! across retry attempts (each attempt a fresh child span), bus spans tag
+//! the injected fault they observed, and PM spans recorded behind the
+//! gateway join the client's trace.
+
+use std::sync::Arc;
+
+use promises_core::{PoolSchema, PromiseManager, SystemClock};
+use promises_faults::{FaultInjector, FaultScenario};
+use promises_rm::ResourceManager;
+use promises_telemetry::{FaultTag, SpanKind, SpanOutcome, Telemetry};
+use promises_wire::{
+    Envelope, InMemoryBus, PromiseGateway, PromiseRequestHeader, PromiseResult, RetryPolicy,
+    RetryingClient,
+};
+
+fn promise_request(id: &str) -> PromiseRequestHeader {
+    PromiseRequestHeader {
+        request_id: id.into(),
+        client: "tracer".into(),
+        predicates: vec!["qty('widgets') >= 2".into()],
+        duration_ms: 60_000,
+        exchange: vec![],
+        negotiate: false,
+    }
+}
+
+/// With every reply dropped, each attempt runs the service and then loses
+/// the answer: all attempts share the send's trace, mint distinct span
+/// ids, parent on the send span, and the bus spans carry the drop-reply
+/// fault tag.
+#[test]
+fn retries_share_one_trace_with_fresh_attempt_spans() {
+    let tel = Telemetry::shared();
+    let bus = Arc::new(InMemoryBus::new());
+    bus.set_telemetry(Some(Arc::clone(&tel)));
+    bus.register(
+        "echo",
+        Arc::new(|env: Envelope| env) as Arc<dyn promises_wire::Service>,
+    );
+    bus.set_fault_injector(Some(Arc::new(FaultInjector::new(FaultScenario {
+        drop_reply: 1.0,
+        ..FaultScenario::quiet(5)
+    }))));
+    let client = RetryingClient::new(Arc::clone(&bus), RetryPolicy::new(3).with_max_retries(2))
+        .with_telemetry(Arc::clone(&tel));
+
+    client.send("echo", &Envelope::new()).unwrap_err();
+
+    let spans = tel.spans();
+    let sends: Vec<_> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::ClientSend)
+        .collect();
+    assert_eq!(sends.len(), 1);
+    let send = sends[0];
+    assert_eq!(send.outcome, SpanOutcome::Error);
+
+    let attempts: Vec<_> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::ClientAttempt)
+        .collect();
+    assert_eq!(attempts.len(), 3, "1 send + 2 retries");
+    let mut attempt_ids = Vec::new();
+    for a in &attempts {
+        assert_eq!(a.trace, send.trace, "retries stay in the send's trace");
+        assert_eq!(a.parent, Some(send.span), "attempts parent on the send");
+        assert_eq!(a.fault, Some(FaultTag::DropReply));
+        attempt_ids.push(a.span);
+    }
+    attempt_ids.sort_unstable();
+    attempt_ids.dedup();
+    assert_eq!(attempt_ids.len(), 3, "each retry mints a fresh span");
+
+    let deliveries: Vec<_> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::BusDeliver)
+        .collect();
+    assert_eq!(deliveries.len(), 3);
+    for d in &deliveries {
+        assert_eq!(d.trace, send.trace, "bus joins the envelope's trace");
+        assert!(
+            attempt_ids.binary_search(&d.parent.unwrap()).is_ok(),
+            "each delivery parents on one attempt span"
+        );
+        assert_eq!(d.fault, Some(FaultTag::DropReply));
+        assert_eq!(d.outcome, SpanOutcome::Error);
+    }
+
+    let snap = tel.snapshot();
+    assert_eq!(snap.counter("client.retry"), 2);
+    assert_eq!(snap.counter("client.exhausted"), 1);
+    assert_eq!(snap.counter("bus.fault.drop-reply"), 3);
+    assert_eq!(snap.histogram("bus.deliver").unwrap().count, 3);
+}
+
+/// On a clean network the whole pipeline joins one trace: the PM's grant
+/// span (recorded deep behind the gateway) shares the client's trace id.
+#[test]
+fn pm_spans_join_the_clients_trace_through_the_gateway() {
+    let tel = Telemetry::shared();
+    let rm = Arc::new(ResourceManager::new());
+    let pm = Arc::new(PromiseManager::new(rm, Arc::new(SystemClock::new())));
+    pm.register_pool(PoolSchema::quantity("widgets"));
+    pm.seed_quantity("widgets", 10).unwrap();
+    pm.set_telemetry(Some(Arc::clone(&tel)));
+
+    let bus = Arc::new(InMemoryBus::new());
+    bus.set_telemetry(Some(Arc::clone(&tel)));
+    bus.register("pm", Arc::new(PromiseGateway::new(pm)));
+    let client =
+        RetryingClient::new(Arc::clone(&bus), RetryPolicy::new(9)).with_telemetry(Arc::clone(&tel));
+
+    let reply = client
+        .send(
+            "pm",
+            &Envelope::new().with_promise_request(promise_request("r1")),
+        )
+        .unwrap();
+    assert!(matches!(
+        reply.response_for("r1").unwrap().result,
+        PromiseResult::Accepted
+    ));
+
+    let spans = tel.spans();
+    let send = spans
+        .iter()
+        .find(|s| s.kind == SpanKind::ClientSend)
+        .unwrap();
+    let grant = spans.iter().find(|s| s.kind == SpanKind::PmGrant).unwrap();
+    assert_eq!(
+        grant.trace, send.trace,
+        "the PM's grant span joins the client's trace"
+    );
+    assert_eq!(grant.outcome, SpanOutcome::Ok);
+    assert!(grant.promise.is_some());
+
+    let check = spans.iter().find(|s| s.kind == SpanKind::PmCheck).unwrap();
+    assert_eq!(check.trace, send.trace);
+}

@@ -30,14 +30,13 @@ fn cfg() -> WorkloadConfig {
 }
 
 fn row(name: &str, r: &RunReport) {
+    let latency = r
+        .avg_latency
+        .map(|d| format!("{:.1}ms", d.as_secs_f64() * 1e3))
+        .unwrap_or_else(|| "n/a".into());
     println!(
-        "{name:<12} {:>8.0} {:>10} {:>10} {:>10} {:>10} {:>10.1}ms",
-        r.throughput,
-        r.completed,
-        r.failed_fast,
-        r.failed_late,
-        r.deadlocks,
-        r.avg_latency.as_secs_f64() * 1e3,
+        "{name:<12} {:>8.0} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        r.throughput, r.completed, r.failed_fast, r.failed_late, r.deadlocks, latency,
     );
 }
 

@@ -15,6 +15,15 @@ cargo test -q --workspace
 echo "==> fault smoke (seeds 3 1117 90210)"
 cargo run --release -q -p promises-bench --bin experiments -- --faults 3 1117 90210
 
+# Telemetry unit tests plus the E12 observability smoke: an instrumented
+# fault sweep that fails if any required stage histogram (bus.deliver,
+# pm.grant, pm.check, rm.txn) is empty or the trace-replay lifecycle
+# audit finds an ordering violation (see DESIGN.md §12).
+echo "==> telemetry tests"
+cargo test -q -p promises-telemetry
+echo "==> observability smoke (seeds 2007 4711)"
+cargo run --release -q -p promises-bench --bin experiments -- --obs 2007 4711
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
