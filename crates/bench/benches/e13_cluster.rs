@@ -1,0 +1,40 @@
+//! E13 — cluster throughput scaling vs shard count.
+//!
+//! Each shard node is modeled as a single-threaded server with a fixed
+//! per-message service time, so cluster throughput scales with node count
+//! the way adding machines would. The full scaling table and the fault /
+//! crash-restart gates live in the experiments binary (`--cluster`),
+//! which writes `BENCH_cluster.json`; this bench tracks the two anchor
+//! points of the curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use promises_bench::exp::e13_cluster_scaling;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13_cluster");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(200));
+    for shards in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("grant_release", format!("shards-{shards}")),
+            &shards,
+            |b, &shards| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let row = e13_cluster_scaling(shards, 8, 50);
+                        total += Duration::from_secs_f64(400.0 / row.throughput.max(1.0));
+                    }
+                    total
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -81,6 +81,145 @@ fn faults_smoke(seeds: &[u64]) {
     println!("faults-smoke: all checks passed");
 }
 
+/// E13 cluster mode: the shard-count scaling table (gated on the 4-vs-1
+/// throughput ratio), then per seed a cluster fault sweep with injected
+/// coordinator crashes (gated on zero partial grants, double grants,
+/// oversells and leaks), a shard crash–restart with per-shard state
+/// digests, and the cross-shard lifecycle audit. Writes
+/// `BENCH_cluster.json` and exits non-zero if any gate fails.
+fn cluster_mode(seeds: &[u64]) {
+    const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+    const MIN_RATIO_4V1: f64 = 2.5;
+    let mut failures = 0usize;
+
+    let mut scaling_rows = Vec::new();
+    let mut scaling_json = Vec::new();
+    let mut by_shards = std::collections::HashMap::new();
+    for shards in SHARD_COUNTS {
+        let row = exp::e13_cluster_scaling(shards, 8, 250);
+        scaling_rows.push(vec![
+            shards.to_string(),
+            f(row.throughput, 0),
+            row.granted.to_string(),
+            row.rejected.to_string(),
+            us(row.mean_grant_us),
+        ]);
+        scaling_json.push(format!(
+            "{{\"shards\":{},\"ops_per_s\":{:.1},\"granted\":{},\"rejected\":{}}}",
+            row.shards, row.throughput, row.granted, row.rejected
+        ));
+        by_shards.insert(shards, row.throughput);
+    }
+    print_table(
+        &format!(
+            "E13 — cluster throughput vs shard count (8 pinned clients, \
+             {}us modeled service time per message)",
+            exp::E13_SERVICE_US
+        ),
+        &["shards", "ops/s", "granted", "rejected", "mean/op"],
+        &scaling_rows,
+    );
+    let ratio = by_shards[&4] / by_shards[&1].max(1e-9);
+    println!("scaling ratio 4 shards vs 1: {ratio:.2}x (gate: >= {MIN_RATIO_4V1}x)");
+    if ratio < MIN_RATIO_4V1 {
+        eprintln!("cluster: scaling gate FAILED ({ratio:.2}x < {MIN_RATIO_4V1}x)");
+        failures += 1;
+    }
+
+    let mut sweep_json = Vec::new();
+    for &seed in seeds {
+        let cfg = promises_sim::ClusterSweepConfig {
+            seed,
+            ..promises_sim::ClusterSweepConfig::default()
+        };
+        let scenario = promises_faults::FaultScenario::uniform(seed, 0.1);
+        let (r, cluster) = promises_sim::run_cluster_fault_sweep(scenario, &cfg);
+        let life = promises_telemetry::audit_cluster_lifecycles(
+            &cluster.telemetry.spans(),
+            &cluster.evidence(),
+        );
+        let ok = r.clean() && life.ok();
+        println!(
+            "cluster-sweep seed={seed}: granted={} (cross-shard {}) rejected={} crashed={} \
+             presumed_aborted={} commits_resent={} | partial={} double={} oversell={} \
+             leaked={} lifecycle_violations={} -> {}",
+            r.granted,
+            r.cross_shard_granted,
+            r.rejected,
+            r.crashed,
+            r.presumed_aborted,
+            r.commits_resent,
+            r.partial_grants,
+            r.double_grants,
+            r.oversells,
+            r.live_after_reap,
+            life.all_violations().len(),
+            if ok { "OK" } else { "FAIL" }
+        );
+        for v in life.all_violations() {
+            eprintln!("  LIFECYCLE VIOLATION: {v}");
+        }
+        if !ok {
+            failures += 1;
+        }
+
+        let crash = promises_sim::run_cluster_crash_restart(seed, 5);
+        let crash_ok = crash.digests_match()
+            && crash.in_doubt.iter().all(|&n| n == 1)
+            && crash.live_after_recovery == crash.committed_before_kill;
+        println!(
+            "cluster-crash seed={seed}: digests_match={} in_doubt={:?} live_after_recovery={} \
+             committed_before_kill={} -> {}",
+            crash.digests_match(),
+            crash.in_doubt,
+            crash.live_after_recovery,
+            crash.committed_before_kill,
+            if crash_ok { "OK" } else { "FAIL" }
+        );
+        if !crash_ok {
+            failures += 1;
+        }
+
+        sweep_json.push(format!(
+            "{{\"seed\":{seed},\"fault_rate\":0.1,\"granted\":{},\"cross_shard_granted\":{},\
+             \"rejected\":{},\"coordinator_crashes\":{},\"presumed_aborted\":{},\
+             \"commits_resent\":{},\"partial_grants\":{},\"double_grants\":{},\
+             \"oversells\":{},\"leaked\":{},\"lifecycle_violations\":{},\
+             \"crash_restart\":{{\"digests_match\":{},\"live_after_recovery\":{}}}}}",
+            r.granted,
+            r.cross_shard_granted,
+            r.rejected,
+            r.crashed,
+            r.presumed_aborted,
+            r.commits_resent,
+            r.partial_grants,
+            r.double_grants,
+            r.oversells,
+            r.live_after_reap,
+            life.all_violations().len(),
+            crash.digests_match(),
+            crash.live_after_recovery,
+        ));
+    }
+
+    let json = format!(
+        "{{\"experiment\":\"e13-cluster\",\"service_time_us\":{},\
+         \"scaling\":[{}],\"scaling_ratio_4v1\":{ratio:.3},\"sweeps\":[{}]}}\n",
+        exp::E13_SERVICE_US,
+        scaling_json.join(","),
+        sweep_json.join(","),
+    );
+    let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+    std::fs::write(json_path, json).expect("write BENCH_cluster.json");
+    println!("\nwrote BENCH_cluster.json");
+
+    if failures > 0 {
+        eprintln!("cluster: {failures} check(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("cluster: all checks passed");
+}
+
 /// Stages the E12 smoke requires to have recorded samples: if any of
 /// these is empty the pipeline was not actually instrumented end to end.
 const REQUIRED_STAGES: &[&str] = &["bus.deliver", "pm.grant", "pm.check", "rm.txn"];
@@ -244,6 +383,15 @@ fn main() {
         let seeds: Vec<u64> = args.iter().filter_map(|a| a.parse().ok()).collect();
         obs_mode(if seeds.is_empty() {
             &[2007, 4711]
+        } else {
+            &seeds
+        });
+        return;
+    }
+    if args.iter().any(|a| a == "--cluster") {
+        let seeds: Vec<u64> = args.iter().filter_map(|a| a.parse().ok()).collect();
+        cluster_mode(if seeds.is_empty() {
+            &[2007, 31337, 90210]
         } else {
             &seeds
         });

@@ -90,6 +90,7 @@ pub fn pipeline_roundtrip(bus: &InMemoryBus, id: u64) -> bool {
             duration_ms: 60_000,
             exchange: vec![],
             negotiate: false,
+            prepare: false,
         })
         .with_environment(EnvironmentHeader {
             entries: vec![EnvEntry {
@@ -882,6 +883,93 @@ pub fn e12_overhead(clients: usize, ops: usize, qty: u64, standing_per_pool: usi
         plain: median(&mut offs),
         instrumented: median(&mut ons),
         median_delta_pct: median(&mut deltas),
+    }
+}
+
+// ======================================================================
+// E13 — cluster: shard-count throughput scaling + cross-shard mix
+// ======================================================================
+
+/// One E13 row: a shard count and the measured workload outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct E13Row {
+    /// Cluster size.
+    pub shards: usize,
+    /// Grant+release operations per wall-clock second.
+    pub throughput: f64,
+    /// Unit grants confirmed.
+    pub granted: u64,
+    /// Unit rejections.
+    pub rejected: u64,
+    /// Mean grant latency in microseconds.
+    pub mean_grant_us: f64,
+}
+
+/// Modeled per-message service time for the E13 scaling runs: each shard
+/// node is a single-threaded server costing this much per request, as if
+/// it ran on its own machine (see [`promises_cluster::ShardServer`]).
+pub const E13_SERVICE_US: u64 = 100;
+
+/// Runs the E13 scaling workload on a `shards`-node cluster: `clients`
+/// concurrent clients, each pinned to its own pool (pools spread
+/// round-robin, so shard load divides evenly), driving single-shard
+/// grant+release cycles through the coordinator's fast path. Every node
+/// is modeled as a single-threaded server with a fixed per-message
+/// service time, so with one shard the whole offered load funnels
+/// through one serialized loop, while N shards serve their pinned
+/// clients' requests in parallel — the throughput a real cluster buys by
+/// adding machines.
+pub fn e13_cluster_scaling(shards: usize, clients: usize, ops_per_client: usize) -> E13Row {
+    use promises_cluster::{ClusterDecision, PromiseCluster};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let cluster = PromiseCluster::build(shards, 2013);
+    cluster.set_service_time_us(E13_SERVICE_US);
+    for c in 0..clients {
+        cluster.register_quantity_pool(&pool_name(c), 1_000_000);
+    }
+    let granted = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let cluster = &cluster;
+            let granted = &granted;
+            let rejected = &rejected;
+            scope.spawn(move || {
+                let predicates = vec![format!("qty('{}') >= 2", pool_name(c))];
+                for op in 0..ops_per_client {
+                    let decision = cluster
+                        .coordinator
+                        .grant(
+                            &format!("client-{c}"),
+                            &format!("e13-{c}-{op}"),
+                            &predicates,
+                            3_600_000,
+                        )
+                        .expect("quiet bus cannot fail");
+                    match decision {
+                        ClusterDecision::Granted { parts } => {
+                            granted.fetch_add(1, Ordering::Relaxed);
+                            cluster.coordinator.release(&parts);
+                        }
+                        ClusterDecision::Rejected { .. } => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    let total = (clients * ops_per_client) as f64;
+    E13Row {
+        shards,
+        throughput: total / wall,
+        granted: granted.into_inner(),
+        rejected: rejected.into_inner(),
+        mean_grant_us: wall * 1e6 / total,
     }
 }
 

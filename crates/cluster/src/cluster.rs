@@ -1,0 +1,139 @@
+//! Cluster assembly: N shard nodes behind one bus, one router, and one
+//! coordinator, sharing a manual clock so expiry is driven
+//! deterministically in tests and sweeps.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use promises_core::{Clock, ManualClock};
+use promises_telemetry::{ShardEvidence, Telemetry, TelemetrySnapshot};
+use promises_wire::{InMemoryBus, RetryPolicy, RetryingClient};
+
+use crate::coordinator::Coordinator;
+use crate::log::CoordinatorLog;
+use crate::router::ShardMap;
+use crate::shard::ShardNode;
+
+/// A running promise-manager cluster.
+pub struct PromiseCluster {
+    /// The bus every shard answers on.
+    pub bus: Arc<InMemoryBus>,
+    /// Pool→shard ownership.
+    pub map: Arc<ShardMap>,
+    /// The shard nodes, by index.
+    pub nodes: Vec<ShardNode>,
+    /// The cross-shard grant coordinator.
+    pub coordinator: Arc<Coordinator>,
+    /// The shared cluster clock (manual, driven by tests/sweeps).
+    pub clock: Arc<ManualClock>,
+    /// The coordinator's telemetry registry (shards have their own).
+    pub telemetry: Arc<Telemetry>,
+    /// Registered pools: `(name, seeded qty, owning shard)` — kept so a
+    /// crashed shard can re-register its schemas on restart.
+    pools: Mutex<Vec<(String, u64, usize)>>,
+}
+
+impl PromiseCluster {
+    /// Builds a cluster of `shards` nodes. `seed` feeds the coordinator
+    /// client's retry jitter so runs are reproducible.
+    pub fn build(shards: usize, seed: u64) -> Self {
+        let bus = Arc::new(InMemoryBus::new());
+        let clock = Arc::new(ManualClock::new());
+        let map = Arc::new(ShardMap::new(shards));
+        let telemetry = Telemetry::shared();
+        let nodes: Vec<ShardNode> = (0..shards)
+            .map(|i| ShardNode::build(i, &bus, Arc::clone(&clock) as Arc<dyn Clock>))
+            .collect();
+        let client = Arc::new(
+            RetryingClient::new(Arc::clone(&bus), RetryPolicy::new(seed ^ 0xC0_0CD1))
+                .with_telemetry(Arc::clone(&telemetry)),
+        );
+        let coordinator = Arc::new(
+            Coordinator::new(
+                Arc::clone(&map),
+                client,
+                Arc::new(CoordinatorLog::new()),
+                Arc::clone(&clock) as Arc<dyn Clock>,
+            )
+            .with_telemetry(Arc::clone(&telemetry)),
+        );
+        Self {
+            bus,
+            map,
+            nodes,
+            coordinator,
+            clock,
+            telemetry,
+            pools: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers and seeds a quantity pool, assigning it to a shard
+    /// round-robin (deterministic in registration order).
+    pub fn register_quantity_pool(&self, name: &str, qty: u64) -> usize {
+        let shard = self.map.assign_round_robin(name);
+        self.nodes[shard].host_pool(name, qty);
+        self.pools.lock().push((name.to_owned(), qty, shard));
+        shard
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Sets the modeled per-message service time on every shard node
+    /// (see [`crate::ShardServer`]); 0 disables the model.
+    pub fn set_service_time_us(&self, us: u64) {
+        for node in &self.nodes {
+            node.server.set_service_us(us);
+        }
+    }
+
+    /// Pool names hosted by shard `index`.
+    pub fn pools_on(&self, index: usize) -> Vec<String> {
+        self.pools
+            .lock()
+            .iter()
+            .filter(|(_, _, s)| *s == index)
+            .map(|(n, _, _)| n.clone())
+            .collect()
+    }
+
+    /// Kills shard `index` (its in-memory promise table dies) and rebuilds
+    /// it from its journal. Returns the shard's recovery report.
+    pub fn crash_restart_shard(&mut self, index: usize) -> promises_core::RecoveryReport {
+        let pools = self.pools_on(index);
+        let bus = Arc::clone(&self.bus);
+        self.nodes[index].crash_restart(&bus, &pools)
+    }
+
+    /// Total live promises across every shard.
+    pub fn live_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.pm.live_count()).sum()
+    }
+
+    /// Advances the shared clock and prunes expiry on every shard.
+    pub fn advance_and_prune(&self, ms: u64) {
+        self.clock.advance(ms);
+        for node in &self.nodes {
+            let _ = node.pm.prune_expired();
+        }
+    }
+
+    /// One merged metrics snapshot: the coordinator registry's series
+    /// unprefixed plus every shard's series under `shardN.` labels.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = self.telemetry.snapshot();
+        for node in &self.nodes {
+            snap.absorb_prefixed(&node.endpoint, &node.telemetry.snapshot());
+        }
+        snap
+    }
+
+    /// Per-shard spans + journal truth for the cluster lifecycle auditor.
+    pub fn evidence(&self) -> Vec<ShardEvidence> {
+        self.nodes.iter().map(ShardNode::evidence).collect()
+    }
+}

@@ -1,0 +1,507 @@
+//! The cross-shard grant coordinator: prepare/commit over the wire bus.
+//!
+//! A multi-predicate request whose predicates span shards is granted or
+//! rejected *as a unit* (paper §4) without any shared state between
+//! shards:
+//!
+//! 1. **Begin** is logged, then per-shard *prepare* requests fan out —
+//!    each a normal grant on its shard (resources reserved immediately)
+//!    journalled as an in-doubt hold. Any shard that cannot hold rejects
+//!    immediately; nothing ever blocks, so there is no distributed
+//!    deadlock to detect.
+//! 2. If every shard held, **Commit** is logged — the commit point — and
+//!    commit resolutions fan out. If any shard rejected (or a prepare was
+//!    lost to the transport), the coordinator aborts the rest and logs
+//!    **Abort**.
+//! 3. Crash recovery replays the log with *presumed abort*: an undecided
+//!    transaction's holds are aborted (by request key, covering lost
+//!    prepare replies); a committed transaction's resolutions are resent
+//!    (shard-side resolution is idempotent).
+//!
+//! Grant dedup is cluster-wide: the coordinator answers a retried
+//! `(client, request-id)` from its own outcome index, and the per-shard
+//! sub-request ids (`rid@sN`) make the shards' own dedup indexes back the
+//! coordinator up even across a coordinator restart.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use promises_core::{parse_predicate, Clock};
+use promises_telemetry::{push_trace, SpanKind, SpanOutcome, Telemetry, TraceContext};
+use promises_wire::{
+    BusError, Envelope, PromiseRequestHeader, PromiseResult, ResolutionOp, ResolveRef,
+    RetryingClient,
+};
+
+use crate::log::{CoordRecord, CoordinatorLog, TxnId};
+use crate::router::{shard_endpoint, ShardMap};
+
+/// Where an injected coordinator crash fires, for crash–restart tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Die after every shard prepared but before the decision is logged —
+    /// recovery must presume abort and free every hold.
+    AfterPrepare,
+    /// Die after the Commit record is logged but before any resolution is
+    /// sent — recovery must resend the commits.
+    AfterCommitLogged,
+}
+
+/// One shard's slice of a granted cross-shard promise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrantPart {
+    /// Owning shard.
+    pub shard: usize,
+    /// The promise id on that shard.
+    pub promise_id: u64,
+    /// The shard-granted expiry (shard clock = cluster clock, ms).
+    pub expires_at: u64,
+}
+
+/// Outcome of a cluster grant: every predicate held (with per-shard
+/// parts), or the unit rejection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterDecision {
+    /// All shards hold; `parts` lists one entry per participating shard.
+    Granted {
+        /// Per-shard promises, ascending shard order.
+        parts: Vec<GrantPart>,
+    },
+    /// At least one shard could not hold; nothing is retained anywhere.
+    Rejected {
+        /// Human-readable reason from the first rejecting shard.
+        reason: String,
+    },
+}
+
+impl ClusterDecision {
+    /// True when granted.
+    pub fn is_granted(&self) -> bool {
+        matches!(self, ClusterDecision::Granted { .. })
+    }
+}
+
+/// Coordinator failures that are not unit rejections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordError {
+    /// A predicate failed to parse.
+    BadPredicate(String),
+    /// The request named no predicates.
+    EmptyRequest,
+    /// Transport to a shard failed beyond the retry budget during a phase
+    /// where the transaction could still be aborted cleanly (and was).
+    Transport(String),
+    /// An injected [`CrashPoint`] fired: the coordinator "died" here and
+    /// [`Coordinator::recover`] must clean up.
+    Crashed(&'static str),
+}
+
+impl std::fmt::Display for CoordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoordError::BadPredicate(m) => write!(f, "bad predicate: {m}"),
+            CoordError::EmptyRequest => write!(f, "request names no predicates"),
+            CoordError::Transport(m) => write!(f, "transport: {m}"),
+            CoordError::Crashed(p) => write!(f, "coordinator crashed at {p}"),
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}
+
+/// What a recovery pass did. See [`Coordinator::recover`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoordRecovery {
+    /// Undecided transactions presumed aborted (holds freed).
+    pub presumed_aborted: usize,
+    /// Committed transactions whose commit resolutions were resent.
+    pub commits_resent: usize,
+    /// Individual shard holds the abort pass actually freed.
+    pub holds_freed: usize,
+}
+
+/// The cross-shard grant coordinator. Cheap to rebuild: all durable state
+/// lives in the [`CoordinatorLog`] and the shards' journals.
+pub struct Coordinator {
+    map: Arc<ShardMap>,
+    client: Arc<RetryingClient>,
+    log: Arc<CoordinatorLog>,
+    clock: Arc<dyn Clock>,
+    telemetry: Option<Arc<Telemetry>>,
+    dedup: Mutex<HashMap<(String, String), ClusterDecision>>,
+    crash_point: Mutex<Option<CrashPoint>>,
+}
+
+impl Coordinator {
+    /// Builds a coordinator over `map`, speaking through `client`, logging
+    /// decisions to `log`, reading time from `clock`.
+    pub fn new(
+        map: Arc<ShardMap>,
+        client: Arc<RetryingClient>,
+        log: Arc<CoordinatorLog>,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        Self {
+            map,
+            client,
+            log,
+            clock,
+            telemetry: None,
+            dedup: Mutex::new(HashMap::new()),
+            crash_point: Mutex::new(None),
+        }
+    }
+
+    /// Builder: attaches a telemetry registry; grants then record
+    /// [`SpanKind::CoordPrepare`] / [`SpanKind::CoordCommit`] /
+    /// [`SpanKind::CoordAbort`] spans and every shard hop joins the same
+    /// trace.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The decision log (for tests and recovery harnesses).
+    pub fn log(&self) -> &Arc<CoordinatorLog> {
+        &self.log
+    }
+
+    /// Arms an injected crash for the *next* cross-shard grant.
+    pub fn set_crash_point(&self, point: Option<CrashPoint>) {
+        *self.crash_point.lock() = point;
+    }
+
+    fn crash_armed(&self, at: CrashPoint) -> bool {
+        let mut cp = self.crash_point.lock();
+        if *cp == Some(at) {
+            *cp = None;
+            return true;
+        }
+        false
+    }
+
+    /// Grants `predicates` (text syntax) to `(client, request_id)` for
+    /// `duration_ms`, atomically across however many shards the predicate
+    /// footprint spans. Retried requests (same client + request id) are
+    /// answered from the coordinator's outcome index without touching the
+    /// shards.
+    pub fn grant(
+        &self,
+        client: &str,
+        request_id: &str,
+        predicates: &[String],
+        duration_ms: u64,
+    ) -> Result<ClusterDecision, CoordError> {
+        let key = (client.to_owned(), request_id.to_owned());
+        if let Some(prior) = self.dedup.lock().get(&key) {
+            return Ok(prior.clone());
+        }
+        if predicates.is_empty() {
+            return Err(CoordError::EmptyRequest);
+        }
+        // Split the footprint: each predicate names its pool; the router
+        // names the pool's owner.
+        let mut with_pools = Vec::with_capacity(predicates.len());
+        for text in predicates {
+            let p = parse_predicate(text)
+                .map_err(|e| CoordError::BadPredicate(format!("{text:?}: {e}")))?;
+            with_pools.push((p.pool().0.clone(), text.clone()));
+        }
+        let groups = self.map.split_by_shard(with_pools);
+
+        // Trace: one per logical cluster grant; shard hops join it.
+        let trace_guard = self.telemetry.as_ref().map(|tel| {
+            let ctx = TraceContext {
+                trace: tel.mint_trace(),
+                parent: tel.mint_span(),
+            };
+            push_trace(ctx)
+        });
+
+        let decision = if groups.len() == 1 {
+            // Fast path: single-shard footprint — an ordinary grant with
+            // the original request id; the shard's atomicity (§4) and
+            // dedup cover it without any coordination round.
+            let (&shard, preds) = groups.iter().next().expect("one group");
+            self.single_shard_grant(client, request_id, shard, preds, duration_ms)?
+        } else {
+            self.cross_shard_grant(client, request_id, &groups, duration_ms)?
+        };
+        drop(trace_guard);
+
+        self.dedup.lock().insert(key, decision.clone());
+        Ok(decision)
+    }
+
+    fn single_shard_grant(
+        &self,
+        client: &str,
+        request_id: &str,
+        shard: usize,
+        predicates: &[String],
+        duration_ms: u64,
+    ) -> Result<ClusterDecision, CoordError> {
+        let envelope = Envelope::new().with_promise_request(PromiseRequestHeader {
+            request_id: request_id.to_owned(),
+            client: client.to_owned(),
+            predicates: predicates.to_vec(),
+            duration_ms,
+            exchange: vec![],
+            negotiate: false,
+            prepare: false,
+        });
+        let reply = self
+            .client
+            .send(&shard_endpoint(shard), &envelope)
+            .map_err(|e| CoordError::Transport(e.to_string()))?;
+        Ok(match reply.response_for(request_id) {
+            Some(resp) => match (&resp.result, resp.promise_id) {
+                (PromiseResult::Rejected(reason), _) => ClusterDecision::Rejected {
+                    reason: reason.clone(),
+                },
+                (_, Some(id)) => ClusterDecision::Granted {
+                    parts: vec![GrantPart {
+                        shard,
+                        promise_id: id,
+                        expires_at: resp.expires_at,
+                    }],
+                },
+                (_, None) => ClusterDecision::Rejected {
+                    reason: "malformed shard response".into(),
+                },
+            },
+            None => ClusterDecision::Rejected {
+                reason: "shard reply carried no response".into(),
+            },
+        })
+    }
+
+    fn cross_shard_grant(
+        &self,
+        client: &str,
+        request_id: &str,
+        groups: &std::collections::BTreeMap<usize, Vec<String>>,
+        duration_ms: u64,
+    ) -> Result<ClusterDecision, CoordError> {
+        let txn = TxnId::new(client, request_id);
+        let shards: Vec<usize> = groups.keys().copied().collect();
+        self.log.append(CoordRecord::Begin {
+            txn: txn.clone(),
+            shards: shards.clone(),
+        });
+
+        let prepare_started = Instant::now();
+        let mut parts: Vec<GrantPart> = Vec::with_capacity(groups.len());
+        let mut reject: Option<String> = None;
+        // Shards that may hold something we must abort: everything
+        // prepared so far, plus any shard whose outcome we could not
+        // learn (lost reply — abort by request key).
+        let mut to_abort: Vec<(usize, ResolveRef)> = Vec::new();
+        for (&shard, preds) in groups {
+            let sub = txn.sub_request(shard);
+            let envelope = Envelope::new().with_promise_request(PromiseRequestHeader {
+                request_id: sub.clone(),
+                client: client.to_owned(),
+                predicates: preds.clone(),
+                duration_ms,
+                exchange: vec![],
+                negotiate: false,
+                prepare: true,
+            });
+            match self.client.send(&shard_endpoint(shard), &envelope) {
+                Ok(reply) => match reply.response_for(&sub) {
+                    Some(resp) => match (&resp.result, resp.promise_id) {
+                        (PromiseResult::Rejected(reason), _) => {
+                            // Immediate, non-blocking rejection (paper §4):
+                            // stop the fan-out, abort what's held.
+                            reject = Some(reason.clone());
+                            break;
+                        }
+                        (_, Some(id)) => {
+                            to_abort.push((shard, ResolveRef::Id(id)));
+                            parts.push(GrantPart {
+                                shard,
+                                promise_id: id,
+                                expires_at: resp.expires_at,
+                            });
+                        }
+                        (_, None) => {
+                            reject = Some("malformed shard response".into());
+                            break;
+                        }
+                    },
+                    None => {
+                        reject = Some("shard reply carried no response".into());
+                        break;
+                    }
+                },
+                Err(e @ (BusError::DroppedRequest | BusError::DroppedReply)) => {
+                    // Retries exhausted; the shard *may* hold (reply lost
+                    // after granting). Abort it by request key — resolved
+                    // against the shard's dedup index if the hold exists,
+                    // a no-op if it never granted.
+                    to_abort.push((
+                        shard,
+                        ResolveRef::Request {
+                            client: client.to_owned(),
+                            request: sub,
+                        },
+                    ));
+                    reject = Some(format!("shard {shard} unreachable: {e}"));
+                    break;
+                }
+                Err(e) => {
+                    reject = Some(format!("shard {shard} failed: {e}"));
+                    break;
+                }
+            }
+        }
+
+        if reject.is_none() {
+            // Holds that expired while the fan-out ran cannot be
+            // committed; treat the transaction as rejected.
+            let now = self.clock.now_ms();
+            if let Some(stale) = parts.iter().find(|p| p.expires_at <= now) {
+                reject = Some(format!(
+                    "hold on shard {} expired before commit",
+                    stale.shard
+                ));
+            }
+        }
+        if let Some(tel) = &self.telemetry {
+            let draft = tel.span_since(SpanKind::CoordPrepare, prepare_started);
+            let draft = draft.note(format!("shards={}", shards.len()));
+            match &reject {
+                None => draft.finish(),
+                Some(r) => draft
+                    .outcome(SpanOutcome::Rejected)
+                    .note(r.clone())
+                    .finish(),
+            }
+        }
+
+        if let Some(reason) = reject {
+            self.abort_txn(&txn, &to_abort);
+            return Ok(ClusterDecision::Rejected { reason });
+        }
+
+        if self.crash_armed(CrashPoint::AfterPrepare) {
+            // Undecided: every hold stays in doubt until recovery.
+            return Err(CoordError::Crashed("after-prepare"));
+        }
+
+        // The commit point: once this record is durable the transaction IS
+        // committed, whatever happens to the resolution sends below.
+        self.log.append(CoordRecord::Commit { txn: txn.clone() });
+
+        if self.crash_armed(CrashPoint::AfterCommitLogged) {
+            return Err(CoordError::Crashed("after-commit-logged"));
+        }
+
+        let commit_started = Instant::now();
+        for part in &parts {
+            // Idempotent shard-side; a lost resolution leaves the hold in
+            // doubt for recover() to resend, never half-committed.
+            let _ = self.client.send(
+                &shard_endpoint(part.shard),
+                &Envelope::new()
+                    .with_resolution(ResolveRef::Id(part.promise_id), ResolutionOp::Commit),
+            );
+        }
+        if let Some(tel) = &self.telemetry {
+            tel.span_since(SpanKind::CoordCommit, commit_started)
+                .note(format!("parts={}", parts.len()))
+                .finish();
+        }
+        Ok(ClusterDecision::Granted { parts })
+    }
+
+    /// Aborts every hold in `refs` and logs the Abort decision.
+    fn abort_txn(&self, txn: &TxnId, refs: &[(usize, ResolveRef)]) {
+        let started = Instant::now();
+        for (shard, reference) in refs {
+            let _ = self.client.send(
+                &shard_endpoint(*shard),
+                &Envelope::new().with_resolution(reference.clone(), ResolutionOp::Abort),
+            );
+        }
+        self.log.append(CoordRecord::Abort { txn: txn.clone() });
+        if let Some(tel) = &self.telemetry {
+            tel.span_since(SpanKind::CoordAbort, started)
+                .note(format!("holds={}", refs.len()))
+                .finish();
+        }
+    }
+
+    /// Releases every part of a granted cross-shard promise.
+    pub fn release(&self, parts: &[GrantPart]) {
+        for part in parts {
+            let _ = self.client.send(
+                &shard_endpoint(part.shard),
+                &Envelope::new().with_release(part.promise_id),
+            );
+        }
+    }
+
+    /// Crash recovery: replays the decision log, presumes undecided
+    /// transactions aborted (freeing their holds by request key), and
+    /// resends commit resolutions for decided transactions whose sends may
+    /// never have left. Safe to run any number of times — every message it
+    /// sends is idempotent shard-side.
+    pub fn recover(&self) -> Result<CoordRecovery, CoordError> {
+        let summary = self
+            .log
+            .replay()
+            .map_err(|e| CoordError::Transport(e.to_string()))?;
+        let mut report = CoordRecovery::default();
+        for (txn, shards) in &summary.undecided {
+            let started = Instant::now();
+            let mut freed = 0usize;
+            for &shard in shards {
+                let reference = ResolveRef::Request {
+                    client: txn.client.clone(),
+                    request: txn.sub_request(shard),
+                };
+                if let Ok(reply) = self.client.send(
+                    &shard_endpoint(shard),
+                    &Envelope::new().with_resolution(reference.clone(), ResolutionOp::Abort),
+                ) {
+                    if reply.resolution_for(&reference).is_some_and(|r| r.applied) {
+                        freed += 1;
+                    }
+                }
+            }
+            self.log.append(CoordRecord::Abort { txn: txn.clone() });
+            report.presumed_aborted += 1;
+            report.holds_freed += freed;
+            if let Some(tel) = &self.telemetry {
+                tel.span_since(SpanKind::CoordAbort, started)
+                    .note(format!("recovery presumed-abort {}", txn.request))
+                    .finish();
+            }
+        }
+        for (txn, shards) in &summary.committed {
+            let started = Instant::now();
+            for &shard in shards {
+                let reference = ResolveRef::Request {
+                    client: txn.client.clone(),
+                    request: txn.sub_request(shard),
+                };
+                let _ = self.client.send(
+                    &shard_endpoint(shard),
+                    &Envelope::new().with_resolution(reference, ResolutionOp::Commit),
+                );
+            }
+            report.commits_resent += 1;
+            if let Some(tel) = &self.telemetry {
+                tel.span_since(SpanKind::CoordCommit, started)
+                    .note(format!("recovery resend {}", txn.request))
+                    .finish();
+            }
+        }
+        Ok(report)
+    }
+}

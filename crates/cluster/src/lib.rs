@@ -1,0 +1,35 @@
+//! `promises-cluster` — a sharded promise-manager cluster with
+//! cross-shard atomic grants.
+//!
+//! The paper's §4 atomicity rule — a multi-predicate request is granted
+//! or rejected as a unit — is easy when one manager owns every pool and
+//! impossible to scale that way. This crate partitions pool ownership
+//! across N autonomous shard nodes ([`ShardNode`]: own journal, own
+//! resource manager, own telemetry) behind a deterministic router
+//! ([`ShardMap`]) and restores the unit-grant guarantee with an explicit
+//! prepare/commit protocol ([`Coordinator`]) over the existing wire bus:
+//!
+//! * single-shard footprints take a fast path — one ordinary grant, no
+//!   coordination round;
+//! * cross-shard footprints get per-shard *prepared holds* (reserved
+//!   immediately, journalled in doubt) that a logged commit point turns
+//!   into ordinary grants, or an abort releases — rejection stays
+//!   immediate and non-blocking, so there is no distributed deadlock;
+//! * crash recovery is presumed-abort over the [`CoordinatorLog`] plus
+//!   each shard's journal replay of in-doubt `P` records.
+
+#![warn(missing_docs)]
+
+mod cluster;
+mod coordinator;
+mod log;
+mod router;
+mod shard;
+
+pub use cluster::PromiseCluster;
+pub use coordinator::{
+    ClusterDecision, CoordError, CoordRecovery, Coordinator, CrashPoint, GrantPart,
+};
+pub use log::{CoordLogError, CoordRecord, CoordinatorLog, LogSummary, TxnId};
+pub use router::{shard_endpoint, ShardMap};
+pub use shard::{ShardNode, ShardServer};

@@ -1,0 +1,355 @@
+//! The coordinator's durable decision log.
+//!
+//! A cross-shard transaction is decided by exactly one record: `Begin` is
+//! written before any prepare is sent, and the *commit point* is the
+//! `Commit` record — written before any commit resolution goes out. A
+//! recovering coordinator applies presumed abort: `Begin` with no decision
+//! means no shard can have been told to commit, so every hold the prepare
+//! fan-out may have left behind is safe to abort; `Commit` means some
+//! shards may or may not have heard, so commits are resent (shard-side
+//! resolution is idempotent).
+//!
+//! Like `PromiseJournal`, the log is an in-memory line store standing in
+//! for an fsynced append-only file: the format is line-oriented `|`-sep
+//! text so the encode/decode pair is trivially auditable.
+
+use parking_lot::Mutex;
+
+/// Identity of one cross-shard transaction: the client and the original
+/// (pre-split) request id.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId {
+    /// Requesting client.
+    pub client: String,
+    /// The client's request id for the whole multi-predicate request.
+    pub request: String,
+}
+
+impl TxnId {
+    /// Creates a transaction id.
+    pub fn new(client: impl Into<String>, request: impl Into<String>) -> Self {
+        Self {
+            client: client.into(),
+            request: request.into(),
+        }
+    }
+
+    /// The sub-request id this transaction uses on `shard` — the original
+    /// request id tagged with the shard, so shard-level `(client,
+    /// request)` dedup stays airtight per shard while the coordinator owns
+    /// the cluster-wide key.
+    pub fn sub_request(&self, shard: usize) -> String {
+        format!("{}@s{shard}", self.request)
+    }
+}
+
+/// One coordinator log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordRecord {
+    /// Prepare fan-out is about to start for `txn` over `shards`.
+    Begin {
+        /// The transaction.
+        txn: TxnId,
+        /// Participating shard indices, ascending.
+        shards: Vec<usize>,
+    },
+    /// The commit point: every shard prepared and the grant is decided.
+    Commit {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// The transaction aborted (a shard rejected, a prepare was lost, or
+    /// recovery presumed abort).
+    Abort {
+        /// The transaction.
+        txn: TxnId,
+    },
+}
+
+impl CoordRecord {
+    fn encode(&self) -> String {
+        match self {
+            CoordRecord::Begin { txn, shards } => {
+                let list = shards
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!("B|{}|{}|{list}", esc(&txn.client), esc(&txn.request))
+            }
+            CoordRecord::Commit { txn } => {
+                format!("C|{}|{}", esc(&txn.client), esc(&txn.request))
+            }
+            CoordRecord::Abort { txn } => {
+                format!("A|{}|{}", esc(&txn.client), esc(&txn.request))
+            }
+        }
+    }
+
+    fn decode(line: &str) -> Result<Self, CoordLogError> {
+        let mut parts = line.split('|');
+        let tag = parts.next().unwrap_or_default();
+        let client = unesc(parts.next().ok_or(CoordLogError::Truncated)?);
+        let request = unesc(parts.next().ok_or(CoordLogError::Truncated)?);
+        let txn = TxnId { client, request };
+        match tag {
+            "B" => {
+                let list = parts.next().ok_or(CoordLogError::Truncated)?;
+                let shards = if list.is_empty() {
+                    vec![]
+                } else {
+                    list.split(',')
+                        .map(|s| s.parse().map_err(|_| CoordLogError::BadShardList))
+                        .collect::<Result<_, _>>()?
+                };
+                Ok(CoordRecord::Begin { txn, shards })
+            }
+            "C" => Ok(CoordRecord::Commit { txn }),
+            "A" => Ok(CoordRecord::Abort { txn }),
+            other => Err(CoordLogError::UnknownTag(other.to_owned())),
+        }
+    }
+
+    /// The transaction this record is about.
+    pub fn txn(&self) -> &TxnId {
+        match self {
+            CoordRecord::Begin { txn, .. }
+            | CoordRecord::Commit { txn }
+            | CoordRecord::Abort { txn } => txn,
+        }
+    }
+}
+
+/// Decode failures (a corrupt line is an error, never skipped silently).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordLogError {
+    /// A record line ended before its required fields.
+    Truncated,
+    /// An unrecognised record tag.
+    UnknownTag(String),
+    /// The Begin shard list did not parse.
+    BadShardList,
+}
+
+impl std::fmt::Display for CoordLogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoordLogError::Truncated => write!(f, "truncated coordinator log record"),
+            CoordLogError::UnknownTag(t) => write!(f, "unknown coordinator log tag {t:?}"),
+            CoordLogError::BadShardList => write!(f, "bad shard list in Begin record"),
+        }
+    }
+}
+
+impl std::error::Error for CoordLogError {}
+
+/// The append-only coordinator log.
+#[derive(Debug, Default)]
+pub struct CoordinatorLog {
+    lines: Mutex<Vec<String>>,
+}
+
+impl CoordinatorLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one record (the in-memory stand-in for append+fsync).
+    pub fn append(&self, rec: CoordRecord) {
+        self.lines.lock().push(rec.encode());
+    }
+
+    /// Decodes every record, oldest first.
+    pub fn entries(&self) -> Result<Vec<CoordRecord>, CoordLogError> {
+        self.lines
+            .lock()
+            .iter()
+            .map(|l| CoordRecord::decode(l))
+            .collect()
+    }
+
+    /// Replays the log into per-transaction outcomes: transactions with a
+    /// `Begin` but no decision (the in-doubt set recovery must presume
+    /// aborted), and transactions whose decision was `Commit` (whose
+    /// resolutions recovery must resend).
+    ///
+    /// A transaction may be Begun more than once (a crashed attempt
+    /// retried under the same request id resolves to the same per-shard
+    /// holds via sub-request dedup), so outcomes fold per *transaction*,
+    /// and `Commit` is sticky: once any attempt committed, the holds are
+    /// granted state and no later record may demote them to abortable.
+    pub fn replay(&self) -> Result<LogSummary, CoordLogError> {
+        #[derive(PartialEq)]
+        enum Status {
+            Pending,
+            Committed,
+            Aborted,
+        }
+        let mut order: Vec<TxnId> = Vec::new();
+        let mut state: std::collections::HashMap<TxnId, (Vec<usize>, Status)> =
+            std::collections::HashMap::new();
+        for rec in self.entries()? {
+            match rec {
+                CoordRecord::Begin { txn, shards } => {
+                    if !state.contains_key(&txn) {
+                        order.push(txn.clone());
+                    }
+                    let entry = state
+                        .entry(txn)
+                        .or_insert_with(|| (shards.clone(), Status::Pending));
+                    entry.0 = shards;
+                    // A new attempt after an abort is pending again; a
+                    // committed transaction stays committed.
+                    if entry.1 == Status::Aborted {
+                        entry.1 = Status::Pending;
+                    }
+                }
+                CoordRecord::Commit { txn } => {
+                    if let Some(entry) = state.get_mut(&txn) {
+                        entry.1 = Status::Committed;
+                    }
+                }
+                CoordRecord::Abort { txn } => {
+                    if let Some(entry) = state.get_mut(&txn) {
+                        if entry.1 != Status::Committed {
+                            entry.1 = Status::Aborted;
+                        }
+                    }
+                }
+            }
+        }
+        let mut summary = LogSummary {
+            undecided: Vec::new(),
+            committed: Vec::new(),
+        };
+        for txn in order {
+            let (shards, status) = &state[&txn];
+            match status {
+                Status::Pending => summary.undecided.push((txn.clone(), shards.clone())),
+                Status::Committed => summary.committed.push((txn.clone(), shards.clone())),
+                Status::Aborted => {}
+            }
+        }
+        Ok(summary)
+    }
+}
+
+/// Per-transaction outcome of a log replay. See [`CoordinatorLog::replay`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogSummary {
+    /// `Begin` with no decision: presume abort.
+    pub undecided: Vec<(TxnId, Vec<usize>)>,
+    /// Decided commit: resend resolutions (idempotent shard-side).
+    pub committed: Vec<(TxnId, Vec<usize>)>,
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('|', "\\p")
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('p') => out.push('|'),
+                Some(other) => out.push(other),
+                None => break,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_roundtrip() {
+        let recs = vec![
+            CoordRecord::Begin {
+                txn: TxnId::new("c|1", "r\\9"),
+                shards: vec![0, 2],
+            },
+            CoordRecord::Commit {
+                txn: TxnId::new("c|1", "r\\9"),
+            },
+            CoordRecord::Abort {
+                txn: TxnId::new("other", "r2"),
+            },
+        ];
+        let log = CoordinatorLog::new();
+        for r in &recs {
+            log.append(r.clone());
+        }
+        assert_eq!(log.entries().unwrap(), recs);
+    }
+
+    #[test]
+    fn replay_applies_presumed_abort() {
+        let log = CoordinatorLog::new();
+        let lost = TxnId::new("c", "lost");
+        let done = TxnId::new("c", "done");
+        let dead = TxnId::new("c", "dead");
+        log.append(CoordRecord::Begin {
+            txn: lost.clone(),
+            shards: vec![0, 1],
+        });
+        log.append(CoordRecord::Begin {
+            txn: done.clone(),
+            shards: vec![1, 2],
+        });
+        log.append(CoordRecord::Commit { txn: done.clone() });
+        log.append(CoordRecord::Begin {
+            txn: dead.clone(),
+            shards: vec![0],
+        });
+        log.append(CoordRecord::Abort { txn: dead });
+        let summary = log.replay().unwrap();
+        assert_eq!(summary.undecided, vec![(lost, vec![0, 1])]);
+        assert_eq!(summary.committed, vec![(done, vec![1, 2])]);
+    }
+
+    #[test]
+    fn commit_is_sticky_across_re_begins() {
+        // Crash, retry (new Begin), commit, then the OLD attempt's abort
+        // arrives from a racing recovery pass: the txn must stay committed.
+        let log = CoordinatorLog::new();
+        let txn = TxnId::new("c", "r");
+        log.append(CoordRecord::Begin {
+            txn: txn.clone(),
+            shards: vec![0, 1],
+        });
+        log.append(CoordRecord::Begin {
+            txn: txn.clone(),
+            shards: vec![0, 1],
+        });
+        log.append(CoordRecord::Commit { txn: txn.clone() });
+        log.append(CoordRecord::Abort { txn: txn.clone() });
+        let summary = log.replay().unwrap();
+        assert!(summary.undecided.is_empty());
+        assert_eq!(summary.committed, vec![(txn, vec![0, 1])]);
+    }
+
+    #[test]
+    fn sub_request_ids_are_per_shard() {
+        let txn = TxnId::new("alice", "r7");
+        assert_eq!(txn.sub_request(0), "r7@s0");
+        assert_eq!(txn.sub_request(3), "r7@s3");
+    }
+
+    #[test]
+    fn corrupt_lines_error_out() {
+        let log = CoordinatorLog::new();
+        log.lines.lock().push("Z|x|y".into());
+        assert!(matches!(
+            log.entries(),
+            Err(CoordLogError::UnknownTag(t)) if t == "Z"
+        ));
+    }
+}

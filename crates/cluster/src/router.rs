@@ -1,0 +1,177 @@
+//! Deterministic pool→shard routing.
+//!
+//! Ownership is *explicit first, hashed second*: pools registered through
+//! the cluster builder get round-robin assignments recorded in the map
+//! (so a test can pin a pool to a shard and a rebalancer can move one),
+//! and any pool the map has never seen falls back to a stable FNV-1a hash
+//! of its name. The map carries an epoch so later rebalancing work can
+//! version ownership changes; every reassignment bumps it.
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+
+/// The bus endpoint name of shard `index`.
+pub fn shard_endpoint(index: usize) -> String {
+    format!("shard{index}")
+}
+
+/// Epoch-versioned pool→shard ownership map.
+#[derive(Debug)]
+pub struct ShardMap {
+    shards: usize,
+    state: RwLock<MapState>,
+}
+
+#[derive(Debug, Default)]
+struct MapState {
+    epoch: u64,
+    assignments: BTreeMap<String, usize>,
+    next_round_robin: usize,
+}
+
+impl ShardMap {
+    /// A map over `shards` shards (at least one) with no explicit
+    /// assignments yet.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "a cluster needs at least one shard");
+        Self {
+            shards,
+            state: RwLock::new(MapState::default()),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The current ownership epoch (bumped by every explicit assignment).
+    pub fn epoch(&self) -> u64 {
+        self.state.read().epoch
+    }
+
+    /// Explicitly assigns `pool` to `shard`, bumping the epoch.
+    pub fn assign(&self, pool: &str, shard: usize) {
+        assert!(shard < self.shards, "shard {shard} out of range");
+        let mut st = self.state.write();
+        st.assignments.insert(pool.to_owned(), shard);
+        st.epoch += 1;
+    }
+
+    /// Assigns `pool` to the next shard in round-robin order and returns
+    /// the chosen shard. Used by the cluster builder so registration order
+    /// spreads pools evenly and deterministically.
+    pub fn assign_round_robin(&self, pool: &str) -> usize {
+        let mut st = self.state.write();
+        if let Some(&s) = st.assignments.get(pool) {
+            return s;
+        }
+        let shard = st.next_round_robin % self.shards;
+        st.next_round_robin += 1;
+        st.assignments.insert(pool.to_owned(), shard);
+        st.epoch += 1;
+        shard
+    }
+
+    /// The shard owning `pool`: its explicit assignment, or the stable
+    /// hash fallback for pools the map has never seen.
+    pub fn shard_for(&self, pool: &str) -> usize {
+        if let Some(&s) = self.state.read().assignments.get(pool) {
+            return s;
+        }
+        (fnv1a(pool.as_bytes()) as usize) % self.shards
+    }
+
+    /// The bus endpoint of the shard owning `pool`.
+    pub fn endpoint_for(&self, pool: &str) -> String {
+        shard_endpoint(self.shard_for(pool))
+    }
+
+    /// Splits `(pool, payload)` pairs into per-shard groups, keyed by
+    /// shard index in ascending order (deterministic fan-out order).
+    pub fn split_by_shard<T>(
+        &self,
+        items: impl IntoIterator<Item = (String, T)>,
+    ) -> BTreeMap<usize, Vec<T>> {
+        let mut groups: BTreeMap<usize, Vec<T>> = BTreeMap::new();
+        for (pool, item) in items {
+            groups.entry(self.shard_for(&pool)).or_default().push(item);
+        }
+        groups
+    }
+
+    /// Every explicit assignment, sorted by pool name.
+    pub fn assignments(&self) -> Vec<(String, usize)> {
+        self.state
+            .read()
+            .assignments
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+}
+
+/// FNV-1a, the stable fallback hash (never `DefaultHasher`, whose output
+/// may change across Rust releases and would silently re-route pools).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_spreads_pools_and_is_sticky() {
+        let map = ShardMap::new(3);
+        assert_eq!(map.assign_round_robin("a"), 0);
+        assert_eq!(map.assign_round_robin("b"), 1);
+        assert_eq!(map.assign_round_robin("c"), 2);
+        assert_eq!(map.assign_round_robin("d"), 0);
+        // Re-registration does not move a pool or burn a slot.
+        assert_eq!(map.assign_round_robin("b"), 1);
+        assert_eq!(map.assign_round_robin("e"), 1);
+        assert_eq!(map.shard_for("a"), 0);
+    }
+
+    #[test]
+    fn unknown_pools_hash_stably_in_range() {
+        let map = ShardMap::new(4);
+        for name in ["widgets", "rooms", "flights", "x"] {
+            let s = map.shard_for(name);
+            assert!(s < 4);
+            assert_eq!(s, map.shard_for(name), "routing must be stable");
+        }
+    }
+
+    #[test]
+    fn explicit_assignment_overrides_hash_and_bumps_epoch() {
+        let map = ShardMap::new(2);
+        let before = map.epoch();
+        map.assign("widgets", 1);
+        assert_eq!(map.shard_for("widgets"), 1);
+        assert!(map.epoch() > before);
+    }
+
+    #[test]
+    fn split_groups_by_owner_in_shard_order() {
+        let map = ShardMap::new(2);
+        map.assign("a", 1);
+        map.assign("b", 0);
+        map.assign("c", 1);
+        let groups = map.split_by_shard(vec![
+            ("a".to_owned(), "pa"),
+            ("b".to_owned(), "pb"),
+            ("c".to_owned(), "pc"),
+        ]);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[&0], vec!["pb"]);
+        assert_eq!(groups[&1], vec!["pa", "pc"]);
+    }
+}

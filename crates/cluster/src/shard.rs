@@ -1,0 +1,212 @@
+//! One promise-manager shard: an autonomous node owning a subset of the
+//! pools, with its own resource manager, journal, telemetry registry, and
+//! wire gateway. Shards share nothing but the bus and the cluster clock —
+//! cooperation happens only through explicit promise messages, never
+//! shared state.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use promises_core::{Catalog, Clock, PoolSchema, PromiseJournal, PromiseManager, RecoveryReport};
+use promises_rm::ResourceManager;
+use promises_telemetry::{JournalFacts, ShardEvidence, Telemetry};
+use promises_wire::{Envelope, InMemoryBus, PromiseGateway, Service};
+
+use crate::router::shard_endpoint;
+
+/// The bus-facing front of a shard: a single-threaded server loop. Real
+/// service endpoints process one request at a time per core, so the
+/// server serializes message handling per node and can model a fixed
+/// per-message service time (E13 uses this to emulate each node running
+/// on its own machine — sleeps overlap across nodes, so cluster
+/// throughput scales with node count even on a small test box).
+///
+/// The gateway behind the server is swappable, so a crash–restart
+/// replaces the shard's promise manager without re-registering the
+/// endpoint.
+pub struct ShardServer {
+    gateway: Mutex<Arc<PromiseGateway>>,
+    service_us: AtomicU64,
+}
+
+impl ShardServer {
+    fn new(gateway: Arc<PromiseGateway>) -> Self {
+        Self {
+            gateway: Mutex::new(gateway),
+            service_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the modeled per-message service time (0 disables the model
+    /// and lets messages race straight into the gateway).
+    pub fn set_service_us(&self, us: u64) {
+        self.service_us.store(us, Ordering::Relaxed);
+    }
+
+    fn swap_gateway(&self, gateway: Arc<PromiseGateway>) {
+        *self.gateway.lock() = gateway;
+    }
+}
+
+impl Service for ShardServer {
+    fn handle(&self, envelope: Envelope) -> Envelope {
+        let us = self.service_us.load(Ordering::Relaxed);
+        if us == 0 {
+            let gateway = Arc::clone(&self.gateway.lock());
+            return gateway.handle(envelope);
+        }
+        // Single-threaded server: the whole request — modeled service
+        // time included — runs under the node's loop lock.
+        let guard = self.gateway.lock();
+        std::thread::sleep(Duration::from_micros(us));
+        guard.handle(envelope)
+    }
+}
+
+/// One shard node. The promise manager (and with it the in-memory promise
+/// table) can be killed and rebuilt from the journal; the resource
+/// manager, journal, and telemetry registry survive a restart, exactly as
+/// durable storage would.
+pub struct ShardNode {
+    /// Shard index within the cluster.
+    pub index: usize,
+    /// Bus endpoint this shard's gateway answers on.
+    pub endpoint: String,
+    /// The shard's private resource manager.
+    pub rm: Arc<ResourceManager>,
+    /// The shard's durable promise journal.
+    pub journal: Arc<PromiseJournal>,
+    /// The shard's promise manager.
+    pub pm: Arc<PromiseManager>,
+    /// The wire gateway wrapping `pm`.
+    pub gateway: Arc<PromiseGateway>,
+    /// The bus-facing server loop fronting `gateway`.
+    pub server: Arc<ShardServer>,
+    /// The shard's private telemetry registry.
+    pub telemetry: Arc<Telemetry>,
+    clock: Arc<dyn Clock>,
+}
+
+impl ShardNode {
+    /// Builds shard `index` on `bus` with fresh storage. Pools are
+    /// registered later by the cluster builder ([`ShardNode::host_pool`]).
+    pub fn build(index: usize, bus: &InMemoryBus, clock: Arc<dyn Clock>) -> Self {
+        let rm = Arc::new(ResourceManager::new());
+        let journal = Arc::new(PromiseJournal::new());
+        let telemetry = Telemetry::shared();
+        let pm = Arc::new(
+            PromiseManager::new(Arc::clone(&rm), Arc::clone(&clock))
+                .with_journal(Arc::clone(&journal)),
+        );
+        rm.set_telemetry(Some(Arc::clone(&telemetry)));
+        pm.set_telemetry(Some(Arc::clone(&telemetry)));
+        let gateway = Arc::new(PromiseGateway::new(Arc::clone(&pm)));
+        let node = Self {
+            index,
+            endpoint: shard_endpoint(index),
+            rm,
+            journal,
+            server: Arc::new(ShardServer::new(Arc::clone(&gateway))),
+            gateway,
+            pm,
+            telemetry,
+            clock,
+        };
+        node.register_handlers();
+        bus.register(&node.endpoint, Arc::clone(&node.server) as _);
+        node
+    }
+
+    /// Registers the shard's quantity-purchase action handler (the same
+    /// merchant/purchase contract the single-node harnesses expose).
+    fn register_handlers(&self) {
+        self.gateway.register_handler(
+            "merchant",
+            "purchase",
+            Arc::new(|rm, txn, action| {
+                let pool = action
+                    .get("pool")
+                    .ok_or_else(|| promises_core::ActionError::App("missing pool".into()))?
+                    .to_owned();
+                let qty: i64 = action
+                    .get("qty")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| promises_core::ActionError::App("missing qty".into()))?;
+                rm.update(txn, Catalog::QTY_TABLE, &pool, |r| {
+                    let q = r.int("qty").unwrap_or(0);
+                    r.set("qty", q - qty);
+                })?;
+                Ok(vec![("taken".into(), qty.to_string())])
+            }),
+        );
+    }
+
+    /// Registers and seeds a quantity pool on this shard.
+    pub fn host_pool(&self, pool: &str, qty: u64) {
+        self.pm.register_pool(PoolSchema::quantity(pool));
+        self.pm.seed_quantity(pool, qty).expect("seed shard pool");
+    }
+
+    /// Kills the shard's promise manager (the in-memory table dies) and
+    /// rebuilds it from the journal, re-registering on `bus`. Returns the
+    /// recovery report — `in_doubt` counts prepared holds awaiting the
+    /// coordinator. `pools` must list the pool names this shard hosts
+    /// (schema registration is not journalled, matching the single-node
+    /// crash–restart harness).
+    pub fn crash_restart(&mut self, bus: &InMemoryBus, pools: &[String]) -> RecoveryReport {
+        let pm = Arc::new(PromiseManager::new(
+            Arc::clone(&self.rm),
+            Arc::clone(&self.clock),
+        ));
+        pm.set_telemetry(Some(Arc::clone(&self.telemetry)));
+        for pool in pools {
+            pm.register_pool(PoolSchema::quantity(pool.as_str()));
+        }
+        let report = pm
+            .recover(Arc::clone(&self.journal))
+            .expect("shard recovery succeeds");
+        self.pm = pm;
+        self.gateway = Arc::new(PromiseGateway::new(Arc::clone(&self.pm)));
+        self.register_handlers();
+        self.server.swap_gateway(Arc::clone(&self.gateway));
+        bus.register(&self.endpoint, Arc::clone(&self.server) as _);
+        report
+    }
+
+    /// Ground truth for the lifecycle auditor, digested from the journal.
+    pub fn journal_facts(&self) -> JournalFacts {
+        let mut facts = JournalFacts::default();
+        if let Ok(entries) = self.journal.entries() {
+            for entry in entries {
+                match entry.op {
+                    promises_core::JournalOp::Grant(rec) => {
+                        facts.granted.insert(rec.id.0);
+                    }
+                    promises_core::JournalOp::Prepared(rec) => {
+                        facts.granted.insert(rec.id.0);
+                    }
+                    promises_core::JournalOp::Release(id) => {
+                        facts.released.insert(id.0);
+                    }
+                    promises_core::JournalOp::Expire(id) => {
+                        facts.expired.insert(id.0);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        facts
+    }
+
+    /// This shard's spans + journal truth, packaged for
+    /// [`promises_telemetry::audit_cluster_lifecycles`].
+    pub fn evidence(&self) -> ShardEvidence {
+        ShardEvidence {
+            label: self.endpoint.clone(),
+            spans: self.telemetry.spans(),
+            journal: self.journal_facts(),
+        }
+    }
+}

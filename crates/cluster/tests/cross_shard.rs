@@ -1,0 +1,334 @@
+//! Cross-shard atomic-grant tests: the §4 unit guarantee under the
+//! prepare/commit protocol, cluster-wide dedup, and coordinator crash
+//! recovery.
+
+use promises_cluster::{ClusterDecision, CoordError, CrashPoint, PromiseCluster};
+use promises_core::{ClientId, PromiseId, RequestId};
+
+const HOUR_MS: u64 = 3_600_000;
+
+/// Two shards, one pool each (round-robin: `alpha`→0, `beta`→1).
+fn two_shard_cluster(qty: u64) -> PromiseCluster {
+    let cluster = PromiseCluster::build(2, 7);
+    assert_eq!(cluster.register_quantity_pool("alpha", qty), 0);
+    assert_eq!(cluster.register_quantity_pool("beta", qty), 1);
+    cluster
+}
+
+fn span_both(a: u64, b: u64) -> Vec<String> {
+    vec![
+        format!("qty('alpha') >= {a}"),
+        format!("qty('beta') >= {b}"),
+    ]
+}
+
+#[test]
+fn cross_shard_grant_commits_on_every_shard() {
+    let cluster = two_shard_cluster(10);
+    let decision = cluster
+        .coordinator
+        .grant("alice", "r1", &span_both(5, 3), HOUR_MS)
+        .unwrap();
+    let ClusterDecision::Granted { parts } = decision else {
+        panic!("cross-shard grant should succeed: {decision:?}");
+    };
+    assert_eq!(parts.len(), 2);
+    assert_eq!(parts[0].shard, 0);
+    assert_eq!(parts[1].shard, 1);
+    for part in &parts {
+        let pm = &cluster.nodes[part.shard].pm;
+        assert_eq!(pm.live_count(), 1);
+        assert!(
+            !pm.is_prepared(PromiseId(part.promise_id)),
+            "committed hold must no longer be in doubt"
+        );
+    }
+}
+
+#[test]
+fn rejection_is_a_unit_and_frees_every_hold() {
+    let cluster = two_shard_cluster(10);
+    // alpha can hold 6, beta cannot hold 20: the whole request rejects
+    // and the alpha hold must be aborted, leaving its quantity grantable.
+    let decision = cluster
+        .coordinator
+        .grant("alice", "r1", &span_both(6, 20), HOUR_MS)
+        .unwrap();
+    assert!(matches!(decision, ClusterDecision::Rejected { .. }));
+    assert_eq!(cluster.live_count(), 0, "no partial grant may survive");
+    // The freed alpha units are immediately grantable (non-blocking).
+    let retry = cluster
+        .coordinator
+        .grant("bob", "r2", &["qty('alpha') >= 10".to_string()], HOUR_MS)
+        .unwrap();
+    assert!(retry.is_granted());
+}
+
+#[test]
+fn single_shard_footprint_skips_the_coordination_round() {
+    let cluster = two_shard_cluster(10);
+    let decision = cluster
+        .coordinator
+        .grant("alice", "r1", &["qty('alpha') >= 4".to_string()], HOUR_MS)
+        .unwrap();
+    assert!(decision.is_granted());
+    assert!(
+        cluster.coordinator.log().entries().unwrap().is_empty(),
+        "fast path must not log a transaction"
+    );
+    assert_eq!(cluster.nodes[0].pm.live_count(), 1);
+    assert!(cluster.nodes[0].pm.prepared_ids().is_empty());
+}
+
+#[test]
+fn dedup_is_cluster_wide_for_cross_shard_requests() {
+    let cluster = two_shard_cluster(10);
+    let first = cluster
+        .coordinator
+        .grant("alice", "r1", &span_both(5, 3), HOUR_MS)
+        .unwrap();
+    let second = cluster
+        .coordinator
+        .grant("alice", "r1", &span_both(5, 3), HOUR_MS)
+        .unwrap();
+    assert_eq!(first, second, "a retried request returns the same grant");
+    assert_eq!(cluster.live_count(), 2, "no shard granted twice");
+    // Journal-level proof: one grant-like record per shard.
+    for node in &cluster.nodes {
+        let facts = node.journal_facts();
+        assert_eq!(facts.granted.len(), 1);
+    }
+}
+
+#[test]
+fn crash_after_prepare_recovers_by_presumed_abort() {
+    let cluster = two_shard_cluster(10);
+    cluster
+        .coordinator
+        .set_crash_point(Some(CrashPoint::AfterPrepare));
+    let err = cluster
+        .coordinator
+        .grant("alice", "r1", &span_both(5, 3), HOUR_MS)
+        .unwrap_err();
+    assert!(matches!(err, CoordError::Crashed(_)));
+    // The holds are in doubt on both shards, resources reserved.
+    assert_eq!(cluster.live_count(), 2);
+    assert_eq!(cluster.nodes[0].pm.prepared_ids().len(), 1);
+    assert_eq!(cluster.nodes[1].pm.prepared_ids().len(), 1);
+
+    let report = cluster.coordinator.recover().unwrap();
+    assert_eq!(report.presumed_aborted, 1);
+    assert_eq!(report.holds_freed, 2);
+    assert_eq!(cluster.live_count(), 0, "presumed abort frees every hold");
+}
+
+#[test]
+fn crash_after_commit_logged_recovers_by_resending_commits() {
+    let cluster = two_shard_cluster(10);
+    cluster
+        .coordinator
+        .set_crash_point(Some(CrashPoint::AfterCommitLogged));
+    let err = cluster
+        .coordinator
+        .grant("alice", "r1", &span_both(5, 3), HOUR_MS)
+        .unwrap_err();
+    assert!(matches!(err, CoordError::Crashed(_)));
+    // Commit is logged but no shard has heard: holds still in doubt.
+    assert_eq!(cluster.nodes[0].pm.prepared_ids().len(), 1);
+
+    let report = cluster.coordinator.recover().unwrap();
+    assert_eq!(report.commits_resent, 1);
+    assert_eq!(report.presumed_aborted, 0);
+    assert_eq!(cluster.live_count(), 2, "commits land on both shards");
+    for node in &cluster.nodes {
+        assert!(node.pm.prepared_ids().is_empty(), "no hold left in doubt");
+    }
+
+    // The client's retry resolves to the same per-shard promises through
+    // sub-request dedup, even though the coordinator's in-memory outcome
+    // index died with it.
+    let retry = cluster
+        .coordinator
+        .grant("alice", "r1", &span_both(5, 3), HOUR_MS)
+        .unwrap();
+    let ClusterDecision::Granted { parts } = retry else {
+        panic!("retry after recovery must re-grant: {retry:?}");
+    };
+    assert_eq!(cluster.live_count(), 2, "retry must not double-grant");
+    for part in &parts {
+        let node = &cluster.nodes[part.shard];
+        let held = node.pm.promise_for_request(
+            &ClientId("alice".into()),
+            &RequestId(format!("r1@s{}", part.shard)),
+        );
+        assert_eq!(held, Some(PromiseId(part.promise_id)));
+    }
+}
+
+#[test]
+fn recovery_is_idempotent() {
+    let cluster = two_shard_cluster(10);
+    cluster
+        .coordinator
+        .set_crash_point(Some(CrashPoint::AfterPrepare));
+    let _ = cluster
+        .coordinator
+        .grant("alice", "r1", &span_both(2, 2), HOUR_MS)
+        .unwrap_err();
+    let first = cluster.coordinator.recover().unwrap();
+    assert_eq!(first.presumed_aborted, 1);
+    let second = cluster.coordinator.recover().unwrap();
+    assert_eq!(second.presumed_aborted, 0, "decided txns stay decided");
+    assert_eq!(second.commits_resent, 0);
+    assert_eq!(cluster.live_count(), 0);
+}
+
+#[test]
+fn release_frees_all_parts() {
+    let cluster = two_shard_cluster(10);
+    let decision = cluster
+        .coordinator
+        .grant("alice", "r1", &span_both(5, 3), HOUR_MS)
+        .unwrap();
+    let ClusterDecision::Granted { parts } = decision else {
+        panic!()
+    };
+    cluster.coordinator.release(&parts);
+    assert_eq!(cluster.live_count(), 0);
+}
+
+mod interleavings {
+    //! The satellite proptest: under arbitrary interleavings of
+    //! cross-shard grants, rejections, injected coordinator crashes, and
+    //! recovery passes, no partial grant is ever observable.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        /// A cross-shard grant of (alpha, beta) units, possibly crashing.
+        Grant {
+            alpha: u64,
+            beta: u64,
+            crash: Option<CrashPoint>,
+        },
+        /// Run coordinator recovery.
+        Recover,
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (1u64..6, 1u64..6, arb_crash()).prop_map(|(alpha, beta, crash)| Op::Grant {
+                alpha,
+                beta,
+                crash
+            }),
+            Just(Op::Recover),
+        ]
+    }
+
+    fn arb_crash() -> impl Strategy<Value = Option<CrashPoint>> {
+        prop_oneof![
+            Just(None),
+            Just(None),
+            Just(None),
+            Just(Some(CrashPoint::AfterPrepare)),
+            Just(Some(CrashPoint::AfterCommitLogged)),
+        ]
+    }
+
+    /// The §4 invariant, checked shard-side: every transaction is either
+    /// fully committed (each part live, none in doubt) or leaves nothing.
+    fn assert_no_partial_grants(cluster: &PromiseCluster, decisions: &[(String, ClusterDecision)]) {
+        for (rid, decision) in decisions {
+            match decision {
+                ClusterDecision::Granted { parts } => {
+                    assert_eq!(parts.len(), 2, "{rid}: cross-shard grant has 2 parts");
+                    for part in parts {
+                        let pm = &cluster.nodes[part.shard].pm;
+                        assert!(
+                            !pm.is_prepared(PromiseId(part.promise_id)),
+                            "{rid}: granted part still in doubt on shard {}",
+                            part.shard
+                        );
+                        let held = pm.promise_for_request(
+                            &ClientId("prop".into()),
+                            &RequestId(format!("{rid}@s{}", part.shard)),
+                        );
+                        assert_eq!(
+                            held,
+                            Some(PromiseId(part.promise_id)),
+                            "{rid}: granted part missing on shard {}",
+                            part.shard
+                        );
+                    }
+                }
+                ClusterDecision::Rejected { .. } => {
+                    for shard in 0..cluster.shard_count() {
+                        let held = cluster.nodes[shard].pm.promise_for_request(
+                            &ClientId("prop".into()),
+                            &RequestId(format!("{rid}@s{shard}")),
+                        );
+                        assert_eq!(held, None, "{rid}: rejected txn left a hold");
+                    }
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn no_partial_grants_under_any_interleaving(ops in proptest::collection::vec(arb_op(), 1..14)) {
+            // Small pools so rejections genuinely happen mid-sequence.
+            let cluster = two_shard_cluster(12);
+            let mut decisions: Vec<(String, ClusterDecision)> = Vec::new();
+            for (i, op) in ops.iter().enumerate() {
+                match op {
+                    Op::Grant { alpha, beta, crash } => {
+                        cluster.coordinator.set_crash_point(*crash);
+                        let rid = format!("g{i}");
+                        match cluster.coordinator.grant(
+                            "prop",
+                            &rid,
+                            &span_both(*alpha, *beta),
+                            HOUR_MS,
+                        ) {
+                            Ok(decision) => decisions.push((rid, decision)),
+                            Err(CoordError::Crashed(_)) => {
+                                // In doubt until a later Recover op.
+                            }
+                            Err(e) => panic!("unexpected coordinator error: {e}"),
+                        }
+                    }
+                    Op::Recover => {
+                        cluster.coordinator.recover().unwrap();
+                        assert_no_partial_grants(&cluster, &decisions);
+                    }
+                }
+            }
+            // Final recovery resolves any transaction left in doubt by a
+            // trailing crash, then the unit invariant must hold globally.
+            cluster.coordinator.recover().unwrap();
+            assert_no_partial_grants(&cluster, &decisions);
+            for node in &cluster.nodes {
+                prop_assert!(
+                    node.pm.prepared_ids().is_empty(),
+                    "no hold may remain in doubt after recovery"
+                );
+            }
+            // Resource accounting never oversells on any shard.
+            for node in &cluster.nodes {
+                for (pool, demanded) in node.pm.promised_quantities() {
+                    let on_hand = node.pm.quantity_on_hand(pool.clone()).unwrap_or(0);
+                    prop_assert!(
+                        demanded <= on_hand,
+                        "oversell on {pool:?}: {demanded} > {on_hand}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -27,7 +27,7 @@
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 
-use promises_matching::assign_slots;
+use promises_matching::assign_slots_seeded;
 use promises_rm::{Record, ResourceManager, RmError, Txn};
 
 use crate::catalog::{status, Catalog};
@@ -83,6 +83,12 @@ pub struct Checker<'a> {
     /// summing over the snapshot; a `debug_assert` re-sums the snapshot to
     /// guard against aggregate drift.
     qty_demand_hint: HashMap<PoolId, u64>,
+    /// Promises whose allocations a client has *observed* (via
+    /// [`crate::PromiseManager::promise`]) and may be acting on: their
+    /// slots are restricted to the instances they currently hold, so no
+    /// re-arrangement can move an allocation out from under a client that
+    /// has already read it. Unpinned promises still re-arrange freely (§5).
+    pinned: HashSet<PromiseId>,
     stats: RefCell<CheckerStats>,
 }
 
@@ -92,6 +98,9 @@ struct Slot {
     pred_idx: usize,
     /// Instances (by position in the scanned instance list) this slot accepts.
     allowed: Vec<usize>,
+    /// The instance (by the same position) this slot currently holds, if
+    /// any — the matcher keeps it unless an augmenting path must move it.
+    seed: Option<usize>,
 }
 
 type SlotKey = (PromiseId, usize, u32);
@@ -104,6 +113,7 @@ impl<'a> Checker<'a> {
             txn,
             catalog,
             qty_demand_hint: HashMap::new(),
+            pinned: HashSet::new(),
             stats: RefCell::new(CheckerStats::default()),
         }
     }
@@ -113,6 +123,14 @@ impl<'a> Checker<'a> {
     /// to summing over the snapshot.
     pub fn with_qty_demand(mut self, demand: HashMap<PoolId, u64>) -> Self {
         self.qty_demand_hint = demand;
+        self
+    }
+
+    /// Marks promises whose allocations have been observed by a client
+    /// (see [`Checker::pinned`]): their slots are held to their current
+    /// instances during matching instead of being re-arranged.
+    pub fn with_pinned(mut self, pinned: HashSet<PromiseId>) -> Self {
+        self.pinned = pinned;
         self
     }
 
@@ -332,14 +350,17 @@ impl<'a> Checker<'a> {
         let slots = self.build_slots(pool, existing, candidate, &instances, &matchable)?;
 
         // Hand the pre-filtered per-slot allowed lists to the matching
-        // crate, which seeds most-constrained-first and re-arranges via
+        // crate. Current holdings seed the matching, so an assignment only
+        // moves when an augmenting path genuinely needs the instance;
+        // the rest is placed most-constrained-first and re-arranged via
         // augmenting paths.
         let allowed: Vec<Vec<usize>> = slots.iter().map(|s| s.allowed.clone()).collect();
+        let seeds: Vec<Option<usize>> = slots.iter().map(|s| s.seed).collect();
         let rights = matchable
             .iter()
             .enumerate()
             .filter_map(|(idx, ok)| ok.then_some(idx));
-        let assigned = assign_slots(rights, &allowed).ok_or_else(|| {
+        let assigned = assign_slots_seeded(rights, &allowed, &seeds).ok_or_else(|| {
             CheckError::Reject(RejectReason::Unsatisfiable { pool: pool.clone() })
         })?;
 
@@ -386,6 +407,44 @@ impl<'a> Checker<'a> {
             .collect();
         let mut slots = Vec::new();
         for p in existing.iter().chain(candidate) {
+            // Current holdings per predicate, as positions in the scanned
+            // instance list: the k-th slot of a predicate is seeded with
+            // the k-th allocation (allocation order is canonical — sorted
+            // by instance within a predicate). Allocations that are gone
+            // or no longer matchable yield unseeded slots.
+            let mut held: HashMap<usize, Vec<usize>> = HashMap::new();
+            for a in &p.allocations {
+                if p.predicates.get(a.pred_idx).map(Predicate::pool) != Some(pool) {
+                    continue;
+                }
+                if let Some(&i) = index_of.get(&a.instance) {
+                    if matchable[i] {
+                        held.entry(a.pred_idx).or_default().push(i);
+                    }
+                }
+            }
+            let pinned = self.pinned.contains(&p.id);
+            // A pinned slot accepts only the instance it currently holds:
+            // the client has read the allocation and may already be acting
+            // on it, so the matcher must not move it. A pinned slot whose
+            // held instance is gone — or no longer satisfies the predicate
+            // — accepts nothing (a genuine conflict).
+            let push = |slots: &mut Vec<Slot>, pred_idx: usize, k: usize, allowed: Vec<usize>| {
+                let seed = held.get(&pred_idx).and_then(|v| v.get(k)).copied();
+                let allowed = if pinned {
+                    seed.filter(|s| allowed.contains(s))
+                        .map(|s| vec![s])
+                        .unwrap_or_default()
+                } else {
+                    allowed
+                };
+                slots.push(Slot {
+                    owner: p.id,
+                    pred_idx,
+                    allowed,
+                    seed,
+                });
+            };
             for (pred_idx, pred) in p.predicates.iter().enumerate() {
                 match pred {
                     Predicate::Named { pool: pp, instance } if pp == pool => {
@@ -393,11 +452,7 @@ impl<'a> Checker<'a> {
                             Some(&i) if matchable[i] => vec![i],
                             _ => Vec::new(),
                         };
-                        slots.push(Slot {
-                            owner: p.id,
-                            pred_idx,
-                            allowed,
-                        });
+                        push(&mut slots, pred_idx, 0, allowed);
                     }
                     Predicate::Property {
                         pool: pp,
@@ -410,12 +465,8 @@ impl<'a> Checker<'a> {
                             .filter(|(i, (_, rec))| matchable[*i] && expr.eval(rec, schema))
                             .map(|(i, _)| i)
                             .collect();
-                        for _ in 0..*count {
-                            slots.push(Slot {
-                                owner: p.id,
-                                pred_idx,
-                                allowed: allowed.clone(),
-                            });
+                        for k in 0..*count {
+                            push(&mut slots, pred_idx, k as usize, allowed.clone());
                         }
                     }
                     // An anonymous quantity bound over an *instance* pool
@@ -423,12 +474,8 @@ impl<'a> Checker<'a> {
                     Predicate::QtyAtLeast { pool: pp, amount } if pp == pool => {
                         let allowed: Vec<usize> =
                             (0..instances.len()).filter(|i| matchable[*i]).collect();
-                        for _ in 0..*amount {
-                            slots.push(Slot {
-                                owner: p.id,
-                                pred_idx,
-                                allowed: allowed.clone(),
-                            });
+                        for k in 0..*amount {
+                            push(&mut slots, pred_idx, k as usize, allowed.clone());
                         }
                     }
                     _ => {}

@@ -161,6 +161,13 @@ pub enum PromiseError {
     },
     /// The journal handed to recovery could not be decoded.
     JournalCorrupt(String),
+    /// A re-arrangement raced with a client observing its allocations
+    /// (see [`crate::PromiseManager::promise`]): the operation computed an
+    /// assignment that would move a just-pinned allocation, and must be
+    /// re-run against the pinned state. Retried internally by the manager;
+    /// surfaces only if the retry budget is exhausted, in which case a
+    /// resend is safe (grants are deduplicated by request id).
+    ObservationConflict,
 }
 
 impl fmt::Display for PromiseError {
@@ -178,6 +185,9 @@ impl fmt::Display for PromiseError {
                 write!(f, "action wrote pool {pool} outside its promise scope")
             }
             PromiseError::JournalCorrupt(detail) => write!(f, "journal corrupt: {detail}"),
+            PromiseError::ObservationConflict => {
+                write!(f, "re-arrangement raced with an observed allocation; retry")
+            }
         }
     }
 }
@@ -188,7 +198,11 @@ impl PromiseError {
     /// retryable; semantic outcomes (unknown/expired promise, violations,
     /// action failures) are not. Used by the wire layer's retry policy.
     pub fn retryable(&self) -> bool {
-        matches!(self, PromiseError::Rm(e) if e.retryable())
+        match self {
+            PromiseError::Rm(e) => e.retryable(),
+            PromiseError::ObservationConflict => true,
+            _ => false,
+        }
     }
 }
 

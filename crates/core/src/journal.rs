@@ -19,10 +19,18 @@
 //!
 //! ```text
 //! seq  gen  G  id  client  request  granted_at  expires_at  np  pred…  na  (idx inst)…
+//! seq  gen  P  id  client  request  granted_at  expires_at  np  pred…  na  (idx inst)…
+//! seq  gen  C  id                       — commit of a prepared hold
 //! seq  gen  R  id                       — release
 //! seq  gen  E  id                       — expiry
 //! seq  gen  A  id  na  (idx inst)…      — allocation rewrite
 //! ```
+//!
+//! `P` records a *prepared hold* — a cross-shard grant awaiting its
+//! coordinator's decision; it carries the same payload as `G`. `C` marks
+//! the hold committed. A `P` with no later `C`/`R`/`E` is an in-doubt hold:
+//! recovery keeps it (resources stay reserved, so no other client can be
+//! oversold) until the coordinator resolves it or its expiry reaps it.
 //!
 //! # Generations
 //!
@@ -45,6 +53,15 @@ use crate::promise::{Allocation, PromiseRecord};
 pub enum JournalOp {
     /// A promise was granted; carries the full record.
     Grant(PromiseRecord),
+    /// A promise was granted as a *prepared hold* for a cross-shard
+    /// transaction: resources are reserved exactly like a grant, but the
+    /// hold awaits a coordinator commit/abort decision. A `Prepared` record
+    /// with no later `CommitPrepared`/`Release`/`Expire` is an *in-doubt*
+    /// hold at recovery time.
+    Prepared(PromiseRecord),
+    /// A coordinator committed a prepared hold: the promise becomes an
+    /// ordinary grant.
+    CommitPrepared(PromiseId),
     /// A promise was released (explicitly, or consumed by exchange).
     Release(PromiseId),
     /// A promise was reaped by expiry.
@@ -138,26 +155,30 @@ fn encode_allocs(out: &mut String, allocations: &[Allocation]) {
     }
 }
 
+fn encode_record(out: &mut String, tag: char, rec: &PromiseRecord) {
+    out.push_str(&format!(
+        "\t{tag}\t{}\t{}\t{}\t{}\t{}\t{}",
+        rec.id.0,
+        escape(&rec.client.0),
+        escape(&rec.request.0),
+        rec.granted_at,
+        rec.expires_at,
+        rec.predicates.len(),
+    ));
+    for p in &rec.predicates {
+        out.push('\t');
+        out.push_str(&escape(&p.to_string()));
+    }
+    encode_allocs(out, &rec.allocations);
+}
+
 /// Encodes one entry as its journal line (no trailing newline).
 pub fn encode_entry(entry: &JournalEntry) -> String {
     let mut out = format!("{}\t{}", entry.seq, entry.generation);
     match &entry.op {
-        JournalOp::Grant(rec) => {
-            out.push_str(&format!(
-                "\tG\t{}\t{}\t{}\t{}\t{}\t{}",
-                rec.id.0,
-                escape(&rec.client.0),
-                escape(&rec.request.0),
-                rec.granted_at,
-                rec.expires_at,
-                rec.predicates.len(),
-            ));
-            for p in &rec.predicates {
-                out.push('\t');
-                out.push_str(&escape(&p.to_string()));
-            }
-            encode_allocs(&mut out, &rec.allocations);
-        }
+        JournalOp::Grant(rec) => encode_record(&mut out, 'G', rec),
+        JournalOp::Prepared(rec) => encode_record(&mut out, 'P', rec),
+        JournalOp::CommitPrepared(id) => out.push_str(&format!("\tC\t{}", id.0)),
         JournalOp::Release(id) => out.push_str(&format!("\tR\t{}", id.0)),
         JournalOp::Expire(id) => out.push_str(&format!("\tE\t{}", id.0)),
         JournalOp::Allocations { id, allocations } => {
@@ -212,7 +233,7 @@ pub fn decode_entry(raw: &str, line: usize) -> Result<JournalEntry, JournalError
     let generation = r.next_u64("generation")?;
     let tag = r.next("op tag")?;
     let op = match tag {
-        "G" => {
+        "G" | "P" => {
             let id = PromiseId(r.next_u64("promise id")?);
             let client = ClientId(unescape(r.next("client")?));
             let request = RequestId(unescape(r.next("request")?));
@@ -228,7 +249,7 @@ pub fn decode_entry(raw: &str, line: usize) -> Result<JournalEntry, JournalError
                 })?);
             }
             let allocations = r.allocs()?;
-            JournalOp::Grant(PromiseRecord {
+            let rec = PromiseRecord {
                 id,
                 client,
                 request,
@@ -236,8 +257,14 @@ pub fn decode_entry(raw: &str, line: usize) -> Result<JournalEntry, JournalError
                 granted_at,
                 expires_at,
                 allocations,
-            })
+            };
+            if tag == "G" {
+                JournalOp::Grant(rec)
+            } else {
+                JournalOp::Prepared(rec)
+            }
         }
+        "C" => JournalOp::CommitPrepared(PromiseId(r.next_u64("promise id")?)),
         "R" => JournalOp::Release(PromiseId(r.next_u64("promise id")?)),
         "E" => JournalOp::Expire(PromiseId(r.next_u64("promise id")?)),
         "A" => {
@@ -405,10 +432,23 @@ mod tests {
     }
 
     #[test]
+    fn prepared_line_roundtrips() {
+        let entry = JournalEntry {
+            seq: 5,
+            generation: 1,
+            op: JournalOp::Prepared(sample_record()),
+        };
+        let line = encode_entry(&entry);
+        assert_eq!(line.split('\t').nth(2), Some("P"));
+        assert_eq!(decode_entry(&line, 0).unwrap(), entry);
+    }
+
+    #[test]
     fn simple_ops_roundtrip() {
         for op in [
             JournalOp::Release(PromiseId(9)),
             JournalOp::Expire(PromiseId(11)),
+            JournalOp::CommitPrepared(PromiseId(13)),
             JournalOp::Allocations {
                 id: PromiseId(4),
                 allocations: vec![Allocation {

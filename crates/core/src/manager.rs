@@ -410,6 +410,21 @@ pub struct PromiseManager {
     /// (duplicate delivery, reply lost) is answered with the original
     /// promise instead of being granted — and charged — twice.
     request_index: Mutex<HashMap<(ClientId, RequestId), PromiseId>>,
+    /// Promises whose allocations a client has observed via
+    /// [`PromiseManager::promise`]. Once observed, an allocation is never
+    /// moved by re-arrangement — the client may already be acting on the
+    /// specific instances it read. Pins are volatile: not journalled, not
+    /// part of [`PromiseManager::state_digest`], cleared on recovery, and
+    /// dropped when the promise leaves the table. Locking order is always
+    /// table → pinned.
+    pinned: Mutex<HashSet<PromiseId>>,
+    /// Promises granted as *prepared holds* for a cross-shard transaction
+    /// ([`PromiseManager::request_prepared`]): resources are reserved like
+    /// any grant, but the hold awaits its coordinator's commit/abort.
+    /// Unlike pins, prepared marks are durable — journalled as `P`/`C`
+    /// records, rebuilt by recovery, and part of
+    /// [`PromiseManager::state_digest`]. Locking order is table → prepared.
+    prepared: Mutex<HashSet<PromiseId>>,
     /// Administratively degraded: fail-fast all new grant requests.
     degraded: AtomicBool,
     /// Live-promise count above which new grants are refused (0 = no cap).
@@ -430,6 +445,10 @@ pub struct RecoveryReport {
     /// Promises that expired while the manager was down and were pruned
     /// (their `Expire` records carry the new generation).
     pub pruned: usize,
+    /// Prepared holds recovered *in doubt* — journalled `P` records with no
+    /// later commit/release/expiry. Their resources stay reserved until the
+    /// coordinator resolves them or their expiry reaps them.
+    pub in_doubt: usize,
     /// The journal generation after the bump.
     pub generation: u64,
 }
@@ -451,6 +470,8 @@ impl PromiseManager {
             expired_tombstones: Mutex::new(HashSet::new()),
             journal: RwLock::new(None),
             request_index: Mutex::new(HashMap::new()),
+            pinned: Mutex::new(HashSet::new()),
+            prepared: Mutex::new(HashSet::new()),
             degraded: AtomicBool::new(false),
             overload_limit: AtomicUsize::new(0),
             metrics: PmMetrics::default(),
@@ -590,6 +611,30 @@ impl PromiseManager {
     /// from the upstream manager, released again if the overall request
     /// cannot be granted.
     pub fn request(&self, spec: PromiseRequestSpec) -> Result<PromiseResponse, PromiseError> {
+        self.request_with(spec, false)
+    }
+
+    /// Requests a *prepared hold*: the grant path runs exactly as in
+    /// [`PromiseManager::request`] — immediate reject if unfulfillable,
+    /// resources reserved if not — but the promise is journalled as a `P`
+    /// record and marked prepared, awaiting a cross-shard coordinator's
+    /// [`PromiseManager::commit_prepared`] or
+    /// [`PromiseManager::abort_prepared`]. A prepared hold reserves
+    /// resources against every other request (so a committed cross-shard
+    /// grant can never be oversold) and expires like any promise (so a
+    /// coordinator that dies never leaks capacity forever).
+    pub fn request_prepared(
+        &self,
+        spec: PromiseRequestSpec,
+    ) -> Result<PromiseResponse, PromiseError> {
+        self.request_with(spec, true)
+    }
+
+    fn request_with(
+        &self,
+        spec: PromiseRequestSpec,
+        prepared: bool,
+    ) -> Result<PromiseResponse, PromiseError> {
         // Capture what the span needs before `spec` moves into the grant.
         let ctx = self.telemetry.read().is_some().then(|| {
             let mut pools: Vec<PoolId> = spec.predicates.iter().map(|p| p.pool().clone()).collect();
@@ -598,7 +643,7 @@ impl PromiseManager {
             (spec.exchange.clone(), pools)
         });
         let started = Instant::now();
-        let result = self.request_inner(spec);
+        let result = self.request_inner(spec, prepared);
         let Some((exchange, pools)) = ctx else {
             return result.map(|(resp, _)| resp);
         };
@@ -669,6 +714,7 @@ impl PromiseManager {
     fn request_inner(
         &self,
         spec: PromiseRequestSpec,
+        prepared: bool,
     ) -> Result<(PromiseResponse, bool), PromiseError> {
         self.prune_expired()?;
 
@@ -763,8 +809,9 @@ impl PromiseManager {
         }
 
         let effective_duration = spec.duration_ms.min(upstream_duration);
-        let result =
-            self.with_retries(|| self.try_grant_local(&spec, local.clone(), effective_duration));
+        let result = self.with_retries(|| {
+            self.try_grant_local(&spec, local.clone(), effective_duration, prepared)
+        });
         match &result {
             Ok((resp, deduped)) => match &resp.decision {
                 PromiseDecision::Granted { promise, .. } if *deduped => {
@@ -822,6 +869,68 @@ impl PromiseManager {
         self.cascade_release(id);
         self.metrics.released.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Commits a prepared hold: the promise becomes an ordinary grant
+    /// (journalled as a `C` record). Idempotent — committing an
+    /// already-committed promise returns `Ok(false)`, so a coordinator's
+    /// retried commit (lost ack) is harmless. Committing a hold that has
+    /// already expired or was never granted fails, letting the coordinator
+    /// treat the transaction as aborted.
+    pub fn commit_prepared(&self, id: PromiseId) -> Result<bool, PromiseError> {
+        let tbl = self.table.lock();
+        if tbl.get(id).is_none() {
+            return Err(if self.expired_tombstones.lock().contains(&id) {
+                PromiseError::PromiseExpired(id)
+            } else {
+                PromiseError::UnknownPromise(id)
+            });
+        }
+        let mut prepared = self.prepared.lock();
+        if !prepared.remove(&id) {
+            return Ok(false);
+        }
+        self.journal_append(JournalOp::CommitPrepared(id));
+        Ok(true)
+    }
+
+    /// Aborts a prepared hold, releasing its resources. Idempotent — a
+    /// hold already released, expired, or never granted is reported as
+    /// `Ok(false)`, so a coordinator's retried abort is harmless.
+    pub fn abort_prepared(&self, id: PromiseId) -> Result<bool, PromiseError> {
+        match self.release(id) {
+            Ok(()) => Ok(true),
+            Err(PromiseError::UnknownPromise(_) | PromiseError::PromiseExpired(_)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// True if `id` is a prepared hold still awaiting its coordinator's
+    /// decision (in doubt).
+    pub fn is_prepared(&self, id: PromiseId) -> bool {
+        self.prepared.lock().contains(&id)
+    }
+
+    /// The prepared holds still awaiting a decision, sorted by id — the
+    /// in-doubt set a recovering coordinator must resolve.
+    pub fn prepared_ids(&self) -> Vec<PromiseId> {
+        let mut ids: Vec<PromiseId> = self.prepared.lock().iter().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// The live promise held by `(client, request)`, if any. A recovering
+    /// coordinator that lost a prepare reply resolves the hold by request
+    /// key instead of promise id.
+    pub fn promise_for_request(&self, client: &ClientId, request: &RequestId) -> Option<PromiseId> {
+        let key = (client.clone(), request.clone());
+        let id = *self.request_index.lock().get(&key)?;
+        let tbl = self.table.lock();
+        let rec = tbl.get(id)?;
+        if !rec.is_live(self.clock.now_ms()) {
+            return None;
+        }
+        Some(id)
     }
 
     /// Atomically upgrades or weakens existing promises: grants `spec`'s
@@ -974,19 +1083,32 @@ impl PromiseManager {
 
         let mut table = PromiseTable::new();
         let mut tombstones: HashSet<PromiseId> = HashSet::new();
+        let mut prepared: HashSet<PromiseId> = HashSet::new();
         let mut max_id = 0u64;
         for entry in entries {
             match entry.op {
                 JournalOp::Grant(rec) => {
                     max_id = max_id.max(rec.id.0);
                     tombstones.remove(&rec.id);
+                    prepared.remove(&rec.id);
                     table.insert(rec);
+                }
+                JournalOp::Prepared(rec) => {
+                    max_id = max_id.max(rec.id.0);
+                    tombstones.remove(&rec.id);
+                    prepared.insert(rec.id);
+                    table.insert(rec);
+                }
+                JournalOp::CommitPrepared(id) => {
+                    prepared.remove(&id);
                 }
                 JournalOp::Release(id) => {
                     table.remove(id);
+                    prepared.remove(&id);
                 }
                 JournalOp::Expire(id) => {
                     table.remove(id);
+                    prepared.remove(&id);
                     tombstones.insert(id);
                 }
                 JournalOp::Allocations { id, allocations } => {
@@ -1009,6 +1131,10 @@ impl PromiseManager {
         // matters here.
         *self.table.lock() = table;
         *self.request_index.lock() = index;
+        // Observation pins are volatile: any pre-crash observer's session
+        // is gone, so recovered promises re-arrange freely again.
+        self.pinned.lock().clear();
+        *self.prepared.lock() = prepared;
         self.expired_tombstones.lock().extend(tombstones);
         *self.journal.write() = Some(journal);
 
@@ -1016,11 +1142,16 @@ impl PromiseManager {
         // Expire entries are appended under the new generation and their
         // ids become tombstones, so post-recovery operations under them get
         // the paper's "promise-expired" error, never "unknown promise".
+        // Surviving prepared marks (minus any the prune just reaped) are
+        // the in-doubt holds: their resources stay reserved — no other
+        // client can be oversold against them — until the coordinator
+        // commits/aborts them or their expiry reaps them.
         let pruned = self.prune_expired()?;
         Ok(RecoveryReport {
             replayed,
             recovered,
             pruned,
+            in_doubt: self.prepared.lock().len(),
             generation,
         })
     }
@@ -1035,7 +1166,28 @@ impl PromiseManager {
     }
 
     /// A copy of a promise's record, if present.
+    ///
+    /// Reading a record *pins* its allocations: the returned instances
+    /// will not be moved by later re-arrangements (the caller may act on
+    /// exactly what it read — e.g. book the room the manager allocated).
+    /// The pin is taken under the table lock, atomically with the read, so
+    /// a re-arrangement in flight either already shows in the returned
+    /// record or detects the pin at write-back and recomputes. Pins drop
+    /// when the promise is released, expired, or exchanged. Unobserved
+    /// promises keep the paper's full §5 re-arrangement freedom.
     pub fn promise(&self, id: PromiseId) -> Option<PromiseRecord> {
+        let tbl = self.table.lock();
+        let rec = tbl.get(id).cloned()?;
+        if !rec.allocations.is_empty() {
+            self.pinned.lock().insert(id);
+        }
+        Some(rec)
+    }
+
+    /// A copy of a promise's record without pinning its allocations —
+    /// for audits and introspection that will never act on the specific
+    /// instances (re-arrangement stays free afterwards).
+    pub fn peek_promise(&self, id: PromiseId) -> Option<PromiseRecord> {
         self.table.lock().get(id).cloned()
     }
 
@@ -1115,6 +1267,14 @@ impl PromiseManager {
         for (at, n) in tbl.expiry_histogram() {
             out.push_str(&format!("expiry {at}={n}\n"));
         }
+        // Prepared marks are durable state (journalled, recovered), so two
+        // equivalent managers must agree on them — unlike volatile pins.
+        // Read under the table lock (table → prepared) for a consistent cut.
+        let mut prepared: Vec<PromiseId> = self.prepared.lock().iter().copied().collect();
+        prepared.sort();
+        for id in prepared {
+            out.push_str(&format!("prepared {id}\n"));
+        }
         out
     }
 
@@ -1129,9 +1289,7 @@ impl PromiseManager {
         let mut attempt: u32 = 0;
         loop {
             match body() {
-                Err(PromiseError::Rm(ref e))
-                    if e.retryable() && (attempt as usize) < self.retry_limit =>
-                {
+                Err(ref e) if e.retryable() && (attempt as usize) < self.retry_limit => {
                     attempt += 1;
                     self.metrics
                         .deadlock_retries
@@ -1200,9 +1358,26 @@ impl PromiseManager {
 
     /// Drops request-index entries for promises leaving the table, keyed
     /// conditionally so a newer grant under a reused request id survives.
+    /// Also drops their observation pins — a promise that left the table
+    /// can never be re-arranged again, so the pin is moot.
     fn unindex_requests(&self, removed: &[PromiseRecord]) {
         if removed.is_empty() {
             return;
+        }
+        {
+            let mut pins = self.pinned.lock();
+            for rec in removed {
+                pins.remove(&rec.id);
+            }
+        }
+        {
+            // A prepared hold leaving the table (released by abort,
+            // consumed by exchange, or reaped by expiry) is resolved; its
+            // mark goes with it.
+            let mut prepared = self.prepared.lock();
+            for rec in removed {
+                prepared.remove(&rec.id);
+            }
         }
         let mut idx = self.request_index.lock();
         for rec in removed {
@@ -1334,6 +1509,7 @@ impl PromiseManager {
         spec: &PromiseRequestSpec,
         local_predicates: Vec<Predicate>,
         duration_ms: u64,
+        prepared: bool,
     ) -> Result<(PromiseResponse, bool), PromiseError> {
         let txn = self.rm.begin();
 
@@ -1391,14 +1567,17 @@ impl PromiseManager {
             }
         }
 
-        let (id, mut existing, qty_hints) = {
+        let (id, mut existing, qty_hints, pinned_at) = {
             let mut tbl = self.table.lock();
             let existing = match self.locking {
                 LockingMode::Global => tbl.snapshot(now, &spec.exchange),
                 LockingMode::Footprint => tbl.snapshot_pools(now, &footprint, &spec.exchange),
             };
             let hints = self.qty_hints(&tbl, now, &footprint, &exchanged, &local_predicates);
-            (tbl.next_id(), existing, hints)
+            // Observation pins, read under the table lock so they are
+            // consistent with the snapshot's allocations (table → pinned).
+            let pinned_at = self.pinned.lock().clone();
+            (tbl.next_id(), existing, hints, pinned_at)
         };
         let mut candidate = PromiseRecord {
             id,
@@ -1416,7 +1595,9 @@ impl PromiseManager {
         let catalog = self.catalog.read();
         let check_started = Instant::now();
         let grant_result = {
-            let checker = Checker::new(&self.rm, &txn, &catalog).with_qty_demand(qty_hints);
+            let checker = Checker::new(&self.rm, &txn, &catalog)
+                .with_qty_demand(qty_hints)
+                .with_pinned(pinned_at);
             let mut r = Ok(Vec::new());
             for rec in &exchanged {
                 if let Err(e) = checker.release_tags(rec) {
@@ -1447,6 +1628,20 @@ impl PromiseManager {
                 let mut removed: Vec<PromiseRecord> = Vec::new();
                 {
                     let mut tbl = self.table.lock();
+                    // A promise pinned *at snapshot time* is never in
+                    // `changed` (its slots were held in place), so any
+                    // pinned id here means an observation raced in while
+                    // this grant was matching: abort and recompute against
+                    // the pinned state (table → pinned lock order matches
+                    // the pin-on-observe path, so this is race-free).
+                    if !changed.is_empty() {
+                        let pins = self.pinned.lock();
+                        if changed.iter().any(|id| pins.contains(id)) {
+                            drop(pins);
+                            drop(tbl);
+                            return Err(self.abort_with(txn, PromiseError::ObservationConflict));
+                        }
+                    }
                     for ex in &spec.exchange {
                         if let Some(old) = tbl.remove(*ex) {
                             self.journal_append(JournalOp::Release(old.id));
@@ -1464,7 +1659,16 @@ impl PromiseManager {
                             }
                         }
                     }
-                    self.journal_append(JournalOp::Grant(candidate.clone()));
+                    if prepared {
+                        // One atomic record: the grant and its prepared
+                        // mark are a single journal entry, so recovery can
+                        // never see the hold without knowing it is in
+                        // doubt (table → prepared lock order).
+                        self.journal_append(JournalOp::Prepared(candidate.clone()));
+                        self.prepared.lock().insert(id);
+                    } else {
+                        self.journal_append(JournalOp::Grant(candidate.clone()));
+                    }
                     tbl.insert(candidate);
                 }
                 self.unindex_requests(&removed);
@@ -1698,7 +1902,7 @@ impl PromiseManager {
                 return Err(self.abort_with(txn, e));
             }
         }
-        let (release_recs, mut live, qty_hints) = {
+        let (release_recs, mut live, qty_hints, pinned_at) = {
             let tbl = self.table.lock();
             let recs: Vec<PromiseRecord> = releases
                 .iter()
@@ -1709,7 +1913,10 @@ impl PromiseManager {
                 LockingMode::Footprint => tbl.snapshot_pools(now, &footprint, &releases),
             };
             let hints = self.qty_hints(&tbl, now, &footprint, &recs, &[]);
-            (recs, live, hints)
+            // Observation pins, read under the table lock so they are
+            // consistent with the snapshot's allocations (table → pinned).
+            let pinned_at = self.pinned.lock().clone();
+            (recs, live, hints, pinned_at)
         };
         // Only the written pools can have been invalidated by the action;
         // released promises never constrain others tighter. Under global
@@ -1721,7 +1928,9 @@ impl PromiseManager {
         let catalog = self.catalog.read();
         let check_started = Instant::now();
         let (check_result, check_stats) = {
-            let checker = Checker::new(&self.rm, &txn, &catalog).with_qty_demand(qty_hints);
+            let checker = Checker::new(&self.rm, &txn, &catalog)
+                .with_qty_demand(qty_hints)
+                .with_pinned(pinned_at);
             let mut r = Ok(Vec::new());
             for rec in &release_recs {
                 if let Err(e) = checker.release_tags(rec) {
@@ -1752,6 +1961,18 @@ impl PromiseManager {
                 let mut removed: Vec<PromiseRecord> = Vec::new();
                 {
                     let mut tbl = self.table.lock();
+                    // Same pin-race guard as the grant write-back: a pinned
+                    // id in `changed` means a client observed its
+                    // allocations while this post-check was re-arranging;
+                    // recompute against the pinned state.
+                    if !changed.is_empty() {
+                        let pins = self.pinned.lock();
+                        if changed.iter().any(|id| pins.contains(id)) {
+                            drop(pins);
+                            drop(tbl);
+                            return Err(self.abort_with(txn, PromiseError::ObservationConflict));
+                        }
+                    }
                     for id in &releases {
                         if let Some(old) = tbl.remove(*id) {
                             self.journal_append(JournalOp::Release(old.id));

@@ -153,6 +153,137 @@ fn property_promises_never_oversell_under_contention() {
     assert_eq!(pm.metrics().violations_rolled_back, 0);
 }
 
+/// Tightened regression for the observe-then-book race behind the old
+/// `property_promises_never_oversell_under_contention` flake: once a
+/// client has read its allocation via `PromiseManager::promise`, no
+/// concurrent re-arrangement may move that allocation out from under it.
+/// Here "shuffler" threads request floor-targeted promises that *need*
+/// re-arrangement (both rooms of a floor, one of which a view promise may
+/// tentatively hold) while "booker" threads observe and book their view
+/// allocations — maximum pressure on exactly the raced path.
+#[test]
+fn observed_allocations_survive_rearrangement_pressure() {
+    let pm = new_pm();
+    pm.register_pool(
+        PoolSchema::instances(
+            "rooms",
+            vec![PropertyDef::plain("view"), PropertyDef::plain("floor")],
+        )
+        .with_strategy(CheckStrategy::TentativeAllocation),
+    );
+    const FLOORS: usize = 8;
+    for f in 0..FLOORS {
+        pm.seed_instance(
+            "rooms",
+            format!("v{f}").as_str(),
+            Record::new().with("view", true).with("floor", f as i64),
+        )
+        .unwrap();
+        pm.seed_instance(
+            "rooms",
+            format!("p{f}").as_str(),
+            Record::new().with("view", false).with("floor", f as i64),
+        )
+        .unwrap();
+    }
+
+    let booked = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        // Shufflers: "both rooms of floor f" can only be granted by
+        // re-arranging a view promise tentatively holding v{f} onto
+        // another view room — unless that allocation is pinned.
+        for t in 0..4usize {
+            let pm = Arc::clone(&pm);
+            scope.spawn(move || {
+                for i in 0..40usize {
+                    let f = (t * 13 + i * 7) % FLOORS;
+                    let resp = pm
+                        .request(
+                            PromiseRequestSpec::new(
+                                promises_core::RequestId(format!("s{t}-{i}")),
+                                promises_core::ClientId(format!("s{t}")),
+                            )
+                            .predicate(Predicate::property(
+                                "rooms",
+                                PropExpr::eq("floor", f as i64),
+                                2,
+                            )),
+                        )
+                        .unwrap();
+                    if let Some(p) = resp.decision.granted_id() {
+                        pm.release(p).unwrap();
+                    }
+                }
+            });
+        }
+        // Bookers: observe the allocated room, then take exactly that room.
+        // Retry until every view room is booked: a request may be rejected
+        // while a shuffler transiently holds a view room, but shufflers
+        // terminate, so rejected bookers eventually succeed.
+        for t in 0..6usize {
+            let pm = Arc::clone(&pm);
+            let booked = Arc::clone(&booked);
+            scope.spawn(move || {
+                let mut i = 0usize;
+                while booked.load(Ordering::Relaxed) < FLOORS as u64 && i < 10_000 {
+                    i += 1;
+                    let resp = pm
+                        .request(
+                            PromiseRequestSpec::new(
+                                promises_core::RequestId(format!("b{t}-{i}")),
+                                promises_core::ClientId(format!("b{t}")),
+                            )
+                            .predicate(Predicate::property(
+                                "rooms",
+                                PropExpr::eq("view", true),
+                                1,
+                            )),
+                        )
+                        .unwrap();
+                    if let Some(p) = resp.decision.granted_id() {
+                        let rec = pm.promise(p).expect("just granted");
+                        let room = rec.allocated_in(&PoolId::from("rooms"))[0].0.clone();
+                        let table = Catalog::instance_table(&PoolId::from("rooms"));
+                        pm.execute(&Environment::none().releasing(p), move |rm, txn| {
+                            rm.update(txn, &table, &room, |r| {
+                                r.set(Catalog::STATUS, status::TAKEN);
+                            })
+                            .map_err(ActionError::from)
+                        })
+                        .expect("booking an observed allocation must never fail");
+                        booked.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        booked.load(Ordering::Relaxed),
+        FLOORS as u64,
+        "every view room booked exactly once, never more"
+    );
+    assert_eq!(pm.metrics().violations_rolled_back, 0);
+    // Exactly the view rooms were taken; re-arrangement pressure never
+    // redirected a booking onto a non-view room.
+    let rm = pm.rm();
+    let txn = rm.begin();
+    let rooms = rm
+        .scan(&txn, &Catalog::instance_table(&PoolId::from("rooms")))
+        .unwrap();
+    rm.commit(txn).unwrap();
+    let taken_view = rooms
+        .iter()
+        .filter(|(k, r)| k.starts_with('v') && r.str(Catalog::STATUS) == Some(status::TAKEN))
+        .count();
+    let taken_plain = rooms
+        .iter()
+        .filter(|(k, r)| k.starts_with('p') && r.str(Catalog::STATUS) == Some(status::TAKEN))
+        .count();
+    assert_eq!(taken_view, FLOORS, "all view rooms taken");
+    assert_eq!(taken_plain, 0, "no non-view room ever taken");
+}
+
 /// Mixed grants, releases, violating rogue writes and expiries running
 /// together: the manager must end consistent (no stuck PROMISED tags, no
 /// negative stock, no live promises).

@@ -65,6 +65,33 @@ where
         self.rights.contains(r)
     }
 
+    /// Directly pairs left vertex `l` with right vertex `r` without an
+    /// augmenting-path search — the *stability* primitive: a slot that
+    /// already holds a valid, unclaimed resource keeps it instead of being
+    /// re-shuffled by insertion order. Returns `false` (changing nothing)
+    /// if `l` already exists, `r` is unknown or already matched, or `r` is
+    /// not in `neighbours`; the caller then falls back to
+    /// [`DynamicMatching::try_add_left`].
+    pub fn seed_pair(&mut self, l: L, neighbours: Vec<R>, r: R) -> bool {
+        if self.adjacency.contains_key(&l) || !self.rights.contains(&r) {
+            return false;
+        }
+        if self.match_r.contains_key(&r) {
+            return false;
+        }
+        let usable: Vec<R> = neighbours
+            .into_iter()
+            .filter(|x| self.rights.contains(x))
+            .collect();
+        if !usable.contains(&r) {
+            return false;
+        }
+        self.adjacency.insert(l.clone(), usable);
+        self.match_l.insert(l.clone(), r.clone());
+        self.match_r.insert(r, l);
+        true
+    }
+
     /// Attempts to add left vertex `l` whose acceptable resources are
     /// `neighbours`. Returns `true` (and commits the augmentation) iff the
     /// enlarged matching still matches every left vertex; otherwise leaves
@@ -172,23 +199,28 @@ where
             Some(n) => n.clone(),
             None => return false,
         };
+        // Prefer a free resource before displacing a matched one: same
+        // augmenting-path correctness, but existing assignments move only
+        // when no free alternative exists (assignment *stability*).
+        for r in &neighbours {
+            if !visited.contains(r) && !self.match_r.contains_key(r) {
+                visited.insert(r.clone());
+                self.match_l.insert(l.clone(), r.clone());
+                self.match_r.insert(r.clone(), l.clone());
+                return true;
+            }
+        }
         for r in neighbours {
             if !visited.insert(r.clone()) {
                 continue;
             }
-            match self.match_r.get(&r).cloned() {
-                None => {
-                    self.match_l.insert(l.clone(), r.clone());
-                    self.match_r.insert(r, l.clone());
-                    return true;
-                }
-                Some(other) => {
-                    if self.augment(&other, visited) {
-                        self.match_l.insert(l.clone(), r.clone());
-                        self.match_r.insert(r, l.clone());
-                        return true;
-                    }
-                }
+            let Some(other) = self.match_r.get(&r).cloned() else {
+                continue;
+            };
+            if self.augment(&other, visited) {
+                self.match_l.insert(l.clone(), r.clone());
+                self.match_r.insert(r, l.clone());
+                return true;
             }
         }
         false

@@ -20,6 +20,9 @@
 //! * [`assign_slots`] — the promise checker's entry point: given the
 //!   pre-filtered allowed-instance lists of a set of slots, produce a
 //!   full assignment of distinct instances (or report infeasibility).
+//!   [`assign_slots_seeded`] is the *stable* variant: slots keep their
+//!   current instances unless an augmenting path must move them, so
+//!   re-checking never permutes existing holdings gratuitously.
 
 mod dynamic;
 mod hopcroft_karp;
@@ -39,14 +42,47 @@ pub fn assign_slots(
     rights: impl IntoIterator<Item = usize>,
     allowed: &[Vec<usize>],
 ) -> Option<Vec<usize>> {
+    assign_slots_seeded(rights, allowed, &[])
+}
+
+/// Like [`assign_slots`], but *stable*: `seeds[i]` (when present) is the
+/// right vertex slot `i` currently holds, and the assignment keeps every
+/// valid seed in place unless an augmenting path genuinely needs to move
+/// it. Feasibility is unchanged — a perfect matching extends any partial
+/// matching of valid pairs via augmenting paths — but the result no longer
+/// permutes existing holdings gratuitously, so a client that has observed
+/// its allocation keeps seeing the same instance across unrelated grants.
+///
+/// `seeds` may be shorter than `allowed`; missing entries are unseeded.
+/// A seed that is stale (not in `rights`, not in the slot's allowed list,
+/// or claimed by an earlier seed) is ignored rather than an error.
+pub fn assign_slots_seeded(
+    rights: impl IntoIterator<Item = usize>,
+    allowed: &[Vec<usize>],
+    seeds: &[Option<usize>],
+) -> Option<Vec<usize>> {
     let mut matching: DynamicMatching<usize, usize> = DynamicMatching::new();
     for r in rights {
         matching.add_right(r);
     }
 
-    let mut order: Vec<usize> = (0..allowed.len()).collect();
-    order.sort_by_key(|&i| allowed[i].len());
-    for &i in &order {
+    // Pass 1: keep current holdings. Direct pairing, no augmentation — a
+    // seeded slot never displaces another seeded slot.
+    let mut remaining: Vec<usize> = Vec::new();
+    for (i, options) in allowed.iter().enumerate() {
+        let seeded = match seeds.get(i).copied().flatten() {
+            Some(s) => matching.seed_pair(i, options.clone(), s),
+            None => false,
+        };
+        if !seeded {
+            remaining.push(i);
+        }
+    }
+
+    // Pass 2: place the rest most-constrained-first; augmenting paths move
+    // seeded holdings only when no completion exists without doing so.
+    remaining.sort_by_key(|&i| allowed[i].len());
+    for &i in &remaining {
         if !matching.try_add_left(i, allowed[i].clone()) {
             return None;
         }
@@ -150,6 +186,57 @@ mod tests {
     #[test]
     fn assign_slots_empty_slot_set_is_trivially_satisfied() {
         assert_eq!(assign_slots(0..3, &[]), Some(vec![]));
+    }
+
+    #[test]
+    fn seeded_assignment_is_stable_when_feasible() {
+        // Both slots accept both rights; the seeds must survive verbatim
+        // even though the unseeded heuristic could permute them.
+        let allowed = vec![vec![0, 1], vec![0, 1]];
+        let seeds = vec![Some(1), Some(0)];
+        let got = assign_slots_seeded(0..2, &allowed, &seeds).expect("feasible");
+        assert_eq!(got, vec![1, 0]);
+    }
+
+    #[test]
+    fn seeded_assignment_moves_only_when_necessary() {
+        // The paper's hotel case: slot 0 ("view") is seeded on right 0
+        // ("512"), slot 1 ("fifth floor") accepts only right 0 — the seed
+        // must yield via an augmenting path.
+        let allowed = vec![vec![0, 1], vec![0]];
+        let seeds = vec![Some(0), None];
+        let got = assign_slots_seeded(0..2, &allowed, &seeds).expect("feasible");
+        assert_eq!(got, vec![1, 0]);
+    }
+
+    #[test]
+    fn stale_seeds_are_ignored() {
+        // Seed 7 is not a right; seed 1 is not in slot 1's allowed list;
+        // both slots still get assigned.
+        let allowed = vec![vec![0, 1], vec![0]];
+        let seeds = vec![Some(7), Some(1)];
+        let got = assign_slots_seeded(0..2, &allowed, &seeds).expect("feasible");
+        assert_eq!(got, vec![1, 0]);
+    }
+
+    #[test]
+    fn duplicate_seeds_keep_first_and_reroute_second() {
+        let allowed = vec![vec![0, 1], vec![0, 1]];
+        let seeds = vec![Some(0), Some(0)];
+        let got = assign_slots_seeded(0..2, &allowed, &seeds).expect("feasible");
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn seeding_does_not_change_feasibility() {
+        // Infeasible stays infeasible no matter the seeds.
+        let allowed = vec![vec![0], vec![0]];
+        assert_eq!(assign_slots_seeded(0..2, &allowed, &[Some(0), None]), None);
+        // Fully seeded feasible case round-trips.
+        let allowed: Vec<Vec<usize>> = (0..4).map(|_| (0..4).collect()).collect();
+        let seeds: Vec<Option<usize>> = (0..4).map(|i| Some((i + 1) % 4)).collect();
+        let got = assign_slots_seeded(0..4, &allowed, &seeds).expect("feasible");
+        assert_eq!(got, vec![1, 2, 3, 0]);
     }
 
     #[test]

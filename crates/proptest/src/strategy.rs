@@ -197,4 +197,6 @@ impl_tuple_strategy! {
     (A, B, C, D, E, F);
     (A, B, C, D, E, F, G);
     (A, B, C, D, E, F, G, H);
+    (A, B, C, D, E, F, G, H, I);
+    (A, B, C, D, E, F, G, H, I, J);
 }

@@ -1,0 +1,527 @@
+//! Cluster failure workloads: fault sweeps over the cross-shard
+//! coordinator and shard crash–restart.
+//!
+//! These drive a [`PromiseCluster`] — N autonomous shard nodes behind one
+//! faulty bus, coordinated by the prepare/commit protocol — and audit the
+//! §4 unit guarantee *as extended across shards* after the dust settles:
+//!
+//! * **no partial grants** — every transaction's observable outcome is
+//!   all-or-nothing: a confirmed grant's parts are all live and committed;
+//!   a rejected or aborted transaction never leaves a *committed* hold on
+//!   any shard (an unresolved *prepared* hold is in doubt, unusable, and
+//!   reclaimed by expiry — the leak audit covers it);
+//! * **no double grants** — per shard, every `(client, request)` pair has
+//!   at most one grant-like journal record, however many times the
+//!   retrying client resent it;
+//! * **no oversells** — per shard, quantity promised to live promises
+//!   never exceeds quantity on hand;
+//! * **no leaks** — after every duration passes, expiry reclaims every
+//!   hold the sweep abandoned (crashed coordinators included, once
+//!   recovery has run).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use promises_cluster::{ClusterDecision, CoordError, CrashPoint, GrantPart, PromiseCluster};
+use promises_core::{ClientId, JournalOp, PromiseId, RequestId};
+use promises_faults::{FaultInjector, FaultScenario};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Shape of a cluster fault-sweep workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSweepConfig {
+    /// Shard count.
+    pub shards: usize,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Grant attempts per client.
+    pub ops_per_client: usize,
+    /// Quantity pools, spread round-robin over the shards.
+    pub pools: usize,
+    /// Units seeded per pool.
+    pub qty: u64,
+    /// Per-predicate amount is uniform in `1..=amount_max`.
+    pub amount_max: u64,
+    /// Probability an op requests a *cross-shard* footprint (two pools on
+    /// different shards) instead of the single-shard fast path.
+    pub cross_shard_probability: f64,
+    /// Probability a cross-shard op arms an injected coordinator crash.
+    pub crash_probability: f64,
+    /// Probability a granted promise is released (the rest are abandoned,
+    /// for the leak audit).
+    pub release_probability: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ClusterSweepConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            clients: 4,
+            ops_per_client: 25,
+            pools: 4,
+            qty: 100_000,
+            amount_max: 3,
+            cross_shard_probability: 0.4,
+            crash_probability: 0.05,
+            release_probability: 0.6,
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome of one cluster sweep, including the post-run audits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClusterRunReport {
+    /// Grant attempts.
+    pub attempts: u64,
+    /// Unit grants confirmed (single- and cross-shard).
+    pub granted: u64,
+    /// Cross-shard grants among `granted`.
+    pub cross_shard_granted: u64,
+    /// Unit rejections.
+    pub rejected: u64,
+    /// Coordinator crashes injected (transactions left for recovery).
+    pub crashed: u64,
+    /// Transport-level failures surfaced by the coordinator.
+    pub transport_failures: u64,
+    /// Undecided transactions recovery presumed aborted.
+    pub presumed_aborted: u64,
+    /// Committed transactions whose resolutions recovery resent.
+    pub commits_resent: u64,
+    /// Transactions whose observable outcome was not all-or-nothing.
+    /// The §4 unit guarantee says **always zero**.
+    pub partial_grants: u64,
+    /// Per-shard `(client, request)` pairs with more than one grant-like
+    /// journal record. **Always zero.**
+    pub double_grants: u64,
+    /// Shards whose promised quantity exceeded on-hand. **Always zero.**
+    pub oversells: u64,
+    /// Promises still live after recovery + full expiry. **Always zero.**
+    pub live_after_reap: usize,
+    /// Wall-clock duration of the workload phase.
+    pub elapsed: Duration,
+}
+
+impl ClusterRunReport {
+    /// True when every audited guarantee held.
+    pub fn clean(&self) -> bool {
+        self.partial_grants == 0
+            && self.double_grants == 0
+            && self.oversells == 0
+            && self.live_after_reap == 0
+    }
+}
+
+/// Builds a cluster per `cfg` with `scenario` installed on the bus.
+pub fn cluster_harness(scenario: FaultScenario, cfg: &ClusterSweepConfig) -> PromiseCluster {
+    let cluster = PromiseCluster::build(cfg.shards, cfg.seed);
+    for i in 0..cfg.pools {
+        cluster.register_quantity_pool(&crate::workload::pool_name(i), cfg.qty);
+    }
+    cluster
+        .bus
+        .set_fault_injector(Some(Arc::new(FaultInjector::new(scenario))));
+    cluster
+}
+
+/// Picks two pools owned by *different* shards (with pools spread
+/// round-robin, pools `i` and `i+1` always differ when `shards > 1`).
+fn cross_shard_pools(cfg: &ClusterSweepConfig, rng: &mut StdRng) -> (String, String) {
+    let a = rng.random_range(0..cfg.pools);
+    let b = (a + 1) % cfg.pools;
+    (crate::workload::pool_name(a), crate::workload::pool_name(b))
+}
+
+/// What one workload op observed, recorded for the post-run audit.
+enum OpOutcome {
+    /// Unit grant; `released` if the client then released the parts.
+    Granted {
+        parts: Vec<GrantPart>,
+        released: bool,
+    },
+    /// Unit rejection, or a transport failure the coordinator aborted.
+    RejectedOrAborted,
+    /// The coordinator crashed mid-transaction; the coordinator log
+    /// decides the expected outcome.
+    Crashed,
+}
+
+/// Drives `cfg.clients` concurrent clients through the coordinator under
+/// `scenario`, runs coordinator recovery, then audits partial grants,
+/// double grants, oversells and leaks. Returns the report and the
+/// quiesced cluster for further audits (spans, journals).
+pub fn run_cluster_fault_sweep(
+    scenario: FaultScenario,
+    cfg: &ClusterSweepConfig,
+) -> (ClusterRunReport, PromiseCluster) {
+    let cluster = cluster_harness(scenario, cfg);
+    let granted = AtomicU64::new(0);
+    let cross_granted = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let crashed = AtomicU64::new(0);
+    let transport = AtomicU64::new(0);
+    let outcomes: Mutex<Vec<(String, String, OpOutcome)>> = Mutex::new(Vec::new());
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..cfg.clients {
+            let cluster = &cluster;
+            let granted = &granted;
+            let cross_granted = &cross_granted;
+            let rejected = &rejected;
+            let crashed = &crashed;
+            let transport = &transport;
+            let outcomes = &outcomes;
+            let cfg = *cfg;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(c as u64 * 6151));
+                let client = format!("client-{c}");
+                for op in 0..cfg.ops_per_client {
+                    let cross = cfg.shards > 1 && rng.random_bool(cfg.cross_shard_probability);
+                    let amount = rng.random_range(1..=cfg.amount_max);
+                    let predicates = if cross {
+                        let (pa, pb) = cross_shard_pools(&cfg, &mut rng);
+                        let amount_b = rng.random_range(1..=cfg.amount_max);
+                        vec![
+                            format!("qty('{pa}') >= {amount}"),
+                            format!("qty('{pb}') >= {amount_b}"),
+                        ]
+                    } else {
+                        let pool = crate::workload::pool_name(rng.random_range(0..cfg.pools));
+                        vec![format!("qty('{pool}') >= {amount}")]
+                    };
+                    if cross && rng.random_bool(cfg.crash_probability) {
+                        let point = if rng.random_bool(0.5) {
+                            CrashPoint::AfterPrepare
+                        } else {
+                            CrashPoint::AfterCommitLogged
+                        };
+                        cluster.coordinator.set_crash_point(Some(point));
+                    }
+                    let rid = format!("c{c}-o{op}");
+                    let outcome =
+                        match cluster
+                            .coordinator
+                            .grant(&client, &rid, &predicates, 3_600_000)
+                        {
+                            Ok(ClusterDecision::Granted { parts }) => {
+                                granted.fetch_add(1, Ordering::Relaxed);
+                                if parts.len() > 1 {
+                                    cross_granted.fetch_add(1, Ordering::Relaxed);
+                                }
+                                let released = rng.random_bool(cfg.release_probability);
+                                if released {
+                                    cluster.coordinator.release(&parts);
+                                }
+                                OpOutcome::Granted { parts, released }
+                            }
+                            Ok(ClusterDecision::Rejected { .. }) => {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                                OpOutcome::RejectedOrAborted
+                            }
+                            Err(CoordError::Crashed(_)) => {
+                                crashed.fetch_add(1, Ordering::Relaxed);
+                                OpOutcome::Crashed
+                            }
+                            Err(CoordError::Transport(_)) => {
+                                transport.fetch_add(1, Ordering::Relaxed);
+                                OpOutcome::RejectedOrAborted
+                            }
+                            Err(e) => panic!("unexpected coordinator error: {e}"),
+                        };
+                    outcomes
+                        .lock()
+                        .unwrap()
+                        .push((client.clone(), rid, outcome));
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+
+    // ---- Audits run on a quiet system. ----
+    cluster.bus.set_fault_injector(None);
+    let recovery = cluster
+        .coordinator
+        .recover()
+        .expect("coordinator recovery succeeds");
+
+    let mut report = ClusterRunReport {
+        attempts: (cfg.clients * cfg.ops_per_client) as u64,
+        granted: granted.into_inner(),
+        cross_shard_granted: cross_granted.into_inner(),
+        rejected: rejected.into_inner(),
+        crashed: crashed.into_inner(),
+        transport_failures: transport.into_inner(),
+        presumed_aborted: recovery.presumed_aborted as u64,
+        commits_resent: recovery.commits_resent as u64,
+        elapsed,
+        ..ClusterRunReport::default()
+    };
+    audit_cluster(&cluster, &outcomes.into_inner().unwrap(), &mut report);
+    (report, cluster)
+}
+
+/// The live *committed* hold for one sub-request: `Some` only when the
+/// shard holds it and it is no longer in doubt.
+fn committed_hold(
+    cluster: &PromiseCluster,
+    shard: usize,
+    client: &str,
+    rid: &str,
+) -> Option<PromiseId> {
+    let pm = &cluster.nodes[shard].pm;
+    let id = pm.promise_for_request(&ClientId(client.to_owned()), &RequestId(rid.to_owned()))?;
+    (!pm.is_prepared(id)).then_some(id)
+}
+
+/// The post-run audits. See the module docs for each guarantee.
+///
+/// Partial grants are judged on *observable* state after recovery: a
+/// confirmed grant's parts must all be live committed holds (unless the
+/// client released them); a rejected/aborted transaction must not expose
+/// a committed hold on any shard; a crashed transaction follows the
+/// coordinator log — logged-committed means every part lives, anything
+/// else means no committed hold survives. Unresolved *prepared* holds are
+/// in doubt, not grants, and fall to the leak audit.
+fn audit_cluster(
+    cluster: &PromiseCluster,
+    outcomes: &[(String, String, OpOutcome)],
+    report: &mut ClusterRunReport,
+) {
+    let summary = cluster
+        .coordinator
+        .log()
+        .replay()
+        .expect("coordinator log replays");
+    let committed_txns: std::collections::HashMap<(String, String), Vec<usize>> = summary
+        .committed
+        .iter()
+        .map(|(txn, shards)| ((txn.client.clone(), txn.request.clone()), shards.clone()))
+        .collect();
+
+    for (client, rid, outcome) in outcomes {
+        let partial = match outcome {
+            OpOutcome::Granted { released: true, .. } => false, // leak audit covers
+            OpOutcome::Granted {
+                parts,
+                released: false,
+            } => !parts.iter().all(|part| {
+                let key = if parts.len() > 1 {
+                    format!("{rid}@s{}", part.shard)
+                } else {
+                    rid.clone()
+                };
+                committed_hold(cluster, part.shard, client, &key)
+                    == Some(PromiseId(part.promise_id))
+            }),
+            OpOutcome::RejectedOrAborted => (0..cluster.shard_count()).any(|shard| {
+                committed_hold(cluster, shard, client, &format!("{rid}@s{shard}")).is_some()
+            }),
+            OpOutcome::Crashed => {
+                match committed_txns.get(&(client.clone(), rid.clone())) {
+                    // Logged commit: recovery must have landed every part.
+                    Some(shards) => !shards.iter().all(|&shard| {
+                        committed_hold(cluster, shard, client, &format!("{rid}@s{shard}")).is_some()
+                    }),
+                    // Presumed abort: no committed hold may survive.
+                    None => (0..cluster.shard_count()).any(|shard| {
+                        committed_hold(cluster, shard, client, &format!("{rid}@s{shard}")).is_some()
+                    }),
+                }
+            }
+        };
+        if partial {
+            report.partial_grants += 1;
+        }
+    }
+
+    // Double-grant audit from the shard journals: at most one grant-like
+    // record per (client, full request id), however noisy the transport.
+    for node in &cluster.nodes {
+        let mut grant_counts: std::collections::HashMap<(String, String), u32> =
+            std::collections::HashMap::new();
+        if let Ok(entries) = node.journal.entries() {
+            for entry in entries {
+                if let JournalOp::Grant(rec) | JournalOp::Prepared(rec) = entry.op {
+                    *grant_counts
+                        .entry((rec.client.0.clone(), rec.request.0.clone()))
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        report.double_grants += grant_counts.values().filter(|&&n| n > 1).count() as u64;
+
+        // Oversell audit, per shard.
+        for (pool, demanded) in node.pm.promised_quantities() {
+            let on_hand = node.pm.quantity_on_hand(pool.clone()).unwrap_or(0);
+            if demanded > on_hand {
+                report.oversells += 1;
+            }
+        }
+    }
+
+    // Leak audit: advance past every duration; expiry must reclaim
+    // whatever the sweep abandoned (dropped releases, in-doubt holds of
+    // decided-abort transactions whose abort message was lost, …).
+    cluster.advance_and_prune(4_000_000);
+    report.live_after_reap = cluster.live_count();
+}
+
+/// Outcome of a cluster crash–restart run.
+#[derive(Debug, Clone)]
+pub struct ClusterCrashReport {
+    /// Per-shard: digest before the kill, digest after journal recovery.
+    pub digests: Vec<(String, String)>,
+    /// Per-shard in-doubt holds recovery found (the killed-mid-commit
+    /// transaction's holds).
+    pub in_doubt: Vec<usize>,
+    /// Live promises after coordinator recovery resolved the in-doubt
+    /// transaction.
+    pub live_after_recovery: usize,
+    /// Live promises from transactions committed before the kill.
+    pub committed_before_kill: usize,
+}
+
+impl ClusterCrashReport {
+    /// True when every shard's recovered state is byte-equivalent to its
+    /// pre-kill state (prepared marks included).
+    pub fn digests_match(&self) -> bool {
+        self.digests.iter().all(|(pre, post)| pre == post)
+    }
+}
+
+/// The satellite crash-restart scenario: commit some cross-shard grants,
+/// then kill *every shard* between `Prepare` and `Commit` of one more
+/// transaction (the coordinator crashes with them), restart the shards
+/// from their journals, compare per-shard `state_digest()`s, and let
+/// coordinator recovery resolve the in-doubt holds by presumed abort.
+pub fn run_cluster_crash_restart(seed: u64, committed_grants: usize) -> ClusterCrashReport {
+    let mut cluster = PromiseCluster::build(2, seed);
+    cluster.register_quantity_pool("alpha", 10_000);
+    cluster.register_quantity_pool("beta", 10_000);
+
+    let mut committed = 0usize;
+    for i in 0..committed_grants {
+        let decision = cluster
+            .coordinator
+            .grant(
+                "steady",
+                &format!("pre{i}"),
+                &[
+                    format!("qty('alpha') >= {}", 1 + (i as u64 % 3)),
+                    format!("qty('beta') >= {}", 1 + (i as u64 % 2)),
+                ],
+                10_000_000,
+            )
+            .expect("quiet grant");
+        if decision.is_granted() {
+            committed += 2;
+        }
+    }
+
+    // The kill: prepares land on both shards, then everything dies before
+    // any commit resolution is sent.
+    cluster
+        .coordinator
+        .set_crash_point(Some(CrashPoint::AfterPrepare));
+    let err = cluster
+        .coordinator
+        .grant(
+            "doomed",
+            "rx",
+            &["qty('alpha') >= 5".into(), "qty('beta') >= 5".into()],
+            10_000_000,
+        )
+        .expect_err("armed crash fires");
+    assert!(matches!(err, CoordError::Crashed(_)), "{err:?}");
+
+    let mut digests = Vec::new();
+    let mut in_doubt = Vec::new();
+    for index in 0..cluster.shard_count() {
+        let pre = cluster.nodes[index].pm.state_digest();
+        let recovery = cluster.crash_restart_shard(index);
+        let post = cluster.nodes[index].pm.state_digest();
+        digests.push((pre, post));
+        in_doubt.push(recovery.in_doubt);
+    }
+
+    // The restarted coordinator (same durable log) resolves the in-doubt
+    // transaction: undecided → presumed abort.
+    let recovery = cluster
+        .coordinator
+        .recover()
+        .expect("coordinator recovery succeeds");
+    assert_eq!(recovery.presumed_aborted, 1);
+
+    ClusterCrashReport {
+        digests,
+        in_doubt,
+        live_after_recovery: cluster.live_count(),
+        committed_before_kill: committed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_cluster_sweep_is_clean() {
+        let cfg = ClusterSweepConfig {
+            shards: 4,
+            clients: 3,
+            ops_per_client: 15,
+            crash_probability: 0.0,
+            ..ClusterSweepConfig::default()
+        };
+        let (report, _) = run_cluster_fault_sweep(FaultScenario::quiet(1), &cfg);
+        assert!(report.clean(), "{report:?}");
+        assert!(report.granted > 0);
+        assert!(report.cross_shard_granted > 0, "workload must cross shards");
+        assert_eq!(report.crashed, 0);
+    }
+
+    #[test]
+    fn faulty_cluster_sweep_holds_unit_guarantee() {
+        let cfg = ClusterSweepConfig {
+            shards: 4,
+            clients: 4,
+            ops_per_client: 20,
+            crash_probability: 0.15,
+            ..ClusterSweepConfig::default()
+        };
+        let (report, _) = run_cluster_fault_sweep(FaultScenario::uniform(7, 0.1), &cfg);
+        assert_eq!(report.partial_grants, 0, "§4 must hold across shards");
+        assert_eq!(report.double_grants, 0, "retries must dedup per shard");
+        assert_eq!(report.oversells, 0, "no shard may oversell");
+        assert_eq!(report.live_after_reap, 0, "expiry + recovery reclaim all");
+        assert!(report.granted > 0, "goodput survives faults");
+    }
+
+    #[test]
+    fn shard_kill_between_prepare_and_commit_recovers() {
+        let report = run_cluster_crash_restart(11, 6);
+        assert!(
+            report.digests_match(),
+            "per-shard state must survive the kill:\n{:?}",
+            report
+                .digests
+                .iter()
+                .map(|(a, b)| format!("pre:\n{a}\npost:\n{b}"))
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            report.in_doubt.iter().all(|&n| n == 1),
+            "each shard recovers exactly the doomed hold in doubt: {:?}",
+            report.in_doubt
+        );
+        assert_eq!(
+            report.live_after_recovery, report.committed_before_kill,
+            "presumed abort frees the doomed holds, keeps the committed"
+        );
+    }
+}

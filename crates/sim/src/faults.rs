@@ -280,6 +280,7 @@ pub fn run_fault_sweep_with(
                         duration_ms: if kill { 10 } else { 3_600_000 },
                         exchange: vec![],
                         negotiate: false,
+                        prepare: false,
                     });
                     let reply = match client.send(PM_ENDPOINT, &grant) {
                         Ok(r) => r,
@@ -464,6 +465,7 @@ pub fn run_crash_restart(seed: u64, grants: usize, down_ms: u64) -> CrashRestart
             duration_ms,
             exchange: vec![],
             negotiate: false,
+            prepare: false,
         });
         let _ = client.send(PM_ENDPOINT, &envelope);
     }

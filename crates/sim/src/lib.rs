@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 mod adapter;
+mod cluster;
 mod driver;
 mod faults;
 mod instances;
@@ -27,6 +28,10 @@ mod obs;
 mod workload;
 
 pub use adapter::{promise_reserver, promise_reserver_with_mode, PromiseQtyReserver};
+pub use cluster::{
+    cluster_harness, run_cluster_crash_restart, run_cluster_fault_sweep, ClusterCrashReport,
+    ClusterRunReport, ClusterSweepConfig,
+};
 pub use driver::{run_qty_workload, seed_pools};
 pub use faults::{
     fault_harness, fault_harness_with, run_crash_restart, run_fault_sweep, run_fault_sweep_with,

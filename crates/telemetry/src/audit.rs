@@ -161,6 +161,124 @@ pub fn audit_lifecycles(spans: &[SpanRecord], journal: &JournalFacts) -> Lifecyc
     report
 }
 
+/// One shard's evidence for a cluster audit: its label, the spans drained
+/// from its private ring, and its journal-derived ground truth.
+#[derive(Debug, Clone, Default)]
+pub struct ShardEvidence {
+    /// Shard label (`shard0`, …) used to attribute violations.
+    pub label: String,
+    /// Spans from the shard's own telemetry ring.
+    pub spans: Vec<SpanRecord>,
+    /// Ground truth from the shard's journal.
+    pub journal: JournalFacts,
+}
+
+/// Result of auditing a cluster run: per-shard lifecycle reports plus
+/// cross-shard coordination checks joined on trace ids.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterLifecycleReport {
+    /// Each shard's lifecycle report, violation messages prefixed with the
+    /// shard label.
+    pub shards: Vec<(String, LifecycleReport)>,
+    /// Traces whose promise-lifecycle spans landed on two or more shards —
+    /// the cross-shard transactions the coordinator actually split.
+    pub cross_shard_traces: usize,
+    /// Cross-shard coordination violations (commit/abort exclusivity,
+    /// decisions out of order with their prepare).
+    pub violations: Vec<String>,
+}
+
+impl ClusterLifecycleReport {
+    /// True when every shard audit passed and no coordination rule fired.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty() && self.shards.iter().all(|(_, r)| r.ok())
+    }
+
+    /// Every violation, shard-attributed, in one list.
+    pub fn all_violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (label, r) in &self.shards {
+            out.extend(r.violations.iter().map(|v| format!("{label}: {v}")));
+        }
+        out.extend(self.violations.iter().cloned());
+        out
+    }
+}
+
+/// Audits a cluster run: each shard's spans against its own journal via
+/// [`audit_lifecycles`], then the coordinator's spans for cross-shard
+/// coordination invariants, joining shard spans to coordinator decisions
+/// by trace id (shards adopt the coordinator's trace from the envelope).
+///
+/// Timestamps are never compared *across* rings — each registry has its
+/// own epoch — so cross-shard rules use only per-trace span presence and
+/// within-ring ordering. Like [`audit_lifecycles`], absence is not a
+/// violation (rings are bounded); contradiction is.
+pub fn audit_cluster_lifecycles(
+    coordinator_spans: &[SpanRecord],
+    shards: &[ShardEvidence],
+) -> ClusterLifecycleReport {
+    let mut report = ClusterLifecycleReport::default();
+    for sh in shards {
+        report
+            .shards
+            .push((sh.label.clone(), audit_lifecycles(&sh.spans, &sh.journal)));
+    }
+
+    // How many traces touched more than one shard's lifecycle spans.
+    let mut shards_by_trace: BTreeMap<u64, BTreeSet<usize>> = BTreeMap::new();
+    for (i, sh) in shards.iter().enumerate() {
+        for s in sh.spans.iter().filter(|s| s.promise.is_some()) {
+            shards_by_trace.entry(s.trace.0).or_default().insert(i);
+        }
+    }
+    report.cross_shard_traces = shards_by_trace.values().filter(|s| s.len() >= 2).count();
+
+    // Coordinator rules, per trace.
+    #[derive(Default)]
+    struct CoordTrace {
+        prepares: Vec<SpanRecord>,
+        commits: Vec<SpanRecord>,
+        aborts: Vec<SpanRecord>,
+    }
+    let mut by_trace: BTreeMap<u64, CoordTrace> = BTreeMap::new();
+    for s in coordinator_spans {
+        let t = by_trace.entry(s.trace.0).or_default();
+        match (s.kind, s.outcome) {
+            (SpanKind::CoordPrepare, _) => t.prepares.push(s.clone()),
+            (SpanKind::CoordCommit, SpanOutcome::Ok) => t.commits.push(s.clone()),
+            (SpanKind::CoordAbort, SpanOutcome::Ok) => t.aborts.push(s.clone()),
+            _ => {}
+        }
+    }
+    for (trace, t) in &by_trace {
+        if !t.commits.is_empty() && !t.aborts.is_empty() {
+            report.violations.push(format!(
+                "trace {trace}: coordinator both committed and aborted"
+            ));
+        }
+        if t.commits.len() > 1 {
+            report.violations.push(format!(
+                "trace {trace}: coordinator committed {} times",
+                t.commits.len()
+            ));
+        }
+        // A decision must not end before its prepare began (same ring, so
+        // timestamps are comparable).
+        if let Some(prep_start) = t.prepares.iter().map(|s| s.start_ns).min() {
+            for d in t.commits.iter().chain(t.aborts.iter()) {
+                if d.end_ns() < prep_start {
+                    report.violations.push(format!(
+                        "trace {trace}: decision at {}ns before prepare at {prep_start}ns",
+                        d.end_ns()
+                    ));
+                }
+            }
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +368,90 @@ mod tests {
         let r = audit_lifecycles(&spans, &journal(&[1], &[1], &[]));
         assert!(r.ok(), "{:?}", r.violations);
         assert_eq!(r.complete, 0);
+    }
+
+    fn traced(
+        kind: SpanKind,
+        trace: u64,
+        promise: Option<u64>,
+        start_ns: u64,
+        outcome: SpanOutcome,
+    ) -> SpanRecord {
+        SpanRecord {
+            trace: TraceId(trace),
+            span: SpanId(start_ns),
+            parent: None,
+            kind,
+            start_ns,
+            dur_ns: 10,
+            promise,
+            outcome,
+            fault: None,
+            note: None,
+        }
+    }
+
+    #[test]
+    fn cluster_audit_joins_traces_and_passes_clean_runs() {
+        let coord = vec![
+            traced(SpanKind::CoordPrepare, 7, None, 100, SpanOutcome::Ok),
+            traced(SpanKind::CoordCommit, 7, None, 300, SpanOutcome::Ok),
+        ];
+        let shards = vec![
+            ShardEvidence {
+                label: "shard0".into(),
+                spans: vec![traced(SpanKind::PmGrant, 7, Some(1), 150, SpanOutcome::Ok)],
+                journal: journal(&[1], &[], &[]),
+            },
+            ShardEvidence {
+                label: "shard1".into(),
+                spans: vec![traced(SpanKind::PmGrant, 7, Some(2), 160, SpanOutcome::Ok)],
+                journal: journal(&[2], &[], &[]),
+            },
+        ];
+        let r = audit_cluster_lifecycles(&coord, &shards);
+        assert!(r.ok(), "{:?}", r.all_violations());
+        assert_eq!(r.cross_shard_traces, 1);
+        assert_eq!(r.shards.len(), 2);
+    }
+
+    #[test]
+    fn cluster_audit_flags_commit_and_abort_on_one_trace() {
+        let coord = vec![
+            traced(SpanKind::CoordPrepare, 9, None, 100, SpanOutcome::Ok),
+            traced(SpanKind::CoordCommit, 9, None, 200, SpanOutcome::Ok),
+            traced(SpanKind::CoordAbort, 9, None, 300, SpanOutcome::Ok),
+        ];
+        let r = audit_cluster_lifecycles(&coord, &[]);
+        assert!(!r.ok());
+        assert!(r.violations[0].contains("both committed and aborted"));
+    }
+
+    #[test]
+    fn cluster_audit_flags_decision_before_prepare() {
+        let coord = vec![
+            traced(SpanKind::CoordCommit, 9, None, 50, SpanOutcome::Ok),
+            traced(SpanKind::CoordPrepare, 9, None, 100, SpanOutcome::Ok),
+        ];
+        let r = audit_cluster_lifecycles(&coord, &[]);
+        assert!(r.violations.iter().any(|v| v.contains("before prepare")));
+    }
+
+    #[test]
+    fn cluster_audit_attributes_shard_violations() {
+        let shards = vec![ShardEvidence {
+            label: "shard1".into(),
+            spans: vec![
+                traced(SpanKind::PmGrant, 3, Some(5), 100, SpanOutcome::Ok),
+                traced(SpanKind::PmRelease, 3, Some(5), 200, SpanOutcome::Ok),
+                traced(SpanKind::PmRelease, 3, Some(5), 300, SpanOutcome::Ok),
+            ],
+            journal: journal(&[5], &[5], &[]),
+        }];
+        let r = audit_cluster_lifecycles(&[], &shards);
+        assert!(!r.ok());
+        assert!(r.all_violations()[0].starts_with("shard1: "));
+        assert_eq!(r.cross_shard_traces, 0, "one shard is not cross-shard");
     }
 
     #[test]

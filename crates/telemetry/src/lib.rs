@@ -29,7 +29,10 @@ pub mod registry;
 pub mod ring;
 pub mod span;
 
-pub use audit::{audit_lifecycles, JournalFacts, LifecycleReport};
+pub use audit::{
+    audit_cluster_lifecycles, audit_lifecycles, ClusterLifecycleReport, JournalFacts,
+    LifecycleReport, ShardEvidence,
+};
 pub use hist::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
 pub use registry::{SpanDraft, Telemetry, TelemetrySnapshot, DEFAULT_RING_CAPACITY};
 pub use ring::SpanRing;

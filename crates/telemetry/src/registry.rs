@@ -297,6 +297,21 @@ impl TelemetrySnapshot {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Folds `other`'s metrics into this snapshot under `label.`-prefixed
+    /// names (`shard1.pm.grant`, …). A cluster harness snapshots each
+    /// shard's private registry and absorbs them all into one snapshot
+    /// whose per-shard series stay distinguishable; ring totals accumulate.
+    pub fn absorb_prefixed(&mut self, label: &str, other: &TelemetrySnapshot) {
+        for (k, v) in &other.histograms {
+            self.histograms.insert(format!("{label}.{k}"), *v);
+        }
+        for (k, v) in &other.counters {
+            self.counters.insert(format!("{label}.{k}"), *v);
+        }
+        self.spans_recorded += other.spans_recorded;
+        self.spans_dropped += other.spans_dropped;
+    }
+
     /// Names of exported histograms with zero samples (a healthy snapshot
     /// from an instrumented run has none).
     pub fn empty_histograms(&self) -> Vec<&str> {

@@ -57,11 +57,19 @@ pub enum SpanKind {
     RmTxn,
     /// One RM transaction abort, replaying the undo log.
     RmUndo,
+    /// A cluster coordinator's prepare fan-out for one cross-shard
+    /// transaction (covers every per-shard hold request).
+    CoordPrepare,
+    /// A coordinator committing a prepared cross-shard transaction.
+    CoordCommit,
+    /// A coordinator aborting a cross-shard transaction (a shard rejected,
+    /// a prepare was lost, or recovery presumed abort).
+    CoordAbort,
 }
 
 impl SpanKind {
     /// Every kind, in taxonomy order (exporters iterate this).
-    pub const ALL: [SpanKind; 10] = [
+    pub const ALL: [SpanKind; 13] = [
         SpanKind::ClientSend,
         SpanKind::ClientAttempt,
         SpanKind::BusDeliver,
@@ -72,6 +80,9 @@ impl SpanKind {
         SpanKind::PmExpire,
         SpanKind::RmTxn,
         SpanKind::RmUndo,
+        SpanKind::CoordPrepare,
+        SpanKind::CoordCommit,
+        SpanKind::CoordAbort,
     ];
 
     /// The wire/exporter name of this kind.
@@ -87,6 +98,9 @@ impl SpanKind {
             SpanKind::PmExpire => "pm.expire",
             SpanKind::RmTxn => "rm.txn",
             SpanKind::RmUndo => "rm.undo",
+            SpanKind::CoordPrepare => "coord.prepare",
+            SpanKind::CoordCommit => "coord.commit",
+            SpanKind::CoordAbort => "coord.abort",
         }
     }
 }

@@ -28,7 +28,8 @@
 
 use crate::envelope::{
     ActionRequest, ActionResponse, EnvEntry, EnvRef, Envelope, EnvironmentHeader,
-    PromiseRequestHeader, PromiseResponseHeader, PromiseResult, TraceHeader,
+    PromiseRequestHeader, PromiseResponseHeader, PromiseResult, ResolutionHeader, ResolutionOp,
+    ResolutionResponse, ResolveRef, TraceHeader,
 };
 use crate::xml::{parse, XmlElement, XmlError};
 
@@ -69,6 +70,9 @@ pub fn encode(env: &Envelope) -> String {
         if pr.negotiate {
             el = el.attr("negotiate", "true");
         }
+        if pr.prepare {
+            el = el.attr("prepare", "true");
+        }
         for p in &pr.predicates {
             el = el.child(XmlElement::new("predicate").with_text(p));
         }
@@ -98,6 +102,20 @@ pub fn encode(env: &Envelope) -> String {
     }
     for id in &env.releases {
         header = header.child(XmlElement::new("release").attr("promise", id));
+    }
+    for r in &env.resolutions {
+        header = header.child(
+            resolve_ref_el(XmlElement::new("resolve"), &r.reference).attr("op", r.op.as_str()),
+        );
+    }
+    for r in &env.resolution_responses {
+        let mut el = resolve_ref_el(XmlElement::new("resolution"), &r.reference)
+            .attr("op", r.op.as_str())
+            .attr("applied", r.applied);
+        if let Some(e) = &r.error {
+            el = el.attr("error", e);
+        }
+        header = header.child(el);
     }
     if let Some(e) = &env.environment {
         let mut el = XmlElement::new("environment");
@@ -140,6 +158,44 @@ pub fn encode(env: &Envelope) -> String {
     root.child(header).child(body).to_xml()
 }
 
+fn resolve_ref_el(el: XmlElement, reference: &ResolveRef) -> XmlElement {
+    match reference {
+        ResolveRef::Id(id) => el.attr("promise", id),
+        ResolveRef::Request { client, request } => {
+            el.attr("client", client).attr("request", request)
+        }
+    }
+}
+
+fn decode_resolve_ref(el: &XmlElement) -> Result<ResolveRef, CodecError> {
+    if let Some(id) = el.get_attr("promise") {
+        return Ok(ResolveRef::Id(
+            id.parse()
+                .map_err(|_| CodecError::Shape("bad promise id".into()))?,
+        ));
+    }
+    match (el.get_attr("client"), el.get_attr("request")) {
+        (Some(c), Some(r)) => Ok(ResolveRef::Request {
+            client: c.to_owned(),
+            request: r.to_owned(),
+        }),
+        _ => Err(CodecError::Shape(format!(
+            "<{}> needs promise or client+request",
+            el.name
+        ))),
+    }
+}
+
+fn decode_resolution_op(el: &XmlElement) -> Result<ResolutionOp, CodecError> {
+    match req_attr(el, "op")? {
+        "commit" => Ok(ResolutionOp::Commit),
+        "abort" => Ok(ResolutionOp::Abort),
+        other => Err(CodecError::Shape(format!(
+            "unknown resolution op {other:?}"
+        ))),
+    }
+}
+
 fn req_attr<'x>(el: &'x XmlElement, name: &str) -> Result<&'x str, CodecError> {
     el.get_attr(name)
         .ok_or_else(|| CodecError::Shape(format!("<{}> missing attribute {name:?}", el.name)))
@@ -177,6 +233,7 @@ pub fn decode(xml: &str) -> Result<Envelope, CodecError> {
                 predicates: el.find_all("predicate").map(|p| p.text.clone()).collect(),
                 duration_ms: u64_attr(el, "duration")?,
                 negotiate: el.get_attr("negotiate") == Some("true"),
+                prepare: el.get_attr("prepare") == Some("true"),
                 exchange: el
                     .find_all("exchange")
                     .map(|x| u64_attr(x, "promise"))
@@ -215,6 +272,20 @@ pub fn decode(xml: &str) -> Result<Envelope, CodecError> {
         }
         for el in header.find_all("release") {
             env.releases.push(u64_attr(el, "promise")?);
+        }
+        for el in header.find_all("resolve") {
+            env.resolutions.push(ResolutionHeader {
+                reference: decode_resolve_ref(el)?,
+                op: decode_resolution_op(el)?,
+            });
+        }
+        for el in header.find_all("resolution") {
+            env.resolution_responses.push(ResolutionResponse {
+                reference: decode_resolve_ref(el)?,
+                op: decode_resolution_op(el)?,
+                applied: req_attr(el, "applied")? == "true",
+                error: el.get_attr("error").map(str::to_owned),
+            });
         }
         if let Some(el) = header.find("environment") {
             let mut entries = Vec::new();
@@ -281,6 +352,7 @@ mod tests {
                 duration_ms: 60_000,
                 exchange: vec![3, 4],
                 negotiate: false,
+                prepare: false,
             }],
             promise_responses: vec![
                 PromiseResponseHeader {
@@ -299,6 +371,25 @@ mod tests {
                 },
             ],
             releases: vec![9],
+            resolutions: vec![
+                ResolutionHeader {
+                    reference: ResolveRef::Id(12),
+                    op: ResolutionOp::Commit,
+                },
+                ResolutionHeader {
+                    reference: ResolveRef::Request {
+                        client: "coord".into(),
+                        request: "r9@s2".into(),
+                    },
+                    op: ResolutionOp::Abort,
+                },
+            ],
+            resolution_responses: vec![ResolutionResponse {
+                reference: ResolveRef::Id(12),
+                op: ResolutionOp::Commit,
+                applied: true,
+                error: None,
+            }],
             environment: Some(EnvironmentHeader {
                 entries: vec![
                     EnvEntry {
@@ -345,6 +436,7 @@ mod tests {
             duration_ms: 1,
             exchange: vec![],
             negotiate: false,
+            prepare: false,
         });
         let back = decode(&encode(&env)).unwrap();
         assert_eq!(back, env);

@@ -26,6 +26,12 @@ pub struct PromiseRequestHeader {
     /// weakened form of the predicates (desirable clauses dropped) — the
     /// §6 "accepted with the condition XX" possibility.
     pub negotiate: bool,
+    /// If true, a granted promise is a *prepared hold* awaiting a
+    /// cross-shard coordinator's [`ResolutionHeader`] commit/abort —
+    /// resources are reserved like any grant (so a committed cross-shard
+    /// transaction can never be oversold), but the hold is journalled as
+    /// in-doubt until resolved. Mutually exclusive with `negotiate`.
+    pub prepare: bool,
 }
 
 /// Result carried in a `<promise-response>` (§6).
@@ -56,6 +62,73 @@ pub struct PromiseResponseHeader {
     /// The predicates as actually granted (present for negotiated
     /// accept-with-condition responses; empty otherwise).
     pub granted_predicates: Vec<String>,
+}
+
+/// How a [`ResolutionHeader`] names the prepared hold it resolves: by the
+/// promise id the prepare response carried, or — when that response was
+/// lost in transit — by the `(client, request-id)` pair of the prepare
+/// request, which the shard's dedup index can still resolve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveRef {
+    /// A known hold id.
+    Id(u64),
+    /// The prepare request's identity, for holds whose grant reply was
+    /// lost. A shard that never saw the prepare resolves this to "nothing
+    /// to do" (`applied = false`), which is exactly right: the in-memory
+    /// transport is synchronous, so once the coordinator gives up there is
+    /// no in-flight delivery left to race with.
+    Request {
+        /// Client that sent the prepare.
+        client: String,
+        /// The prepare's request id.
+        request: String,
+    },
+}
+
+/// What a coordinator decided about a prepared hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolutionOp {
+    /// The cross-shard transaction committed: the hold becomes an
+    /// ordinary grant.
+    Commit,
+    /// The transaction aborted: the hold's resources are released.
+    Abort,
+}
+
+impl ResolutionOp {
+    /// Wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ResolutionOp::Commit => "commit",
+            ResolutionOp::Abort => "abort",
+        }
+    }
+}
+
+/// A `<resolve>` header element: a coordinator's commit/abort decision for
+/// one prepared hold. Idempotent on the shard side — retried resolutions
+/// are answered with `applied = false` rather than re-applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolutionHeader {
+    /// Which hold.
+    pub reference: ResolveRef,
+    /// Commit or abort.
+    pub op: ResolutionOp,
+}
+
+/// A `<resolution>` reply element acknowledging a [`ResolutionHeader`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolutionResponse {
+    /// Echo of the resolved reference.
+    pub reference: ResolveRef,
+    /// Echo of the operation.
+    pub op: ResolutionOp,
+    /// True if this delivery changed state (first commit / first abort);
+    /// false for idempotent repeats and holds already gone.
+    pub applied: bool,
+    /// Error detail when the resolution could not be processed (e.g.
+    /// committing a hold that expired while in doubt).
+    pub error: Option<String>,
 }
 
 /// How an environment entry names its promise: by id (already granted) or
@@ -188,6 +261,10 @@ pub struct Envelope {
     pub promise_responses: Vec<PromiseResponseHeader>,
     /// Standalone promise releases.
     pub releases: Vec<u64>,
+    /// Coordinator commit/abort decisions for prepared holds.
+    pub resolutions: Vec<ResolutionHeader>,
+    /// Acknowledgements for `resolutions` (reply direction).
+    pub resolution_responses: Vec<ResolutionResponse>,
     /// The `<environment>` for the body's action.
     pub environment: Option<EnvironmentHeader>,
     /// Body: application request.
@@ -215,6 +292,19 @@ impl Envelope {
     pub fn with_release(mut self, promise_id: u64) -> Self {
         self.releases.push(promise_id);
         self
+    }
+
+    /// Builder: adds a commit/abort resolution for a prepared hold.
+    pub fn with_resolution(mut self, reference: ResolveRef, op: ResolutionOp) -> Self {
+        self.resolutions.push(ResolutionHeader { reference, op });
+        self
+    }
+
+    /// The resolution acknowledgement matching `reference`, if present.
+    pub fn resolution_for(&self, reference: &ResolveRef) -> Option<&ResolutionResponse> {
+        self.resolution_responses
+            .iter()
+            .find(|r| &r.reference == reference)
     }
 
     /// Builder: sets the environment.
@@ -301,6 +391,7 @@ mod piggyback_tests {
                 duration_ms: 10_000,
                 exchange: vec![],
                 negotiate: false,
+                prepare: false,
             }],
             // ...plus A's answer to B's earlier request...
             promise_responses: vec![PromiseResponseHeader {
@@ -311,6 +402,8 @@ mod piggyback_tests {
                 granted_predicates: vec![],
             }],
             releases: vec![],
+            resolutions: vec![],
+            resolution_responses: vec![],
             environment: None,
             // ...plus an unrelated application body.
             action: Some(ActionRequest::new("merchant", "status").param("order", "o-1")),

@@ -28,6 +28,7 @@ use promises_telemetry::{push_trace, SpanId, TraceContext, TraceId};
 use crate::bus::Service;
 use crate::envelope::{
     ActionRequest, ActionResponse, EnvRef, Envelope, PromiseResponseHeader, PromiseResult,
+    ResolutionOp, ResolutionResponse, ResolveRef,
 };
 
 /// Handler for one application operation: runs inside the promise
@@ -108,7 +109,38 @@ impl PromiseGateway {
                 correlation: req.request_id.clone(),
                 granted_predicates: vec![],
             };
-            let header = if req.negotiate {
+            let header = if req.prepare {
+                // Cross-shard prepare: grant as a prepared hold (journalled
+                // in doubt) awaiting the coordinator's <resolve>. Prepare
+                // and negotiate do not compose — a prepared hold must be
+                // exactly the predicates the coordinator split, or the
+                // cross-shard union would silently weaken.
+                if req.negotiate {
+                    reply.promise_responses.push(rejected(
+                        "prepare and negotiate are mutually exclusive".into(),
+                    ));
+                    continue;
+                }
+                match self.pm.request_prepared(spec) {
+                    Ok(resp) => match resp.decision {
+                        PromiseDecision::Granted {
+                            promise,
+                            expires_at,
+                        } => {
+                            granted_by_correlation.insert(req.request_id.clone(), promise);
+                            PromiseResponseHeader {
+                                promise_id: Some(promise.0),
+                                result: PromiseResult::Accepted,
+                                expires_at,
+                                correlation: req.request_id.clone(),
+                                granted_predicates: vec![],
+                            }
+                        }
+                        PromiseDecision::Rejected { reason } => rejected(reason.to_string()),
+                    },
+                    Err(e) => rejected(e.to_string()),
+                }
+            } else if req.negotiate {
                 // The §6 "accepted with the condition XX" possibility:
                 // grant the best weakened form (desirable clauses dropped
                 // last-first), reporting the condition and the predicates
@@ -240,6 +272,37 @@ impl Service for PromiseGateway {
         for id in &envelope.releases {
             let _ = self.pm.release(PromiseId(*id));
         }
+        // 1b. Coordinator resolutions of prepared holds. A request-keyed
+        // reference that no longer maps to a live promise resolves to
+        // `applied: false` rather than an error: the hold either was never
+        // granted or already expired, and either way the shard holds
+        // nothing for this transaction.
+        for r in &envelope.resolutions {
+            let id = match &r.reference {
+                ResolveRef::Id(id) => Some(PromiseId(*id)),
+                ResolveRef::Request { client, request } => self.pm.promise_for_request(
+                    &promises_core::ClientId(client.clone()),
+                    &promises_core::RequestId(request.clone()),
+                ),
+            };
+            let outcome = match id {
+                None => Ok(false),
+                Some(id) => match r.op {
+                    ResolutionOp::Commit => self.pm.commit_prepared(id),
+                    ResolutionOp::Abort => self.pm.abort_prepared(id),
+                },
+            };
+            let (applied, error) = match outcome {
+                Ok(applied) => (applied, None),
+                Err(e) => (false, Some(e.to_string())),
+            };
+            reply.resolution_responses.push(ResolutionResponse {
+                reference: r.reference.clone(),
+                op: r.op,
+                applied,
+                error,
+            });
+        }
         // 2. Promise requests (each atomic).
         let mut granted = HashMap::new();
         self.process_promise_requests(&envelope, &mut reply, &mut granted);
@@ -289,6 +352,7 @@ mod tests {
             duration_ms: 60_000,
             exchange: vec![],
             negotiate: false,
+            prepare: false,
         }
     }
 
@@ -384,6 +448,97 @@ mod tests {
         assert_eq!(gw.manager().live_count(), 0);
     }
 
+    fn prepare_header(id: &str, predicate: &str) -> PromiseRequestHeader {
+        PromiseRequestHeader {
+            prepare: true,
+            ..request_header(id, predicate)
+        }
+    }
+
+    fn resolve(gw: &PromiseGateway, reference: ResolveRef, op: ResolutionOp) -> ResolutionResponse {
+        let reply = gw.handle(Envelope::new().with_resolution(reference, op));
+        reply.resolution_responses.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn prepared_hold_reserves_until_committed() {
+        let gw = gateway();
+        let reply = gw.handle(
+            Envelope::new().with_promise_request(prepare_header("p1", "qty('widgets') >= 8")),
+        );
+        let id = reply.response_for("p1").unwrap().promise_id.unwrap();
+        assert!(gw.manager().is_prepared(promises_core::PromiseId(id)));
+        // The hold reserves like any grant: a conflicting request rejects.
+        let reply = gw.handle(
+            Envelope::new().with_promise_request(request_header("r2", "qty('widgets') >= 8")),
+        );
+        assert!(matches!(
+            reply.response_for("r2").unwrap().result,
+            PromiseResult::Rejected(_)
+        ));
+        let resp = resolve(&gw, ResolveRef::Id(id), ResolutionOp::Commit);
+        assert!(resp.applied, "first commit applies: {:?}", resp.error);
+        assert!(!gw.manager().is_prepared(promises_core::PromiseId(id)));
+        // Idempotent: a retried commit is acknowledged without re-applying.
+        let again = resolve(&gw, ResolveRef::Id(id), ResolutionOp::Commit);
+        assert!(!again.applied);
+        assert!(again.error.is_none());
+    }
+
+    #[test]
+    fn aborted_hold_releases_resources() {
+        let gw = gateway();
+        let reply = gw.handle(
+            Envelope::new().with_promise_request(prepare_header("p1", "qty('widgets') >= 8")),
+        );
+        let id = reply.response_for("p1").unwrap().promise_id.unwrap();
+        let resp = resolve(&gw, ResolveRef::Id(id), ResolutionOp::Abort);
+        assert!(resp.applied);
+        assert_eq!(gw.manager().live_count(), 0);
+        // The freed quantity is grantable again.
+        let reply = gw.handle(
+            Envelope::new().with_promise_request(request_header("r2", "qty('widgets') >= 8")),
+        );
+        assert!(matches!(
+            reply.response_for("r2").unwrap().result,
+            PromiseResult::Accepted
+        ));
+    }
+
+    #[test]
+    fn request_keyed_resolution_finds_hold_and_tolerates_absence() {
+        let gw = gateway();
+        gw.handle(
+            Envelope::new().with_promise_request(prepare_header("p1", "qty('widgets') >= 3")),
+        );
+        // Abort by (client, request) — the reply-was-lost recovery path.
+        let by_request = ResolveRef::Request {
+            client: "test".into(),
+            request: "p1".into(),
+        };
+        let resp = resolve(&gw, by_request.clone(), ResolutionOp::Abort);
+        assert!(resp.applied);
+        assert_eq!(gw.manager().live_count(), 0);
+        // A shard that never saw the prepare has nothing to do.
+        let resp = resolve(&gw, by_request, ResolutionOp::Abort);
+        assert!(!resp.applied);
+        assert!(resp.error.is_none());
+    }
+
+    #[test]
+    fn prepare_and_negotiate_do_not_compose() {
+        let gw = gateway();
+        let reply = gw.handle(Envelope::new().with_promise_request(PromiseRequestHeader {
+            negotiate: true,
+            ..prepare_header("p1", "qty('widgets') >= 1")
+        }));
+        assert!(matches!(
+            reply.response_for("p1").unwrap().result,
+            PromiseResult::Rejected(_)
+        ));
+        assert_eq!(gw.manager().live_count(), 0);
+    }
+
     #[test]
     fn violating_action_reported_as_failure() {
         let gw = gateway();
@@ -431,6 +586,7 @@ mod negotiate_tests {
             duration_ms: 60_000,
             exchange: vec![],
             negotiate: true,
+            prepare: false,
         }
     }
 

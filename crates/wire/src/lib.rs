@@ -27,6 +27,7 @@ pub use client::{RetryPolicy, RetryStats, RetryingClient};
 pub use codec::{decode, encode, CodecError};
 pub use envelope::{
     ActionRequest, ActionResponse, EnvEntry, EnvRef, Envelope, EnvironmentHeader,
-    PromiseRequestHeader, PromiseResponseHeader, PromiseResult, TraceHeader,
+    PromiseRequestHeader, PromiseResponseHeader, PromiseResult, ResolutionHeader, ResolutionOp,
+    ResolutionResponse, ResolveRef, TraceHeader,
 };
 pub use gateway::{ActionHandler, PromiseGateway};

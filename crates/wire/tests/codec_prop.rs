@@ -6,7 +6,8 @@ use proptest::prelude::*;
 use promises_wire::xml::{parse, XmlElement};
 use promises_wire::{
     decode, encode, ActionRequest, ActionResponse, EnvEntry, EnvRef, Envelope, EnvironmentHeader,
-    PromiseRequestHeader, PromiseResponseHeader, PromiseResult, TraceHeader,
+    PromiseRequestHeader, PromiseResponseHeader, PromiseResult, ResolutionHeader, ResolutionOp,
+    ResolutionResponse, ResolveRef, TraceHeader,
 };
 
 fn arb_text() -> impl Strategy<Value = String> {
@@ -55,9 +56,10 @@ fn arb_request() -> impl Strategy<Value = PromiseRequestHeader> {
         any::<u64>(),
         proptest::collection::vec(any::<u64>(), 0..3),
         any::<bool>(),
+        any::<bool>(),
     )
         .prop_map(
-            |(request_id, client, predicates, duration_ms, exchange, negotiate)| {
+            |(request_id, client, predicates, duration_ms, exchange, negotiate, prepare)| {
                 PromiseRequestHeader {
                     request_id,
                     client,
@@ -65,9 +67,42 @@ fn arb_request() -> impl Strategy<Value = PromiseRequestHeader> {
                     duration_ms,
                     exchange,
                     negotiate,
+                    prepare,
                 }
             },
         )
+}
+
+fn arb_resolve_ref() -> impl Strategy<Value = ResolveRef> {
+    prop_oneof![
+        any::<u64>().prop_map(ResolveRef::Id),
+        (arb_name(), arb_name())
+            .prop_map(|(client, request)| ResolveRef::Request { client, request }),
+    ]
+}
+
+fn arb_resolution_op() -> impl Strategy<Value = ResolutionOp> {
+    prop_oneof![Just(ResolutionOp::Commit), Just(ResolutionOp::Abort)]
+}
+
+fn arb_resolution() -> impl Strategy<Value = ResolutionHeader> {
+    (arb_resolve_ref(), arb_resolution_op())
+        .prop_map(|(reference, op)| ResolutionHeader { reference, op })
+}
+
+fn arb_resolution_response() -> impl Strategy<Value = ResolutionResponse> {
+    (
+        arb_resolve_ref(),
+        arb_resolution_op(),
+        any::<bool>(),
+        proptest::option::of(arb_text()),
+    )
+        .prop_map(|(reference, op, applied, error)| ResolutionResponse {
+            reference,
+            op,
+            applied,
+            error,
+        })
 }
 
 fn arb_result() -> impl Strategy<Value = PromiseResult> {
@@ -102,6 +137,8 @@ fn arb_envelope() -> impl Strategy<Value = Envelope> {
         proptest::collection::vec(arb_request(), 0..3),
         proptest::collection::vec(arb_response(), 0..3),
         proptest::collection::vec(any::<u64>(), 0..3),
+        proptest::collection::vec(arb_resolution(), 0..2),
+        proptest::collection::vec(arb_resolution_response(), 0..2),
         proptest::option::of(proptest::collection::vec(
             (any::<bool>(), any::<u64>(), any::<bool>()),
             0..3,
@@ -119,10 +156,22 @@ fn arb_envelope() -> impl Strategy<Value = Envelope> {
         proptest::option::of((any::<u64>(), any::<u64>())),
     )
         .prop_map(
-            |(reqs, resps, releases, env_entries, action, action_resp, trace)| Envelope {
+            |(
+                reqs,
+                resps,
+                releases,
+                resolutions,
+                resolution_responses,
+                env_entries,
+                action,
+                action_resp,
+                trace,
+            )| Envelope {
                 promise_requests: reqs,
                 promise_responses: resps,
                 releases,
+                resolutions,
+                resolution_responses,
                 environment: env_entries.map(|entries| EnvironmentHeader {
                     entries: entries
                         .into_iter()

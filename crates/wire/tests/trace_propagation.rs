@@ -22,6 +22,7 @@ fn promise_request(id: &str) -> PromiseRequestHeader {
         duration_ms: 60_000,
         exchange: vec![],
         negotiate: false,
+        prepare: false,
     }
 }
 

@@ -61,6 +61,7 @@ fn main() {
         duration_ms: 60_000,
         exchange: vec![],
         negotiate: false,
+        prepare: false,
     });
     println!("client: -> promise request qty('pink-widgets') >= 5");
     let reply = bus.send("merchant-gateway", &request).unwrap();
@@ -81,6 +82,7 @@ fn main() {
             duration_ms: 60_000,
             exchange: vec![],
             negotiate: false,
+            prepare: false,
         })
         .with_environment(EnvironmentHeader {
             entries: vec![
@@ -118,6 +120,7 @@ fn main() {
         duration_ms: 60_000,
         exchange: vec![],
         negotiate: false,
+        prepare: false,
     });
     bus.send("merchant-gateway", &hold).unwrap();
     println!("\nother-client: holds a promise for the remaining 3 widgets");

@@ -24,6 +24,15 @@ cargo test -q -p promises-telemetry
 echo "==> observability smoke (seeds 2007 4711)"
 cargo run --release -q -p promises-bench --bin experiments -- --obs 2007 4711
 
+# Cluster suite + E13 fault/crash sweep under three fixed seeds: the
+# scaling gate (>=2.5x at 4 shards vs 1) and the cross-shard guarantee
+# audits (partial grants, double grants, oversells, leaks must all be
+# zero; see DESIGN.md §13).
+echo "==> cluster tests"
+cargo test -q -p promises-cluster
+echo "==> cluster smoke (seeds 2007 31337 90210)"
+cargo run --release -q -p promises-bench --bin experiments -- --cluster 2007 31337 90210
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

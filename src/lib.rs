@@ -20,6 +20,7 @@
 //! the [`core`] crate documentation.
 
 pub use promises_baselines as baselines;
+pub use promises_cluster as cluster;
 pub use promises_core as core;
 pub use promises_matching as matching;
 pub use promises_rm as rm;

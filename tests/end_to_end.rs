@@ -77,6 +77,7 @@ fn hotel_over_the_wire_with_predicate_language() {
         duration_ms: 60_000,
         exchange: vec![],
         negotiate: false,
+        prepare: false,
     });
     let reply = bus.send("hotel", &env).unwrap();
     let resp = reply.response_for("want-view").unwrap();
@@ -91,6 +92,7 @@ fn hotel_over_the_wire_with_predicate_language() {
         duration_ms: 60_000,
         exchange: vec![],
         negotiate: false,
+        prepare: false,
     });
     let reply = bus.send("hotel", &env2).unwrap();
     assert!(matches!(
@@ -105,6 +107,7 @@ fn hotel_over_the_wire_with_predicate_language() {
         duration_ms: 60_000,
         exchange: vec![],
         negotiate: false,
+        prepare: false,
     });
     let reply = bus.send("hotel", &env3).unwrap();
     assert!(matches!(
@@ -133,6 +136,7 @@ fn promise_exchange_over_the_wire() {
             duration_ms: 60_000,
             exchange,
             negotiate: false,
+            prepare: false,
         });
         let reply = bus.send("bank", &env).unwrap();
         reply.response_for(req).unwrap().clone()
