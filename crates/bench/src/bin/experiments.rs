@@ -7,7 +7,10 @@
 //! prints per-stage latency and rejection-cause tables, dumps
 //! `BENCH_obs.json`/`BENCH_obs.prom`, and exits non-zero if any required
 //! stage histogram is empty or the lifecycle audit finds an ordering
-//! violation).
+//! violation; `--recovery` runs the E14 checkpoint/compaction recovery
+//! benchmark and the crash/compact sweep, dumps `BENCH_recovery.json`,
+//! and exits non-zero on a digest mismatch or a recovery-time
+//! regression).
 
 use std::env;
 use std::time::Duration;
@@ -220,6 +223,115 @@ fn cluster_mode(seeds: &[u64]) {
     println!("cluster: all checks passed");
 }
 
+/// E14 recovery mode: times a cold restart from the full append-only
+/// history versus the compacted (checkpoint-seeded) journal, then runs a
+/// crash/compact sweep per seed (compaction killed before and after the
+/// journal swap, plus the uninterrupted path) gating on digest
+/// equivalence. Writes `BENCH_recovery.json` and exits non-zero if the
+/// digests diverge or compacted recovery is not at least
+/// `MIN_RECOVERY_SPEEDUP`x faster than history replay.
+fn recovery_mode(seeds: &[u64]) {
+    use promises_core::CompactionCrash;
+
+    const MIN_RECOVERY_SPEEDUP: f64 = 5.0;
+    let mut failures = 0usize;
+
+    let row = exp::e14_recovery(5_000, 64, 5);
+    print_table(
+        "E14 — recovery time: compacted vs uncompacted journal \
+         (5000 grant+release cycles, 64 live promises)",
+        &["journal", "records", "mean recovery"],
+        &[
+            vec![
+                "uncompacted history".into(),
+                row.history_records.to_string(),
+                us(row.uncompacted_us),
+            ],
+            vec![
+                "compacted (checkpoint)".into(),
+                row.compacted_records.to_string(),
+                us(row.compacted_us),
+            ],
+        ],
+    );
+    println!(
+        "recovery speedup: {:.1}x (gate: >= {MIN_RECOVERY_SPEEDUP}x), digests_match={}",
+        row.speedup(),
+        row.digests_match
+    );
+    if !row.digests_match {
+        eprintln!("recovery: digest gate FAILED (replay is not byte-equivalent)");
+        failures += 1;
+    }
+    if row.speedup() < MIN_RECOVERY_SPEEDUP {
+        eprintln!(
+            "recovery: speedup gate FAILED ({:.1}x < {MIN_RECOVERY_SPEEDUP}x)",
+            row.speedup()
+        );
+        failures += 1;
+    }
+
+    let mut sweep_json = Vec::new();
+    for &seed in seeds {
+        for (label, crash) in [
+            ("none", None),
+            ("before-swap", Some(CompactionCrash::BeforeSwap)),
+            ("after-swap", Some(CompactionCrash::AfterSwap)),
+        ] {
+            let r = promises_sim::run_compaction_crash_restart(seed, 24, crash);
+            let ok = r.state_matches() && r.live > 0;
+            println!(
+                "compaction-crash seed={seed} crash={label}: journal {} -> {} records, \
+                 interrupted={} live={} digests_match={} -> {}",
+                r.journal_len_before,
+                r.journal_len_after,
+                r.interrupted,
+                r.live,
+                r.state_matches(),
+                if ok { "OK" } else { "FAIL" }
+            );
+            if !ok {
+                failures += 1;
+            }
+            sweep_json.push(format!(
+                "{{\"seed\":{seed},\"crash\":\"{label}\",\"journal_before\":{},\
+                 \"journal_after\":{},\"interrupted\":{},\"live\":{},\"digests_match\":{}}}",
+                r.journal_len_before,
+                r.journal_len_after,
+                r.interrupted,
+                r.live,
+                r.state_matches(),
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\"experiment\":\"e14-recovery\",\"cycles\":{},\"live\":{},\
+         \"history_records\":{},\"compacted_records\":{},\
+         \"uncompacted_recovery_us\":{:.1},\"compacted_recovery_us\":{:.1},\
+         \"speedup\":{:.2},\"min_speedup_gate\":{MIN_RECOVERY_SPEEDUP},\
+         \"digests_match\":{},\"crash_sweeps\":[{}]}}\n",
+        row.cycles,
+        row.live,
+        row.history_records,
+        row.compacted_records,
+        row.uncompacted_us,
+        row.compacted_us,
+        row.speedup(),
+        row.digests_match,
+        sweep_json.join(","),
+    );
+    let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recovery.json");
+    std::fs::write(json_path, json).expect("write BENCH_recovery.json");
+    println!("\nwrote BENCH_recovery.json");
+
+    if failures > 0 {
+        eprintln!("recovery: {failures} check(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("recovery: all checks passed");
+}
+
 /// Stages the E12 smoke requires to have recorded samples: if any of
 /// these is empty the pipeline was not actually instrumented end to end.
 const REQUIRED_STAGES: &[&str] = &["bus.deliver", "pm.grant", "pm.check", "rm.txn"];
@@ -383,6 +495,15 @@ fn main() {
         let seeds: Vec<u64> = args.iter().filter_map(|a| a.parse().ok()).collect();
         obs_mode(if seeds.is_empty() {
             &[2007, 4711]
+        } else {
+            &seeds
+        });
+        return;
+    }
+    if args.iter().any(|a| a == "--recovery") {
+        let seeds: Vec<u64> = args.iter().filter_map(|a| a.parse().ok()).collect();
+        recovery_mode(if seeds.is_empty() {
+            &[2007, 31337, 90210]
         } else {
             &seeds
         });

@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 use promises_baselines::{EscrowReserver, LockReserver, OptimisticReserver};
 use promises_core::{
     ActionError, Catalog, CheckStrategy, Environment, LockingMode, ManualClock, PoolSchema,
-    Predicate, PromiseManager, PromiseRequestSpec, PropExpr,
+    Predicate, PromiseJournal, PromiseManager, PromiseRequestSpec, PropExpr,
 };
 use promises_faults::FaultScenario;
 use promises_rm::ResourceManager;
@@ -973,6 +973,113 @@ pub fn e13_cluster_scaling(shards: usize, clients: usize, ops_per_client: usize)
     }
 }
 
+// ======================================================================
+// E14 — recovery time: compacted vs uncompacted journal
+// ======================================================================
+
+/// One E14 measurement: the same logical promise state recovered from
+/// the full append-only history and from the checkpoint-seeded compacted
+/// journal, with the wall time of each replay.
+#[derive(Debug, Clone)]
+pub struct E14Row {
+    /// Grant+release churn cycles driven before measuring.
+    pub cycles: usize,
+    /// Promises still live (unreleased) when the journal is snapshotted.
+    pub live: usize,
+    /// Record count of the uncompacted history journal.
+    pub history_records: usize,
+    /// Record count after `compact()` (checkpoint + nothing else here).
+    pub compacted_records: usize,
+    /// Mean recovery wall time over the full history, microseconds.
+    pub uncompacted_us: f64,
+    /// Mean recovery wall time over the compacted journal, microseconds.
+    pub compacted_us: f64,
+    /// Whether both recoveries reproduce the pre-crash state digest.
+    pub digests_match: bool,
+}
+
+impl E14Row {
+    /// Recovery speedup bought by compaction.
+    pub fn speedup(&self) -> f64 {
+        self.uncompacted_us / self.compacted_us.max(1e-9)
+    }
+}
+
+/// A journalled single-pool manager for the E14 churn workload.
+fn e14_manager(clock: &Arc<ManualClock>, journal: &Arc<PromiseJournal>) -> Arc<PromiseManager> {
+    let rm = Arc::new(ResourceManager::new());
+    let pm =
+        Arc::new(PromiseManager::new(rm, Arc::clone(clock) as _).with_journal(Arc::clone(journal)));
+    pm.register_pool(PoolSchema::quantity("stock"));
+    pm.seed_quantity("stock", 1_000_000).expect("seed stock");
+    pm
+}
+
+/// Mean wall time, in microseconds, to recover a fresh manager from the
+/// given journal lines (parse included — that is what restart pays).
+fn e14_recovery_us(clock: &Arc<ManualClock>, lines: &[String], iters: usize) -> (f64, String) {
+    let mut total_us = 0.0;
+    let mut digest = String::new();
+    for _ in 0..iters.max(1) {
+        let pm = e14_manager(clock, &Arc::new(PromiseJournal::new()));
+        let start = Instant::now();
+        let journal = Arc::new(PromiseJournal::from_lines(lines).expect("well-formed journal"));
+        pm.recover(journal).expect("recovery succeeds");
+        total_us += start.elapsed().as_micros() as f64;
+        digest = pm.state_digest();
+    }
+    (total_us / iters.max(1) as f64, digest)
+}
+
+/// E14: drives `cycles` grant+release pairs plus `live` retained grants
+/// through a journalled manager, then times a cold restart from the full
+/// history versus from the compacted journal. History replay is
+/// O(cycles); checkpoint replay is O(live) — the bounded-recovery claim
+/// of DESIGN.md §14, gated in `--recovery` mode on both the speedup and
+/// digest equality.
+pub fn e14_recovery(cycles: usize, live: usize, iters: usize) -> E14Row {
+    let clock = Arc::new(ManualClock::new());
+    let journal = Arc::new(PromiseJournal::new());
+    let pm = e14_manager(&clock, &journal);
+    let grant = |i: usize, tag: &str| {
+        let spec = PromiseRequestSpec::new(format!("e14-{tag}-{i}").as_str(), "bench")
+            .predicate(Predicate::qty_at_least("stock", 1))
+            .duration_ms(3_600_000);
+        pm.request(spec)
+            .expect("rm ok")
+            .decision
+            .granted_id()
+            .expect("ample stock")
+    };
+    for i in 0..cycles {
+        let id = grant(i, "churn");
+        pm.release(id).expect("release own grant");
+    }
+    for i in 0..live {
+        grant(i, "live");
+    }
+
+    let history = journal.lines();
+    let reference = pm.state_digest();
+    pm.compact()
+        .expect("no crash armed")
+        .expect("journal attached");
+    let compacted = journal.lines();
+    drop(pm); // crash
+
+    let (uncompacted_us, history_digest) = e14_recovery_us(&clock, &history, iters);
+    let (compacted_us, compacted_digest) = e14_recovery_us(&clock, &compacted, iters);
+    E14Row {
+        cycles,
+        live,
+        history_records: history.len(),
+        compacted_records: compacted.len(),
+        uncompacted_us,
+        compacted_us,
+        digests_match: history_digest == reference && compacted_digest == reference,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1096,5 +1203,19 @@ mod tests {
         assert!(o.plain > 0.0);
         assert!(o.instrumented > 0.0);
         assert!(o.overhead_pct().is_finite());
+    }
+
+    #[test]
+    fn e14_compaction_shrinks_the_journal_and_preserves_the_digest() {
+        let row = e14_recovery(50, 8, 2);
+        assert!(row.digests_match, "both replays must match the reference");
+        assert_eq!(row.history_records, 2 * 50 + 8);
+        assert!(
+            row.compacted_records < row.live + 2,
+            "compacted journal is O(live): {} records for {} live",
+            row.compacted_records,
+            row.live
+        );
+        assert!(row.uncompacted_us > 0.0 && row.compacted_us > 0.0);
     }
 }

@@ -114,12 +114,17 @@ impl PromiseCluster {
         self.nodes.iter().map(|n| n.pm.live_count()).sum()
     }
 
-    /// Advances the shared clock and prunes expiry on every shard.
+    /// Advances the shared clock and prunes expiry on every shard. This is
+    /// the sim-side analogue of the background reaper cadence, so it also
+    /// gives each shard its journal-compaction opportunity and sweeps the
+    /// coordinator's dedup index (both bounded-state disciplines).
     pub fn advance_and_prune(&self, ms: u64) {
         self.clock.advance(ms);
         for node in &self.nodes {
             let _ = node.pm.prune_expired();
+            let _ = node.pm.maybe_compact();
         }
+        self.coordinator.sweep_dedup();
     }
 
     /// One merged metrics snapshot: the coordinator registry's series

@@ -23,7 +23,7 @@
 //! sub-request ids (`rid@sN`) make the shards' own dedup indexes back the
 //! coordinator up even across a coordinator restart.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -36,8 +36,14 @@ use promises_wire::{
     RetryingClient,
 };
 
-use crate::log::{CoordRecord, CoordinatorLog, TxnId};
+use crate::log::{CoordRecord, CoordinatorLog, LogCompaction, TxnId};
 use crate::router::{shard_endpoint, ShardMap};
+
+/// How long a dedup entry outlives its promise duration before eviction.
+/// A retry arriving after the promise expired *and* this grace elapsed is
+/// treated as a fresh request — the same bound the per-shard grant index
+/// uses, so coordinator and shard dedup stay in step.
+const DEDUP_GRACE_MS: u64 = 300_000;
 
 /// Where an injected coordinator crash fires, for crash–restart tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,6 +127,15 @@ pub struct CoordRecovery {
     pub commits_resent: usize,
     /// Individual shard holds the abort pass actually freed.
     pub holds_freed: usize,
+    /// Abort records with no matching Begin — tolerated no-ops (dead
+    /// history after compaction, or a double-logged recovery abort).
+    pub orphan_aborts: usize,
+}
+
+/// A dedup entry: the remembered decision plus when it may be evicted.
+struct DedupEntry {
+    decision: ClusterDecision,
+    evict_at: u64,
 }
 
 /// The cross-shard grant coordinator. Cheap to rebuild: all durable state
@@ -131,7 +146,11 @@ pub struct Coordinator {
     log: Arc<CoordinatorLog>,
     clock: Arc<dyn Clock>,
     telemetry: Option<Arc<Telemetry>>,
-    dedup: Mutex<HashMap<(String, String), ClusterDecision>>,
+    dedup: Mutex<HashMap<(String, String), DedupEntry>>,
+    /// Committed transactions every shard acknowledged resolving — the
+    /// only commits log compaction may drop. Rebuilt empty after a crash;
+    /// the next [`Coordinator::recover`] repopulates it from resend acks.
+    resolved: Mutex<HashSet<TxnId>>,
     crash_point: Mutex<Option<CrashPoint>>,
 }
 
@@ -151,6 +170,7 @@ impl Coordinator {
             clock,
             telemetry: None,
             dedup: Mutex::new(HashMap::new()),
+            resolved: Mutex::new(HashSet::new()),
             crash_point: Mutex::new(None),
         }
     }
@@ -196,8 +216,8 @@ impl Coordinator {
         duration_ms: u64,
     ) -> Result<ClusterDecision, CoordError> {
         let key = (client.to_owned(), request_id.to_owned());
-        if let Some(prior) = self.dedup.lock().get(&key) {
-            return Ok(prior.clone());
+        if let Some(entry) = self.dedup.lock().get(&key) {
+            return Ok(entry.decision.clone());
         }
         if predicates.is_empty() {
             return Err(CoordError::EmptyRequest);
@@ -232,8 +252,39 @@ impl Coordinator {
         };
         drop(trace_guard);
 
-        self.dedup.lock().insert(key, decision.clone());
+        // The dedup index is bounded: entries are only useful while a
+        // retry of the same request could still arrive, so they carry an
+        // eviction deadline (promise duration + grace) and each insert
+        // sweeps the expired ones out.
+        let now = self.clock.now_ms();
+        let evict_at = now
+            .saturating_add(duration_ms)
+            .saturating_add(DEDUP_GRACE_MS);
+        let mut dedup = self.dedup.lock();
+        dedup.retain(|_, e| e.evict_at > now);
+        dedup.insert(
+            key,
+            DedupEntry {
+                decision: decision.clone(),
+                evict_at,
+            },
+        );
+        drop(dedup);
         Ok(decision)
+    }
+
+    /// Number of live entries in the grant dedup index (boundedness
+    /// assertions in fault sweeps).
+    pub fn dedup_len(&self) -> usize {
+        self.dedup.lock().len()
+    }
+
+    /// Evicts dedup entries whose retry window has passed. Inserts do this
+    /// opportunistically; an idle coordinator can call it from the same
+    /// cadence that drives shard pruning.
+    pub fn sweep_dedup(&self) {
+        let now = self.clock.now_ms();
+        self.dedup.lock().retain(|_, e| e.evict_at > now);
     }
 
     fn single_shard_grant(
@@ -402,14 +453,28 @@ impl Coordinator {
         }
 
         let commit_started = Instant::now();
+        let mut acked = 0usize;
         for part in &parts {
             // Idempotent shard-side; a lost resolution leaves the hold in
-            // doubt for recover() to resend, never half-committed.
-            let _ = self.client.send(
+            // doubt for recover() to resend, never half-committed. A reply
+            // that names the resolution is the shard's acknowledgement —
+            // the resolution was processed (applied, idempotent repeat, or
+            // definitively unresolvable), so a resend could never change
+            // the outcome.
+            let reference = ResolveRef::Id(part.promise_id);
+            if let Ok(reply) = self.client.send(
                 &shard_endpoint(part.shard),
-                &Envelope::new()
-                    .with_resolution(ResolveRef::Id(part.promise_id), ResolutionOp::Commit),
-            );
+                &Envelope::new().with_resolution(reference.clone(), ResolutionOp::Commit),
+            ) {
+                if reply.resolution_for(&reference).is_some() {
+                    acked += 1;
+                }
+            }
+        }
+        if acked == parts.len() {
+            // Every shard acknowledged: the transaction is fully resolved
+            // and its log records are compaction fodder.
+            self.resolved.lock().insert(txn.clone());
         }
         if let Some(tel) = &self.telemetry {
             tel.span_since(SpanKind::CoordCommit, commit_started)
@@ -417,6 +482,26 @@ impl Coordinator {
                 .finish();
         }
         Ok(ClusterDecision::Granted { parts })
+    }
+
+    /// Compacts the decision log: aborted transactions and fully-resolved
+    /// commits are dropped, in-doubt Begins and unacknowledged Commits
+    /// survive. See [`CoordinatorLog::compact`]. The resolved set is
+    /// cleared afterwards — everything in it was just dropped.
+    pub fn compact_log(&self) -> Result<LogCompaction, CoordError> {
+        let mut resolved = self.resolved.lock();
+        let report = self
+            .log
+            .compact(&resolved)
+            .map_err(|e| CoordError::Transport(e.to_string()))?;
+        resolved.clear();
+        drop(resolved);
+        if let Some(tel) = &self.telemetry {
+            tel.incr("coord.log.compactions");
+            tel.add("coord.log.dropped", report.dropped as u64);
+            tel.set_gauge("coord.log.records", self.log.len() as u64);
+        }
+        Ok(report)
     }
 
     /// Aborts every hold in `refs` and logs the Abort decision.
@@ -456,7 +541,23 @@ impl Coordinator {
             .log
             .replay()
             .map_err(|e| CoordError::Transport(e.to_string()))?;
-        let mut report = CoordRecovery::default();
+        let mut report = CoordRecovery {
+            orphan_aborts: summary.orphan_aborts.len(),
+            ..CoordRecovery::default()
+        };
+        if report.orphan_aborts > 0 {
+            if let Some(tel) = &self.telemetry {
+                tel.add("coord.replay.orphan_abort", report.orphan_aborts as u64);
+                // One marked span per orphan so the cluster lifecycle
+                // auditor can surface the tolerated no-ops.
+                for txn in &summary.orphan_aborts {
+                    tel.span_since(SpanKind::CoordAbort, Instant::now())
+                        .outcome(SpanOutcome::Deduped)
+                        .note(format!("orphan-abort {}", txn.request))
+                        .finish();
+                }
+            }
+        }
         for (txn, shards) in &summary.undecided {
             let started = Instant::now();
             let mut freed = 0usize;
@@ -485,15 +586,23 @@ impl Coordinator {
         }
         for (txn, shards) in &summary.committed {
             let started = Instant::now();
+            let mut acked = 0usize;
             for &shard in shards {
                 let reference = ResolveRef::Request {
                     client: txn.client.clone(),
                     request: txn.sub_request(shard),
                 };
-                let _ = self.client.send(
+                if let Ok(reply) = self.client.send(
                     &shard_endpoint(shard),
-                    &Envelope::new().with_resolution(reference, ResolutionOp::Commit),
-                );
+                    &Envelope::new().with_resolution(reference.clone(), ResolutionOp::Commit),
+                ) {
+                    if reply.resolution_for(&reference).is_some() {
+                        acked += 1;
+                    }
+                }
+            }
+            if acked == shards.len() {
+                self.resolved.lock().insert(txn.clone());
             }
             report.commits_resent += 1;
             if let Some(tel) = &self.telemetry {

@@ -30,6 +30,6 @@ pub use cluster::PromiseCluster;
 pub use coordinator::{
     ClusterDecision, CoordError, CoordRecovery, Coordinator, CrashPoint, GrantPart,
 };
-pub use log::{CoordLogError, CoordRecord, CoordinatorLog, LogSummary, TxnId};
+pub use log::{CoordLogError, CoordRecord, CoordinatorLog, LogCompaction, LogSummary, TxnId};
 pub use router::{shard_endpoint, ShardMap};
 pub use shard::{ShardNode, ShardServer};

@@ -13,6 +13,8 @@
 //! for an fsynced append-only file: the format is line-oriented `|`-sep
 //! text so the encode/decode pair is trivially auditable.
 
+use std::collections::HashSet;
+
 use parking_lot::Mutex;
 
 /// Identity of one cross-shard transaction: the client and the original
@@ -179,6 +181,13 @@ impl CoordinatorLog {
     /// holds via sub-request dedup), so outcomes fold per *transaction*,
     /// and `Commit` is sticky: once any attempt committed, the holds are
     /// granted state and no later record may demote them to abortable.
+    ///
+    /// An `Abort` for a transaction with no `Begin` in the log is a
+    /// tolerated no-op — it can legitimately appear after compaction
+    /// dropped the aborted transaction's records, or when a racing
+    /// recovery pass double-logged — but it is never swallowed silently:
+    /// the orphan is reported in [`LogSummary::orphan_aborts`] so audits
+    /// can count it.
     pub fn replay(&self) -> Result<LogSummary, CoordLogError> {
         #[derive(PartialEq)]
         enum Status {
@@ -189,6 +198,7 @@ impl CoordinatorLog {
         let mut order: Vec<TxnId> = Vec::new();
         let mut state: std::collections::HashMap<TxnId, (Vec<usize>, Status)> =
             std::collections::HashMap::new();
+        let mut orphan_aborts: Vec<TxnId> = Vec::new();
         for rec in self.entries()? {
             match rec {
                 CoordRecord::Begin { txn, shards } => {
@@ -210,18 +220,20 @@ impl CoordinatorLog {
                         entry.1 = Status::Committed;
                     }
                 }
-                CoordRecord::Abort { txn } => {
-                    if let Some(entry) = state.get_mut(&txn) {
+                CoordRecord::Abort { txn } => match state.get_mut(&txn) {
+                    Some(entry) => {
                         if entry.1 != Status::Committed {
                             entry.1 = Status::Aborted;
                         }
                     }
-                }
+                    None => orphan_aborts.push(txn),
+                },
             }
         }
         let mut summary = LogSummary {
             undecided: Vec::new(),
             committed: Vec::new(),
+            orphan_aborts,
         };
         for txn in order {
             let (shards, status) = &state[&txn];
@@ -233,6 +245,73 @@ impl CoordinatorLog {
         }
         Ok(summary)
     }
+
+    /// Number of records currently in the log.
+    pub fn len(&self) -> usize {
+        self.lines.lock().len()
+    }
+
+    /// True if the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.lines.lock().is_empty()
+    }
+
+    /// Compacts the log to the minimal record set replay needs, dropping
+    /// dead history:
+    ///
+    /// * **Aborted** transactions vanish entirely — presumed abort makes
+    ///   absence mean abort, and their holds were already freed when the
+    ///   `Abort` was logged, so replay treats a missing transaction and an
+    ///   aborted one identically.
+    /// * **Committed** transactions whose commit resolutions every shard
+    ///   has acknowledged (`resolved`) vanish — no recovery pass will ever
+    ///   need to resend them.
+    /// * **In-doubt** transactions keep a `Begin` (presumed-abort fodder);
+    ///   **unacknowledged commits** keep `Begin` + `Commit` (sticky-commit
+    ///   resend fodder). First-seen order is preserved.
+    ///
+    /// The rewrite happens atomically under the log lock. Replay of the
+    /// compacted log yields the same [`LogSummary`] (minus orphan aborts,
+    /// which are dead history by definition) as the uncompacted one.
+    pub fn compact(&self, resolved: &HashSet<TxnId>) -> Result<LogCompaction, CoordLogError> {
+        let summary = self.replay()?;
+        let mut keep: Vec<String> = Vec::new();
+        let mut kept_txns = 0usize;
+        for (txn, shards) in &summary.undecided {
+            keep.push(
+                CoordRecord::Begin {
+                    txn: txn.clone(),
+                    shards: shards.clone(),
+                }
+                .encode(),
+            );
+            kept_txns += 1;
+        }
+        let mut dropped_resolved = 0usize;
+        for (txn, shards) in &summary.committed {
+            if resolved.contains(txn) {
+                dropped_resolved += 1;
+                continue;
+            }
+            keep.push(
+                CoordRecord::Begin {
+                    txn: txn.clone(),
+                    shards: shards.clone(),
+                }
+                .encode(),
+            );
+            keep.push(CoordRecord::Commit { txn: txn.clone() }.encode());
+            kept_txns += 1;
+        }
+        let mut lines = self.lines.lock();
+        let report = LogCompaction {
+            dropped: lines.len().saturating_sub(keep.len()),
+            dropped_resolved,
+            kept_txns,
+        };
+        *lines = keep;
+        Ok(report)
+    }
 }
 
 /// Per-transaction outcome of a log replay. See [`CoordinatorLog::replay`].
@@ -242,6 +321,20 @@ pub struct LogSummary {
     pub undecided: Vec<(TxnId, Vec<usize>)>,
     /// Decided commit: resend resolutions (idempotent shard-side).
     pub committed: Vec<(TxnId, Vec<usize>)>,
+    /// `Abort` records with no matching `Begin` — tolerated no-ops, but
+    /// surfaced so audits can count them instead of losing them silently.
+    pub orphan_aborts: Vec<TxnId>,
+}
+
+/// What [`CoordinatorLog::compact`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogCompaction {
+    /// Log lines removed by the rewrite.
+    pub dropped: usize,
+    /// Fully-resolved committed transactions among them.
+    pub dropped_resolved: usize,
+    /// Transactions still represented after compaction.
+    pub kept_txns: usize,
 }
 
 fn esc(s: &str) -> String {
@@ -351,5 +444,98 @@ mod tests {
             log.entries(),
             Err(CoordLogError::UnknownTag(t)) if t == "Z"
         ));
+    }
+
+    #[test]
+    fn orphan_abort_is_a_tolerated_reported_noop() {
+        let log = CoordinatorLog::new();
+        let live = TxnId::new("c", "live");
+        let ghost = TxnId::new("c", "ghost");
+        log.append(CoordRecord::Begin {
+            txn: live.clone(),
+            shards: vec![0],
+        });
+        log.append(CoordRecord::Abort { txn: ghost.clone() });
+        let summary = log.replay().unwrap();
+        // The orphan changed nothing…
+        assert_eq!(summary.undecided, vec![(live, vec![0])]);
+        assert!(summary.committed.is_empty());
+        // …but it was counted, not swallowed.
+        assert_eq!(summary.orphan_aborts, vec![ghost]);
+    }
+
+    #[test]
+    fn compact_preserves_replay_semantics() {
+        let log = CoordinatorLog::new();
+        let lost = TxnId::new("c", "lost");
+        let done = TxnId::new("c", "done");
+        let dead = TxnId::new("c", "dead");
+        log.append(CoordRecord::Begin {
+            txn: lost.clone(),
+            shards: vec![0, 1],
+        });
+        log.append(CoordRecord::Begin {
+            txn: done.clone(),
+            shards: vec![1, 2],
+        });
+        log.append(CoordRecord::Commit { txn: done.clone() });
+        log.append(CoordRecord::Begin {
+            txn: dead.clone(),
+            shards: vec![0],
+        });
+        log.append(CoordRecord::Abort { txn: dead });
+        let before = log.replay().unwrap();
+
+        // Nothing resolved: aborted history drops, everything else stays.
+        let report = log.compact(&HashSet::new()).unwrap();
+        assert_eq!(report.dropped, 2, "Begin+Abort of the dead txn");
+        assert_eq!(report.dropped_resolved, 0);
+        assert_eq!(report.kept_txns, 2);
+        let after = log.replay().unwrap();
+        assert_eq!(after.undecided, before.undecided);
+        assert_eq!(after.committed, before.committed);
+
+        // The commit acked on every shard: its records drop too.
+        let resolved: HashSet<TxnId> = [done].into_iter().collect();
+        let report = log.compact(&resolved).unwrap();
+        assert_eq!(report.dropped_resolved, 1);
+        assert_eq!(report.kept_txns, 1);
+        let summary = log.replay().unwrap();
+        assert_eq!(summary.undecided, vec![(lost, vec![0, 1])]);
+        assert!(summary.committed.is_empty());
+        assert_eq!(log.len(), 1, "one Begin for the in-doubt txn");
+    }
+
+    #[test]
+    fn compact_keeps_sticky_commit_for_unacked_txns() {
+        // Begin, Begin (retry), Commit, Abort (racing recovery): the txn
+        // is committed; compaction must keep it committed and still
+        // compress four records to two.
+        let log = CoordinatorLog::new();
+        let txn = TxnId::new("c", "r");
+        log.append(CoordRecord::Begin {
+            txn: txn.clone(),
+            shards: vec![0, 1],
+        });
+        log.append(CoordRecord::Begin {
+            txn: txn.clone(),
+            shards: vec![0, 1],
+        });
+        log.append(CoordRecord::Commit { txn: txn.clone() });
+        log.append(CoordRecord::Abort { txn: txn.clone() });
+        let report = log.compact(&HashSet::new()).unwrap();
+        assert_eq!(report.dropped, 2);
+        assert_eq!(log.len(), 2);
+        let summary = log.replay().unwrap();
+        assert_eq!(summary.committed, vec![(txn, vec![0, 1])]);
+        assert!(summary.undecided.is_empty());
+    }
+
+    #[test]
+    fn compact_of_empty_log_is_a_noop() {
+        let log = CoordinatorLog::new();
+        let report = log.compact(&HashSet::new()).unwrap();
+        assert_eq!(report, LogCompaction::default());
+        assert!(log.is_empty());
     }
 }

@@ -193,6 +193,14 @@ impl ShardNode {
                     promises_core::JournalOp::Expire(id) => {
                         facts.expired.insert(id.0);
                     }
+                    promises_core::JournalOp::Checkpoint(cp) => {
+                        // A checkpoint *is* the journal prefix: every live
+                        // record it carries was granted (compaction already
+                        // folded released/expired history away).
+                        for item in cp.live {
+                            facts.granted.insert(item.record.id.0);
+                        }
+                    }
                     _ => {}
                 }
             }

@@ -184,6 +184,98 @@ fn recovery_is_idempotent() {
 }
 
 #[test]
+fn acked_commits_compact_out_of_the_log() {
+    let cluster = two_shard_cluster(10);
+    let decision = cluster
+        .coordinator
+        .grant("alice", "r1", &span_both(5, 3), HOUR_MS)
+        .unwrap();
+    assert!(decision.is_granted());
+    assert_eq!(
+        cluster.coordinator.log().len(),
+        2,
+        "Begin + Commit are logged"
+    );
+
+    // Both shards acknowledged the commit resolutions inline, so the
+    // transaction is fully resolved and compaction drops it entirely.
+    let report = cluster.coordinator.compact_log().unwrap();
+    assert_eq!(report.dropped_resolved, 1);
+    assert_eq!(report.kept_txns, 0);
+    assert!(cluster.coordinator.log().is_empty());
+
+    // Recovery over the compacted log has nothing to do — and the grant
+    // itself is untouched on the shards.
+    let recovery = cluster.coordinator.recover().unwrap();
+    assert_eq!(recovery.presumed_aborted + recovery.commits_resent, 0);
+    assert_eq!(cluster.live_count(), 2);
+}
+
+#[test]
+fn unacked_commit_survives_compaction_until_recovery_acks_it() {
+    let cluster = two_shard_cluster(10);
+    cluster
+        .coordinator
+        .set_crash_point(Some(CrashPoint::AfterCommitLogged));
+    let _ = cluster
+        .coordinator
+        .grant("alice", "r1", &span_both(5, 3), HOUR_MS)
+        .unwrap_err();
+
+    // No resolution was ever sent, so no ack: compaction must keep the
+    // committed transaction for recovery to resend.
+    let report = cluster.coordinator.compact_log().unwrap();
+    assert_eq!(report.dropped_resolved, 0);
+    assert_eq!(report.kept_txns, 1);
+    assert_eq!(cluster.coordinator.log().len(), 2);
+
+    // Recovery resends, collects both shards' acks, and only then does
+    // the transaction become compaction fodder.
+    let recovery = cluster.coordinator.recover().unwrap();
+    assert_eq!(recovery.commits_resent, 1);
+    let report = cluster.coordinator.compact_log().unwrap();
+    assert_eq!(report.dropped_resolved, 1);
+    assert!(cluster.coordinator.log().is_empty());
+    assert_eq!(cluster.live_count(), 2, "the grant itself is intact");
+}
+
+#[test]
+fn orphan_abort_replay_is_surfaced_not_swallowed() {
+    use promises_cluster::{CoordRecord, TxnId};
+    let cluster = two_shard_cluster(10);
+    // Dead history: an Abort whose Begin was compacted away (or a racing
+    // recovery double-logged it).
+    cluster.coordinator.log().append(CoordRecord::Abort {
+        txn: TxnId::new("ghost", "rx"),
+    });
+    let recovery = cluster.coordinator.recover().unwrap();
+    assert_eq!(recovery.orphan_aborts, 1, "tolerated but counted");
+    assert_eq!(recovery.presumed_aborted, 0);
+    assert_eq!(cluster.live_count(), 0);
+}
+
+#[test]
+fn dedup_index_is_bounded_by_duration_plus_grace() {
+    let cluster = two_shard_cluster(100);
+    for i in 0..8 {
+        let decision = cluster
+            .coordinator
+            .grant("alice", &format!("r{i}"), &span_both(1, 1), 10_000)
+            .unwrap();
+        assert!(decision.is_granted());
+    }
+    assert_eq!(cluster.coordinator.dedup_len(), 8);
+    // Within the retry window nothing is evicted…
+    cluster.clock.advance(10_000);
+    cluster.coordinator.sweep_dedup();
+    assert_eq!(cluster.coordinator.dedup_len(), 8);
+    // …but once duration + grace passes, the index drains to empty.
+    cluster.clock.advance(400_000);
+    cluster.coordinator.sweep_dedup();
+    assert_eq!(cluster.coordinator.dedup_len(), 0);
+}
+
+#[test]
 fn release_frees_all_parts() {
     let cluster = two_shard_cluster(10);
     let decision = cluster

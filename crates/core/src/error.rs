@@ -161,6 +161,11 @@ pub enum PromiseError {
     },
     /// The journal handed to recovery could not be decoded.
     JournalCorrupt(String),
+    /// An armed compaction-crash hook fired: the fault-injection harness
+    /// asked [`crate::PromiseManager::compact`] to die mid-compaction.
+    /// The journal is left in whichever state the crash point dictates
+    /// (old history intact, or the freshly swapped checkpoint).
+    CompactionInterrupted,
     /// A re-arrangement raced with a client observing its allocations
     /// (see [`crate::PromiseManager::promise`]): the operation computed an
     /// assignment that would move a just-pinned allocation, and must be
@@ -185,6 +190,9 @@ impl fmt::Display for PromiseError {
                 write!(f, "action wrote pool {pool} outside its promise scope")
             }
             PromiseError::JournalCorrupt(detail) => write!(f, "journal corrupt: {detail}"),
+            PromiseError::CompactionInterrupted => {
+                write!(f, "compaction crashed at an armed fault point")
+            }
             PromiseError::ObservationConflict => {
                 write!(f, "re-arrangement raced with an observed allocation; retry")
             }

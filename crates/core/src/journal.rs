@@ -24,6 +24,7 @@
 //! seq  gen  R  id                       — release
 //! seq  gen  E  id                       — expiry
 //! seq  gen  A  id  na  (idx inst)…      — allocation rewrite
+//! seq  gen  K  next  n  (G|P record…)…  — checkpoint snapshot (see below)
 //! ```
 //!
 //! `P` records a *prepared hold* — a cross-shard grant awaiting its
@@ -31,6 +32,21 @@
 //! the hold committed. A `P` with no later `C`/`R`/`E` is an in-doubt hold:
 //! recovery keeps it (resources stay reserved, so no other client can be
 //! oversold) until the coordinator resolves it or its expiry reaps it.
+//!
+//! # Checkpoints and compaction
+//!
+//! A `K` record is a full snapshot of live manager state at one instant:
+//! the promise-id high-water mark (`next`), then `n` embedded records each
+//! prefixed by a `G`/`P` sub-tag (the `P` sub-tag preserves the in-doubt
+//! prepared mark). [`PromiseJournal::install_checkpoint`] swaps the whole
+//! journal for a single checkpoint entry under the journal lock — the
+//! in-memory analogue of writing a checkpoint to a temp file and renaming
+//! it over the log. Entries appended afterwards form the post-checkpoint
+//! suffix; replay restarts its fold whenever it meets a `K` record, so
+//! recovery cost is O(live promises + suffix), not O(history). The id
+//! high-water mark is carried explicitly because compaction drops the
+//! `G`/`R` history of released high-id promises — without it a recovering
+//! manager would re-issue their ids.
 //!
 //! # Generations
 //!
@@ -73,6 +89,41 @@ pub enum JournalOp {
         /// The new allocation set (replaces the old one wholesale).
         allocations: Vec<Allocation>,
     },
+    /// A compaction checkpoint: the full live state at one instant.
+    /// Replay resets its fold here, so everything before the checkpoint
+    /// is dead history.
+    Checkpoint(CheckpointState),
+}
+
+/// One live promise captured inside a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointRecord {
+    /// True if the promise was a prepared (in-doubt) hold at checkpoint
+    /// time — encoded with the `P` sub-tag so recovery restores the mark.
+    pub prepared: bool,
+    /// The full promise record.
+    pub record: PromiseRecord,
+}
+
+/// The payload of a [`JournalOp::Checkpoint`]: everything recovery needs
+/// to rebuild the table without replaying pre-checkpoint history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointState {
+    /// Promise-id high-water mark (the table's last-used id) at checkpoint
+    /// time. Carried explicitly so ids of compacted-away promises are
+    /// never re-issued after recovery.
+    pub next_id: u64,
+    /// Every live promise (granted or prepared) at checkpoint time.
+    pub live: Vec<CheckpointRecord>,
+}
+
+/// What [`PromiseJournal::install_checkpoint`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Sequence number assigned to the checkpoint entry.
+    pub seq: u64,
+    /// Journal lines the swap dropped (the compacted-away history).
+    pub dropped: usize,
 }
 
 /// One journal entry: sequence number, generation stamp, and the operation.
@@ -185,6 +236,16 @@ pub fn encode_entry(entry: &JournalEntry) -> String {
             out.push_str(&format!("\tA\t{}", id.0));
             encode_allocs(&mut out, allocations);
         }
+        JournalOp::Checkpoint(cp) => {
+            out.push_str(&format!("\tK\t{}\t{}", cp.next_id, cp.live.len()));
+            for item in &cp.live {
+                encode_record(
+                    &mut out,
+                    if item.prepared { 'P' } else { 'G' },
+                    &item.record,
+                );
+            }
+        }
     }
     out
 }
@@ -222,6 +283,36 @@ impl<'a> FieldReader<'a> {
     }
 }
 
+/// Reads one full promise record (id through allocations) from `r` — the
+/// shared payload of `G`/`P` entries and checkpoint-embedded records.
+fn read_record(r: &mut FieldReader<'_>) -> Result<PromiseRecord, JournalError> {
+    let line = r.line;
+    let id = PromiseId(r.next_u64("promise id")?);
+    let client = ClientId(unescape(r.next("client")?));
+    let request = RequestId(unescape(r.next("request")?));
+    let granted_at = r.next_u64("granted_at")?;
+    let expires_at = r.next_u64("expires_at")?;
+    let np = r.next_u64("predicate count")? as usize;
+    let mut predicates = Vec::with_capacity(np);
+    for _ in 0..np {
+        let text = unescape(r.next("predicate")?);
+        predicates.push(parse_predicate(&text).map_err(|e| JournalError {
+            line,
+            detail: format!("bad predicate {text:?}: {e}"),
+        })?);
+    }
+    let allocations = r.allocs()?;
+    Ok(PromiseRecord {
+        id,
+        client,
+        request,
+        predicates,
+        granted_at,
+        expires_at,
+        allocations,
+    })
+}
+
 /// Decodes one journal line (inverse of [`encode_entry`]). `line` is used
 /// only for error reporting.
 pub fn decode_entry(raw: &str, line: usize) -> Result<JournalEntry, JournalError> {
@@ -234,30 +325,7 @@ pub fn decode_entry(raw: &str, line: usize) -> Result<JournalEntry, JournalError
     let tag = r.next("op tag")?;
     let op = match tag {
         "G" | "P" => {
-            let id = PromiseId(r.next_u64("promise id")?);
-            let client = ClientId(unescape(r.next("client")?));
-            let request = RequestId(unescape(r.next("request")?));
-            let granted_at = r.next_u64("granted_at")?;
-            let expires_at = r.next_u64("expires_at")?;
-            let np = r.next_u64("predicate count")? as usize;
-            let mut predicates = Vec::with_capacity(np);
-            for _ in 0..np {
-                let text = unescape(r.next("predicate")?);
-                predicates.push(parse_predicate(&text).map_err(|e| JournalError {
-                    line,
-                    detail: format!("bad predicate {text:?}: {e}"),
-                })?);
-            }
-            let allocations = r.allocs()?;
-            let rec = PromiseRecord {
-                id,
-                client,
-                request,
-                predicates,
-                granted_at,
-                expires_at,
-                allocations,
-            };
+            let rec = read_record(&mut r)?;
             if tag == "G" {
                 JournalOp::Grant(rec)
             } else {
@@ -271,6 +339,29 @@ pub fn decode_entry(raw: &str, line: usize) -> Result<JournalEntry, JournalError
             let id = PromiseId(r.next_u64("promise id")?);
             let allocations = r.allocs()?;
             JournalOp::Allocations { id, allocations }
+        }
+        "K" => {
+            let next_id = r.next_u64("checkpoint id high-water")?;
+            let n = r.next_u64("checkpoint record count")? as usize;
+            let mut live = Vec::with_capacity(n);
+            for _ in 0..n {
+                let sub = r.next("checkpoint record tag")?;
+                let prepared = match sub {
+                    "G" => false,
+                    "P" => true,
+                    other => {
+                        return Err(JournalError {
+                            line,
+                            detail: format!("unknown checkpoint record tag {other:?}"),
+                        })
+                    }
+                };
+                live.push(CheckpointRecord {
+                    prepared,
+                    record: read_record(&mut r)?,
+                });
+            }
+            JournalOp::Checkpoint(CheckpointState { next_id, live })
         }
         other => {
             return Err(JournalError {
@@ -338,6 +429,65 @@ impl PromiseJournal {
                 generation,
             }),
         })
+    }
+
+    /// Rebuilds a journal from dumped lines, tolerating a *torn trailing
+    /// record*: a crash mid-append leaves at most the final line partially
+    /// written, so a malformed last line is truncated (not replayed) and
+    /// returned for logging, while a malformed *interior* line is still a
+    /// hard error — interior corruption is never a torn append and must
+    /// not be skipped silently.
+    pub fn from_lines_tolerant<S: AsRef<str>>(
+        lines: &[S],
+    ) -> Result<(Self, Option<JournalError>), JournalError> {
+        let mut next_seq = 1;
+        let mut generation = 0;
+        let mut keep: Vec<String> = Vec::with_capacity(lines.len());
+        let mut torn = None;
+        let last = lines.len().saturating_sub(1);
+        for (i, raw) in lines.iter().enumerate() {
+            match decode_entry(raw.as_ref(), i) {
+                Ok(entry) => {
+                    next_seq = next_seq.max(entry.seq + 1);
+                    generation = generation.max(entry.generation);
+                    keep.push(raw.as_ref().to_owned());
+                }
+                Err(e) if i == last => torn = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok((
+            Self {
+                inner: Mutex::new(JournalInner {
+                    lines: keep,
+                    next_seq,
+                    generation,
+                }),
+            },
+            torn,
+        ))
+    }
+
+    /// Atomically swaps the journal's contents for a single checkpoint
+    /// entry carrying `state`. The swap happens under the journal lock —
+    /// the in-memory analogue of writing the checkpoint to a temp file and
+    /// renaming it over the log, so a reader (or a crash) sees either the
+    /// full old journal or the checkpointed one, never a mix. The
+    /// checkpoint is assigned the next sequence number; entries appended
+    /// afterwards form the post-checkpoint suffix replay picks up after
+    /// resetting at the `K` record.
+    pub fn install_checkpoint(&self, state: CheckpointState) -> CheckpointStats {
+        let mut inner = self.inner.lock();
+        let dropped = inner.lines.len();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let entry = JournalEntry {
+            seq,
+            generation: inner.generation,
+            op: JournalOp::Checkpoint(state),
+        };
+        inner.lines = vec![encode_entry(&entry)];
+        CheckpointStats { seq, dropped }
     }
 
     /// Appends one operation, assigning it the next sequence number and the
@@ -506,5 +656,104 @@ mod tests {
         for s in ["plain", "with\ttab", "pct%09literal", "%", "a%2", "\r\n"] {
             assert_eq!(unescape(&escape(s)), s);
         }
+    }
+
+    #[test]
+    fn checkpoint_line_roundtrips() {
+        let mut other = sample_record();
+        other.id = PromiseId(9);
+        other.allocations.clear();
+        let entry = JournalEntry {
+            seq: 41,
+            generation: 3,
+            op: JournalOp::Checkpoint(CheckpointState {
+                next_id: 40,
+                live: vec![
+                    CheckpointRecord {
+                        prepared: false,
+                        record: sample_record(),
+                    },
+                    CheckpointRecord {
+                        prepared: true,
+                        record: other,
+                    },
+                ],
+            }),
+        };
+        let line = encode_entry(&entry);
+        assert_eq!(line.split('\t').nth(2), Some("K"));
+        assert_eq!(decode_entry(&line, 0).unwrap(), entry);
+    }
+
+    #[test]
+    fn empty_checkpoint_roundtrips() {
+        let entry = JournalEntry {
+            seq: 1,
+            generation: 0,
+            op: JournalOp::Checkpoint(CheckpointState {
+                next_id: 17,
+                live: vec![],
+            }),
+        };
+        assert_eq!(decode_entry(&encode_entry(&entry), 0).unwrap(), entry);
+    }
+
+    #[test]
+    fn install_checkpoint_swaps_whole_journal() {
+        let j = PromiseJournal::new();
+        j.append(JournalOp::Grant(sample_record()));
+        j.append(JournalOp::Release(PromiseId(7)));
+        j.bump_generation();
+        let stats = j.install_checkpoint(CheckpointState {
+            next_id: 7,
+            live: vec![],
+        });
+        assert_eq!(stats.dropped, 2);
+        assert_eq!(stats.seq, 3);
+        assert_eq!(j.len(), 1);
+        // Sequence numbers keep ascending across the swap, and the
+        // generation survives it.
+        assert_eq!(j.append(JournalOp::Expire(PromiseId(9))), 4);
+        let entries = j.entries().unwrap();
+        assert!(matches!(entries[0].op, JournalOp::Checkpoint(_)));
+        assert_eq!(entries[0].generation, 1);
+        // A reload resumes counters past the checkpoint.
+        let reloaded = PromiseJournal::from_lines(&j.lines()).unwrap();
+        assert_eq!(reloaded.append(JournalOp::Release(PromiseId(9))), 5);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_truncated() {
+        let j = PromiseJournal::new();
+        j.append(JournalOp::Grant(sample_record()));
+        j.append(JournalOp::Release(PromiseId(7)));
+        let mut lines = j.lines();
+        let tail = lines.last_mut().unwrap();
+        tail.truncate(tail.len() / 2);
+        let (reloaded, torn) = PromiseJournal::from_lines_tolerant(&lines).unwrap();
+        let torn = torn.expect("torn tail reported");
+        assert_eq!(torn.line, 1);
+        assert_eq!(reloaded.len(), 1);
+        // The truncated record is gone; the next append reuses its seq.
+        assert_eq!(reloaded.append(JournalOp::Release(PromiseId(7))), 2);
+    }
+
+    #[test]
+    fn torn_interior_line_is_still_an_error() {
+        let j = PromiseJournal::new();
+        j.append(JournalOp::Grant(sample_record()));
+        j.append(JournalOp::Release(PromiseId(7)));
+        let mut lines = j.lines();
+        lines[0].truncate(4);
+        assert!(PromiseJournal::from_lines_tolerant(&lines).is_err());
+    }
+
+    #[test]
+    fn intact_journal_loads_tolerantly_with_no_torn_report() {
+        let j = PromiseJournal::new();
+        j.append(JournalOp::Grant(sample_record()));
+        let (reloaded, torn) = PromiseJournal::from_lines_tolerant(&j.lines()).unwrap();
+        assert!(torn.is_none());
+        assert_eq!(reloaded.len(), 1);
     }
 }

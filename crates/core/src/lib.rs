@@ -87,11 +87,12 @@ pub use environment::{Environment, ReleaseOption};
 pub use error::{ActionError, PromiseError, RejectReason};
 pub use ids::{ClientId, InstanceId, PoolId, PromiseId, RequestId};
 pub use journal::{
-    decode_entry, encode_entry, JournalEntry, JournalError, JournalOp, PromiseJournal,
+    decode_entry, encode_entry, CheckpointRecord, CheckpointState, CheckpointStats, JournalEntry,
+    JournalError, JournalOp, PromiseJournal,
 };
 pub use manager::{
-    LockingMode, OpLatency, PmMetricsSnapshot, PromiseDecision, PromiseManager, PromiseRequestSpec,
-    PromiseResponse, RecoveryReport,
+    CompactionCrash, CompactionReport, LockingMode, OpLatency, PmMetricsSnapshot, PromiseDecision,
+    PromiseManager, PromiseRequestSpec, PromiseResponse, RecoveryReport,
 };
 pub use negotiate::NegotiatedResponse;
 pub use parser::{parse_expr, parse_predicate, ParseError};

@@ -56,7 +56,7 @@ use crate::clock::Clock;
 use crate::environment::Environment;
 use crate::error::{ActionError, PromiseError, RejectReason};
 use crate::ids::{ClientId, InstanceId, PoolId, PromiseId, RequestId};
-use crate::journal::{JournalOp, PromiseJournal};
+use crate::journal::{CheckpointRecord, CheckpointState, JournalOp, PromiseJournal};
 use crate::predicate::Predicate;
 use crate::promise::{PromiseRecord, PromiseTable};
 use crate::schema::PoolSchema;
@@ -65,6 +65,16 @@ use crate::schema::PoolSchema;
 /// under [`LockingMode::Global`]; suffixed with `/<pool>` per footprint
 /// pool under [`LockingMode::Footprint`].
 const PM_OPS: &str = "promise-ops";
+
+/// Default tombstone lifetime past the reap: long enough that any client
+/// still retrying against an expired promise sees "promise-expired", short
+/// enough that the tombstone map stays proportional to *recent* expiries.
+const DEFAULT_TOMBSTONE_GRACE_MS: u64 = 300_000;
+
+/// Default [`PromiseManager::maybe_compact`] trigger: journals shorter
+/// than this are cheap to replay wholesale, so compaction isn't worth a
+/// checkpoint write.
+const DEFAULT_COMPACTION_THRESHOLD: usize = 1_024;
 
 /// How promise operations serialise against one another.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -335,6 +345,11 @@ struct PmTel {
     grant_error: Arc<AtomicU64>,
     retry_deadlock: Arc<AtomicU64>,
     expired: Arc<AtomicU64>,
+    compact_runs: Arc<AtomicU64>,
+    compact_dropped: Arc<AtomicU64>,
+    /// `pm.journal.records` gauge: journal length as of the latest
+    /// compaction or reaper tick.
+    journal_records: Arc<AtomicU64>,
     /// `pm.pool.<pool>.granted` / `pm.pool.<pool>.rejected` handles.
     pool_counters: RwLock<HashMap<PoolId, PoolCounters>>,
 }
@@ -354,6 +369,9 @@ impl PmTel {
             grant_error: tel.counter("pm.grant.error"),
             retry_deadlock: tel.counter("pm.retry.deadlock"),
             expired: tel.counter("pm.expired"),
+            compact_runs: tel.counter("pm.compact.runs"),
+            compact_dropped: tel.counter("pm.compact.dropped"),
+            journal_records: tel.gauge("pm.journal.records"),
             pool_counters: RwLock::new(HashMap::new()),
             tel,
         })
@@ -401,8 +419,11 @@ pub struct PromiseManager {
     delegations: Mutex<HashMap<PromiseId, UpstreamRefs>>,
     /// Ids of promises reaped by expiry, kept so operations under them can
     /// be answered with the paper's distinct "promise-expired" error (§2)
-    /// instead of "unknown promise".
-    expired_tombstones: Mutex<HashSet<PromiseId>>,
+    /// instead of "unknown promise". *Bounded*: each tombstone carries an
+    /// eviction deadline (reap time plus [`Self::tombstone_grace_ms`]) and
+    /// is dropped by the next prune after it passes — so the map tracks
+    /// recently-expired promises, not all of history.
+    expired_tombstones: Mutex<HashMap<PromiseId, u64>>,
     /// Durable journal of promise-table transitions; `None` disables
     /// journalling (the pre-durability behaviour).
     journal: RwLock<Option<Arc<PromiseJournal>>>,
@@ -433,6 +454,43 @@ pub struct PromiseManager {
     /// Lifecycle spans + per-stage histograms land here when attached;
     /// `None` (the default) makes every recording site a cheap check.
     telemetry: RwLock<Option<Arc<PmTel>>>,
+    /// How long (ms) an expired-promise tombstone outlives its reap before
+    /// eviction — the window during which a stale client still gets the
+    /// distinct "promise-expired" error.
+    tombstone_grace_ms: AtomicU64,
+    /// [`PromiseManager::maybe_compact`] compacts only once the journal
+    /// holds at least this many records (0 = never auto-compact).
+    compaction_threshold: AtomicUsize,
+    /// Armed fault-injection point inside [`PromiseManager::compact`];
+    /// consumed by the next compaction.
+    compaction_crash: Mutex<Option<CompactionCrash>>,
+}
+
+/// Where an armed [`PromiseManager::compact`] crash fires. Models a
+/// process dying mid-compaction: with temp-file-plus-rename semantics the
+/// on-disk journal is either the untouched old log or the fully swapped
+/// checkpointed one — never a torn mixture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactionCrash {
+    /// Die after building the checkpoint but before the swap: recovery
+    /// sees the full pre-compaction history.
+    BeforeSwap,
+    /// Die immediately after the atomic swap: recovery sees the compacted
+    /// journal (checkpoint only).
+    AfterSwap,
+}
+
+/// What [`PromiseManager::compact`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// History lines the checkpoint swap dropped.
+    pub dropped: usize,
+    /// Live promises captured in the checkpoint.
+    pub live: usize,
+    /// Of `live`, prepared (in-doubt) holds preserved with their marks.
+    pub prepared: usize,
+    /// Sequence number assigned to the checkpoint record.
+    pub seq: u64,
 }
 
 /// What [`PromiseManager::recover`] did, for assertions and logging.
@@ -467,7 +525,7 @@ impl PromiseManager {
             last_check_stats: Mutex::new(CheckerStats::default()),
             upstreams: RwLock::new(HashMap::new()),
             delegations: Mutex::new(HashMap::new()),
-            expired_tombstones: Mutex::new(HashSet::new()),
+            expired_tombstones: Mutex::new(HashMap::new()),
             journal: RwLock::new(None),
             request_index: Mutex::new(HashMap::new()),
             pinned: Mutex::new(HashSet::new()),
@@ -476,6 +534,9 @@ impl PromiseManager {
             overload_limit: AtomicUsize::new(0),
             metrics: PmMetrics::default(),
             telemetry: RwLock::new(None),
+            tombstone_grace_ms: AtomicU64::new(DEFAULT_TOMBSTONE_GRACE_MS),
+            compaction_threshold: AtomicUsize::new(DEFAULT_COMPACTION_THRESHOLD),
+            compaction_crash: Mutex::new(None),
         }
     }
 
@@ -504,6 +565,40 @@ impl PromiseManager {
     pub fn with_overload_limit(self, limit: usize) -> Self {
         self.overload_limit.store(limit, Ordering::Relaxed);
         self
+    }
+
+    /// Sets how long expired-promise tombstones outlive their reap before
+    /// eviction. Within the window a stale client gets the paper's
+    /// distinct "promise-expired" error; afterwards the id reads as
+    /// unknown and the map stays bounded.
+    pub fn with_tombstone_grace_ms(self, ms: u64) -> Self {
+        self.tombstone_grace_ms.store(ms, Ordering::Relaxed);
+        self
+    }
+
+    /// Sets the journal length at which [`PromiseManager::maybe_compact`]
+    /// triggers a compaction (0 disables auto-compaction).
+    pub fn with_compaction_threshold(self, records: usize) -> Self {
+        self.compaction_threshold.store(records, Ordering::Relaxed);
+        self
+    }
+
+    /// Runtime setter for the auto-compaction trigger (0 disables).
+    pub fn set_compaction_threshold(&self, records: usize) {
+        self.compaction_threshold.store(records, Ordering::Relaxed);
+    }
+
+    /// Arms a one-shot crash inside the next [`PromiseManager::compact`]
+    /// (fault-injection hook for the crash-restart harnesses).
+    pub fn arm_compaction_crash(&self, point: CompactionCrash) {
+        *self.compaction_crash.lock() = Some(point);
+    }
+
+    /// Number of expired-promise tombstones currently held — boundedness
+    /// audits assert this stays proportional to recent expiries, not to
+    /// all of history.
+    pub fn tombstone_count(&self) -> usize {
+        self.expired_tombstones.lock().len()
     }
 
     /// Caps every granted duration at `ms` (§6: the manager may "offer a
@@ -880,7 +975,7 @@ impl PromiseManager {
     pub fn commit_prepared(&self, id: PromiseId) -> Result<bool, PromiseError> {
         let tbl = self.table.lock();
         if tbl.get(id).is_none() {
-            return Err(if self.expired_tombstones.lock().contains(&id) {
+            return Err(if self.expired_tombstones.lock().contains_key(&id) {
                 PromiseError::PromiseExpired(id)
             } else {
                 PromiseError::UnknownPromise(id)
@@ -1040,10 +1135,15 @@ impl PromiseManager {
     pub fn prune_expired(&self) -> Result<usize, PromiseError> {
         let reaped = self.with_retries(|| self.try_prune())?;
         {
+            let now = self.clock.now_ms();
+            let evict_at = now.saturating_add(self.tombstone_grace_ms.load(Ordering::Relaxed));
             let mut tombs = self.expired_tombstones.lock();
             for rec in &reaped {
-                tombs.insert(rec.id);
+                tombs.insert(rec.id, evict_at);
             }
+            // Evict tombstones whose grace window has passed, so the map
+            // tracks recent expiries instead of growing with history.
+            tombs.retain(|_, at| *at > now);
         }
         for rec in &reaped {
             self.cascade_release(rec.id);
@@ -1116,6 +1216,22 @@ impl PromiseManager {
                         rec.allocations = allocations;
                     }
                 }
+                JournalOp::Checkpoint(cp) => {
+                    // A checkpoint is a full snapshot of live state: reset
+                    // the fold and continue replay from it. Everything
+                    // before it is compacted-away history.
+                    table = PromiseTable::new();
+                    tombstones.clear();
+                    prepared.clear();
+                    max_id = max_id.max(cp.next_id);
+                    for item in cp.live {
+                        max_id = max_id.max(item.record.id.0);
+                        if item.prepared {
+                            prepared.insert(item.record.id);
+                        }
+                        table.insert(item.record);
+                    }
+                }
             }
         }
         table.bump_next_to(max_id);
@@ -1135,7 +1251,15 @@ impl PromiseManager {
         // is gone, so recovered promises re-arrange freely again.
         self.pinned.lock().clear();
         *self.prepared.lock() = prepared;
-        self.expired_tombstones.lock().extend(tombstones);
+        // Replayed Expire records carry no wall-clock, so recovered
+        // tombstones restart their grace window at recovery time.
+        let evict_at = self
+            .clock
+            .now_ms()
+            .saturating_add(self.tombstone_grace_ms.load(Ordering::Relaxed));
+        self.expired_tombstones
+            .lock()
+            .extend(tombstones.into_iter().map(|id| (id, evict_at)));
         *self.journal.write() = Some(journal);
 
         // Reap promises that expired while the manager was down; their
@@ -1154,6 +1278,100 @@ impl PromiseManager {
             in_doubt: self.prepared.lock().len(),
             generation,
         })
+    }
+
+    /// Compacts the attached journal: captures the live table, prepared
+    /// marks, and id high-water into one checkpoint record and atomically
+    /// swaps it in for the accumulated history
+    /// ([`PromiseJournal::install_checkpoint`]). The snapshot is built and
+    /// swapped under the table lock — the same lock every journal append
+    /// holds — so the checkpoint is a consistent cut and no concurrent
+    /// transition can fall between snapshot and swap. Recovery replays the
+    /// checkpoint plus whatever suffix accumulates after it, making
+    /// restart cost O(live promises), not O(history). `state_digest()` is
+    /// byte-identical across compact → crash → recover.
+    ///
+    /// Returns `Ok(None)` when no journal is attached; returns
+    /// [`PromiseError::CompactionInterrupted`] when an armed crash hook
+    /// fires ([`PromiseManager::arm_compaction_crash`]).
+    pub fn compact(&self) -> Result<Option<CompactionReport>, PromiseError> {
+        let journal = match self.journal.read().as_ref() {
+            Some(j) => Arc::clone(j),
+            None => return Ok(None),
+        };
+        let started = Instant::now();
+        // Crate-wide lock order: table → prepared.
+        let table = self.table.lock();
+        let prepared_set = self.prepared.lock();
+        let mut live = Vec::with_capacity(table.len());
+        let mut prepared_count = 0usize;
+        for record in table.all() {
+            let prepared = prepared_set.contains(&record.id);
+            prepared_count += usize::from(prepared);
+            live.push(CheckpointRecord { prepared, record });
+        }
+        drop(prepared_set);
+        // Canonical order keeps the checkpoint line deterministic for a
+        // given table state (table iteration order is not).
+        live.sort_by_key(|item| item.record.id);
+        let state = CheckpointState {
+            next_id: table.id_high_water(),
+            live,
+        };
+        let crash = self.compaction_crash.lock().take();
+        if crash == Some(CompactionCrash::BeforeSwap) {
+            // Modeled crash while writing the checkpoint temp file: the
+            // real journal was never touched.
+            return Err(PromiseError::CompactionInterrupted);
+        }
+        let stats = journal.install_checkpoint(state);
+        let report = CompactionReport {
+            dropped: stats.dropped,
+            live: table.len(),
+            prepared: prepared_count,
+            seq: stats.seq,
+        };
+        drop(table);
+        if crash == Some(CompactionCrash::AfterSwap) {
+            // Modeled crash right after the rename: the swap is durable.
+            return Err(PromiseError::CompactionInterrupted);
+        }
+        if let Some(tel) = self.telemetry.read().as_deref() {
+            tel.compact_runs.fetch_add(1, Ordering::Relaxed);
+            tel.compact_dropped
+                .fetch_add(report.dropped as u64, Ordering::Relaxed);
+            tel.journal_records
+                .store(journal.len() as u64, Ordering::Relaxed);
+            tel.span_since(SpanKind::PmCompact, started)
+                .note(format!("dropped={} live={}", report.dropped, report.live))
+                .finish();
+        }
+        Ok(Some(report))
+    }
+
+    /// Compacts when the journal has outgrown its worth as raw history:
+    /// at least [`PromiseManager::with_compaction_threshold`] records long
+    /// *and* several times larger than the live table (a journal that is
+    /// mostly live promises would shrink little). Cheap when nothing is
+    /// due — the expiry reaper calls this on its cadence. Also refreshes
+    /// the `pm.journal.records` gauge.
+    pub fn maybe_compact(&self) -> Result<Option<CompactionReport>, PromiseError> {
+        let journal_len = match self.journal.read().as_ref() {
+            Some(j) => j.len(),
+            None => return Ok(None),
+        };
+        if let Some(tel) = self.telemetry.read().as_deref() {
+            tel.journal_records
+                .store(journal_len as u64, Ordering::Relaxed);
+        }
+        let threshold = self.compaction_threshold.load(Ordering::Relaxed);
+        if threshold == 0 || journal_len < threshold {
+            return Ok(None);
+        }
+        if journal_len < 4 * (self.live_count() + 1) {
+            return Ok(None);
+        }
+        self.compact()
     }
 
     // ==================================================================
@@ -2051,7 +2269,7 @@ impl PromiseManager {
         let tbl = self.table.lock();
         for id in env.promise_ids() {
             match tbl.get(id) {
-                None if self.expired_tombstones.lock().contains(&id) => {
+                None if self.expired_tombstones.lock().contains_key(&id) => {
                     self.metrics.expired_errors.fetch_add(1, Ordering::Relaxed);
                     return Err(PromiseError::PromiseExpired(id));
                 }

@@ -111,6 +111,15 @@ impl PromiseTable {
         self.next = self.next.max(floor);
     }
 
+    /// The id high-water mark: the last id handed out by
+    /// [`PromiseTable::next_id`] (or the floor set by
+    /// [`PromiseTable::bump_next_to`]). Checkpoints persist this so
+    /// compaction never lets a recovered table re-issue a compacted-away
+    /// promise's id.
+    pub fn id_high_water(&self) -> u64 {
+        self.next
+    }
+
     /// Inserts a granted promise.
     pub fn insert(&mut self, rec: PromiseRecord) {
         self.index(&rec);

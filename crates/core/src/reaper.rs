@@ -7,6 +7,12 @@
 //! background thread that calls [`PromiseManager::prune_expired`] on a
 //! fixed interval so capacity is returned to the pools even when no
 //! client is driving the manager.
+//!
+//! The same cadence drives journal compaction: each tick also calls
+//! [`PromiseManager::maybe_compact`], so a long-lived manager's journal is
+//! checkpointed once history outgrows the live table — the log-truncation
+//! discipline that keeps recovery O(live promises) — without any
+//! foreground operation paying for the checkpoint write.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -45,6 +51,9 @@ impl ExpiryReaper {
                 // non-fatal: the next tick — or any foreground operation's
                 // lazy prune — retries.
                 let _ = pm.prune_expired();
+                // Compaction is likewise best-effort: an armed crash or a
+                // skipped threshold just leaves the journal for next tick.
+                let _ = pm.maybe_compact();
             }
         });
         Self {
@@ -103,6 +112,45 @@ mod tests {
         }
         reaper.stop();
         assert_eq!(pm.live_count(), 0, "reaper should have pruned the expiry");
+    }
+
+    #[test]
+    fn reaper_compacts_an_outgrown_journal() {
+        let rm = Arc::new(ResourceManager::new());
+        let clock = Arc::new(ManualClock::new());
+        let journal = Arc::new(crate::journal::PromiseJournal::new());
+        let pm = Arc::new(
+            PromiseManager::new(
+                Arc::clone(&rm),
+                clock.clone() as Arc<dyn crate::clock::Clock>,
+            )
+            .with_journal(Arc::clone(&journal))
+            .with_compaction_threshold(8),
+        );
+        pm.register_pool(PoolSchema::quantity("widgets"));
+        pm.seed_quantity("widgets", 10).unwrap();
+        for i in 0..6 {
+            let resp = pm
+                .request(
+                    PromiseRequestSpec::new(format!("r{i}").as_str(), "c1")
+                        .predicate(Predicate::qty_at_least("widgets", 4)),
+                )
+                .unwrap();
+            pm.release(resp.decision.granted_id().unwrap()).unwrap();
+        }
+        assert!(journal.len() >= 8, "history built up");
+
+        let mut reaper = ExpiryReaper::start(Arc::clone(&pm), Duration::from_millis(5));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while journal.len() > 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        reaper.stop();
+        assert_eq!(
+            journal.len(),
+            1,
+            "reaper cadence should have compacted the journal to one checkpoint"
+        );
     }
 
     #[test]

@@ -153,8 +153,151 @@ fn promises_expiring_while_down_are_pruned_and_never_readmitted() {
     );
 }
 
+#[test]
+fn compaction_preserves_recovery_byte_for_byte() {
+    let clock = Arc::new(ManualClock::new());
+    let journal = Arc::new(PromiseJournal::new());
+    let pm = journalled_pm(&clock, &journal);
+
+    let mut ids = Vec::new();
+    for i in 0..12u64 {
+        let pool = if i % 2 == 0 { "widgets" } else { "gears" };
+        let s = spec(
+            &format!("client-{}", i % 3),
+            &format!("order-{i}"),
+            pool,
+            (i % 4) + 1,
+            LONG_MS + i * 1_000,
+        );
+        ids.push(grant(&pm, s));
+    }
+    for id in [ids[0], ids[3], ids[6], ids[9]] {
+        pm.release(id).unwrap();
+    }
+    let history_len = journal.len();
+    let pre_digest = pm.state_digest();
+
+    // Ground truth: recovery over the uncompacted history.
+    let reference = Arc::new(PromiseJournal::from_lines(&journal.lines()).unwrap());
+    let pm_ref = journalled_pm(&clock, &Arc::new(PromiseJournal::new()));
+    pm_ref.recover(reference).unwrap();
+    assert_eq!(pm_ref.state_digest(), pre_digest);
+
+    // Compaction folds 16 records into one checkpoint…
+    let report = pm.compact().unwrap().expect("journal attached");
+    assert_eq!(report.dropped, history_len);
+    assert_eq!(report.live, 8);
+    assert_eq!(journal.len(), 1);
+    assert_eq!(
+        pm.state_digest(),
+        pre_digest,
+        "compaction must not disturb the live manager"
+    );
+    drop(pm); // crash
+
+    // …and recovery over the checkpoint is byte-identical.
+    let pm2 = journalled_pm(&clock, &Arc::new(PromiseJournal::new()));
+    let rec = pm2.recover(Arc::clone(&journal)).unwrap();
+    assert_eq!(rec.replayed, 1, "one checkpoint record is the whole replay");
+    assert_eq!(pm2.state_digest(), pre_digest);
+
+    // The dedup index survives the checkpoint (live records carry their
+    // request keys)…
+    let again = grant(
+        &pm2,
+        spec("client-1", "order-1", "gears", 2, LONG_MS + 1_000),
+    );
+    assert_eq!(again, ids[1]);
+    // …and the id high-water does too: released ids 0/3/6/9 are gone from
+    // the checkpoint, but fresh grants must never reuse them.
+    let fresh = grant(&pm2, spec("client-9", "order-new", "widgets", 1, LONG_MS));
+    assert!(fresh.0 > ids.iter().map(|i| i.0).max().unwrap());
+}
+
+#[test]
+fn torn_trailing_record_recovers_from_the_prefix() {
+    let clock = Arc::new(ManualClock::new());
+    let journal = Arc::new(PromiseJournal::new());
+    let pm = journalled_pm(&clock, &journal);
+    for i in 0..6u64 {
+        grant(&pm, spec("c", &format!("r{i}"), "widgets", i + 1, LONG_MS));
+    }
+    pm.release(PromiseId(2)).unwrap();
+    drop(pm); // crash mid-append: the final record is half-written
+
+    let mut lines = journal.lines();
+    let last = lines.last_mut().unwrap();
+    last.truncate(last.len() / 2);
+
+    let (torn_journal, torn) = PromiseJournal::from_lines_tolerant(&lines).unwrap();
+    assert!(torn.is_some(), "the chopped tail must be reported");
+    assert_eq!(torn_journal.len(), lines.len() - 1);
+
+    // Ground truth: the journal as if the torn append had never happened.
+    let prefix = Arc::new(PromiseJournal::from_lines(&lines[..lines.len() - 1]).unwrap());
+    let pm_ref = journalled_pm(&clock, &Arc::new(PromiseJournal::new()));
+    pm_ref.recover(prefix).unwrap();
+
+    let pm2 = journalled_pm(&clock, &Arc::new(PromiseJournal::new()));
+    pm2.recover(Arc::new(torn_journal)).unwrap();
+    assert_eq!(
+        pm2.state_digest(),
+        pm_ref.state_digest(),
+        "torn-tail recovery equals recovery from the intact prefix"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Compacting at *any* point in the history is invisible to recovery:
+    /// a manager that checkpoints after op `k` and one that never compacts
+    /// reach byte-identical post-recovery state, for arbitrary
+    /// interleavings of grants, releases, and downtime expiry.
+    #[test]
+    fn compaction_at_a_random_point_is_invisible_to_recovery(
+        ops in proptest::collection::vec(
+            (0u8..2, 1u64..5, any::<bool>(), any::<bool>()),
+            1..24,
+        ),
+        compact_at_raw in 0usize..24,
+        downtime_ms in 0u64..2_000,
+    ) {
+        let compact_at = compact_at_raw % ops.len();
+        let clock = Arc::new(ManualClock::new());
+        let journal_plain = Arc::new(PromiseJournal::new());
+        let journal_compacted = Arc::new(PromiseJournal::new());
+        let pm_plain = journalled_pm(&clock, &journal_plain);
+        let pm_compacted = journalled_pm(&clock, &journal_compacted);
+
+        for (i, (pool, qty, short, release)) in ops.iter().enumerate() {
+            let pool = if *pool == 0 { "widgets" } else { "gears" };
+            let duration = if *short { 50 } else { LONG_MS };
+            for pm in [&pm_plain, &pm_compacted] {
+                let s = spec(&format!("c{}", i % 3), &format!("r{i}"), pool, *qty, duration);
+                let id = grant(pm, s);
+                if *release {
+                    pm.release(id).unwrap();
+                }
+            }
+            if i == compact_at {
+                pm_compacted.compact().unwrap();
+            }
+        }
+        drop(pm_plain);
+        drop(pm_compacted);
+        clock.advance(downtime_ms);
+
+        let pm_a = journalled_pm(&clock, &Arc::new(PromiseJournal::new()));
+        pm_a.recover(Arc::clone(&journal_plain)).unwrap();
+        let pm_b = journalled_pm(&clock, &Arc::new(PromiseJournal::new()));
+        pm_b.recover(Arc::clone(&journal_compacted)).unwrap();
+
+        prop_assert!(journal_compacted.len() <= journal_plain.len());
+        prop_assert_eq!(pm_b.state_digest(), pm_a.state_digest());
+        prop_assert_eq!(pm_b.live_count(), pm_a.live_count());
+        prop_assert_eq!(pm_b.promised_quantities(), pm_a.promised_quantities());
+    }
 
     /// Replaying a journal twice is a no-op: two fresh managers recovering
     /// from the same journal (the second seeing the first's recovery

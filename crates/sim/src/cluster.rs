@@ -101,6 +101,15 @@ pub struct ClusterRunReport {
     pub oversells: u64,
     /// Promises still live after recovery + full expiry. **Always zero.**
     pub live_after_reap: usize,
+    /// Coordinator dedup entries surviving past every retry window.
+    /// Bounded state says **always zero** once duration + grace pass.
+    pub dedup_after_reap: usize,
+    /// Shard grant-index tombstones surviving past the eviction grace.
+    /// **Always zero.**
+    pub tombstones_after_reap: usize,
+    /// Orphan Abort records recovery replay tolerated (counted, not
+    /// swallowed).
+    pub orphan_aborts: u64,
     /// Wall-clock duration of the workload phase.
     pub elapsed: Duration,
 }
@@ -112,6 +121,8 @@ impl ClusterRunReport {
             && self.double_grants == 0
             && self.oversells == 0
             && self.live_after_reap == 0
+            && self.dedup_after_reap == 0
+            && self.tombstones_after_reap == 0
     }
 }
 
@@ -258,6 +269,7 @@ pub fn run_cluster_fault_sweep(
         transport_failures: transport.into_inner(),
         presumed_aborted: recovery.presumed_aborted as u64,
         commits_resent: recovery.commits_resent as u64,
+        orphan_aborts: recovery.orphan_aborts as u64,
         elapsed,
         ..ClusterRunReport::default()
     };
@@ -369,6 +381,14 @@ fn audit_cluster(
     // decided-abort transactions whose abort message was lost, …).
     cluster.advance_and_prune(4_000_000);
     report.live_after_reap = cluster.live_count();
+
+    // Bounded-state audit: one more tick past every eviction grace and
+    // both dedup disciplines must have drained — the coordinator's
+    // outcome index and the shards' expiry tombstones alike. Anything
+    // left would grow without bound in a long-lived cluster.
+    cluster.advance_and_prune(400_000);
+    report.dedup_after_reap = cluster.coordinator.dedup_len();
+    report.tombstones_after_reap = cluster.nodes.iter().map(|n| n.pm.tombstone_count()).sum();
 }
 
 /// Outcome of a cluster crash–restart run.

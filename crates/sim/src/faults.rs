@@ -20,7 +20,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use promises_core::{
-    Catalog, ManualClock, PoolSchema, PromiseJournal, PromiseManager, RecoveryReport,
+    Catalog, CompactionCrash, ManualClock, PoolSchema, PromiseError, PromiseJournal,
+    PromiseManager, RecoveryReport,
 };
 use promises_faults::{FaultInjector, FaultScenario, FaultStats};
 use promises_rm::ResourceManager;
@@ -517,6 +518,123 @@ pub fn run_crash_restart(seed: u64, grants: usize, down_ms: u64) -> CrashRestart
     }
 }
 
+/// Outcome of a compaction crash–restart run.
+#[derive(Debug, Clone)]
+pub struct CompactionCrashReport {
+    /// Digest of recovery over the *uncompacted* journal — the ground
+    /// truth any post-compaction recovery must reproduce byte for byte.
+    pub reference_digest: String,
+    /// Digest of recovery over whatever the (possibly interrupted)
+    /// compaction left behind.
+    pub recovered_digest: String,
+    /// Journal records before compaction ran.
+    pub journal_len_before: usize,
+    /// Journal records the recovery actually replayed.
+    pub journal_len_after: usize,
+    /// True when an armed [`CompactionCrash`] fired mid-compaction.
+    pub interrupted: bool,
+    /// Live promises after recovery.
+    pub live: usize,
+}
+
+impl CompactionCrashReport {
+    /// True when recovery after (interrupted) compaction is
+    /// byte-equivalent to recovery over the full uncompacted history.
+    pub fn state_matches(&self) -> bool {
+        self.reference_digest == self.recovered_digest
+    }
+}
+
+/// Builds real grant/release history through the wire pipeline, snapshots
+/// the uncompacted journal as ground truth, then compacts — optionally
+/// dying at an armed [`CompactionCrash`] point — crashes the manager, and
+/// recovers a fresh one from whatever the journal holds. Whether the
+/// crash fired before the swap (old journal intact) or after it (the
+/// checkpoint is durable), the recovered digest must equal the
+/// uncompacted reference.
+pub fn run_compaction_crash_restart(
+    seed: u64,
+    grants: usize,
+    crash: Option<CompactionCrash>,
+) -> CompactionCrashReport {
+    let h = fault_harness(FaultScenario::quiet(seed), 2, 10_000);
+    let client = RetryingClient::new(Arc::clone(&h.bus), RetryPolicy::new(seed));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut held = Vec::new();
+    for i in 0..grants {
+        let pool = pool_name(rng.random_range(0..2usize));
+        let amount = rng.random_range(1..=4u64);
+        let request_id = format!("r{i}");
+        let envelope = Envelope::new().with_promise_request(PromiseRequestHeader {
+            request_id: request_id.clone(),
+            client: "compact-client".into(),
+            predicates: vec![format!("qty('{pool}') >= {amount}")],
+            duration_ms: 10_000_000,
+            exchange: vec![],
+            negotiate: false,
+            prepare: false,
+        });
+        if let Ok(reply) = client.send(PM_ENDPOINT, &envelope) {
+            if let Some(id) = reply.response_for(&request_id).and_then(|r| r.promise_id) {
+                held.push(id);
+            }
+        }
+    }
+    // Release roughly half the holds so the journal carries dead history
+    // beyond the live set — the records compaction exists to drop.
+    for id in held.iter().step_by(2) {
+        let _ = client.send(PM_ENDPOINT, &Envelope::new().with_release(*id));
+    }
+    let journal_len_before = h.journal.len();
+
+    // Ground truth: a recovery over the full uncompacted history.
+    let reference_journal =
+        Arc::new(PromiseJournal::from_lines(&h.journal.lines()).expect("journal parses"));
+    let reference_pm = PromiseManager::new(
+        Arc::clone(&h.rm),
+        Arc::clone(&h.clock) as Arc<dyn promises_core::Clock>,
+    );
+    reference_pm.register_pool(PoolSchema::quantity(pool_name(0)));
+    reference_pm.register_pool(PoolSchema::quantity(pool_name(1)));
+    reference_pm
+        .recover(reference_journal)
+        .expect("reference recovery succeeds");
+    let reference_digest = reference_pm.state_digest();
+
+    if let Some(point) = crash {
+        h.pm.arm_compaction_crash(point);
+    }
+    let interrupted = match h.pm.compact() {
+        Ok(_) => false,
+        Err(PromiseError::CompactionInterrupted) => true,
+        Err(e) => panic!("unexpected compaction failure: {e}"),
+    };
+    assert_eq!(interrupted, crash.is_some(), "armed crashes must fire");
+
+    // The real crash: only the journal, the RM, and the clock survive.
+    let journal = Arc::clone(&h.journal);
+    let rm = Arc::clone(&h.rm);
+    let clock = Arc::clone(&h.clock);
+    drop(h);
+
+    let pm2 = PromiseManager::new(
+        Arc::clone(&rm),
+        Arc::clone(&clock) as Arc<dyn promises_core::Clock>,
+    );
+    pm2.register_pool(PoolSchema::quantity(pool_name(0)));
+    pm2.register_pool(PoolSchema::quantity(pool_name(1)));
+    pm2.recover(Arc::clone(&journal))
+        .expect("post-compaction recovery succeeds");
+    CompactionCrashReport {
+        reference_digest,
+        recovered_digest: pm2.state_digest(),
+        journal_len_before,
+        journal_len_after: journal.len(),
+        interrupted,
+        live: pm2.live_count(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -596,6 +714,47 @@ mod tests {
         assert!(
             report.pruned_while_down > 0,
             "short grants expired in the gap"
+        );
+        assert!(report.state_matches());
+    }
+
+    #[test]
+    fn compaction_then_crash_recovers_identical_state() {
+        let report = run_compaction_crash_restart(13, 16, None);
+        assert!(!report.interrupted);
+        assert!(
+            report.journal_len_after < report.journal_len_before,
+            "compaction must shrink the journal: {} -> {}",
+            report.journal_len_before,
+            report.journal_len_after
+        );
+        assert!(
+            report.state_matches(),
+            "ref:\n{}\ngot:\n{}",
+            report.reference_digest,
+            report.recovered_digest
+        );
+        assert!(report.live > 0, "live holds survive compaction");
+    }
+
+    #[test]
+    fn crash_before_swap_leaves_old_journal_recoverable() {
+        let report = run_compaction_crash_restart(17, 16, Some(CompactionCrash::BeforeSwap));
+        assert!(report.interrupted);
+        assert_eq!(
+            report.journal_len_after, report.journal_len_before,
+            "the swap never happened: old journal intact"
+        );
+        assert!(report.state_matches());
+    }
+
+    #[test]
+    fn crash_after_swap_recovers_from_the_checkpoint() {
+        let report = run_compaction_crash_restart(19, 16, Some(CompactionCrash::AfterSwap));
+        assert!(report.interrupted);
+        assert!(
+            report.journal_len_after < report.journal_len_before,
+            "the swap was durable before the crash"
         );
         assert!(report.state_matches());
     }

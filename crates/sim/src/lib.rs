@@ -34,8 +34,9 @@ pub use cluster::{
 };
 pub use driver::{run_qty_workload, seed_pools};
 pub use faults::{
-    fault_harness, fault_harness_with, run_crash_restart, run_fault_sweep, run_fault_sweep_with,
-    CrashRestartReport, FaultHarness, FaultRunReport, FaultSweepConfig, PM_ENDPOINT,
+    fault_harness, fault_harness_with, run_compaction_crash_restart, run_crash_restart,
+    run_fault_sweep, run_fault_sweep_with, CompactionCrashReport, CrashRestartReport, FaultHarness,
+    FaultRunReport, FaultSweepConfig, PM_ENDPOINT,
 };
 pub use instances::{
     instance_name, promise_instance_reserver, run_instance_workload, seed_instances,

@@ -183,6 +183,10 @@ pub struct ClusterLifecycleReport {
     /// Traces whose promise-lifecycle spans landed on two or more shards —
     /// the cross-shard transactions the coordinator actually split.
     pub cross_shard_traces: usize,
+    /// Orphan Abort replays the coordinator tolerated (an Abort whose
+    /// Begin was compacted away or double-logged). A no-op, not a
+    /// violation — but surfaced so operators see the count.
+    pub orphan_aborts: usize,
     /// Cross-shard coordination violations (commit/abort exclusivity,
     /// decisions out of order with their prepare).
     pub violations: Vec<String>,
@@ -243,6 +247,18 @@ pub fn audit_cluster_lifecycles(
     }
     let mut by_trace: BTreeMap<u64, CoordTrace> = BTreeMap::new();
     for s in coordinator_spans {
+        // Recovery marks a tolerated orphan-abort replay with a Deduped
+        // CoordAbort span: it decided nothing, so it joins no trace's
+        // commit/abort bookkeeping — but it is counted, not dropped.
+        if s.kind == SpanKind::CoordAbort
+            && s.outcome == SpanOutcome::Deduped
+            && s.note
+                .as_deref()
+                .is_some_and(|n| n.starts_with("orphan-abort"))
+        {
+            report.orphan_aborts += 1;
+            continue;
+        }
         let t = by_trace.entry(s.trace.0).or_default();
         match (s.kind, s.outcome) {
             (SpanKind::CoordPrepare, _) => t.prepares.push(s.clone()),
@@ -452,6 +468,20 @@ mod tests {
         assert!(!r.ok());
         assert!(r.all_violations()[0].starts_with("shard1: "));
         assert_eq!(r.cross_shard_traces, 0, "one shard is not cross-shard");
+    }
+
+    #[test]
+    fn orphan_abort_spans_are_counted_not_flagged() {
+        let mut orphan = traced(SpanKind::CoordAbort, 4, None, 100, SpanOutcome::Deduped);
+        orphan.note = Some("orphan-abort rx".into());
+        let coord = vec![
+            orphan,
+            traced(SpanKind::CoordPrepare, 5, None, 200, SpanOutcome::Ok),
+            traced(SpanKind::CoordCommit, 5, None, 300, SpanOutcome::Ok),
+        ];
+        let r = audit_cluster_lifecycles(&coord, &[]);
+        assert!(r.ok(), "{:?}", r.all_violations());
+        assert_eq!(r.orphan_aborts, 1);
     }
 
     #[test]

@@ -41,8 +41,8 @@ fn json_hist(h: &HistogramSnapshot) -> String {
 
 /// Renders a snapshot as a JSON object:
 /// `{"histograms": {name: {count, sum_ns, mean_ns, p50_ns, p95_ns,
-/// p99_ns, max_ns}}, "counters": {name: value}, "spans": {recorded,
-/// dropped}}`.
+/// p99_ns, max_ns}}, "counters": {name: value}, "gauges": {name: value},
+/// "spans": {recorded, dropped}}`.
 pub fn to_json(snap: &TelemetrySnapshot) -> String {
     let hists: Vec<String> = snap
         .histograms
@@ -54,10 +54,16 @@ pub fn to_json(snap: &TelemetrySnapshot) -> String {
         .iter()
         .map(|(k, v)| format!("\"{}\":{}", json_escape(k), v))
         .collect();
+    let gauges: Vec<String> = snap
+        .gauges
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{}", json_escape(k), v))
+        .collect();
     format!(
-        "{{\"histograms\":{{{}}},\"counters\":{{{}}},\"spans\":{{\"recorded\":{},\"dropped\":{}}}}}",
+        "{{\"histograms\":{{{}}},\"counters\":{{{}}},\"gauges\":{{{}}},\"spans\":{{\"recorded\":{},\"dropped\":{}}}}}",
         hists.join(","),
         counters.join(","),
+        gauges.join(","),
         snap.spans_recorded,
         snap.spans_dropped,
     )
@@ -108,6 +114,16 @@ pub fn to_prometheus(snap: &TelemetrySnapshot) -> String {
             prom_escape(name)
         ));
     }
+    if !snap.gauges.is_empty() {
+        out.push_str("# HELP promises_level Last-value-wins level gauges.\n");
+        out.push_str("# TYPE promises_level gauge\n");
+        for (name, v) in &snap.gauges {
+            out.push_str(&format!(
+                "promises_level{{name=\"{}\"}} {v}\n",
+                prom_escape(name)
+            ));
+        }
+    }
     out.push_str(&format!(
         "# HELP promises_spans_recorded_total Spans pushed into the ring.\n# TYPE promises_spans_recorded_total counter\npromises_spans_recorded_total {}\n",
         snap.spans_recorded
@@ -129,6 +145,7 @@ mod tests {
         tel.record_ns("bus.deliver", 1_000);
         tel.record_ns("bus.deliver", 4_000);
         tel.incr("pm.reject.overloaded");
+        tel.set_gauge("pm.journal.records", 12);
         tel.snapshot()
     }
 
@@ -139,6 +156,7 @@ mod tests {
         assert!(j.contains("\"bus.deliver\""));
         assert!(j.contains("\"count\":2"));
         assert!(j.contains("\"pm.reject.overloaded\":1"));
+        assert!(j.contains("\"gauges\":{\"pm.journal.records\":12}"));
         assert!(j.contains("\"p99_ns\":"));
         // Balanced braces (no stray quoting bugs).
         let opens = j.matches('{').count();
@@ -158,6 +176,7 @@ mod tests {
         assert!(p.contains("promises_latency_ns{stage=\"bus.deliver\",quantile=\"0.99\"}"));
         assert!(p.contains("promises_latency_ns_count{stage=\"bus.deliver\"} 2"));
         assert!(p.contains("promises_events_total{name=\"pm.reject.overloaded\"} 1"));
+        assert!(p.contains("promises_level{name=\"pm.journal.records\"} 12"));
         assert!(p.ends_with('\n'));
     }
 }

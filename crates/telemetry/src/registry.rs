@@ -29,6 +29,7 @@ pub struct Telemetry {
     ring: SpanRing,
     hists: RwLock<BTreeMap<String, Arc<Histogram>>>,
     counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
     next_trace: AtomicU64,
     next_span: AtomicU64,
 }
@@ -62,6 +63,7 @@ impl Telemetry {
             ring: SpanRing::new(capacity),
             hists: RwLock::new(BTreeMap::new()),
             counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
             next_trace: AtomicU64::new(1),
             next_span: AtomicU64::new(1),
         }
@@ -133,6 +135,25 @@ impl Telemetry {
         self.add(name, 1);
     }
 
+    /// Get-or-create the named gauge — a last-value-wins level (journal
+    /// length, live-promise count), unlike the monotone counters.
+    pub fn gauge(&self, name: &str) -> Arc<AtomicU64> {
+        if let Some(g) = self.gauges.read().get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(
+            self.gauges
+                .write()
+                .entry(name.to_owned())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    /// Stores `value` into the named gauge.
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        self.gauge(name).store(value, Ordering::Relaxed);
+    }
+
     /// Adds `n` to the named counter.
     pub fn add(&self, name: &str, n: u64) {
         self.counter(name).fetch_add(n, Ordering::Relaxed);
@@ -196,9 +217,16 @@ impl Telemetry {
             .iter()
             .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
             .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
         TelemetrySnapshot {
             histograms,
             counters,
+            gauges,
             spans_recorded: self.ring.recorded(),
             spans_dropped: self.ring.dropped(),
         }
@@ -280,6 +308,8 @@ pub struct TelemetrySnapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
     /// Counters by name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauges (last-value-wins levels) by name.
+    pub gauges: BTreeMap<String, u64>,
     /// Total spans pushed over the ring's lifetime.
     pub spans_recorded: u64,
     /// Spans overwritten by newer ones.
@@ -297,6 +327,11 @@ impl TelemetrySnapshot {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Gauge value by name (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
     /// Folds `other`'s metrics into this snapshot under `label.`-prefixed
     /// names (`shard1.pm.grant`, …). A cluster harness snapshots each
     /// shard's private registry and absorbs them all into one snapshot
@@ -307,6 +342,9 @@ impl TelemetrySnapshot {
         }
         for (k, v) in &other.counters {
             self.counters.insert(format!("{label}.{k}"), *v);
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(format!("{label}.{k}"), *v);
         }
         self.spans_recorded += other.spans_recorded;
         self.spans_dropped += other.spans_dropped;
@@ -340,6 +378,19 @@ mod tests {
         assert_eq!(snap.counter("hits"), 3);
         assert_eq!(snap.counter("missing"), 0);
         assert!(snap.empty_histograms().is_empty());
+    }
+
+    #[test]
+    fn gauges_are_last_value_wins_and_absorb_with_prefix() {
+        let tel = Telemetry::new();
+        tel.set_gauge("pm.journal.records", 40);
+        tel.set_gauge("pm.journal.records", 7);
+        let snap = tel.snapshot();
+        assert_eq!(snap.gauge("pm.journal.records"), 7);
+        assert_eq!(snap.gauge("missing"), 0);
+        let mut merged = TelemetrySnapshot::default();
+        merged.absorb_prefixed("shard0", &snap);
+        assert_eq!(merged.gauge("shard0.pm.journal.records"), 7);
     }
 
     #[test]

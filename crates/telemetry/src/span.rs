@@ -53,6 +53,8 @@ pub enum SpanKind {
     PmRelease,
     /// A promise reaped after expiry.
     PmExpire,
+    /// A journal compaction: live state checkpointed, history dropped.
+    PmCompact,
     /// One RM transaction from begin to commit.
     RmTxn,
     /// One RM transaction abort, replaying the undo log.
@@ -69,7 +71,7 @@ pub enum SpanKind {
 
 impl SpanKind {
     /// Every kind, in taxonomy order (exporters iterate this).
-    pub const ALL: [SpanKind; 13] = [
+    pub const ALL: [SpanKind; 14] = [
         SpanKind::ClientSend,
         SpanKind::ClientAttempt,
         SpanKind::BusDeliver,
@@ -78,6 +80,7 @@ impl SpanKind {
         SpanKind::PmExecute,
         SpanKind::PmRelease,
         SpanKind::PmExpire,
+        SpanKind::PmCompact,
         SpanKind::RmTxn,
         SpanKind::RmUndo,
         SpanKind::CoordPrepare,
@@ -96,6 +99,7 @@ impl SpanKind {
             SpanKind::PmExecute => "pm.execute",
             SpanKind::PmRelease => "pm.release",
             SpanKind::PmExpire => "pm.expire",
+            SpanKind::PmCompact => "pm.compact",
             SpanKind::RmTxn => "rm.txn",
             SpanKind::RmUndo => "rm.undo",
             SpanKind::CoordPrepare => "coord.prepare",

@@ -33,6 +33,16 @@ cargo test -q -p promises-cluster
 echo "==> cluster smoke (seeds 2007 31337 90210)"
 cargo run --release -q -p promises-bench --bin experiments -- --cluster 2007 31337 90210
 
+# Recovery suite: the E14 checkpoint/compaction benchmark (compacted
+# recovery must be >=5x faster than full-history replay, with
+# byte-identical state digests) and the crash/compact sweep under three
+# fixed seeds (compaction killed before/after the journal swap must
+# still recover the uncompacted reference digest; see DESIGN.md §14).
+# Writes BENCH_recovery.json and fails on any digest mismatch or
+# recovery-time regression.
+echo "==> recovery smoke (seeds 2007 31337 90210)"
+cargo run --release -q -p promises-bench --bin experiments -- --recovery 2007 31337 90210
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
