@@ -10,7 +10,10 @@
 //! violation; `--recovery` runs the E14 checkpoint/compaction recovery
 //! benchmark and the crash/compact sweep, dumps `BENCH_recovery.json`,
 //! and exits non-zero on a digest mismatch or a recovery-time
-//! regression).
+//! regression; `--cluster` runs the E13 scaling table plus cluster fault
+//! sweeps, dumping `BENCH_cluster.json`; `--leases` runs the E15
+//! lease-locality table plus per-seed lease sweeps with a mid-rebalance
+//! crash, dumping `BENCH_leases.json`).
 
 use std::env;
 use std::time::Duration;
@@ -221,6 +224,175 @@ fn cluster_mode(seeds: &[u64]) {
         std::process::exit(1);
     }
     println!("cluster: all checks passed");
+}
+
+/// E15 lease mode: the Zipf-skew locality table with and without
+/// per-shard escrow leases (gated at 8 shards on the hot-pool local-grant
+/// ratio and the throughput uplift over the lease-less baseline), then a
+/// per-seed lease sweep with a mid-rebalance crash and per-shard
+/// crash–restart (gated on zero lease oversells, zero lease-sum
+/// violations, digest equality across restart, heal back to the pool
+/// total, zero leaks, and a minimum local-grant ratio). Writes
+/// `BENCH_leases.json` and exits non-zero if any gate fails.
+fn leases_mode(seeds: &[u64]) {
+    const SHARD_COUNTS: [usize; 3] = [2, 4, 8];
+    const MIN_HOT_LOCAL_RATIO: f64 = 0.9;
+    const MIN_UPLIFT_8: f64 = 1.2;
+    const MIN_SWEEP_LOCAL_RATIO: f64 = 0.5;
+    let mut failures = 0usize;
+
+    let mut table_rows = Vec::new();
+    let mut row_json = Vec::new();
+    let mut by_key = std::collections::HashMap::new();
+    for shards in SHARD_COUNTS {
+        for leases in [false, true] {
+            let row = exp::e15_lease_locality(shards, 8, 240, leases);
+            table_rows.push(vec![
+                shards.to_string(),
+                if leases { "leases" } else { "ownership" }.into(),
+                f(row.throughput, 0),
+                row.granted.to_string(),
+                row.rejected.to_string(),
+                row.local_grants.to_string(),
+                row.coordinator_fallbacks.to_string(),
+                f(row.hot_local_ratio * 100.0, 1),
+            ]);
+            row_json.push(format!(
+                "{{\"shards\":{},\"leases\":{},\"ops_per_s\":{:.1},\"granted\":{},\
+                 \"rejected\":{},\"local_grants\":{},\"coordinator_fallbacks\":{},\
+                 \"hot_local_ratio\":{:.4}}}",
+                row.shards,
+                row.leases,
+                row.throughput,
+                row.granted,
+                row.rejected,
+                row.local_grants,
+                row.coordinator_fallbacks,
+                row.hot_local_ratio,
+            ));
+            by_key.insert((shards, leases), row);
+        }
+    }
+    print_table(
+        &format!(
+            "E15 — Zipf-skew (s=1.1, {} pools) throughput and hot-pool locality, \
+             with vs without escrow leases ({}us modeled service time per message)",
+            exp::E15_POOLS,
+            exp::E13_SERVICE_US
+        ),
+        &[
+            "shards",
+            "routing",
+            "ops/s",
+            "granted",
+            "rejected",
+            "local",
+            "fallback",
+            "hot local %",
+        ],
+        &table_rows,
+    );
+    let with = by_key[&(8usize, true)];
+    let without = by_key[&(8usize, false)];
+    let uplift = with.throughput / without.throughput.max(1e-9);
+    println!(
+        "8-shard uplift over ownership routing: {uplift:.2}x (gate: >= {MIN_UPLIFT_8}x); \
+         hot-pool local ratio: {:.1}% (gate: >= {:.0}%)",
+        with.hot_local_ratio * 100.0,
+        MIN_HOT_LOCAL_RATIO * 100.0
+    );
+    if with.hot_local_ratio < MIN_HOT_LOCAL_RATIO {
+        eprintln!(
+            "leases: hot-pool locality gate FAILED ({:.3} < {MIN_HOT_LOCAL_RATIO})",
+            with.hot_local_ratio
+        );
+        failures += 1;
+    }
+    if uplift < MIN_UPLIFT_8 {
+        eprintln!("leases: throughput uplift gate FAILED ({uplift:.2}x < {MIN_UPLIFT_8}x)");
+        failures += 1;
+    }
+
+    let mut sweep_json = Vec::new();
+    for &seed in seeds {
+        let cfg = promises_sim::ClusterSweepConfig {
+            shards: 4,
+            clients: 8,
+            ops_per_client: 48,
+            pools: 8,
+            cross_shard_probability: 0.25,
+            seed,
+            ..promises_sim::ClusterSweepConfig::default()
+        };
+        let (r, _cluster) = promises_sim::run_lease_sweep(&cfg);
+        let ok = r.clean() && r.crash_fired && r.local_ratio() >= MIN_SWEEP_LOCAL_RATIO;
+        println!(
+            "lease-sweep seed={seed}: granted={} rejected={} local={} fallback={} \
+             log_skips={} moved={} | oversells={} sum_violations={} crash_fired={} \
+             healed={} digests_match={} sum_restored={} leaked={} local_ratio={:.2} -> {}",
+            r.granted,
+            r.rejected,
+            r.local_grants,
+            r.coordinator_fallbacks,
+            r.coord_log_skips,
+            r.rebalance_moved,
+            r.lease_oversells,
+            r.lease_sum_violations,
+            r.crash_fired,
+            r.healed_after_crash,
+            r.digests_match(),
+            r.lease_sum_restored,
+            r.live_after_reap,
+            r.local_ratio(),
+            if ok { "OK" } else { "FAIL" }
+        );
+        if !ok {
+            failures += 1;
+        }
+        sweep_json.push(format!(
+            "{{\"seed\":{seed},\"granted\":{},\"rejected\":{},\"local_grants\":{},\
+             \"coordinator_fallbacks\":{},\"coord_log_skips\":{},\"rebalance_moved\":{},\
+             \"lease_oversells\":{},\"lease_sum_violations\":{},\"crash_fired\":{},\
+             \"healed_after_crash\":{},\"digests_match\":{},\"lease_sum_restored\":{},\
+             \"leaked\":{},\"local_ratio\":{:.4}}}",
+            r.granted,
+            r.rejected,
+            r.local_grants,
+            r.coordinator_fallbacks,
+            r.coord_log_skips,
+            r.rebalance_moved,
+            r.lease_oversells,
+            r.lease_sum_violations,
+            r.crash_fired,
+            r.healed_after_crash,
+            r.digests_match(),
+            r.lease_sum_restored,
+            r.live_after_reap,
+            r.local_ratio(),
+        ));
+    }
+
+    let json = format!(
+        "{{\"experiment\":\"e15-leases\",\"service_time_us\":{},\
+         \"rows\":[{}],\"uplift_8_shards\":{uplift:.3},\
+         \"hot_local_ratio_8_shards\":{:.4},\
+         \"gates\":{{\"min_hot_local_ratio\":{MIN_HOT_LOCAL_RATIO},\
+         \"min_uplift\":{MIN_UPLIFT_8},\
+         \"min_sweep_local_ratio\":{MIN_SWEEP_LOCAL_RATIO}}},\"sweeps\":[{}]}}\n",
+        exp::E13_SERVICE_US,
+        row_json.join(","),
+        with.hot_local_ratio,
+        sweep_json.join(","),
+    );
+    let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_leases.json");
+    std::fs::write(json_path, json).expect("write BENCH_leases.json");
+    println!("\nwrote BENCH_leases.json");
+
+    if failures > 0 {
+        eprintln!("leases: {failures} check(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("leases: all checks passed");
 }
 
 /// E14 recovery mode: times a cold restart from the full append-only
@@ -512,6 +684,15 @@ fn main() {
     if args.iter().any(|a| a == "--cluster") {
         let seeds: Vec<u64> = args.iter().filter_map(|a| a.parse().ok()).collect();
         cluster_mode(if seeds.is_empty() {
+            &[2007, 31337, 90210]
+        } else {
+            &seeds
+        });
+        return;
+    }
+    if args.iter().any(|a| a == "--leases") {
+        let seeds: Vec<u64> = args.iter().filter_map(|a| a.parse().ok()).collect();
+        leases_mode(if seeds.is_empty() {
             &[2007, 31337, 90210]
         } else {
             &seeds

@@ -300,6 +300,7 @@ pub fn e4_config(clients: usize, ops: usize) -> WorkloadConfig {
         ops_per_client: ops,
         pools: 4,
         hotspot_probability: 0.7,
+        zipf_exponent: 0.0,
         amount_max: 3,
         think: Duration::from_millis(2),
         abandon_probability: 0.1,
@@ -318,6 +319,7 @@ pub fn e4_disjoint_config(clients: usize, ops: usize) -> WorkloadConfig {
         ops_per_client: ops,
         pools: clients,
         hotspot_probability: 0.0,
+        zipf_exponent: 0.0,
         amount_max: 2,
         think: Duration::ZERO,
         abandon_probability: 0.0,
@@ -416,6 +418,7 @@ pub fn e5_config(clients: usize, ops: usize) -> WorkloadConfig {
         ops_per_client: ops,
         pools: 3,
         hotspot_probability: 0.3,
+        zipf_exponent: 0.0,
         amount_max: 2,
         think: Duration::from_millis(1),
         abandon_probability: 0.0,
@@ -432,6 +435,7 @@ pub fn e6_config(clients: usize, ops: usize) -> WorkloadConfig {
         ops_per_client: ops,
         pools: 1,
         hotspot_probability: 1.0,
+        zipf_exponent: 0.0,
         amount_max: 4,
         think: Duration::from_millis(2),
         abandon_probability: 0.0,
@@ -1080,6 +1084,168 @@ pub fn e14_recovery(cycles: usize, live: usize, iters: usize) -> E14Row {
     }
 }
 
+// ======================================================================
+// E15 — lease locality: hot-pool grants without the coordinator
+// ======================================================================
+
+/// One E15 row: the Zipf-skewed workload on a cluster with or without
+/// per-shard escrow leases, measured after a rebalance warm-up.
+#[derive(Debug, Clone, Copy)]
+pub struct E15Row {
+    /// Cluster size.
+    pub shards: usize,
+    /// Whether escrow leases were enabled.
+    pub leases: bool,
+    /// Grant(+release) operations per wall-clock second, measure phase.
+    pub throughput: f64,
+    /// Unit grants confirmed in the measure phase.
+    pub granted: u64,
+    /// Unit rejections in the measure phase.
+    pub rejected: u64,
+    /// Measure-phase grants served by the client's home-shard lease.
+    pub local_grants: u64,
+    /// Measure-phase grants that fell back to the ownership path.
+    pub coordinator_fallbacks: u64,
+    /// Measure-phase fraction of *hot-pool* grants (the top Zipf ranks)
+    /// served locally: `local / (local + fallback)` over those pools.
+    pub hot_local_ratio: f64,
+}
+
+/// Pools in the E15 workload; the top [`E15_HOT_POOLS`] Zipf ranks carry
+/// most of the mass (s = 1.1 puts ~45% on the first three ranks).
+pub const E15_POOLS: usize = 16;
+/// How many head ranks count as "hot" for the locality ratio.
+pub const E15_HOT_POOLS: usize = 3;
+
+/// E15: the flash-sale shape E13 can't serve — a Zipf-skewed pool mix
+/// where every client hammers the same few hot pools. Without leases
+/// every hot-pool grant funnels through the owner shard's single-threaded
+/// server loop; with leases each client's home shard serves its slice of
+/// the hot pool from a local escrow lease, so the same offered load
+/// spreads over all `shards` loops. Clients are pinned home shards
+/// round-robin, the first half of each stream is warm-up (two rebalance
+/// cycles chase the observed demand), and throughput plus the locality
+/// counters are measured over the second half only.
+pub fn e15_lease_locality(
+    shards: usize,
+    clients: usize,
+    ops_per_client: usize,
+    leases: bool,
+) -> E15Row {
+    use promises_cluster::{ClusterDecision, PromiseCluster};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let cluster = PromiseCluster::build(shards, 2015);
+    if leases {
+        let dir = cluster.enable_leases();
+        for c in 0..clients {
+            dir.pin_home(&format!("client-{c}"), c % shards.max(1));
+        }
+    }
+    for p in 0..E15_POOLS {
+        cluster.register_quantity_pool(&pool_name(p), 1_000_000);
+    }
+    cluster.set_service_time_us(E13_SERVICE_US);
+
+    let workload = WorkloadConfig {
+        clients,
+        ops_per_client,
+        pools: E15_POOLS,
+        zipf_exponent: 1.1,
+        amount_max: 3,
+        seed: 2015,
+        ..WorkloadConfig::default()
+    };
+    let streams: Vec<_> = (0..clients).map(|c| workload.ops_for_client(c)).collect();
+
+    // Drives every client through `range` of its op stream concurrently.
+    let drive = |range: std::ops::Range<usize>, granted: &AtomicU64, rejected: &AtomicU64| {
+        std::thread::scope(|scope| {
+            for (c, stream) in streams.iter().enumerate() {
+                let cluster = &cluster;
+                let range = range.clone();
+                scope.spawn(move || {
+                    for i in range {
+                        let op = &stream[i];
+                        let predicates = vec![format!(
+                            "qty('{}') >= {}",
+                            pool_name(op.pools[0]),
+                            op.amount
+                        )];
+                        let decision = cluster
+                            .coordinator
+                            .grant(
+                                &format!("client-{c}"),
+                                &format!("e15-{c}-{i}"),
+                                &predicates,
+                                3_600_000,
+                            )
+                            .expect("quiet bus cannot fail");
+                        match decision {
+                            ClusterDecision::Granted { parts } => {
+                                granted.fetch_add(1, Ordering::Relaxed);
+                                if !op.abandon {
+                                    cluster.coordinator.release(&parts);
+                                }
+                            }
+                            ClusterDecision::Rejected { .. } => {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    };
+
+    // Warm-up: half the stream, with a rebalance cycle after each quarter
+    // so lease headroom has chased the Zipf head before we measure.
+    let warmup = ops_per_client / 2;
+    let sink = (AtomicU64::new(0), AtomicU64::new(0));
+    drive(0..warmup / 2, &sink.0, &sink.1);
+    cluster.advance_and_prune(10_000);
+    drive(warmup / 2..warmup, &sink.0, &sink.1);
+    cluster.advance_and_prune(10_000);
+
+    let counter = |name: &str| cluster.telemetry.counter(name).load(Ordering::Relaxed);
+    let hot_pools: Vec<String> = (0..E15_HOT_POOLS).map(pool_name).collect();
+    let snap_hot = |kind: &str| -> u64 {
+        hot_pools
+            .iter()
+            .map(|p| counter(&format!("cluster.lease.{kind}.{p}")))
+            .sum()
+    };
+    let local_before = counter("cluster.lease.local_grants");
+    let fallback_before = counter("cluster.lease.coordinator_fallbacks");
+    let hot_local_before = snap_hot("local");
+    let hot_fallback_before = snap_hot("fallback");
+
+    // Measure phase.
+    let granted = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let start = Instant::now();
+    drive(warmup..ops_per_client, &granted, &rejected);
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+
+    let hot_local = snap_hot("local") - hot_local_before;
+    let hot_fallback = snap_hot("fallback") - hot_fallback_before;
+    let hot_routed = hot_local + hot_fallback;
+    E15Row {
+        shards,
+        leases,
+        throughput: (clients * (ops_per_client - warmup)) as f64 / wall,
+        granted: granted.into_inner(),
+        rejected: rejected.into_inner(),
+        local_grants: counter("cluster.lease.local_grants") - local_before,
+        coordinator_fallbacks: counter("cluster.lease.coordinator_fallbacks") - fallback_before,
+        hot_local_ratio: if hot_routed == 0 {
+            0.0
+        } else {
+            hot_local as f64 / hot_routed as f64
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1217,5 +1383,19 @@ mod tests {
             row.live
         );
         assert!(row.uncompacted_us > 0.0 && row.compacted_us > 0.0);
+    }
+
+    #[test]
+    fn e15_leases_localise_the_hot_pools() {
+        let with = e15_lease_locality(4, 4, 48, true);
+        assert!(with.granted > 0);
+        assert!(with.local_grants > 0, "{with:?}");
+        assert!(
+            with.hot_local_ratio > 0.8,
+            "hot-pool locality after warm-up: {with:?}"
+        );
+        let without = e15_lease_locality(4, 4, 48, false);
+        assert_eq!(without.local_grants, 0, "no lease path without leases");
+        assert_eq!(without.hot_local_ratio, 0.0);
     }
 }

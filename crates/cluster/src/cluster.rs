@@ -11,9 +11,23 @@ use promises_telemetry::{ShardEvidence, Telemetry, TelemetrySnapshot};
 use promises_wire::{InMemoryBus, RetryPolicy, RetryingClient};
 
 use crate::coordinator::Coordinator;
+use crate::lease::LeaseDirectory;
 use crate::log::CoordinatorLog;
 use crate::router::ShardMap;
 use crate::shard::ShardNode;
+
+/// What one [`PromiseCluster::rebalance_leases`] cycle did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeaseRebalance {
+    /// Lease units moved between shards this cycle.
+    pub moved: u64,
+    /// Units found missing from the cluster-wide lease sum (stranded by a
+    /// crash between a withdraw and its deposit) and re-credited.
+    pub healed: u64,
+    /// True when an armed mid-rebalance crash fired: withdraws landed,
+    /// deposits did not — the stranded headroom heals next cycle.
+    pub crashed: bool,
+}
 
 /// A running promise-manager cluster.
 pub struct PromiseCluster {
@@ -32,6 +46,15 @@ pub struct PromiseCluster {
     /// Registered pools: `(name, seeded qty, owning shard)` — kept so a
     /// crashed shard can re-register its schemas on restart.
     pools: Mutex<Vec<(String, u64, usize)>>,
+    /// The advisory lease directory when [`PromiseCluster::enable_leases`]
+    /// has been called; `None` keeps the pre-lease ownership routing.
+    leases: Mutex<Option<Arc<LeaseDirectory>>>,
+    /// Serialises rebalance cycles (the sweep driver and a test may both
+    /// call [`PromiseCluster::advance_and_prune`]); grants never take it.
+    rebalance_gate: Mutex<()>,
+    /// Armed crash for the next rebalance cycle: fire after the withdraw
+    /// pass of the first rebalanced pool, before any deposit.
+    rebalance_crash: Mutex<bool>,
 }
 
 impl PromiseCluster {
@@ -66,14 +89,50 @@ impl PromiseCluster {
             clock,
             telemetry,
             pools: Mutex::new(Vec::new()),
+            leases: Mutex::new(None),
+            rebalance_gate: Mutex::new(()),
+            rebalance_crash: Mutex::new(false),
         }
     }
 
+    /// Switches the cluster to per-shard escrow leases: every subsequently
+    /// registered quantity pool is hosted on *every* shard (the owner
+    /// starts with the full quantity as its lease, the rest with zero),
+    /// the coordinator routes covered grants to the requesting client's
+    /// home shard, and [`PromiseCluster::advance_and_prune`] drives the
+    /// demand-driven rebalancer. Must be called before any pool is
+    /// registered. Returns the directory so callers can pin home shards.
+    pub fn enable_leases(&self) -> Arc<LeaseDirectory> {
+        assert!(
+            self.pools.lock().is_empty(),
+            "enable_leases must run before pools are registered"
+        );
+        let dir = Arc::new(LeaseDirectory::new(self.nodes.len()));
+        *self.leases.lock() = Some(Arc::clone(&dir));
+        self.coordinator.set_lease_directory(Some(Arc::clone(&dir)));
+        dir
+    }
+
+    /// The lease directory, when leases are enabled.
+    pub fn lease_directory(&self) -> Option<Arc<LeaseDirectory>> {
+        self.leases.lock().clone()
+    }
+
     /// Registers and seeds a quantity pool, assigning it to a shard
-    /// round-robin (deterministic in registration order).
+    /// round-robin (deterministic in registration order). With leases
+    /// enabled the pool is additionally hosted on every other shard with a
+    /// zero lease, so rebalancing can move headroom anywhere.
     pub fn register_quantity_pool(&self, name: &str, qty: u64) -> usize {
         let shard = self.map.assign_round_robin(name);
-        self.nodes[shard].host_pool(name, qty);
+        if let Some(dir) = self.leases.lock().clone() {
+            for node in &self.nodes {
+                let lease = if node.index == shard { qty } else { 0 };
+                node.host_leased_pool(name, lease);
+                dir.set_headroom(name, node.index, lease);
+            }
+        } else {
+            self.nodes[shard].host_pool(name, qty);
+        }
         self.pools.lock().push((name.to_owned(), qty, shard));
         shard
     }
@@ -91,14 +150,21 @@ impl PromiseCluster {
         }
     }
 
-    /// Pool names hosted by shard `index`.
+    /// Pool names hosted by shard `index`: with leases every shard hosts
+    /// every pool; otherwise only the pools it owns.
     pub fn pools_on(&self, index: usize) -> Vec<String> {
+        let leased = self.leases.lock().is_some();
         self.pools
             .lock()
             .iter()
-            .filter(|(_, _, s)| *s == index)
+            .filter(|(_, _, s)| leased || *s == index)
             .map(|(n, _, _)| n.clone())
             .collect()
+    }
+
+    /// Registered pools as `(name, seeded qty, owning shard)`.
+    pub fn registered_pools(&self) -> Vec<(String, u64, usize)> {
+        self.pools.lock().clone()
     }
 
     /// Kills shard `index` (its in-memory promise table dies) and rebuilds
@@ -116,15 +182,136 @@ impl PromiseCluster {
 
     /// Advances the shared clock and prunes expiry on every shard. This is
     /// the sim-side analogue of the background reaper cadence, so it also
-    /// gives each shard its journal-compaction opportunity and sweeps the
-    /// coordinator's dedup index (both bounded-state disciplines).
+    /// gives each shard its journal-compaction opportunity, runs a lease
+    /// rebalance cycle when leases are enabled, and sweeps the
+    /// coordinator's dedup index (all bounded-state disciplines).
     pub fn advance_and_prune(&self, ms: u64) {
         self.clock.advance(ms);
         for node in &self.nodes {
             let _ = node.pm.prune_expired();
             let _ = node.pm.maybe_compact();
         }
+        self.rebalance_leases();
         self.coordinator.sweep_dedup();
+    }
+
+    /// Arms a crash for the next rebalance cycle: it stops after the
+    /// withdraw pass of the first pool it processes, before any deposit —
+    /// the worst interleaving for the lease-sum invariant.
+    pub fn arm_rebalance_crash(&self) {
+        *self.rebalance_crash.lock() = true;
+    }
+
+    /// One demand-driven rebalance cycle (no-op without leases): for each
+    /// pool, re-credit any headroom stranded by a mid-rebalance crash,
+    /// then move unpromised lease headroom toward the demand observed
+    /// since the last cycle, withdraw-before-deposit so the lease sum can
+    /// transiently shrink but never exceed the pool total. Refreshes the
+    /// directory's headroom estimates and the per-pool headroom gauges.
+    pub fn rebalance_leases(&self) -> Option<LeaseRebalance> {
+        let dir = self.leases.lock().clone()?;
+        let _serial = self.rebalance_gate.lock();
+        let pools = self.pools.lock().clone();
+        let mut report = LeaseRebalance::default();
+        for (pool, total, owner) in &pools {
+            // Heal first: any units missing from the authoritative lease
+            // sum were stranded between a withdraw and its deposit. Credit
+            // them to the busiest shard (the owner when demand is quiet).
+            let demand: Vec<u64> = dir.take_demand(pool);
+            let lease_sum: u64 = self
+                .nodes
+                .iter()
+                .map(|n| n.pm.lease_of(pool.as_str()).unwrap_or(0))
+                .sum();
+            let missing = total.saturating_sub(lease_sum);
+            if missing > 0 {
+                let busiest = demand
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, d)| **d)
+                    .filter(|(_, d)| **d > 0)
+                    .map(|(i, _)| i)
+                    .unwrap_or(*owner);
+                let _ = self.nodes[busiest].pm.lease_deposit(pool.as_str(), missing);
+                report.healed += missing;
+            }
+
+            let total_demand: u64 = demand.iter().sum();
+            if total_demand > 0 {
+                // Target: split the pool's *unpromised* headroom across
+                // shards in proportion to observed demand.
+                let headroom: Vec<u64> = self
+                    .nodes
+                    .iter()
+                    .map(|n| n.pm.lease_headroom(pool.as_str()))
+                    .collect();
+                let pool_headroom: u64 = headroom.iter().sum();
+                let mut desired: Vec<u64> = demand
+                    .iter()
+                    .map(|d| {
+                        ((u128::from(pool_headroom) * u128::from(*d)) / u128::from(total_demand))
+                            as u64
+                    })
+                    .collect();
+                // Integer-division remainder goes to the busiest shard.
+                let assigned: u64 = desired.iter().sum();
+                if let Some((busiest, _)) = demand.iter().enumerate().max_by_key(|(_, d)| **d) {
+                    desired[busiest] += pool_headroom - assigned;
+                }
+                // Withdraw surpluses into a pot...
+                let mut pot = 0u64;
+                for (i, node) in self.nodes.iter().enumerate() {
+                    if headroom[i] > desired[i] {
+                        let moved = node
+                            .pm
+                            .lease_withdraw(pool.as_str(), headroom[i] - desired[i])
+                            .unwrap_or(0);
+                        pot += moved;
+                        report.moved += moved;
+                    }
+                }
+                if std::mem::take(&mut *self.rebalance_crash.lock()) {
+                    // Modeled control-plane death between the donors' and
+                    // the receivers' journal appends: `pot` is stranded —
+                    // the lease sum shrank, which is the safe direction —
+                    // until the next cycle's heal re-credits it.
+                    report.crashed = true;
+                    self.telemetry.incr("cluster.lease.rebalance_crashes");
+                    return Some(report);
+                }
+                // ...then deposit them toward the deficits.
+                for (i, node) in self.nodes.iter().enumerate() {
+                    if pot == 0 {
+                        break;
+                    }
+                    if headroom[i] < desired[i] {
+                        let give = pot.min(desired[i] - headroom[i]);
+                        if node.pm.lease_deposit(pool.as_str(), give).is_ok() {
+                            pot -= give;
+                        }
+                    }
+                }
+                if pot > 0 {
+                    let _ = self.nodes[*owner].pm.lease_deposit(pool.as_str(), pot);
+                }
+            }
+
+            // Refresh the advisory directory and the observability gauge
+            // from the authoritative per-shard state.
+            let mut pool_headroom = 0u64;
+            for node in &self.nodes {
+                let h = node.pm.lease_headroom(pool.as_str());
+                dir.set_headroom(pool, node.index, h);
+                pool_headroom += h;
+            }
+            self.telemetry
+                .set_gauge(&format!("cluster.lease.headroom.{pool}"), pool_headroom);
+        }
+        if report.moved > 0 {
+            self.telemetry
+                .add("cluster.lease.rebalance_moved", report.moved);
+        }
+        Some(report)
     }
 
     /// One merged metrics snapshot: the coordinator registry's series

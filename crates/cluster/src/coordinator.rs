@@ -27,15 +27,16 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
-use promises_core::{parse_predicate, Clock};
+use promises_core::{parse_predicate, Clock, Predicate};
 use promises_telemetry::{push_trace, SpanKind, SpanOutcome, Telemetry, TraceContext};
 use promises_wire::{
     BusError, Envelope, PromiseRequestHeader, PromiseResult, ResolutionOp, ResolveRef,
     RetryingClient,
 };
 
+use crate::lease::LeaseDirectory;
 use crate::log::{CoordRecord, CoordinatorLog, LogCompaction, TxnId};
 use crate::router::{shard_endpoint, ShardMap};
 
@@ -152,6 +153,12 @@ pub struct Coordinator {
     /// the next [`Coordinator::recover`] repopulates it from resend acks.
     resolved: Mutex<HashSet<TxnId>>,
     crash_point: Mutex<Option<CrashPoint>>,
+    /// Advisory lease directory (see [`LeaseDirectory`]). When installed,
+    /// an all-quantity grant covered by the requesting client's home-shard
+    /// lease headroom is routed there as one local grant — no coordinator
+    /// log record, no 2PC — falling back to the ownership path when the
+    /// lease cannot cover it.
+    leases: RwLock<Option<Arc<LeaseDirectory>>>,
 }
 
 impl Coordinator {
@@ -172,7 +179,14 @@ impl Coordinator {
             dedup: Mutex::new(HashMap::new()),
             resolved: Mutex::new(HashSet::new()),
             crash_point: Mutex::new(None),
+            leases: RwLock::new(None),
         }
+    }
+
+    /// Installs (or removes) the advisory lease directory, switching the
+    /// lease-local grant route on (or off).
+    pub fn set_lease_directory(&self, directory: Option<Arc<LeaseDirectory>>) {
+        *self.leases.write() = directory;
     }
 
     /// Builder: attaches a telemetry registry; grants then record
@@ -223,11 +237,22 @@ impl Coordinator {
             return Err(CoordError::EmptyRequest);
         }
         // Split the footprint: each predicate names its pool; the router
-        // names the pool's owner.
+        // names the pool's owner. All-quantity footprints also aggregate
+        // per-pool demand for the lease route.
         let mut with_pools = Vec::with_capacity(predicates.len());
+        let mut qty_demands: Option<Vec<(String, u64)>> = Some(Vec::new());
         for text in predicates {
             let p = parse_predicate(text)
                 .map_err(|e| CoordError::BadPredicate(format!("{text:?}: {e}")))?;
+            match (&p, qty_demands.as_mut()) {
+                (Predicate::QtyAtLeast { pool, amount }, Some(demands)) => {
+                    match demands.iter_mut().find(|(name, _)| *name == pool.0) {
+                        Some((_, total)) => *total += *amount,
+                        None => demands.push((pool.0.clone(), *amount)),
+                    }
+                }
+                _ => qty_demands = None,
+            }
             with_pools.push((p.pool().0.clone(), text.clone()));
         }
         let groups = self.map.split_by_shard(with_pools);
@@ -241,14 +266,78 @@ impl Coordinator {
             push_trace(ctx)
         });
 
-        let decision = if groups.len() == 1 {
-            // Fast path: single-shard footprint — an ordinary grant with
-            // the original request id; the shard's atomicity (§4) and
-            // dedup cover it without any coordination round.
-            let (&shard, preds) = groups.iter().next().expect("one group");
-            self.single_shard_grant(client, request_id, shard, preds, duration_ms)?
-        } else {
-            self.cross_shard_grant(client, request_id, &groups, duration_ms)?
+        // Lease route: if the client's home shard holds enough lease
+        // headroom for the whole footprint, the grant is one ordinary
+        // local grant there — regardless of which shards *own* the pools,
+        // and with no coordinator log record. The directory is advisory;
+        // the home shard's own escrow check (promised ≤ lease) is the
+        // authority, so a stale estimate costs a round trip, never an
+        // oversell.
+        let mut decision: Option<ClusterDecision> = None;
+        let lease_route = self.leases.read().clone();
+        if let (Some(dir), Some(demands)) = (lease_route.as_ref(), qty_demands.as_ref()) {
+            if !demands.is_empty() {
+                let home = dir.home_shard(client);
+                dir.note_demand(home, demands);
+                if dir.covers(home, demands) {
+                    match self.single_shard_grant(
+                        client,
+                        request_id,
+                        home,
+                        predicates,
+                        duration_ms,
+                    )? {
+                        granted @ ClusterDecision::Granted { .. } => {
+                            dir.consume(home, demands);
+                            if let Some(tel) = &self.telemetry {
+                                tel.incr("cluster.lease.local_grants");
+                                for (pool, _) in demands {
+                                    tel.incr(&format!("cluster.lease.local.{pool}"));
+                                }
+                                if groups.len() > 1 {
+                                    // The ownership split would have cost a
+                                    // full 2PC round with Begin/Commit
+                                    // records; the lease saved it.
+                                    tel.incr("cluster.lease.coord_log_skips");
+                                }
+                            }
+                            decision = Some(granted);
+                        }
+                        ClusterDecision::Rejected { reason } => {
+                            if let Some(tel) = &self.telemetry {
+                                tel.incr("cluster.lease.local_rejects");
+                            }
+                            // The home shard's authoritative check said no.
+                            // If home *is* the sole owner shard there is no
+                            // one better to ask — the rejection is final;
+                            // otherwise retry through the ownership path.
+                            if groups.len() == 1 && groups.keys().next() == Some(&home) {
+                                decision = Some(ClusterDecision::Rejected { reason });
+                            }
+                        }
+                    }
+                }
+                if decision.is_none() {
+                    if let Some(tel) = &self.telemetry {
+                        tel.incr("cluster.lease.coordinator_fallbacks");
+                        for (pool, _) in demands {
+                            tel.incr(&format!("cluster.lease.fallback.{pool}"));
+                        }
+                    }
+                }
+            }
+        }
+
+        let decision = match decision {
+            Some(d) => d,
+            None if groups.len() == 1 => {
+                // Fast path: single-shard footprint — an ordinary grant
+                // with the original request id; the shard's atomicity (§4)
+                // and dedup cover it without any coordination round.
+                let (&shard, preds) = groups.iter().next().expect("one group");
+                self.single_shard_grant(client, request_id, shard, preds, duration_ms)?
+            }
+            None => self.cross_shard_grant(client, request_id, &groups, duration_ms)?,
         };
         drop(trace_guard);
 

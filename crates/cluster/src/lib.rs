@@ -16,20 +16,28 @@
 //!   into ordinary grants, or an abort releases — rejection stays
 //!   immediate and non-blocking, so there is no distributed deadlock;
 //! * crash recovery is presumed-abort over the [`CoordinatorLog`] plus
-//!   each shard's journal replay of in-doubt `P` records.
+//!   each shard's journal replay of in-doubt `P` records;
+//! * with [`PromiseCluster::enable_leases`], a quantity pool's on-hand
+//!   total is partitioned into per-shard *escrow leases* (O'Neil-style
+//!   escrow at the cluster layer): a grant covered by the requesting
+//!   client's home-shard lease is one purely local escrow decrement — no
+//!   coordinator, no 2PC — and a rebalancer migrates lease headroom
+//!   toward observed demand on the prune cadence.
 
 #![warn(missing_docs)]
 
 mod cluster;
 mod coordinator;
+mod lease;
 mod log;
 mod router;
 mod shard;
 
-pub use cluster::PromiseCluster;
+pub use cluster::{LeaseRebalance, PromiseCluster};
 pub use coordinator::{
     ClusterDecision, CoordError, CoordRecovery, Coordinator, CrashPoint, GrantPart,
 };
+pub use lease::LeaseDirectory;
 pub use log::{CoordLogError, CoordRecord, CoordinatorLog, LogCompaction, LogSummary, TxnId};
 pub use router::{shard_endpoint, ShardMap};
 pub use shard::{ShardNode, ShardServer};

@@ -114,7 +114,8 @@ impl ShardMap {
 
 /// FNV-1a, the stable fallback hash (never `DefaultHasher`, whose output
 /// may change across Rust releases and would silently re-route pools).
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// Also used by the lease directory to derive a client's home shard.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);

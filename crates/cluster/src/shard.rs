@@ -149,6 +149,14 @@ impl ShardNode {
         self.pm.seed_quantity(pool, qty).expect("seed shard pool");
     }
 
+    /// Registers a quantity pool on this shard with an escrow `lease` as
+    /// its on-hand quantity (the shard's slice of the cluster-wide pool;
+    /// journalled as an `L` record so the split survives crash/restart).
+    pub fn host_leased_pool(&self, pool: &str, lease: u64) {
+        self.pm.register_pool(PoolSchema::quantity(pool));
+        self.pm.install_lease(pool, lease).expect("install lease");
+    }
+
     /// Kills the shard's promise manager (the in-memory table dies) and
     /// rebuilds it from the journal, re-registering on `bus`. Returns the
     /// recovery report — `in_doubt` counts prepared holds awaiting the

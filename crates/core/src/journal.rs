@@ -24,7 +24,8 @@
 //! seq  gen  R  id                       — release
 //! seq  gen  E  id                       — expiry
 //! seq  gen  A  id  na  (idx inst)…      — allocation rewrite
-//! seq  gen  K  next  n  (G|P record…)…  — checkpoint snapshot (see below)
+//! seq  gen  L  pool  qty                — escrow-lease assignment (absolute)
+//! seq  gen  K  next  n  (G|P record…)…  m  (pool qty)…  — checkpoint snapshot
 //! ```
 //!
 //! `P` records a *prepared hold* — a cross-shard grant awaiting its
@@ -32,6 +33,13 @@
 //! the hold committed. A `P` with no later `C`/`R`/`E` is an in-doubt hold:
 //! recovery keeps it (resources stay reserved, so no other client can be
 //! oversold) until the coordinator resolves it or its expiry reaps it.
+//!
+//! `L` records the manager's *escrow lease* for a pool — the slice of a
+//! cluster-wide quantity this shard may grant locally. The value is
+//! absolute (last write wins on replay), so a rebalance that crashes
+//! between the donor's and the receiver's `L` appends can only *lose*
+//! headroom, never mint it: the cluster-wide invariant
+//! `Σ leases(pool) ≤ on_hand(pool)` survives any crash point.
 //!
 //! # Checkpoints and compaction
 //!
@@ -60,7 +68,7 @@ use std::fmt;
 
 use parking_lot::Mutex;
 
-use crate::ids::{ClientId, InstanceId, PromiseId, RequestId};
+use crate::ids::{ClientId, InstanceId, PoolId, PromiseId, RequestId};
 use crate::parser::parse_predicate;
 use crate::promise::{Allocation, PromiseRecord};
 
@@ -89,6 +97,14 @@ pub enum JournalOp {
         /// The new allocation set (replaces the old one wholesale).
         allocations: Vec<Allocation>,
     },
+    /// The manager's escrow lease for a pool was set to an absolute
+    /// quantity (install, rebalance withdraw, or rebalance deposit).
+    Lease {
+        /// The leased pool.
+        pool: PoolId,
+        /// The new lease quantity (absolute, not a delta).
+        qty: u64,
+    },
     /// A compaction checkpoint: the full live state at one instant.
     /// Replay resets its fold here, so everything before the checkpoint
     /// is dead history.
@@ -115,6 +131,11 @@ pub struct CheckpointState {
     pub next_id: u64,
     /// Every live promise (granted or prepared) at checkpoint time.
     pub live: Vec<CheckpointRecord>,
+    /// Escrow leases held at checkpoint time, sorted by pool. Folding
+    /// them into `K` lets compaction drop the `L` history while keeping
+    /// lease splits recoverable. Encoded as an optional trailing group so
+    /// lease-free checkpoints stay byte-compatible with the PR 5 format.
+    pub leases: Vec<(PoolId, u64)>,
 }
 
 /// What [`PromiseJournal::install_checkpoint`] did.
@@ -236,6 +257,9 @@ pub fn encode_entry(entry: &JournalEntry) -> String {
             out.push_str(&format!("\tA\t{}", id.0));
             encode_allocs(&mut out, allocations);
         }
+        JournalOp::Lease { pool, qty } => {
+            out.push_str(&format!("\tL\t{}\t{qty}", escape(&pool.0)));
+        }
         JournalOp::Checkpoint(cp) => {
             out.push_str(&format!("\tK\t{}\t{}", cp.next_id, cp.live.len()));
             for item in &cp.live {
@@ -244,6 +268,14 @@ pub fn encode_entry(entry: &JournalEntry) -> String {
                     if item.prepared { 'P' } else { 'G' },
                     &item.record,
                 );
+            }
+            // Trailing lease group, omitted when empty so lease-free
+            // checkpoints keep the pre-lease line format.
+            if !cp.leases.is_empty() {
+                out.push_str(&format!("\t{}", cp.leases.len()));
+                for (pool, qty) in &cp.leases {
+                    out.push_str(&format!("\t{}\t{qty}", escape(&pool.0)));
+                }
             }
         }
     }
@@ -340,6 +372,11 @@ pub fn decode_entry(raw: &str, line: usize) -> Result<JournalEntry, JournalError
             let allocations = r.allocs()?;
             JournalOp::Allocations { id, allocations }
         }
+        "L" => {
+            let pool = PoolId(unescape(r.next("lease pool")?));
+            let qty = r.next_u64("lease qty")?;
+            JournalOp::Lease { pool, qty }
+        }
         "K" => {
             let next_id = r.next_u64("checkpoint id high-water")?;
             let n = r.next_u64("checkpoint record count")? as usize;
@@ -361,7 +398,28 @@ pub fn decode_entry(raw: &str, line: usize) -> Result<JournalEntry, JournalError
                     record: read_record(&mut r)?,
                 });
             }
-            JournalOp::Checkpoint(CheckpointState { next_id, live })
+            // Optional trailing lease group; absent on pre-lease lines.
+            let leases = match r.fields.next() {
+                None => Vec::new(),
+                Some(raw) => {
+                    let m: usize = raw.parse().map_err(|_| JournalError {
+                        line,
+                        detail: format!("bad checkpoint lease count: {raw:?}"),
+                    })?;
+                    let mut leases = Vec::with_capacity(m);
+                    for _ in 0..m {
+                        let pool = PoolId(unescape(r.next("checkpoint lease pool")?));
+                        let qty = r.next_u64("checkpoint lease qty")?;
+                        leases.push((pool, qty));
+                    }
+                    leases
+                }
+            };
+            JournalOp::Checkpoint(CheckpointState {
+                next_id,
+                live,
+                leases,
+            })
         }
         other => {
             return Err(JournalError {
@@ -678,6 +736,7 @@ mod tests {
                         record: other,
                     },
                 ],
+                leases: vec![(PoolId::from("widgets"), 640), (PoolId::from("x%y"), 0)],
             }),
         };
         let line = encode_entry(&entry);
@@ -693,9 +752,47 @@ mod tests {
             op: JournalOp::Checkpoint(CheckpointState {
                 next_id: 17,
                 live: vec![],
+                leases: vec![],
             }),
         };
         assert_eq!(decode_entry(&encode_entry(&entry), 0).unwrap(), entry);
+    }
+
+    #[test]
+    fn lease_line_roundtrips() {
+        let entry = JournalEntry {
+            seq: 8,
+            generation: 2,
+            op: JournalOp::Lease {
+                pool: PoolId::from("hot\tpool"),
+                qty: 12_500,
+            },
+        };
+        let line = encode_entry(&entry);
+        assert_eq!(line.split('\t').nth(2), Some("L"));
+        assert_eq!(decode_entry(&line, 0).unwrap(), entry);
+    }
+
+    #[test]
+    fn pre_lease_checkpoint_lines_still_decode() {
+        // A PR 5 checkpoint (no trailing lease group) must decode to an
+        // empty lease set, and a lease-free checkpoint must re-encode to
+        // the identical pre-lease line.
+        let old = JournalEntry {
+            seq: 2,
+            generation: 1,
+            op: JournalOp::Checkpoint(CheckpointState {
+                next_id: 9,
+                live: vec![CheckpointRecord {
+                    prepared: false,
+                    record: sample_record(),
+                }],
+                leases: vec![],
+            }),
+        };
+        let line = encode_entry(&old);
+        assert!(!line.ends_with("\t0"), "empty lease group must be omitted");
+        assert_eq!(decode_entry(&line, 0).unwrap(), old);
     }
 
     #[test]
@@ -707,6 +804,7 @@ mod tests {
         let stats = j.install_checkpoint(CheckpointState {
             next_id: 7,
             live: vec![],
+            leases: vec![],
         });
         assert_eq!(stats.dropped, 2);
         assert_eq!(stats.seq, 3);

@@ -38,7 +38,7 @@
 //! availability**: unfulfillable requests are rejected immediately (§9),
 //! which is why the promise layer introduces no deadlocks of its own.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -464,6 +464,14 @@ pub struct PromiseManager {
     /// Armed fault-injection point inside [`PromiseManager::compact`];
     /// consumed by the next compaction.
     compaction_crash: Mutex<Option<CompactionCrash>>,
+    /// Per-pool *escrow leases*: the slice of a cluster-wide quantity this
+    /// manager may grant locally (O'Neil-style escrow applied at the
+    /// cluster layer). Empty for standalone managers. Leases are durable —
+    /// journalled as absolute-value `L` records, folded into checkpoints,
+    /// rebuilt by recovery (which also forces each leased pool's on-hand
+    /// quantity back to its lease slice), and part of
+    /// [`PromiseManager::state_digest`]. Locking order is table → leases.
+    leases: Mutex<BTreeMap<PoolId, u64>>,
 }
 
 /// Where an armed [`PromiseManager::compact`] crash fires. Models a
@@ -537,6 +545,7 @@ impl PromiseManager {
             tombstone_grace_ms: AtomicU64::new(DEFAULT_TOMBSTONE_GRACE_MS),
             compaction_threshold: AtomicUsize::new(DEFAULT_COMPACTION_THRESHOLD),
             compaction_crash: Mutex::new(None),
+            leases: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -691,6 +700,149 @@ impl PromiseManager {
                 Ok(())
             }
             Err(e) => Err(self.abort_with(txn, e)),
+        }
+    }
+
+    // ==================================================================
+    // Escrow leases
+    // ==================================================================
+
+    /// Installs this manager's escrow lease for `pool` at an absolute
+    /// quantity, setting the pool's on-hand quantity to the lease slice
+    /// (setup/admin: a cluster partitions a pool's total across shards).
+    /// The pool's schema must already be registered. Journalled as an `L`
+    /// record so the split survives crash/restart.
+    pub fn install_lease(&self, pool: impl Into<PoolId>, qty: u64) -> Result<(), PromiseError> {
+        let pool = pool.into();
+        let catalog = self.catalog.read();
+        let txn = self.rm.begin();
+        match catalog.set_quantity(&self.rm, &txn, &pool, qty) {
+            Ok(()) => {
+                let tbl = self.table.lock();
+                self.leases.lock().insert(pool.clone(), qty);
+                self.journal_append(JournalOp::Lease { pool, qty });
+                drop(tbl);
+                self.rm.commit(txn)?;
+                Ok(())
+            }
+            Err(e) => Err(self.abort_with(txn, e)),
+        }
+    }
+
+    /// Withdraws up to `want` units of lease *headroom* (lease minus
+    /// quantity promised) from this manager, shrinking both the lease and
+    /// the pool's on-hand quantity. Returns how much was actually moved —
+    /// clamped to the available headroom, so a withdraw can never strand
+    /// already-promised units. Runs under the pool's promise-ops
+    /// synchronisation point, serialising against concurrent grants.
+    ///
+    /// A rebalance is withdraw-then-deposit: the donor's `L` record lands
+    /// before the receiver's, so a crash between them loses headroom
+    /// (recoverable by a later top-up) but never mints it.
+    pub fn lease_withdraw(&self, pool: impl Into<PoolId>, want: u64) -> Result<u64, PromiseError> {
+        let pool = pool.into();
+        if want == 0 {
+            return Ok(0);
+        }
+        self.with_retries(|| {
+            let txn = self.rm.begin();
+            if let Err(e) = self.lock_lease_ops(&txn, &pool) {
+                return Err(self.abort_with(txn, e.into()));
+            }
+            let tbl = self.table.lock();
+            let lease = self.leases.lock().get(&pool).copied().unwrap_or(0);
+            let headroom = lease.saturating_sub(tbl.promised_qty(&pool));
+            let moved = want.min(headroom);
+            if moved == 0 {
+                drop(tbl);
+                return self.abort_then(txn, 0);
+            }
+            let qty = lease - moved;
+            let catalog = self.catalog.read();
+            if let Err(e) = catalog.set_quantity(&self.rm, &txn, &pool, qty) {
+                drop(tbl);
+                return Err(self.abort_with(txn, e));
+            }
+            drop(catalog);
+            self.leases.lock().insert(pool.clone(), qty);
+            self.journal_append(JournalOp::Lease {
+                pool: pool.clone(),
+                qty,
+            });
+            drop(tbl);
+            self.rm.commit(txn)?;
+            Ok(moved)
+        })
+    }
+
+    /// Deposits `delta` units of lease headroom into this manager, growing
+    /// both the lease and the pool's on-hand quantity. Returns the new
+    /// lease. The caller (the cluster rebalancer) is responsible for only
+    /// depositing units previously withdrawn from another shard.
+    pub fn lease_deposit(&self, pool: impl Into<PoolId>, delta: u64) -> Result<u64, PromiseError> {
+        let pool = pool.into();
+        self.with_retries(|| {
+            let txn = self.rm.begin();
+            if let Err(e) = self.lock_lease_ops(&txn, &pool) {
+                return Err(self.abort_with(txn, e.into()));
+            }
+            let tbl = self.table.lock();
+            let lease = self.leases.lock().get(&pool).copied().unwrap_or(0);
+            let qty = lease.saturating_add(delta);
+            let catalog = self.catalog.read();
+            if let Err(e) = catalog.set_quantity(&self.rm, &txn, &pool, qty) {
+                drop(tbl);
+                return Err(self.abort_with(txn, e));
+            }
+            drop(catalog);
+            self.leases.lock().insert(pool.clone(), qty);
+            self.journal_append(JournalOp::Lease {
+                pool: pool.clone(),
+                qty,
+            });
+            drop(tbl);
+            self.rm.commit(txn)?;
+            Ok(qty)
+        })
+    }
+
+    /// This manager's escrow lease for `pool`, if one is installed.
+    pub fn lease_of(&self, pool: impl Into<PoolId>) -> Option<u64> {
+        self.leases.lock().get(&pool.into()).copied()
+    }
+
+    /// All escrow leases held by this manager (sorted by pool).
+    pub fn leases(&self) -> Vec<(PoolId, u64)> {
+        self.leases
+            .lock()
+            .iter()
+            .map(|(p, q)| (p.clone(), *q))
+            .collect()
+    }
+
+    /// Unpromised lease headroom for `pool`: lease minus quantity promised
+    /// (0 when no lease is installed).
+    pub fn lease_headroom(&self, pool: impl Into<PoolId>) -> u64 {
+        let pool = pool.into();
+        let tbl = self.table.lock();
+        let lease = self.leases.lock().get(&pool).copied().unwrap_or(0);
+        lease.saturating_sub(tbl.promised_qty(&pool))
+    }
+
+    /// Quantity promised against `pool` by live promises.
+    pub fn promised_qty(&self, pool: impl Into<PoolId>) -> u64 {
+        self.table.lock().promised_qty(&pool.into())
+    }
+
+    /// The lease ops' synchronisation point: the same one grants over the
+    /// pool take, so lease moves serialise with grant/release traffic.
+    fn lock_lease_ops(&self, txn: &Txn, pool: &PoolId) -> Result<(), RmError> {
+        match self.locking {
+            LockingMode::Global => self.rm.lock_exclusive(txn, PM_OPS),
+            LockingMode::Footprint => {
+                let names = vec![format!("{PM_OPS}/{pool}")];
+                self.rm.lock_exclusive_many(txn, &names)
+            }
         }
     }
 
@@ -1184,6 +1336,7 @@ impl PromiseManager {
         let mut table = PromiseTable::new();
         let mut tombstones: HashSet<PromiseId> = HashSet::new();
         let mut prepared: HashSet<PromiseId> = HashSet::new();
+        let mut lease_map: BTreeMap<PoolId, u64> = BTreeMap::new();
         let mut max_id = 0u64;
         for entry in entries {
             match entry.op {
@@ -1216,6 +1369,11 @@ impl PromiseManager {
                         rec.allocations = allocations;
                     }
                 }
+                JournalOp::Lease { pool, qty } => {
+                    // Absolute values: last write wins, exactly the state
+                    // the pre-crash manager last made durable.
+                    lease_map.insert(pool, qty);
+                }
                 JournalOp::Checkpoint(cp) => {
                     // A checkpoint is a full snapshot of live state: reset
                     // the fold and continue replay from it. Everything
@@ -1223,6 +1381,7 @@ impl PromiseManager {
                     table = PromiseTable::new();
                     tombstones.clear();
                     prepared.clear();
+                    lease_map = cp.leases.into_iter().collect();
                     max_id = max_id.max(cp.next_id);
                     for item in cp.live {
                         max_id = max_id.max(item.record.id.0);
@@ -1261,6 +1420,26 @@ impl PromiseManager {
             .lock()
             .extend(tombstones.into_iter().map(|id| (id, evict_at)));
         *self.journal.write() = Some(journal);
+
+        // The journal is the durable truth for escrow leases: force each
+        // leased pool's on-hand quantity back to its lease slice, healing
+        // any divergence from a crash between the RM write and the `L`
+        // append. Pools whose schema the caller has not re-registered are
+        // skipped (schema registration is not journalled).
+        {
+            let catalog = self.catalog.read();
+            for (pool, qty) in &lease_map {
+                if !catalog.contains(pool) {
+                    continue;
+                }
+                let txn = self.rm.begin();
+                match catalog.set_quantity(&self.rm, &txn, pool, *qty) {
+                    Ok(()) => self.rm.commit(txn)?,
+                    Err(e) => return Err(self.abort_with(txn, e)),
+                }
+            }
+        }
+        *self.leases.lock() = lease_map;
 
         // Reap promises that expired while the manager was down; their
         // Expire entries are appended under the new generation and their
@@ -1317,6 +1496,13 @@ impl PromiseManager {
         let state = CheckpointState {
             next_id: table.id_high_water(),
             live,
+            // BTreeMap iteration is sorted, keeping the line deterministic.
+            leases: self
+                .leases
+                .lock()
+                .iter()
+                .map(|(p, q)| (p.clone(), *q))
+                .collect(),
         };
         let crash = self.compaction_crash.lock().take();
         if crash == Some(CompactionCrash::BeforeSwap) {
@@ -1492,6 +1678,12 @@ impl PromiseManager {
         prepared.sort();
         for id in prepared {
             out.push_str(&format!("prepared {id}\n"));
+        }
+        // Escrow leases are durable state as well (journalled `L` records,
+        // checkpointed, recovered); read under the table lock
+        // (table → leases) for a consistent cut.
+        for (pool, qty) in self.leases.lock().iter() {
+            out.push_str(&format!("lease {pool}={qty}\n"));
         }
         out
     }

@@ -18,6 +18,15 @@
 //! * **no leaks** — after every duration passes, expiry reclaims every
 //!   hold the sweep abandoned (crashed coordinators included, once
 //!   recovery has run).
+//!
+//! With [`ClusterSweepConfig::leases`] the same sweep runs over per-shard
+//! escrow leases and adds two lease audits: per shard, promised quantity
+//! never exceeds the shard's lease slice (**no lease oversells**); per
+//! pool, the cluster-wide lease sum never exceeds the registered quantity
+//! (**no minting**). [`run_lease_sweep`] is the dedicated lease scenario:
+//! a Zipf-skewed workload interleaved with rebalance cycles, an armed
+//! mid-rebalance crash, per-shard crash–restart with digest comparison,
+//! and a heal check that the lease sum returns to the pool total.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -51,6 +60,10 @@ pub struct ClusterSweepConfig {
     /// Probability a granted promise is released (the rest are abandoned,
     /// for the leak audit).
     pub release_probability: f64,
+    /// Run the cluster with per-shard escrow leases: every pool is hosted
+    /// on every shard, clients are pinned home shard `c % shards`, and the
+    /// lease audits join the post-run checks.
+    pub leases: bool,
     /// Master seed.
     pub seed: u64,
 }
@@ -67,6 +80,7 @@ impl Default for ClusterSweepConfig {
             cross_shard_probability: 0.4,
             crash_probability: 0.05,
             release_probability: 0.6,
+            leases: false,
             seed: 42,
         }
     }
@@ -107,6 +121,12 @@ pub struct ClusterRunReport {
     /// Shard grant-index tombstones surviving past the eviction grace.
     /// **Always zero.**
     pub tombstones_after_reap: usize,
+    /// Shards whose promised quantity exceeded their lease slice (leases
+    /// only). **Always zero.**
+    pub lease_oversells: u64,
+    /// Pools whose cluster-wide lease sum exceeded the registered quantity
+    /// (leases only — lease units must never be minted). **Always zero.**
+    pub lease_sum_violations: u64,
     /// Orphan Abort records recovery replay tolerated (counted, not
     /// swallowed).
     pub orphan_aborts: u64,
@@ -123,12 +143,22 @@ impl ClusterRunReport {
             && self.live_after_reap == 0
             && self.dedup_after_reap == 0
             && self.tombstones_after_reap == 0
+            && self.lease_oversells == 0
+            && self.lease_sum_violations == 0
     }
 }
 
-/// Builds a cluster per `cfg` with `scenario` installed on the bus.
+/// Builds a cluster per `cfg` with `scenario` installed on the bus. With
+/// `cfg.leases` the cluster runs per-shard escrow leases and client `c` is
+/// pinned to home shard `c % shards`.
 pub fn cluster_harness(scenario: FaultScenario, cfg: &ClusterSweepConfig) -> PromiseCluster {
     let cluster = PromiseCluster::build(cfg.shards, cfg.seed);
+    if cfg.leases {
+        let dir = cluster.enable_leases();
+        for c in 0..cfg.clients {
+            dir.pin_home(&format!("client-{c}"), c % cfg.shards.max(1));
+        }
+    }
     for i in 0..cfg.pools {
         cluster.register_quantity_pool(&crate::workload::pool_name(i), cfg.qty);
     }
@@ -376,6 +406,15 @@ fn audit_cluster(
         }
     }
 
+    // Lease audits (leased clusters only): promised ≤ lease per shard,
+    // Σ leases ≤ registered quantity per pool. Run while holds are still
+    // outstanding, before the leak advance expires them.
+    if cluster.lease_directory().is_some() {
+        let (oversells, sum_violations) = audit_leases(cluster);
+        report.lease_oversells += oversells;
+        report.lease_sum_violations += sum_violations;
+    }
+
     // Leak audit: advance past every duration; expiry must reclaim
     // whatever the sweep abandoned (dropped releases, in-doubt holds of
     // decided-abort transactions whose abort message was lost, …).
@@ -389,6 +428,253 @@ fn audit_cluster(
     cluster.advance_and_prune(400_000);
     report.dedup_after_reap = cluster.coordinator.dedup_len();
     report.tombstones_after_reap = cluster.nodes.iter().map(|n| n.pm.tombstone_count()).sum();
+}
+
+/// Cluster-wide lease sum for one pool, read from the authoritative
+/// per-shard managers (not the advisory directory).
+fn lease_sum(cluster: &PromiseCluster, pool: &str) -> u64 {
+    cluster
+        .nodes
+        .iter()
+        .map(|n| n.pm.lease_of(pool).unwrap_or(0))
+        .sum()
+}
+
+/// The two lease invariants, audited from authoritative shard state:
+/// per shard, promised quantity never exceeds the lease slice (escrow
+/// never oversells); per pool, Σ leases never exceeds the registered
+/// quantity (rebalancing never mints units — a crash between a withdraw
+/// and its deposit may only *lose* headroom, which the heal pass
+/// re-credits). Returns `(oversells, sum_violations)`.
+fn audit_leases(cluster: &PromiseCluster) -> (u64, u64) {
+    let mut oversells = 0;
+    let mut sum_violations = 0;
+    for (pool, total, _) in cluster.registered_pools() {
+        for node in &cluster.nodes {
+            let lease = node.pm.lease_of(pool.as_str()).unwrap_or(0);
+            if node.pm.promised_qty(pool.as_str()) > lease {
+                oversells += 1;
+            }
+        }
+        if lease_sum(cluster, &pool) > total {
+            sum_violations += 1;
+        }
+    }
+    (oversells, sum_violations)
+}
+
+/// Outcome of one [`run_lease_sweep`]: a Zipf-skewed grant/release
+/// workload over a leased cluster with rebalance cycles, an armed
+/// mid-rebalance crash, per-shard crash–restart, and the lease audits.
+#[derive(Debug, Clone)]
+pub struct LeaseSweepReport {
+    /// Grant attempts.
+    pub attempts: u64,
+    /// Unit grants confirmed.
+    pub granted: u64,
+    /// Unit rejections.
+    pub rejected: u64,
+    /// Grants served by the client's home-shard lease — no coordinator.
+    pub local_grants: u64,
+    /// Grants that fell back to the ownership/2PC path.
+    pub coordinator_fallbacks: u64,
+    /// Multi-pool footprints the lease served locally, skipping the
+    /// Begin/Commit records a 2PC round would have logged.
+    pub coord_log_skips: u64,
+    /// Lease units the rebalancer migrated between shards.
+    pub rebalance_moved: u64,
+    /// Whether the armed mid-rebalance crash actually fired (it needs
+    /// observed demand on at least one pool — certain under Zipf skew).
+    pub crash_fired: bool,
+    /// Stranded units the post-crash heal cycle re-credited.
+    pub healed_after_crash: u64,
+    /// Per-shard `(pre-kill, post-recovery)` state digests.
+    pub digests: Vec<(String, String)>,
+    /// Σ leases ≤ pool total on every pool right after the crashed cycle
+    /// (the sum may shrink, never grow). **Always true.**
+    pub lease_sum_ok_after_crash: bool,
+    /// Σ leases == pool total on every pool after the heal cycle.
+    /// **Always true.**
+    pub lease_sum_restored: bool,
+    /// Shards caught with promised > lease. **Always zero.**
+    pub lease_oversells: u64,
+    /// Pools caught with Σ leases > total. **Always zero.**
+    pub lease_sum_violations: u64,
+    /// Promises still live after full expiry. **Always zero.**
+    pub live_after_reap: usize,
+    /// Wall-clock duration of the workload phase.
+    pub elapsed: Duration,
+}
+
+impl LeaseSweepReport {
+    /// True when every shard's recovered state is byte-equivalent to its
+    /// pre-kill state (lease lines included).
+    pub fn digests_match(&self) -> bool {
+        self.digests.iter().all(|(pre, post)| pre == post)
+    }
+
+    /// Fraction of lease-routed decisions served locally:
+    /// `local / (local + fallbacks)`.
+    pub fn local_ratio(&self) -> f64 {
+        let routed = self.local_grants + self.coordinator_fallbacks;
+        if routed == 0 {
+            return 0.0;
+        }
+        self.local_grants as f64 / routed as f64
+    }
+
+    /// True when every audited lease guarantee held.
+    pub fn clean(&self) -> bool {
+        self.lease_oversells == 0
+            && self.lease_sum_violations == 0
+            && self.lease_sum_ok_after_crash
+            && self.lease_sum_restored
+            && self.digests_match()
+            && self.live_after_reap == 0
+    }
+}
+
+/// The dedicated lease scenario: drives `cfg.clients` threads of
+/// Zipf-skewed grants (pool rank drawn ∝ 1/(i+1)^1.1; a
+/// `cross_shard_probability` fraction add a second pool to the footprint)
+/// against a leased cluster in rounds interleaved with
+/// [`PromiseCluster::advance_and_prune`] rebalance cycles, then:
+///
+/// 1. audits the lease invariants with holds still outstanding;
+/// 2. arms a mid-rebalance crash (withdraws land, deposits don't) and
+///    checks the lease sum only ever *shrinks*;
+/// 3. kills and journal-restarts every shard, comparing state digests —
+///    the lease split must survive byte-for-byte;
+/// 4. runs the next rebalance cycle and checks the heal pass re-credits
+///    the stranded headroom (Σ leases returns to the pool total);
+/// 5. advances past every duration for the leak audit.
+pub fn run_lease_sweep(cfg: &ClusterSweepConfig) -> (LeaseSweepReport, PromiseCluster) {
+    let leased_cfg = ClusterSweepConfig {
+        leases: true,
+        ..*cfg
+    };
+    let mut cluster = cluster_harness(FaultScenario::quiet(cfg.seed), &leased_cfg);
+    cluster.bus.set_fault_injector(None);
+
+    let cdf = crate::workload::zipf_cdf(cfg.pools, 1.1);
+    let granted = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+
+    let rounds = 4usize;
+    let per_round = cfg.ops_per_client.div_ceil(rounds).max(1);
+    let start = Instant::now();
+    for round in 0..rounds {
+        std::thread::scope(|scope| {
+            for c in 0..cfg.clients {
+                let cluster = &cluster;
+                let cdf = &cdf;
+                let granted = &granted;
+                let rejected = &rejected;
+                let cfg = leased_cfg;
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(
+                        cfg.seed ^ ((round * 8191 + c) as u64).wrapping_mul(0x9E3779B9),
+                    );
+                    let client = format!("client-{c}");
+                    for op in 0..per_round {
+                        let first = crate::workload::sample_zipf(cdf, &mut rng);
+                        let amount = rng.random_range(1..=cfg.amount_max);
+                        let mut predicates = vec![format!(
+                            "qty('{}') >= {amount}",
+                            crate::workload::pool_name(first)
+                        )];
+                        if cfg.pools > 1 && rng.random_bool(cfg.cross_shard_probability) {
+                            let mut second = crate::workload::sample_zipf(cdf, &mut rng);
+                            while second == first {
+                                second = crate::workload::sample_zipf(cdf, &mut rng);
+                            }
+                            predicates.push(format!(
+                                "qty('{}') >= {}",
+                                crate::workload::pool_name(second),
+                                rng.random_range(1..=cfg.amount_max)
+                            ));
+                        }
+                        let rid = format!("r{round}-c{c}-o{op}");
+                        match cluster
+                            .coordinator
+                            .grant(&client, &rid, &predicates, 3_600_000)
+                        {
+                            Ok(ClusterDecision::Granted { parts }) => {
+                                granted.fetch_add(1, Ordering::Relaxed);
+                                if rng.random_bool(cfg.release_probability) {
+                                    cluster.coordinator.release(&parts);
+                                }
+                            }
+                            Ok(ClusterDecision::Rejected { .. }) => {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => panic!("quiet-bus lease sweep errored: {e}"),
+                        }
+                    }
+                });
+            }
+        });
+        if round + 1 < rounds {
+            // Rebalance between rounds: headroom chases the Zipf head.
+            cluster.advance_and_prune(10_000);
+        }
+    }
+    let elapsed = start.elapsed();
+
+    // Audit with holds still outstanding (the interesting instant).
+    let (mut lease_oversells, mut lease_sum_violations) = audit_leases(&cluster);
+
+    // The mid-rebalance crash: final-round demand is still pending, so
+    // the cycle withdraws surpluses and dies before any deposit.
+    cluster.arm_rebalance_crash();
+    let crash = cluster.rebalance_leases().expect("leases are enabled");
+    let totals = cluster.registered_pools();
+    let lease_sum_ok_after_crash = totals
+        .iter()
+        .all(|(pool, total, _)| lease_sum(&cluster, pool) <= *total);
+
+    // Kill and journal-rebuild every shard: the (possibly shrunken) lease
+    // split must be reconstructed byte-for-byte.
+    let mut digests = Vec::new();
+    for index in 0..cluster.shard_count() {
+        let pre = cluster.nodes[index].pm.state_digest();
+        cluster.crash_restart_shard(index);
+        let post = cluster.nodes[index].pm.state_digest();
+        digests.push((pre, post));
+    }
+
+    // The next cycle's heal pass re-credits whatever the crash stranded.
+    let heal = cluster.rebalance_leases().expect("leases are enabled");
+    let lease_sum_restored = totals
+        .iter()
+        .all(|(pool, total, _)| lease_sum(&cluster, pool) == *total);
+
+    // Leak audit + a second lease audit on the quiesced cluster.
+    cluster.advance_and_prune(4_000_000);
+    let (quiet_oversells, quiet_sum_violations) = audit_leases(&cluster);
+    lease_oversells += quiet_oversells;
+    lease_sum_violations += quiet_sum_violations;
+
+    let counter = |name: &str| cluster.telemetry.counter(name).load(Ordering::Relaxed);
+    let report = LeaseSweepReport {
+        attempts: (cfg.clients * per_round * rounds) as u64,
+        granted: granted.into_inner(),
+        rejected: rejected.into_inner(),
+        local_grants: counter("cluster.lease.local_grants"),
+        coordinator_fallbacks: counter("cluster.lease.coordinator_fallbacks"),
+        coord_log_skips: counter("cluster.lease.coord_log_skips"),
+        rebalance_moved: counter("cluster.lease.rebalance_moved"),
+        crash_fired: crash.crashed,
+        healed_after_crash: heal.healed,
+        digests,
+        lease_sum_ok_after_crash,
+        lease_sum_restored,
+        lease_oversells,
+        lease_sum_violations,
+        live_after_reap: cluster.live_count(),
+        elapsed,
+    };
+    (report, cluster)
 }
 
 /// Outcome of a cluster crash–restart run.
@@ -520,6 +806,71 @@ mod tests {
         assert_eq!(report.oversells, 0, "no shard may oversell");
         assert_eq!(report.live_after_reap, 0, "expiry + recovery reclaim all");
         assert!(report.granted > 0, "goodput survives faults");
+    }
+
+    #[test]
+    fn leased_cluster_sweep_is_clean_and_serves_locally() {
+        let cfg = ClusterSweepConfig {
+            shards: 4,
+            clients: 4,
+            ops_per_client: 16,
+            crash_probability: 0.0,
+            leases: true,
+            ..ClusterSweepConfig::default()
+        };
+        let (report, cluster) = run_cluster_fault_sweep(FaultScenario::quiet(3), &cfg);
+        assert!(report.clean(), "{report:?}");
+        assert!(report.granted > 0);
+        let local = cluster
+            .telemetry
+            .counter("cluster.lease.local_grants")
+            .load(Ordering::Relaxed);
+        assert!(local > 0, "lease path must serve grants locally");
+    }
+
+    #[test]
+    fn faulty_leased_sweep_holds_lease_invariants() {
+        let cfg = ClusterSweepConfig {
+            shards: 4,
+            clients: 4,
+            ops_per_client: 20,
+            crash_probability: 0.15,
+            leases: true,
+            ..ClusterSweepConfig::default()
+        };
+        let (report, _) = run_cluster_fault_sweep(FaultScenario::uniform(7, 0.1), &cfg);
+        assert_eq!(report.partial_grants, 0, "§4 must hold across shards");
+        assert_eq!(report.double_grants, 0, "retries must dedup per shard");
+        assert_eq!(report.oversells, 0, "no shard may oversell");
+        assert_eq!(report.lease_oversells, 0, "promised must stay ≤ lease");
+        assert_eq!(report.lease_sum_violations, 0, "leases must not mint");
+        assert_eq!(report.live_after_reap, 0, "expiry + recovery reclaim all");
+        assert!(report.granted > 0, "goodput survives faults");
+    }
+
+    #[test]
+    fn lease_sweep_survives_mid_rebalance_crash() {
+        let cfg = ClusterSweepConfig {
+            shards: 4,
+            clients: 4,
+            ops_per_client: 24,
+            pools: 8,
+            cross_shard_probability: 0.25,
+            ..ClusterSweepConfig::default()
+        };
+        let (report, _) = run_lease_sweep(&cfg);
+        assert!(report.clean(), "{report:?}");
+        assert!(report.crash_fired, "armed rebalance crash must fire");
+        assert!(report.granted > 0);
+        assert!(
+            report.rebalance_moved > 0,
+            "rebalancer must chase the Zipf head: {report:?}"
+        );
+        assert!(
+            report.local_ratio() > 0.5,
+            "lease locality too low: {} ({report:?})",
+            report.local_ratio()
+        );
     }
 
     #[test]

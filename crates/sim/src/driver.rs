@@ -109,6 +109,7 @@ mod tests {
             ops_per_client: 10,
             pools: 2,
             hotspot_probability: 0.5,
+            zipf_exponent: 0.0,
             amount_max: 2,
             think: Duration::from_micros(200),
             abandon_probability: 0.1,

@@ -239,6 +239,7 @@ mod tests {
             ops_per_client: 15,
             pools: 2,
             hotspot_probability: 0.5,
+            zipf_exponent: 0.0,
             amount_max: 1,
             think: Duration::from_micros(200),
             abandon_probability: 0.2,

@@ -29,8 +29,8 @@ mod workload;
 
 pub use adapter::{promise_reserver, promise_reserver_with_mode, PromiseQtyReserver};
 pub use cluster::{
-    cluster_harness, run_cluster_crash_restart, run_cluster_fault_sweep, ClusterCrashReport,
-    ClusterRunReport, ClusterSweepConfig,
+    cluster_harness, run_cluster_crash_restart, run_cluster_fault_sweep, run_lease_sweep,
+    ClusterCrashReport, ClusterRunReport, ClusterSweepConfig, LeaseSweepReport,
 };
 pub use driver::{run_qty_workload, seed_pools};
 pub use faults::{
@@ -44,4 +44,4 @@ pub use instances::{
 };
 pub use metrics::RunReport;
 pub use obs::{journal_facts, run_obs_sweep, ObsReport};
-pub use workload::{pool_name, WorkloadConfig};
+pub use workload::{pool_name, sample_zipf, zipf_cdf, WorkloadConfig};

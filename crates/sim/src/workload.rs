@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 /// Name of the i-th quantity pool.
 pub fn pool_name(i: usize) -> String {
@@ -20,8 +20,14 @@ pub struct WorkloadConfig {
     /// Number of quantity pools.
     pub pools: usize,
     /// Probability an operation targets pool 0 (hotspot); the rest of the
-    /// probability mass is uniform over all pools.
+    /// probability mass is uniform over all pools. Ignored when
+    /// `zipf_exponent` is set.
     pub hotspot_probability: f64,
+    /// When > 0, pool selection follows a Zipfian distribution over pool
+    /// rank: pool `i` is drawn with probability ∝ 1/(i+1)^s. This is the
+    /// skew shape of flash-sale and hot-SKU traffic (E15); 0 disables it
+    /// and keeps the hotspot/uniform selection.
+    pub zipf_exponent: f64,
     /// Amounts are drawn uniformly from `1..=amount_max`.
     pub amount_max: u64,
     /// Simulated long-running work between reserve and consume.
@@ -49,6 +55,7 @@ impl Default for WorkloadConfig {
             ops_per_client: 50,
             pools: 4,
             hotspot_probability: 0.5,
+            zipf_exponent: 0.0,
             amount_max: 3,
             think: Duration::from_millis(1),
             abandon_probability: 0.1,
@@ -110,12 +117,42 @@ impl WorkloadConfig {
         if self.pools <= 1 {
             return 0;
         }
+        if self.zipf_exponent > 0.0 {
+            return sample_zipf(&zipf_cdf(self.pools, self.zipf_exponent), rng);
+        }
         if rng.random_bool(self.hotspot_probability.clamp(0.0, 1.0)) {
             0
         } else {
             rng.random_range(0..self.pools)
         }
     }
+}
+
+/// Cumulative distribution of a Zipfian law over `pools` ranks with
+/// exponent `s`: P(i) ∝ 1/(i+1)^s. Shared by the workload generator and
+/// any scenario that needs the raw CDF (e.g. to compute expected hot-pool
+/// mass).
+pub fn zipf_cdf(pools: usize, s: f64) -> Vec<f64> {
+    let weights: Vec<f64> = (0..pools.max(1))
+        .map(|i| 1.0 / ((i + 1) as f64).powf(s))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
+}
+
+/// Draws a rank from a precomputed [`zipf_cdf`].
+pub fn sample_zipf(cdf: &[f64], rng: &mut StdRng) -> usize {
+    // Uniform in [0, 1) from 53 high bits, same construction the RNG's
+    // own `random_bool` uses.
+    let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    cdf.iter().position(|&c| u < c).unwrap_or(cdf.len() - 1)
 }
 
 #[cfg(test)]
@@ -170,6 +207,43 @@ mod tests {
                 assert_eq!(op.pools, vec![client % cfg.pools]);
             }
         }
+    }
+
+    #[test]
+    fn zipf_skew_is_rank_ordered_and_deterministic() {
+        let cfg = WorkloadConfig {
+            zipf_exponent: 1.1,
+            pools: 8,
+            ops_per_client: 2000,
+            ..WorkloadConfig::default()
+        };
+        assert_eq!(cfg.ops_for_client(5), cfg.ops_for_client(5));
+        let mut counts = vec![0usize; cfg.pools];
+        for op in cfg.ops_for_client(0) {
+            counts[op.pools[0]] += 1;
+        }
+        // Rank 0 dominates, and the head outweighs the tail the way a
+        // Zipf(1.1) law over 8 ranks must (pool 0 carries ~37% of mass).
+        assert!(
+            counts[0] > counts[1] && counts[1] > counts[4],
+            "counts not rank-skewed: {counts:?}"
+        );
+        assert!(counts[0] > 2000 * 3 / 10, "head too light: {counts:?}");
+        // Zipf selection overrides the hotspot knob but not pinning.
+        let pinned = WorkloadConfig {
+            pinned_pools: true,
+            clients: 4,
+            ..cfg
+        };
+        assert!(pinned.ops_for_client(3).iter().all(|o| o.pools == vec![3]));
+    }
+
+    #[test]
+    fn zipf_cdf_is_normalised_and_monotonic() {
+        let cdf = zipf_cdf(16, 1.1);
+        assert_eq!(cdf.len(), 16);
+        assert!(cdf.windows(2).all(|w| w[0] < w[1]));
+        assert!((cdf[15] - 1.0).abs() < 1e-9);
     }
 
     #[test]

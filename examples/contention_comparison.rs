@@ -20,6 +20,7 @@ fn cfg() -> WorkloadConfig {
         ops_per_client: 30,
         pools: 4,
         hotspot_probability: 0.7,
+        zipf_exponent: 0.0,
         amount_max: 3,
         think: Duration::from_millis(2),
         abandon_probability: 0.1,

@@ -43,6 +43,16 @@ cargo run --release -q -p promises-bench --bin experiments -- --cluster 2007 313
 echo "==> recovery smoke (seeds 2007 31337 90210)"
 cargo run --release -q -p promises-bench --bin experiments -- --recovery 2007 31337 90210
 
+# Lease suite: the E15 Zipf-skew benchmark (>=90% of hot-pool grants
+# must be served coordinator-free from per-shard leases, with >=1.2x
+# throughput uplift over ownership routing at 8 shards) plus the lease
+# sweep under three fixed seeds (zero oversells, zero lease-sum
+# violations, zero leaks, crash mid-rebalance must heal with matching
+# state digests, and >=50% of grants must stay local; see DESIGN.md
+# §15). Writes BENCH_leases.json and fails on any gate miss.
+echo "==> lease smoke (seeds 2007 31337 90210)"
+cargo run --release -q -p promises-bench --bin experiments -- --leases 2007 31337 90210
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
