@@ -13,7 +13,10 @@
 //! regression; `--cluster` runs the E13 scaling table plus cluster fault
 //! sweeps, dumping `BENCH_cluster.json`; `--leases` runs the E15
 //! lease-locality table plus per-seed lease sweeps with a mid-rebalance
-//! crash, dumping `BENCH_leases.json`).
+//! crash, dumping `BENCH_leases.json`; `--failover` runs the E16
+//! fail-over sweep — leader kills mid-2PC and mid-lease-rebalance with
+//! warm-follower promotion under replication faults — dumping
+//! `BENCH_replication.json`).
 
 use std::env;
 use std::time::Duration;
@@ -169,7 +172,8 @@ fn cluster_mode(seeds: &[u64]) {
             failures += 1;
         }
 
-        let crash = promises_sim::run_cluster_crash_restart(seed, 5);
+        let crash =
+            promises_sim::run_cluster_crash_restart(seed, 5, promises_sim::RestartTarget::SameNode);
         let crash_ok = crash.digests_match()
             && crash.in_doubt.iter().all(|&n| n == 1)
             && crash.live_after_recovery == crash.committed_before_kill;
@@ -393,6 +397,133 @@ fn leases_mode(seeds: &[u64]) {
         std::process::exit(1);
     }
     println!("leases: all checks passed");
+}
+
+/// E16 failover mode: per seed × replication-fault rate, the fail-over
+/// sweep kills every shard leader once mid-2PC and once
+/// mid-lease-rebalance and promotes its warm follower. Gates: zero
+/// partial grants, double grants, oversells, lease-sum violations, and
+/// leaks; every promoted follower byte-identical to the dead leader (and
+/// to a clean replay of its journal); every lease sum healed back to the
+/// registered total; and promotion MTTR bounded. Writes
+/// `BENCH_replication.json` and exits non-zero if any gate fails.
+fn failover_mode(seeds: &[u64]) {
+    const FAULT_RATES: [f64; 3] = [0.0, 0.1, 0.2];
+    const MAX_MTTR_US: u128 = 500_000;
+    let mut failures = 0usize;
+
+    let mut rows = Vec::new();
+    let mut sweep_json = Vec::new();
+    for &seed in seeds {
+        for rate in FAULT_RATES {
+            let r = promises_sim::run_failover_sweep(seed, rate);
+            let mttr_ok = r.mttr_max.as_micros() <= MAX_MTTR_US;
+            let ok = r.clean() && mttr_ok;
+            println!(
+                "failover seed={seed} repl_fault_rate={rate:.2}: granted={} rejected={} \
+                 failovers={} in_doubt={} presumed_aborted={} commits_resent={} \
+                 rebalance_crashes={} shipped={} dropped={} | partial={} double={} \
+                 oversell={} lease_violations={} leaked={} digests_match={} \
+                 sums_restored={} mttr_max={}us -> {}",
+                r.granted,
+                r.rejected,
+                r.failovers,
+                r.in_doubt_recovered,
+                r.presumed_aborted,
+                r.commits_resent,
+                r.rebalance_crashes_fired,
+                r.repl_shipped_lines,
+                r.repl_dropped_shipments,
+                r.partial_grants,
+                r.double_grants,
+                r.oversells,
+                r.lease_oversells + r.lease_sum_violations,
+                r.live_after_reap,
+                r.digests_match(),
+                r.lease_sums_restored,
+                r.mttr_max.as_micros(),
+                if ok { "OK" } else { "FAIL" }
+            );
+            if !mttr_ok {
+                eprintln!(
+                    "failover: MTTR gate FAILED ({}us > {MAX_MTTR_US}us)",
+                    r.mttr_max.as_micros()
+                );
+            }
+            if !ok {
+                failures += 1;
+            }
+            rows.push(vec![
+                seed.to_string(),
+                f(rate, 2),
+                r.failovers.to_string(),
+                r.repl_shipped_lines.to_string(),
+                r.repl_dropped_shipments.to_string(),
+                r.digests_match().to_string(),
+                us(r.mttr_mean.as_micros() as f64),
+                us(r.mttr_max.as_micros() as f64),
+            ]);
+            sweep_json.push(format!(
+                "{{\"seed\":{seed},\"repl_fault_rate\":{rate:.2},\"granted\":{},\
+                 \"rejected\":{},\"failovers\":{},\"in_doubt_recovered\":{},\
+                 \"presumed_aborted\":{},\"commits_resent\":{},\
+                 \"rebalance_crashes_fired\":{},\"repl_shipped_lines\":{},\
+                 \"repl_dropped_shipments\":{},\"partial_grants\":{},\
+                 \"double_grants\":{},\"oversells\":{},\"lease_oversells\":{},\
+                 \"lease_sum_violations\":{},\"leaked\":{},\"digests_match\":{},\
+                 \"lease_sums_restored\":{},\"mttr_mean_us\":{},\"mttr_max_us\":{}}}",
+                r.granted,
+                r.rejected,
+                r.failovers,
+                r.in_doubt_recovered,
+                r.presumed_aborted,
+                r.commits_resent,
+                r.rebalance_crashes_fired,
+                r.repl_shipped_lines,
+                r.repl_dropped_shipments,
+                r.partial_grants,
+                r.double_grants,
+                r.oversells,
+                r.lease_oversells,
+                r.lease_sum_violations,
+                r.live_after_reap,
+                r.digests_match(),
+                r.lease_sums_restored,
+                r.mttr_mean.as_micros(),
+                r.mttr_max.as_micros(),
+            ));
+        }
+    }
+    print_table(
+        "E16 — fail-over sweep: leader kills mid-2PC and mid-rebalance, \
+         warm-follower promotion",
+        &[
+            "seed",
+            "fault rate",
+            "failovers",
+            "shipped",
+            "dropped",
+            "digests ok",
+            "mttr mean",
+            "mttr max",
+        ],
+        &rows,
+    );
+
+    let json = format!(
+        "{{\"experiment\":\"e16-replication\",\
+         \"gates\":{{\"max_mttr_us\":{MAX_MTTR_US}}},\"sweeps\":[{}]}}\n",
+        sweep_json.join(","),
+    );
+    let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replication.json");
+    std::fs::write(json_path, json).expect("write BENCH_replication.json");
+    println!("\nwrote BENCH_replication.json");
+
+    if failures > 0 {
+        eprintln!("failover: {failures} check(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("failover: all checks passed");
 }
 
 /// E14 recovery mode: times a cold restart from the full append-only
@@ -693,6 +824,15 @@ fn main() {
     if args.iter().any(|a| a == "--leases") {
         let seeds: Vec<u64> = args.iter().filter_map(|a| a.parse().ok()).collect();
         leases_mode(if seeds.is_empty() {
+            &[2007, 31337, 90210]
+        } else {
+            &seeds
+        });
+        return;
+    }
+    if args.iter().any(|a| a == "--failover") {
+        let seeds: Vec<u64> = args.iter().filter_map(|a| a.parse().ok()).collect();
+        failover_mode(if seeds.is_empty() {
             &[2007, 31337, 90210]
         } else {
             &seeds

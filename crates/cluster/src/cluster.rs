@@ -3,17 +3,20 @@
 //! deterministically in tests and sweeps.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use promises_core::{Clock, ManualClock};
-use promises_telemetry::{ShardEvidence, Telemetry, TelemetrySnapshot};
+use promises_core::{Clock, ManualClock, RecoveryReport};
+use promises_faults::FaultInjector;
+use promises_telemetry::{ShardEvidence, SpanKind, Telemetry, TelemetrySnapshot};
 use promises_wire::{InMemoryBus, RetryPolicy, RetryingClient};
 
 use crate::coordinator::Coordinator;
 use crate::lease::LeaseDirectory;
 use crate::log::CoordinatorLog;
-use crate::router::ShardMap;
+use crate::replica::{ReplicationLink, ShardFollower};
+use crate::router::{versioned_endpoint, ShardMap};
 use crate::shard::ShardNode;
 
 /// What one [`PromiseCluster::rebalance_leases`] cycle did.
@@ -27,6 +30,23 @@ pub struct LeaseRebalance {
     /// True when an armed mid-rebalance crash fired: withdraws landed,
     /// deposits did not — the stranded headroom heals next cycle.
     pub crashed: bool,
+}
+
+/// What one [`PromiseCluster::promote_follower`] call did.
+#[derive(Debug, Clone)]
+pub struct FailoverReport {
+    /// The shard whose follower was promoted.
+    pub shard: usize,
+    /// The shard's new leadership incarnation (≥ 1).
+    pub node_epoch: u64,
+    /// The promoted leader's bus endpoint (`"shardN.eK"`).
+    pub endpoint: String,
+    /// The recovery report from replaying the follower's journal —
+    /// `in_doubt` counts prepared 2PC holds awaiting the coordinator.
+    pub recovery: RecoveryReport,
+    /// Wall-clock time from the promotion decision to the promoted
+    /// leader answering on its new endpoint (the measured MTTR).
+    pub mttr: Duration,
 }
 
 /// A running promise-manager cluster.
@@ -55,6 +75,9 @@ pub struct PromiseCluster {
     /// Armed crash for the next rebalance cycle: fire after the withdraw
     /// pass of the first rebalanced pool, before any deposit.
     rebalance_crash: Mutex<bool>,
+    /// The injector consulted at the replication fault points, applied to
+    /// every live link and to links created by later promotions.
+    repl_injector: Mutex<Option<Arc<FaultInjector>>>,
 }
 
 impl PromiseCluster {
@@ -92,6 +115,129 @@ impl PromiseCluster {
             leases: Mutex::new(None),
             rebalance_gate: Mutex::new(()),
             rebalance_crash: Mutex::new(false),
+            repl_injector: Mutex::new(None),
+        }
+    }
+
+    /// Attaches a warm follower to every shard: each leader gets a standby
+    /// journal fed by semi-synchronous segment shipping (the shard server
+    /// syncs after every handled message, before replying; cluster-driven
+    /// appends — pruning, compaction, lease rebalancing — sync at the end
+    /// of their cycles). Call any time; the first sync ships the journal
+    /// as it stands. Idempotent per shard: existing followers are kept.
+    pub fn enable_replication(&mut self) {
+        for index in 0..self.nodes.len() {
+            if self.nodes[index].follower.is_none() {
+                self.attach_follower(index);
+            }
+        }
+    }
+
+    /// True when every shard has a warm follower attached.
+    pub fn replication_enabled(&self) -> bool {
+        self.nodes.iter().all(|n| n.follower.is_some())
+    }
+
+    fn attach_follower(&mut self, index: usize) {
+        let follower = Arc::new(ShardFollower::new());
+        let link = Arc::new(ReplicationLink::new(
+            Arc::clone(&self.nodes[index].journal),
+            Arc::clone(&follower),
+            Arc::clone(&self.telemetry),
+            index,
+        ));
+        link.set_injector(self.repl_injector.lock().clone());
+        link.sync();
+        self.nodes[index]
+            .server
+            .set_replication(Some(Arc::clone(&link)));
+        self.nodes[index].follower = Some(follower);
+        self.nodes[index].replication = Some(link);
+    }
+
+    /// Installs (or clears) the fault injector consulted at the
+    /// `repl-drop` / `repl-lag` points on every replication link,
+    /// including links created by later promotions.
+    pub fn set_replication_faults(&self, injector: Option<Arc<FaultInjector>>) {
+        *self.repl_injector.lock() = injector.clone();
+        for node in &self.nodes {
+            if let Some(link) = &node.replication {
+                link.set_injector(injector.clone());
+            }
+        }
+    }
+
+    /// Syncs every replication link (no-op for shards without one).
+    /// Called after cluster-driven journal appends that bypass the bus.
+    pub fn sync_replication(&self) {
+        for node in &self.nodes {
+            if let Some(link) = &node.replication {
+                link.sync();
+            }
+        }
+    }
+
+    /// Kills shard `index`'s leader: its bus endpoint is unregistered so
+    /// every in-flight and future send fails fast (`UnknownEndpoint` is
+    /// non-retryable), modelling a dead process rather than a slow one.
+    /// The final link sync before the plug is pulled models the
+    /// semi-synchronous contract — every record the leader's disk held
+    /// when it died had already been shipped, because appends are acked
+    /// before their operations become externally visible. The node's RM,
+    /// journal, and promise table are then considered lost; only
+    /// [`PromiseCluster::promote_follower`] can bring the shard back.
+    pub fn kill_shard(&self, index: usize) {
+        if let Some(link) = &self.nodes[index].replication {
+            link.sync();
+        }
+        self.bus.unregister(&self.nodes[index].endpoint);
+        self.telemetry.incr("cluster.failover.leader_kills");
+    }
+
+    /// Promotes shard `index`'s warm follower over its killed leader:
+    /// bumps the shard's leadership epoch (fencing the dead incarnation's
+    /// address), rebuilds the node from the follower's journal copy via
+    /// the standard recovery path, registers it at the epoch-versioned
+    /// endpoint, and attaches a fresh follower so the new leader is
+    /// itself protected. The coordinator re-resolves in-doubt `rid@sN`
+    /// holds against the promoted node on its next
+    /// [`Coordinator::recover`] — prepared holds survive in the replica
+    /// exactly as they survive a same-node restart.
+    pub fn promote_follower(&mut self, index: usize) -> FailoverReport {
+        let started = Instant::now();
+        let node_epoch = self.map.bump_node_epoch(index);
+        let endpoint = versioned_endpoint(index, node_epoch);
+        let schemas = self.pools_on(index);
+        let seeds: Vec<(String, u64)> = if self.leases.lock().is_some() {
+            // Leased pools re-sync their on-hand from journalled `L`
+            // records during recovery; seeding would double-count.
+            Vec::new()
+        } else {
+            self.pools
+                .lock()
+                .iter()
+                .filter(|(_, _, s)| *s == index)
+                .map(|(n, q, _)| (n.clone(), *q))
+                .collect()
+        };
+        let bus = Arc::clone(&self.bus);
+        let recovery = self.nodes[index].promote(&bus, &schemas, &seeds, endpoint.clone());
+        self.attach_follower(index);
+        let mttr = started.elapsed();
+        self.telemetry.incr("cluster.failover.promotions");
+        self.telemetry.set_gauge(
+            "cluster.failover.last_mttr_us",
+            u64::try_from(mttr.as_micros()).unwrap_or(u64::MAX),
+        );
+        self.telemetry
+            .span_since(SpanKind::Failover, started)
+            .finish_with(mttr);
+        FailoverReport {
+            shard: index,
+            node_epoch,
+            endpoint,
+            recovery,
+            mttr,
         }
     }
 
@@ -193,6 +339,10 @@ impl PromiseCluster {
         }
         self.rebalance_leases();
         self.coordinator.sweep_dedup();
+        // Pruning, compaction, and rebalancing append to shard journals
+        // without a bus reply to hang the ack on — ship them now so the
+        // semi-synchronous contract covers cluster-driven appends too.
+        self.sync_replication();
     }
 
     /// Arms a crash for the next rebalance cycle: it stops after the
@@ -277,6 +427,10 @@ impl PromiseCluster {
                     // until the next cycle's heal re-credits it.
                     report.crashed = true;
                     self.telemetry.incr("cluster.lease.rebalance_crashes");
+                    // The donors' withdraw records are already durable —
+                    // ship them so a leader killed right after this crash
+                    // still promotes to a digest-faithful follower.
+                    self.sync_replication();
                     return Some(report);
                 }
                 // ...then deposit them toward the deficits.
@@ -311,6 +465,9 @@ impl PromiseCluster {
             self.telemetry
                 .add("cluster.lease.rebalance_moved", report.moved);
         }
+        // Withdraw/deposit `L` records bypass the bus; ship them before
+        // the cycle is considered complete.
+        self.sync_replication();
         Some(report)
     }
 

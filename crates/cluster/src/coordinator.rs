@@ -38,7 +38,7 @@ use promises_wire::{
 
 use crate::lease::LeaseDirectory;
 use crate::log::{CoordRecord, CoordinatorLog, LogCompaction, TxnId};
-use crate::router::{shard_endpoint, ShardMap};
+use crate::router::ShardMap;
 
 /// How long a dedup entry outlives its promise duration before eviction.
 /// A retry arriving after the promise expired *and* this grace elapsed is
@@ -395,7 +395,7 @@ impl Coordinator {
         });
         let reply = self
             .client
-            .send(&shard_endpoint(shard), &envelope)
+            .send(&self.map.endpoint_of(shard), &envelope)
             .map_err(|e| CoordError::Transport(e.to_string()))?;
         Ok(match reply.response_for(request_id) {
             Some(resp) => match (&resp.result, resp.promise_id) {
@@ -451,7 +451,7 @@ impl Coordinator {
                 negotiate: false,
                 prepare: true,
             });
-            match self.client.send(&shard_endpoint(shard), &envelope) {
+            match self.client.send(&self.map.endpoint_of(shard), &envelope) {
                 Ok(reply) => match reply.response_for(&sub) {
                     Some(resp) => match (&resp.result, resp.promise_id) {
                         (PromiseResult::Rejected(reason), _) => {
@@ -552,7 +552,7 @@ impl Coordinator {
             // the outcome.
             let reference = ResolveRef::Id(part.promise_id);
             if let Ok(reply) = self.client.send(
-                &shard_endpoint(part.shard),
+                &self.map.endpoint_of(part.shard),
                 &Envelope::new().with_resolution(reference.clone(), ResolutionOp::Commit),
             ) {
                 if reply.resolution_for(&reference).is_some() {
@@ -598,7 +598,7 @@ impl Coordinator {
         let started = Instant::now();
         for (shard, reference) in refs {
             let _ = self.client.send(
-                &shard_endpoint(*shard),
+                &self.map.endpoint_of(*shard),
                 &Envelope::new().with_resolution(reference.clone(), ResolutionOp::Abort),
             );
         }
@@ -614,7 +614,7 @@ impl Coordinator {
     pub fn release(&self, parts: &[GrantPart]) {
         for part in parts {
             let _ = self.client.send(
-                &shard_endpoint(part.shard),
+                &self.map.endpoint_of(part.shard),
                 &Envelope::new().with_release(part.promise_id),
             );
         }
@@ -656,7 +656,7 @@ impl Coordinator {
                     request: txn.sub_request(shard),
                 };
                 if let Ok(reply) = self.client.send(
-                    &shard_endpoint(shard),
+                    &self.map.endpoint_of(shard),
                     &Envelope::new().with_resolution(reference.clone(), ResolutionOp::Abort),
                 ) {
                     if reply.resolution_for(&reference).is_some_and(|r| r.applied) {
@@ -682,7 +682,7 @@ impl Coordinator {
                     request: txn.sub_request(shard),
                 };
                 if let Ok(reply) = self.client.send(
-                    &shard_endpoint(shard),
+                    &self.map.endpoint_of(shard),
                     &Envelope::new().with_resolution(reference.clone(), ResolutionOp::Commit),
                 ) {
                     if reply.resolution_for(&reference).is_some() {

@@ -22,7 +22,13 @@
 //!   escrow at the cluster layer): a grant covered by the requesting
 //!   client's home-shard lease is one purely local escrow decrement — no
 //!   coordinator, no 2PC — and a rebalancer migrates lease headroom
-//!   toward observed demand on the prune cadence.
+//!   toward observed demand on the prune cadence;
+//! * with [`PromiseCluster::enable_replication`], every shard leader
+//!   ships its journal (checkpoint + tail segments) to a warm
+//!   [`ShardFollower`] semi-synchronously — acked before any reply
+//!   leaves the node — so [`PromiseCluster::promote_follower`] can
+//!   replace a killed leader with a byte-identical replica behind an
+//!   epoch-fenced endpoint, turning "restartable" into "available".
 
 #![warn(missing_docs)]
 
@@ -30,14 +36,16 @@ mod cluster;
 mod coordinator;
 mod lease;
 mod log;
+mod replica;
 mod router;
 mod shard;
 
-pub use cluster::{LeaseRebalance, PromiseCluster};
+pub use cluster::{FailoverReport, LeaseRebalance, PromiseCluster};
 pub use coordinator::{
     ClusterDecision, CoordError, CoordRecovery, Coordinator, CrashPoint, GrantPart,
 };
 pub use lease::LeaseDirectory;
 pub use log::{CoordLogError, CoordRecord, CoordinatorLog, LogCompaction, LogSummary, TxnId};
-pub use router::{shard_endpoint, ShardMap};
+pub use replica::{ReplicationLink, ShardFollower, SyncReport};
+pub use router::{shard_endpoint, versioned_endpoint, ShardMap};
 pub use shard::{ShardNode, ShardServer};

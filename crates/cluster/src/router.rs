@@ -16,6 +16,17 @@ pub fn shard_endpoint(index: usize) -> String {
     format!("shard{index}")
 }
 
+/// The bus endpoint name of shard `index` at leadership incarnation
+/// `epoch`. Epoch 0 is the bare [`shard_endpoint`] name so a cluster that
+/// never fails over keeps its original wire addresses.
+pub fn versioned_endpoint(index: usize, epoch: u64) -> String {
+    if epoch == 0 {
+        shard_endpoint(index)
+    } else {
+        format!("shard{index}.e{epoch}")
+    }
+}
+
 /// Epoch-versioned pool→shard ownership map.
 #[derive(Debug)]
 pub struct ShardMap {
@@ -28,6 +39,11 @@ struct MapState {
     epoch: u64,
     assignments: BTreeMap<String, usize>,
     next_round_robin: usize,
+    /// Per-shard leadership incarnation: bumped every time a follower is
+    /// promoted over a dead leader, which also versions the bus endpoint
+    /// name — a stale sender addressing the dead incarnation fails fast
+    /// instead of reaching the ghost (epoch fencing).
+    node_epochs: Vec<u64>,
 }
 
 impl ShardMap {
@@ -37,7 +53,10 @@ impl ShardMap {
         assert!(shards > 0, "a cluster needs at least one shard");
         Self {
             shards,
-            state: RwLock::new(MapState::default()),
+            state: RwLock::new(MapState {
+                node_epochs: vec![0; shards],
+                ..MapState::default()
+            }),
         }
     }
 
@@ -85,7 +104,34 @@ impl ShardMap {
 
     /// The bus endpoint of the shard owning `pool`.
     pub fn endpoint_for(&self, pool: &str) -> String {
-        shard_endpoint(self.shard_for(pool))
+        self.endpoint_of(self.shard_for(pool))
+    }
+
+    /// The leadership incarnation of `shard` (0 until its first fail-over).
+    pub fn node_epoch(&self, shard: usize) -> u64 {
+        self.state.read().node_epochs[shard]
+    }
+
+    /// Records a leadership change for `shard`: bumps its node epoch (and
+    /// the map epoch, so cached routing is invalidated) and returns the new
+    /// incarnation. Called by the cluster when promoting a follower.
+    pub fn bump_node_epoch(&self, shard: usize) -> u64 {
+        assert!(shard < self.shards, "shard {shard} out of range");
+        let mut st = self.state.write();
+        st.node_epochs[shard] += 1;
+        st.epoch += 1;
+        st.node_epochs[shard]
+    }
+
+    /// The current bus endpoint of `shard`, versioned by its leadership
+    /// incarnation: `"shardN"` for the original leader (epoch 0, keeping
+    /// every pre-fail-over wire name unchanged) and `"shardN.eK"` after
+    /// `K` promotions. Every sender must resolve addresses through this —
+    /// never through [`shard_endpoint`] directly — or it will keep
+    /// addressing dead incarnations after a fail-over.
+    pub fn endpoint_of(&self, shard: usize) -> String {
+        let epoch = self.state.read().node_epochs[shard];
+        versioned_endpoint(shard, epoch)
     }
 
     /// Splits `(pool, payload)` pairs into per-shard groups, keyed by
@@ -158,6 +204,24 @@ mod tests {
         map.assign("widgets", 1);
         assert_eq!(map.shard_for("widgets"), 1);
         assert!(map.epoch() > before);
+    }
+
+    #[test]
+    fn node_epochs_version_shard_endpoints() {
+        let map = ShardMap::new(2);
+        assert_eq!(map.node_epoch(1), 0);
+        assert_eq!(map.endpoint_of(1), "shard1");
+        map.assign("widgets", 1);
+        assert_eq!(map.endpoint_for("widgets"), "shard1");
+        let before = map.epoch();
+        assert_eq!(map.bump_node_epoch(1), 1);
+        assert!(map.epoch() > before, "promotion must bump the map epoch");
+        assert_eq!(map.endpoint_of(1), "shard1.e1");
+        assert_eq!(map.endpoint_for("widgets"), "shard1.e1");
+        // Other shards keep their original addresses.
+        assert_eq!(map.endpoint_of(0), "shard0");
+        assert_eq!(map.bump_node_epoch(1), 2);
+        assert_eq!(map.endpoint_of(1), "shard1.e2");
     }
 
     #[test]

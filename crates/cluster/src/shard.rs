@@ -14,6 +14,7 @@ use promises_rm::ResourceManager;
 use promises_telemetry::{JournalFacts, ShardEvidence, Telemetry};
 use promises_wire::{Envelope, InMemoryBus, PromiseGateway, Service};
 
+use crate::replica::{ReplicationLink, ShardFollower};
 use crate::router::shard_endpoint;
 
 /// The bus-facing front of a shard: a single-threaded server loop. Real
@@ -29,6 +30,7 @@ use crate::router::shard_endpoint;
 pub struct ShardServer {
     gateway: Mutex<Arc<PromiseGateway>>,
     service_us: AtomicU64,
+    replication: Mutex<Option<Arc<ReplicationLink>>>,
 }
 
 impl ShardServer {
@@ -36,6 +38,7 @@ impl ShardServer {
         Self {
             gateway: Mutex::new(gateway),
             service_us: AtomicU64::new(0),
+            replication: Mutex::new(None),
         }
     }
 
@@ -48,20 +51,39 @@ impl ShardServer {
     fn swap_gateway(&self, gateway: Arc<PromiseGateway>) {
         *self.gateway.lock() = gateway;
     }
+
+    /// Installs (or clears) the replication link synced after every
+    /// handled message, before the reply leaves the node. That ordering is
+    /// the semi-synchronous discipline: nothing a client or coordinator
+    /// has seen acknowledged can be missing from the follower.
+    pub fn set_replication(&self, link: Option<Arc<ReplicationLink>>) {
+        *self.replication.lock() = link;
+    }
+
+    fn sync_replication(&self) {
+        let link = self.replication.lock().clone();
+        if let Some(link) = link {
+            link.sync();
+        }
+    }
 }
 
 impl Service for ShardServer {
     fn handle(&self, envelope: Envelope) -> Envelope {
         let us = self.service_us.load(Ordering::Relaxed);
-        if us == 0 {
+        let reply = if us == 0 {
             let gateway = Arc::clone(&self.gateway.lock());
-            return gateway.handle(envelope);
-        }
-        // Single-threaded server: the whole request — modeled service
-        // time included — runs under the node's loop lock.
-        let guard = self.gateway.lock();
-        std::thread::sleep(Duration::from_micros(us));
-        guard.handle(envelope)
+            gateway.handle(envelope)
+        } else {
+            // Single-threaded server: the whole request — modeled service
+            // time included — runs under the node's loop lock.
+            let guard = self.gateway.lock();
+            std::thread::sleep(Duration::from_micros(us));
+            guard.handle(envelope)
+        };
+        // Ship whatever the message journalled before acknowledging it.
+        self.sync_replication();
+        reply
     }
 }
 
@@ -86,6 +108,10 @@ pub struct ShardNode {
     pub server: Arc<ShardServer>,
     /// The shard's private telemetry registry.
     pub telemetry: Arc<Telemetry>,
+    /// The warm standby, when the cluster enabled replication.
+    pub follower: Option<Arc<ShardFollower>>,
+    /// The shipping channel feeding `follower`.
+    pub replication: Option<Arc<ReplicationLink>>,
     clock: Arc<dyn Clock>,
 }
 
@@ -112,6 +138,8 @@ impl ShardNode {
             gateway,
             pm,
             telemetry,
+            follower: None,
+            replication: None,
             clock,
         };
         node.register_handlers();
@@ -179,6 +207,60 @@ impl ShardNode {
         self.gateway = Arc::new(PromiseGateway::new(Arc::clone(&self.pm)));
         self.register_handlers();
         self.server.swap_gateway(Arc::clone(&self.gateway));
+        bus.register(&self.endpoint, Arc::clone(&self.server) as _);
+        report
+    }
+
+    /// Promotes this shard's warm follower over a dead leader: the
+    /// leader's RM, journal, and promise table are all treated as lost
+    /// with the node. The follower's journal copy becomes the shard's
+    /// journal; a fresh RM is rebuilt (`schemas` re-registered, `seeds`
+    /// restoring the on-hand quantities of non-leased pools — leased
+    /// pools re-sync on-hand from their journalled `L` records during
+    /// recovery), the standard recovery path replays the replica, and the
+    /// reused server loop answers on `new_endpoint` (the epoch-fenced
+    /// address minted by the router). The caller attaches a fresh
+    /// follower afterwards so the promoted leader is itself protected.
+    pub fn promote(
+        &mut self,
+        bus: &InMemoryBus,
+        schemas: &[String],
+        seeds: &[(String, u64)],
+        new_endpoint: String,
+    ) -> RecoveryReport {
+        let follower = self
+            .follower
+            .take()
+            .expect("promotion requires replication to be enabled");
+        self.replication = None;
+        self.server.set_replication(None);
+
+        let journal = Arc::clone(&follower.journal);
+        let rm = Arc::new(ResourceManager::new());
+        rm.set_telemetry(Some(Arc::clone(&self.telemetry)));
+        let pm = Arc::new(PromiseManager::new(
+            Arc::clone(&rm),
+            Arc::clone(&self.clock),
+        ));
+        pm.set_telemetry(Some(Arc::clone(&self.telemetry)));
+        for pool in schemas {
+            pm.register_pool(PoolSchema::quantity(pool.as_str()));
+        }
+        for (pool, qty) in seeds {
+            pm.seed_quantity(pool.as_str(), *qty)
+                .expect("re-seed promoted pool");
+        }
+        let report = pm
+            .recover(Arc::clone(&journal))
+            .expect("follower journal replays cleanly");
+
+        self.rm = rm;
+        self.journal = journal;
+        self.pm = pm;
+        self.gateway = Arc::new(PromiseGateway::new(Arc::clone(&self.pm)));
+        self.register_handlers();
+        self.server.swap_gateway(Arc::clone(&self.gateway));
+        self.endpoint = new_endpoint;
         bus.register(&self.endpoint, Arc::clone(&self.server) as _);
         report
     }

@@ -1,0 +1,299 @@
+//! Fail-over tests: warm-follower promotion interleaved with grants,
+//! releases, expiries, lease rebalances, mid-rebalance crashes, and
+//! journal compactions. Killing a leader at *any* point must leave the
+//! promoted follower byte-identical to the dead leader, keep every shard
+//! at promised ≤ lease, never mint lease units (Σ leases ≤ registered
+//! total), and never let a double grant survive promotion.
+
+use std::collections::HashMap;
+
+use promises_cluster::{versioned_endpoint, ClusterDecision, PromiseCluster};
+use promises_core::JournalOp;
+
+const HOUR_MS: u64 = 3_600_000;
+
+/// Two shards, leases and replication on: `alpha`→0, `beta`→1 by
+/// round-robin ownership, `c0`/`c1` pinned to home shards 0/1, and a warm
+/// follower attached to each leader.
+fn replicated_cluster(qty: u64) -> PromiseCluster {
+    let mut cluster = PromiseCluster::build(2, 7);
+    let dir = cluster.enable_leases();
+    dir.pin_home("c0", 0);
+    dir.pin_home("c1", 1);
+    assert_eq!(cluster.register_quantity_pool("alpha", qty), 0);
+    assert_eq!(cluster.register_quantity_pool("beta", qty), 1);
+    cluster.enable_replication();
+    cluster
+}
+
+fn lease_sum(cluster: &PromiseCluster, pool: &str) -> u64 {
+    cluster
+        .nodes
+        .iter()
+        .map(|n| n.pm.lease_of(pool).unwrap_or(0))
+        .sum()
+}
+
+/// Grant-like journal records per `(client, request)`, per shard —
+/// counting checkpoint-folded live records exactly once (compaction drops
+/// the raw lines a checkpoint summarizes). Any count above 1 is a double
+/// grant.
+fn double_grants(cluster: &PromiseCluster) -> usize {
+    let mut doubles = 0;
+    for node in &cluster.nodes {
+        let mut counts: HashMap<(String, String), usize> = HashMap::new();
+        for entry in node.journal.entries().expect("journal replays") {
+            match entry.op {
+                JournalOp::Grant(rec) | JournalOp::Prepared(rec) => {
+                    *counts
+                        .entry((rec.client.0.clone(), rec.request.0.clone()))
+                        .or_insert(0) += 1;
+                }
+                JournalOp::Checkpoint(cp) => {
+                    for item in cp.live {
+                        *counts
+                            .entry((item.record.client.0.clone(), item.record.request.0.clone()))
+                            .or_insert(0) += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        doubles += counts.values().filter(|&&n| n > 1).count();
+    }
+    doubles
+}
+
+#[test]
+fn promotion_swaps_in_a_byte_identical_replica_behind_a_new_epoch() {
+    let mut cluster = replicated_cluster(100);
+    let granted = cluster
+        .coordinator
+        .grant(
+            "c0",
+            "r1",
+            &[
+                "qty('alpha') >= 5".to_string(),
+                "qty('beta') >= 3".to_string(),
+            ],
+            HOUR_MS,
+        )
+        .unwrap();
+    assert!(granted.is_granted());
+
+    let pre = cluster.nodes[0].pm.state_digest();
+    cluster.kill_shard(0);
+    let report = cluster.promote_follower(0);
+    assert_eq!(report.shard, 0);
+    assert_eq!(report.node_epoch, 1);
+    assert_eq!(report.endpoint, versioned_endpoint(0, 1));
+    assert_eq!(cluster.nodes[0].endpoint, report.endpoint);
+    assert_eq!(
+        cluster.nodes[0].pm.state_digest(),
+        pre,
+        "the promoted follower must be byte-identical to the dead leader"
+    );
+
+    // The promoted leader serves new traffic on the fenced endpoint, and
+    // is itself protected by a fresh follower.
+    let next = cluster
+        .coordinator
+        .grant("c0", "r2", &["qty('alpha') >= 2".to_string()], HOUR_MS)
+        .unwrap();
+    assert!(next.is_granted());
+    assert!(cluster.nodes[0].follower.is_some());
+    assert_eq!(double_grants(&cluster), 0);
+}
+
+#[test]
+fn repeated_kills_keep_promoting_from_the_standby_chain() {
+    let mut cluster = replicated_cluster(100);
+    for round in 1..=3u64 {
+        let rid = format!("r{round}");
+        let granted = cluster
+            .coordinator
+            .grant("c1", &rid, &["qty('beta') >= 2".to_string()], HOUR_MS)
+            .unwrap();
+        assert!(granted.is_granted());
+        let pre = cluster.nodes[1].pm.state_digest();
+        cluster.kill_shard(1);
+        let report = cluster.promote_follower(1);
+        assert_eq!(report.node_epoch, round);
+        assert_eq!(cluster.nodes[1].pm.state_digest(), pre);
+    }
+    assert_eq!(cluster.nodes[1].pm.live_count(), 3);
+    assert_eq!(double_grants(&cluster), 0);
+}
+
+mod interleavings {
+    //! The satellite proptest: leader kills + promotions interleaved with
+    //! grants, releases, expiries, lease rebalances, mid-rebalance
+    //! crashes, and compaction-triggering advances. Every step keeps
+    //! promised ≤ lease on every shard and Σ leases ≤ registered total;
+    //! every promotion yields a byte-identical replica; no double grant
+    //! survives any interleaving.
+
+    use super::*;
+    use promises_cluster::GrantPart;
+    use promises_core::Clock;
+    use proptest::prelude::*;
+
+    const POOLS: [&str; 2] = ["alpha", "beta"];
+    const TOTAL: u64 = 60;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Grant {
+            client: usize,
+            pool: usize,
+            amount: u64,
+            span_both: bool,
+        },
+        Release {
+            index: usize,
+        },
+        Advance {
+            ms: u64,
+        },
+        KillPromote {
+            shard: usize,
+        },
+        Rebalance,
+        ArmRebalanceCrash,
+    }
+
+    fn arb_grant() -> impl Strategy<Value = Op> {
+        (0usize..2, 0usize..2, 1u64..8, any::<bool>()).prop_map(
+            |(client, pool, amount, span_both)| Op::Grant {
+                client,
+                pool,
+                amount,
+                span_both,
+            },
+        )
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        // The shim's `prop_oneof!` is unweighted: repeat the grant arm so
+        // the mix stays grant-heavy.
+        prop_oneof![
+            arb_grant(),
+            arb_grant(),
+            arb_grant(),
+            (0usize..16).prop_map(|index| Op::Release { index }),
+            (1u64..120_000).prop_map(|ms| Op::Advance { ms }),
+            (0usize..2).prop_map(|shard| Op::KillPromote { shard }),
+            Just(Op::Rebalance),
+            Just(Op::ArmRebalanceCrash),
+        ]
+    }
+
+    fn assert_lease_invariants(cluster: &PromiseCluster, step: usize) -> Result<(), TestCaseError> {
+        for pool in POOLS {
+            let sum = lease_sum(cluster, pool);
+            prop_assert!(
+                sum <= TOTAL,
+                "step {step}: lease sum for {pool} minted units: {sum} > {TOTAL}"
+            );
+            for node in &cluster.nodes {
+                let lease = node.pm.lease_of(pool).unwrap_or(0);
+                let promised = node.pm.promised_qty(pool);
+                prop_assert!(
+                    promised <= lease,
+                    "step {step}: shard {} oversold {pool}: {promised} > {lease}",
+                    node.index
+                );
+            }
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn promotion_preserves_every_invariant_under_any_interleaving(
+            ops in proptest::collection::vec(arb_op(), 1..20)
+        ) {
+            let mut cluster = replicated_cluster(TOTAL);
+            let mut held: Vec<Vec<GrantPart>> = Vec::new();
+            for (i, op) in ops.iter().enumerate() {
+                match op {
+                    Op::Grant { client, pool, amount, span_both } => {
+                        let mut predicates =
+                            vec![format!("qty('{}') >= {amount}", POOLS[*pool])];
+                        if *span_both {
+                            predicates
+                                .push(format!("qty('{}') >= {amount}", POOLS[1 - *pool]));
+                        }
+                        let decision = cluster.coordinator.grant(
+                            &format!("c{client}"),
+                            &format!("g{i}"),
+                            &predicates,
+                            50_000,
+                        ).unwrap();
+                        if let ClusterDecision::Granted { parts } = decision {
+                            held.push(parts);
+                        }
+                    }
+                    Op::Release { index } => {
+                        if !held.is_empty() {
+                            let parts = held.swap_remove(index % held.len());
+                            cluster.coordinator.release(&parts);
+                        }
+                    }
+                    Op::Advance { ms } => {
+                        // Drives expiry, compaction, and a rebalance cycle
+                        // (which may fire a previously armed crash).
+                        cluster.advance_and_prune(*ms);
+                        held.retain(|parts| {
+                            parts.iter().all(|p| p.expires_at > cluster.clock.now_ms())
+                        });
+                    }
+                    Op::KillPromote { shard } => {
+                        let pre = cluster.nodes[*shard].pm.state_digest();
+                        cluster.kill_shard(*shard);
+                        let report = cluster.promote_follower(*shard);
+                        prop_assert_eq!(
+                            cluster.nodes[*shard].pm.state_digest(),
+                            pre,
+                            "step {}: promoted follower diverged from dead leader {}",
+                            i,
+                            shard
+                        );
+                        prop_assert_eq!(
+                            &cluster.nodes[*shard].endpoint,
+                            &versioned_endpoint(*shard, report.node_epoch),
+                            "step {}: promotion must fence the endpoint",
+                            i
+                        );
+                    }
+                    Op::Rebalance => {
+                        cluster.rebalance_leases();
+                    }
+                    Op::ArmRebalanceCrash => cluster.arm_rebalance_crash(),
+                }
+                assert_lease_invariants(&cluster, i)?;
+                prop_assert_eq!(
+                    double_grants(&cluster), 0,
+                    "step {}: a double grant appeared", i
+                );
+            }
+
+            // Quiesce: two rebalance cycles consume any still-armed crash
+            // and heal whatever a fired one stranded — the lease sum must
+            // return to the registered total exactly.
+            cluster.rebalance_leases();
+            cluster.rebalance_leases();
+            for pool in POOLS {
+                prop_assert_eq!(
+                    lease_sum(&cluster, pool),
+                    TOTAL,
+                    "healed cluster must account for every unit of {}",
+                    pool
+                );
+            }
+            prop_assert_eq!(double_grants(&cluster), 0);
+        }
+    }
+}

@@ -345,6 +345,12 @@ fn read_record(r: &mut FieldReader<'_>) -> Result<PromiseRecord, JournalError> {
     })
 }
 
+/// Cheap peek at a line's sequence number (first tab-separated field)
+/// without decoding the whole record. Returns `None` for malformed lines.
+fn line_seq(raw: &str) -> Option<u64> {
+    raw.split('\t').next()?.parse().ok()
+}
+
 /// Decodes one journal line (inverse of [`encode_entry`]). `line` is used
 /// only for error reporting.
 pub fn decode_entry(raw: &str, line: usize) -> Result<JournalEntry, JournalError> {
@@ -590,6 +596,60 @@ impl PromiseJournal {
     /// The raw encoded lines (what would be written to a log file).
     pub fn lines(&self) -> Vec<String> {
         self.inner.lock().lines.clone()
+    }
+
+    /// The highest sequence number assigned so far (0 for a journal that
+    /// has never been appended to). This is the replication *tip*: a
+    /// follower whose acked watermark equals the tip holds every record.
+    pub fn tip_seq(&self) -> u64 {
+        self.inner.lock().next_seq - 1
+    }
+
+    /// The encoded lines with sequence numbers strictly greater than
+    /// `watermark`, in append order — one replication segment. Because
+    /// sequence numbers keep ascending across [`install_checkpoint`]
+    /// (the `K` entry takes the next seq), a follower that last acked a
+    /// pre-compaction seq receives the checkpoint plus the tail: exactly
+    /// the state it needs, with the dead history already folded away.
+    ///
+    /// [`install_checkpoint`]: PromiseJournal::install_checkpoint
+    pub fn segment_after(&self, watermark: u64) -> Vec<String> {
+        let inner = self.inner.lock();
+        let start = inner
+            .lines
+            .partition_point(|l| line_seq(l).is_some_and(|s| s <= watermark));
+        inner.lines[start..].to_vec()
+    }
+
+    /// Applies one shipped replication segment, idempotently: lines whose
+    /// seq the journal already holds are skipped (at-least-once shipping
+    /// is safe), a `K` checkpoint line truncates the stored prefix (the
+    /// follower-side mirror of [`PromiseJournal::install_checkpoint`]),
+    /// and everything else is appended verbatim. Any malformed line is a
+    /// hard error — segments are read from an intact leader journal, so
+    /// corruption here means the shipping channel itself broke. Returns
+    /// the new tip (the acked watermark the follower should report).
+    pub fn apply_segment<S: AsRef<str>>(&self, segment: &[S]) -> Result<u64, JournalError> {
+        // Decode everything before touching state so a corrupt line never
+        // half-applies a segment.
+        let decoded = segment
+            .iter()
+            .enumerate()
+            .map(|(i, raw)| decode_entry(raw.as_ref(), i))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut inner = self.inner.lock();
+        for (entry, raw) in decoded.iter().zip(segment) {
+            if entry.seq < inner.next_seq {
+                continue; // duplicate delivery of an already-applied record
+            }
+            if matches!(entry.op, JournalOp::Checkpoint(_)) {
+                inner.lines.clear();
+            }
+            inner.lines.push(raw.as_ref().to_owned());
+            inner.next_seq = entry.seq + 1;
+            inner.generation = inner.generation.max(entry.generation);
+        }
+        Ok(inner.next_seq - 1)
     }
 
     /// All entries, decoded, in append order.
@@ -853,5 +913,83 @@ mod tests {
         let (reloaded, torn) = PromiseJournal::from_lines_tolerant(&j.lines()).unwrap();
         assert!(torn.is_none());
         assert_eq!(reloaded.len(), 1);
+    }
+
+    #[test]
+    fn segment_shipping_replicates_a_journal() {
+        let leader = PromiseJournal::new();
+        let follower = PromiseJournal::new();
+        assert_eq!(leader.tip_seq(), 0);
+        assert!(leader.segment_after(0).is_empty());
+
+        leader.append(JournalOp::Grant(sample_record()));
+        leader.append(JournalOp::Release(PromiseId(7)));
+        let acked = follower.apply_segment(&leader.segment_after(0)).unwrap();
+        assert_eq!(acked, leader.tip_seq());
+        assert_eq!(follower.lines(), leader.lines());
+
+        // Incremental ship: only the new tail crosses the wire.
+        leader.append(JournalOp::Expire(PromiseId(7)));
+        let segment = leader.segment_after(acked);
+        assert_eq!(segment.len(), 1);
+        let acked = follower.apply_segment(&segment).unwrap();
+        assert_eq!(acked, 3);
+        assert_eq!(follower.lines(), leader.lines());
+    }
+
+    #[test]
+    fn apply_segment_is_idempotent_under_resend() {
+        let leader = PromiseJournal::new();
+        let follower = PromiseJournal::new();
+        leader.append(JournalOp::Grant(sample_record()));
+        leader.append(JournalOp::Release(PromiseId(7)));
+        let segment = leader.segment_after(0);
+        follower.apply_segment(&segment).unwrap();
+        // At-least-once delivery: the duplicate is skipped wholesale.
+        let acked = follower.apply_segment(&segment).unwrap();
+        assert_eq!(acked, 2);
+        assert_eq!(follower.lines(), leader.lines());
+        // And the follower can keep appending from the shipped tip.
+        assert_eq!(follower.append(JournalOp::Expire(PromiseId(7))), 3);
+    }
+
+    #[test]
+    fn segment_after_compaction_ships_checkpoint_plus_tail() {
+        let leader = PromiseJournal::new();
+        let follower = PromiseJournal::new();
+        leader.append(JournalOp::Grant(sample_record()));
+        let acked = follower.apply_segment(&leader.segment_after(0)).unwrap();
+        assert_eq!(acked, 1);
+
+        // Leader compacts: history folds into a K record with seq 4, then
+        // keeps appending. The follower last acked seq 1, which no longer
+        // exists leader-side — the segment is the checkpoint plus tail.
+        leader.append(JournalOp::Release(PromiseId(7)));
+        leader.append(JournalOp::Grant(sample_record()));
+        leader.install_checkpoint(CheckpointState {
+            next_id: 9,
+            live: vec![CheckpointRecord {
+                prepared: false,
+                record: sample_record(),
+            }],
+            leases: vec![("pink-widgets".into(), 40)],
+        });
+        leader.append(JournalOp::Expire(PromiseId(7)));
+        let segment = leader.segment_after(acked);
+        assert_eq!(segment.len(), 2, "checkpoint + tail");
+        let acked = follower.apply_segment(&segment).unwrap();
+        assert_eq!(acked, leader.tip_seq());
+        // The shipped checkpoint truncated the follower's stale prefix.
+        assert_eq!(follower.lines(), leader.lines());
+        let reloaded = PromiseJournal::from_lines(&follower.lines()).unwrap();
+        assert_eq!(reloaded.append(JournalOp::Release(PromiseId(8))), 6);
+    }
+
+    #[test]
+    fn apply_segment_rejects_corrupt_lines() {
+        let follower = PromiseJournal::new();
+        let err = follower.apply_segment(&["garbage"]).unwrap_err();
+        assert_eq!(err.line, 0);
+        assert!(follower.is_empty(), "corrupt segment must not half-apply");
     }
 }

@@ -129,7 +129,41 @@ impl FaultScenario {
         self.points.insert(name.to_owned(), faults);
         self
     }
+
+    /// Arms the replication fault points: shipped journal segments are
+    /// dropped in flight with probability `drop`, and acked shipments are
+    /// delayed (follower lag) with probability `lag`. Both points are
+    /// consumed via [`FaultInjector::point_fires`] by the cluster's
+    /// replication links; a dropped shipment is retried by the link, so
+    /// these rates degrade freshness, never correctness.
+    pub fn with_replication_faults(mut self, drop: f64, lag: f64) -> Self {
+        self.points.insert(
+            POINT_REPL_DROP.to_owned(),
+            PointFaults {
+                error_probability: drop,
+                ..PointFaults::default()
+            },
+        );
+        self.points.insert(
+            POINT_REPL_LAG.to_owned(),
+            PointFaults {
+                error_probability: lag,
+                ..PointFaults::default()
+            },
+        );
+        self
+    }
 }
+
+/// Named point: a shipped replication segment is dropped before the
+/// follower sees it (the link retries).
+pub const POINT_REPL_DROP: &str = "repl-drop";
+/// Named point: a shipment is applied but the ack is delayed, leaving the
+/// follower's reported watermark stale for a beat.
+pub const POINT_REPL_LAG: &str = "repl-lag";
+/// Named point: the fail-over sweep consults this to decide whether to
+/// kill a shard leader at the next kill site.
+pub const POINT_LEADER_KILL: &str = "leader-kill";
 
 /// Counters for faults that actually fired.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -320,6 +354,22 @@ impl FaultInjector {
             table: point.to_owned(),
         })
     }
+
+    /// Boolean form of [`FaultInjector::point_error`] for faults that are
+    /// events rather than storage errors (dropped replication shipments,
+    /// lagged acks, leader kills). Draws from the same seeded stream and
+    /// counts into `point_errors`, so replication scenarios stay exactly
+    /// reproducible alongside message faults.
+    pub fn point_fires(&self, point: &str) -> bool {
+        let Some(pf) = self.scenario.points.get(point) else {
+            return false;
+        };
+        if !self.roll(pf.error_probability) {
+            return false;
+        }
+        self.state.lock().unwrap().stats.point_errors += 1;
+        true
+    }
 }
 
 impl std::fmt::Debug for FaultInjector {
@@ -411,6 +461,30 @@ mod tests {
         ));
         assert_eq!(inj2.pause("pm-grant"), Some(Duration::from_millis(1)));
         assert!(inj2.pause("undo").is_none());
+    }
+
+    #[test]
+    fn replication_points_fire_at_configured_rates() {
+        let inj = FaultInjector::new(FaultScenario::quiet(5).with_replication_faults(1.0, 0.0));
+        assert!(inj.point_fires(POINT_REPL_DROP));
+        assert!(!inj.point_fires(POINT_REPL_LAG));
+        assert!(!inj.point_fires(POINT_LEADER_KILL), "unarmed point is off");
+        assert_eq!(inj.stats().point_errors, 1);
+        // Determinism: two injectors with the same seed agree draw-by-draw.
+        let mk = || FaultInjector::new(FaultScenario::quiet(9).with_replication_faults(0.5, 0.5));
+        let (a, b) = (mk(), mk());
+        let draws = |i: &FaultInjector| {
+            (0..64)
+                .map(|k| {
+                    i.point_fires(if k % 2 == 0 {
+                        POINT_REPL_DROP
+                    } else {
+                        POINT_REPL_LAG
+                    })
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draws(&a), draws(&b));
     }
 
     #[test]

@@ -33,7 +33,9 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use promises_cluster::{ClusterDecision, CoordError, CrashPoint, GrantPart, PromiseCluster};
-use promises_core::{ClientId, JournalOp, PromiseId, RequestId};
+use promises_core::{
+    ClientId, Clock, JournalOp, PoolSchema, PromiseId, PromiseJournal, PromiseManager, RequestId,
+};
 use promises_faults::{FaultInjector, FaultScenario};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -677,6 +679,17 @@ pub fn run_lease_sweep(cfg: &ClusterSweepConfig) -> (LeaseSweepReport, PromiseCl
     (report, cluster)
 }
 
+/// Where a killed shard comes back from in the crash–restart harnesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartTarget {
+    /// The PR 5 model: the node's process dies but its disk survives, so
+    /// the same node restarts from its own journal.
+    SameNode,
+    /// The fail-over model: node *and* disk are lost; the shard's warm
+    /// follower is promoted behind an epoch-fenced endpoint.
+    Follower,
+}
+
 /// Outcome of a cluster crash–restart run.
 #[derive(Debug, Clone)]
 pub struct ClusterCrashReport {
@@ -702,13 +715,21 @@ impl ClusterCrashReport {
 
 /// The satellite crash-restart scenario: commit some cross-shard grants,
 /// then kill *every shard* between `Prepare` and `Commit` of one more
-/// transaction (the coordinator crashes with them), restart the shards
-/// from their journals, compare per-shard `state_digest()`s, and let
-/// coordinator recovery resolve the in-doubt holds by presumed abort.
-pub fn run_cluster_crash_restart(seed: u64, committed_grants: usize) -> ClusterCrashReport {
+/// transaction (the coordinator crashes with them), bring each shard back
+/// per `target` — same-node journal restart, or warm-follower promotion —
+/// compare per-shard `state_digest()`s, and let coordinator recovery
+/// resolve the in-doubt holds by presumed abort.
+pub fn run_cluster_crash_restart(
+    seed: u64,
+    committed_grants: usize,
+    target: RestartTarget,
+) -> ClusterCrashReport {
     let mut cluster = PromiseCluster::build(2, seed);
     cluster.register_quantity_pool("alpha", 10_000);
     cluster.register_quantity_pool("beta", 10_000);
+    if target == RestartTarget::Follower {
+        cluster.enable_replication();
+    }
 
     let mut committed = 0usize;
     for i in 0..committed_grants {
@@ -749,7 +770,13 @@ pub fn run_cluster_crash_restart(seed: u64, committed_grants: usize) -> ClusterC
     let mut in_doubt = Vec::new();
     for index in 0..cluster.shard_count() {
         let pre = cluster.nodes[index].pm.state_digest();
-        let recovery = cluster.crash_restart_shard(index);
+        let recovery = match target {
+            RestartTarget::SameNode => cluster.crash_restart_shard(index),
+            RestartTarget::Follower => {
+                cluster.kill_shard(index);
+                cluster.promote_follower(index).recovery
+            }
+        };
         let post = cluster.nodes[index].pm.state_digest();
         digests.push((pre, post));
         in_doubt.push(recovery.in_doubt);
@@ -768,6 +795,463 @@ pub fn run_cluster_crash_restart(seed: u64, committed_grants: usize) -> ClusterC
         in_doubt,
         live_after_recovery: cluster.live_count(),
         committed_before_kill: committed,
+    }
+}
+
+/// The E16 equivalence reference: a *fresh* promise manager recovered
+/// from a snapshot of the dead leader's journal lines, exactly as the
+/// promotion path rebuilds one from the follower's copy. Byte-equality of
+/// this digest with the promoted follower's proves the replica carried
+/// every record the leader's disk held — nothing dropped, nothing
+/// invented. Seeds mirror [`PromiseCluster::promote_follower`]: non-leased
+/// owned pools get their registered quantity; leased pools re-sync their
+/// on-hand from journalled `L` records during recovery.
+fn clean_replay_digest(cluster: &PromiseCluster, index: usize, leader_lines: &[String]) -> String {
+    let rm = Arc::new(promises_rm::ResourceManager::new());
+    let pm = PromiseManager::new(rm, Arc::clone(&cluster.clock) as Arc<dyn Clock>);
+    for pool in cluster.pools_on(index) {
+        pm.register_pool(PoolSchema::quantity(pool.as_str()));
+    }
+    if cluster.lease_directory().is_none() {
+        for (name, qty, shard) in cluster.registered_pools() {
+            if shard == index {
+                pm.seed_quantity(name.as_str(), qty)
+                    .expect("re-seed replay reference");
+            }
+        }
+    }
+    let journal =
+        Arc::new(PromiseJournal::from_lines(leader_lines).expect("leader journal intact"));
+    pm.recover(journal).expect("clean replay succeeds");
+    pm.state_digest()
+}
+
+/// One fail-over's digest triple: the dead leader's would-be state, the
+/// promoted follower's state, and the clean-replay reference.
+#[derive(Debug, Clone)]
+pub struct FailoverDigests {
+    /// Which kill this was (`"2pc-s2"`, `"rebalance-s0"`, …).
+    pub label: String,
+    /// `state_digest()` of the leader at the instant it was killed.
+    pub pre_kill: String,
+    /// `state_digest()` of the promoted follower, before any new traffic.
+    pub promoted: String,
+    /// [`clean_replay_digest`] over the dead leader's journal lines.
+    pub clean_replay: String,
+}
+
+impl FailoverDigests {
+    /// True when all three digests are byte-identical.
+    pub fn matches(&self) -> bool {
+        self.pre_kill == self.promoted && self.promoted == self.clean_replay
+    }
+}
+
+/// Outcome of one [`run_failover_sweep`]: every shard leader killed once
+/// mid-2PC (phase A) and once mid-lease-rebalance (phase B), each time
+/// promoted from its warm follower, with the full cluster audit suite on
+/// both clusters.
+#[derive(Debug, Clone)]
+pub struct FailoverSweepReport {
+    /// Grant attempts across both phases.
+    pub attempts: u64,
+    /// Unit grants confirmed.
+    pub granted: u64,
+    /// Unit rejections.
+    pub rejected: u64,
+    /// Coordinator crashes armed on doomed cross-shard grants (one per
+    /// shard in phase A, alternating after-prepare / after-commit-logged).
+    pub doomed_crashes: u64,
+    /// Follower promotions performed (2 × shard count).
+    pub failovers: u64,
+    /// Prepared holds the promoted replicas reported in doubt.
+    pub in_doubt_recovered: u64,
+    /// Doomed transactions recovery presumed aborted.
+    pub presumed_aborted: u64,
+    /// Doomed transactions whose logged commits recovery resent — against
+    /// the *promoted* follower's epoch-fenced endpoint.
+    pub commits_resent: u64,
+    /// Armed mid-rebalance crashes that fired in phase B.
+    pub rebalance_crashes_fired: u64,
+    /// Whether every pool's lease sum healed back to its registered total
+    /// after each phase-B promotion. **Always true.**
+    pub lease_sums_restored: bool,
+    /// The digest triple for every fail-over. All must match.
+    pub digests: Vec<FailoverDigests>,
+    /// Observable all-or-nothing violations. **Always zero.**
+    pub partial_grants: u64,
+    /// Duplicate grant-like journal records per (client, request).
+    /// **Always zero.**
+    pub double_grants: u64,
+    /// Shards with promised > on-hand. **Always zero.**
+    pub oversells: u64,
+    /// Shards with promised > lease (phase B). **Always zero.**
+    pub lease_oversells: u64,
+    /// Pools with Σ leases > total (phase B). **Always zero.**
+    pub lease_sum_violations: u64,
+    /// Promises surviving recovery + full expiry. **Always zero.**
+    pub live_after_reap: usize,
+    /// Coordinator dedup entries surviving the eviction grace. **Zero.**
+    pub dedup_after_reap: usize,
+    /// Shard tombstones surviving the eviction grace. **Zero.**
+    pub tombstones_after_reap: usize,
+    /// Journal lines shipped over every replication link.
+    pub repl_shipped_lines: u64,
+    /// Shipments the `repl-drop` point lost in flight (each retried).
+    pub repl_dropped_shipments: u64,
+    /// Worst promotion MTTR observed (kill decision → promoted leader
+    /// answering on its new endpoint).
+    pub mttr_max: Duration,
+    /// Mean promotion MTTR.
+    pub mttr_mean: Duration,
+    /// Wall-clock duration of the whole sweep.
+    pub elapsed: Duration,
+}
+
+impl FailoverSweepReport {
+    /// True when every fail-over's digest triple is byte-identical.
+    pub fn digests_match(&self) -> bool {
+        self.digests.iter().all(FailoverDigests::matches)
+    }
+
+    /// True when every audited guarantee held.
+    pub fn clean(&self) -> bool {
+        self.partial_grants == 0
+            && self.double_grants == 0
+            && self.oversells == 0
+            && self.lease_oversells == 0
+            && self.lease_sum_violations == 0
+            && self.digests_match()
+            && self.lease_sums_restored
+            && self.live_after_reap == 0
+            && self.dedup_after_reap == 0
+            && self.tombstones_after_reap == 0
+    }
+}
+
+/// Running grant tallies for [`run_failover_sweep`].
+#[derive(Debug, Default)]
+struct GrantCounters {
+    attempts: u64,
+    granted: u64,
+    rejected: u64,
+}
+
+/// One audited grant attempt on a quiet bus: granted (maybe released) or
+/// rejected — any coordinator error fails the sweep outright.
+fn sweep_grant(
+    cluster: &PromiseCluster,
+    outcomes: &mut Vec<(String, String, OpOutcome)>,
+    rng: &mut StdRng,
+    counters: &mut GrantCounters,
+    client: &str,
+    rid: String,
+    predicates: &[String],
+) {
+    counters.attempts += 1;
+    match cluster
+        .coordinator
+        .grant(client, &rid, predicates, 3_600_000)
+    {
+        Ok(ClusterDecision::Granted { parts }) => {
+            counters.granted += 1;
+            let released = rng.random_bool(0.5);
+            if released {
+                cluster.coordinator.release(&parts);
+            }
+            outcomes.push((
+                client.to_owned(),
+                rid,
+                OpOutcome::Granted { parts, released },
+            ));
+        }
+        Ok(ClusterDecision::Rejected { .. }) => {
+            counters.rejected += 1;
+            outcomes.push((client.to_owned(), rid, OpOutcome::RejectedOrAborted));
+        }
+        Err(e) => panic!("unexpected coordinator error in failover sweep: {e}"),
+    }
+}
+
+/// Promotion duration for one shard, bookkept into the shared vectors.
+fn fail_over(
+    cluster: &mut PromiseCluster,
+    index: usize,
+    label: String,
+    digests: &mut Vec<FailoverDigests>,
+    mttrs: &mut Vec<Duration>,
+) -> promises_core::RecoveryReport {
+    cluster.kill_shard(index);
+    let pre_kill = cluster.nodes[index].pm.state_digest();
+    let leader_lines = cluster.nodes[index].journal.lines();
+    let fo = cluster.promote_follower(index);
+    let promoted = cluster.nodes[index].pm.state_digest();
+    let clean_replay = clean_replay_digest(cluster, index, &leader_lines);
+    digests.push(FailoverDigests {
+        label,
+        pre_kill,
+        promoted,
+        clean_replay,
+    });
+    mttrs.push(fo.mttr);
+    fo.recovery
+}
+
+/// The E16 fail-over sweep. Two phases, both with warm followers attached
+/// and replication faults (segment drops and lagged acks) injected at
+/// `repl_fault_rate`:
+///
+/// **Phase A — kill mid-2PC.** A non-leased 4-shard cluster (every
+/// footprint really crosses the coordinator). For each shard `k`: steady
+/// single- and cross-shard grants; then a doomed cross-shard grant
+/// touching `k` with an armed coordinator crash (after-prepare for even
+/// `k`, after-commit-logged for odd — the two sides of the commit point);
+/// then leader `k` is killed and its follower promoted; then coordinator
+/// recovery re-resolves the doomed transaction's in-doubt `rid@sN` holds
+/// against the promoted node (presumed abort, or commit resend); then more
+/// grants prove the epoch-fenced endpoint serves.
+///
+/// **Phase B — kill mid-lease-rebalance.** A leased 4-shard cluster. For
+/// each shard `j`: a round of home-shard grants builds demand; an armed
+/// mid-rebalance crash fires (withdraws landed, deposits lost); leader `j`
+/// is killed in exactly that stranded-headroom state and its follower
+/// promoted; the next rebalance cycle's heal pass must restore every
+/// pool's lease sum to its registered total.
+///
+/// Every kill captures the digest triple (dead leader / promoted follower
+/// / clean replay of the leader's journal); the full audit suite — partial
+/// grants, double grants, oversells, lease invariants, leaks, bounded
+/// state — runs on both clusters afterwards.
+pub fn run_failover_sweep(seed: u64, repl_fault_rate: f64) -> FailoverSweepReport {
+    const SHARDS: usize = 4;
+    const CLIENTS: usize = 3;
+    const DURATION_MS: u64 = 3_600_000;
+    let repl_injector = |salt: u64| {
+        Some(Arc::new(FaultInjector::new(
+            FaultScenario::quiet(seed ^ salt)
+                .with_replication_faults(repl_fault_rate, repl_fault_rate),
+        )))
+    };
+
+    let mut digests: Vec<FailoverDigests> = Vec::new();
+    let mut mttrs: Vec<Duration> = Vec::new();
+    let mut counters = GrantCounters::default();
+    let mut doomed_crashes = 0u64;
+    let mut in_doubt_recovered = 0u64;
+    let mut presumed_aborted = 0u64;
+    let mut commits_resent = 0u64;
+    let start = Instant::now();
+
+    // ---- Phase A: kill every leader mid-2PC. ----
+    let cfg_a = ClusterSweepConfig {
+        shards: SHARDS,
+        clients: CLIENTS,
+        pools: SHARDS,
+        crash_probability: 0.0,
+        leases: false,
+        seed,
+        ..ClusterSweepConfig::default()
+    };
+    let mut cluster = cluster_harness(FaultScenario::quiet(seed), &cfg_a);
+    cluster.bus.set_fault_injector(None);
+    cluster.enable_replication();
+    cluster.set_replication_faults(repl_injector(0x5EED0A));
+    let mut outcomes: Vec<(String, String, OpOutcome)> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(0xFA11));
+    for k in 0..SHARDS {
+        // Steady traffic: every client lands one single-shard grant on the
+        // soon-to-die shard and one cross-shard grant spanning it.
+        for c in 0..CLIENTS {
+            let client = format!("client-{c}");
+            let pool = crate::workload::pool_name(k);
+            let next = crate::workload::pool_name((k + 1) % SHARDS);
+            let amount = rng.random_range(1..=3);
+            sweep_grant(
+                &cluster,
+                &mut outcomes,
+                &mut rng,
+                &mut counters,
+                &client,
+                format!("f{k}-c{c}-single"),
+                &[format!("qty('{pool}') >= {amount}")],
+            );
+            let amount_b = rng.random_range(1..=3);
+            sweep_grant(
+                &cluster,
+                &mut outcomes,
+                &mut rng,
+                &mut counters,
+                &client,
+                format!("f{k}-c{c}-cross"),
+                &[
+                    format!("qty('{pool}') >= {amount}"),
+                    format!("qty('{next}') >= {amount_b}"),
+                ],
+            );
+        }
+        // The doomed grant: crash the coordinator mid-2PC with shard k's
+        // prepared hold outstanding, then kill shard k itself.
+        let point = if k % 2 == 0 {
+            CrashPoint::AfterPrepare
+        } else {
+            CrashPoint::AfterCommitLogged
+        };
+        cluster.coordinator.set_crash_point(Some(point));
+        counters.attempts += 1;
+        doomed_crashes += 1;
+        let rid = format!("kill{k}");
+        let err = cluster
+            .coordinator
+            .grant(
+                "doomed",
+                &rid,
+                &[
+                    format!("qty('{}') >= 5", crate::workload::pool_name(k)),
+                    format!(
+                        "qty('{}') >= 5",
+                        crate::workload::pool_name((k + 1) % SHARDS)
+                    ),
+                ],
+                DURATION_MS,
+            )
+            .expect_err("armed coordinator crash fires");
+        assert!(matches!(err, CoordError::Crashed(_)), "{err:?}");
+        outcomes.push(("doomed".to_owned(), rid, OpOutcome::Crashed));
+
+        let recovery = fail_over(
+            &mut cluster,
+            k,
+            format!("2pc-s{k}"),
+            &mut digests,
+            &mut mttrs,
+        );
+        in_doubt_recovered += recovery.in_doubt as u64;
+
+        // The restarted coordinator re-resolves the doomed transaction's
+        // rid@sN holds — shard k's against the promoted follower.
+        let coord_recovery = cluster
+            .coordinator
+            .recover()
+            .expect("coordinator recovery succeeds");
+        presumed_aborted += coord_recovery.presumed_aborted as u64;
+        commits_resent += coord_recovery.commits_resent as u64;
+
+        // The promoted leader serves on its epoch-fenced endpoint.
+        for c in 0..CLIENTS {
+            let client = format!("client-{c}");
+            let pool = crate::workload::pool_name(k);
+            let amount = rng.random_range(1..=3);
+            sweep_grant(
+                &cluster,
+                &mut outcomes,
+                &mut rng,
+                &mut counters,
+                &client,
+                format!("p{k}-c{c}"),
+                &[format!("qty('{pool}') >= {amount}")],
+            );
+        }
+    }
+    let mut report_a = ClusterRunReport::default();
+    audit_cluster(&cluster, &outcomes, &mut report_a);
+    let counter_a = |name: &str| cluster.telemetry.counter(name).load(Ordering::Relaxed);
+    let mut repl_shipped = counter_a("cluster.repl.shipped_lines");
+    let mut repl_dropped = counter_a("cluster.repl.dropped_shipments");
+
+    // ---- Phase B: kill every leader mid-lease-rebalance. ----
+    let cfg_b = ClusterSweepConfig {
+        shards: SHARDS,
+        clients: SHARDS, // one client homed per shard
+        pools: SHARDS,
+        crash_probability: 0.0,
+        leases: true,
+        seed: seed ^ 0xB_000,
+        ..ClusterSweepConfig::default()
+    };
+    let mut leased = cluster_harness(FaultScenario::quiet(cfg_b.seed), &cfg_b);
+    leased.bus.set_fault_injector(None);
+    leased.enable_replication();
+    leased.set_replication_faults(repl_injector(0x5EED0B));
+    let mut leased_outcomes: Vec<(String, String, OpOutcome)> = Vec::new();
+    let mut rebalance_crashes_fired = 0u64;
+    let mut lease_sums_restored = true;
+    let totals = leased.registered_pools();
+    for j in 0..SHARDS {
+        // A round of home-shard traffic builds per-shard demand.
+        for c in 0..cfg_b.clients {
+            let client = format!("client-{c}");
+            for op in 0..4 {
+                let pool = crate::workload::pool_name(rng.random_range(0..cfg_b.pools));
+                let amount = rng.random_range(1..=3);
+                sweep_grant(
+                    &leased,
+                    &mut leased_outcomes,
+                    &mut rng,
+                    &mut counters,
+                    &client,
+                    format!("L{j}-c{c}-o{op}"),
+                    &[format!("qty('{pool}') >= {amount}")],
+                );
+            }
+        }
+        // The rebalance cycle dies between its withdraws and deposits —
+        // and leader j dies with the cluster in that stranded state.
+        leased.arm_rebalance_crash();
+        let crash = leased.rebalance_leases().expect("leases are enabled");
+        if crash.crashed {
+            rebalance_crashes_fired += 1;
+        }
+        let _ = fail_over(
+            &mut leased,
+            j,
+            format!("rebalance-s{j}"),
+            &mut digests,
+            &mut mttrs,
+        );
+        // The next cycle's heal pass re-credits what the crash stranded.
+        leased.rebalance_leases().expect("leases are enabled");
+        lease_sums_restored &= totals
+            .iter()
+            .all(|(pool, total, _)| lease_sum(&leased, pool) == *total);
+    }
+    let mut report_b = ClusterRunReport::default();
+    audit_cluster(&leased, &leased_outcomes, &mut report_b);
+    let counter_b = |name: &str| leased.telemetry.counter(name).load(Ordering::Relaxed);
+    repl_shipped += counter_b("cluster.repl.shipped_lines");
+    repl_dropped += counter_b("cluster.repl.dropped_shipments");
+
+    let failovers = mttrs.len() as u64;
+    let mttr_max = mttrs.iter().copied().max().unwrap_or_default();
+    let mttr_mean = if mttrs.is_empty() {
+        Duration::default()
+    } else {
+        mttrs.iter().sum::<Duration>() / mttrs.len() as u32
+    };
+    FailoverSweepReport {
+        attempts: counters.attempts,
+        granted: counters.granted,
+        rejected: counters.rejected,
+        doomed_crashes,
+        failovers,
+        in_doubt_recovered,
+        presumed_aborted,
+        commits_resent,
+        rebalance_crashes_fired,
+        lease_sums_restored,
+        digests,
+        partial_grants: report_a.partial_grants + report_b.partial_grants,
+        double_grants: report_a.double_grants + report_b.double_grants,
+        oversells: report_a.oversells + report_b.oversells,
+        lease_oversells: report_a.lease_oversells + report_b.lease_oversells,
+        lease_sum_violations: report_a.lease_sum_violations + report_b.lease_sum_violations,
+        live_after_reap: report_a.live_after_reap + report_b.live_after_reap,
+        dedup_after_reap: report_a.dedup_after_reap + report_b.dedup_after_reap,
+        tombstones_after_reap: report_a.tombstones_after_reap + report_b.tombstones_after_reap,
+        repl_shipped_lines: repl_shipped,
+        repl_dropped_shipments: repl_dropped,
+        mttr_max,
+        mttr_mean,
+        elapsed: start.elapsed(),
     }
 }
 
@@ -875,7 +1359,7 @@ mod tests {
 
     #[test]
     fn shard_kill_between_prepare_and_commit_recovers() {
-        let report = run_cluster_crash_restart(11, 6);
+        let report = run_cluster_crash_restart(11, 6, RestartTarget::SameNode);
         assert!(
             report.digests_match(),
             "per-shard state must survive the kill:\n{:?}",
@@ -893,6 +1377,58 @@ mod tests {
         assert_eq!(
             report.live_after_recovery, report.committed_before_kill,
             "presumed abort frees the doomed holds, keeps the committed"
+        );
+    }
+
+    #[test]
+    fn shard_kill_promotes_follower_with_identical_state() {
+        let report = run_cluster_crash_restart(13, 6, RestartTarget::Follower);
+        assert!(
+            report.digests_match(),
+            "the promoted follower must be byte-identical to the dead leader:\n{:?}",
+            report
+                .digests
+                .iter()
+                .map(|(a, b)| format!("pre:\n{a}\npost:\n{b}"))
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            report.in_doubt.iter().all(|&n| n == 1),
+            "the promoted replica recovers exactly the doomed hold in doubt: {:?}",
+            report.in_doubt
+        );
+        assert_eq!(
+            report.live_after_recovery, report.committed_before_kill,
+            "presumed abort against the promoted follower frees the doomed holds"
+        );
+    }
+
+    #[test]
+    fn failover_sweep_is_clean_on_quiet_replication() {
+        let report = run_failover_sweep(2007, 0.0);
+        assert!(report.clean(), "failover sweep must be clean: {report:#?}");
+        assert_eq!(report.failovers, 8, "two kills per shard: {report:#?}");
+        assert_eq!(report.doomed_crashes, 4);
+        assert!(report.granted > 0);
+        assert!(
+            report.rebalance_crashes_fired > 0,
+            "phase B must exercise the stranded-rebalance state: {report:#?}"
+        );
+        assert!(report.repl_shipped_lines > 0);
+        assert_eq!(report.repl_dropped_shipments, 0);
+    }
+
+    #[test]
+    fn failover_sweep_is_clean_under_replication_faults() {
+        let report = run_failover_sweep(31337, 0.2);
+        assert!(
+            report.clean(),
+            "lossy, laggy shipping must not change any outcome: {report:#?}"
+        );
+        assert_eq!(report.failovers, 8);
+        assert!(
+            report.repl_dropped_shipments > 0,
+            "a 20% drop rate must actually drop shipments: {report:#?}"
         );
     }
 }

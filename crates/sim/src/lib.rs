@@ -29,8 +29,9 @@ mod workload;
 
 pub use adapter::{promise_reserver, promise_reserver_with_mode, PromiseQtyReserver};
 pub use cluster::{
-    cluster_harness, run_cluster_crash_restart, run_cluster_fault_sweep, run_lease_sweep,
-    ClusterCrashReport, ClusterRunReport, ClusterSweepConfig, LeaseSweepReport,
+    cluster_harness, run_cluster_crash_restart, run_cluster_fault_sweep, run_failover_sweep,
+    run_lease_sweep, ClusterCrashReport, ClusterRunReport, ClusterSweepConfig, FailoverDigests,
+    FailoverSweepReport, LeaseSweepReport, RestartTarget,
 };
 pub use driver::{run_qty_workload, seed_pools};
 pub use faults::{

@@ -67,11 +67,14 @@ pub enum SpanKind {
     /// A coordinator aborting a cross-shard transaction (a shard rejected,
     /// a prepare was lost, or recovery presumed abort).
     CoordAbort,
+    /// A shard leader dying and its warm follower being promoted in its
+    /// place (covers the catch-up sync, endpoint swap, and epoch bump).
+    Failover,
 }
 
 impl SpanKind {
     /// Every kind, in taxonomy order (exporters iterate this).
-    pub const ALL: [SpanKind; 14] = [
+    pub const ALL: [SpanKind; 15] = [
         SpanKind::ClientSend,
         SpanKind::ClientAttempt,
         SpanKind::BusDeliver,
@@ -86,6 +89,7 @@ impl SpanKind {
         SpanKind::CoordPrepare,
         SpanKind::CoordCommit,
         SpanKind::CoordAbort,
+        SpanKind::Failover,
     ];
 
     /// The wire/exporter name of this kind.
@@ -105,6 +109,7 @@ impl SpanKind {
             SpanKind::CoordPrepare => "coord.prepare",
             SpanKind::CoordCommit => "coord.commit",
             SpanKind::CoordAbort => "coord.abort",
+            SpanKind::Failover => "cluster.failover",
         }
     }
 }

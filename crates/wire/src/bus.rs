@@ -208,6 +208,14 @@ impl InMemoryBus {
         self.endpoints.write().insert(name.to_owned(), service);
     }
 
+    /// Removes an endpoint, modelling a node death: subsequent sends fail
+    /// fast with [`BusError::UnknownEndpoint`] (non-retryable) instead of
+    /// reaching a ghost of the dead service. Returns whether the endpoint
+    /// was registered.
+    pub fn unregister(&self, name: &str) -> bool {
+        self.endpoints.write().remove(name).is_some()
+    }
+
     /// Sends `envelope` to endpoint `to`, returning the reply. The message
     /// is encoded and decoded in both directions.
     pub fn send(&self, to: &str, envelope: &Envelope) -> Result<Envelope, BusError> {

@@ -53,6 +53,17 @@ cargo run --release -q -p promises-bench --bin experiments -- --recovery 2007 31
 echo "==> lease smoke (seeds 2007 31337 90210)"
 cargo run --release -q -p promises-bench --bin experiments -- --leases 2007 31337 90210
 
+# Fail-over suite: the E16 replication sweep under three fixed seeds ×
+# replication-fault rates 0/10/20%. Every shard leader is killed once
+# mid-2PC and once mid-lease-rebalance and its warm follower promoted;
+# the promoted replica must be byte-identical to the dead leader (and to
+# a clean replay of its journal), with zero partial grants, double
+# grants, oversells, lease violations, and leaks, lease sums healed back
+# to the registered totals, and promotion MTTR bounded (see DESIGN.md
+# §16). Writes BENCH_replication.json and fails on any gate miss.
+echo "==> failover smoke (seeds 2007 31337 90210)"
+cargo run --release -q -p promises-bench --bin experiments -- --failover 2007 31337 90210
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
