@@ -863,6 +863,11 @@ pub fn e12_overhead(clients: usize, ops: usize, qty: u64, standing_per_pool: usi
         .report
         .throughput
     };
+    // One unmeasured warmup pair: the first run of each variant pays for
+    // allocator growth and cache warming that later rounds reuse, which
+    // otherwise biases whichever arm happens to run first.
+    let _ = run_off();
+    let _ = run_on();
     let mut offs = Vec::new();
     let mut ons = Vec::new();
     let mut deltas = Vec::new();

@@ -9,7 +9,10 @@ use parking_lot::Mutex;
 
 use promises_core::{Clock, ManualClock, RecoveryReport};
 use promises_faults::FaultInjector;
-use promises_telemetry::{ShardEvidence, SpanKind, Telemetry, TelemetrySnapshot};
+use promises_telemetry::{
+    FlightRecorder, HealthState, IncidentReport, ShardEvidence, SpanKind, Telemetry,
+    TelemetrySnapshot, WatchdogTrip,
+};
 use promises_wire::{InMemoryBus, RetryPolicy, RetryingClient};
 
 use crate::coordinator::Coordinator;
@@ -63,6 +66,11 @@ pub struct PromiseCluster {
     pub clock: Arc<ManualClock>,
     /// The coordinator's telemetry registry (shards have their own).
     pub telemetry: Arc<Telemetry>,
+    /// Control-plane flight recorder: 2PC phase changes (via the
+    /// coordinator), lease withdraws/deposits, fail-over kills and
+    /// promotions. Shares an epoch with every shard recorder so incident
+    /// timelines are comparable across nodes.
+    pub recorder: Arc<FlightRecorder>,
     /// Registered pools: `(name, seeded qty, owning shard)` — kept so a
     /// crashed shard can re-register its schemas on restart.
     pools: Mutex<Vec<(String, u64, usize)>>,
@@ -88,9 +96,16 @@ impl PromiseCluster {
         let clock = Arc::new(ManualClock::new());
         let map = Arc::new(ShardMap::new(shards));
         let telemetry = Telemetry::shared();
-        let nodes: Vec<ShardNode> = (0..shards)
+        // One epoch for every flight recorder in the cluster, so event
+        // timestamps in an incident report line up across nodes.
+        let epoch = Instant::now();
+        let mut nodes: Vec<ShardNode> = (0..shards)
             .map(|i| ShardNode::build(i, &bus, Arc::clone(&clock) as Arc<dyn Clock>))
             .collect();
+        for node in &mut nodes {
+            node.recorder = FlightRecorder::with_epoch(node.endpoint.clone(), epoch);
+        }
+        let recorder = FlightRecorder::with_epoch("coordinator", epoch);
         let client = Arc::new(
             RetryingClient::new(Arc::clone(&bus), RetryPolicy::new(seed ^ 0xC0_0CD1))
                 .with_telemetry(Arc::clone(&telemetry)),
@@ -104,6 +119,7 @@ impl PromiseCluster {
             )
             .with_telemetry(Arc::clone(&telemetry)),
         );
+        coordinator.set_recorder(Some(Arc::clone(&recorder)));
         Self {
             bus,
             map,
@@ -111,6 +127,7 @@ impl PromiseCluster {
             coordinator,
             clock,
             telemetry,
+            recorder,
             pools: Mutex::new(Vec::new()),
             leases: Mutex::new(None),
             rebalance_gate: Mutex::new(()),
@@ -192,6 +209,10 @@ impl PromiseCluster {
         }
         self.bus.unregister(&self.nodes[index].endpoint);
         self.telemetry.incr("cluster.failover.leader_kills");
+        self.recorder.record(
+            "failover.kill",
+            format!("leader {} unregistered", self.nodes[index].endpoint),
+        );
     }
 
     /// Promotes shard `index`'s warm follower over its killed leader:
@@ -232,6 +253,16 @@ impl PromiseCluster {
         self.telemetry
             .span_since(SpanKind::Failover, started)
             .finish_with(mttr);
+        self.recorder.record(
+            "failover.promote",
+            format!(
+                "shard{index} -> {} epoch={} in_doubt={} mttr_us={}",
+                endpoint,
+                node_epoch,
+                recovery.in_doubt,
+                mttr.as_micros()
+            ),
+        );
         FailoverReport {
             shard: index,
             node_epoch,
@@ -335,7 +366,15 @@ impl PromiseCluster {
         self.clock.advance(ms);
         for node in &self.nodes {
             let _ = node.pm.prune_expired();
-            let _ = node.pm.maybe_compact();
+            if let Ok(Some(swap)) = node.pm.maybe_compact() {
+                node.recorder.record(
+                    "compact.swap",
+                    format!(
+                        "{} dropped={} live={} prepared={} seq={}",
+                        node.endpoint, swap.dropped, swap.live, swap.prepared, swap.seq
+                    ),
+                );
+            }
         }
         self.rebalance_leases();
         self.coordinator.sweep_dedup();
@@ -384,6 +423,8 @@ impl PromiseCluster {
                     .unwrap_or(*owner);
                 let _ = self.nodes[busiest].pm.lease_deposit(pool.as_str(), missing);
                 report.healed += missing;
+                self.recorder
+                    .record("lease.heal", format!("{pool} +{missing} -> shard{busiest}"));
             }
 
             let total_demand: u64 = demand.iter().sum();
@@ -418,6 +459,10 @@ impl PromiseCluster {
                             .unwrap_or(0);
                         pot += moved;
                         report.moved += moved;
+                        if moved > 0 {
+                            self.recorder
+                                .record("lease.withdraw", format!("{pool} -{moved} shard{i}"));
+                        }
                     }
                 }
                 if std::mem::take(&mut *self.rebalance_crash.lock()) {
@@ -427,6 +472,10 @@ impl PromiseCluster {
                     // until the next cycle's heal re-credits it.
                     report.crashed = true;
                     self.telemetry.incr("cluster.lease.rebalance_crashes");
+                    self.recorder.record(
+                        "lease.crash",
+                        format!("{pool} stranded={pot} mid-rebalance"),
+                    );
                     // The donors' withdraw records are already durable —
                     // ship them so a leader killed right after this crash
                     // still promotes to a digest-faithful follower.
@@ -442,11 +491,17 @@ impl PromiseCluster {
                         let give = pot.min(desired[i] - headroom[i]);
                         if node.pm.lease_deposit(pool.as_str(), give).is_ok() {
                             pot -= give;
+                            self.recorder
+                                .record("lease.deposit", format!("{pool} +{give} shard{i}"));
                         }
                     }
                 }
                 if pot > 0 {
                     let _ = self.nodes[*owner].pm.lease_deposit(pool.as_str(), pot);
+                    self.recorder.record(
+                        "lease.deposit",
+                        format!("{pool} +{pot} shard{owner} (owner)"),
+                    );
                 }
             }
 
@@ -469,6 +524,63 @@ impl PromiseCluster {
         // the cycle is considered complete.
         self.sync_replication();
         Some(report)
+    }
+
+    /// Publishes the gauges the health plane folds (DESIGN §17): per-node
+    /// `pm.in_doubt.oldest_ms` and `pm.dedup.tombstones` into each shard
+    /// registry, and — when leases are enabled — per-pool
+    /// `cluster.lease.sum.*` / `cluster.lease.total.*` plus per-shard
+    /// `cluster.lease.headroom.<pool>.shardN` into the cluster registry.
+    /// Replication tip/watermark/lag gauges are refreshed by every link
+    /// sync and need no help here.
+    pub fn publish_health_gauges(&self) {
+        for node in &self.nodes {
+            node.telemetry.set_gauge(
+                "pm.in_doubt.oldest_ms",
+                node.pm.oldest_in_doubt_age_ms().unwrap_or(0),
+            );
+            node.telemetry
+                .set_gauge("pm.dedup.tombstones", node.pm.tombstone_count() as u64);
+        }
+        if self.leases.lock().is_none() {
+            // Without leases `lease_of` is None everywhere; publishing
+            // sum=0 against a non-zero total would fake a conservation
+            // violation.
+            return;
+        }
+        for (pool, total, _) in self.pools.lock().clone() {
+            let mut sum = 0u64;
+            for node in &self.nodes {
+                sum += node.pm.lease_of(pool.as_str()).unwrap_or(0);
+                self.telemetry.set_gauge(
+                    &format!("cluster.lease.headroom.{pool}.shard{}", node.index),
+                    node.pm.lease_headroom(pool.as_str()),
+                );
+            }
+            self.telemetry
+                .set_gauge(&format!("cluster.lease.sum.{pool}"), sum);
+            self.telemetry
+                .set_gauge(&format!("cluster.lease.total.{pool}"), total);
+        }
+    }
+
+    /// One health-plane tick: refresh the derived gauges, fold a merged
+    /// snapshot through the watchdogs, publish the `health.*` view, and
+    /// cut a flight-recorder incident report for every trip. The caller
+    /// owns the [`HealthState`] (watchdog memory spans ticks).
+    pub fn health_tick(&self, state: &mut HealthState) -> Vec<(WatchdogTrip, IncidentReport)> {
+        self.publish_health_gauges();
+        let snap = self.snapshot();
+        let trips = state.observe(&snap);
+        state.last.publish(&self.telemetry);
+        trips
+            .into_iter()
+            .map(|trip| {
+                let reason = format!("watchdog:{} {}", trip.watchdog.name(), trip.subject);
+                let incident = self.recorder.incident(&reason, &snap);
+                (trip, incident)
+            })
+            .collect()
     }
 
     /// One merged metrics snapshot: the coordinator registry's series

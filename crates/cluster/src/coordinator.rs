@@ -30,7 +30,9 @@ use std::time::Instant;
 use parking_lot::{Mutex, RwLock};
 
 use promises_core::{parse_predicate, Clock, Predicate};
-use promises_telemetry::{push_trace, SpanKind, SpanOutcome, Telemetry, TraceContext};
+use promises_telemetry::{
+    push_trace, FlightRecorder, SpanKind, SpanOutcome, Telemetry, TraceContext,
+};
 use promises_wire::{
     BusError, Envelope, PromiseRequestHeader, PromiseResult, ResolutionOp, ResolveRef,
     RetryingClient,
@@ -147,6 +149,9 @@ pub struct Coordinator {
     log: Arc<CoordinatorLog>,
     clock: Arc<dyn Clock>,
     telemetry: Option<Arc<Telemetry>>,
+    /// Flight recorder for 2PC phase-change events (DESIGN §17); state
+    /// transitions only, never per-message work.
+    recorder: RwLock<Option<Arc<FlightRecorder>>>,
     dedup: Mutex<HashMap<(String, String), DedupEntry>>,
     /// Committed transactions every shard acknowledged resolving — the
     /// only commits log compaction may drop. Rebuilt empty after a crash;
@@ -176,6 +181,7 @@ impl Coordinator {
             log,
             clock,
             telemetry: None,
+            recorder: RwLock::new(None),
             dedup: Mutex::new(HashMap::new()),
             resolved: Mutex::new(HashSet::new()),
             crash_point: Mutex::new(None),
@@ -201,6 +207,18 @@ impl Coordinator {
     /// The decision log (for tests and recovery harnesses).
     pub fn log(&self) -> &Arc<CoordinatorLog> {
         &self.log
+    }
+
+    /// Installs (or removes) the flight recorder that receives 2PC
+    /// phase-change events.
+    pub fn set_recorder(&self, recorder: Option<Arc<FlightRecorder>>) {
+        *self.recorder.write() = recorder;
+    }
+
+    fn record_event(&self, kind: &'static str, detail: String) {
+        if let Some(rec) = self.recorder.read().as_ref() {
+            rec.record(kind, detail);
+        }
     }
 
     /// Arms an injected crash for the *next* cross-shard grant.
@@ -358,7 +376,11 @@ impl Coordinator {
                 evict_at,
             },
         );
+        let len = dedup.len();
         drop(dedup);
+        if let Some(tel) = &self.telemetry {
+            tel.set_gauge("coord.dedup.size", len as u64);
+        }
         Ok(decision)
     }
 
@@ -373,7 +395,13 @@ impl Coordinator {
     /// cadence that drives shard pruning.
     pub fn sweep_dedup(&self) {
         let now = self.clock.now_ms();
-        self.dedup.lock().retain(|_, e| e.evict_at > now);
+        let mut dedup = self.dedup.lock();
+        dedup.retain(|_, e| e.evict_at > now);
+        let len = dedup.len();
+        drop(dedup);
+        if let Some(tel) = &self.telemetry {
+            tel.set_gauge("coord.dedup.size", len as u64);
+        }
     }
 
     fn single_shard_grant(
@@ -432,6 +460,7 @@ impl Coordinator {
             txn: txn.clone(),
             shards: shards.clone(),
         });
+        self.record_event("2pc.begin", format!("{} shards={shards:?}", txn.request));
 
         let prepare_started = Instant::now();
         let mut parts: Vec<GrantPart> = Vec::with_capacity(groups.len());
@@ -530,14 +559,20 @@ impl Coordinator {
 
         if self.crash_armed(CrashPoint::AfterPrepare) {
             // Undecided: every hold stays in doubt until recovery.
+            self.record_event("2pc.crash", format!("{} after-prepare", txn.request));
             return Err(CoordError::Crashed("after-prepare"));
         }
 
         // The commit point: once this record is durable the transaction IS
         // committed, whatever happens to the resolution sends below.
         self.log.append(CoordRecord::Commit { txn: txn.clone() });
+        self.record_event(
+            "2pc.commit",
+            format!("{} shards={}", txn.request, parts.len()),
+        );
 
         if self.crash_armed(CrashPoint::AfterCommitLogged) {
+            self.record_event("2pc.crash", format!("{} after-commit-logged", txn.request));
             return Err(CoordError::Crashed("after-commit-logged"));
         }
 
@@ -603,6 +638,7 @@ impl Coordinator {
             );
         }
         self.log.append(CoordRecord::Abort { txn: txn.clone() });
+        self.record_event("2pc.abort", format!("{} holds={}", txn.request, refs.len()));
         if let Some(tel) = &self.telemetry {
             tel.span_since(SpanKind::CoordAbort, started)
                 .note(format!("holds={}", refs.len()))
@@ -630,6 +666,15 @@ impl Coordinator {
             .log
             .replay()
             .map_err(|e| CoordError::Transport(e.to_string()))?;
+        self.record_event(
+            "2pc.recover",
+            format!(
+                "undecided={} committed={} orphan_aborts={}",
+                summary.undecided.len(),
+                summary.committed.len(),
+                summary.orphan_aborts.len()
+            ),
+        );
         let mut report = CoordRecovery {
             orphan_aborts: summary.orphan_aborts.len(),
             ..CoordRecovery::default()

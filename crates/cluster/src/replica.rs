@@ -183,6 +183,18 @@ impl ReplicationLink {
         }
         self.telemetry
             .set_gauge(&format!("cluster.repl.lag.shard{}", self.shard), self.lag());
+        // Tip and watermark gauges feed the health plane's
+        // stalled-replication watchdog ("tip advances, watermark doesn't")
+        // — set on every sync, converged or not, so a wedged link is
+        // visible rather than silent.
+        self.telemetry.set_gauge(
+            &format!("cluster.repl.tip.shard{}", self.shard),
+            self.leader.tip_seq(),
+        );
+        self.telemetry.set_gauge(
+            &format!("cluster.repl.watermark.shard{}", self.shard),
+            self.follower.watermark(),
+        );
         report
     }
 }

@@ -11,7 +11,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use promises_core::{Catalog, Clock, PoolSchema, PromiseJournal, PromiseManager, RecoveryReport};
 use promises_rm::ResourceManager;
-use promises_telemetry::{JournalFacts, ShardEvidence, Telemetry};
+use promises_telemetry::{FlightRecorder, JournalFacts, ShardEvidence, Telemetry};
 use promises_wire::{Envelope, InMemoryBus, PromiseGateway, Service};
 
 use crate::replica::{ReplicationLink, ShardFollower};
@@ -112,6 +112,9 @@ pub struct ShardNode {
     pub follower: Option<Arc<ShardFollower>>,
     /// The shipping channel feeding `follower`.
     pub replication: Option<Arc<ReplicationLink>>,
+    /// Flight recorder for this node's state transitions (crash/restart,
+    /// promotion, compaction swaps) — shares the cluster epoch.
+    pub recorder: Arc<FlightRecorder>,
     clock: Arc<dyn Clock>,
 }
 
@@ -140,6 +143,7 @@ impl ShardNode {
             telemetry,
             follower: None,
             replication: None,
+            recorder: FlightRecorder::new(shard_endpoint(index)),
             clock,
         };
         node.register_handlers();
@@ -203,6 +207,13 @@ impl ShardNode {
         let report = pm
             .recover(Arc::clone(&self.journal))
             .expect("shard recovery succeeds");
+        self.recorder.record(
+            "node.restart",
+            format!(
+                "{} replayed={} recovered={} in_doubt={}",
+                self.endpoint, report.replayed, report.recovered, report.in_doubt
+            ),
+        );
         self.pm = pm;
         self.gateway = Arc::new(PromiseGateway::new(Arc::clone(&self.pm)));
         self.register_handlers();
@@ -262,6 +273,13 @@ impl ShardNode {
         self.server.swap_gateway(Arc::clone(&self.gateway));
         self.endpoint = new_endpoint;
         bus.register(&self.endpoint, Arc::clone(&self.server) as _);
+        self.recorder.record(
+            "failover.promote",
+            format!(
+                "{} replayed={} recovered={} in_doubt={}",
+                self.endpoint, report.replayed, report.recovered, report.in_doubt
+            ),
+        );
         report
     }
 

@@ -882,22 +882,18 @@ impl PromiseManager {
         spec: PromiseRequestSpec,
         prepared: bool,
     ) -> Result<PromiseResponse, PromiseError> {
-        // Capture what the span needs before `spec` moves into the grant.
-        let ctx = self.telemetry.read().is_some().then(|| {
-            let mut pools: Vec<PoolId> = spec.predicates.iter().map(|p| p.pool().clone()).collect();
-            pools.sort();
-            pools.dedup();
-            (spec.exchange.clone(), pools)
-        });
+        // One registry read up front, cloned out of the lock, so the hot
+        // path acquires the telemetry lock at most once per request and
+        // allocates nothing. Per-pool attribution and exchanged-promise
+        // lifecycle events happen on the fresh-grant branch inside
+        // `try_grant_local`, where the spec is still in scope — they are
+        // per-grant costs, not per-request costs.
+        let tel = self.telemetry.read().clone();
+        let Some(tel) = tel else {
+            return self.request_inner(spec, prepared).map(|(resp, _)| resp);
+        };
         let started = Instant::now();
         let result = self.request_inner(spec, prepared);
-        let Some((exchange, pools)) = ctx else {
-            return result.map(|(resp, _)| resp);
-        };
-        let guard = self.telemetry.read();
-        let Some(tel) = guard.as_deref() else {
-            return result.map(|(resp, _)| resp);
-        };
         let dur = started.elapsed();
         tel.grant_hist.record_duration(dur);
         // Spans are trace artifacts (DESIGN §12): a clean grant outside
@@ -918,14 +914,6 @@ impl PromiseManager {
                 }
                 PromiseDecision::Granted { promise, .. } => {
                     tel.granted.fetch_add(1, Ordering::Relaxed);
-                    for pool in &pools {
-                        tel.bump_pool(pool, true);
-                    }
-                    // Exchanged promises were released atomically with the
-                    // fresh grant (§4); record their lifecycle terminal.
-                    for ex in &exchange {
-                        tel.event(SpanKind::PmRelease, ex.0);
-                    }
                     if traced {
                         tel.span_since(SpanKind::PmGrant, started)
                             .promise(promise.0)
@@ -1164,6 +1152,24 @@ impl PromiseManager {
         let mut ids: Vec<PromiseId> = self.prepared.lock().iter().copied().collect();
         ids.sort();
         ids
+    }
+
+    /// Age in clock milliseconds of the oldest prepared hold still in
+    /// doubt, or `None` when no hold is in doubt. This is the health
+    /// plane's in-doubt-age signal: a coordinator stuck (or dead) between
+    /// prepare and resolution shows up as this value climbing.
+    pub fn oldest_in_doubt_age_ms(&self) -> Option<u64> {
+        // Locks taken one at a time (prepared, then table) — never nested,
+        // matching the table → prepared order used on the grant path.
+        let ids: Vec<PromiseId> = self.prepared.lock().iter().copied().collect();
+        if ids.is_empty() {
+            return None;
+        }
+        let now = self.clock.now_ms();
+        let tbl = self.table.lock();
+        ids.iter()
+            .filter_map(|id| tbl.get(*id).map(|rec| now.saturating_sub(rec.granted_at)))
+            .max()
     }
 
     /// The live promise held by `(client, request)`, if any. A recovering
@@ -1740,6 +1746,12 @@ impl PromiseManager {
     fn journal_append(&self, op: JournalOp) {
         if let Some(j) = self.journal.read().as_ref() {
             j.append(op);
+            // Keep the `pm.journal.records` gauge live on every append so
+            // health monitors see journal growth between compaction and
+            // reaper ticks, not just the post-compaction plateau.
+            if let Some(tel) = self.telemetry.read().as_deref() {
+                tel.journal_records.store(j.len() as u64, Ordering::Relaxed);
+            }
         }
     }
 
@@ -2088,6 +2100,23 @@ impl PromiseManager {
                 self.rm
                     .commit(txn)
                     .expect("grant commit cannot fail after lock acquisition");
+                // Per-pool attribution and exchanged-promise lifecycle
+                // terminals are recorded here, on the fresh-grant branch
+                // only — deduped/rejected requests never pay for them.
+                if let Some(tel) = self.telemetry.read().as_deref() {
+                    let mut pools: Vec<&PoolId> =
+                        spec.predicates.iter().map(|p| p.pool()).collect();
+                    pools.sort();
+                    pools.dedup();
+                    for pool in pools {
+                        tel.bump_pool(pool, true);
+                    }
+                    // Exchanged promises were released atomically with the
+                    // fresh grant (§4); record their lifecycle terminal.
+                    for ex in &spec.exchange {
+                        tel.event(SpanKind::PmRelease, ex.0);
+                    }
+                }
                 for ex in &spec.exchange {
                     self.cascade_release(*ex);
                 }

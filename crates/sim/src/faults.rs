@@ -183,6 +183,10 @@ pub struct FaultRunReport {
     pub rejected: u64,
     /// Purchases confirmed applied (client saw `ok`).
     pub purchased_ops: u64,
+    /// Promises released standalone (no purchase): the client changed its
+    /// mind and returned the reservation over the wire, exercising the
+    /// `pm.release` path the action-attached `release_after` flag skips.
+    pub released: u64,
     /// Units the clients confirmed purchasing.
     pub confirmed_units: u64,
     /// Retried actions answered "unknown promise": the first delivery had
@@ -244,6 +248,7 @@ pub fn run_fault_sweep_with(
     let granted = AtomicU64::new(0);
     let rejected = AtomicU64::new(0);
     let purchased_ops = AtomicU64::new(0);
+    let released = AtomicU64::new(0);
     let confirmed_units = AtomicU64::new(0);
     let already_applied = AtomicU64::new(0);
     let expired = AtomicU64::new(0);
@@ -258,6 +263,7 @@ pub fn run_fault_sweep_with(
             let granted = &granted;
             let rejected = &rejected;
             let purchased_ops = &purchased_ops;
+            let released = &released;
             let confirmed_units = &confirmed_units;
             let already_applied = &already_applied;
             let expired = &expired;
@@ -316,6 +322,21 @@ pub fn run_fault_sweep_with(
                         killed.fetch_add(1, Ordering::Relaxed);
                         continue;
                     }
+                    if op % 5 == 4 {
+                        // Every fifth op changes its mind: release the
+                        // promise standalone instead of purchasing, so the
+                        // pm.release histogram sees real wire traffic (the
+                        // action path's release_after flag bypasses it).
+                        match client.send(PM_ENDPOINT, &Envelope::new().with_release(promise_id)) {
+                            Ok(_) => {
+                                released.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                gave_up.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        continue;
+                    }
                     let action = Envelope::new()
                         .with_environment(EnvironmentHeader {
                             entries: vec![EnvEntry {
@@ -370,6 +391,7 @@ pub fn run_fault_sweep_with(
         granted: granted.into_inner(),
         rejected: rejected.into_inner(),
         purchased_ops: purchased_ops.into_inner(),
+        released: released.into_inner(),
         confirmed_units: confirmed_units.into_inner(),
         already_applied: already_applied.into_inner(),
         expired: expired.into_inner(),

@@ -20,6 +20,7 @@
 
 mod adapter;
 mod cluster;
+mod doctor;
 mod driver;
 mod faults;
 mod instances;
@@ -32,6 +33,9 @@ pub use cluster::{
     cluster_harness, run_cluster_crash_restart, run_cluster_fault_sweep, run_failover_sweep,
     run_lease_sweep, ClusterCrashReport, ClusterRunReport, ClusterSweepConfig, FailoverDigests,
     FailoverSweepReport, LeaseSweepReport, RestartTarget,
+};
+pub use doctor::{
+    run_doctor_failover_sweep, run_doctor_fault_sweep, run_doctor_lease_sweep, DoctorReport,
 };
 pub use driver::{run_qty_workload, seed_pools};
 pub use faults::{

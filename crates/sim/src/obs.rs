@@ -101,7 +101,13 @@ mod tests {
         assert!(obs.ok(), "violations: {:?}", obs.lifecycle.violations);
         assert!(obs.lifecycle.promises > 0, "spans observed promises");
         assert!(obs.lifecycle.complete > 0, "full lifecycles reconstructed");
-        for stage in ["bus.deliver", "pm.grant", "pm.check", "rm.txn"] {
+        for stage in [
+            "bus.deliver",
+            "pm.grant",
+            "pm.check",
+            "pm.release",
+            "rm.txn",
+        ] {
             let h = obs.snapshot.histogram(stage).unwrap_or_else(|| {
                 panic!(
                     "stage {stage} missing: {:?}",

@@ -135,6 +135,171 @@ pub fn to_prometheus(snap: &TelemetrySnapshot) -> String {
     out
 }
 
+/// Validates that `s` is one well-formed JSON value (with nothing but
+/// whitespace after it). A minimal recursive-descent syntax checker — no
+/// value model, no allocation — used by the doctor gate to prove every
+/// incident report is machine-parseable without pulling in a JSON crate.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_literal(b, pos, "true"),
+        Some(b'f') => parse_literal(b, pos, "false"),
+        Some(b'n') => parse_literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {}", *c as char, *pos)),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume opening '"'
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => match b.get(*pos + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
+                Some(b'u') => {
+                    let hex = b.get(*pos + 2..*pos + 6).ok_or("truncated \\u escape")?;
+                    if !hex.iter().all(|h| h.is_ascii_hexdigit()) {
+                        return Err(format!("bad \\u escape at byte {pos}", pos = *pos));
+                    }
+                    *pos += 6;
+                }
+                _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+            },
+            0x00..=0x1F => return Err(format!("raw control byte in string at {pos}", pos = *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b.get(*pos..*pos + lit.len()) == Some(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let int_digits = eat_digits(b, pos);
+    if int_digits == 0 {
+        return Err(format!("expected digits at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if eat_digits(b, pos) == 0 {
+            return Err(format!(
+                "expected fraction digits at byte {pos}",
+                pos = *pos
+            ));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if eat_digits(b, pos) == 0 {
+            return Err(format!(
+                "expected exponent digits at byte {pos}",
+                pos = *pos
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn eat_digits(b: &[u8], pos: &mut usize) -> usize {
+    let start = *pos;
+    while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+        *pos += 1;
+    }
+    *pos - start
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +332,35 @@ mod tests {
     #[test]
     fn json_escaping_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn validator_accepts_exporter_output_and_edge_values() {
+        validate_json(&to_json(&sample())).expect("exporter output is valid");
+        for ok in [
+            "null",
+            " [1, -2.5, 1e9, 1E-3, \"a\\u00e9\", {\"k\":[]}] ",
+            "{\"a\":{\"b\":\"c\\n\"}}",
+        ] {
+            validate_json(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_json() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "{\"a\":1} x",
+            "\"unterminated",
+            "01abc",
+            "{'a':1}",
+            "nulL",
+        ] {
+            assert!(validate_json(bad).is_err(), "accepted malformed: {bad}");
+        }
     }
 
     #[test]

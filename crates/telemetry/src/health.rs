@@ -1,0 +1,641 @@
+//! Cluster health plane: derived health gauges and anomaly watchdogs
+//! (DESIGN.md §17).
+//!
+//! The aggregation layer periodically folds per-shard registries (merged
+//! with [`TelemetrySnapshot::absorb_prefixed`]) into one
+//! [`HealthObservation`] — replication tip/watermark/lag per shard,
+//! oldest in-doubt age, lease sum vs pool total, journal growth vs
+//! compaction cadence, dedup-map sizes — by *naming convention* over the
+//! snapshot's gauges and counters, so it needs no back-references into
+//! the cluster.
+//!
+//! [`HealthState`] holds the stateful watchdogs over consecutive
+//! observations:
+//!
+//! * **stalled replication** — a shard's journal tip is ahead of its
+//!   follower's acked watermark and the watermark has not moved for
+//!   [`WatchdogConfig::stall_ticks`] consecutive observations;
+//! * **in-doubt age** — some prepared hold has been awaiting its
+//!   coordinator longer than [`WatchdogConfig::in_doubt_age_limit_ms`];
+//! * **lease sum invariant** — Σ per-shard leases ≠ the pool's registered
+//!   total (capacity stranded by a mid-rebalance crash, or oversold);
+//! * **SLO burn rate** — a two-window [`BurnRateMonitor`] over a latency
+//!   histogram, replacing a static p99 threshold: the fast window catches
+//!   a latency fire quickly, the slow window keeps one noisy batch from
+//!   tripping it.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::hist::{bucket_index, HistogramSnapshot, BUCKETS};
+use crate::registry::{Telemetry, TelemetrySnapshot};
+
+/// The fixed watchdog taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Watchdog {
+    /// Journal tip ahead of the follower watermark, watermark frozen.
+    StalledReplication,
+    /// A prepared hold in doubt longer than the configured limit.
+    InDoubtAge,
+    /// Σ per-shard leases ≠ registered pool total.
+    LeaseSumInvariant,
+    /// Two-window SLO burn over the monitored latency histogram.
+    SloBurnRate,
+}
+
+impl Watchdog {
+    /// Stable name used in incident reports and BENCH_doctor.json.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Watchdog::StalledReplication => "stalled-replication",
+            Watchdog::InDoubtAge => "in-doubt-age",
+            Watchdog::LeaseSumInvariant => "lease-sum-invariant",
+            Watchdog::SloBurnRate => "slo-burn-rate",
+        }
+    }
+
+    /// Every watchdog, for exhaustive silence tests.
+    pub const ALL: [Watchdog; 4] = [
+        Watchdog::StalledReplication,
+        Watchdog::InDoubtAge,
+        Watchdog::LeaseSumInvariant,
+        Watchdog::SloBurnRate,
+    ];
+}
+
+/// One watchdog firing: which dog, what it was watching, and why.
+#[derive(Debug, Clone)]
+pub struct WatchdogTrip {
+    /// Which watchdog fired.
+    pub watchdog: Watchdog,
+    /// What it was watching (shard endpoint, pool, histogram stage).
+    pub subject: String,
+    /// Human-readable evidence (the gauge values that crossed the line).
+    pub detail: String,
+}
+
+/// Replication health for one shard, by naming convention from
+/// `cluster.repl.tip.shardN` / `.watermark.shardN` / `.lag.shardN`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplHealth {
+    /// Shard key (the `shardN` gauge suffix).
+    pub shard: String,
+    /// Leader journal tip sequence.
+    pub tip: u64,
+    /// Follower acked watermark.
+    pub watermark: u64,
+    /// Unacked journal lines as reported by the link.
+    pub lag: u64,
+}
+
+/// Lease-conservation health for one pool, from `cluster.lease.sum.*` /
+/// `cluster.lease.total.*` / per-shard `cluster.lease.headroom.*.shardN`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseHealth {
+    /// Pool name.
+    pub pool: String,
+    /// Σ per-shard leases.
+    pub sum: u64,
+    /// Registered pool total (Q).
+    pub total: u64,
+    /// Max − min per-shard lease headroom (imbalance signal for the
+    /// rebalancer, not a watchdog input).
+    pub headroom_spread: u64,
+}
+
+/// One folded view of cluster health, derived from a merged snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct HealthObservation {
+    /// Per-shard replication health (sorted by shard key).
+    pub repl: Vec<ReplHealth>,
+    /// Oldest in-doubt prepared-hold age across all shards, ms (0 = none).
+    pub in_doubt_oldest_ms: u64,
+    /// Per-pool lease conservation (sorted by pool).
+    pub leases: Vec<LeaseHealth>,
+    /// Journal records across all shards (growth side of the cadence).
+    pub journal_records: u64,
+    /// Compaction runs across all shards (reclaim side of the cadence).
+    pub compact_runs: u64,
+    /// Dedup-map entries: coordinator request dedup + PM grant tombstones.
+    pub dedup_entries: u64,
+    /// The monitored latency histogram, when present in the snapshot.
+    pub slo_hist: Option<HistogramSnapshot>,
+}
+
+impl HealthObservation {
+    /// Folds a merged snapshot into derived health values. `slo_stage`
+    /// names the latency histogram the burn monitor watches (e.g.
+    /// `"client.send"` or `"pm.grant"`).
+    pub fn derive(snap: &TelemetrySnapshot, slo_stage: &str) -> Self {
+        let mut repl: BTreeMap<String, ReplHealth> = BTreeMap::new();
+        let mut leases: BTreeMap<String, LeaseHealth> = BTreeMap::new();
+        let mut headrooms: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        let mut obs = HealthObservation::default();
+
+        for (name, &v) in &snap.gauges {
+            if let Some(shard) = name.strip_prefix("cluster.repl.tip.") {
+                repl_entry(&mut repl, shard).tip = v;
+            } else if let Some(shard) = name.strip_prefix("cluster.repl.watermark.") {
+                repl_entry(&mut repl, shard).watermark = v;
+            } else if let Some(shard) = name.strip_prefix("cluster.repl.lag.") {
+                repl_entry(&mut repl, shard).lag = v;
+            } else if let Some(pool) = name.strip_prefix("cluster.lease.sum.") {
+                lease_entry(&mut leases, pool).sum = v;
+            } else if let Some(pool) = name.strip_prefix("cluster.lease.total.") {
+                lease_entry(&mut leases, pool).total = v;
+            } else if let Some(rest) = name.strip_prefix("cluster.lease.headroom.") {
+                // Per-shard series: `cluster.lease.headroom.<pool>.shardN`
+                // (the plain `.<pool>` aggregate has no `.shard` segment).
+                if let Some((pool, _shard)) = rest.rsplit_once(".shard") {
+                    let e = headrooms.entry(pool.to_string()).or_insert((u64::MAX, 0));
+                    e.0 = e.0.min(v);
+                    e.1 = e.1.max(v);
+                }
+            } else if name.ends_with("pm.in_doubt.oldest_ms") {
+                obs.in_doubt_oldest_ms = obs.in_doubt_oldest_ms.max(v);
+            } else if name.ends_with("pm.journal.records") {
+                obs.journal_records += v;
+            } else if name.ends_with("pm.dedup.tombstones") || name.ends_with("coord.dedup.size") {
+                obs.dedup_entries += v;
+            }
+        }
+        for (name, &v) in &snap.counters {
+            if name.ends_with("pm.compact.runs") {
+                obs.compact_runs += v;
+            }
+        }
+        for (pool, (min, max)) in headrooms {
+            lease_entry(&mut leases, &pool).headroom_spread = max.saturating_sub(min);
+        }
+        obs.repl = repl.into_values().collect();
+        obs.leases = leases.into_values().collect();
+        obs.slo_hist = snap.histogram(slo_stage).cloned();
+        obs
+    }
+
+    /// Publishes the derived values back into `tel` as `health.*` gauges,
+    /// so exporters and dashboards see the folded view next to the raw
+    /// per-shard series.
+    pub fn publish(&self, tel: &Telemetry) {
+        tel.set_gauge("health.in_doubt.oldest_ms", self.in_doubt_oldest_ms);
+        tel.set_gauge("health.journal.records", self.journal_records);
+        tel.set_gauge("health.journal.compactions", self.compact_runs);
+        tel.set_gauge("health.dedup.entries", self.dedup_entries);
+        for r in &self.repl {
+            tel.set_gauge(&format!("health.repl.lag.{}", r.shard), r.lag);
+        }
+        for l in &self.leases {
+            tel.set_gauge(
+                &format!("health.lease.imbalance.{}", l.pool),
+                l.headroom_spread,
+            );
+        }
+    }
+}
+
+fn repl_entry<'a>(map: &'a mut BTreeMap<String, ReplHealth>, shard: &str) -> &'a mut ReplHealth {
+    map.entry(shard.to_string()).or_insert_with(|| ReplHealth {
+        shard: shard.to_string(),
+        tip: 0,
+        watermark: 0,
+        lag: 0,
+    })
+}
+
+fn lease_entry<'a>(map: &'a mut BTreeMap<String, LeaseHealth>, pool: &str) -> &'a mut LeaseHealth {
+    map.entry(pool.to_string()).or_insert_with(|| LeaseHealth {
+        pool: pool.to_string(),
+        sum: 0,
+        total: 0,
+        headroom_spread: 0,
+    })
+}
+
+/// Burn-rate monitor configuration. Invariants the constructor asserts:
+/// `fast_burn >= slow_burn > 1` and windows non-zero with
+/// `fast_window <= slow_window` — these make the monitor's two provable
+/// properties hold (see the proptests): a workload whose every batch
+/// stays within budget can never trip it, and a workload whose every
+/// batch burns at `fast_burn` or above trips it within the fast window.
+#[derive(Debug, Clone, Copy)]
+pub struct BurnRateConfig {
+    /// The latency SLO. Rounded up to the next power of two so the
+    /// over-SLO count is exact on the log2 bucket boundaries.
+    pub slo_ns: u64,
+    /// Allowed fraction of samples over the SLO (the error budget), e.g.
+    /// `0.01` for "1% of requests may exceed the SLO".
+    pub budget: f64,
+    /// Observations in the fast window (catches a fire quickly).
+    pub fast_window: usize,
+    /// Observations in the slow window (rides out one noisy batch).
+    pub slow_window: usize,
+    /// Trip threshold on the fast-window burn (multiples of budget).
+    pub fast_burn: f64,
+    /// Trip threshold on the slow-window burn (multiples of budget).
+    pub slow_burn: f64,
+}
+
+impl Default for BurnRateConfig {
+    fn default() -> Self {
+        Self {
+            slo_ns: 1 << 21, // ~2.1 ms
+            budget: 0.01,
+            fast_window: 3,
+            slow_window: 12,
+            fast_burn: 4.0,
+            slow_burn: 2.0,
+        }
+    }
+}
+
+/// The burn state after one observation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BurnStatus {
+    /// Burn over the fast window (observed over-SLO fraction / budget).
+    pub fast_burn: f64,
+    /// Burn over the slow window.
+    pub slow_burn: f64,
+    /// True when both windows are at or above their thresholds.
+    pub tripped: bool,
+}
+
+/// Two-window SLO burn-rate monitor over a *cumulative* histogram.
+///
+/// Each call to [`BurnRateMonitor::observe`] diffs the histogram against
+/// the previous observation to get one batch `(samples, over_slo)`, keeps
+/// the last `slow_window` batches, and computes the burn — the observed
+/// over-SLO fraction divided by the budget — over both windows. It trips
+/// only when the fast **and** slow windows are both at or above their
+/// thresholds: the fast window gives detection latency, the slow window
+/// gives noise immunity.
+#[derive(Debug)]
+pub struct BurnRateMonitor {
+    cfg: BurnRateConfig,
+    /// First histogram bucket counted as over-SLO.
+    over_bucket: usize,
+    prev_count: u64,
+    prev_over: u64,
+    /// Most recent batch at the back; bounded by `slow_window`.
+    window: VecDeque<(u64, u64)>,
+}
+
+impl BurnRateMonitor {
+    /// Builds a monitor; panics on a config violating the documented
+    /// invariants (a misconfigured watchdog is a deploy-time bug).
+    pub fn new(cfg: BurnRateConfig) -> Self {
+        assert!(cfg.budget > 0.0 && cfg.budget < 1.0, "budget in (0,1)");
+        assert!(
+            cfg.fast_burn >= cfg.slow_burn && cfg.slow_burn > 1.0,
+            "fast_burn >= slow_burn > 1"
+        );
+        assert!(
+            cfg.fast_window >= 1 && cfg.fast_window <= cfg.slow_window,
+            "1 <= fast_window <= slow_window"
+        );
+        let effective_slo = cfg.slo_ns.max(1).next_power_of_two();
+        Self {
+            cfg,
+            over_bucket: bucket_index(effective_slo),
+            prev_count: 0,
+            prev_over: 0,
+            window: VecDeque::new(),
+        }
+    }
+
+    /// The SLO actually enforced: `slo_ns` rounded up to a power of two
+    /// (the histogram's bucket boundary).
+    pub fn effective_slo_ns(&self) -> u64 {
+        1u64 << self.over_bucket
+    }
+
+    /// Feeds one observation of the cumulative histogram (`None` when the
+    /// stage recorded nothing yet) and returns the burn state.
+    pub fn observe(&mut self, hist: Option<&HistogramSnapshot>) -> BurnStatus {
+        let (count, over) = match hist {
+            Some(h) => {
+                let over: u64 = (self.over_bucket..BUCKETS).map(|i| h.buckets[i]).sum();
+                (h.count, over)
+            }
+            None => (self.prev_count, self.prev_over),
+        };
+        if count < self.prev_count || over < self.prev_over {
+            // The registry was replaced (restart); restart the diff chain.
+            self.window.clear();
+            self.prev_count = 0;
+            self.prev_over = 0;
+        }
+        let batch = (count - self.prev_count, over - self.prev_over);
+        self.prev_count = count;
+        self.prev_over = over;
+        if self.window.len() == self.cfg.slow_window {
+            self.window.pop_front();
+        }
+        self.window.push_back(batch);
+
+        let burn_over = |n: usize| -> f64 {
+            let (mut total, mut over) = (0u64, 0u64);
+            for &(t, o) in self.window.iter().rev().take(n) {
+                total += t;
+                over += o;
+            }
+            if total == 0 {
+                0.0
+            } else {
+                (over as f64 / total as f64) / self.cfg.budget
+            }
+        };
+        let fast = burn_over(self.cfg.fast_window);
+        let slow = burn_over(self.cfg.slow_window);
+        BurnStatus {
+            fast_burn: fast,
+            slow_burn: slow,
+            tripped: fast >= self.cfg.fast_burn && slow >= self.cfg.slow_burn,
+        }
+    }
+}
+
+/// Thresholds for the stateful watchdogs.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogConfig {
+    /// Consecutive observations the follower watermark may sit frozen
+    /// behind an advanced tip before stalled-replication fires.
+    pub stall_ticks: u32,
+    /// Oldest tolerated in-doubt prepared-hold age, in clock ms.
+    pub in_doubt_age_limit_ms: u64,
+    /// Burn-rate monitor configuration.
+    pub burn: BurnRateConfig,
+    /// Histogram stage the burn monitor watches.
+    pub slo_stage: &'static str,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            stall_ticks: 2,
+            in_doubt_age_limit_ms: 5_000,
+            burn: BurnRateConfig::default(),
+            slo_stage: "client.send",
+        }
+    }
+}
+
+/// Per-shard replication stall tracking.
+#[derive(Debug, Default, Clone, Copy)]
+struct StallTrack {
+    last_watermark: u64,
+    seen: bool,
+    stalled_ticks: u32,
+}
+
+/// The stateful watchdog set: feed it one merged snapshot per health
+/// tick; it returns the trips (empty on a healthy tick).
+#[derive(Debug)]
+pub struct HealthState {
+    cfg: WatchdogConfig,
+    burn: BurnRateMonitor,
+    stalls: BTreeMap<String, StallTrack>,
+    /// The most recent derived observation (for gauge publishing and
+    /// incident detail).
+    pub last: HealthObservation,
+}
+
+impl HealthState {
+    /// Builds the watchdog set from thresholds.
+    pub fn new(cfg: WatchdogConfig) -> Self {
+        Self {
+            burn: BurnRateMonitor::new(cfg.burn),
+            cfg,
+            stalls: BTreeMap::new(),
+            last: HealthObservation::default(),
+        }
+    }
+
+    /// The configuration this state was built with.
+    pub fn config(&self) -> &WatchdogConfig {
+        &self.cfg
+    }
+
+    /// One health tick: derive the observation, advance every watchdog,
+    /// and return the trips.
+    pub fn observe(&mut self, snap: &TelemetrySnapshot) -> Vec<WatchdogTrip> {
+        let obs = HealthObservation::derive(snap, self.cfg.slo_stage);
+        let mut trips = Vec::new();
+
+        for r in &obs.repl {
+            let track = self.stalls.entry(r.shard.clone()).or_default();
+            let frozen = track.seen && r.watermark == track.last_watermark;
+            if r.tip > r.watermark && frozen {
+                track.stalled_ticks += 1;
+                if track.stalled_ticks >= self.cfg.stall_ticks {
+                    trips.push(WatchdogTrip {
+                        watchdog: Watchdog::StalledReplication,
+                        subject: r.shard.clone(),
+                        detail: format!(
+                            "tip={} watermark={} frozen for {} ticks (lag {})",
+                            r.tip, r.watermark, track.stalled_ticks, r.lag
+                        ),
+                    });
+                }
+            } else {
+                track.stalled_ticks = 0;
+            }
+            track.last_watermark = r.watermark;
+            track.seen = true;
+        }
+
+        if obs.in_doubt_oldest_ms > self.cfg.in_doubt_age_limit_ms {
+            trips.push(WatchdogTrip {
+                watchdog: Watchdog::InDoubtAge,
+                subject: "coordinator".into(),
+                detail: format!(
+                    "oldest in-doubt hold {} ms > limit {} ms",
+                    obs.in_doubt_oldest_ms, self.cfg.in_doubt_age_limit_ms
+                ),
+            });
+        }
+
+        for l in &obs.leases {
+            if l.sum != l.total {
+                trips.push(WatchdogTrip {
+                    watchdog: Watchdog::LeaseSumInvariant,
+                    subject: l.pool.clone(),
+                    detail: format!(
+                        "sum(leases)={} != pool total={} ({})",
+                        l.sum,
+                        l.total,
+                        if l.sum < l.total {
+                            "stranded capacity"
+                        } else {
+                            "oversold"
+                        }
+                    ),
+                });
+            }
+        }
+
+        let status = self.burn.observe(obs.slo_hist.as_ref());
+        if status.tripped {
+            trips.push(WatchdogTrip {
+                watchdog: Watchdog::SloBurnRate,
+                subject: self.cfg.slo_stage.to_string(),
+                detail: format!(
+                    "fast burn {:.1}x / slow burn {:.1}x over budget {} (SLO {} ns)",
+                    status.fast_burn,
+                    status.slow_burn,
+                    self.cfg.burn.budget,
+                    self.burn.effective_slo_ns()
+                ),
+            });
+        }
+
+        self.last = obs;
+        trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy_snapshot(tick: u64) -> TelemetrySnapshot {
+        let tel = Telemetry::shared();
+        // Replication: tip advances, watermark keeps up.
+        tel.set_gauge("cluster.repl.tip.shard0", 10 * tick);
+        tel.set_gauge("cluster.repl.watermark.shard0", 10 * tick);
+        tel.set_gauge("cluster.repl.lag.shard0", 0);
+        // No in-doubt holds, leases conserved.
+        tel.set_gauge("shard0.e0.pm.in_doubt.oldest_ms", 0);
+        tel.set_gauge("cluster.lease.sum.pool-0", 1_000);
+        tel.set_gauge("cluster.lease.total.pool-0", 1_000);
+        // Latency comfortably under the default ~2 ms SLO.
+        for _ in 0..100 {
+            tel.record_ns("client.send", 50_000 * (1 + tick % 3));
+        }
+        tel.snapshot()
+    }
+
+    #[test]
+    fn every_watchdog_is_silent_on_healthy_ticks() {
+        let mut hs = HealthState::new(WatchdogConfig::default());
+        for tick in 1..=20 {
+            let trips = hs.observe(&healthy_snapshot(tick));
+            assert!(trips.is_empty(), "tick {tick} tripped: {trips:?}");
+        }
+        // The observation derived something real, not vacuous silence.
+        assert_eq!(hs.last.repl.len(), 1);
+        assert_eq!(hs.last.leases.len(), 1);
+        assert!(hs.last.slo_hist.is_some());
+    }
+
+    #[test]
+    fn stalled_replication_trips_after_consecutive_frozen_ticks() {
+        let mut hs = HealthState::new(WatchdogConfig::default());
+        let snap = |tip: u64, wm: u64| {
+            let tel = Telemetry::shared();
+            tel.set_gauge("cluster.repl.tip.shard1", tip);
+            tel.set_gauge("cluster.repl.watermark.shard1", wm);
+            tel.set_gauge("cluster.repl.lag.shard1", tip - wm);
+            tel.snapshot()
+        };
+        assert!(hs.observe(&snap(5, 5)).is_empty());
+        // Tip runs ahead, watermark frozen: first frozen tick arms, the
+        // second (>= stall_ticks = 2) trips.
+        assert!(hs.observe(&snap(9, 5)).is_empty());
+        let trips = hs.observe(&snap(12, 5));
+        assert_eq!(trips.len(), 1);
+        assert_eq!(trips[0].watchdog, Watchdog::StalledReplication);
+        // Watermark moves again: the dog re-arms silently.
+        assert!(hs.observe(&snap(16, 16)).is_empty());
+    }
+
+    #[test]
+    fn in_doubt_age_trips_over_limit_and_clears() {
+        let mut hs = HealthState::new(WatchdogConfig::default());
+        let snap = |age: u64| {
+            let tel = Telemetry::shared();
+            tel.set_gauge("shard0.e0.pm.in_doubt.oldest_ms", age);
+            tel.snapshot()
+        };
+        assert!(hs.observe(&snap(4_999)).is_empty());
+        let trips = hs.observe(&snap(5_001));
+        assert_eq!(trips.len(), 1);
+        assert_eq!(trips[0].watchdog, Watchdog::InDoubtAge);
+        assert!(hs.observe(&snap(0)).is_empty());
+    }
+
+    #[test]
+    fn lease_sum_probe_trips_both_directions() {
+        let mut hs = HealthState::new(WatchdogConfig::default());
+        let snap = |sum: u64| {
+            let tel = Telemetry::shared();
+            tel.set_gauge("cluster.lease.sum.hot", sum);
+            tel.set_gauge("cluster.lease.total.hot", 500);
+            tel.snapshot()
+        };
+        assert!(hs.observe(&snap(500)).is_empty());
+        let stranded = hs.observe(&snap(420));
+        assert_eq!(stranded.len(), 1);
+        assert_eq!(stranded[0].watchdog, Watchdog::LeaseSumInvariant);
+        assert!(stranded[0].detail.contains("stranded"));
+        let oversold = hs.observe(&snap(501));
+        assert!(oversold[0].detail.contains("oversold"));
+        assert!(hs.observe(&snap(500)).is_empty());
+    }
+
+    #[test]
+    fn burn_monitor_trips_on_sustained_violation_not_on_clean_traffic() {
+        let cfg = BurnRateConfig::default();
+        let mut mon = BurnRateMonitor::new(cfg);
+        let tel = Telemetry::shared();
+        // Clean batches: all samples far under the SLO.
+        for _ in 0..10 {
+            for _ in 0..50 {
+                tel.record_ns("client.send", 100_000);
+            }
+            let snap = tel.snapshot();
+            let st = mon.observe(snap.histogram("client.send"));
+            assert!(!st.tripped, "clean batch tripped: {st:?}");
+        }
+        // A fire: every sample blows the SLO. Trips immediately (both
+        // windows saturate at burn = 1/budget).
+        for _ in 0..50 {
+            tel.record_ns("client.send", 50_000_000);
+        }
+        let snap = tel.snapshot();
+        let st = mon.observe(snap.histogram("client.send"));
+        assert!(st.tripped, "sustained violation must trip: {st:?}");
+    }
+
+    #[test]
+    fn burn_monitor_rounds_slo_to_bucket_boundary() {
+        let mon = BurnRateMonitor::new(BurnRateConfig {
+            slo_ns: 3_000_000,
+            ..BurnRateConfig::default()
+        });
+        assert_eq!(mon.effective_slo_ns(), 4_194_304);
+    }
+
+    #[test]
+    fn derive_folds_journal_compaction_and_dedup_series() {
+        let tel = Telemetry::shared();
+        tel.set_gauge("shard0.e0.pm.journal.records", 120);
+        tel.set_gauge("shard1.e0.pm.journal.records", 80);
+        tel.counter("shard0.e0.pm.compact.runs")
+            .fetch_add(3, std::sync::atomic::Ordering::Relaxed);
+        tel.set_gauge("coord.dedup.size", 7);
+        tel.set_gauge("shard0.e0.pm.dedup.tombstones", 5);
+        tel.set_gauge("cluster.lease.headroom.hot.shard0", 90);
+        tel.set_gauge("cluster.lease.headroom.hot.shard1", 10);
+        let obs = HealthObservation::derive(&tel.snapshot(), "client.send");
+        assert_eq!(obs.journal_records, 200);
+        assert_eq!(obs.compact_runs, 3);
+        assert_eq!(obs.dedup_entries, 12);
+        assert_eq!(obs.leases.len(), 1);
+        assert_eq!(obs.leases[0].headroom_spread, 80);
+        // Publishing writes the folded view as health.* gauges.
+        let out = Telemetry::shared();
+        obs.publish(&out);
+        let snap = out.snapshot();
+        assert_eq!(snap.gauge("health.journal.records"), 200);
+        assert_eq!(snap.gauge("health.lease.imbalance.hot"), 80);
+    }
+}

@@ -24,7 +24,9 @@
 
 pub mod audit;
 pub mod export;
+pub mod health;
 pub mod hist;
+pub mod recorder;
 pub mod registry;
 pub mod ring;
 pub mod span;
@@ -33,7 +35,12 @@ pub use audit::{
     audit_cluster_lifecycles, audit_lifecycles, ClusterLifecycleReport, JournalFacts,
     LifecycleReport, ShardEvidence,
 };
+pub use health::{
+    BurnRateConfig, BurnRateMonitor, BurnStatus, HealthObservation, HealthState, LeaseHealth,
+    ReplHealth, Watchdog, WatchdogConfig, WatchdogTrip,
+};
 pub use hist::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
+pub use recorder::{FlightRecorder, HealthEvent, IncidentReport, DEFAULT_EVENT_CAPACITY};
 pub use registry::{SpanDraft, Telemetry, TelemetrySnapshot, DEFAULT_RING_CAPACITY};
 pub use ring::SpanRing;
 pub use span::{

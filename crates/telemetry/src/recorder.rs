@@ -1,0 +1,252 @@
+//! Flight recorder: a bounded per-node ring of structured state-transition
+//! events, dumped as a trace-correlated incident report when something
+//! goes wrong (DESIGN.md §17).
+//!
+//! Spans answer "where did the time go"; the flight recorder answers
+//! "what was the node *doing*". Every coordinator, shard leader and
+//! follower owns a [`FlightRecorder`] and records coarse state
+//! transitions — 2PC phase changes, lease withdraws/deposits, follower
+//! promotions, compaction swaps — as [`HealthEvent`]s. The ring is
+//! bounded (old events fall off), recording is a short mutex hold on a
+//! cold path (state transitions, not per-request work), and each event
+//! captures the ambient [`TraceContext`](crate::TraceContext) when one is
+//! active, so an incident report can be joined against the span ring.
+//!
+//! On an audit violation, crash, or watchdog trip, [`FlightRecorder::incident`]
+//! snapshots the recent event window together with a telemetry snapshot
+//! into an [`IncidentReport`] whose [`IncidentReport::to_json`] output is
+//! machine-parseable (validated by [`export::validate_json`](crate::export::validate_json)
+//! in the doctor gate).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::export::{json_escape, to_json};
+use crate::registry::TelemetrySnapshot;
+use crate::span::current_trace;
+
+/// Default bound on the event ring: enough to hold the full state-machine
+/// history of a sweep round while staying a few tens of KiB per node.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+/// One recorded state transition.
+#[derive(Debug, Clone)]
+pub struct HealthEvent {
+    /// Monotonic per-recorder sequence number (never reused; gaps mean
+    /// the ring dropped older events).
+    pub seq: u64,
+    /// Nanoseconds since the recorder's epoch. Recorders built from one
+    /// shared epoch ([`FlightRecorder::with_epoch`]) produce comparable
+    /// timestamps across nodes.
+    pub at_ns: u64,
+    /// The ambient trace active when the event was recorded, if any —
+    /// lets a postmortem join recorder events against the span ring.
+    pub trace: Option<u64>,
+    /// Event kind from the fixed taxonomy (e.g. `"2pc.commit"`,
+    /// `"lease.withdraw"`, `"failover.promote"`, `"compact.swap"`).
+    pub kind: &'static str,
+    /// Free-form detail (ids, quantities, endpoints).
+    pub detail: String,
+}
+
+struct RecorderInner {
+    next_seq: u64,
+    ring: VecDeque<HealthEvent>,
+}
+
+/// A bounded ring of [`HealthEvent`]s owned by one node.
+pub struct FlightRecorder {
+    node: String,
+    epoch: Instant,
+    capacity: usize,
+    inner: Mutex<RecorderInner>,
+}
+
+impl FlightRecorder {
+    /// A recorder for `node` with its own epoch and the default capacity.
+    pub fn new(node: impl Into<String>) -> Arc<Self> {
+        Self::with_epoch(node, Instant::now())
+    }
+
+    /// A recorder for `node` sharing `epoch` with sibling recorders, so
+    /// `at_ns` values are comparable across one cluster's nodes.
+    pub fn with_epoch(node: impl Into<String>, epoch: Instant) -> Arc<Self> {
+        Arc::new(Self {
+            node: node.into(),
+            epoch,
+            capacity: DEFAULT_EVENT_CAPACITY,
+            inner: Mutex::new(RecorderInner {
+                next_seq: 0,
+                ring: VecDeque::new(),
+            }),
+        })
+    }
+
+    /// The node name this recorder was built for.
+    pub fn node(&self) -> &str {
+        &self.node
+    }
+
+    /// The epoch `at_ns` values are measured from (share it with
+    /// [`FlightRecorder::with_epoch`] to build sibling recorders).
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Records one state transition, stamping the sequence number, the
+    /// epoch-relative time, and the ambient trace (when one is active).
+    pub fn record(&self, kind: &'static str, detail: impl Into<String>) {
+        let event = HealthEvent {
+            seq: 0, // stamped under the lock
+            at_ns: self.epoch.elapsed().as_nanos() as u64,
+            trace: current_trace().map(|ctx| ctx.trace.0),
+            kind,
+            detail: detail.into(),
+        };
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+        }
+        let mut event = event;
+        event.seq = seq;
+        inner.ring.push_back(event);
+    }
+
+    /// The retained event window, oldest first.
+    pub fn events(&self) -> Vec<HealthEvent> {
+        self.inner.lock().ring.iter().cloned().collect()
+    }
+
+    /// Number of retained events (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.inner.lock().ring.len()
+    }
+
+    /// True when nothing has been recorded (or everything fell off).
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().ring.is_empty()
+    }
+
+    /// Total events ever recorded, including those the ring dropped.
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().next_seq
+    }
+
+    /// Builds an incident report from the current event window plus the
+    /// supplied telemetry snapshot. `reason` names what tripped (audit
+    /// violation, crash, watchdog).
+    pub fn incident(&self, reason: &str, snapshot: &TelemetrySnapshot) -> IncidentReport {
+        IncidentReport {
+            node: self.node.clone(),
+            reason: reason.to_string(),
+            at_ns: self.epoch.elapsed().as_nanos() as u64,
+            events: self.events(),
+            snapshot: snapshot.clone(),
+        }
+    }
+}
+
+/// A postmortem bundle: what the node was doing (recent events) and what
+/// the metrics looked like (snapshot) when `reason` fired.
+#[derive(Debug, Clone)]
+pub struct IncidentReport {
+    /// Node the report came from.
+    pub node: String,
+    /// What fired: watchdog name, audit violation, or crash description.
+    pub reason: String,
+    /// When the report was cut, in nanoseconds since the recorder epoch.
+    pub at_ns: u64,
+    /// The retained event window, oldest first.
+    pub events: Vec<HealthEvent>,
+    /// Registry snapshot at report time.
+    pub snapshot: TelemetrySnapshot,
+}
+
+impl IncidentReport {
+    /// Serialises the report as a single JSON object. The output is valid
+    /// JSON by construction (all strings escaped); the doctor gate
+    /// re-validates it with [`export::validate_json`](crate::export::validate_json)
+    /// anyway, so a serialisation regression fails loudly.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"incident\":{");
+        out.push_str(&format!("\"node\":\"{}\",", json_escape(&self.node)));
+        out.push_str(&format!("\"reason\":\"{}\",", json_escape(&self.reason)));
+        out.push_str(&format!("\"at_ns\":{},", self.at_ns));
+        out.push_str("\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"seq\":{},\"at_ns\":{},\"trace\":{},\"kind\":\"{}\",\"detail\":\"{}\"}}",
+                e.seq,
+                e.at_ns,
+                e.trace
+                    .map_or("null".to_string(), |t| format!("\"{t:016x}\"")),
+                json_escape(e.kind),
+                json_escape(&e.detail),
+            ));
+        }
+        out.push_str("],");
+        out.push_str(&format!("\"telemetry\":{}", to_json(&self.snapshot)));
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::validate_json;
+    use crate::span::{push_trace, TraceContext, TraceId};
+    use crate::SpanId;
+
+    #[test]
+    fn ring_is_bounded_and_seqs_are_monotonic() {
+        let rec = FlightRecorder::with_epoch("shard0", Instant::now());
+        for i in 0..(DEFAULT_EVENT_CAPACITY + 10) {
+            rec.record("2pc.begin", format!("txn {i}"));
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), DEFAULT_EVENT_CAPACITY);
+        assert_eq!(rec.recorded(), (DEFAULT_EVENT_CAPACITY + 10) as u64);
+        // Oldest events fell off; the window is the most recent ones.
+        assert_eq!(events.first().unwrap().seq, 10);
+        assert!(events.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+    }
+
+    #[test]
+    fn events_capture_the_ambient_trace() {
+        let rec = FlightRecorder::new("coordinator");
+        rec.record("lease.withdraw", "pool-a -3");
+        let _guard = push_trace(TraceContext {
+            trace: TraceId(0xDEAD_BEEF),
+            parent: SpanId(1),
+        });
+        rec.record("lease.deposit", "pool-a +3");
+        let events = rec.events();
+        assert_eq!(events[0].trace, None);
+        assert_eq!(events[1].trace, Some(0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn incident_json_is_parseable() {
+        let rec = FlightRecorder::new("shard1");
+        rec.record("failover.kill", "leader shard1.e0 \"quoted\" \\ tricky");
+        rec.record("failover.promote", "follower shard1.e1");
+        let tel = crate::Telemetry::shared();
+        tel.incr("cluster.failover.promotions");
+        tel.record_ns("pm.grant", 1_500);
+        let report = rec.incident("watchdog:stalled-replication", &tel.snapshot());
+        let json = report.to_json();
+        validate_json(&json).expect("incident report must be valid JSON");
+        assert!(json.contains("failover.promote"));
+        assert!(json.contains("stalled-replication"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the two-window SLO burn-rate monitor (DESIGN §17).
+//!
+//! Two provable guarantees, each exercised over arbitrary workload
+//! shapes:
+//!
+//! 1. **No false positives**: a workload whose every observation batch
+//!    keeps its over-SLO fraction at or under the error budget can never
+//!    trip the monitor — any window's aggregate fraction is a weighted
+//!    average of per-batch fractions, so its burn stays ≤ 1, strictly
+//!    under both thresholds (which the config requires to exceed 1).
+//! 2. **Bounded detection latency**: starting from empty history, a
+//!    workload whose every batch burns at `fast_burn` × budget or worse
+//!    trips within `fast_window` observations (in fact on the first,
+//!    since both windows then contain only violating batches).
+
+use proptest::prelude::*;
+
+use promises_telemetry::{BurnRateConfig, BurnRateMonitor, Histogram};
+
+/// Builds the cumulative histogram stream: each batch appends `under`
+/// samples below the SLO and `over` samples above it, then observes.
+fn feed(mon: &mut BurnRateMonitor, hist: &Histogram, under: u64, over: u64) -> bool {
+    let slo = mon.effective_slo_ns();
+    for _ in 0..under {
+        hist.record(slo / 2);
+    }
+    for _ in 0..over {
+        hist.record(slo.saturating_mul(4));
+    }
+    mon.observe(Some(&hist.snapshot())).tripped
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Property 1: batches within budget never trip, whatever their
+    /// sizes, count, or how the in-budget violations are distributed.
+    #[test]
+    fn never_trips_when_every_batch_is_within_budget(
+        batch_sizes in proptest::collection::vec(1u64..2_000, 1..40),
+        seedish in any::<u64>(),
+    ) {
+        let cfg = BurnRateConfig::default(); // budget 1%, thresholds 4x/2x
+        let mut mon = BurnRateMonitor::new(cfg);
+        let hist = Histogram::new();
+        for (i, &n) in batch_sizes.iter().enumerate() {
+            // Up to budget * n violations per batch (floor keeps the
+            // batch fraction <= budget exactly).
+            let max_over = (n as f64 * cfg.budget).floor() as u64;
+            let over = if max_over == 0 { 0 } else { (seedish >> (i % 32)) % (max_over + 1) };
+            let tripped = feed(&mut mon, &hist, n - over, over);
+            prop_assert!(
+                !tripped,
+                "tripped on in-budget batch {i} (n={n}, over={over})"
+            );
+        }
+    }
+
+    /// Property 2: sustained violation trips within the fast window when
+    /// every batch's over-SLO fraction reaches fast_burn * budget.
+    #[test]
+    fn trips_within_fast_window_under_sustained_violation(
+        batch_sizes in proptest::collection::vec(1u64..2_000, 1..10),
+        fast_window in 1usize..5,
+    ) {
+        let cfg = BurnRateConfig {
+            fast_window,
+            slow_window: fast_window.max(3) * 4,
+            ..BurnRateConfig::default()
+        };
+        let mut mon = BurnRateMonitor::new(cfg);
+        let hist = Histogram::new();
+        let mut tripped_at = None;
+        for (i, &n) in batch_sizes.iter().enumerate() {
+            // ceil(fast_burn * budget * n) violations: the batch fraction
+            // is >= fast_burn * budget, i.e. burns at or above the fast
+            // threshold (and a fortiori the slow one).
+            let over = ((n as f64) * cfg.budget * cfg.fast_burn).ceil() as u64;
+            let over = over.clamp(1, n);
+            if feed(&mut mon, &hist, n - over, over) {
+                tripped_at = Some(i);
+                break;
+            }
+        }
+        let at = tripped_at.expect("sustained violation must trip");
+        prop_assert!(
+            at < cfg.fast_window,
+            "tripped at observation {at}, after the fast window ({})",
+            cfg.fast_window
+        );
+    }
+}

@@ -64,6 +64,18 @@ cargo run --release -q -p promises-bench --bin experiments -- --leases 2007 3133
 echo "==> failover smoke (seeds 2007 31337 90210)"
 cargo run --release -q -p promises-bench --bin experiments -- --failover 2007 31337 90210
 
+# Doctor suite: the E17 health-plane confusion matrix under three fixed
+# seeds × fault rates 0/10/20%. Each doctor sweep injects one known
+# fault class with the anomaly watchdogs armed: delay faults must trip
+# the SLO burn-rate monitor, a stranded mid-rebalance crash the
+# lease-sum probe, a wedged follower and aging in-doubt holds their
+# watchdogs — and every rate-0 run must be silent (zero false
+# positives). Every trip must cut a JSON-parseable flight-recorder
+# incident report (see DESIGN.md §17). Writes BENCH_doctor.json and
+# fails on any missed detection, false positive, or invalid incident.
+echo "==> doctor smoke (seeds 2007 31337 90210)"
+cargo run --release -q -p promises-bench --bin experiments -- --doctor 2007 31337 90210
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
