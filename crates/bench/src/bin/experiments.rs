@@ -19,7 +19,13 @@
 //! `BENCH_replication.json`; `--doctor` runs the E17 health-plane
 //! confusion matrix — every doctor sweep at 0/10/20% fault rates, gated
 //! on zero missed detections, zero false positives, and every incident
-//! report parsing as JSON — dumping `BENCH_doctor.json`).
+//! report parsing as JSON — dumping `BENCH_doctor.json`; `--workloads`
+//! runs the E18 production workload plane — the open-loop flash-sale
+//! scenario gated on its p99 SLO and on degraded mode both engaging and
+//! clearing, the travel-booking scenario at 0/10/20% fault rates gated
+//! on ≥95% completion with clean atomicity audits, and the 12-cell
+//! error-path matrix gated on zero failing cells — dumping
+//! `BENCH_workloads.json` and `BENCH_workloads.prom`).
 
 use std::env;
 use std::time::Duration;
@@ -937,6 +943,253 @@ fn doctor_mode(seeds: &[u64]) {
     println!("doctor: all checks passed");
 }
 
+/// E18 workloads mode: the production workload plane. Per seed, the
+/// flash-sale scenario (gated on the normal-phase p99 SLO at the offered
+/// rate, on degraded mode engaging during overload AND clearing after,
+/// and on load being shed), the travel-booking scenario at 0/10/20%
+/// wire-fault rates (gated on ≥95% completion with zero partial grants,
+/// double grants, oversells, and leaks), and the 6-failure-class ×
+/// 2-scenario error-path matrix (gated on zero failing cells). Writes
+/// `BENCH_workloads.json` and `BENCH_workloads.prom` and exits non-zero
+/// if any gate fails.
+fn workloads_mode(seeds: &[u64]) {
+    use promises_workloads::{
+        run_error_path_matrix, run_flash_sale, run_travel_booking, CellStatus, FlashSaleConfig,
+        TravelConfig,
+    };
+
+    const TRAVEL_FAULT_RATES: [f64; 3] = [0.0, 0.1, 0.2];
+    const MIN_TRAVEL_COMPLETION: f64 = 0.95;
+    let mut failures = 0usize;
+    let tel = promises_telemetry::Telemetry::new();
+
+    let mut flash_rows = Vec::new();
+    let mut flash_json = Vec::new();
+    for &seed in seeds {
+        let r = run_flash_sale(&FlashSaleConfig {
+            seed,
+            ..FlashSaleConfig::default()
+        });
+        let causes = r
+            .reject_causes
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        flash_rows.push(vec![
+            seed.to_string(),
+            opt_ns(Some(r.verdict.p99_ns)),
+            opt_ns(Some(r.verdict.p99_ns_max)),
+            f(r.verdict.goodput_ratio * 100.0, 1),
+            r.degraded_engaged.to_string(),
+            r.degraded_cleared.to_string(),
+            r.shed_rejections.to_string(),
+            if r.passed() { "OK" } else { "FAIL" }.into(),
+        ]);
+        println!(
+            "flash-sale seed={seed}: {} | causes: {causes}",
+            r.verdict.summary()
+        );
+        if !r.passed() {
+            eprintln!(
+                "workloads: flash-sale gate FAILED (seed {seed}): slo_passed={} \
+                 degraded_engaged={} degraded_cleared={} shed={}",
+                r.verdict.passed, r.degraded_engaged, r.degraded_cleared, r.shed_rejections
+            );
+            failures += 1;
+        }
+        tel.set_gauge("workload.flash_sale.p99_ns", r.verdict.p99_ns);
+        tel.set_gauge("workload.flash_sale.shed_rejections", r.shed_rejections);
+        tel.set_gauge(
+            "workload.flash_sale.goodput_ppm",
+            (r.verdict.goodput_ratio * 1e6) as u64,
+        );
+        let cause_json = r
+            .reject_causes
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        flash_json.push(format!(
+            "{{\"seed\":{seed},\"p99_ns\":{},\"p99_ns_max\":{},\"goodput_ratio\":{:.4},\
+             \"slo_passed\":{},\"degraded_engaged\":{},\"degraded_cleared\":{},\
+             \"shed_rejections\":{},\"reject_causes\":{{{cause_json}}},\"passed\":{}}}",
+            r.verdict.p99_ns,
+            r.verdict.p99_ns_max,
+            r.verdict.goodput_ratio,
+            r.verdict.passed,
+            r.degraded_engaged,
+            r.degraded_cleared,
+            r.shed_rejections,
+            r.passed(),
+        ));
+    }
+    print_table(
+        "E18a — flash sale: open-loop SLO gate, overload shedding, degraded-mode arc",
+        &[
+            "seed",
+            "p99",
+            "p99 max",
+            "goodput %",
+            "engaged",
+            "cleared",
+            "shed",
+            "gate",
+        ],
+        &flash_rows,
+    );
+
+    let mut travel_rows = Vec::new();
+    let mut travel_json = Vec::new();
+    for &seed in seeds {
+        for rate in TRAVEL_FAULT_RATES {
+            let r = run_travel_booking(&TravelConfig {
+                seed,
+                fault_rate: rate,
+                ..TravelConfig::default()
+            });
+            let ok = r.completion_ratio() >= MIN_TRAVEL_COMPLETION && r.audits_clean();
+            travel_rows.push(vec![
+                seed.to_string(),
+                f(rate, 2),
+                r.completed().to_string(),
+                f(r.completion_ratio() * 100.0, 1),
+                r.negotiated_down.to_string(),
+                r.desk_completed.to_string(),
+                r.transport_failures.to_string(),
+                format!(
+                    "{}/{}/{}/{}",
+                    r.partial_grants, r.double_grants, r.oversells, r.live_after_reap
+                ),
+                if ok { "OK" } else { "FAIL" }.into(),
+            ]);
+            if !ok {
+                eprintln!(
+                    "workloads: travel gate FAILED (seed {seed} rate {rate:.2}): \
+                     completion={:.3} partial={} double={} oversell={} leaked={} state={}",
+                    r.completion_ratio(),
+                    r.partial_grants,
+                    r.double_grants,
+                    r.oversells,
+                    r.live_after_reap,
+                    r.state_after_reap
+                );
+                failures += 1;
+            }
+            tel.set_gauge(
+                "workload.travel.completion_ppm",
+                (r.completion_ratio() * 1e6) as u64,
+            );
+            tel.set_gauge("workload.travel.negotiated_down", r.negotiated_down);
+            travel_json.push(format!(
+                "{{\"seed\":{seed},\"fault_rate\":{rate:.2},\"completed\":{},\
+                 \"completion_ratio\":{:.4},\"granted_full\":{},\"negotiated_down\":{},\
+                 \"desk_completed\":{},\"rejected\":{},\"transport_failures\":{},\
+                 \"partial_grants\":{},\"double_grants\":{},\"oversells\":{},\
+                 \"leaked\":{},\"state_after_reap\":{},\"passed\":{ok}}}",
+                r.completed(),
+                r.completion_ratio(),
+                r.granted_full,
+                r.negotiated_down,
+                r.desk_completed,
+                r.rejected,
+                r.transport_failures,
+                r.partial_grants,
+                r.double_grants,
+                r.oversells,
+                r.live_after_reap,
+                r.state_after_reap,
+            ));
+        }
+    }
+    print_table(
+        &format!(
+            "E18b — travel booking: 3-leg atomic grants under wire faults \
+             (gate: completion >= {:.0}%, audits p/d/o/l all zero)",
+            MIN_TRAVEL_COMPLETION * 100.0
+        ),
+        &[
+            "seed",
+            "rate",
+            "completed",
+            "completion %",
+            "negotiated",
+            "via desk",
+            "transport err",
+            "p/d/o/l",
+            "gate",
+        ],
+        &travel_rows,
+    );
+
+    let mut matrix_json = Vec::new();
+    for &seed in seeds {
+        let m = run_error_path_matrix(seed);
+        let mut rows = Vec::new();
+        let mut cell_jsons = Vec::new();
+        for c in &m.cells {
+            let (status, note) = match &c.status {
+                CellStatus::Pass => ("pass", String::new()),
+                CellStatus::Skip(why) => ("skip", why.clone()),
+                CellStatus::Fail(why) => ("fail", why.clone()),
+            };
+            rows.push(vec![
+                c.failure.name().into(),
+                c.scenario.name().into(),
+                c.status.legend().into(),
+                if note.is_empty() {
+                    c.detail.clone()
+                } else {
+                    note.clone()
+                },
+            ]);
+            cell_jsons.push(format!(
+                "{{\"failure\":\"{}\",\"scenario\":\"{}\",\"status\":\"{status}\",\
+                 \"detail\":\"{}\"}}",
+                c.failure.name(),
+                c.scenario.name(),
+                c.detail.replace('"', "'"),
+            ));
+        }
+        print_table(
+            &format!("E18c — error-path matrix (seed {seed}; [x] pass, [-] skip, [!] fail)"),
+            &["failure class", "scenario", "cell", "detail"],
+            &rows,
+        );
+        let bad = m.failures().len();
+        if !m.all_clean() {
+            eprintln!("workloads: error-path matrix has {bad} failing cell(s) (seed {seed})");
+            failures += 1;
+        }
+        tel.set_gauge("workload.matrix.cells", m.cells.len() as u64);
+        tel.set_gauge("workload.matrix.failing_cells", bad as u64);
+        matrix_json.push(format!(
+            "{{\"seed\":{seed},\"cells\":[{}],\"failing_cells\":{bad}}}",
+            cell_jsons.join(","),
+        ));
+    }
+
+    let json = format!(
+        "{{\"experiment\":\"e18-workloads\",\
+         \"gates\":{{\"min_travel_completion\":{MIN_TRAVEL_COMPLETION}}},\
+         \"flash_sale\":[{}],\"travel\":[{}],\"matrix\":[{}]}}\n",
+        flash_json.join(","),
+        travel_json.join(","),
+        matrix_json.join(","),
+    );
+    let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_workloads.json");
+    std::fs::write(json_path, json).expect("write BENCH_workloads.json");
+    let prom_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_workloads.prom");
+    std::fs::write(prom_path, to_prometheus(&tel.snapshot())).expect("write BENCH_workloads.prom");
+    println!("\nwrote BENCH_workloads.json and BENCH_workloads.prom");
+
+    if failures > 0 {
+        eprintln!("workloads: {failures} check(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("workloads: all checks passed");
+}
+
 fn main() {
     let args: Vec<String> = env::args().skip(1).map(|a| a.to_lowercase()).collect();
     if args.iter().any(|a| a == "--faults") {
@@ -987,6 +1240,15 @@ fn main() {
     if args.iter().any(|a| a == "--doctor") {
         let seeds: Vec<u64> = args.iter().filter_map(|a| a.parse().ok()).collect();
         doctor_mode(if seeds.is_empty() {
+            &[2007, 31337, 90210]
+        } else {
+            &seeds
+        });
+        return;
+    }
+    if args.iter().any(|a| a == "--workloads") {
+        let seeds: Vec<u64> = args.iter().filter_map(|a| a.parse().ok()).collect();
+        workloads_mode(if seeds.is_empty() {
             &[2007, 31337, 90210]
         } else {
             &seeds

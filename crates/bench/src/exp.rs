@@ -303,6 +303,7 @@ pub fn e4_config(clients: usize, ops: usize) -> WorkloadConfig {
         zipf_exponent: 0.0,
         amount_max: 3,
         think: Duration::from_millis(2),
+        real_time_think: true,
         abandon_probability: 0.1,
         multi_pool: false,
         pinned_pools: false,
@@ -322,6 +323,7 @@ pub fn e4_disjoint_config(clients: usize, ops: usize) -> WorkloadConfig {
         zipf_exponent: 0.0,
         amount_max: 2,
         think: Duration::ZERO,
+        real_time_think: true,
         abandon_probability: 0.0,
         multi_pool: false,
         pinned_pools: true,
@@ -421,6 +423,7 @@ pub fn e5_config(clients: usize, ops: usize) -> WorkloadConfig {
         zipf_exponent: 0.0,
         amount_max: 2,
         think: Duration::from_millis(1),
+        real_time_think: true,
         abandon_probability: 0.0,
         multi_pool: true,
         pinned_pools: false,
@@ -438,6 +441,7 @@ pub fn e6_config(clients: usize, ops: usize) -> WorkloadConfig {
         zipf_exponent: 0.0,
         amount_max: 4,
         think: Duration::from_millis(2),
+        real_time_think: true,
         abandon_probability: 0.0,
         multi_pool: false,
         pinned_pools: false,

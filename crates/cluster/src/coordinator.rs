@@ -29,7 +29,7 @@ use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 
-use promises_core::{parse_predicate, Clock, Predicate};
+use promises_core::{parse_predicate, weaken_predicates, Clock, Predicate};
 use promises_telemetry::{
     push_trace, FlightRecorder, SpanKind, SpanOutcome, Telemetry, TraceContext,
 };
@@ -91,6 +91,22 @@ impl ClusterDecision {
     pub fn is_granted(&self) -> bool {
         matches!(self, ClusterDecision::Granted { .. })
     }
+}
+
+/// Outcome of a negotiated cluster grant
+/// ([`Coordinator::grant_negotiated`]): the final decision plus how far
+/// down the §3.3 weakening ladder the coordinator had to go to reach it.
+#[derive(Debug, Clone)]
+pub struct NegotiatedClusterGrant {
+    /// The decision at the final rung — granted, or the essential-only
+    /// rejection.
+    pub decision: ClusterDecision,
+    /// Total desirable clauses dropped to reach the decision (0 = granted
+    /// as asked).
+    pub dropped: usize,
+    /// The predicates as actually decided, in the wire text syntax
+    /// (weakened forms when `dropped > 0`).
+    pub granted_predicates: Vec<String>,
 }
 
 /// Coordinator failures that are not unit rejections.
@@ -382,6 +398,68 @@ impl Coordinator {
             tel.set_gauge("coord.dedup.size", len as u64);
         }
         Ok(decision)
+    }
+
+    /// Requests a cluster grant, negotiating away desirable clauses when
+    /// the full request cannot be granted (§3.3 driven over the
+    /// coordinator instead of a single gateway). The ladder is computed
+    /// coordinator-side with the same weakening discipline as the local
+    /// [`promises_core::PromiseManager::request_negotiated`] loop
+    /// ([`weaken_predicates`], last predicate's desirables first), so a
+    /// multi-predicate footprint that spans shards negotiates through full
+    /// 2PC rounds: rung 0 is the request as asked under the original
+    /// request id; rung `n > 0` retries under the deterministic sub-id
+    /// `rid~dn`. Every rung's outcome lands in the cluster-wide dedup
+    /// index, so a client retrying the whole ladder replays the same
+    /// decisions and converges on the same promise — duplicated or
+    /// re-driven ladders can neither double-drop clauses nor double-grant.
+    pub fn grant_negotiated(
+        &self,
+        client: &str,
+        request_id: &str,
+        predicates: &[String],
+        duration_ms: u64,
+    ) -> Result<NegotiatedClusterGrant, CoordError> {
+        let mut parsed = Vec::with_capacity(predicates.len());
+        for text in predicates {
+            parsed.push(
+                parse_predicate(text)
+                    .map_err(|e| CoordError::BadPredicate(format!("{text:?}: {e}")))?,
+            );
+        }
+        let max_drops: usize = parsed
+            .iter()
+            .map(|p| match p {
+                Predicate::Property { expr, .. } => expr.desirable_count(),
+                _ => 0,
+            })
+            .sum();
+
+        for total_drop in 0..=max_drops {
+            let (preds, dropped_per) = weaken_predicates(&parsed, total_drop);
+            let texts: Vec<String> = preds.iter().map(ToString::to_string).collect();
+            let rung_id = if total_drop == 0 {
+                request_id.to_owned()
+            } else {
+                format!("{request_id}~d{total_drop}")
+            };
+            let decision = self.grant(client, &rung_id, &texts, duration_ms)?;
+            let is_last = total_drop == max_drops;
+            if matches!(decision, ClusterDecision::Granted { .. }) || is_last {
+                if let Some(tel) = &self.telemetry {
+                    if total_drop > 0 && decision.is_granted() {
+                        tel.incr("coord.negotiate.weakened_grants");
+                        tel.add("coord.negotiate.dropped_clauses", total_drop as u64);
+                    }
+                }
+                return Ok(NegotiatedClusterGrant {
+                    decision,
+                    dropped: dropped_per.iter().sum(),
+                    granted_predicates: texts,
+                });
+            }
+        }
+        unreachable!("ladder always returns on the final rung")
     }
 
     /// Number of live entries in the grant dedup index (boundedness

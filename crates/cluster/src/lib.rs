@@ -43,6 +43,7 @@ mod shard;
 pub use cluster::{FailoverReport, LeaseRebalance, PromiseCluster};
 pub use coordinator::{
     ClusterDecision, CoordError, CoordRecovery, Coordinator, CrashPoint, GrantPart,
+    NegotiatedClusterGrant,
 };
 pub use lease::LeaseDirectory;
 pub use log::{CoordLogError, CoordRecord, CoordinatorLog, LogCompaction, LogSummary, TxnId};

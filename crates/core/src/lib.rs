@@ -94,7 +94,7 @@ pub use manager::{
     CompactionCrash, CompactionReport, LockingMode, OpLatency, PmMetricsSnapshot, PromiseDecision,
     PromiseManager, PromiseRequestSpec, PromiseResponse, RecoveryReport,
 };
-pub use negotiate::NegotiatedResponse;
+pub use negotiate::{weaken_predicates, NegotiatedResponse};
 pub use parser::{parse_expr, parse_predicate, ParseError};
 pub use predicate::{CmpOp, Predicate, PropExpr};
 pub use promise::{Allocation, PromiseRecord, PromiseTable};

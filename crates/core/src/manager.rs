@@ -576,6 +576,13 @@ impl PromiseManager {
         self
     }
 
+    /// Runtime setter for the overload cap (0 = no cap) — lets operators
+    /// (and the workload plane's admission experiments) tighten or lift
+    /// fail-fast admission on a live manager.
+    pub fn set_overload_limit(&self, limit: usize) {
+        self.overload_limit.store(limit, Ordering::Relaxed);
+    }
+
     /// Sets how long expired-promise tombstones outlive their reap before
     /// eviction. Within the window a stale client gets the paper's
     /// distinct "promise-expired" error; afterwards the id reads as
@@ -667,6 +674,29 @@ impl PromiseManager {
     /// promises of third parties").
     pub fn delegate_pool(&self, pool: impl Into<PoolId>, upstream: Arc<PromiseManager>) {
         self.upstreams.write().insert(pool.into(), upstream);
+    }
+
+    /// Re-points an existing delegation at a replacement upstream manager
+    /// — the fail-over case where the upstream's leader died and a warm
+    /// follower was promoted behind a new manager instance. Backing
+    /// promise ids survive journal replay unchanged, so live delegation
+    /// chains stay valid: every stored upstream reference that pointed at
+    /// the displaced manager is rewritten to the replacement, keeping its
+    /// promise id, and later releases cascade to the promoted node.
+    pub fn rebind_upstream(&self, pool: impl Into<PoolId>, upstream: Arc<PromiseManager>) {
+        let old = self
+            .upstreams
+            .write()
+            .insert(pool.into(), Arc::clone(&upstream));
+        let Some(old) = old else { return };
+        let mut delegations = self.delegations.lock();
+        for refs in delegations.values_mut() {
+            for (manager, _) in refs.iter_mut() {
+                if Arc::ptr_eq(manager, &old) {
+                    *manager = Arc::clone(&upstream);
+                }
+            }
+        }
     }
 
     /// Sets the quantity on hand of a quantity pool (setup/admin).

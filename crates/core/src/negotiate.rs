@@ -43,6 +43,34 @@ impl PromiseManager {
         &self,
         spec: PromiseRequestSpec,
     ) -> Result<NegotiatedResponse, PromiseError> {
+        // A replayed request (same client + request id — a duplicated
+        // message, or a resend after a lost reply) must report the
+        // *original* negotiated outcome. Re-running the ladder would hit
+        // grant dedup at rung 0 and come back labelled as an unweakened
+        // grant — misreporting the condition the client actually accepted
+        // and echoing predicates stronger than the ones held.
+        if let Some(existing) = self.promise_for_request(&spec.client, &spec.request) {
+            if let Some(rec) = self.promise(existing) {
+                let dropped_per_predicate = spec
+                    .predicates
+                    .iter()
+                    .zip(&rec.predicates)
+                    .map(|(asked, granted)| desirables(asked).saturating_sub(desirables(granted)))
+                    .collect();
+                return Ok(NegotiatedResponse {
+                    response: PromiseResponse {
+                        correlation: spec.request,
+                        decision: PromiseDecision::Granted {
+                            promise: rec.id,
+                            expires_at: rec.expires_at,
+                        },
+                    },
+                    dropped_per_predicate,
+                    granted_predicates: rec.predicates,
+                });
+            }
+        }
+
         let max_drops: usize = spec
             .predicates
             .iter()
@@ -70,10 +98,26 @@ impl PromiseManager {
     }
 }
 
+/// Desirable-clause count of one predicate (0 for non-property forms).
+fn desirables(p: &Predicate) -> usize {
+    match p {
+        Predicate::Property { expr, .. } => expr.desirable_count(),
+        _ => 0,
+    }
+}
+
 /// Weakens the predicate list by dropping `total_drop` desirable clauses,
 /// taking from the *last* predicate's desirables first. Returns the new
 /// predicates and the per-predicate drop counts.
-fn weaken_predicates(preds: &[Predicate], mut total_drop: usize) -> (Vec<Predicate>, Vec<usize>) {
+///
+/// Public so remote negotiators (the cluster coordinator's cross-shard
+/// ladder) weaken requests with exactly the same discipline as the local
+/// [`PromiseManager::request_negotiated`] loop — rung `n` of any ladder is
+/// the same predicate list no matter where it is computed.
+pub fn weaken_predicates(
+    preds: &[Predicate],
+    mut total_drop: usize,
+) -> (Vec<Predicate>, Vec<usize>) {
     let mut out: Vec<Predicate> = preds.to_vec();
     let mut dropped = vec![0usize; preds.len()];
     for i in (0..out.len()).rev() {

@@ -15,6 +15,9 @@
 //!   capacity, optionally *delegated* (§5) to an upstream carrier manager;
 //! * [`TravelAgent`] — §4's flight+car+hotel multi-predicate atomic
 //!   promise request;
+//! * [`BookingDesk`] — an edge booking service whose real resources all
+//!   live upstream: §5 delegation chains pointed at the per-shard
+//!   managers of a cluster, rebindable across fail-over;
 //! * [`OrderWorkflow`] — the long-running order process as an explicit
 //!   event-driven state machine, substituting for the authors' GAT
 //!   workflow engine \[5\].
@@ -23,6 +26,7 @@
 
 mod airline;
 mod bank;
+mod desk;
 mod hotel;
 mod merchant;
 mod shipping;
@@ -31,6 +35,7 @@ mod workflow;
 
 pub use airline::Airline;
 pub use bank::Bank;
+pub use desk::{BookingDesk, VOUCHER_POOL};
 pub use hotel::{allocated_room, Hotel, RoomSpec, ROOM_POOL};
 pub use merchant::Merchant;
 pub use shipping::{standalone_carrier, Shipping, CARRIER_POOL, SHIPPING_POOL};

@@ -2,7 +2,7 @@
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use promises_baselines::{QtyReserver, ReserveFailure, QTY_FIELD, QTY_TABLE, RESERVED_FIELD};
 use promises_rm::{Record, ResourceManager};
@@ -47,6 +47,11 @@ where
             let counters = Arc::clone(&counters);
             let ops = cfg.ops_for_client(client);
             let think = cfg.think;
+            let real_think = cfg.real_time_think;
+            // Virtual think (the default) skips the sleep but still folds
+            // the think duration into latencies recorded past the hold
+            // window, so reported latency keeps its meaning.
+            let vthink = if real_think { Duration::ZERO } else { think };
             scope.spawn(move || {
                 for op in ops {
                     counters.attempts.fetch_add(1, Ordering::Relaxed);
@@ -54,20 +59,20 @@ where
                     let mut token = match reserver.reserve(&pool_name(op.pools[0]), op.amount) {
                         Ok(t) => Some(t),
                         Err(e) => {
-                            count_failure(&counters, &e, op_start);
+                            count_failure(&counters, &e, op_start.elapsed());
                             continue;
                         }
                     };
                     for &pool in &op.pools[1..] {
                         let t = token.as_mut().expect("set above");
                         if let Err(e) = reserver.extend(t, &pool_name(pool), op.amount) {
-                            count_failure(&counters, &e, op_start);
+                            count_failure(&counters, &e, op_start.elapsed());
                             reserver.cancel(token.take().expect("still held"));
                             break;
                         }
                     }
                     let Some(token) = token else { continue };
-                    if !think.is_zero() {
+                    if real_think && !think.is_zero() {
                         std::thread::sleep(think);
                     }
                     if op.abandon {
@@ -76,8 +81,8 @@ where
                         continue;
                     }
                     match reserver.consume(token) {
-                        Ok(()) => counters.succeeded(op_start.elapsed()),
-                        Err(e) => count_failure(&counters, &e, op_start),
+                        Ok(()) => counters.succeeded(op_start.elapsed() + vthink),
+                        Err(e) => count_failure(&counters, &e, op_start.elapsed() + vthink),
                     }
                 }
             });
@@ -86,14 +91,14 @@ where
     counters.report(start.elapsed())
 }
 
-fn count_failure(counters: &Counters, e: &ReserveFailure, op_start: Instant) {
+fn count_failure(counters: &Counters, e: &ReserveFailure, elapsed: Duration) {
     match e {
         ReserveFailure::Insufficient => counters.failed_fast.fetch_add(1, Ordering::Relaxed),
         ReserveFailure::LateConflict => counters.failed_late.fetch_add(1, Ordering::Relaxed),
         ReserveFailure::Deadlock => counters.deadlocks.fetch_add(1, Ordering::Relaxed),
         ReserveFailure::Rm(_) => counters.errors.fetch_add(1, Ordering::Relaxed),
     };
-    counters.failed_op(op_start.elapsed());
+    counters.failed_op(elapsed);
 }
 
 #[cfg(test)]
@@ -112,6 +117,7 @@ mod tests {
             zipf_exponent: 0.0,
             amount_max: 2,
             think: Duration::from_micros(200),
+            real_time_think: true,
             abandon_probability: 0.1,
             multi_pool: false,
             pinned_pools: false,
@@ -191,6 +197,32 @@ mod tests {
         // deadlock aborts.
         assert!(report.completed + report.deadlocks + report.failed_fast > 0);
         assert!(report.deadlocks > 0, "opposite-order clients must deadlock");
+    }
+
+    #[test]
+    fn virtual_think_skips_wall_clock_but_counts_in_latency() {
+        let think = Duration::from_millis(20);
+        let cfg = WorkloadConfig {
+            clients: 4,
+            ops_per_client: 10,
+            think,
+            real_time_think: false,
+            abandon_probability: 0.0,
+            ..small_cfg()
+        };
+        let r = Arc::new(promise_reserver(2, 100_000));
+        let start = Instant::now();
+        let report = run_qty_workload(r, &cfg);
+        // 4 clients × 10 ops × 20ms of think would be 200ms of sleeping
+        // per client; virtual time must finish far under that.
+        assert!(
+            start.elapsed() < Duration::from_millis(150),
+            "virtual think must not sleep: {:?}",
+            start.elapsed()
+        );
+        assert_eq!(report.completed, 40);
+        let avg = report.avg_latency.expect("completed ops recorded");
+        assert!(avg >= think, "think counts toward latency: {avg:?}");
     }
 
     #[test]

@@ -162,6 +162,14 @@ where
             let counters = Arc::clone(&counters);
             let ops = cfg.ops_for_client(client);
             let think = cfg.think;
+            let real_think = cfg.real_time_think;
+            // See `run_qty_workload`: virtual think sleeps nothing but
+            // still counts toward latencies past the hold window.
+            let vthink = if real_think {
+                std::time::Duration::ZERO
+            } else {
+                think
+            };
             scope.spawn(move || {
                 for (i, op) in ops.iter().enumerate() {
                     counters.attempts.fetch_add(1, Ordering::Relaxed);
@@ -197,7 +205,7 @@ where
                             continue;
                         }
                     };
-                    if !think.is_zero() {
+                    if real_think && !think.is_zero() {
                         std::thread::sleep(think);
                     }
                     if op.abandon {
@@ -205,18 +213,18 @@ where
                         counters.abandoned.fetch_add(1, Ordering::Relaxed);
                     } else {
                         match reserver.consume(token) {
-                            Ok(()) => counters.succeeded(op_start.elapsed()),
+                            Ok(()) => counters.succeeded(op_start.elapsed() + vthink),
                             Err(ReserveFailure::Deadlock) => {
                                 counters.deadlocks.fetch_add(1, Ordering::Relaxed);
-                                counters.failed_op(op_start.elapsed());
+                                counters.failed_op(op_start.elapsed() + vthink);
                             }
                             Err(ReserveFailure::LateConflict) => {
                                 counters.failed_late.fetch_add(1, Ordering::Relaxed);
-                                counters.failed_op(op_start.elapsed());
+                                counters.failed_op(op_start.elapsed() + vthink);
                             }
                             Err(_) => {
                                 counters.errors.fetch_add(1, Ordering::Relaxed);
-                                counters.failed_op(op_start.elapsed());
+                                counters.failed_op(op_start.elapsed() + vthink);
                             }
                         }
                     }
@@ -242,6 +250,7 @@ mod tests {
             zipf_exponent: 0.0,
             amount_max: 1,
             think: Duration::from_micros(200),
+            real_time_think: true,
             abandon_probability: 0.2,
             multi_pool: false,
             pinned_pools: false,

@@ -32,6 +32,14 @@ pub struct WorkloadConfig {
     pub amount_max: u64,
     /// Simulated long-running work between reserve and consume.
     pub think: Duration,
+    /// Spend `think` as real wall-clock (`thread::sleep`) in the hold
+    /// window. Default `false`: think is modeled in *virtual time* — the
+    /// driver never sleeps, but the think duration still counts toward
+    /// every recorded op latency — so high-client closed-loop runs stop
+    /// burning wall-clock. Set `true` to reproduce the original timing,
+    /// where lock-hold windows really overlap in wall-clock (required by
+    /// the deadlock-interleaving tests and the historical E4–E6 benches).
+    pub real_time_think: bool,
     /// Probability a reservation is abandoned instead of consumed.
     pub abandon_probability: f64,
     /// If true, each operation reserves *two* distinct pools before
@@ -58,6 +66,7 @@ impl Default for WorkloadConfig {
             zipf_exponent: 0.0,
             amount_max: 3,
             think: Duration::from_millis(1),
+            real_time_think: false,
             abandon_probability: 0.1,
             multi_pool: false,
             pinned_pools: false,

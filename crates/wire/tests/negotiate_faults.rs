@@ -1,0 +1,114 @@
+//! Negotiation retries through a fault-injected wire path.
+//!
+//! The §3.3 weakening ladder runs *inside* the gateway for a
+//! `negotiate: true` request, so a duplicated request replays the whole
+//! ladder and a dropped reply makes the client resend it. Either way the
+//! outcome must be byte-for-byte the first decision: the same promise id,
+//! the same single dropped desirable clause. The failure modes this test
+//! pins down:
+//!
+//! * **double-drop** — a replayed ladder that does not hit dedup would
+//!   find the view room already promised (to its own first run) and grant
+//!   a *twice*-weakened predicate, silently costing the client a clause
+//!   it never agreed to lose;
+//! * **double-grant** — a replayed ladder granting a second promise would
+//!   hold two rooms for one request.
+
+use std::sync::Arc;
+
+use promises_core::{PoolSchema, PromiseManager, PropertyDef, SystemClock};
+use promises_faults::{FaultInjector, FaultScenario};
+use promises_rm::{Record, ResourceManager};
+use promises_wire::{
+    Envelope, InMemoryBus, PromiseGateway, PromiseRequestHeader, PromiseResult, RetryPolicy,
+    RetryingClient,
+};
+
+/// One non-view twin room: the desirable view clause can never hold, so
+/// every grant must come back weakened by exactly one clause.
+fn hotel_pm() -> Arc<PromiseManager> {
+    let pm = Arc::new(PromiseManager::new(
+        Arc::new(ResourceManager::new()),
+        Arc::new(SystemClock::new()),
+    ));
+    pm.register_pool(PoolSchema::instances(
+        "rooms",
+        vec![PropertyDef::plain("view"), PropertyDef::plain("beds")],
+    ));
+    pm.seed_instance(
+        "rooms",
+        "101",
+        Record::new().with("view", false).with("beds", 2i64),
+    )
+    .unwrap();
+    pm
+}
+
+fn negotiable(id: &str) -> Envelope {
+    Envelope::new().with_promise_request(PromiseRequestHeader {
+        request_id: id.into(),
+        client: "nervous".into(),
+        predicates: vec!["prop('rooms'): beds == 2 && desirable(view == true)".into()],
+        duration_ms: 60_000,
+        exchange: vec![],
+        negotiate: true,
+        prepare: false,
+    })
+}
+
+#[test]
+fn retried_negotiation_never_double_drops_or_double_grants() {
+    for seed in [2007u64, 31337, 90210] {
+        let pm = hotel_pm();
+        let bus = Arc::new(InMemoryBus::new());
+        bus.register("hotel", Arc::new(PromiseGateway::new(Arc::clone(&pm))));
+        // Replies vanish and requests are delivered twice — every way a
+        // nervous transport can make the gateway re-run the ladder.
+        bus.set_fault_injector(Some(Arc::new(FaultInjector::new(FaultScenario {
+            drop_reply: 0.3,
+            duplicate: 0.5,
+            ..FaultScenario::quiet(seed)
+        }))));
+        let client = RetryingClient::new(Arc::clone(&bus), RetryPolicy::new(seed));
+
+        let mut promise_ids = Vec::new();
+        for resend in 0..5 {
+            let reply = client
+                .send("hotel", &negotiable("r1"))
+                .expect("retry budget covers the drop rate");
+            let resp = reply.response_for("r1").expect("response present");
+            match &resp.result {
+                PromiseResult::AcceptedWithCondition(cond) => {
+                    assert!(
+                        cond.contains("1 desirable"),
+                        "resend {resend} (seed {seed}): exactly one clause dropped, got {cond:?}"
+                    );
+                }
+                other => panic!(
+                    "resend {resend} (seed {seed}): expected a weakened grant, got {other:?}"
+                ),
+            }
+            assert_eq!(
+                resp.granted_predicates.len(),
+                1,
+                "one predicate granted (seed {seed})"
+            );
+            assert!(
+                !resp.granted_predicates[0].contains("desirable("),
+                "granted form is fully weakened (seed {seed}): {}",
+                resp.granted_predicates[0]
+            );
+            promise_ids.push(resp.promise_id.expect("weakened grant carries its id"));
+        }
+
+        assert!(
+            promise_ids.windows(2).all(|w| w[0] == w[1]),
+            "every resend converges on one promise (seed {seed}): {promise_ids:?}"
+        );
+        assert_eq!(
+            pm.live_count(),
+            1,
+            "duplicated ladders held exactly one room (seed {seed})"
+        );
+    }
+}

@@ -1,0 +1,451 @@
+//! The travel-booking scenario: §4's flight + hotel + car bookings run as
+//! a production workload across a three-shard cluster, under wire faults.
+//!
+//! Each booking is one atomic multi-predicate promise whose resources
+//! deliberately live on *different* shards — flight seats on one, rental
+//! cars on another, the room instance pool on a third — so every booking
+//! exercises the coordinator's cross-shard two-phase grant. The room leg
+//! carries an essential-vs-desirable predicate (`beds == 2`, desirably
+//! with a view); when view rooms run out the coordinator walks the §3.3
+//! weakening ladder ([`Coordinator::grant_negotiated`]) and the customer
+//! gets a cleanly negotiated-down booking instead of a refusal.
+//!
+//! Two routes share the cluster:
+//!
+//! * **route A (direct)** — bookings go through the coordinator over the
+//!   wire, where the fault injector drops, duplicates and delays
+//!   messages; callers retry transport failures with the *same* request
+//!   id, leaning on end-to-end deduplication;
+//! * **route B (delegated)** — bookings go through a [`BookingDesk`]: an
+//!   edge promise manager with only a local voucher pool, §5-delegating
+//!   the flight and car pools to the shard managers that own them, so the
+//!   delegation chain (acquire upstream, compensate on failure, cascade
+//!   on release) runs under the same cluster load.
+//!
+//! After the run the scenario audits the invariants the paper stakes out:
+//! no partial grants (every granted part is a live committed hold, no
+//! rejected booking left one), no double grants (journal scan), no
+//! oversells (promised ≤ on-hand per shard), no leaks (expiry reclaims
+//! everything), and bounded state (dedup + tombstones drain).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use promises_cluster::{ClusterDecision, CoordError, GrantPart, PromiseCluster};
+use promises_core::{ClientId, JournalOp, PoolSchema, PromiseManager, PropertyDef, RequestId};
+use promises_faults::{FaultInjector, FaultScenario};
+use promises_rm::{Record, ResourceManager};
+use promises_services::BookingDesk;
+use rand::{rngs::StdRng, RngCore, SeedableRng};
+
+use crate::{run_open_loop, OpStatus, OpenLoopConfig, OpenLoopReport};
+
+const FLIGHT_POOL: &str = "flight-seats";
+const CAR_POOL: &str = "rental-cars";
+const ROOM_POOL: &str = "travel-rooms";
+
+/// Shape of one travel-booking run (one fault rate).
+#[derive(Debug, Clone)]
+pub struct TravelConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Uniform wire-fault rate (drop/duplicate/delay), 0.0..1.0.
+    pub fault_rate: f64,
+    /// Bookings to offer.
+    pub ops: usize,
+    /// Fraction routed through the delegated booking desk (route B).
+    pub desk_fraction: f64,
+    /// Probability a granted direct booking is *kept* (held to expiry)
+    /// rather than travelled-and-released; kept bookings consume view
+    /// rooms and force later bookings down the negotiation ladder.
+    pub keep_probability: f64,
+    /// Rooms seeded (all twin-bed; a small minority with a view).
+    pub rooms: usize,
+    /// How many of the rooms have a view.
+    pub view_rooms: usize,
+    /// Workload-level retries for coordinator transport failures (same
+    /// request id each time).
+    pub transport_retries: usize,
+    /// Offered arrival rate for the generator, ops/s of virtual time.
+    pub offered_rate: f64,
+    /// Bounded in-flight concurrency for the generator.
+    pub max_in_flight: usize,
+}
+
+impl Default for TravelConfig {
+    fn default() -> Self {
+        Self {
+            seed: 2007,
+            fault_rate: 0.0,
+            ops: 240,
+            desk_fraction: 0.3,
+            keep_probability: 0.08,
+            rooms: 48,
+            view_rooms: 3,
+            transport_retries: 3,
+            offered_rate: 1_500.0,
+            max_in_flight: 8,
+        }
+    }
+}
+
+/// Outcome of one travel-booking run.
+#[derive(Debug, Clone)]
+pub struct TravelReport {
+    /// The open-loop report (completed = granted or negotiated-down).
+    pub open_loop: OpenLoopReport,
+    /// Bookings granted exactly as asked (view room and all).
+    pub granted_full: u64,
+    /// Bookings granted after dropping the desirable view clause.
+    pub negotiated_down: u64,
+    /// Route-B bookings completed through the delegation chain.
+    pub desk_completed: u64,
+    /// Bookings cleanly rejected (essential clauses could not hold).
+    pub rejected: u64,
+    /// Bookings lost to transport failures after retries.
+    pub transport_failures: u64,
+    /// Partial-grant audit violations (must be 0).
+    pub partial_grants: u64,
+    /// Double-grant audit violations (must be 0).
+    pub double_grants: u64,
+    /// Oversell audit violations (must be 0).
+    pub oversells: u64,
+    /// Live promises after the expiry reap (must be 0).
+    pub live_after_reap: usize,
+    /// Dedup entries + expiry tombstones after the grace reap (must be 0).
+    pub state_after_reap: usize,
+}
+
+impl TravelReport {
+    /// Completed bookings: granted as asked or cleanly negotiated down.
+    pub fn completed(&self) -> u64 {
+        self.granted_full + self.negotiated_down + self.desk_completed
+    }
+
+    /// Completed fraction of offered bookings.
+    pub fn completion_ratio(&self) -> f64 {
+        if self.open_loop.offered == 0 {
+            return 0.0;
+        }
+        self.completed() as f64 / self.open_loop.offered as f64
+    }
+
+    /// Every isolation audit came back clean.
+    pub fn audits_clean(&self) -> bool {
+        self.partial_grants == 0
+            && self.double_grants == 0
+            && self.oversells == 0
+            && self.live_after_reap == 0
+            && self.state_after_reap == 0
+    }
+}
+
+/// What one direct booking left behind, for the post-run audit.
+enum BookingOutcome {
+    Granted {
+        rung_rid: String,
+        parts: Vec<GrantPart>,
+        released: bool,
+    },
+    Rejected {
+        /// Every rung id the ladder tried (all must be hold-free).
+        rungs: Vec<String>,
+    },
+}
+
+/// Runs one travel-booking workload at the configured fault rate and
+/// audits the cluster afterwards.
+pub fn run_travel_booking(cfg: &TravelConfig) -> TravelReport {
+    let cluster = PromiseCluster::build(3, cfg.seed);
+
+    // Flight seats and rental cars are quantity pools on shards 0 and 1;
+    // the room instance pool is hosted manually on the next round-robin
+    // shard (2), giving every booking three cross-shard legs.
+    let flight_shard = cluster.register_quantity_pool(FLIGHT_POOL, 100_000);
+    let car_shard = cluster.register_quantity_pool(CAR_POOL, 100_000);
+    let room_shard = cluster.map.assign_round_robin(ROOM_POOL);
+    let room_pm = &cluster.nodes[room_shard].pm;
+    room_pm.register_pool(PoolSchema::instances(
+        ROOM_POOL,
+        vec![PropertyDef::plain("beds"), PropertyDef::plain("view")],
+    ));
+    for i in 0..cfg.rooms {
+        room_pm
+            .seed_instance(
+                ROOM_POOL,
+                format!("room-{i}").as_str(),
+                Record::new()
+                    .with("beds", 2i64)
+                    .with("view", i < cfg.view_rooms),
+            )
+            .expect("seed room");
+    }
+
+    // Route B: an edge desk whose flight and car legs are §5 delegations
+    // straight at the owning shard managers.
+    let desk_pm = Arc::new(PromiseManager::new(
+        Arc::new(ResourceManager::new()),
+        Arc::clone(&cluster.clock) as Arc<dyn promises_core::Clock>,
+    ));
+    let desk = BookingDesk::new(desk_pm, 1_000_000).expect("desk");
+    desk.delegate(FLIGHT_POOL, Arc::clone(&cluster.nodes[flight_shard].pm));
+    desk.delegate(CAR_POOL, Arc::clone(&cluster.nodes[car_shard].pm));
+
+    if cfg.fault_rate > 0.0 {
+        cluster
+            .bus
+            .set_fault_injector(Some(Arc::new(FaultInjector::new(FaultScenario::uniform(
+                cfg.seed,
+                cfg.fault_rate,
+            )))));
+    }
+
+    let predicates = [
+        format!("qty('{FLIGHT_POOL}') >= 1"),
+        format!("qty('{CAR_POOL}') >= 1"),
+        format!("prop('{ROOM_POOL}'): beds == 2 && desirable(view == true)"),
+    ];
+    let legs = vec![(FLIGHT_POOL.to_owned(), 1), (CAR_POOL.to_owned(), 1)];
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7AB1);
+    let mut outcomes: Vec<(String, BookingOutcome)> = Vec::new();
+    let mut granted_full = 0u64;
+    let mut negotiated_down = 0u64;
+    let mut desk_completed = 0u64;
+    let mut rejected = 0u64;
+    let mut transport_failures = 0u64;
+
+    let gen_cfg = OpenLoopConfig {
+        offered_rate: cfg.offered_rate,
+        ops: cfg.ops,
+        max_in_flight: cfg.max_in_flight,
+        seed: cfg.seed,
+    };
+    let open_loop = run_open_loop(&gen_cfg, |i| {
+        let unit = |rng: &mut StdRng| (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let client = format!("traveller-{}", i % 48);
+        if unit(&mut rng) < cfg.desk_fraction {
+            // Route B: delegated desk booking, travelled and released so
+            // the desk's own books stay clean (its promises never expire
+            // with the cluster clock advance).
+            match desk.book(&client, &format!("trip-desk-{i}"), &legs, 600_000) {
+                Ok(Ok(booking)) => {
+                    desk.cancel(booking).expect("cancel desk booking");
+                    desk_completed += 1;
+                    OpStatus::Ok
+                }
+                Ok(Err(_)) => {
+                    rejected += 1;
+                    OpStatus::Rejected
+                }
+                Err(_) => OpStatus::Failed,
+            }
+        } else {
+            // Route A: direct cross-shard booking over the faulty wire;
+            // transport failures retry under the same request id.
+            let rid = format!("trip-{i}");
+            let mut attempts = 0;
+            loop {
+                match cluster
+                    .coordinator
+                    .grant_negotiated(&client, &rid, &predicates, 600_000)
+                {
+                    Ok(grant) => {
+                        let rung_rid = if grant.dropped == 0 {
+                            rid.clone()
+                        } else {
+                            format!("{rid}~d{}", grant.dropped)
+                        };
+                        match grant.decision {
+                            ClusterDecision::Granted { parts } => {
+                                let keep = unit(&mut rng) < cfg.keep_probability;
+                                if !keep {
+                                    cluster.coordinator.release(&parts);
+                                }
+                                if grant.dropped == 0 {
+                                    granted_full += 1;
+                                } else {
+                                    negotiated_down += 1;
+                                }
+                                outcomes.push((
+                                    client,
+                                    BookingOutcome::Granted {
+                                        rung_rid,
+                                        parts,
+                                        released: !keep,
+                                    },
+                                ));
+                                break OpStatus::Ok;
+                            }
+                            ClusterDecision::Rejected { .. } => {
+                                rejected += 1;
+                                let rungs = (0..=1usize)
+                                    .map(|d| {
+                                        if d == 0 {
+                                            rid.clone()
+                                        } else {
+                                            format!("{rid}~d{d}")
+                                        }
+                                    })
+                                    .collect();
+                                outcomes.push((client, BookingOutcome::Rejected { rungs }));
+                                break OpStatus::Rejected;
+                            }
+                        }
+                    }
+                    Err(CoordError::Transport(_)) if attempts < cfg.transport_retries => {
+                        attempts += 1;
+                    }
+                    Err(_) => {
+                        transport_failures += 1;
+                        break OpStatus::Failed;
+                    }
+                }
+            }
+        }
+    });
+
+    let (partial_grants, double_grants, oversells, live_after_reap, state_after_reap) =
+        audit(&cluster, &outcomes);
+
+    TravelReport {
+        open_loop,
+        granted_full,
+        negotiated_down,
+        desk_completed,
+        rejected,
+        transport_failures,
+        partial_grants,
+        double_grants,
+        oversells,
+        live_after_reap,
+        state_after_reap,
+    }
+}
+
+/// The live committed hold for one sub-request, if any.
+fn committed_hold(cluster: &PromiseCluster, shard: usize, client: &str, rid: &str) -> Option<u64> {
+    let pm = &cluster.nodes[shard].pm;
+    let id = pm.promise_for_request(&ClientId(client.to_owned()), &RequestId(rid.to_owned()))?;
+    (!pm.is_prepared(id)).then_some(id.0)
+}
+
+/// Post-run isolation audits, mirroring the sim crate's cluster sweep:
+/// partial grants judged on observable holds, double grants from the
+/// journals, oversells per shard, then the leak and bounded-state reaps.
+fn audit(
+    cluster: &PromiseCluster,
+    outcomes: &[(String, BookingOutcome)],
+) -> (u64, u64, u64, usize, usize) {
+    let mut partial = 0u64;
+    for (client, outcome) in outcomes {
+        let bad = match outcome {
+            BookingOutcome::Granted { released: true, .. } => false, // leak reap covers
+            BookingOutcome::Granted {
+                rung_rid,
+                parts,
+                released: false,
+            } => !parts.iter().all(|part| {
+                let key = if parts.len() > 1 {
+                    format!("{rung_rid}@s{}", part.shard)
+                } else {
+                    rung_rid.clone()
+                };
+                committed_hold(cluster, part.shard, client, &key) == Some(part.promise_id)
+            }),
+            BookingOutcome::Rejected { rungs } => rungs.iter().any(|rung| {
+                (0..cluster.shard_count()).any(|shard| {
+                    committed_hold(cluster, shard, client, &format!("{rung}@s{shard}")).is_some()
+                        || committed_hold(cluster, shard, client, rung).is_some()
+                })
+            }),
+        };
+        if bad {
+            partial += 1;
+        }
+    }
+
+    let mut double = 0u64;
+    let mut oversells = 0u64;
+    for node in &cluster.nodes {
+        let mut grant_counts: BTreeMap<(String, String), u32> = BTreeMap::new();
+        if let Ok(entries) = node.journal.entries() {
+            for entry in entries {
+                if let JournalOp::Grant(rec) | JournalOp::Prepared(rec) = entry.op {
+                    *grant_counts
+                        .entry((rec.client.0.clone(), rec.request.0.clone()))
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        double += grant_counts.values().filter(|&&n| n > 1).count() as u64;
+        for (pool, demanded) in node.pm.promised_quantities() {
+            let on_hand = node.pm.quantity_on_hand(pool.clone()).unwrap_or(0);
+            if demanded > on_hand {
+                oversells += 1;
+            }
+        }
+    }
+
+    // Leak reap: past every booking duration, expiry must reclaim every
+    // kept hold; then one grace tick drains dedup + tombstones.
+    cluster.advance_and_prune(4_000_000);
+    let live_after_reap = cluster.live_count();
+    cluster.advance_and_prune(400_000);
+    let state_after_reap = cluster.coordinator.dedup_len()
+        + cluster
+            .nodes
+            .iter()
+            .map(|n| n.pm.tombstone_count())
+            .sum::<usize>();
+
+    (
+        partial,
+        double,
+        oversells,
+        live_after_reap,
+        state_after_reap,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_run_completes_and_negotiates_down() {
+        let report = run_travel_booking(&TravelConfig::default());
+        assert!(
+            report.completion_ratio() >= 0.95,
+            "completion {:.3} (full {} negotiated {} desk {} rejected {} transport {})",
+            report.completion_ratio(),
+            report.granted_full,
+            report.negotiated_down,
+            report.desk_completed,
+            report.rejected,
+            report.transport_failures,
+        );
+        assert!(
+            report.negotiated_down > 0,
+            "kept bookings must exhaust view rooms and force the ladder"
+        );
+        assert!(report.desk_completed > 0, "route B must carry traffic");
+        assert!(report.audits_clean(), "{report:?}");
+    }
+
+    #[test]
+    fn faulty_runs_stay_atomic() {
+        for rate in [0.10, 0.20] {
+            let report = run_travel_booking(&TravelConfig {
+                fault_rate: rate,
+                ..TravelConfig::default()
+            });
+            assert!(
+                report.completion_ratio() >= 0.95,
+                "rate {rate}: completion {:.3} ({report:?})",
+                report.completion_ratio()
+            );
+            assert!(report.audits_clean(), "rate {rate}: {report:?}");
+        }
+    }
+}

@@ -23,6 +23,7 @@ fn cfg() -> WorkloadConfig {
         zipf_exponent: 0.0,
         amount_max: 3,
         think: Duration::from_millis(2),
+        real_time_think: true,
         abandon_probability: 0.1,
         multi_pool: false,
         pinned_pools: false,

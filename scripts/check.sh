@@ -76,6 +76,17 @@ cargo run --release -q -p promises-bench --bin experiments -- --failover 2007 31
 echo "==> doctor smoke (seeds 2007 31337 90210)"
 cargo run --release -q -p promises-bench --bin experiments -- --doctor 2007 31337 90210
 
+# Workload suite: the E18 production workload plane under three fixed
+# seeds. The flash-sale scenario must meet its p99 SLO at the gated
+# offered rate with degraded mode both engaging under overload and
+# clearing after it; the travel-booking scenario must complete >=95% of
+# three-leg bookings at 0/10/20% wire-fault rates with zero partial
+# grants, double grants, oversells, and leaks; and the 6-failure-class x
+# 2-scenario error-path matrix must have zero failing cells (see
+# DESIGN.md §18). Writes BENCH_workloads.json and fails on any gate miss.
+echo "==> workloads smoke (seeds 2007 31337 90210)"
+cargo run --release -q -p promises-bench --bin experiments -- --workloads 2007 31337 90210
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
