@@ -25,7 +25,12 @@
 //! clearing, the travel-booking scenario at 0/10/20% fault rates gated
 //! on ≥95% completion with clean atomicity audits, and the 12-cell
 //! error-path matrix gated on zero failing cells — dumping
-//! `BENCH_workloads.json` and `BENCH_workloads.prom`).
+//! `BENCH_workloads.json` and `BENCH_workloads.prom`; `--threads` runs
+//! the E19 thread-per-shard runtime gate — the wall-clock scaling table
+//! gated on the 8-vs-1 throughput ratio, the group-commit amortization
+//! probe, and per-seed threaded stress sweeps at 0/10/20% fault rates
+//! gated on zero lifecycle violations — merging a `threads` section
+//! into `BENCH_cluster.json`).
 
 use std::env;
 use std::time::Duration;
@@ -237,6 +242,172 @@ fn cluster_mode(seeds: &[u64]) {
         std::process::exit(1);
     }
     println!("cluster: all checks passed");
+}
+
+/// E19 threads mode: the thread-per-shard runtime gate. First the
+/// wall-clock scaling table (real shard worker threads overlapping their
+/// service time; gated on the 8-vs-1 throughput ratio), then the
+/// group-commit amortization probe, then per seed a threaded
+/// concurrency-stress sweep — N client threads × 8 shards × wire-fault
+/// rates 0/10/20% — gated on the lifecycle auditor reporting zero
+/// oversells, partial grants, double grants, and leaks. Merges a
+/// `threads` section (the wall-clock fields) into `BENCH_cluster.json`
+/// alongside the modeled-time E13 results and exits non-zero if any gate
+/// fails.
+fn threads_mode(seeds: &[u64]) {
+    const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+    const MIN_RATIO_8V1: f64 = 4.0;
+    const STRESS_FAULT_RATES: [f64; 3] = [0.0, 0.1, 0.2];
+    let mut failures = 0usize;
+
+    let mut scaling_rows = Vec::new();
+    let mut scaling_json = Vec::new();
+    let mut by_shards = std::collections::HashMap::new();
+    for shards in SHARD_COUNTS {
+        let row = exp::e19_thread_scaling(shards, exp::E19_CLIENTS, 120);
+        scaling_rows.push(vec![
+            shards.to_string(),
+            f(row.throughput, 0),
+            row.granted.to_string(),
+            row.rejected.to_string(),
+            us(row.mean_op_us),
+            format!("{}/{}", row.flushed_records, row.flush_writes),
+        ]);
+        scaling_json.push(format!(
+            "{{\"shards\":{},\"wall_clock_ops_per_s\":{:.1},\"granted\":{},\"rejected\":{},\
+             \"mean_op_us\":{:.1},\"flush_writes\":{},\"flushed_records\":{}}}",
+            row.shards,
+            row.throughput,
+            row.granted,
+            row.rejected,
+            row.mean_op_us,
+            row.flush_writes,
+            row.flushed_records
+        ));
+        by_shards.insert(shards, row.throughput);
+    }
+    print_table(
+        &format!(
+            "E19 — wall-clock throughput vs shard count ({} client threads, \
+             one worker thread per shard, {}us modeled service time per message)",
+            exp::E19_CLIENTS,
+            exp::E19_SERVICE_US
+        ),
+        &[
+            "shards",
+            "ops/s",
+            "granted",
+            "rejected",
+            "mean/op",
+            "recs/flush",
+        ],
+        &scaling_rows,
+    );
+    let ratio = by_shards[&8] / by_shards[&1].max(1e-9);
+    let trend: Vec<String> = SHARD_COUNTS
+        .iter()
+        .map(|s| format!("{s}:{:.2}x", by_shards[s] / by_shards[&1].max(1e-9)))
+        .collect();
+    println!("wall-clock scaling trend vs 1 shard: {}", trend.join(" "));
+    println!("scaling ratio 8 shards vs 1: {ratio:.2}x (gate: >= {MIN_RATIO_8V1}x)");
+    if ratio < MIN_RATIO_8V1 {
+        eprintln!("threads: scaling gate FAILED ({ratio:.2}x < {MIN_RATIO_8V1}x)");
+        failures += 1;
+    }
+
+    let (amort_writes, amort_records) = exp::e19_group_commit_amortization(4, 8, 150);
+    let amortization = amort_records as f64 / (amort_writes.max(1)) as f64;
+    println!(
+        "group-commit amortization (1 shard, 4 workers, 8 clients): \
+         {amort_records} records / {amort_writes} writes = {amortization:.2} records per flush"
+    );
+
+    let mut sweep_json = Vec::new();
+    for &seed in seeds {
+        for rate in STRESS_FAULT_RATES {
+            let cfg = promises_sim::ClusterSweepConfig {
+                shards: 8,
+                clients: 8,
+                ops_per_client: 30,
+                pools: 8,
+                seed,
+                ..promises_sim::ClusterSweepConfig::default()
+            };
+            let scenario = promises_faults::FaultScenario::uniform(seed, rate);
+            let (r, cluster) = promises_sim::run_cluster_fault_sweep(scenario, &cfg);
+            let life = promises_telemetry::audit_cluster_lifecycles(
+                &cluster.telemetry.spans(),
+                &cluster.evidence(),
+            );
+            let ok = r.clean() && life.ok();
+            println!(
+                "thread-stress seed={seed} rate={rate}: granted={} (cross-shard {}) \
+                 rejected={} crashed={} | partial={} double={} oversell={} leaked={} \
+                 lifecycle_violations={} -> {}",
+                r.granted,
+                r.cross_shard_granted,
+                r.rejected,
+                r.crashed,
+                r.partial_grants,
+                r.double_grants,
+                r.oversells,
+                r.live_after_reap,
+                life.all_violations().len(),
+                if ok { "OK" } else { "FAIL" }
+            );
+            for v in life.all_violations() {
+                eprintln!("  LIFECYCLE VIOLATION: {v}");
+            }
+            if !ok {
+                failures += 1;
+            }
+            sweep_json.push(format!(
+                "{{\"seed\":{seed},\"fault_rate\":{rate},\"granted\":{},\"rejected\":{},\
+                 \"partial_grants\":{},\"double_grants\":{},\"oversells\":{},\"leaked\":{},\
+                 \"lifecycle_violations\":{}}}",
+                r.granted,
+                r.rejected,
+                r.partial_grants,
+                r.double_grants,
+                r.oversells,
+                r.live_after_reap,
+                life.all_violations().len(),
+            ));
+        }
+    }
+
+    // Merge the wall-clock section into BENCH_cluster.json next to the
+    // modeled-time E13 results (the cluster step writes that file first;
+    // re-runs replace any previous threads section).
+    let threads_json = format!(
+        "\"threads\":{{\"experiment\":\"e19-threads\",\"service_time_us\":{},\
+         \"wall_clock_scaling\":[{}],\"scaling_ratio_8v1\":{ratio:.3},\
+         \"group_commit\":{{\"flush_writes\":{amort_writes},\"flushed_records\":{amort_records},\
+         \"records_per_flush\":{amortization:.3}}},\"stress\":[{}]}}",
+        exp::E19_SERVICE_US,
+        scaling_json.join(","),
+        sweep_json.join(","),
+    );
+    let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+    let merged = match std::fs::read_to_string(json_path) {
+        Ok(existing) => {
+            let base = existing.trim_end();
+            let base = match base.find(",\"threads\":") {
+                Some(i) => &base[..i],
+                None => base.strip_suffix('}').unwrap_or(base),
+            };
+            format!("{base},{threads_json}}}\n")
+        }
+        Err(_) => format!("{{{threads_json}}}\n"),
+    };
+    std::fs::write(json_path, merged).expect("write BENCH_cluster.json");
+    println!("\nwrote threads section into BENCH_cluster.json");
+
+    if failures > 0 {
+        eprintln!("threads: {failures} check(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("threads: all checks passed");
 }
 
 /// E15 lease mode: the Zipf-skew locality table with and without
@@ -1222,6 +1393,15 @@ fn main() {
     if args.iter().any(|a| a == "--cluster") {
         let seeds: Vec<u64> = args.iter().filter_map(|a| a.parse().ok()).collect();
         cluster_mode(if seeds.is_empty() {
+            &[2007, 31337, 90210]
+        } else {
+            &seeds
+        });
+        return;
+    }
+    if args.iter().any(|a| a == "--threads") {
+        let seeds: Vec<u64> = args.iter().filter_map(|a| a.parse().ok()).collect();
+        threads_mode(if seeds.is_empty() {
             &[2007, 31337, 90210]
         } else {
             &seeds

@@ -1255,6 +1255,170 @@ pub fn e15_lease_locality(
     }
 }
 
+// ======================================================================
+// E19 — thread-per-shard runtime: wall-clock scaling and group commit
+// ======================================================================
+
+/// One E19 row: a shard count and the wall-clock workload outcome on the
+/// threaded executor (real shard threads, real concurrent clients — no
+/// modeled-time accounting anywhere in the measurement).
+#[derive(Debug, Clone, Copy)]
+pub struct E19Row {
+    /// Cluster size (one dedicated worker thread per shard).
+    pub shards: usize,
+    /// Grant+release operations per wall-clock second.
+    pub throughput: f64,
+    /// Unit grants confirmed.
+    pub granted: u64,
+    /// Unit rejections.
+    pub rejected: u64,
+    /// Mean wall-clock latency per op, microseconds.
+    pub mean_op_us: f64,
+    /// Journal flush writes across the cluster (group-commit batches).
+    pub flush_writes: u64,
+    /// Journal records covered by those writes.
+    pub flushed_records: u64,
+}
+
+/// Modeled per-message service time for the E19 scaling runs. Larger than
+/// E13's so the run is sleep-dominated even on a single-core test box:
+/// the scaling the gate checks comes from shard *threads* overlapping
+/// their service time, which needs the per-op CPU cost to stay a small
+/// fraction of the service time.
+pub const E19_SERVICE_US: u64 = 300;
+
+/// Clients driving the E19 runs (two per shard at the widest point, so
+/// every shard thread always has a next request queued).
+pub const E19_CLIENTS: usize = 16;
+
+/// Modeled latency of one durable batch write in the E19b amortization
+/// probe — the "fsync" cost group commit exists to amortize. Half the
+/// service time: long enough that concurrent handlers append behind an
+/// in-flight flush, short enough that the probe stays quick.
+pub const E19_FLUSH_DELAY_US: u64 = 150;
+
+/// Runs the E19 wall-clock scaling workload: `clients` real client
+/// threads drive single-shard grant+release cycles against a
+/// `shards`-node cluster where each node's dedicated worker thread
+/// executes a fixed modeled service time per message. Unlike E13 (which
+/// this supersedes as the concurrency gate), every number here is
+/// wall-clock: arrival-to-reply time measured across real thread
+/// handoffs, the group-commit barrier included.
+pub fn e19_thread_scaling(shards: usize, clients: usize, ops_per_client: usize) -> E19Row {
+    use promises_cluster::{ClusterDecision, PromiseCluster};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let cluster = PromiseCluster::build(shards, 2019);
+    cluster.set_service_time_us(E19_SERVICE_US);
+    for c in 0..clients {
+        cluster.register_quantity_pool(&pool_name(c), 1_000_000);
+    }
+    let granted = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let cluster = &cluster;
+            let granted = &granted;
+            let rejected = &rejected;
+            scope.spawn(move || {
+                let predicates = vec![format!("qty('{}') >= 2", pool_name(c))];
+                for op in 0..ops_per_client {
+                    let decision = cluster
+                        .coordinator
+                        .grant(
+                            &format!("client-{c}"),
+                            &format!("e19-{c}-{op}"),
+                            &predicates,
+                            3_600_000,
+                        )
+                        .expect("quiet bus cannot fail");
+                    match decision {
+                        ClusterDecision::Granted { parts } => {
+                            granted.fetch_add(1, Ordering::Relaxed);
+                            cluster.coordinator.release(&parts);
+                        }
+                        ClusterDecision::Rejected { .. } => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    let total = (clients * ops_per_client) as f64;
+    let (flush_writes, flushed_records) = cluster
+        .nodes
+        .iter()
+        .map(|n| n.journal.flush_stats())
+        .fold((0, 0), |(w, r), (nw, nr)| (w + nw, r + nr));
+    E19Row {
+        shards,
+        throughput: total / wall,
+        granted: granted.into_inner(),
+        rejected: rejected.into_inner(),
+        mean_op_us: wall * 1e6 / total,
+        flush_writes,
+        flushed_records,
+    }
+}
+
+/// The E19b group-commit amortization probe: one shard grown to a small
+/// worker pool, more clients than workers, modeled service time on the
+/// handlers and modeled write latency on the journal — so handlers
+/// overlap inside the shard and concurrent appends accumulate behind the
+/// in-flight flush, riding shared batches. Returns
+/// `(flush_writes, flushed_records)` for the shard; `records / writes`
+/// is the amortization factor (1.0 means every record paid its own
+/// write, i.e. no batching happened).
+pub fn e19_group_commit_amortization(
+    workers: usize,
+    clients: usize,
+    ops_per_client: usize,
+) -> (u64, u64) {
+    use promises_cluster::{ClusterDecision, PromiseCluster};
+
+    let mut cluster = PromiseCluster::build(1, 2019);
+    cluster.nodes[0].server.set_workers(workers);
+    // Modeled service time plus modeled write latency open the batching
+    // window this probe measures: while one worker leads a flush+ship
+    // round (sleeping out the "fsync"), the other workers' handlers
+    // append behind it, and the next leader's single write covers them
+    // all. With both costs at zero the round is nanoseconds long, every
+    // handler races straight from append to flush, and each batch
+    // degenerates to one record — group commit only amortizes a write
+    // cost that exists.
+    cluster.set_service_time_us(E19_SERVICE_US);
+    cluster.nodes[0]
+        .journal
+        .set_flush_delay_us(E19_FLUSH_DELAY_US);
+    cluster.enable_replication();
+    for c in 0..clients {
+        cluster.register_quantity_pool(&pool_name(c), 1_000_000);
+    }
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let cluster = &cluster;
+            scope.spawn(move || {
+                let predicates = vec![format!("qty('{}') >= 1", pool_name(c))];
+                for op in 0..ops_per_client {
+                    if let Ok(ClusterDecision::Granted { parts }) = cluster.coordinator.grant(
+                        &format!("client-{c}"),
+                        &format!("e19b-{c}-{op}"),
+                        &predicates,
+                        3_600_000,
+                    ) {
+                        cluster.coordinator.release(&parts);
+                    }
+                }
+            });
+        }
+    });
+    cluster.nodes[0].journal.flush_stats()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1406,5 +1570,28 @@ mod tests {
         let without = e15_lease_locality(4, 4, 48, false);
         assert_eq!(without.local_grants, 0, "no lease path without leases");
         assert_eq!(without.hot_local_ratio, 0.0);
+    }
+
+    #[test]
+    fn e19_scaling_counts_every_op_and_flushes_every_record() {
+        let row = e19_thread_scaling(2, 4, 5);
+        assert_eq!(row.shards, 2);
+        assert_eq!(row.granted + row.rejected, 4 * 5);
+        assert!(row.throughput > 0.0);
+        assert!(row.flush_writes > 0, "grants must hit the group committer");
+        assert!(
+            row.flushed_records >= row.flush_writes,
+            "a flush write covers at least one record: {row:?}"
+        );
+    }
+
+    #[test]
+    fn e19b_amortizes_writes_across_concurrent_appends() {
+        let (writes, records) = e19_group_commit_amortization(4, 6, 20);
+        assert!(records > 0);
+        assert!(
+            writes <= records,
+            "group commit never writes more than once per record: {writes} writes, {records} records"
+        );
     }
 }

@@ -215,6 +215,26 @@ impl PromiseCluster {
         );
     }
 
+    /// Kills shard `index`'s leader with *no* courtesy sync — the plug is
+    /// pulled between whatever the group-commit barrier last shipped and
+    /// whatever the journal has buffered since. This is the honest kill:
+    /// the semi-synchronous guarantee must come entirely from the barrier
+    /// ("no reply leaves until its batch is flushed and shipped", DESIGN
+    /// §19), never from a graceful shutdown's final sync. The
+    /// kill-between-flush-and-ship failover test promotes after this and
+    /// asserts every *acknowledged* grant survived.
+    pub fn kill_shard_abrupt(&self, index: usize) {
+        self.bus.unregister(&self.nodes[index].endpoint);
+        self.telemetry.incr("cluster.failover.leader_kills");
+        self.recorder.record(
+            "failover.kill",
+            format!(
+                "leader {} unregistered (abrupt)",
+                self.nodes[index].endpoint
+            ),
+        );
+    }
+
     /// Promotes shard `index`'s warm follower over its killed leader:
     /// bumps the shard's leadership epoch (fencing the dead incarnation's
     /// address), rebuilds the node from the follower's journal copy via

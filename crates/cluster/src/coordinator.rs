@@ -31,7 +31,7 @@ use parking_lot::{Mutex, RwLock};
 
 use promises_core::{parse_predicate, weaken_predicates, Clock, Predicate};
 use promises_telemetry::{
-    push_trace, FlightRecorder, SpanKind, SpanOutcome, Telemetry, TraceContext,
+    current_trace, push_trace, FlightRecorder, SpanKind, SpanOutcome, Telemetry, TraceContext,
 };
 use promises_wire::{
     BusError, Envelope, PromiseRequestHeader, PromiseResult, ResolutionOp, ResolveRef,
@@ -541,31 +541,58 @@ impl Coordinator {
         self.record_event("2pc.begin", format!("{} shards={shards:?}", txn.request));
 
         let prepare_started = Instant::now();
+        // Pipelined prepare: one concurrent send per shard — replies are
+        // matched by the `rid@sN` sub-request id, never by arrival order,
+        // so the fan-out needs no serialization. The ambient trace is
+        // re-pushed inside each worker so every shard hop still joins the
+        // grant's trace (the lifecycle auditor replays it).
+        let trace = current_trace();
+        let outcomes: Vec<(usize, String, Result<Envelope, BusError>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = groups
+                    .iter()
+                    .map(|(&shard, preds)| {
+                        let sub = txn.sub_request(shard);
+                        let envelope = Envelope::new().with_promise_request(PromiseRequestHeader {
+                            request_id: sub.clone(),
+                            client: client.to_owned(),
+                            predicates: preds.clone(),
+                            duration_ms,
+                            exchange: vec![],
+                            negotiate: false,
+                            prepare: true,
+                        });
+                        scope.spawn(move || {
+                            let _guard = trace.map(push_trace);
+                            let result = self.client.send(&self.map.endpoint_of(shard), &envelope);
+                            (shard, sub, result)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("prepare fan-out worker"))
+                    .collect()
+            });
+
         let mut parts: Vec<GrantPart> = Vec::with_capacity(groups.len());
         let mut reject: Option<String> = None;
-        // Shards that may hold something we must abort: everything
-        // prepared so far, plus any shard whose outcome we could not
-        // learn (lost reply — abort by request key).
+        // Shards that may hold something we must abort: everything that
+        // prepared, plus any shard whose outcome we could not learn (lost
+        // reply — abort by request key). Outcomes are judged in ascending
+        // shard order (the fan-out preserved `groups`' order), so the
+        // recorded reject reason is deterministic however the concurrent
+        // sends interleaved.
         let mut to_abort: Vec<(usize, ResolveRef)> = Vec::new();
-        for (&shard, preds) in groups {
-            let sub = txn.sub_request(shard);
-            let envelope = Envelope::new().with_promise_request(PromiseRequestHeader {
-                request_id: sub.clone(),
-                client: client.to_owned(),
-                predicates: preds.clone(),
-                duration_ms,
-                exchange: vec![],
-                negotiate: false,
-                prepare: true,
-            });
-            match self.client.send(&self.map.endpoint_of(shard), &envelope) {
+        for (shard, sub, result) in outcomes {
+            match result {
                 Ok(reply) => match reply.response_for(&sub) {
                     Some(resp) => match (&resp.result, resp.promise_id) {
                         (PromiseResult::Rejected(reason), _) => {
-                            // Immediate, non-blocking rejection (paper §4):
-                            // stop the fan-out, abort what's held.
-                            reject = Some(reason.clone());
-                            break;
+                            // Immediate, non-blocking rejection (paper §4).
+                            // Sibling shards were contacted concurrently —
+                            // whatever they prepared is aborted below.
+                            reject.get_or_insert_with(|| reason.clone());
                         }
                         (_, Some(id)) => {
                             to_abort.push((shard, ResolveRef::Id(id)));
@@ -576,13 +603,11 @@ impl Coordinator {
                             });
                         }
                         (_, None) => {
-                            reject = Some("malformed shard response".into());
-                            break;
+                            reject.get_or_insert_with(|| "malformed shard response".into());
                         }
                     },
                     None => {
-                        reject = Some("shard reply carried no response".into());
-                        break;
+                        reject.get_or_insert_with(|| "shard reply carried no response".into());
                     }
                 },
                 Err(e @ (BusError::DroppedRequest | BusError::DroppedReply)) => {
@@ -597,12 +622,10 @@ impl Coordinator {
                             request: sub,
                         },
                     ));
-                    reject = Some(format!("shard {shard} unreachable: {e}"));
-                    break;
+                    reject.get_or_insert_with(|| format!("shard {shard} unreachable: {e}"));
                 }
                 Err(e) => {
-                    reject = Some(format!("shard {shard} failed: {e}"));
-                    break;
+                    reject.get_or_insert_with(|| format!("shard {shard} failed: {e}"));
                 }
             }
         }
@@ -655,24 +678,36 @@ impl Coordinator {
         }
 
         let commit_started = Instant::now();
-        let mut acked = 0usize;
-        for part in &parts {
-            // Idempotent shard-side; a lost resolution leaves the hold in
-            // doubt for recover() to resend, never half-committed. A reply
-            // that names the resolution is the shard's acknowledgement —
-            // the resolution was processed (applied, idempotent repeat, or
-            // definitively unresolvable), so a resend could never change
-            // the outcome.
-            let reference = ResolveRef::Id(part.promise_id);
-            if let Ok(reply) = self.client.send(
-                &self.map.endpoint_of(part.shard),
-                &Envelope::new().with_resolution(reference.clone(), ResolutionOp::Commit),
-            ) {
-                if reply.resolution_for(&reference).is_some() {
-                    acked += 1;
-                }
-            }
-        }
+        // Commit resolutions fan out concurrently too. Idempotent
+        // shard-side; a lost resolution leaves the hold in doubt for
+        // recover() to resend, never half-committed. A reply that names
+        // the resolution is the shard's acknowledgement — the resolution
+        // was processed (applied, idempotent repeat, or definitively
+        // unresolvable), so a resend could never change the outcome.
+        let acked = std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .iter()
+                .map(|part| {
+                    let reference = ResolveRef::Id(part.promise_id);
+                    scope.spawn(move || {
+                        let _guard = trace.map(push_trace);
+                        match self.client.send(
+                            &self.map.endpoint_of(part.shard),
+                            &Envelope::new()
+                                .with_resolution(reference.clone(), ResolutionOp::Commit),
+                        ) {
+                            Ok(reply) => reply.resolution_for(&reference).is_some(),
+                            Err(_) => false,
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("commit fan-out worker"))
+                .filter(|acked| *acked)
+                .count()
+        });
         if acked == parts.len() {
             // Every shard acknowledged: the transaction is fully resolved
             // and its log records are compaction fodder.
@@ -706,15 +741,22 @@ impl Coordinator {
         Ok(report)
     }
 
-    /// Aborts every hold in `refs` and logs the Abort decision.
+    /// Aborts every hold in `refs` (concurrently — abort resolutions are
+    /// as independent as prepares) and logs the Abort decision.
     fn abort_txn(&self, txn: &TxnId, refs: &[(usize, ResolveRef)]) {
         let started = Instant::now();
-        for (shard, reference) in refs {
-            let _ = self.client.send(
-                &self.map.endpoint_of(*shard),
-                &Envelope::new().with_resolution(reference.clone(), ResolutionOp::Abort),
-            );
-        }
+        let trace = current_trace();
+        std::thread::scope(|scope| {
+            for (shard, reference) in refs {
+                scope.spawn(move || {
+                    let _guard = trace.map(push_trace);
+                    let _ = self.client.send(
+                        &self.map.endpoint_of(*shard),
+                        &Envelope::new().with_resolution(reference.clone(), ResolutionOp::Abort),
+                    );
+                });
+            }
+        });
         self.log.append(CoordRecord::Abort { txn: txn.clone() });
         self.record_event("2pc.abort", format!("{} holds={}", txn.request, refs.len()));
         if let Some(tel) = &self.telemetry {

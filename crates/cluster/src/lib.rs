@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod commit;
 mod coordinator;
 mod lease;
 mod log;
@@ -41,6 +42,7 @@ mod router;
 mod shard;
 
 pub use cluster::{FailoverReport, LeaseRebalance, PromiseCluster};
+pub use commit::{CommitStats, GroupCommitter};
 pub use coordinator::{
     ClusterDecision, CoordError, CoordRecovery, Coordinator, CrashPoint, GrantPart,
     NegotiatedClusterGrant,

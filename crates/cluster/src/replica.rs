@@ -50,6 +50,15 @@ impl ShardFollower {
     }
 
     /// Highest journal sequence number this follower has acked.
+    ///
+    /// Acquire pairs with `ack`'s AcqRel `fetch_max`: under the threaded
+    /// executor the group-commit barrier reads this watermark from worker
+    /// threads to decide whether a reply may leave, and the edge
+    /// guarantees that a thread observing watermark `>= seq` also
+    /// observes every `apply_segment` write that shipped seq — the
+    /// load-bearing happens-before of the semi-sync discipline. (Relaxed
+    /// here could let a promotion read a watermark ahead of the journal
+    /// lines backing it.)
     pub fn watermark(&self) -> u64 {
         self.watermark.load(Ordering::Acquire)
     }
@@ -133,6 +142,12 @@ impl ReplicationLink {
     /// bypass the bus (expiry pruning, compaction, lease rebalancing).
     pub fn sync(&self) -> SyncReport {
         let mut report = SyncReport::default();
+        // Durability before shipping: the follower must never hold a
+        // record the leader has not written down, or a promotion could
+        // surface state a leader crash would have erased. One batched
+        // flush covers everything buffered (group commit — see
+        // `GroupCommitter`).
+        self.leader.flush_all();
         let injector = self.injector.lock().clone();
         for _ in 0..MAX_SHIP_ATTEMPTS {
             let watermark = self.follower.watermark();

@@ -34,6 +34,13 @@ pub struct ShardMap {
     state: RwLock<MapState>,
 }
 
+/// Concurrency note (threaded-runtime atomics audit): both epochs below
+/// are plain integers *inside* the map's `RwLock`, not atomics — every
+/// reader that routes on an epoch also reads the assignments that epoch
+/// versions under the same lock acquisition, so the pairing can never
+/// tear and no Acquire/Release choreography is needed. Keep it that way:
+/// hoisting either epoch into a lock-free atomic would reintroduce the
+/// torn-pair race the shard server's incarnation slot was built to kill.
 #[derive(Debug, Default)]
 struct MapState {
     epoch: u64,

@@ -65,6 +65,7 @@
 //! which entries are recovery decisions rather than client operations.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
@@ -445,6 +446,18 @@ struct JournalInner {
     lines: Vec<String>,
     next_seq: u64,
     generation: u64,
+    /// Durability watermark: the highest seq covered by a flushed batch.
+    /// Appends land *above* this line as buffered (not-yet-durable)
+    /// records; [`PromiseJournal::flush_all`] raises it to the tip in one
+    /// swap-safe write. Journals rebuilt from dumped lines start fully
+    /// flushed — what was read back from disk is durable by definition.
+    flushed_seq: u64,
+    /// Batched writes performed (one per `flush_all` that had pending
+    /// lines, plus one per checkpoint swap).
+    flush_writes: u64,
+    /// Records covered by those writes; `flushed_records / flush_writes`
+    /// is the group-commit amortization factor.
+    flushed_records: u64,
 }
 
 /// An append-only, generation-stamped journal of promise-table transitions.
@@ -455,6 +468,12 @@ struct JournalInner {
 /// recovery tests exercise.
 pub struct PromiseJournal {
     inner: Mutex<JournalInner>,
+    /// Modeled latency of one durable batch write, slept *outside* the
+    /// line buffer's lock so appends proceed while a flush is in flight —
+    /// the window group commit amortizes. Zero (the default) models free
+    /// storage; benchmarks raise it the same way the shard executor's
+    /// modeled service time is raised.
+    flush_delay_us: AtomicU64,
 }
 
 impl Default for PromiseJournal {
@@ -471,7 +490,11 @@ impl PromiseJournal {
                 lines: Vec::new(),
                 next_seq: 1,
                 generation: 0,
+                flushed_seq: 0,
+                flush_writes: 0,
+                flushed_records: 0,
             }),
+            flush_delay_us: AtomicU64::new(0),
         }
     }
 
@@ -491,7 +514,11 @@ impl PromiseJournal {
                 lines: lines.iter().map(|s| s.as_ref().to_owned()).collect(),
                 next_seq,
                 generation,
+                flushed_seq: next_seq - 1,
+                flush_writes: 0,
+                flushed_records: 0,
             }),
+            flush_delay_us: AtomicU64::new(0),
         })
     }
 
@@ -526,7 +553,11 @@ impl PromiseJournal {
                     lines: keep,
                     next_seq,
                     generation,
+                    flushed_seq: next_seq - 1,
+                    flush_writes: 0,
+                    flushed_records: 0,
                 }),
+                flush_delay_us: AtomicU64::new(0),
             },
             torn,
         ))
@@ -551,6 +582,13 @@ impl PromiseJournal {
             op: JournalOp::Checkpoint(state),
         };
         inner.lines = vec![encode_entry(&entry)];
+        // The swap is itself one durable write, and it covers every record
+        // folded into the checkpoint: nothing below the `K` line can be
+        // pending afterwards.
+        let covered = (seq - inner.flushed_seq).max(1);
+        inner.flushed_seq = seq;
+        inner.flush_writes += 1;
+        inner.flushed_records += covered;
         CheckpointStats { seq, dropped }
     }
 
@@ -568,6 +606,63 @@ impl PromiseJournal {
         let line = encode_entry(&entry);
         inner.lines.push(line);
         seq
+    }
+
+    /// Flushes every buffered record in one batched, swap-safe write:
+    /// the durability watermark jumps from wherever it was straight to
+    /// the current tip, whatever number of concurrent handlers appended
+    /// in between. This is the group-commit primitive — callers that need
+    /// "my record is durable" wait for *a* flush covering their seq, not
+    /// for a write of their own — amortizing the per-write cost exactly
+    /// like the checkpoint swap amortizes compaction. Returns the new
+    /// flushed watermark (the tip).
+    pub fn flush_all(&self) -> u64 {
+        // Snapshot the tip first: only records that existed when the
+        // write "started" become durable. The modeled write latency is
+        // slept outside the lock, so concurrent handlers keep appending
+        // behind the in-flight flush — those records stay buffered until
+        // the next batch, which is precisely how real group commit
+        // accumulates its batches behind a slow fsync.
+        let (tip, pending) = {
+            let inner = self.inner.lock();
+            let tip = inner.next_seq - 1;
+            (tip, tip > inner.flushed_seq)
+        };
+        if pending {
+            let delay = self.flush_delay_us.load(Ordering::Relaxed);
+            if delay > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(delay));
+            }
+        }
+        let mut inner = self.inner.lock();
+        if tip > inner.flushed_seq {
+            inner.flushed_records += tip - inner.flushed_seq;
+            inner.flush_writes += 1;
+            inner.flushed_seq = tip;
+        }
+        tip
+    }
+
+    /// Sets the modeled latency of one durable batch write (default 0).
+    /// Benchmarks use this the way the shard executor uses modeled
+    /// service time: to make the cost being amortized visible on the
+    /// wall clock.
+    pub fn set_flush_delay_us(&self, us: u64) {
+        self.flush_delay_us.store(us, Ordering::Relaxed);
+    }
+
+    /// The durability watermark: highest seq covered by a flushed batch.
+    /// Records above it are appended but still buffered.
+    pub fn flushed_seq(&self) -> u64 {
+        self.inner.lock().flushed_seq
+    }
+
+    /// `(batched writes, records covered)` since this journal was built.
+    /// `records / writes > 1` means group commit is amortizing — multiple
+    /// concurrent appends rode one write.
+    pub fn flush_stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.flush_writes, inner.flushed_records)
     }
 
     /// The current generation stamp.
@@ -649,6 +744,10 @@ impl PromiseJournal {
             inner.next_seq = entry.seq + 1;
             inner.generation = inner.generation.max(entry.generation);
         }
+        // A shipped segment is written down as one unit on the standby —
+        // applied records are durable there, so a promoted follower's
+        // journal starts fully flushed.
+        inner.flushed_seq = inner.next_seq - 1;
         Ok(inner.next_seq - 1)
     }
 
@@ -991,5 +1090,51 @@ mod tests {
         let err = follower.apply_segment(&["garbage"]).unwrap_err();
         assert_eq!(err.line, 0);
         assert!(follower.is_empty(), "corrupt segment must not half-apply");
+    }
+
+    #[test]
+    fn flush_all_batches_pending_appends_into_one_write() {
+        let journal = PromiseJournal::new();
+        assert_eq!(journal.flushed_seq(), 0);
+        assert_eq!(journal.flush_all(), 0, "nothing pending, nothing written");
+        assert_eq!(journal.flush_stats(), (0, 0));
+        for i in 0..5 {
+            journal.append(JournalOp::Release(PromiseId(i)));
+        }
+        assert_eq!(journal.flushed_seq(), 0, "appends are buffered");
+        assert_eq!(journal.flush_all(), 5);
+        assert_eq!(journal.flushed_seq(), 5);
+        // Five records rode one write: the group-commit amortization.
+        assert_eq!(journal.flush_stats(), (1, 5));
+        assert_eq!(journal.flush_all(), 5, "idempotent at the tip");
+        assert_eq!(journal.flush_stats(), (1, 5));
+    }
+
+    #[test]
+    fn checkpoint_swap_counts_as_a_durable_write() {
+        let journal = PromiseJournal::new();
+        journal.append(JournalOp::Release(PromiseId(1)));
+        journal.append(JournalOp::Release(PromiseId(2)));
+        let stats = journal.install_checkpoint(CheckpointState {
+            next_id: 3,
+            live: vec![],
+            leases: vec![],
+        });
+        assert_eq!(journal.flushed_seq(), stats.seq);
+        let (writes, records) = journal.flush_stats();
+        assert_eq!(writes, 1);
+        assert_eq!(records, 3, "two folded appends plus the K line");
+    }
+
+    #[test]
+    fn rebuilt_and_replicated_journals_start_flushed() {
+        let leader = PromiseJournal::new();
+        leader.append(JournalOp::Release(PromiseId(1)));
+        leader.append(JournalOp::Release(PromiseId(2)));
+        let reloaded = PromiseJournal::from_lines(&leader.lines()).unwrap();
+        assert_eq!(reloaded.flushed_seq(), reloaded.tip_seq());
+        let follower = PromiseJournal::new();
+        follower.apply_segment(&leader.segment_after(0)).unwrap();
+        assert_eq!(follower.flushed_seq(), follower.tip_seq());
     }
 }

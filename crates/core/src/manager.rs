@@ -655,6 +655,14 @@ impl PromiseManager {
     /// are rejected immediately with [`RejectReason::Overloaded`]; checks,
     /// executes, releases and expiry pruning continue normally, so existing
     /// promises are still honored (§9's never-block stance under overload).
+    ///
+    /// `Relaxed` is deliberate (threaded-runtime atomics audit): the flag
+    /// is a standalone admission gate — no other data is published
+    /// through it, so there is no happens-before edge to carry. A handler
+    /// thread observing the flip a few loads late admits or rejects a
+    /// borderline request either way, which the health plane already
+    /// tolerates (degraded mode engages on sustained pressure, not a
+    /// single op).
     pub fn set_degraded(&self, degraded: bool) {
         self.degraded.store(degraded, Ordering::Relaxed);
     }

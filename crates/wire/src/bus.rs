@@ -218,6 +218,17 @@ impl InMemoryBus {
 
     /// Sends `envelope` to endpoint `to`, returning the reply. The message
     /// is encoded and decoded in both directions.
+    ///
+    /// Dispatch under the threaded runtime: delivery is synchronous *in
+    /// the caller's thread* — the bus resolves the endpoint (read lock,
+    /// no lock held across `handle`) and invokes the service, and it is
+    /// the shard server's `handle` that bridges threads by enqueueing the
+    /// message on its per-shard inbound queue and blocking this caller
+    /// until a shard worker fulfils the reply slot. So N concurrent
+    /// senders (pipelined 2PC fan-outs, parallel clients) get N concurrent
+    /// deliveries with no bus-global serialization; the bus's own traffic
+    /// counters are `Relaxed` atomics, statistics with no happens-before
+    /// to carry.
     pub fn send(&self, to: &str, envelope: &Envelope) -> Result<Envelope, BusError> {
         let Some(tel) = self.telemetry.read().clone() else {
             return self.deliver(to, envelope, &mut None);

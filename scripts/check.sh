@@ -33,6 +33,21 @@ cargo test -q -p promises-cluster
 echo "==> cluster smoke (seeds 2007 31337 90210)"
 cargo run --release -q -p promises-bench --bin experiments -- --cluster 2007 31337 90210
 
+# Threaded-runtime suite: the race-pin tests (restart-under-load,
+# kill-between-flush-and-ship, bounded semi-sync), the group-commit
+# interleaving model, the sim-level stress matrix, then the E19 gate
+# under three fixed seeds: wall-clock scaling on real shard threads
+# (>=4x at 8 shards vs 1, near-linear trend reported), group-commit
+# amortization, and per-seed threaded stress sweeps at 0/10/20% fault
+# rates with the lifecycle auditor at zero violations (see DESIGN.md
+# §19). Merges the wall-clock `threads` section into BENCH_cluster.json
+# next to the modeled-time E13 results and fails on any gate miss.
+echo "==> threaded-runtime tests"
+cargo test -q -p promises-cluster --test executor --test group_commit_model
+cargo test -q -p promises-sim --test thread_stress
+echo "==> threads smoke (seeds 2007 31337 90210)"
+cargo run --release -q -p promises-bench --bin experiments -- --threads 2007 31337 90210
+
 # Recovery suite: the E14 checkpoint/compaction benchmark (compacted
 # recovery must be >=5x faster than full-history replay, with
 # byte-identical state digests) and the crash/compact sweep under three
